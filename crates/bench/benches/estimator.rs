@@ -1,0 +1,32 @@
+//! Criterion microbenchmark: Cohen probabilistic nnz estimation vs exact
+//! symbolic SpGEMM (§V) — the wall-clock counterpart of Fig. 6's bottom
+//! row.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hipmcl_spgemm::testutil::random_csc;
+use hipmcl_spgemm::CohenEstimator;
+
+fn estimation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("estimator");
+    group.sample_size(10);
+    for (label, n, nnz) in [("low_cf", 3000usize, 12_000usize), ("high_cf", 800, 64_000)] {
+        let a = random_csc(n, n, nnz, 9);
+        group.bench_with_input(BenchmarkId::new("exact-symbolic", label), &a, |b, a| {
+            b.iter(|| hipmcl_spgemm::symbolic::output_nnz(a, a))
+        });
+        for r in [3usize, 10] {
+            group.bench_with_input(
+                BenchmarkId::new(format!("cohen-r{r}"), label),
+                &a,
+                |b, a| {
+                    let est = CohenEstimator::new(r, 7);
+                    b.iter(|| est.estimate_total(a, a))
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, estimation);
+criterion_main!(benches);

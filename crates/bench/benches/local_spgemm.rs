@@ -1,0 +1,35 @@
+//! Criterion microbenchmark: the CPU SpGEMM accumulators (heap / hash /
+//! SPA) and the GPU-library kernel analogues across density regimes —
+//! the measured counterpart of the §VI selection recipe.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hipmcl_comm::GpuLib;
+use hipmcl_spgemm::testutil::random_csc;
+
+fn local_spgemm(c: &mut Criterion) {
+    let mut group = c.benchmark_group("local_spgemm");
+    group.sample_size(10);
+    // (label, n, nnz): sparse -> low cf, dense -> high cf.
+    let cases = [("sparse_cf~1", 2000usize, 8_000usize), ("medium_cf", 1000, 30_000), ("dense_cf", 600, 60_000)];
+    for (label, n, nnz) in cases {
+        let a = random_csc(n, n, nnz, 42);
+        group.bench_with_input(BenchmarkId::new("cpu-heap", label), &a, |b, a| {
+            b.iter(|| hipmcl_spgemm::heap::multiply(a, a))
+        });
+        group.bench_with_input(BenchmarkId::new("cpu-hash", label), &a, |b, a| {
+            b.iter(|| hipmcl_spgemm::hash::multiply(a, a))
+        });
+        group.bench_with_input(BenchmarkId::new("cpu-spa", label), &a, |b, a| {
+            b.iter(|| hipmcl_spgemm::spa::multiply(a, a))
+        });
+        for lib in GpuLib::all() {
+            group.bench_with_input(BenchmarkId::new(lib.name(), label), &a, |b, a| {
+                b.iter(|| hipmcl_gpu::libs::multiply_csc(a, a, lib))
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, local_spgemm);
+criterion_main!(benches);

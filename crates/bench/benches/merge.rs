@@ -1,0 +1,43 @@
+//! Criterion microbenchmark: multiway vs binary merging of SUMMA
+//! intermediate products (§IV).
+
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
+use hipmcl_comm::MachineModel;
+use hipmcl_sparse::Csc;
+use hipmcl_spgemm::testutil::random_csc;
+use hipmcl_summa::merge::{kway_merge, BinaryMerger};
+
+fn slabs(k: usize) -> Vec<Csc<f64>> {
+    (0..k).map(|i| random_csc(2000, 2000, 40_000, i as u64)).collect()
+}
+
+fn merging(c: &mut Criterion) {
+    let mut group = c.benchmark_group("merge");
+    group.sample_size(10);
+    for k in [4usize, 8, 16] {
+        let mats = slabs(k);
+        group.bench_with_input(BenchmarkId::new("multiway", k), &mats, |b, mats| {
+            b.iter(|| kway_merge(mats))
+        });
+        group.bench_with_input(BenchmarkId::new("binary", k), &mats, |b, mats| {
+            // The merger consumes its inputs; clone them in setup so the
+            // measurement covers merging only (comparable to multiway).
+            b.iter_batched(
+                || mats.to_vec(),
+                |mats| {
+                    let mut bm = BinaryMerger::new(MachineModel::summit());
+                    let mut now = 0.0;
+                    for m in mats {
+                        now = bm.push(m, 0.0, now);
+                    }
+                    bm.finish(now).0
+                },
+                BatchSize::LargeInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, merging);
+criterion_main!(benches);

@@ -1,0 +1,181 @@
+//! Ablation studies for the design choices DESIGN.md calls out — not a
+//! paper table, but the measurements behind several of its design
+//! arguments:
+//!
+//! 1. **Merge-at-push strategy** (§IV): Algorithm 2's heap merge of the
+//!    stack tail vs the "immediate" alternative (merge every incoming
+//!    list with the running result — `O(n·k²)` total) vs deferring all
+//!    merging (multiway). Work counted in merged elements.
+//! 2. **DCSC vs CSC broadcast payloads** (§III-B): bytes a SUMMA stage
+//!    moves for hypersparse blocks at growing grid sizes.
+//! 3. **Phased vs unphased SUMMA** (§III): the broadcast-volume price of
+//!    limiting memory with `h` phases (one operand re-broadcast `h`×).
+//! 4. **Transpose trick** (§III-B): CSC→CSR conversion cost avoided by
+//!    computing `Cᵀ = Bᵀ·Aᵀ` (measured as real conversion wall time).
+
+use hipmcl_bench::*;
+use hipmcl_comm::MachineModel;
+use hipmcl_core::MclConfig;
+use hipmcl_sparse::{Csc, Csr, Dcsc};
+use hipmcl_spgemm::testutil::random_csc;
+use hipmcl_workloads::Dataset;
+use std::time::Instant;
+
+fn main() {
+    ablation_merge_strategies();
+    ablation_dcsc_payloads();
+    ablation_phases();
+    ablation_transpose_trick();
+}
+
+/// 1. Merging work: multiway vs Algorithm 2 vs immediate two-way merges.
+fn ablation_merge_strategies() {
+    println!("Ablation 1 — merge scheduling (elements passing through merges)\n");
+    let headers = ["k lists", "multiway", "binary (Alg.2)", "immediate 2-way"];
+    let mut rows = Vec::new();
+    for k in [4usize, 8, 16, 32] {
+        let slabs: Vec<Csc<f64>> =
+            (0..k).map(|i| random_csc(500, 500, 5_000, 77 + i as u64)).collect();
+        let n: usize = slabs.iter().map(Csc::nnz).sum::<usize>() / k;
+
+        // Multiway: every element passes through one k-way merge.
+        let multiway = k * n;
+
+        // Binary (Algorithm 2): measured from the merger's stats.
+        let mut bm = hipmcl_summa::merge::BinaryMerger::new(MachineModel::summit());
+        let mut now = 0.0;
+        for s in &slabs {
+            now = bm.push(s.clone(), 0.0, now);
+        }
+        let _ = bm.finish(now);
+        let binary = bm.stats().total_merged_elems;
+
+        // Immediate: merge each arrival with the running result. With
+        // disjoint lists this is n·(k(k+1)/2 − 1) (§IV's analysis); here
+        // measured with the real (overlapping) lists.
+        let mut acc = slabs[0].clone();
+        let mut immediate = 0u64;
+        for s in &slabs[1..] {
+            immediate += (acc.nnz() + s.nnz()) as u64;
+            acc = acc.add_elementwise(s);
+        }
+
+        rows.push(vec![
+            k.to_string(),
+            multiway.to_string(),
+            binary.to_string(),
+            immediate.to_string(),
+        ]);
+    }
+    print_table(&headers, &rows);
+    write_csv("ablation_merge", &headers, &rows);
+    println!(
+        "\n(§IV: binary merge pays ~lg lg k over multiway; the immediate\n\
+         scheme's quadratic re-scanning is why the paper rejects it)\n"
+    );
+}
+
+/// 2. DCSC vs CSC broadcast payload bytes for 2D blocks.
+fn ablation_dcsc_payloads() {
+    println!("Ablation 2 — broadcast payload: DCSC vs CSC bytes per block\n");
+    // Hypersparsity needs nnz/P < ncols/√P, i.e. √P > average degree —
+    // the regime of very large grids or very sparse matrices. A degree-2
+    // graph (e.g. a converged, near-diagonal MCL iterate) shows the
+    // crossover at laptop-sized grids; the dense bench blocks show where
+    // plain CSC stays fine.
+    let sparse = Csc::from_triples(&hipmcl_workloads::er::generate_er_symmetric(
+        20_000, 20_000, 9,
+    ));
+    let cfg = bench_mcl_config_for(Dataset::Archaea, MclConfig::optimized(u64::MAX));
+    let dense = bench_graph(Dataset::Archaea, &cfg);
+    let headers = ["matrix", "grid", "block nnz", "block cols", "CSC B", "DCSC B", "saving"];
+    let mut rows = Vec::new();
+    for (name, g) in [("degree-2", &sparse), ("archaea-mini", &dense)] {
+        for side in [4usize, 16, 32] {
+            let blocks = hipmcl_sparse::convert::split_2d_csc(g, side, side);
+            let (mut csc_b, mut dcsc_b, mut nnz) = (0usize, 0usize, 0usize);
+            for b in &blocks {
+                csc_b += b.bytes();
+                dcsc_b += Dcsc::from_csc(b).bytes();
+                nnz += b.nnz();
+            }
+            let nb = blocks.len();
+            rows.push(vec![
+                name.to_string(),
+                format!("{side}x{side}"),
+                (nnz / nb).to_string(),
+                (g.ncols() / side).to_string(),
+                (csc_b / nb).to_string(),
+                (dcsc_b / nb).to_string(),
+                format!("{:.0}%", 100.0 * (csc_b as f64 - dcsc_b as f64) / csc_b as f64),
+            ]);
+        }
+    }
+    print_table(&headers, &rows);
+    write_csv("ablation_dcsc", &headers, &rows);
+    println!(
+        "\n(hypersparsity needs nnz/P < ncols/√P: DCSC wins on the sparse\n\
+         matrix at large grids and loses nothing meaningful elsewhere —\n\
+         Buluç & Gilbert 2008)\n"
+    );
+}
+
+/// 3. Phased SUMMA: broadcast volume vs phase count.
+fn ablation_phases() {
+    println!("Ablation 3 — phased SUMMA: A re-broadcast per phase\n");
+    let cfg = bench_mcl_config_for(Dataset::Eukarya, MclConfig::optimized(u64::MAX));
+    let g = bench_graph(Dataset::Eukarya, &cfg);
+    let side = 4usize;
+    let blocks = hipmcl_sparse::convert::split_2d_csc(&g, side, side);
+    let a_bytes: usize = blocks.iter().map(|b| Dcsc::from_csc(b).bytes()).sum();
+    let headers = ["phases", "A bcast volume", "B bcast volume", "total vs h=1"];
+    let mut rows = Vec::new();
+    for h in [1usize, 2, 4, 8] {
+        // Per SUMMA semantics: every phase re-broadcasts all of A's
+        // blocks down their rows; B is broadcast once in total (sliced).
+        let a_vol = a_bytes * h * side;
+        let b_vol = a_bytes * side; // A ≈ B here (squaring)
+        rows.push(vec![
+            h.to_string(),
+            a_vol.to_string(),
+            b_vol.to_string(),
+            format!("{:.2}x", (a_vol + b_vol) as f64 / (a_bytes * 2 * side) as f64),
+        ]);
+    }
+    print_table(&headers, &rows);
+    write_csv("ablation_phases", &headers, &rows);
+    println!(
+        "\n(§III: phases cap memory at the price of re-broadcasting one\n\
+         operand — why the estimator must not over-estimate phases)\n"
+    );
+}
+
+/// 4. The §III-B transpose trick: measured cost of the avoided conversion.
+fn ablation_transpose_trick() {
+    println!("Ablation 4 — CSC->CSR conversion avoided by the transpose trick\n");
+    let headers = ["n", "nnz", "explicit CSC->CSR", "transpose reinterpret"];
+    let mut rows = Vec::new();
+    for (n, nnz) in [(2_000usize, 100_000usize), (8_000, 400_000), (20_000, 1_000_000)] {
+        let a = random_csc(n, n, nnz, 5);
+        let t0 = Instant::now();
+        let explicit = Csr::from_csc(&a); // real transpose work
+        let t_explicit = t0.elapsed().as_secs_f64();
+        let owned = a.clone(); // ownership transfer outside the timing
+        let t0 = Instant::now();
+        let reinterp = Csr::from_csc_transpose(owned); // pointer moves
+        let t_reinterp = t0.elapsed().as_secs_f64();
+        assert_eq!(explicit.nnz(), reinterp.nnz());
+        rows.push(vec![
+            n.to_string(),
+            a.nnz().to_string(),
+            format!("{:.3} ms", t_explicit * 1e3),
+            format!("{:.3} ms", t_reinterp * 1e3),
+        ]);
+    }
+    print_table(&headers, &rows);
+    write_csv("ablation_transpose", &headers, &rows);
+    println!(
+        "\n(computing Cᵀ = Bᵀ·Aᵀ on CSR kernels makes the conversion a\n\
+         reinterpretation — §III-B)\n"
+    );
+}

@@ -1,0 +1,65 @@
+//! **Figure 5** — managing a node's resources with threads vs processes
+//! (§III-A / §VII-B): 16 nodes driven as 16 ranks × (40 threads, 4 GPUs)
+//! versus 64 ranks × (10 threads, 1 GPU), per-stage times on eukarya and
+//! isom100-3. Paper: thread-based wins every stage except pruning
+//! (13–50 % faster), pruning is ~24 % faster process-based.
+
+use hipmcl_bench::*;
+use hipmcl_comm::{MachineModel, Universe};
+use hipmcl_core::dist::STAGES;
+use hipmcl_core::MclConfig;
+use hipmcl_workloads::Dataset;
+
+fn run(d: Dataset, ranks: usize, model: MachineModel, cfg: &MclConfig) -> Vec<(String, f64)> {
+    let cfg = *cfg;
+    let reports = Universe::run(ranks, model, move |comm| run_scattered_on(comm, d, &cfg));
+    reports[0].stage_times.clone()
+}
+
+fn main() {
+    // The paper uses 4 GPUs per node in both settings (perfect-square rank
+    // counts force it): thread-based = 16 ranks of a 4-GPU/40-thread node,
+    // process-based = 64 ranks of a 1-GPU/10-thread quarter node.
+    let mut thread_model = MachineModel::summit_bench();
+    thread_model.gpus = 4;
+    thread_model.gpu_node_rate *= 4.0 / 6.0;
+    let mut process_model = MachineModel::summit_ranks_per_node(4);
+    process_model.alpha = thread_model.alpha;
+    process_model.link_alpha = thread_model.link_alpha;
+    process_model.gpus = 1;
+    process_model.gpu_node_rate = thread_model.gpu_node_rate / 4.0;
+
+    for d in [Dataset::Eukarya, Dataset::Isom100_3] {
+        eprintln!("running {} ...", d.name());
+        let cfg = bench_mcl_config_for(d, MclConfig::optimized(4 << 30));
+        let t = run(d, 16, thread_model.clone(), &cfg);
+        let p = run(d, 64, process_model.clone(), &cfg);
+        println!("\nFig. 5 — {} (16 nodes, modeled seconds):", d.name());
+        let headers = ["stage", "process-based", "thread-based", "thread wins by"];
+        let mut rows = Vec::new();
+        for s in STAGES {
+            let tt = t.iter().find(|(n, _)| n == s).map_or(0.0, |(_, x)| *x);
+            let pt = p.iter().find(|(n, _)| n == s).map_or(0.0, |(_, x)| *x);
+            if tt == 0.0 && pt == 0.0 {
+                continue;
+            }
+            rows.push(vec![
+                s.to_string(),
+                format!("{pt:.3}"),
+                format!("{tt:.3}"),
+                format!("{:+.0}%", 100.0 * (pt - tt) / pt.max(1e-12)),
+            ]);
+        }
+        print_table(&headers, &rows);
+        write_csv(&format!("fig5_{}", d.name()), &headers, &rows);
+    }
+
+    print_paper_note(&[
+        "Fig. 5 (isom100-3): thread-based faster by 13% (SpGEMM), 23%",
+        "(estimation), 19% (bcast), 50% (merge); process-based faster by",
+        "24% in pruning. Expected shape: thread-based wins the comm-heavy",
+        "stages (fewer ranks -> shallower trees, bigger messages), while",
+        "pruning — pure local compute — favours the lower thread-overhead",
+        "process setting.",
+    ]);
+}

@@ -1,0 +1,85 @@
+//! **Figure 8** — per-stage strong scaling of the optimized HipMCL:
+//! speedup of each stage (local SpGEMM, memory estimation, SUMMA
+//! broadcast, merging, pruning) relative to the smallest node count.
+//! Paper: compute stages scale well; memory estimation, broadcast and
+//! merging are the scalability bottlenecks (estimation reaching 2.5× the
+//! broadcast time at 400 nodes on isom100-1).
+
+use hipmcl_bench::*;
+use hipmcl_core::dist::STAGES;
+use hipmcl_core::MclConfig;
+use hipmcl_workloads::Dataset;
+
+fn max_ranks() -> usize {
+    std::env::var("HIPMCL_MAX_RANKS").ok().and_then(|s| s.parse().ok()).unwrap_or(400)
+}
+
+fn main() {
+    println!("Fig. 8: per-stage strong scaling (speedup vs smallest node count)\n");
+    let sweeps: [(Dataset, &[usize]); 2] = [
+        (Dataset::Isom100_1, &[100, 196, 400]),
+        (Dataset::Metaclust50, &[256, 361, 529]),
+    ];
+
+    for (d, nodes_list) in sweeps {
+        let nodes: Vec<usize> =
+            nodes_list.iter().copied().filter(|&n| n <= max_ranks()).collect();
+        if nodes.len() < 2 {
+            println!("({}: skipped — raise HIPMCL_MAX_RANKS)\n", d.name());
+            continue;
+        }
+        let cfg = bench_mcl_config_for(d, MclConfig::optimized(4 << 30));
+        println!("{}:", d.name());
+        let mut per_node: Vec<Vec<f64>> = Vec::new();
+        for &p in &nodes {
+            eprintln!("running {} on {} nodes ...", d.name(), p);
+            let r = run_scattered(p, d, &cfg);
+            per_node.push(
+                STAGES
+                    .iter()
+                    .map(|s| {
+                        r.stage_times.iter().find(|(n, _)| n == s).map_or(0.0, |(_, t)| *t)
+                    })
+                    .collect(),
+            );
+        }
+
+        let mut headers: Vec<String> = vec!["stage".into()];
+        headers.extend(nodes.iter().map(|p| format!("{p} nodes")));
+        headers.push("time@max nodes".into());
+        let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
+        let mut rows = Vec::new();
+        for (si, s) in STAGES.iter().enumerate() {
+            let base = per_node[0][si];
+            if base <= 0.0 {
+                continue;
+            }
+            let mut row = vec![s.to_string()];
+            for ni in 0..nodes.len() {
+                row.push(format!("{:.2}x", base / per_node[ni][si].max(1e-12)));
+            }
+            row.push(format!("{:.4}s", per_node[nodes.len() - 1][si]));
+            rows.push(row);
+        }
+        print_table(&header_refs, &rows);
+        write_csv(&format!("fig8_{}", d.name()), &header_refs, &rows);
+
+        // The paper's bottleneck callout: estimation vs broadcast at scale.
+        let last = &per_node[nodes.len() - 1];
+        let est = last[STAGES.iter().position(|&s| s == "mem_estimation").unwrap()];
+        let bc = last[STAGES.iter().position(|&s| s == "summa_bcast").unwrap()];
+        println!(
+            "memory estimation / SUMMA broadcast at {} nodes: {:.2}x\n",
+            nodes[nodes.len() - 1],
+            est / bc.max(1e-12)
+        );
+    }
+
+    print_paper_note(&[
+        "Fig. 8: local SpGEMM and pruning scale near-linearly; merging,",
+        "broadcast and especially memory estimation scale poorly (paper:",
+        "estimation = 2.5x broadcast time at 400 nodes on isom100-1, 1.5x",
+        "at 729 on metaclust50) — motivating the future GPU/pipelined",
+        "estimation the paper's conclusion sketches.",
+    ]);
+}

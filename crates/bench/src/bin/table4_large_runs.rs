@@ -1,0 +1,72 @@
+//! **Table IV** — end-to-end runtimes of original vs optimized HipMCL on
+//! the large networks. Paper (Summit): isom100-1 3.34 h → 16.2 min on
+//! 100 nodes (12.4×); isom100 22.6 min @ 529 / 14.1 min @ 1024 nodes;
+//! metaclust50 1.04 h @ 729 nodes.
+//!
+//! Node counts follow the paper where the host allows; the environment
+//! variable `HIPMCL_MAX_RANKS` (default 256) caps the simulated rank
+//! count — capped entries are run at the largest square ≤ the cap and
+//! labelled accordingly.
+
+use hipmcl_bench::*;
+use hipmcl_core::MclConfig;
+use hipmcl_workloads::Dataset;
+
+fn max_ranks() -> usize {
+    std::env::var("HIPMCL_MAX_RANKS").ok().and_then(|s| s.parse().ok()).unwrap_or(256)
+}
+
+/// Largest perfect square ≤ min(want, cap).
+fn clamp_square(want: usize) -> usize {
+    let cap = want.min(max_ranks());
+    let side = (cap as f64).sqrt() as usize;
+    (side * side).max(1)
+}
+
+fn main() {
+    let budget = 4u64 << 30;
+
+    println!("Table IV: end-to-end modeled runtimes, original vs optimized HipMCL\n");
+    let headers = ["network", "nodes", "original", "optimized", "speedup"];
+    let mut rows = Vec::new();
+
+    let runs: [(Dataset, usize, bool); 4] = [
+        (Dataset::Isom100_1, 100, true), // paper compares both on 100 nodes
+        (Dataset::Isom100, 529, false),
+        (Dataset::Isom100, 1024, false),
+        (Dataset::Metaclust50, 729, false),
+    ];
+
+    for (d, want_nodes, run_original) in runs {
+        let nodes = clamp_square(want_nodes);
+        let label = if nodes == want_nodes {
+            nodes.to_string()
+        } else {
+            format!("{nodes} (paper: {want_nodes})")
+        };
+        eprintln!("running {} on {} nodes ...", d.name(), nodes);
+        let orig = bench_mcl_config_for(d, MclConfig::original_hipmcl(budget));
+        let opt = bench_mcl_config_for(d, MclConfig::optimized(budget));
+        let t_opt = run_scattered(nodes, d, &opt).total_time;
+        let (t_orig_s, speedup) = if run_original {
+            let t_orig = run_scattered(nodes, d, &orig).total_time;
+            (fmt_time(t_orig), format!("{:.1}x", t_orig / t_opt))
+        } else {
+            // The paper did not run original HipMCL on these either ("an
+            // extraordinary amount of compute hours").
+            ("-".to_string(), "-".to_string())
+        };
+        rows.push(vec![d.name().to_string(), label, t_orig_s, fmt_time(t_opt), speedup]);
+    }
+
+    print_table(&headers, &rows);
+    let csv = write_csv("table4_large_runs", &headers, &rows);
+    println!("\ncsv: {}", csv.display());
+    print_paper_note(&[
+        "Table IV: isom100-1 100 nodes: 3.34h original vs 16.2m optimized",
+        "(12.4x). isom100: 22.6m @529, 14.1m @1024 nodes. metaclust50:",
+        "1.04h @729 nodes. Expected shape: order-of-magnitude speedup on",
+        "isom100-1; the denser isom100 family benefits more than the",
+        "sparser metaclust50 (higher cf -> better GPU utilization).",
+    ]);
+}

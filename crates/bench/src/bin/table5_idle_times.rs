@@ -1,0 +1,48 @@
+//! **Table V** — CPU and GPU idle times in the Pipelined Sparse SUMMA as
+//! the node count grows. Paper: CPU idle > GPU idle (the CPU waits while
+//! the GPU multiplies) and both shrink with node count; the gap is wider
+//! on the denser isom100-1 than on metaclust50.
+
+use hipmcl_bench::*;
+use hipmcl_core::MclConfig;
+use hipmcl_workloads::Dataset;
+
+fn max_ranks() -> usize {
+    std::env::var("HIPMCL_MAX_RANKS").ok().and_then(|s| s.parse().ok()).unwrap_or(400)
+}
+
+fn main() {
+    println!("Table V: mean per-rank CPU and GPU idle time in Pipelined SUMMA\n");
+    let sweeps: [(Dataset, &[usize]); 2] = [
+        (Dataset::Isom100_1, &[100, 144, 196, 289, 400]),
+        (Dataset::Metaclust50, &[256, 361, 529, 729]),
+    ];
+
+    let headers = ["network", "nodes", "CPU idle", "GPU idle", "CPU/GPU"];
+    let mut rows = Vec::new();
+    for (d, nodes_list) in sweeps {
+        let cfg = bench_mcl_config_for(d, MclConfig::optimized(4 << 30));
+        for &p in nodes_list.iter().filter(|&&n| n <= max_ranks()) {
+            eprintln!("running {} on {} nodes ...", d.name(), p);
+            let r = run_scattered(p, d, &cfg);
+            rows.push(vec![
+                d.name().to_string(),
+                p.to_string(),
+                fmt_time(r.cpu_idle),
+                fmt_time(r.gpu_idle),
+                format!("{:.1}", r.cpu_idle / r.gpu_idle.max(1e-12)),
+            ]);
+        }
+    }
+
+    print_table(&headers, &rows);
+    let csv = write_csv("table5_idle_times", &headers, &rows);
+    println!("\ncsv: {}", csv.display());
+    print_paper_note(&[
+        "Table V: isom100-1 100 nodes: CPU 178s / GPU 26.5s idle, falling",
+        "to 50.8s / 23.3s at 400; metaclust50 256 nodes: 18.1m / 18.8m,",
+        "falling to 10.3m / 6.6m at 729. Expected shape: CPU idle above",
+        "GPU idle on the denser isom100-1 (compute-bound kernels keep the",
+        "host waiting), both decreasing with node count.",
+    ]);
+}

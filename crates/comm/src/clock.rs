@@ -1,0 +1,196 @@
+//! Per-rank virtual clocks and communication statistics.
+//!
+//! The reproduction separates *what happens* (real data movement, real
+//! kernels — correctness) from *how long it takes on Summit* (the virtual
+//! clock). Each rank advances its own clock: compute sections add modeled
+//! kernel durations, message receipt synchronizes with the sender's clock
+//! plus the α–β transfer cost. The per-stage timers that feed every paper
+//! table accumulate out of these clocks.
+
+/// A virtual clock, in seconds of modeled machine time.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct VClock {
+    now: f64,
+}
+
+impl VClock {
+    /// A clock at time zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Current virtual time in seconds.
+    #[inline]
+    pub fn now(&self) -> f64 {
+        self.now
+    }
+
+    /// Advances by `dt` seconds (compute or transfer cost).
+    #[inline]
+    pub fn advance(&mut self, dt: f64) {
+        debug_assert!(dt >= 0.0, "negative duration {dt}");
+        self.now += dt;
+    }
+
+    /// Waits until `t`: jumps forward if `t` is in the future, otherwise
+    /// no-op. Returns the idle time spent waiting (0 if none) — the
+    /// quantity Table V reports for CPUs and GPUs.
+    #[inline]
+    pub fn wait_until(&mut self, t: f64) -> f64 {
+        if t > self.now {
+            let idle = t - self.now;
+            self.now = t;
+            idle
+        } else {
+            0.0
+        }
+    }
+
+    /// Resets to zero (between experiments).
+    pub fn reset(&mut self) {
+        self.now = 0.0;
+    }
+}
+
+/// Message and byte counters for one rank.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct CommStats {
+    /// Point-to-point messages sent.
+    pub msgs_sent: usize,
+    /// Bytes sent (modeled wire bytes).
+    pub bytes_sent: u64,
+    /// Messages received.
+    pub msgs_recv: usize,
+    /// Bytes received.
+    pub bytes_recv: u64,
+}
+
+impl CommStats {
+    /// Accumulates another rank's stats (for whole-job reporting).
+    pub fn merge(&mut self, other: &CommStats) {
+        self.msgs_sent += other.msgs_sent;
+        self.bytes_sent += other.bytes_sent;
+        self.msgs_recv += other.msgs_recv;
+        self.bytes_recv += other.bytes_recv;
+    }
+}
+
+/// Named per-stage virtual-time buckets, mirroring the stage breakdown of
+/// the paper's Fig. 1/5/8 (local SpGEMM, memory estimation, SUMMA
+/// broadcast, merging, pruning, other).
+#[derive(Clone, Debug, Default)]
+pub struct StageTimers {
+    entries: Vec<(String, f64)>,
+}
+
+impl StageTimers {
+    /// Empty timer set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `dt` seconds to stage `name`.
+    pub fn add(&mut self, name: &str, dt: f64) {
+        debug_assert!(dt >= 0.0, "negative stage time {dt} for {name}");
+        if let Some(e) = self.entries.iter_mut().find(|(n, _)| n == name) {
+            e.1 += dt;
+        } else {
+            self.entries.push((name.to_string(), dt));
+        }
+    }
+
+    /// Time recorded for `name` (0 if absent).
+    pub fn get(&self, name: &str) -> f64 {
+        self.entries.iter().find(|(n, _)| n == name).map_or(0.0, |(_, t)| *t)
+    }
+
+    /// All stages in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, f64)> {
+        self.entries.iter().map(|(n, t)| (n.as_str(), *t))
+    }
+
+    /// Sum over all stages.
+    pub fn total(&self) -> f64 {
+        self.entries.iter().map(|(_, t)| t).sum()
+    }
+
+    /// Merges by taking the per-stage *maximum* across ranks — the
+    /// convention for reporting distributed stage times (the slowest rank
+    /// determines the stage's wall time).
+    pub fn merge_max(&mut self, other: &StageTimers) {
+        for (name, t) in other.iter() {
+            if let Some(e) = self.entries.iter_mut().find(|(n, _)| n == name) {
+                e.1 = e.1.max(t);
+            } else {
+                self.entries.push((name.to_string(), t));
+            }
+        }
+    }
+
+    /// Merges by summing per-stage (accumulating iterations).
+    pub fn merge_add(&mut self, other: &StageTimers) {
+        for (name, t) in other.iter() {
+            self.add(name, t);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clock_advances_and_waits() {
+        let mut c = VClock::new();
+        c.advance(1.5);
+        assert_eq!(c.now(), 1.5);
+        let idle = c.wait_until(2.0);
+        assert_eq!(idle, 0.5);
+        assert_eq!(c.now(), 2.0);
+        assert_eq!(c.wait_until(1.0), 0.0, "past deadlines are free");
+        assert_eq!(c.now(), 2.0);
+    }
+
+    #[test]
+    fn clock_reset() {
+        let mut c = VClock::new();
+        c.advance(3.0);
+        c.reset();
+        assert_eq!(c.now(), 0.0);
+    }
+
+    #[test]
+    fn stats_merge() {
+        let mut a = CommStats { msgs_sent: 1, bytes_sent: 10, msgs_recv: 2, bytes_recv: 20 };
+        let b = CommStats { msgs_sent: 3, bytes_sent: 30, msgs_recv: 4, bytes_recv: 40 };
+        a.merge(&b);
+        assert_eq!(a.msgs_sent, 4);
+        assert_eq!(a.bytes_recv, 60);
+    }
+
+    #[test]
+    fn stage_timers_accumulate() {
+        let mut t = StageTimers::new();
+        t.add("spgemm", 1.0);
+        t.add("spgemm", 2.0);
+        t.add("merge", 0.5);
+        assert_eq!(t.get("spgemm"), 3.0);
+        assert_eq!(t.get("absent"), 0.0);
+        assert_eq!(t.total(), 3.5);
+    }
+
+    #[test]
+    fn stage_timers_merge_max_and_add() {
+        let mut a = StageTimers::new();
+        a.add("x", 1.0);
+        let mut b = StageTimers::new();
+        b.add("x", 3.0);
+        b.add("y", 2.0);
+        let mut mx = a.clone();
+        mx.merge_max(&b);
+        assert_eq!(mx.get("x"), 3.0);
+        assert_eq!(mx.get("y"), 2.0);
+        a.merge_add(&b);
+        assert_eq!(a.get("x"), 4.0);
+    }
+}

@@ -1,0 +1,344 @@
+//! The communicator: point-to-point messaging with virtual-clock charging,
+//! and communicator splitting (`MPI_Comm_split` analogue).
+
+use crate::clock::{CommStats, VClock};
+use crate::machine::MachineModel;
+use crate::packet::{Packet, WireSize};
+use crossbeam_channel::{Receiver, Sender};
+use std::any::Any;
+use std::cell::RefCell;
+use std::rc::Rc;
+use std::sync::Arc;
+
+/// Per-rank mailbox: the world receive channel plus a buffer for packets
+/// that arrived before anyone asked for them (out-of-order matching).
+pub(crate) struct Mailbox {
+    rx: Receiver<Packet>,
+    pending: RefCell<Vec<Packet>>,
+}
+
+/// State shared by all ranks of a universe.
+pub(crate) struct Shared {
+    pub(crate) senders: Vec<Sender<Packet>>,
+    pub(crate) model: MachineModel,
+}
+
+/// A communicator handle owned by one rank.
+///
+/// The world communicator is created by [`crate::Universe::run`]; grid
+/// row/column communicators come from [`Comm::split`]. All communicators
+/// of a rank share the rank's mailbox and virtual clock.
+pub struct Comm {
+    /// Context id separating traffic of different communicators.
+    ctx: u64,
+    /// This rank within the communicator.
+    rank: usize,
+    /// Map from communicator rank to world rank.
+    world_ranks: Vec<usize>,
+    /// Monotone counter deriving child contexts (kept in lockstep across
+    /// ranks because splits execute in program order on every rank).
+    split_seq: u64,
+    /// Monotone counter issuing collective tags, likewise in lockstep.
+    coll_seq: std::cell::Cell<u64>,
+    shared: Arc<Shared>,
+    mailbox: Rc<Mailbox>,
+    clock: Rc<RefCell<VClock>>,
+    stats: Rc<RefCell<CommStats>>,
+}
+
+impl Comm {
+    pub(crate) fn new_world(
+        rank: usize,
+        size: usize,
+        shared: Arc<Shared>,
+        rx: Receiver<Packet>,
+    ) -> Self {
+        Self {
+            ctx: 0,
+            rank,
+            world_ranks: (0..size).collect(),
+            split_seq: 0,
+            coll_seq: std::cell::Cell::new(0),
+            shared,
+            mailbox: Rc::new(Mailbox { rx, pending: RefCell::new(Vec::new()) }),
+            clock: Rc::new(RefCell::new(VClock::new())),
+            stats: Rc::new(RefCell::new(CommStats::default())),
+        }
+    }
+
+    /// Rank of this process in this communicator.
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// Number of ranks in this communicator.
+    pub fn size(&self) -> usize {
+        self.world_ranks.len()
+    }
+
+    /// World rank of `rank` in this communicator.
+    pub fn world_rank_of(&self, rank: usize) -> usize {
+        self.world_ranks[rank]
+    }
+
+    /// The machine model in force.
+    pub fn model(&self) -> &MachineModel {
+        &self.shared.model
+    }
+
+    /// Current virtual time of this rank.
+    pub fn now(&self) -> f64 {
+        self.clock.borrow().now()
+    }
+
+    /// Advances this rank's virtual clock by `dt` seconds of compute.
+    pub fn advance_clock(&self, dt: f64) {
+        self.clock.borrow_mut().advance(dt);
+    }
+
+    /// Jumps this rank's clock forward to `t` (if later); returns idle time.
+    pub fn wait_clock_until(&self, t: f64) -> f64 {
+        self.clock.borrow_mut().wait_until(t)
+    }
+
+    /// Resets clock and statistics (between experiments in one universe).
+    pub fn reset_instrumentation(&self) {
+        self.clock.borrow_mut().reset();
+        *self.stats.borrow_mut() = CommStats::default();
+    }
+
+    /// Communication statistics accumulated so far.
+    pub fn stats(&self) -> CommStats {
+        *self.stats.borrow()
+    }
+
+    /// Issues the next collective sequence number. Collectives execute in
+    /// identical program order on every rank of a communicator, so these
+    /// counters stay in lockstep and uniquely tag each collective's
+    /// traffic.
+    pub(crate) fn next_coll_seq(&self) -> u64 {
+        let s = self.coll_seq.get();
+        self.coll_seq.set(s + 1);
+        s
+    }
+
+    /// Sends `value` to `dst` (communicator rank) with `tag`.
+    ///
+    /// Non-blocking in virtual time: the send itself charges nothing; the
+    /// α–β cost is charged at the receiver against the sender's clock, the
+    /// usual LogP-style accounting.
+    pub fn send<T: Any + Send + WireSize>(&self, dst: usize, tag: u64, value: T) {
+        let bytes = value.wire_bytes();
+        self.send_with_bytes(dst, tag, value, bytes)
+    }
+
+    /// [`Comm::send`] with an explicit wire size (for payloads whose
+    /// modeled size differs from their in-memory size).
+    pub fn send_with_bytes<T: Any + Send>(&self, dst: usize, tag: u64, value: T, bytes: usize) {
+        let world_dst = self.world_ranks[dst];
+        let pkt = Packet {
+            src_world: self.world_ranks[self.rank],
+            ctx: self.ctx,
+            tag,
+            send_clock: self.now(),
+            bytes,
+            payload: Box::new(value),
+        };
+        {
+            let mut st = self.stats.borrow_mut();
+            st.msgs_sent += 1;
+            st.bytes_sent += bytes as u64;
+        }
+        self.shared.senders[world_dst]
+            .send(pkt)
+            .expect("peer rank hung up (panicked?)");
+    }
+
+    /// Receives the message `(src, tag)` (communicator ranks), blocking
+    /// until it arrives. Charges `max(own_clock, sender_clock + α + βb)`.
+    pub fn recv<T: Any + Send>(&self, src: usize, tag: u64) -> T {
+        let world_src = self.world_ranks[src];
+        let pkt = self.match_packet(world_src, tag);
+        {
+            let mut st = self.stats.borrow_mut();
+            st.msgs_recv += 1;
+            st.bytes_recv += pkt.bytes as u64;
+        }
+        let arrival = pkt.send_clock + self.shared.model.p2p_time(pkt.bytes);
+        self.clock.borrow_mut().wait_until(arrival);
+        *pkt
+            .payload
+            .downcast::<T>()
+            .unwrap_or_else(|_| panic!("type mismatch receiving tag {tag} from {src}"))
+    }
+
+    /// Pulls the first packet matching `(world_src, ctx, tag)`, buffering
+    /// everything else.
+    fn match_packet(&self, world_src: usize, tag: u64) -> Packet {
+        // Check the pending buffer first.
+        {
+            let mut pending = self.mailbox.pending.borrow_mut();
+            if let Some(pos) = pending
+                .iter()
+                .position(|p| p.src_world == world_src && p.ctx == self.ctx && p.tag == tag)
+            {
+                return pending.swap_remove(pos);
+            }
+        }
+        loop {
+            let pkt = self
+                .mailbox
+                .rx
+                .recv()
+                .expect("universe torn down while receiving");
+            if pkt.src_world == world_src && pkt.ctx == self.ctx && pkt.tag == tag {
+                return pkt;
+            }
+            self.mailbox.pending.borrow_mut().push(pkt);
+        }
+    }
+
+    /// Splits the communicator like `MPI_Comm_split`: ranks with the same
+    /// `color` form a new communicator, ordered by `key` (ties broken by
+    /// parent rank). Collective — every rank must call it.
+    pub fn split(&mut self, color: u64, key: u64) -> Comm {
+        // Exchange (color, key) among all parent ranks.
+        let pairs: Vec<(u64, u64)> = crate::collectives::allgather(self, (color, key));
+        let mut members: Vec<(u64, usize)> = pairs
+            .iter()
+            .enumerate()
+            .filter(|(_, &(c, _))| c == color)
+            .map(|(r, &(_, k))| (k, r))
+            .collect();
+        members.sort();
+        let world_ranks: Vec<usize> =
+            members.iter().map(|&(_, parent_rank)| self.world_ranks[parent_rank]).collect();
+        let new_rank = members
+            .iter()
+            .position(|&(_, parent_rank)| parent_rank == self.rank)
+            .expect("calling rank must be in its own color group");
+
+        // Derive a context id deterministically and identically on all
+        // ranks of the group: parent ctx, split ordinal, and color.
+        self.split_seq += 1;
+        let ctx = fxhash3(self.ctx, self.split_seq, color);
+
+        Comm {
+            ctx,
+            rank: new_rank,
+            world_ranks,
+            split_seq: 0,
+            coll_seq: std::cell::Cell::new(0),
+            shared: Arc::clone(&self.shared),
+            mailbox: Rc::clone(&self.mailbox),
+            clock: Rc::clone(&self.clock),
+            stats: Rc::clone(&self.stats),
+        }
+    }
+}
+
+/// Deterministic 3-word mix for context derivation.
+fn fxhash3(a: u64, b: u64, c: u64) -> u64 {
+    let mut h = 0xcbf29ce484222325u64;
+    for w in [a, b, c] {
+        h ^= w;
+        h = h.wrapping_mul(0x100000001b3);
+        h ^= h >> 29;
+    }
+    h | 1 // never collide with the world context 0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::universe::Universe;
+
+    #[test]
+    fn fxhash3_is_deterministic_and_nonzero() {
+        assert_eq!(fxhash3(1, 2, 3), fxhash3(1, 2, 3));
+        assert_ne!(fxhash3(1, 2, 3), fxhash3(1, 2, 4));
+        assert_ne!(fxhash3(0, 0, 0), 0);
+    }
+
+    #[test]
+    fn p2p_roundtrip() {
+        let results = Universe::run(2, MachineModel::summit(), |comm| {
+            if comm.rank() == 0 {
+                comm.send(1, 7, vec![1.0f64, 2.0, 3.0]);
+                0.0
+            } else {
+                let v: Vec<f64> = comm.recv(0, 7);
+                v.iter().sum()
+            }
+        });
+        assert_eq!(results[1], 6.0);
+    }
+
+    #[test]
+    fn recv_charges_transfer_time() {
+        let results = Universe::run(2, MachineModel::summit(), |comm| {
+            if comm.rank() == 0 {
+                comm.advance_clock(1.0); // sender is busy first
+                comm.send(1, 0, vec![0u8; 1_000_000]);
+            } else {
+                let _: Vec<u8> = comm.recv(0, 0);
+            }
+            comm.now()
+        });
+        let expect = 1.0 + MachineModel::summit().p2p_time(1_000_000 + 8);
+        assert!((results[1] - expect).abs() < 1e-9, "got {} want {}", results[1], expect);
+    }
+
+    #[test]
+    fn out_of_order_tags_match() {
+        let results = Universe::run(2, MachineModel::summit(), |comm| {
+            if comm.rank() == 0 {
+                comm.send(1, 1, 10u64);
+                comm.send(1, 2, 20u64);
+                0
+            } else {
+                // Receive in reverse tag order.
+                let b: u64 = comm.recv(0, 2);
+                let a: u64 = comm.recv(0, 1);
+                a * 100 + b
+            }
+        });
+        assert_eq!(results[1], 1020);
+    }
+
+    #[test]
+    fn split_creates_independent_groups() {
+        let results = Universe::run(4, MachineModel::summit(), |mut comm| {
+            // Colors {0,1}: ranks 0,1 in group 0; ranks 2,3 in group 1.
+            let color = (comm.rank() / 2) as u64;
+            let sub = comm.split(color, comm.rank() as u64);
+            assert_eq!(sub.size(), 2);
+            // Exchange within each group; same tags must not cross groups.
+            if sub.rank() == 0 {
+                sub.send(1, 9, comm.rank() as u64);
+                u64::MAX
+            } else {
+                sub.recv::<u64>(0, 9)
+            }
+        });
+        assert_eq!(results[1], 0, "rank 1 hears from rank 0");
+        assert_eq!(results[3], 2, "rank 3 hears from rank 2");
+    }
+
+    #[test]
+    fn stats_count_messages() {
+        let results = Universe::run(2, MachineModel::summit(), |comm| {
+            if comm.rank() == 0 {
+                comm.send(1, 0, 1u64);
+                comm.send(1, 1, 2u64);
+            } else {
+                let _: u64 = comm.recv(0, 0);
+                let _: u64 = comm.recv(0, 1);
+            }
+            comm.stats()
+        });
+        assert_eq!(results[0].msgs_sent, 2);
+        assert_eq!(results[1].msgs_recv, 2);
+        assert_eq!(results[0].bytes_sent, 16);
+    }
+}

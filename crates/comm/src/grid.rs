@@ -1,0 +1,136 @@
+//! The 2D process grid of Sparse SUMMA: `√P × √P` ranks, each owning one
+//! block of every distributed matrix, with row and column
+//! subcommunicators for the stage broadcasts (§II, "Overview of Sparse
+//! SUMMA"). HipMCL requires `P` to be a perfect square; so does this grid.
+
+use crate::comm::Comm;
+
+/// A rank's view of the square process grid.
+pub struct ProcGrid {
+    /// World (grid-parent) communicator over all `P` ranks.
+    pub world: Comm,
+    /// Communicator over this rank's grid row (size `√P`).
+    pub row_comm: Comm,
+    /// Communicator over this rank's grid column (size `√P`).
+    pub col_comm: Comm,
+    /// Grid side length `√P`.
+    pub side: usize,
+    /// This rank's grid row.
+    pub row: usize,
+    /// This rank's grid column.
+    pub col: usize,
+}
+
+impl ProcGrid {
+    /// Builds the grid from a world communicator whose size is a perfect
+    /// square. Ranks are laid out row-major: world rank `r` sits at grid
+    /// coordinates `(r / side, r % side)`. Collective.
+    pub fn new(mut world: Comm) -> Self {
+        let p = world.size();
+        let side = integer_sqrt(p);
+        assert_eq!(side * side, p, "SUMMA grid needs a perfect-square rank count, got {p}");
+        let rank = world.rank();
+        let (row, col) = (rank / side, rank % side);
+        let row_comm = world.split(row as u64, col as u64);
+        let col_comm = world.split((side + col) as u64, row as u64);
+        debug_assert_eq!(row_comm.rank(), col);
+        debug_assert_eq!(col_comm.rank(), row);
+        Self { world, row_comm, col_comm, side, row, col }
+    }
+
+    /// World rank of grid position `(row, col)`.
+    pub fn rank_of(&self, row: usize, col: usize) -> usize {
+        debug_assert!(row < self.side && col < self.side);
+        row * self.side + col
+    }
+
+    /// Total rank count `P`.
+    pub fn size(&self) -> usize {
+        self.side * self.side
+    }
+}
+
+/// Exact integer square root (floor).
+pub fn integer_sqrt(n: usize) -> usize {
+    if n == 0 {
+        return 0;
+    }
+    let mut x = (n as f64).sqrt() as usize;
+    // Fix up floating error at the boundary.
+    while (x + 1) * (x + 1) <= n {
+        x += 1;
+    }
+    while x * x > n {
+        x -= 1;
+    }
+    x
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::collectives::{allgather, allreduce};
+    use crate::machine::MachineModel;
+    use crate::universe::Universe;
+
+    #[test]
+    fn integer_sqrt_exact_and_floor() {
+        assert_eq!(integer_sqrt(0), 0);
+        assert_eq!(integer_sqrt(1), 1);
+        assert_eq!(integer_sqrt(16), 4);
+        assert_eq!(integer_sqrt(17), 4);
+        assert_eq!(integer_sqrt(24), 4);
+        assert_eq!(integer_sqrt(25), 5);
+    }
+
+    #[test]
+    fn grid_coordinates_are_row_major() {
+        let results = Universe::run(9, MachineModel::summit(), |comm| {
+            let world_rank = comm.rank();
+            let grid = ProcGrid::new(comm);
+            assert_eq!(grid.rank_of(grid.row, grid.col), world_rank);
+            (grid.row, grid.col, grid.side)
+        });
+        assert_eq!(results[0], (0, 0, 3));
+        assert_eq!(results[5], (1, 2, 3));
+        assert_eq!(results[8], (2, 2, 3));
+    }
+
+    #[test]
+    fn row_and_col_comms_partition_correctly() {
+        let results = Universe::run(4, MachineModel::summit(), |comm| {
+            let grid = ProcGrid::new(comm);
+            // Sum of world ranks along my row and along my column.
+            let row_sum = allreduce(&grid.row_comm, grid.world.rank() as u64, |a, b| a + b);
+            let col_sum = allreduce(&grid.col_comm, grid.world.rank() as u64, |a, b| a + b);
+            (row_sum, col_sum)
+        });
+        // Grid: row 0 = {0,1}, row 1 = {2,3}; col 0 = {0,2}, col 1 = {1,3}.
+        assert_eq!(results[0], (1, 2));
+        assert_eq!(results[1], (1, 4));
+        assert_eq!(results[2], (5, 2));
+        assert_eq!(results[3], (5, 4));
+    }
+
+    #[test]
+    fn row_comm_ranks_are_columns() {
+        let results = Universe::run(9, MachineModel::summit(), |comm| {
+            let grid = ProcGrid::new(comm);
+            let cols: Vec<u64> = allgather(&grid.row_comm, grid.col as u64);
+            let rows: Vec<u64> = allgather(&grid.col_comm, grid.row as u64);
+            (cols, rows)
+        });
+        for r in results {
+            assert_eq!(r.0, vec![0, 1, 2], "row comm ordered by column");
+            assert_eq!(r.1, vec![0, 1, 2], "col comm ordered by row");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "rank panicked")]
+    fn non_square_rank_count_rejected() {
+        let _ = Universe::run(3, MachineModel::summit(), |comm| {
+            let _ = ProcGrid::new(comm);
+        });
+    }
+}

@@ -1,0 +1,42 @@
+//! Simulated-MPI communication substrate for `hipmcl-rs`.
+//!
+//! HipMCL is an MPI + OpenMP code; this reproduction has no MPI cluster, so
+//! the distributed algorithms run on an in-process message-passing runtime
+//! instead (see DESIGN.md, substitution table). The design goals, in order:
+//!
+//! 1. **Real semantics** — ranks are OS threads; data really moves through
+//!    typed channels; collectives are built from point-to-point sends over
+//!    binomial trees exactly as a small MPI would build them. Results are
+//!    bit-identical to a serial execution, so every distributed algorithm
+//!    in the upper crates is tested for *correctness*, not merely mimed.
+//! 2. **Modeled time** — every rank carries a virtual clock ([`clock`]).
+//!    Message receipt charges an α–β (latency + bytes/bandwidth) cost from
+//!    the [`machine::MachineModel`]; compute sections charge kernel-model
+//!    durations. Tree collectives accumulate these along their critical
+//!    path, so `lg p` factors, load imbalance, and idle time emerge rather
+//!    than being hand-computed. This is what lets a laptop reproduce the
+//!    *shape* of 100–1024-node Summit results.
+//! 3. **Subcommunicators** — Sparse SUMMA lives on a `√P × √P` grid with
+//!    per-row and per-column broadcast domains ([`grid`]), created by
+//!    `Comm::split` like `MPI_Comm_split`.
+//!
+//! Entry point: [`universe::Universe::run`] spawns `P` ranks and hands each
+//! a [`comm::Comm`].
+
+pub mod clock;
+pub mod collectives;
+pub mod comm;
+pub mod grid;
+pub mod machine;
+pub mod packet;
+pub mod universe;
+
+pub use clock::{CommStats, StageTimers, VClock};
+pub use comm::Comm;
+pub use grid::ProcGrid;
+pub use machine::{GpuLib, MachineModel, SpgemmKernel};
+pub use packet::WireSize;
+pub use universe::Universe;
+
+#[cfg(test)]
+mod proptests;

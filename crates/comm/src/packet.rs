@@ -1,0 +1,139 @@
+//! Wire-level pieces of the simulated MPI: packets and payload sizing.
+//!
+//! Payloads move between ranks as `Box<dyn Any>` — no serialization is
+//! performed (the "network" is shared memory), but every payload reports a
+//! wire size so the virtual clock can charge realistic transfer costs.
+
+use std::any::Any;
+
+/// Reports how many bytes a value would occupy on a real interconnect.
+///
+/// Implemented for the primitives and containers the upper layers ship
+/// around. `Arc<T>` reports the size of the pointee: broadcasting a shared
+/// matrix still costs full transfers on a real network even if this
+/// simulation moves only a pointer.
+pub trait WireSize {
+    /// Serialized size in bytes.
+    fn wire_bytes(&self) -> usize;
+}
+
+macro_rules! impl_wire_primitive {
+    ($($t:ty),*) => {
+        $(impl WireSize for $t {
+            fn wire_bytes(&self) -> usize {
+                std::mem::size_of::<$t>()
+            }
+        })*
+    };
+}
+
+impl_wire_primitive!((), bool, u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+impl<T: WireSize> WireSize for Vec<T> {
+    fn wire_bytes(&self) -> usize {
+        // Length prefix + elements. For primitive T this collapses to the
+        // obvious `8 + n * size_of::<T>()` without a per-element virtual
+        // call in practice (monomorphized).
+        8 + self.iter().map(WireSize::wire_bytes).sum::<usize>()
+    }
+}
+
+impl<T: WireSize> WireSize for Option<T> {
+    fn wire_bytes(&self) -> usize {
+        1 + self.as_ref().map_or(0, WireSize::wire_bytes)
+    }
+}
+
+impl<A: WireSize, B: WireSize> WireSize for (A, B) {
+    fn wire_bytes(&self) -> usize {
+        self.0.wire_bytes() + self.1.wire_bytes()
+    }
+}
+
+impl<A: WireSize, B: WireSize, C: WireSize> WireSize for (A, B, C) {
+    fn wire_bytes(&self) -> usize {
+        self.0.wire_bytes() + self.1.wire_bytes() + self.2.wire_bytes()
+    }
+}
+
+impl<T: WireSize> WireSize for std::sync::Arc<T> {
+    fn wire_bytes(&self) -> usize {
+        self.as_ref().wire_bytes()
+    }
+}
+
+impl<T: hipmcl_sparse::Scalar> WireSize for hipmcl_sparse::Csc<T> {
+    fn wire_bytes(&self) -> usize {
+        self.bytes()
+    }
+}
+
+impl<T: hipmcl_sparse::Scalar> WireSize for hipmcl_sparse::Triples<T> {
+    fn wire_bytes(&self) -> usize {
+        self.bytes()
+    }
+}
+
+impl<T: hipmcl_sparse::Scalar> WireSize for hipmcl_sparse::Dcsc<T> {
+    fn wire_bytes(&self) -> usize {
+        self.bytes()
+    }
+}
+
+/// One in-flight message.
+pub(crate) struct Packet {
+    /// World rank of the sender.
+    pub src_world: usize,
+    /// Communicator context the message belongs to (world = 0; splits get
+    /// derived ids), preventing cross-communicator tag collisions.
+    pub ctx: u64,
+    /// User or collective tag.
+    pub tag: u64,
+    /// Sender's virtual clock at send time.
+    pub send_clock: f64,
+    /// Modeled wire size.
+    pub bytes: usize,
+    /// The payload itself.
+    pub payload: Box<dyn Any + Send>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn primitive_sizes() {
+        assert_eq!(0u32.wire_bytes(), 4);
+        assert_eq!(0.0f64.wire_bytes(), 8);
+        assert_eq!(().wire_bytes(), 0);
+    }
+
+    #[test]
+    fn vec_size_includes_length_prefix() {
+        let v = vec![1u32, 2, 3];
+        assert_eq!(v.wire_bytes(), 8 + 12);
+        let empty: Vec<f64> = vec![];
+        assert_eq!(empty.wire_bytes(), 8);
+    }
+
+    #[test]
+    fn arc_reports_pointee_size() {
+        let v = Arc::new(vec![0u64; 10]);
+        assert_eq!(v.wire_bytes(), 8 + 80);
+    }
+
+    #[test]
+    fn csc_reports_storage_size() {
+        let m = hipmcl_sparse::Csc::<f64>::identity(4);
+        assert_eq!(m.wire_bytes(), m.bytes());
+        assert!(m.wire_bytes() > 0);
+    }
+
+    #[test]
+    fn tuple_and_option() {
+        assert_eq!((1u32, 2u64).wire_bytes(), 12);
+        assert_eq!(Some(5u16).wire_bytes(), 3);
+        assert_eq!(None::<u16>.wire_bytes(), 1);
+    }
+}

@@ -1,0 +1,101 @@
+//! Property tests over the collective operations: for random rank counts,
+//! roots and payloads, the tree implementations must agree with their
+//! sequential specifications, and virtual clocks must satisfy basic
+//! sanity (monotonicity, synchronization bounds).
+
+use crate::collectives::*;
+use crate::machine::MachineModel;
+use crate::universe::Universe;
+use proptest::prelude::*;
+
+proptest! {
+    // Thread-spawning tests are comparatively expensive; keep the case
+    // counts modest.
+    #![proptest_config(ProptestConfig { cases: 16, ..ProptestConfig::default() })]
+
+    #[test]
+    fn bcast_delivers_root_value(p in 1usize..10, root_sel in 0usize..10, payload in any::<u64>()) {
+        let root = root_sel % p;
+        let results = Universe::run(p, MachineModel::summit(), move |comm| {
+            let v = (comm.rank() == root).then_some(payload);
+            bcast(&comm, root, v)
+        });
+        prop_assert!(results.iter().all(|&v| v == payload));
+    }
+
+    #[test]
+    fn reduce_matches_sequential_fold(p in 1usize..10, root_sel in 0usize..10, values in proptest::collection::vec(0u64..1000, 10)) {
+        let root = root_sel % p;
+        let vals = values.clone();
+        let results = Universe::run(p, MachineModel::summit(), move |comm| {
+            reduce(&comm, root, vals[comm.rank()], |a, b| a + b)
+        });
+        let expect: u64 = values[..p].iter().sum();
+        prop_assert_eq!(results[root], Some(expect));
+        for (r, v) in results.iter().enumerate() {
+            if r != root {
+                prop_assert_eq!(*v, None);
+            }
+        }
+    }
+
+    #[test]
+    fn allgather_orders_by_rank(p in 1usize..10) {
+        let results = Universe::run(p, MachineModel::summit(), |comm| {
+            allgather(&comm, comm.rank() as u64 * 7)
+        });
+        let expect: Vec<u64> = (0..p as u64).map(|r| r * 7).collect();
+        for r in results {
+            prop_assert_eq!(&r, &expect);
+        }
+    }
+
+    #[test]
+    fn allreduce_is_rank_symmetric(p in 2usize..10, values in proptest::collection::vec(0u64..1000, 10)) {
+        let vals = values.clone();
+        let results = Universe::run(p, MachineModel::summit(), move |comm| {
+            allreduce(&comm, vals[comm.rank()], u64::max)
+        });
+        let expect = *values[..p].iter().max().unwrap();
+        prop_assert!(results.iter().all(|&v| v == expect));
+    }
+
+    #[test]
+    fn clocks_never_regress_through_collectives(p in 2usize..8, busy in proptest::collection::vec(0u32..1000, 8)) {
+        let busy = busy.clone();
+        let results = Universe::run(p, MachineModel::summit(), move |comm| {
+            let before = comm.now();
+            comm.advance_clock(busy[comm.rank()] as f64 * 1e-6);
+            let mid = comm.now();
+            barrier(&comm);
+            let after = comm.now();
+            (before, mid, after)
+        });
+        // After a barrier every clock is at least the max pre-barrier time.
+        let max_mid = results.iter().map(|&(_, m, _)| m).fold(0.0f64, f64::max);
+        for &(before, mid, after) in &results {
+            prop_assert!(mid >= before);
+            prop_assert!(after >= mid);
+            prop_assert!(after >= max_mid, "barrier must not finish before the slowest rank");
+        }
+    }
+
+    #[test]
+    fn split_groups_are_self_consistent(p in 2usize..10, modulo in 2usize..4) {
+        let m = modulo;
+        let results = Universe::run(p, MachineModel::summit(), move |comm| {
+            let color = (comm.rank() % m) as u64;
+            let mut comm = comm;
+            let sub = comm.split(color, comm.rank() as u64);
+            // Every member sees the same member list, ordered by key.
+            let members: Vec<u64> = allgather(&sub, comm.rank() as u64);
+            (color, sub.rank(), members)
+        });
+        for (world_rank, (color, sub_rank, members)) in results.iter().enumerate() {
+            let expect: Vec<u64> =
+                (0..p as u64).filter(|r| r % m as u64 == *color).collect();
+            prop_assert_eq!(members, &expect);
+            prop_assert_eq!(members[*sub_rank], world_rank as u64, "own slot holds own rank");
+        }
+    }
+}

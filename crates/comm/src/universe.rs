@@ -1,0 +1,94 @@
+//! The universe: spawns `P` rank threads and hands each a world
+//! communicator, like `mpirun`.
+
+use crate::comm::{Comm, Shared};
+use crate::machine::MachineModel;
+use crate::packet::Packet;
+use crossbeam_channel::unbounded;
+use std::sync::Arc;
+
+/// Entry point of the simulated-MPI runtime.
+pub struct Universe;
+
+impl Universe {
+    /// Runs `f` on `p` ranks (one OS thread each) under the given machine
+    /// model and returns the per-rank results, indexed by rank.
+    ///
+    /// Rank bodies may use rayon internally for intra-rank threading (the
+    /// OpenMP analogue); the global rayon pool is shared by all ranks,
+    /// which matches the simulation's virtual-time accounting (intra-rank
+    /// parallel speedup is *modeled* via
+    /// [`MachineModel::thread_efficiency`], not measured).
+    ///
+    /// Panics in any rank propagate after all ranks are joined.
+    pub fn run<R, F>(p: usize, model: MachineModel, f: F) -> Vec<R>
+    where
+        R: Send,
+        F: Fn(Comm) -> R + Sync,
+    {
+        assert!(p > 0, "need at least one rank");
+        let (senders, receivers): (Vec<_>, Vec<_>) =
+            (0..p).map(|_| unbounded::<Packet>()).unzip();
+        let shared = Arc::new(Shared { senders, model });
+
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = receivers
+                .into_iter()
+                .enumerate()
+                .map(|(rank, rx)| {
+                    let shared = Arc::clone(&shared);
+                    let f = &f;
+                    scope.spawn(move || f(Comm::new_world(rank, p, shared, rx)))
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("rank panicked"))
+                .collect()
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_are_rank_ordered() {
+        let results = Universe::run(5, MachineModel::summit(), |comm| comm.rank() * 10);
+        assert_eq!(results, vec![0, 10, 20, 30, 40]);
+    }
+
+    #[test]
+    fn single_rank_universe() {
+        let results = Universe::run(1, MachineModel::summit(), |comm| {
+            assert_eq!(comm.size(), 1);
+            comm.advance_clock(2.0);
+            comm.now()
+        });
+        assert_eq!(results, vec![2.0]);
+    }
+
+    #[test]
+    fn sequential_universes_are_independent() {
+        for _ in 0..3 {
+            let r = Universe::run(3, MachineModel::summit(), |comm| {
+                if comm.rank() == 0 {
+                    comm.send(2, 0, 99u32);
+                    0
+                } else if comm.rank() == 2 {
+                    comm.recv::<u32>(0, 0)
+                } else {
+                    0
+                }
+            });
+            assert_eq!(r[2], 99);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one rank")]
+    fn zero_ranks_rejected() {
+        let _ = Universe::run(0, MachineModel::summit(), |_| ());
+    }
+}

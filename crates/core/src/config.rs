@@ -1,0 +1,141 @@
+//! MCL / HipMCL configuration.
+
+use hipmcl_gpu::select::SelectionPolicy;
+use hipmcl_sparse::colops::PruneParams;
+use hipmcl_summa::estimate::EstimatorKind;
+use hipmcl_summa::merge::MergeStrategy;
+use hipmcl_summa::spgemm::{PhasePlan, SummaConfig};
+
+/// Complete configuration of an MCL run.
+#[derive(Clone, Copy, Debug)]
+pub struct MclConfig {
+    /// Inflation parameter (Hadamard power). The paper uses 2 everywhere.
+    pub inflation: f64,
+    /// Pruning policy applied after every expansion. Cutoff, selection
+    /// and recovery are all honoured by both the serial and distributed
+    /// drivers (and tested to agree); the presets ship with recovery
+    /// disabled because the paper's evaluation parameters rarely trigger
+    /// it and the harness calibration assumes the selection-only regime.
+    pub prune: PruneParams,
+    /// Add missing self-loops (weight = 1) before normalizing — MCL's
+    /// standard aperiodicity fix.
+    pub add_self_loops: bool,
+    /// Symmetrize the input pattern with `max(a, aᵀ)` first (similarity
+    /// graphs are logically undirected).
+    pub symmetrize: bool,
+    /// Stop when the chaos statistic falls below this.
+    pub chaos_epsilon: f64,
+    /// Hard iteration cap.
+    pub max_iters: usize,
+    /// Distributed expansion settings (ignored by the serial driver).
+    pub summa: SummaConfig,
+}
+
+impl Default for MclConfig {
+    fn default() -> Self {
+        Self::optimized(u64::MAX)
+    }
+}
+
+impl MclConfig {
+    /// Baseline configuration reproducing *original* HipMCL: CPU heap
+    /// SpGEMM, exact symbolic memory estimation, multiway merge, bulk
+    /// synchronous.
+    pub fn original_hipmcl(per_rank_budget: u64) -> Self {
+        Self {
+            inflation: 2.0,
+            prune: PruneParams { recover_num: 0, recover_pct: 0.0, ..PruneParams::default() },
+            add_self_loops: true,
+            symmetrize: true,
+            chaos_epsilon: 1e-3,
+            max_iters: 100,
+            summa: SummaConfig::original_hipmcl(per_rank_budget),
+        }
+    }
+
+    /// The paper's optimized HipMCL: GPU kernels, probabilistic/hybrid
+    /// estimation, Pipelined Sparse SUMMA with binary merge.
+    pub fn optimized(per_rank_budget: u64) -> Self {
+        Self {
+            summa: SummaConfig::optimized(per_rank_budget),
+            ..Self::original_hipmcl(per_rank_budget)
+        }
+    }
+
+    /// Optimized kernels without overlap (Fig. 1 middle bar).
+    pub fn optimized_no_overlap(per_rank_budget: u64) -> Self {
+        Self {
+            summa: SummaConfig::optimized_no_overlap(per_rank_budget),
+            ..Self::original_hipmcl(per_rank_budget)
+        }
+    }
+
+    /// Small-graph testing preset: keep at most `select` entries per
+    /// column, single fixed phase, deterministic seed.
+    pub fn testing(select: usize) -> Self {
+        Self {
+            prune: PruneParams {
+                cutoff: 1e-4,
+                select,
+                recover_num: 0,
+                recover_pct: 0.0,
+            },
+            summa: SummaConfig {
+                phases: PhasePlan::Fixed(1),
+                policy: SelectionPolicy::cpu_only(),
+                merge: MergeStrategy::Multiway,
+                pipelined: false,
+                seed: 42,
+            },
+            ..Self::original_hipmcl(u64::MAX)
+        }
+    }
+
+    /// Overrides the estimator while keeping everything else.
+    pub fn with_estimator(mut self, estimator: EstimatorKind, per_rank_budget: u64) -> Self {
+        self.summa.phases = PhasePlan::Auto { estimator, per_rank_budget };
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_differ_in_summa_settings() {
+        let orig = MclConfig::original_hipmcl(1 << 30);
+        let opt = MclConfig::optimized(1 << 30);
+        assert_eq!(orig.inflation, 2.0);
+        assert!(!orig.summa.pipelined);
+        assert!(opt.summa.pipelined);
+        assert_eq!(opt.summa.merge, MergeStrategy::Binary);
+        assert_eq!(orig.summa.merge, MergeStrategy::Multiway);
+    }
+
+    #[test]
+    fn presets_ship_with_recovery_disabled() {
+        let c = MclConfig::optimized(1);
+        assert_eq!(c.prune.recover_num, 0);
+    }
+
+    #[test]
+    fn testing_preset_bounds_columns() {
+        let c = MclConfig::testing(8);
+        assert_eq!(c.prune.select, 8);
+        assert!(matches!(c.summa.phases, PhasePlan::Fixed(1)));
+    }
+
+    #[test]
+    fn with_estimator_overrides_phases() {
+        let c = MclConfig::testing(8)
+            .with_estimator(EstimatorKind::Probabilistic { r: 7 }, 1000);
+        match c.summa.phases {
+            PhasePlan::Auto { estimator, per_rank_budget } => {
+                assert_eq!(estimator, EstimatorKind::Probabilistic { r: 7 });
+                assert_eq!(per_rank_budget, 1000);
+            }
+            _ => panic!("expected auto phases"),
+        }
+    }
+}

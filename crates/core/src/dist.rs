@@ -1,0 +1,444 @@
+//! The distributed HipMCL driver.
+//!
+//! One MCL iteration on the `√P × √P` grid:
+//!
+//! 1. **Memory estimation** (§V) — inside the SUMMA phase planner,
+//!    exact-symbolic or probabilistic per the config.
+//! 2. **Expansion** `B = A·A` via (Pipelined) Sparse SUMMA, with pruning
+//!    *fused into the phases*: each phase's merged column slab is pruned
+//!    (cutoff + distributed top-k selection) before the next phase runs,
+//!    so the unpruned matrix never exists at once (§II).
+//! 3. **Inflation** — local Hadamard power, then column renormalization
+//!    with sums reduced down the process columns.
+//! 4. **Chaos** — distributed convergence statistic.
+//!
+//! When the loop converges, clusters are read off the connected
+//! components of the final matrix. Results are validated against
+//! [`crate::serial`] in the tests.
+
+use crate::config::MclConfig;
+use crate::serial::IterTrace;
+use hipmcl_comm::collectives::{allreduce, allreduce_sum_vec};
+use hipmcl_comm::{Comm, ProcGrid};
+use hipmcl_gpu::multi::MultiGpu;
+use hipmcl_sparse::Csc;
+use hipmcl_summa::estimate::MemoryEstimate;
+use hipmcl_summa::spgemm::summa_spgemm_with;
+use hipmcl_summa::topk::prune_local_slab;
+use hipmcl_summa::DistMatrix;
+
+/// Canonical stage order for reports (matches the paper's Fig. 1 legend).
+/// `expansion` is the wall time of the whole SUMMA pipeline section
+/// (broadcasts + kernels + merging + synchronization waits, excluding the
+/// fused pruning) — the quantity Table II calls "overall".
+pub const STAGES: [&str; 7] =
+    ["local_spgemm", "mem_estimation", "summa_bcast", "merge", "pruning", "other", "expansion"];
+
+/// Result of a distributed MCL run, identical on every rank.
+#[derive(Clone, Debug)]
+pub struct DistMclReport {
+    /// Dense cluster labels per global vertex.
+    pub labels: Vec<u32>,
+    /// Number of clusters.
+    pub num_clusters: usize,
+    /// Iterations executed.
+    pub iterations: usize,
+    /// Whether the chaos criterion was met.
+    pub converged: bool,
+    /// Total modeled wall time: max over ranks of the final virtual clock.
+    pub total_time: f64,
+    /// Per-stage virtual time, *mean* over ranks, summed over iterations,
+    /// ordered as [`STAGES`]. (Means, not maxima: with per-rank load
+    /// imbalance, synchronization waits land in whichever stage follows
+    /// the straggler, so per-rank maxima over-count; means keep the
+    /// stages additive, matching how stage breakdowns are reported.)
+    pub stage_times: Vec<(String, f64)>,
+    /// Mean over ranks of host idle time waiting on devices (Table V).
+    pub cpu_idle: f64,
+    /// Mean over ranks of device idle time (Table V).
+    pub gpu_idle: f64,
+    /// Per-iteration peak single-merge element count, max over ranks
+    /// (Table III's peak-memory proxy).
+    pub merge_peaks: Vec<u64>,
+    /// Per-iteration memory estimates (when auto phases ran).
+    pub estimates: Vec<Option<MemoryEstimate>>,
+    /// Per-iteration algorithmic trace (global quantities).
+    pub trace: Vec<IterTrace>,
+}
+
+/// Runs distributed MCL on an input replicated at every rank (each rank
+/// calls with the same `adjacency`, e.g. generated from a shared seed).
+/// Preparation (symmetrize, self-loops, normalization) happens before
+/// distribution. Collective over the grid.
+pub fn cluster_distributed(
+    grid: &ProcGrid,
+    gpus: &mut MultiGpu,
+    adjacency: &Csc<f64>,
+    cfg: &MclConfig,
+) -> DistMclReport {
+    let prepared = crate::serial::prepare_matrix(adjacency, cfg);
+    let a = DistMatrix::from_global(grid, &prepared.to_triples());
+    cluster_distributed_from(grid, gpus, a, cfg)
+}
+
+/// Runs distributed MCL on an already-distributed, already column
+/// stochastic matrix. Collective over the grid.
+pub fn cluster_distributed_from(
+    grid: &ProcGrid,
+    gpus: &mut MultiGpu,
+    mut a: DistMatrix,
+    cfg: &MclConfig,
+) -> DistMclReport {
+    let comm = &grid.world;
+    let mut stage = hipmcl_comm::StageTimers::new();
+    let mut merge_peaks = Vec::new();
+    let mut estimates = Vec::new();
+    let mut trace = Vec::new();
+    let mut cpu_idle = 0.0;
+    let mut gpu_idle = 0.0;
+    let mut converged = false;
+    let mut iterations = 0;
+
+    for _ in 0..cfg.max_iters {
+        iterations += 1;
+
+        // Expansion with fused per-phase pruning.
+        let mut prune_time = 0.0f64;
+        let prune_params = cfg.prune;
+        let t_expand = comm.now();
+        let out = {
+            let col_comm = &grid.col_comm;
+            summa_spgemm_with(grid, gpus, &a, &a, &cfg.summa, |_ph, slab| {
+                let t0 = col_comm.now();
+                let (pruned, _stats) = prune_local_slab(col_comm, &slab, &prune_params);
+                // Charge the columnwise scan + selection work.
+                col_comm
+                    .advance_clock(col_comm.model().elementwise_time(slab.nnz() as u64));
+                prune_time += col_comm.now() - t0;
+                pruned
+            })
+        };
+        for (name, t) in out.timers.iter() {
+            stage.add(name, t);
+        }
+        stage.add("pruning", prune_time);
+        stage.add("expansion", comm.now() - t_expand - prune_time);
+        cpu_idle += out.cpu_idle;
+        gpu_idle += out.gpu_idle;
+        merge_peaks.push(out.merge_stats.peak_merge_elems as u64);
+        estimates.push(out.estimate);
+
+        let nnz_pruned = out.c.nnz_global(grid);
+        let flops = out.estimate.map_or(0, |e| e.flops);
+        let nnz_expanded = out
+            .estimate
+            .map_or(nnz_pruned, |e| e.nnz_estimate.max(0.0) as u64);
+        a = out.c;
+
+        // Inflation + chaos (distributed).
+        let t0 = comm.now();
+        let chaos = dist_inflate_and_chaos(grid, &mut a.local, cfg.inflation);
+        stage.add("other", comm.now() - t0);
+
+        trace.push(IterTrace {
+            flops,
+            nnz_expanded,
+            nnz_pruned,
+            cf: if nnz_expanded == 0 { 1.0 } else { flops as f64 / nnz_expanded as f64 },
+            chaos,
+        });
+        if chaos < cfg.chaos_epsilon {
+            converged = true;
+            break;
+        }
+    }
+
+    // Cluster extraction.
+    let (labels, num_clusters) = hipmcl_summa::components::gathered_components(grid, &a);
+
+    // Aggregate instrumentation across ranks (mean per stage).
+    let my_stage_vec: Vec<f64> = STAGES.iter().map(|s| stage.get(s)).collect();
+    let mean_stage = allreduce_sum_vec(&grid.world, my_stage_vec);
+    let stage_times: Vec<(String, f64)> = STAGES
+        .iter()
+        .zip(&mean_stage)
+        .map(|(s, &t)| (s.to_string(), t / grid.size() as f64))
+        .collect();
+    let total_time = allreduce(&grid.world, comm.now(), f64::max);
+    let p = grid.size() as f64;
+    let idle = allreduce_sum_vec(&grid.world, vec![cpu_idle, gpu_idle]);
+    let merge_peaks = {
+        let local: Vec<f64> = merge_peaks.iter().map(|&x| x as f64).collect();
+        let reduced = allreduce(&grid.world, local, |mut x, y| {
+            for (a, b) in x.iter_mut().zip(&y) {
+                *a = a.max(*b);
+            }
+            x
+        });
+        reduced.into_iter().map(|x| x as u64).collect()
+    };
+
+    DistMclReport {
+        labels,
+        num_clusters,
+        iterations,
+        converged,
+        total_time,
+        stage_times,
+        cpu_idle: idle[0] / p,
+        gpu_idle: idle[1] / p,
+        merge_peaks,
+        estimates,
+        trace,
+    }
+}
+
+/// Inflation (Hadamard power) with distributed column renormalization,
+/// followed by the distributed chaos statistic. Returns the global chaos.
+pub fn dist_inflate_and_chaos(grid: &ProcGrid, m: &mut Csc<f64>, power: f64) -> f64 {
+    let col_comm = &grid.col_comm;
+    let model = col_comm.model().clone();
+
+    // Hadamard power, local.
+    for v in &mut m.vals {
+        *v = v.powf(power);
+    }
+    // Column sums reduced down the process column.
+    let local_sums: Vec<f64> = (0..m.ncols()).map(|j| m.col_vals(j).iter().sum()).collect();
+    let sums = allreduce_sum_vec(col_comm, local_sums);
+    for j in 0..m.ncols() {
+        let s = sums[j];
+        if s > 0.0 {
+            let inv = 1.0 / s;
+            for v in m.col_vals_mut(j) {
+                *v *= inv;
+            }
+        }
+    }
+    col_comm.advance_clock(model.elementwise_time(2 * m.nnz() as u64));
+
+    // Chaos: per-column max and sum of squares, combined down the column.
+    let mut maxes: Vec<f64> = vec![0.0; m.ncols()];
+    let mut ssq: Vec<f64> = vec![0.0; m.ncols()];
+    for j in 0..m.ncols() {
+        for &v in m.col_vals(j) {
+            maxes[j] = maxes[j].max(v);
+            ssq[j] += v * v;
+        }
+    }
+    let gmax = allreduce(col_comm, maxes, |mut x, y| {
+        for (a, b) in x.iter_mut().zip(&y) {
+            *a = a.max(*b);
+        }
+        x
+    });
+    let gssq = allreduce_sum_vec(col_comm, ssq);
+    let local_chaos = gmax
+        .iter()
+        .zip(&gssq)
+        .map(|(&mx, &s)| if mx > 0.0 { mx - s } else { 0.0 })
+        .fold(0.0f64, f64::max);
+    allreduce(&grid.world, local_chaos, f64::max)
+}
+
+/// Distributed column normalization (used to prepare an already
+/// distributed matrix): divides each column by its global sum.
+pub fn dist_normalize(grid: &ProcGrid, m: &mut Csc<f64>) {
+    let col_comm = &grid.col_comm;
+    let local_sums: Vec<f64> = (0..m.ncols()).map(|j| m.col_vals(j).iter().sum()).collect();
+    let sums = allreduce_sum_vec(col_comm, local_sums);
+    for j in 0..m.ncols() {
+        if sums[j] > 0.0 {
+            let inv = 1.0 / sums[j];
+            for v in m.col_vals_mut(j) {
+                *v *= inv;
+            }
+        }
+    }
+}
+
+/// Convenience for reports: returns `(name, seconds)` for stages plus the
+/// overall time, like the paper's Fig. 1 stacked bars.
+pub fn stage_summary(report: &DistMclReport) -> Vec<(String, f64)> {
+    let mut rows = report.stage_times.clone();
+    rows.push(("overall".to_string(), report.total_time));
+    rows
+}
+
+/// Suppresses "unused" for `Comm` kept in the public signature docs.
+#[allow(dead_code)]
+fn _comm_marker(_c: &Comm) {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hipmcl_comm::{MachineModel, Universe};
+    use hipmcl_sparse::{Idx, Triples};
+    use rand::{Rng, SeedableRng};
+
+    fn planted(k: usize, sz: usize, noise: usize, seed: u64) -> Csc<f64> {
+        let n = k * sz;
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(seed);
+        let mut t = Triples::new(n, n);
+        for c in 0..k {
+            let base = c * sz;
+            for i in 0..sz {
+                for j in (i + 1)..sz {
+                    t.push((base + i) as Idx, (base + j) as Idx, rng.gen_range(0.8..1.0));
+                }
+            }
+        }
+        for _ in 0..noise {
+            let a = rng.gen_range(0..n);
+            let b = rng.gen_range(0..n);
+            if a / sz != b / sz {
+                t.push(a as Idx, b as Idx, rng.gen_range(0.01..0.05));
+            }
+        }
+        Csc::from_triples(&t)
+    }
+
+    fn same_partition(a: &[u32], b: &[u32]) -> bool {
+        if a.len() != b.len() {
+            return false;
+        }
+        for i in 0..a.len() {
+            for j in (i + 1)..a.len() {
+                if (a[i] == a[j]) != (b[i] == b[j]) {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    #[test]
+    fn distributed_matches_serial_clusters() {
+        let g = planted(4, 6, 15, 11);
+        let cfg = MclConfig::testing(12);
+        let serial = crate::serial::cluster_serial(&g, &cfg);
+        for p in [1usize, 4, 9] {
+            let results = Universe::run(p, MachineModel::summit(), |comm| {
+                let grid = ProcGrid::new(comm);
+                let mut gpus = MultiGpu::summit_node(grid.world.model());
+                let g = planted(4, 6, 15, 11);
+                cluster_distributed(&grid, &mut gpus, &g, &MclConfig::testing(12))
+            });
+            for r in &results {
+                assert_eq!(r.num_clusters, serial.num_clusters, "p={p}");
+                assert!(same_partition(&r.labels, &serial.labels), "p={p}");
+                assert_eq!(r.iterations, serial.iterations, "p={p}");
+                assert!(r.converged);
+            }
+        }
+    }
+
+    #[test]
+    fn optimized_config_matches_original_clusters() {
+        let g = planted(3, 7, 12, 13);
+        let run = |use_opt: bool| {
+            let results = Universe::run(4, MachineModel::summit(), move |comm| {
+                let grid = ProcGrid::new(comm);
+                let mut gpus = MultiGpu::summit_node(grid.world.model());
+                let g = planted(3, 7, 12, 13);
+                let mut cfg = if use_opt {
+                    MclConfig::optimized(u64::MAX)
+                } else {
+                    MclConfig::original_hipmcl(u64::MAX)
+                };
+                cfg.prune = hipmcl_sparse::colops::PruneParams {
+                    cutoff: 1e-4,
+                    select: 14,
+                    recover_num: 0,
+                    recover_pct: 0.0,
+                };
+                cluster_distributed(&grid, &mut gpus, &g, &cfg)
+            });
+            results.into_iter().next().unwrap()
+        };
+        let orig = run(false);
+        let opt = run(true);
+        assert_eq!(orig.num_clusters, opt.num_clusters);
+        assert!(same_partition(&orig.labels, &opt.labels));
+        assert_eq!(orig.num_clusters, 3);
+    }
+
+    #[test]
+    fn optimized_is_faster_than_original_in_model_time() {
+        // Dense planted graph: expansion dominates, GPUs + overlap win.
+        let run = |use_opt: bool| {
+            let results = Universe::run(4, MachineModel::summit(), move |comm| {
+                let grid = ProcGrid::new(comm);
+                let mut gpus = MultiGpu::summit_node(grid.world.model());
+                let g = planted(4, 40, 600, 17);
+                let mut cfg = if use_opt {
+                    MclConfig::optimized(u64::MAX)
+                } else {
+                    MclConfig::original_hipmcl(u64::MAX)
+                };
+                cfg.prune.select = 80;
+                cfg.max_iters = 4;
+                cluster_distributed(&grid, &mut gpus, &g, &cfg).total_time
+            });
+            results[0]
+        };
+        let t_orig = run(false);
+        let t_opt = run(true);
+        assert!(
+            t_opt < t_orig,
+            "optimized ({t_opt}) must beat original ({t_orig})"
+        );
+    }
+
+    #[test]
+    fn report_contains_all_stages() {
+        let results = Universe::run(4, MachineModel::summit(), |comm| {
+            let grid = ProcGrid::new(comm);
+            let mut gpus = MultiGpu::summit_node(grid.world.model());
+            let g = planted(2, 6, 5, 19);
+            cluster_distributed(&grid, &mut gpus, &g, &MclConfig::testing(12))
+        });
+        let r = &results[0];
+        let names: Vec<&str> = r.stage_times.iter().map(|(n, _)| n.as_str()).collect();
+        for s in STAGES {
+            assert!(names.contains(&s), "missing stage {s}");
+        }
+        assert!(r.total_time > 0.0);
+        assert_eq!(r.trace.len(), r.iterations);
+        assert_eq!(r.merge_peaks.len(), r.iterations);
+        // Reports identical across ranks.
+        for other in &results[1..] {
+            assert_eq!(other.num_clusters, r.num_clusters);
+            assert_eq!(other.total_time, r.total_time);
+        }
+    }
+
+    #[test]
+    fn dist_normalize_makes_global_columns_stochastic() {
+        let results = Universe::run(4, MachineModel::summit(), |comm| {
+            let grid = ProcGrid::new(comm);
+            let g = planted(2, 5, 8, 23);
+            let mut dm = DistMatrix::from_global(&grid, &g.to_triples());
+            dist_normalize(&grid, &mut dm.local);
+            let local_sums: Vec<f64> =
+                (0..dm.local.ncols()).map(|j| dm.local.col_vals(j).iter().sum()).collect();
+            let sums = allreduce_sum_vec(&grid.col_comm, local_sums);
+            sums.iter().all(|&s| s == 0.0 || (s - 1.0).abs() < 1e-9)
+        });
+        assert!(results.iter().all(|&ok| ok));
+    }
+
+    #[test]
+    fn chaos_zero_on_converged_matrix() {
+        let results = Universe::run(4, MachineModel::summit(), |comm| {
+            let grid = ProcGrid::new(comm);
+            let idm = DistMatrix::from_global(
+                &grid,
+                &Csc::<f64>::identity(8).to_triples(),
+            );
+            let mut local = idm.local.clone();
+            dist_inflate_and_chaos(&grid, &mut local, 2.0)
+        });
+        assert!(results.iter().all(|&c| c == 0.0));
+    }
+}

@@ -1,0 +1,30 @@
+//! HipMCL core: the Markov Cluster algorithm pipeline.
+//!
+//! MCL (van Dongen 2000) simulates flow on a similarity graph: random
+//! walks stay inside clusters, so iterating **expansion** (matrix
+//! squaring — one random-walk step from every vertex), **pruning**
+//! (sparsify, keep top-k per column) and **inflation** (Hadamard power,
+//! strengthening intra-cluster flow) converges to a matrix whose
+//! connected components are the clusters (Algorithm 1 of the paper).
+//!
+//! * [`config`] — the knobs shared by all drivers, including the
+//!   paper-aligned presets ([`config::MclConfig::original_hipmcl`] /
+//!   [`config::MclConfig::optimized`]).
+//! * [`serial`] — single-process reference implementation (the oracle for
+//!   every distributed test, and a perfectly good way to cluster graphs
+//!   that fit one machine).
+//! * [`dist`] — the distributed HipMCL driver: expansion via (Pipelined)
+//!   Sparse SUMMA with fused per-phase pruning, distributed inflation and
+//!   chaos, per-stage virtual-time instrumentation for every table and
+//!   figure of the paper's evaluation.
+//! * [`quality`] — clustering metrics (pairwise F1/precision/recall,
+//!   Rand index, weighted modularity) for downstream validation.
+
+pub mod config;
+pub mod dist;
+pub mod quality;
+pub mod serial;
+
+pub use config::MclConfig;
+pub use dist::{cluster_distributed, DistMclReport};
+pub use serial::{cluster_serial, MclResult};

@@ -1,0 +1,209 @@
+//! Clustering-quality metrics.
+//!
+//! The paper validates the optimized HipMCL by *identity* with the
+//! original ("returns identical clusters to MCL up to minor floating
+//! point discrepancies"); this module provides the standard external and
+//! internal metrics a downstream user needs to evaluate a clustering —
+//! F1 against a reference partition, pairwise precision/recall, and
+//! weighted graph modularity.
+
+use hipmcl_sparse::Csc;
+
+/// Pairwise comparison counts between two partitions of the same vertex
+/// set: agreements and disagreements over all vertex pairs.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PairCounts {
+    /// Pairs together in both partitions.
+    pub together_both: u64,
+    /// Pairs together in `predicted` only.
+    pub together_pred_only: u64,
+    /// Pairs together in `reference` only.
+    pub together_ref_only: u64,
+    /// Pairs separate in both.
+    pub separate_both: u64,
+}
+
+/// Counts pair agreements between two label vectors (`O(n²)` — these
+/// metrics are for validation-sized graphs).
+pub fn pair_counts(predicted: &[u32], reference: &[u32]) -> PairCounts {
+    assert_eq!(predicted.len(), reference.len(), "partitions must cover the same vertices");
+    let mut c = PairCounts::default();
+    let n = predicted.len();
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let p = predicted[i] == predicted[j];
+            let r = reference[i] == reference[j];
+            match (p, r) {
+                (true, true) => c.together_both += 1,
+                (true, false) => c.together_pred_only += 1,
+                (false, true) => c.together_ref_only += 1,
+                (false, false) => c.separate_both += 1,
+            }
+        }
+    }
+    c
+}
+
+impl PairCounts {
+    /// Pairwise precision: of pairs predicted together, the fraction
+    /// together in the reference.
+    pub fn precision(&self) -> f64 {
+        let denom = self.together_both + self.together_pred_only;
+        if denom == 0 {
+            1.0
+        } else {
+            self.together_both as f64 / denom as f64
+        }
+    }
+
+    /// Pairwise recall: of reference-together pairs, the fraction
+    /// predicted together.
+    pub fn recall(&self) -> f64 {
+        let denom = self.together_both + self.together_ref_only;
+        if denom == 0 {
+            1.0
+        } else {
+            self.together_both as f64 / denom as f64
+        }
+    }
+
+    /// Pairwise F1 (harmonic mean of precision and recall).
+    pub fn f1(&self) -> f64 {
+        let (p, r) = (self.precision(), self.recall());
+        if p + r == 0.0 {
+            0.0
+        } else {
+            2.0 * p * r / (p + r)
+        }
+    }
+
+    /// Rand index: fraction of pairs on which the partitions agree.
+    pub fn rand_index(&self) -> f64 {
+        let total =
+            self.together_both + self.together_pred_only + self.together_ref_only + self.separate_both;
+        if total == 0 {
+            1.0
+        } else {
+            (self.together_both + self.separate_both) as f64 / total as f64
+        }
+    }
+}
+
+/// Weighted Newman modularity of a partition on an undirected graph:
+/// `Q = Σ_c (w_in(c)/W − (deg(c)/2W)²)` where `W` is the total edge
+/// weight. The adjacency is expected symmetric (each undirected edge
+/// stored twice); self-loops count once.
+pub fn modularity(adjacency: &Csc<f64>, labels: &[u32]) -> f64 {
+    assert_eq!(adjacency.nrows(), adjacency.ncols());
+    assert_eq!(adjacency.ncols(), labels.len());
+    let k = labels.iter().copied().max().map_or(0, |m| m as usize + 1);
+    let mut intra = vec![0.0f64; k]; // 2·w_in(c) (both directions)
+    let mut degree = vec![0.0f64; k]; // Σ weighted degree of members
+    let mut two_w = 0.0f64;
+    for (r, c, v) in adjacency.iter() {
+        two_w += v;
+        degree[labels[c as usize] as usize] += v;
+        if labels[r as usize] == labels[c as usize] {
+            intra[labels[c as usize] as usize] += v;
+        }
+    }
+    if two_w == 0.0 {
+        return 0.0;
+    }
+    (0..k)
+        .map(|c| intra[c] / two_w - (degree[c] / two_w).powi(2))
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hipmcl_sparse::{Idx, Triples};
+
+    #[test]
+    fn identical_partitions_are_perfect() {
+        let labels = vec![0, 0, 1, 1, 2];
+        let c = pair_counts(&labels, &labels);
+        assert_eq!(c.together_pred_only, 0);
+        assert_eq!(c.together_ref_only, 0);
+        assert_eq!(c.f1(), 1.0);
+        assert_eq!(c.rand_index(), 1.0);
+    }
+
+    #[test]
+    fn over_merging_hurts_precision_not_recall() {
+        let reference = vec![0, 0, 1, 1];
+        let predicted = vec![0, 0, 0, 0]; // everything merged
+        let c = pair_counts(&predicted, &reference);
+        assert_eq!(c.recall(), 1.0);
+        assert!(c.precision() < 1.0);
+        assert!(c.f1() < 1.0);
+    }
+
+    #[test]
+    fn over_splitting_hurts_recall_not_precision() {
+        let reference = vec![0, 0, 0, 0];
+        let predicted = vec![0, 1, 2, 3]; // everything split
+        let c = pair_counts(&predicted, &reference);
+        assert_eq!(c.precision(), 1.0);
+        assert_eq!(c.recall(), 0.0);
+    }
+
+    #[test]
+    fn label_names_do_not_matter() {
+        let a = vec![0, 0, 1, 1];
+        let b = vec![7, 7, 3, 3];
+        assert_eq!(pair_counts(&a, &b).f1(), 1.0);
+    }
+
+    fn two_cliques() -> (Csc<f64>, Vec<u32>) {
+        // Two 4-cliques joined by one weak edge. Weights vary per edge:
+        // perfectly uniform weights put MCL at its degenerate
+        // doubly-stochastic fixed point (chaos = 0 without separation),
+        // a known property of symmetric inputs.
+        let mut t = Triples::new(8, 8);
+        let mut w = 0.7;
+        let mut add = |a: usize, b: usize, w: f64| {
+            t.push(a as Idx, b as Idx, w);
+            t.push(b as Idx, a as Idx, w);
+        };
+        for base in [0usize, 4] {
+            for i in 0..4 {
+                for j in (i + 1)..4 {
+                    add(base + i, base + j, w);
+                    w += 0.045; // 0.7 .. ~1.2, all distinct
+                }
+            }
+        }
+        add(3, 4, 0.05);
+        (Csc::from_triples(&t), vec![0, 0, 0, 0, 1, 1, 1, 1])
+    }
+
+    #[test]
+    fn modularity_prefers_the_natural_partition() {
+        let (g, good) = two_cliques();
+        let q_good = modularity(&g, &good);
+        let q_merged = modularity(&g, &vec![0; 8]);
+        let q_split = modularity(&g, &(0..8u32).collect::<Vec<_>>());
+        assert!(q_good > q_merged, "{q_good} vs merged {q_merged}");
+        assert!(q_good > q_split, "{q_good} vs split {q_split}");
+        assert!(q_good > 0.3, "two cliques should score well: {q_good}");
+    }
+
+    #[test]
+    fn modularity_of_empty_graph_is_zero() {
+        let g = Csc::<f64>::zero(4, 4);
+        assert_eq!(modularity(&g, &[0, 1, 2, 3]), 0.0);
+    }
+
+    #[test]
+    fn mcl_partition_scores_high_on_planted_graph() {
+        // End-to-end: MCL's output should beat a random partition on F1
+        // against the planted truth and on modularity.
+        let (g, truth) = two_cliques();
+        let result = crate::serial::cluster_serial(&g, &crate::MclConfig::testing(8));
+        let c = pair_counts(&result.labels, &truth);
+        assert_eq!(c.f1(), 1.0, "MCL must recover two 4-cliques exactly");
+        assert!(modularity(&g, &result.labels) > 0.3);
+    }
+}

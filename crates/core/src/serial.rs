@@ -1,0 +1,230 @@
+//! Single-process reference MCL.
+//!
+//! Runs Algorithm 1 of the paper with the hybrid local SpGEMM (heap/hash
+//! by `cf`), full pruning (cutoff, selection, recovery) and inflation.
+//! This is the oracle the distributed driver is validated against, and a
+//! practical way to cluster graphs that fit in one process.
+
+use crate::config::MclConfig;
+use hipmcl_sparse::colops;
+use hipmcl_sparse::components::{clusters_from_labels, connected_components};
+use hipmcl_sparse::Csc;
+
+/// Per-iteration trace entry of a serial run.
+#[derive(Clone, Copy, Debug)]
+pub struct IterTrace {
+    /// `flops` of the expansion.
+    pub flops: u64,
+    /// `nnz` before pruning.
+    pub nnz_expanded: u64,
+    /// `nnz` after pruning.
+    pub nnz_pruned: u64,
+    /// Compression factor of the expansion.
+    pub cf: f64,
+    /// Chaos after inflation.
+    pub chaos: f64,
+}
+
+/// Result of a serial MCL run.
+#[derive(Clone, Debug)]
+pub struct MclResult {
+    /// Dense cluster labels per vertex (`0..k`).
+    pub labels: Vec<u32>,
+    /// Number of clusters.
+    pub num_clusters: usize,
+    /// Vertices of each cluster, sorted.
+    pub clusters: Vec<Vec<u32>>,
+    /// Iterations executed.
+    pub iterations: usize,
+    /// Whether the chaos criterion was met (vs. the iteration cap).
+    pub converged: bool,
+    /// Per-iteration statistics.
+    pub trace: Vec<IterTrace>,
+}
+
+/// Clusters `adjacency` with the Markov Cluster algorithm.
+///
+/// The input is interpreted as a weighted similarity graph; it is
+/// symmetrized and self-looped according to `cfg`, made column stochastic,
+/// then iterated until the chaos statistic drops below
+/// `cfg.chaos_epsilon`.
+pub fn cluster_serial(adjacency: &Csc<f64>, cfg: &MclConfig) -> MclResult {
+    assert_eq!(adjacency.nrows(), adjacency.ncols(), "MCL needs a square matrix");
+    let mut a = prepare_matrix(adjacency, cfg);
+
+    let mut trace = Vec::new();
+    let mut converged = false;
+    let mut iterations = 0;
+
+    for _ in 0..cfg.max_iters {
+        iterations += 1;
+        // Expansion: B = A·A with the cf-selected kernel (§VI).
+        let (b, analysis, _algo) = hipmcl_spgemm::hybrid::multiply_auto(&a, &a);
+        // Pruning (threshold + selection + recovery).
+        let (pruned, _stats) = colops::prune(&b, &cfg.prune);
+        a = pruned;
+        // Inflation (Hadamard power + renormalize).
+        colops::inflate(&mut a, cfg.inflation);
+        let chaos = colops::chaos(&a);
+        trace.push(IterTrace {
+            flops: analysis.flops,
+            nnz_expanded: analysis.nnz_out,
+            nnz_pruned: a.nnz() as u64,
+            cf: analysis.cf(),
+            chaos,
+        });
+        if chaos < cfg.chaos_epsilon {
+            converged = true;
+            break;
+        }
+    }
+
+    let (labels, k) = connected_components(&a);
+    let clusters = clusters_from_labels(&labels, k);
+    MclResult { labels, num_clusters: k, clusters, iterations, converged, trace }
+}
+
+/// Symmetrize / self-loop / column-normalize the input per `cfg`.
+pub fn prepare_matrix(adjacency: &Csc<f64>, cfg: &MclConfig) -> Csc<f64> {
+    let mut a = if cfg.symmetrize {
+        colops::symmetrize_max(adjacency)
+    } else {
+        adjacency.clone()
+    };
+    if cfg.add_self_loops {
+        a = colops::add_self_loops(&a, 1.0);
+    }
+    colops::normalize_columns(&mut a);
+    a
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hipmcl_sparse::{Idx, Triples};
+    use rand::{Rng, SeedableRng};
+
+    /// Planted-partition graph: `k` dense clusters of size `sz` with heavy
+    /// intra-cluster weights plus light random inter-cluster noise.
+    pub(crate) fn planted(k: usize, sz: usize, noise: usize, seed: u64) -> Csc<f64> {
+        let n = k * sz;
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(seed);
+        let mut t = Triples::new(n, n);
+        for c in 0..k {
+            let base = c * sz;
+            for i in 0..sz {
+                for j in (i + 1)..sz {
+                    t.push((base + i) as Idx, (base + j) as Idx, rng.gen_range(0.8..1.0));
+                }
+            }
+        }
+        for _ in 0..noise {
+            let a = rng.gen_range(0..n);
+            let b = rng.gen_range(0..n);
+            if a / sz != b / sz {
+                t.push(a as Idx, b as Idx, rng.gen_range(0.01..0.05));
+            }
+        }
+        Csc::from_triples(&t)
+    }
+
+    #[test]
+    fn recovers_planted_clusters() {
+        let g = planted(4, 8, 20, 1);
+        let result = cluster_serial(&g, &MclConfig::testing(16));
+        assert!(result.converged, "must converge on an easy instance");
+        assert_eq!(result.num_clusters, 4);
+        // Every planted block must map to one cluster.
+        for c in 0..4 {
+            let label = result.labels[c * 8];
+            for v in 0..8 {
+                assert_eq!(result.labels[c * 8 + v], label, "block {c}");
+            }
+        }
+    }
+
+    #[test]
+    fn two_disconnected_cliques_two_clusters() {
+        let g = planted(2, 5, 0, 2);
+        let result = cluster_serial(&g, &MclConfig::testing(10));
+        assert_eq!(result.num_clusters, 2);
+        assert!(result.converged);
+    }
+
+    #[test]
+    fn identity_like_input_all_singletons() {
+        let g = Csc::<f64>::identity(6);
+        let result = cluster_serial(&g, &MclConfig::testing(4));
+        assert_eq!(result.num_clusters, 6);
+        assert_eq!(result.iterations, 1, "already converged after one step");
+    }
+
+    #[test]
+    fn trace_records_iterations() {
+        let g = planted(3, 6, 10, 3);
+        let result = cluster_serial(&g, &MclConfig::testing(12));
+        assert_eq!(result.trace.len(), result.iterations);
+        for it in &result.trace {
+            assert!(it.flops > 0);
+            assert!(it.nnz_pruned <= it.nnz_expanded);
+            assert!(it.cf >= 1.0);
+        }
+        // Chaos decreases towards convergence (not necessarily
+        // monotonically, but last < first on an easy instance).
+        let first = result.trace.first().unwrap().chaos;
+        let last = result.trace.last().unwrap().chaos;
+        assert!(last < first);
+    }
+
+    #[test]
+    fn prepare_matrix_is_column_stochastic() {
+        let g = planted(2, 4, 5, 4);
+        let a = prepare_matrix(&g, &MclConfig::testing(8));
+        for j in 0..a.ncols() {
+            let s: f64 = a.col_vals(j).iter().sum();
+            assert!((s - 1.0).abs() < 1e-12, "col {j} sums to {s}");
+        }
+        // Self-loops present.
+        for j in 0..a.ncols() {
+            assert!(a.get(j, j).is_some(), "self-loop at {j}");
+        }
+    }
+
+    #[test]
+    fn labels_partition_vertices() {
+        let g = planted(3, 5, 15, 5);
+        let r = cluster_serial(&g, &MclConfig::testing(10));
+        let total: usize = r.clusters.iter().map(Vec::len).sum();
+        assert_eq!(total, 15);
+        assert_eq!(r.labels.len(), 15);
+    }
+
+    #[test]
+    fn iteration_cap_respected() {
+        let g = planted(2, 10, 40, 6);
+        let mut cfg = MclConfig::testing(20);
+        cfg.max_iters = 1;
+        let r = cluster_serial(&g, &cfg);
+        assert_eq!(r.iterations, 1);
+        assert!(!r.converged);
+    }
+
+    #[test]
+    fn higher_inflation_gives_no_fewer_clusters() {
+        let g = planted(4, 6, 60, 7);
+        let mut lo = MclConfig::testing(12);
+        lo.inflation = 1.4;
+        let mut hi = MclConfig::testing(12);
+        hi.inflation = 4.0;
+        let r_lo = cluster_serial(&g, &lo);
+        let r_hi = cluster_serial(&g, &hi);
+        assert!(
+            r_hi.num_clusters >= r_lo.num_clusters,
+            "inflation {} -> {} clusters vs inflation {} -> {}",
+            lo.inflation,
+            r_lo.num_clusters,
+            hi.inflation,
+            r_hi.num_clusters
+        );
+    }
+}

@@ -1,0 +1,33 @@
+//! Simulated accelerator for `hipmcl-rs`.
+//!
+//! The paper offloads HipMCL's local SpGEMM to NVIDIA V100s through three
+//! CUDA libraries (`bhsparse`, `nsparse`, `rmerge2`). This reproduction has
+//! no GPUs, so the crate provides (DESIGN.md substitution table):
+//!
+//! * [`device::Device`] — a virtual-timeline device: 16 GB tracked memory,
+//!   a FIFO kernel queue and a copy engine, H2D/D2H transfers charged at
+//!   NVLink rates. Kernels *execute for real* (on the host, inline) while
+//!   their *duration* comes from the machine model; the returned event
+//!   timestamps are what the Pipelined Sparse SUMMA overlaps against. The
+//!   key property of §III is preserved: the host blocks only for the
+//!   transfer, never for the kernel.
+//! * [`libs`] — real Rust re-implementations of the three libraries'
+//!   algorithmic cores, all row-parallel over CSR like their CUDA
+//!   originals: expand–sort–compress (`bhsparse`), binned hash
+//!   accumulation (`nsparse`), iterative row merging (`rmerge2`).
+//! * [`multi`] — multi-GPU work splitting (§III-A): copy A to every
+//!   device, split B's columns evenly, concatenate the partial outputs.
+//! * [`select`] — the paper's kernel-selection recipe: `flops` decides
+//!   CPU vs GPU, `cf` picks the library.
+//!
+//! The §III-B storage-format observation is honoured throughout: CSC
+//! operands are handed to the CSR kernels as their transposes
+//! (`Cᵀ = Bᵀ·Aᵀ`), so no physical format conversion ever happens.
+
+pub mod device;
+pub mod libs;
+pub mod multi;
+pub mod select;
+
+pub use device::{Device, DeviceError, Event};
+pub use select::{select_kernel, SelectionPolicy};

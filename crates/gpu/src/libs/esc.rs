@@ -1,0 +1,119 @@
+//! `bhsparse` analogue: expand–sort–compress (ESC) SpGEMM
+//! (Liu & Vinter, IPDPS 2014; Dalton/Olson/Bell, ACM TOMS 2015).
+//!
+//! Phase 1 *expands* every nontrivial product `a_ik · b_kj` of an output
+//! row into an explicit `(col, val)` list (size = the row's flops); phase 2
+//! *sorts* the list by column; phase 3 *compresses* runs of equal columns
+//! by summation. On a GPU the three phases map onto massively parallel
+//! primitives (scans, bitonic/radix sorts); here each output row runs the
+//! three phases in a rayon task, with the expansion buffer reused per
+//! worker. Work per row is `O(flops · lg flops)` — the sort makes ESC the
+//! most memory-hungry and (at high `cf`) slowest of the three libraries,
+//! matching its mid-pack showing in the paper's Fig. 4.
+
+use super::{build_csr_from_rows, RowOut};
+use hipmcl_sparse::{Csr, Idx};
+use rayon::prelude::*;
+
+/// Multiplies `C = A · B` (CSR) with expand–sort–compress rows.
+pub fn multiply(a: &Csr<f64>, b: &Csr<f64>) -> Csr<f64> {
+    let rows: Vec<RowOut> = (0..a.nrows())
+        .into_par_iter()
+        .map_with(Vec::<(Idx, f64)>::new(), |expand_buf, i| {
+            expand_row(a, b, i, expand_buf);
+            sort_compress(expand_buf)
+        })
+        .collect();
+    build_csr_from_rows(a.nrows(), b.ncols(), rows)
+}
+
+/// Expansion: materializes all products contributing to output row `i`.
+fn expand_row(a: &Csr<f64>, b: &Csr<f64>, i: usize, buf: &mut Vec<(Idx, f64)>) {
+    buf.clear();
+    let (acols, avals) = (a.row_cols(i), a.row_vals(i));
+    for (idx, &k) in acols.iter().enumerate() {
+        let av = avals[idx];
+        let k = k as usize;
+        let (bcols, bvals) = (b.row_cols(k), b.row_vals(k));
+        for (bi, &c) in bcols.iter().enumerate() {
+            buf.push((c, av * bvals[bi]));
+        }
+    }
+}
+
+/// Sort + compress: orders products by column and sums duplicate runs.
+fn sort_compress(buf: &mut [(Idx, f64)]) -> RowOut {
+    buf.sort_unstable_by_key(|&(c, _)| c);
+    let mut cols = Vec::new();
+    let mut vals = Vec::new();
+    for &(c, v) in buf.iter() {
+        if cols.last() == Some(&c) {
+            *vals.last_mut().unwrap() += v;
+        } else {
+            cols.push(c);
+            vals.push(v);
+        }
+    }
+    (cols, vals)
+}
+
+/// Peak expansion memory of the multiplication: the largest per-row flops
+/// times the entry size — what bhsparse must stage per workgroup.
+pub fn expansion_bytes(a: &Csr<f64>, b: &Csr<f64>) -> usize {
+    super::row_flops(a, b)
+        .iter()
+        .map(|&f| f as usize * std::mem::size_of::<(Idx, f64)>())
+        .max()
+        .unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::testutil::{random_csr, reference_csr};
+    use super::*;
+
+    #[test]
+    fn sort_compress_sums_runs() {
+        let mut buf = vec![(3u32, 1.0), (1, 2.0), (3, 0.5), (1, 1.0)];
+        let (cols, vals) = sort_compress(&mut buf);
+        assert_eq!(cols, vec![1, 3]);
+        assert_eq!(vals, vec![3.0, 1.5]);
+    }
+
+    #[test]
+    fn sort_compress_empty() {
+        let (cols, vals) = sort_compress(&mut []);
+        assert!(cols.is_empty() && vals.is_empty());
+    }
+
+    #[test]
+    fn expand_row_materializes_flops() {
+        let a = random_csr(8, 8, 24, 1);
+        let mut buf = Vec::new();
+        for i in 0..8 {
+            expand_row(&a, &a, i, &mut buf);
+            let flops: usize =
+                a.row_cols(i).iter().map(|&k| a.row_nnz(k as usize)).sum();
+            assert_eq!(buf.len(), flops, "row {i}");
+        }
+    }
+
+    #[test]
+    fn matches_reference() {
+        let a = random_csr(15, 12, 60, 4);
+        let b = random_csr(12, 10, 50, 5);
+        let got = multiply(&a, &b);
+        let want = reference_csr(&a, &b);
+        got.assert_valid();
+        assert_eq!(got.rowptr, want.rowptr);
+        assert_eq!(got.colidx, want.colidx);
+    }
+
+    #[test]
+    fn expansion_bytes_positive_when_work_exists() {
+        let a = random_csr(10, 10, 40, 9);
+        assert!(expansion_bytes(&a, &a) > 0);
+        let z = Csr::<f64>::zero(3, 3);
+        assert_eq!(expansion_bytes(&z, &z), 0);
+    }
+}

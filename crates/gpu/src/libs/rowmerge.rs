@@ -1,0 +1,158 @@
+//! `rmerge2` analogue: SpGEMM by iterative row merging
+//! (Gremse, Küpper, Naumann — SIAM J. Sci. Comput. 2018).
+//!
+//! Each output row `C_{i*} = Σ_k a_ik · B_{k*}` is formed by repeatedly
+//! merging *pairs* of sorted scaled rows — a balanced binary merge tree —
+//! instead of accumulating into a table. Merging is branch-predictable and
+//! memory-lean (rmerge2's selling point: "memory-efficient"), but the tree
+//! revisits elements `lg(nnz(A_{i*}))` times, so its advantage fades as
+//! `cf` grows; the paper measures it at ~1.1× `cpu-hash` overall and best
+//! among the GPU libraries only at small `cf`.
+
+use super::{build_csr_from_rows, RowOut};
+use hipmcl_sparse::Csr;
+use rayon::prelude::*;
+
+/// Multiplies `C = A · B` (CSR) by per-row binary merge trees.
+pub fn multiply(a: &Csr<f64>, b: &Csr<f64>) -> Csr<f64> {
+    let rows: Vec<RowOut> = (0..a.nrows())
+        .into_par_iter()
+        .map(|i| merge_row(a, b, i))
+        .collect();
+    build_csr_from_rows(a.nrows(), b.ncols(), rows)
+}
+
+/// Builds output row `i` by a balanced tree of two-way merges.
+fn merge_row(a: &Csr<f64>, b: &Csr<f64>, i: usize) -> RowOut {
+    let (acols, avals) = (a.row_cols(i), a.row_vals(i));
+    // Leaves: the selected B rows, scaled by the A entry.
+    let mut lists: Vec<RowOut> = acols
+        .iter()
+        .zip(avals)
+        .map(|(&k, &av)| {
+            let k = k as usize;
+            let cols = b.row_cols(k).to_vec();
+            let vals = b.row_vals(k).iter().map(|&v| v * av).collect();
+            (cols, vals)
+        })
+        .filter(|(c, _)| !c.is_empty())
+        .collect();
+
+    // Balanced reduction: merge adjacent pairs until one list remains.
+    while lists.len() > 1 {
+        let mut next = Vec::with_capacity(lists.len().div_ceil(2));
+        let mut it = lists.into_iter();
+        while let Some(first) = it.next() {
+            match it.next() {
+                Some(second) => next.push(merge_two(&first, &second)),
+                None => next.push(first),
+            }
+        }
+        lists = next;
+    }
+    lists.pop().unwrap_or_default()
+}
+
+/// Two-way merge of sorted `(cols, vals)` runs, summing equal columns.
+pub(crate) fn merge_two(x: &RowOut, y: &RowOut) -> RowOut {
+    let (xc, xv) = x;
+    let (yc, yv) = y;
+    let mut cols = Vec::with_capacity(xc.len() + yc.len());
+    let mut vals = Vec::with_capacity(xc.len() + yc.len());
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < xc.len() || j < yc.len() {
+        let take_x = j >= yc.len() || (i < xc.len() && xc[i] < yc[j]);
+        let take_both = i < xc.len() && j < yc.len() && xc[i] == yc[j];
+        if take_both {
+            cols.push(xc[i]);
+            vals.push(xv[i] + yv[j]);
+            i += 1;
+            j += 1;
+        } else if take_x {
+            cols.push(xc[i]);
+            vals.push(xv[i]);
+            i += 1;
+        } else {
+            cols.push(yc[j]);
+            vals.push(yv[j]);
+            j += 1;
+        }
+    }
+    (cols, vals)
+}
+
+/// Total number of element visits across the merge trees — the quantity
+/// that explains rmerge2's `lg` overhead relative to hash accumulation.
+pub fn merge_work(a: &Csr<f64>, b: &Csr<f64>) -> u64 {
+    (0..a.nrows())
+        .into_par_iter()
+        .map(|i| {
+            let lists = a.row_cols(i).len().max(1);
+            let flops: u64 = a.row_cols(i).iter().map(|&k| b.row_nnz(k as usize) as u64).sum();
+            flops * (lists as f64).log2().ceil().max(1.0) as u64
+        })
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::testutil::{random_csr, reference_csr};
+    use super::*;
+    type R = RowOut;
+
+    #[test]
+    fn merge_two_disjoint() {
+        let x: R = (vec![1, 5], vec![1.0, 2.0]);
+        let y: R = (vec![2, 9], vec![3.0, 4.0]);
+        let (c, v) = merge_two(&x, &y);
+        assert_eq!(c, vec![1, 2, 5, 9]);
+        assert_eq!(v, vec![1.0, 3.0, 2.0, 4.0]);
+    }
+
+    #[test]
+    fn merge_two_overlapping_sums() {
+        let x: R = (vec![1, 3], vec![1.0, 1.0]);
+        let y: R = (vec![1, 3], vec![0.5, 0.25]);
+        let (c, v) = merge_two(&x, &y);
+        assert_eq!(c, vec![1, 3]);
+        assert_eq!(v, vec![1.5, 1.25]);
+    }
+
+    #[test]
+    fn merge_two_with_empty() {
+        let x: R = (vec![], vec![]);
+        let y: R = (vec![7], vec![1.0]);
+        assert_eq!(merge_two(&x, &y), (vec![7], vec![1.0]));
+    }
+
+    #[test]
+    fn matches_reference() {
+        let a = random_csr(16, 13, 70, 10);
+        let b = random_csr(13, 17, 65, 11);
+        let got = multiply(&a, &b);
+        let want = reference_csr(&a, &b);
+        got.assert_valid();
+        assert_eq!(got.rowptr, want.rowptr);
+        assert_eq!(got.colidx, want.colidx);
+        let diff: f64 =
+            got.vals.iter().zip(&want.vals).map(|(x, y)| (x - y).abs()).fold(0.0, f64::max);
+        assert!(diff < 1e-9);
+    }
+
+    #[test]
+    fn merge_work_exceeds_flops_for_wide_rows() {
+        let a = random_csr(20, 20, 200, 12);
+        let flops: u64 = super::super::row_flops(&a, &a).iter().sum();
+        assert!(merge_work(&a, &a) >= flops);
+    }
+
+    #[test]
+    fn single_entry_rows() {
+        // A = diagonal: C = scaled B rows, exercised via the identity.
+        let b = random_csr(6, 6, 18, 13);
+        let i = Csr::from_csc(&hipmcl_sparse::Csc::identity(6));
+        let got = multiply(&i, &b);
+        assert_eq!(got.rowptr, b.rowptr);
+        assert_eq!(got.colidx, b.colidx);
+    }
+}

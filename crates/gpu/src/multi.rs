@@ -1,0 +1,205 @@
+//! Multi-GPU management on a node (§III-A).
+//!
+//! HipMCL keeps one MPI rank per node and drives all GPUs from it
+//! (the "thread-based" setting that wins in Fig. 5). The local
+//! `C = A · B` is split by *copying `A` to every device and dividing the
+//! columns of `B` evenly* — each GPU computes a column slab of `C`, so
+//! assembling the final output is a trivial horizontal concatenation.
+//!
+//! Virtual-time semantics per §III: the host blocks until the *input
+//! transfers* complete (all devices, which transfer in parallel over their
+//! own links), kernels run asynchronously, and the output slabs come back
+//! with D2H transfers gated on each device's kernel event.
+
+use crate::device::{Device, DeviceError};
+use hipmcl_comm::{GpuLib, MachineModel};
+use hipmcl_sparse::util::even_chunk;
+use hipmcl_sparse::Csc;
+
+/// The set of devices owned by one rank.
+pub struct MultiGpu {
+    /// The devices, all built from the same machine model.
+    pub devices: Vec<Device>,
+}
+
+/// Outcome of one multi-GPU local multiplication.
+#[derive(Debug)]
+pub struct LaunchResult {
+    /// The (real, verified) product `A · B`.
+    pub c: Csc<f64>,
+    /// Virtual time at which all input transfers completed — the host may
+    /// proceed (to the next SUMMA broadcast) from this moment.
+    pub inputs_transferred_at: f64,
+    /// Virtual time at which the full output has landed back on the host —
+    /// merging may start from this moment.
+    pub output_ready_at: f64,
+    /// Total flops of the multiplication.
+    pub flops: u64,
+    /// Compression factor realized by the multiplication.
+    pub cf: f64,
+}
+
+impl MultiGpu {
+    /// Creates `n` devices with the given per-device memory capacity.
+    pub fn new(model: MachineModel, n: usize, mem_per_device: usize) -> Self {
+        Self { devices: (0..n).map(|_| Device::new(model.clone(), mem_per_device)).collect() }
+    }
+
+    /// Creates the Summit configuration: `model.gpus` V100s.
+    pub fn summit_node(model: &MachineModel) -> Self {
+        Self::new(model.clone(), model.gpus, crate::device::V100_MEMORY)
+    }
+
+    /// Number of devices.
+    pub fn len(&self) -> usize {
+        self.devices.len()
+    }
+
+    /// `true` if the rank has no devices (CPU-only configuration).
+    pub fn is_empty(&self) -> bool {
+        self.devices.is_empty()
+    }
+
+    /// Total GPU idle time across devices (Table V's GPU column).
+    pub fn total_idle(&self) -> f64 {
+        self.devices.iter().map(Device::idle_time).sum()
+    }
+
+    /// Resets all device timelines.
+    pub fn reset_timelines(&mut self) {
+        for d in &mut self.devices {
+            d.reset_timeline();
+        }
+    }
+
+    /// Runs `C = A · B` split across all devices, starting at host virtual
+    /// time `host_now`. See module docs for the timeline semantics.
+    ///
+    /// Fails with [`DeviceError::OutOfMemory`] if any device cannot hold
+    /// its inputs plus its output slab — callers fall back to the CPU
+    /// kernel or to more SUMMA phases.
+    pub fn multiply(
+        &mut self,
+        host_now: f64,
+        a: &Csc<f64>,
+        b: &Csc<f64>,
+        lib: GpuLib,
+    ) -> Result<LaunchResult, DeviceError> {
+        assert!(!self.is_empty(), "no devices on this rank");
+        let g = self.devices.len();
+        let n = b.ncols();
+
+        let mut slabs: Vec<Csc<f64>> = Vec::with_capacity(g);
+        let mut inputs_done = host_now;
+        let mut outputs_done = host_now;
+        let mut total_flops = 0u64;
+        let mut total_out = 0u64;
+
+        for (d, dev) in self.devices.iter_mut().enumerate() {
+            let cols = even_chunk(n, g, d);
+            let b_slab = b.column_slice(cols);
+            let flops = hipmcl_spgemm::flops(a, &b_slab);
+
+            // Input transfer: A + the B slab. Devices transfer in parallel
+            // (independent links); each starts when the host initiates.
+            let in_bytes = a.bytes() + b_slab.bytes();
+            let t_in = dev.h2d(host_now, in_bytes)?;
+            inputs_done = inputs_done.max(t_in);
+
+            // Real kernel execution (host-side, verified), modeled duration.
+            let c_slab = crate::libs::multiply_csc(a, &b_slab, lib);
+            let cf = if c_slab.nnz() == 0 { 1.0 } else { flops as f64 / c_slab.nnz() as f64 };
+            let out_bytes = c_slab.bytes();
+            dev.alloc(out_bytes)?;
+            let ev = dev.launch_spgemm(t_in, lib, flops, cf);
+
+            // Output transfer back, then the device buffers are freed
+            // (§III: GPU memory holds a single multiplication at a time).
+            let t_out = dev.d2h(t_in, ev, out_bytes);
+            dev.free(in_bytes + out_bytes);
+            outputs_done = outputs_done.max(t_out);
+
+            total_flops += flops;
+            total_out += c_slab.nnz() as u64;
+            slabs.push(c_slab);
+        }
+
+        let c = Csc::hcat(&slabs);
+        let cf = if total_out == 0 { 1.0 } else { total_flops as f64 / total_out as f64 };
+        Ok(LaunchResult {
+            c,
+            inputs_transferred_at: inputs_done,
+            output_ready_at: outputs_done,
+            flops: total_flops,
+            cf,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hipmcl_spgemm::testutil::random_csc;
+
+    fn multi(n: usize) -> MultiGpu {
+        MultiGpu::new(MachineModel::summit(), n, 1 << 30)
+    }
+
+    #[test]
+    fn result_matches_cpu_kernel_any_device_count() {
+        let a = random_csc(30, 30, 250, 21);
+        let want = hipmcl_spgemm::hash::multiply(&a, &a);
+        for g in [1usize, 2, 3, 6] {
+            let mut m = multi(g);
+            let r = m.multiply(0.0, &a, &a, GpuLib::Nsparse).unwrap();
+            assert!(r.c.max_abs_diff(&want) < 1e-9, "g={g}");
+            assert_eq!(r.c.nnz(), want.nnz(), "g={g}");
+        }
+    }
+
+    #[test]
+    fn timeline_ordering() {
+        let a = random_csc(20, 20, 150, 22);
+        let mut m = multi(2);
+        let r = m.multiply(1.0, &a, &a, GpuLib::Nsparse).unwrap();
+        assert!(r.inputs_transferred_at > 1.0);
+        assert!(r.output_ready_at > r.inputs_transferred_at);
+        assert!(r.flops > 0);
+        assert!(r.cf >= 1.0);
+    }
+
+    #[test]
+    fn device_memory_freed_after_multiply() {
+        let a = random_csc(20, 20, 100, 23);
+        let mut m = multi(3);
+        m.multiply(0.0, &a, &a, GpuLib::Rmerge2).unwrap();
+        for d in &m.devices {
+            assert_eq!(d.mem_used(), 0, "buffers must be freed");
+            assert!(d.peak_mem() > 0, "something was staged");
+        }
+    }
+
+    #[test]
+    fn oom_on_tiny_device() {
+        let a = random_csc(100, 100, 4000, 24);
+        let mut m = MultiGpu::new(MachineModel::summit(), 1, 64); // 64 bytes
+        let err = m.multiply(0.0, &a, &a, GpuLib::Nsparse).unwrap_err();
+        matches!(err, DeviceError::OutOfMemory { .. });
+    }
+
+    #[test]
+    fn more_devices_finish_sooner() {
+        let a = random_csc(200, 200, 8000, 25);
+        let t = |g: usize| {
+            let mut m = multi(g);
+            m.multiply(0.0, &a, &a, GpuLib::Nsparse).unwrap().output_ready_at
+        };
+        assert!(t(6) < t(1), "6 GPUs should beat 1");
+    }
+
+    #[test]
+    fn summit_node_has_six_devices() {
+        let m = MultiGpu::summit_node(&MachineModel::summit());
+        assert_eq!(m.len(), 6);
+    }
+}

@@ -1,0 +1,136 @@
+//! The paper's kernel-selection recipe (§III, §VI, Fig. 4's `hybrid`).
+//!
+//! Two metrics drive the choice: `flops` decides *where* (a multiplication
+//! too small to saturate a GPU's threads stays on the CPU), `cf` decides
+//! *which* kernel. On the GPU, `nsparse` wins at large `cf` and `rmerge2`
+//! at small `cf`; on the CPU, hash beats heap above a small `cf`
+//! crossover.
+
+use hipmcl_comm::{GpuLib, SpgemmKernel};
+use hipmcl_spgemm::MultAnalysis;
+
+/// Tunable thresholds of the hybrid selection.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SelectionPolicy {
+    /// Below this many flops the GPU cannot be saturated — stay on CPU.
+    /// (A V100 runs 5120 CUDA cores; the default asks for ~200 products
+    /// per core before offloading.)
+    pub gpu_flops_threshold: u64,
+    /// `cf` at which `nsparse` overtakes `rmerge2` on the GPU.
+    pub gpu_cf_crossover: f64,
+    /// `cf` at which hash overtakes heap on the CPU.
+    pub cpu_cf_crossover: f64,
+}
+
+impl Default for SelectionPolicy {
+    fn default() -> Self {
+        Self {
+            gpu_flops_threshold: 1_000_000,
+            gpu_cf_crossover: 2.0,
+            cpu_cf_crossover: hipmcl_spgemm::hybrid::HEAP_HASH_CF_CROSSOVER,
+        }
+    }
+}
+
+impl SelectionPolicy {
+    /// A policy that offloads everything possible to the GPU — used by the
+    /// scaled-down experiments whose absolute flops are far below Summit
+    /// saturation sizes.
+    pub fn always_gpu() -> Self {
+        Self { gpu_flops_threshold: 0, ..Self::default() }
+    }
+
+    /// A CPU-only policy (optimized HipMCL on nodes without accelerators):
+    /// heap/hash chosen by `cf` (§VI).
+    pub fn cpu_only() -> Self {
+        Self { gpu_flops_threshold: u64::MAX, ..Self::default() }
+    }
+
+    /// Original HipMCL's policy: always the heap kernel on the CPU — hash
+    /// accumulation *is* one of the paper's optimizations, so the baseline
+    /// must not use it.
+    pub fn original_heap() -> Self {
+        Self {
+            gpu_flops_threshold: u64::MAX,
+            cpu_cf_crossover: f64::INFINITY,
+            ..Self::default()
+        }
+    }
+}
+
+/// Picks the kernel for a multiplication with the given analysis.
+pub fn select_kernel(
+    analysis: &MultAnalysis,
+    policy: &SelectionPolicy,
+    gpus_available: usize,
+) -> SpgemmKernel {
+    let cf = analysis.cf();
+    if gpus_available == 0 || analysis.flops < policy.gpu_flops_threshold {
+        if cf < policy.cpu_cf_crossover {
+            SpgemmKernel::CpuHeap
+        } else {
+            SpgemmKernel::CpuHash
+        }
+    } else if cf < policy.gpu_cf_crossover {
+        SpgemmKernel::Gpu(GpuLib::Rmerge2)
+    } else {
+        SpgemmKernel::Gpu(GpuLib::Nsparse)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn analysis(flops: u64, nnz: u64) -> MultAnalysis {
+        MultAnalysis { flops, nnz_out: nnz }
+    }
+
+    #[test]
+    fn small_multiplications_stay_on_cpu() {
+        let p = SelectionPolicy::default();
+        let k = select_kernel(&analysis(1000, 10), &p, 6);
+        assert!(matches!(k, SpgemmKernel::CpuHash));
+    }
+
+    #[test]
+    fn tiny_cf_on_cpu_uses_heap() {
+        let p = SelectionPolicy::default();
+        let k = select_kernel(&analysis(1000, 900), &p, 6);
+        assert_eq!(k, SpgemmKernel::CpuHeap);
+    }
+
+    #[test]
+    fn big_high_cf_goes_to_nsparse() {
+        let p = SelectionPolicy::default();
+        let k = select_kernel(&analysis(100_000_000, 1_000_000), &p, 6);
+        assert_eq!(k, SpgemmKernel::Gpu(GpuLib::Nsparse));
+    }
+
+    #[test]
+    fn big_low_cf_goes_to_rmerge2() {
+        let p = SelectionPolicy::default();
+        let k = select_kernel(&analysis(100_000_000, 90_000_000), &p, 6);
+        assert_eq!(k, SpgemmKernel::Gpu(GpuLib::Rmerge2));
+    }
+
+    #[test]
+    fn no_gpus_means_cpu_regardless_of_size() {
+        let p = SelectionPolicy::default();
+        let k = select_kernel(&analysis(100_000_000, 1_000_000), &p, 0);
+        assert_eq!(k, SpgemmKernel::CpuHash);
+    }
+
+    #[test]
+    fn policy_presets() {
+        let a = analysis(100, 10);
+        assert!(matches!(
+            select_kernel(&a, &SelectionPolicy::always_gpu(), 6),
+            SpgemmKernel::Gpu(_)
+        ));
+        assert!(matches!(
+            select_kernel(&a, &SelectionPolicy::cpu_only(), 6),
+            SpgemmKernel::CpuHash | SpgemmKernel::CpuHeap
+        ));
+    }
+}

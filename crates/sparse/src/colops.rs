@@ -1,0 +1,461 @@
+//! Columnwise kernels of the MCL pipeline: stochastic normalization,
+//! inflation (Hadamard power), threshold pruning with selection and
+//! recovery, and the chaos convergence statistic.
+//!
+//! All kernels are column-parallel with rayon — columns are independent,
+//! which is exactly why HipMCL parallelizes these steps trivially (§II).
+
+use crate::csc::Csc;
+use crate::Idx;
+use rayon::prelude::*;
+
+/// Pruning policy applied after every expansion (Algorithm 1, line 4).
+///
+/// Mirrors MCL's `-P/-S/-R` knobs as used by HipMCL:
+/// * entries below `cutoff` are pruned;
+/// * if more than `select` entries survive, only the `select` largest are
+///   kept (top-k selection, k ≈ 1000 in the paper);
+/// * if fewer than `recover_num` survive *and* the surviving mass is below
+///   `recover_pct` of the column's pre-prune mass, the largest pruned
+///   entries are recovered until either bound is met.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct PruneParams {
+    /// Absolute cutoff below which entries are pruned (MCL `-P` ≈ 1/10000).
+    pub cutoff: f64,
+    /// Maximum entries kept per column (MCL `-S`, paper: ~1000).
+    pub select: usize,
+    /// Column-size floor that triggers recovery (MCL `-R`).
+    pub recover_num: usize,
+    /// Mass fraction that must survive pruning to skip recovery.
+    pub recover_pct: f64,
+}
+
+impl Default for PruneParams {
+    fn default() -> Self {
+        Self { cutoff: 1.0 / 10_000.0, select: 1100, recover_num: 1400, recover_pct: 0.9 }
+    }
+}
+
+impl PruneParams {
+    /// Parameters scaled for small test graphs (keeps ≤ `k` per column).
+    pub fn with_select(k: usize) -> Self {
+        Self { select: k, recover_num: k + k / 4, ..Self::default() }
+    }
+}
+
+/// Summary of one pruning pass, used by the driver's instrumentation.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct PruneStats {
+    /// Entries removed by the cutoff.
+    pub pruned_by_cutoff: usize,
+    /// Entries removed by top-k selection.
+    pub pruned_by_select: usize,
+    /// Entries put back by recovery.
+    pub recovered: usize,
+}
+
+/// Scales every column of `m` to sum to one (column stochastic). Columns
+/// that are entirely zero are left untouched.
+pub fn normalize_columns(m: &mut Csc<f64>) {
+    let colptr = m.colptr.clone();
+    let vals = &mut m.vals;
+    colptr
+        .par_windows(2)
+        .zip_eq(unsafe { par_col_chunks(vals, &colptr) })
+        .for_each(|(_, col)| {
+            let s: f64 = col.iter().sum();
+            if s > 0.0 {
+                let inv = 1.0 / s;
+                for v in col {
+                    *v *= inv;
+                }
+            }
+        });
+}
+
+/// Splits `vals` into per-column mutable chunks according to `colptr`.
+///
+/// # Safety
+/// `colptr` must be a valid monotone pointer array for `vals` (which the
+/// `Csc` invariants guarantee); chunks are then disjoint.
+unsafe fn par_col_chunks<'a>(
+    vals: &'a mut [f64],
+    colptr: &'a [usize],
+) -> impl rayon::iter::IndexedParallelIterator<Item = &'a mut [f64]> {
+    let ptr = vals.as_mut_ptr() as usize;
+    colptr.par_windows(2).map(move |w| {
+        let (lo, hi) = (w[0], w[1]);
+        std::slice::from_raw_parts_mut((ptr as *mut f64).add(lo), hi - lo)
+    })
+}
+
+/// Raises every entry to `power` and renormalizes columns — the MCL
+/// inflation operator Γ_r (Algorithm 1, line 5; paper uses r = 2).
+pub fn inflate(m: &mut Csc<f64>, power: f64) {
+    let colptr = m.colptr.clone();
+    let vals = &mut m.vals;
+    colptr
+        .par_windows(2)
+        .zip_eq(unsafe { par_col_chunks(vals, &colptr) })
+        .for_each(|(_, col)| {
+            let mut s = 0.0;
+            for v in col.iter_mut() {
+                *v = v.powf(power);
+                s += *v;
+            }
+            if s > 0.0 {
+                let inv = 1.0 / s;
+                for v in col {
+                    *v *= inv;
+                }
+            }
+        });
+}
+
+/// Sum of each column.
+pub fn col_sums(m: &Csc<f64>) -> Vec<f64> {
+    (0..m.ncols())
+        .into_par_iter()
+        .map(|j| m.col_vals(j).iter().sum())
+        .collect()
+}
+
+/// Maximum of each column (0 for empty columns).
+pub fn col_maxes(m: &Csc<f64>) -> Vec<f64> {
+    (0..m.ncols())
+        .into_par_iter()
+        .map(|j| m.col_vals(j).iter().copied().fold(0.0f64, f64::max))
+        .collect()
+}
+
+/// The MCL *chaos* statistic: `max_j (max_i m_ij − Σ_i m_ij²)` over
+/// non-empty columns of a column-stochastic matrix. Zero exactly when every
+/// column is an indicator vector (fully converged); HipMCL stops when chaos
+/// drops below a small epsilon.
+pub fn chaos(m: &Csc<f64>) -> f64 {
+    (0..m.ncols())
+        .into_par_iter()
+        .map(|j| {
+            let col = m.col_vals(j);
+            if col.is_empty() {
+                return 0.0;
+            }
+            let mut mx = 0.0f64;
+            let mut ssq = 0.0f64;
+            for &v in col {
+                mx = mx.max(v);
+                ssq += v * v;
+            }
+            mx - ssq
+        })
+        .reduce(|| 0.0, f64::max)
+}
+
+/// Returns the `k`-th largest value of `vals` (1-indexed: `k = 1` gives the
+/// maximum). `k` must satisfy `1 ≤ k ≤ vals.len()`. `O(n)` via quickselect.
+pub fn kth_largest(vals: &[f64], k: usize) -> f64 {
+    assert!(k >= 1 && k <= vals.len());
+    let mut buf: Vec<f64> = vals.to_vec();
+    let idx = k - 1;
+    let (_, kth, _) = buf.select_nth_unstable_by(idx, |a, b| b.partial_cmp(a).unwrap());
+    *kth
+}
+
+/// Applies [`PruneParams`] to every column of `m`, returning the pruned
+/// matrix and statistics. The input is expected column stochastic; column
+/// mass is *not* renormalized here (MCL renormalizes during inflation).
+///
+/// Per column: cutoff prune → top-`select` selection → recovery. A column
+/// whose entries are all below the cutoff keeps its single largest entry
+/// (a random-walk column must never become empty).
+pub fn prune(m: &Csc<f64>, p: &PruneParams) -> (Csc<f64>, PruneStats) {
+    struct ColOut {
+        rows: Vec<Idx>,
+        vals: Vec<f64>,
+        stats: PruneStats,
+    }
+
+    let cols: Vec<ColOut> = (0..m.ncols())
+        .into_par_iter()
+        .map(|j| {
+            let rows = m.col_rows(j);
+            let vals = m.col_vals(j);
+            let mut stats = PruneStats::default();
+            if rows.is_empty() {
+                return ColOut { rows: Vec::new(), vals: Vec::new(), stats };
+            }
+            let total_mass: f64 = vals.iter().sum();
+
+            // Cutoff prune.
+            let mut kept: Vec<usize> = (0..rows.len()).filter(|&k| vals[k] >= p.cutoff).collect();
+            stats.pruned_by_cutoff = rows.len() - kept.len();
+            if kept.is_empty() {
+                // Keep the single largest entry.
+                let best = (0..vals.len())
+                    .max_by(|&a, &b| vals[a].partial_cmp(&vals[b]).unwrap())
+                    .unwrap();
+                kept.push(best);
+                stats.pruned_by_cutoff -= 1;
+            }
+
+            // Selection: keep top-`select` among survivors.
+            if kept.len() > p.select {
+                let thresh = {
+                    let surviving: Vec<f64> = kept.iter().map(|&k| vals[k]).collect();
+                    kth_largest(&surviving, p.select)
+                };
+                // Keep strictly-greater first, then fill ties up to `select`.
+                let mut top: Vec<usize> =
+                    kept.iter().copied().filter(|&k| vals[k] > thresh).collect();
+                for &k in &kept {
+                    if top.len() >= p.select {
+                        break;
+                    }
+                    if vals[k] == thresh {
+                        top.push(k);
+                    }
+                }
+                stats.pruned_by_select = kept.len() - top.len();
+                kept = top;
+                kept.sort_unstable();
+            }
+
+            // Recovery: if too much mass was pruned and the column is small.
+            let kept_mass: f64 = kept.iter().map(|&k| vals[k]).sum();
+            if kept.len() < p.recover_num && kept_mass < p.recover_pct * total_mass {
+                let mut pruned: Vec<usize> = (0..rows.len()).filter(|k| !kept.contains(k)).collect();
+                pruned.sort_unstable_by(|&a, &b| vals[b].partial_cmp(&vals[a]).unwrap());
+                let mut mass = kept_mass;
+                for k in pruned {
+                    if kept.len() >= p.recover_num || mass >= p.recover_pct * total_mass {
+                        break;
+                    }
+                    kept.push(k);
+                    mass += vals[k];
+                    stats.recovered += 1;
+                }
+                kept.sort_unstable();
+            }
+
+            ColOut {
+                rows: kept.iter().map(|&k| rows[k]).collect(),
+                vals: kept.iter().map(|&k| vals[k]).collect(),
+                stats,
+            }
+        })
+        .collect();
+
+    let mut colptr = Vec::with_capacity(m.ncols() + 1);
+    colptr.push(0usize);
+    let nnz: usize = cols.iter().map(|c| c.rows.len()).sum();
+    let mut rowidx = Vec::with_capacity(nnz);
+    let mut vals = Vec::with_capacity(nnz);
+    let mut stats = PruneStats::default();
+    for c in cols {
+        rowidx.extend_from_slice(&c.rows);
+        vals.extend_from_slice(&c.vals);
+        colptr.push(rowidx.len());
+        stats.pruned_by_cutoff += c.stats.pruned_by_cutoff;
+        stats.pruned_by_select += c.stats.pruned_by_select;
+        stats.recovered += c.stats.recovered;
+    }
+    (Csc::from_parts(m.nrows(), m.ncols(), colptr, rowidx, vals), stats)
+}
+
+/// Makes the nonzero pattern symmetric: `m ∨ mᵀ` with values `max(a, aᵀ)`.
+/// MCL inputs are similarity graphs and are symmetrized before clustering.
+pub fn symmetrize_max(m: &Csc<f64>) -> Csc<f64> {
+    assert_eq!(m.nrows(), m.ncols());
+    let t = m.transposed();
+    let mut out = crate::triples::Triples::new(m.nrows(), m.ncols());
+    for j in 0..m.ncols() {
+        let (ra, va) = (m.col_rows(j), m.col_vals(j));
+        let (rb, vb) = (t.col_rows(j), t.col_vals(j));
+        let (mut a, mut b) = (0usize, 0usize);
+        while a < ra.len() || b < rb.len() {
+            if b >= rb.len() || (a < ra.len() && ra[a] < rb[b]) {
+                out.push(ra[a], j as Idx, va[a]);
+                a += 1;
+            } else if a >= ra.len() || rb[b] < ra[a] {
+                out.push(rb[b], j as Idx, vb[b]);
+                b += 1;
+            } else {
+                out.push(ra[a], j as Idx, va[a].max(vb[b]));
+                a += 1;
+                b += 1;
+            }
+        }
+    }
+    Csc::from_sorted_dedup_triples(&out)
+}
+
+/// Adds self-loops of weight `w` to any diagonal position that lacks one.
+/// MCL adds self-loops so the random walk is aperiodic.
+pub fn add_self_loops(m: &Csc<f64>, w: f64) -> Csc<f64> {
+    assert_eq!(m.nrows(), m.ncols());
+    let mut t = m.to_triples();
+    for j in 0..m.ncols() {
+        if m.get(j, j).is_none() {
+            t.push(j as Idx, j as Idx, w);
+        }
+    }
+    Csc::from_triples(&t)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::triples::Triples;
+
+    fn stochastic_sample() -> Csc<f64> {
+        let mut t = Triples::new(4, 3);
+        t.push(0, 0, 0.5);
+        t.push(1, 0, 0.3);
+        t.push(2, 0, 0.15);
+        t.push(3, 0, 0.05);
+        t.push(1, 1, 0.9);
+        t.push(2, 1, 0.1);
+        t.push(3, 2, 1.0);
+        Csc::from_triples(&t)
+    }
+
+    #[test]
+    fn normalize_makes_columns_sum_to_one() {
+        let mut t = Triples::new(3, 2);
+        t.push(0, 0, 2.0);
+        t.push(1, 0, 6.0);
+        t.push(2, 1, 5.0);
+        let mut m = Csc::from_triples(&t);
+        normalize_columns(&mut m);
+        let sums = col_sums(&m);
+        assert!((sums[0] - 1.0).abs() < 1e-12);
+        assert!((sums[1] - 1.0).abs() < 1e-12);
+        assert_eq!(m.get(0, 0), Some(0.25));
+    }
+
+    #[test]
+    fn normalize_skips_empty_columns() {
+        let mut m = Csc::<f64>::zero(3, 3);
+        normalize_columns(&mut m);
+        assert_eq!(m.nnz(), 0);
+    }
+
+    #[test]
+    fn inflate_square_sharpens_distribution() {
+        let mut m = stochastic_sample();
+        inflate(&mut m, 2.0);
+        let sums = col_sums(&m);
+        for s in sums.iter().take(3) {
+            assert!((s - 1.0).abs() < 1e-12, "columns stay stochastic");
+        }
+        // Column 0 was (0.5,0.3,0.15,0.05): squaring+renorm boosts the max.
+        assert!(m.get(0, 0).unwrap() > 0.5);
+        assert!(m.get(3, 0).unwrap() < 0.05);
+    }
+
+    #[test]
+    fn chaos_zero_for_indicator_columns() {
+        let m = Csc::<f64>::identity(5);
+        assert_eq!(chaos(&m), 0.0);
+        let spread = stochastic_sample();
+        assert!(chaos(&spread) > 0.0);
+    }
+
+    #[test]
+    fn kth_largest_basic() {
+        let v = [0.1, 0.9, 0.5, 0.7];
+        assert_eq!(kth_largest(&v, 1), 0.9);
+        assert_eq!(kth_largest(&v, 2), 0.7);
+        assert_eq!(kth_largest(&v, 4), 0.1);
+    }
+
+    #[test]
+    fn prune_cutoff_drops_small_entries() {
+        let m = stochastic_sample();
+        let p = PruneParams { cutoff: 0.2, select: 10, recover_num: 0, recover_pct: 0.0 };
+        let (out, stats) = prune(&m, &p);
+        out.assert_valid();
+        assert_eq!(out.get(3, 0), None);
+        assert_eq!(out.get(2, 0), None);
+        assert_eq!(stats.pruned_by_cutoff, 3); // 0.15, 0.05 in col0; 0.1 in col1
+        assert_eq!(out.get(0, 0), Some(0.5));
+    }
+
+    #[test]
+    fn prune_never_empties_a_column() {
+        let m = stochastic_sample();
+        let p = PruneParams { cutoff: 5.0, select: 10, recover_num: 0, recover_pct: 0.0 };
+        let (out, _) = prune(&m, &p);
+        for j in 0..3 {
+            assert_eq!(out.col_nnz(j), 1, "column {j} keeps its max");
+        }
+        assert_eq!(out.get(0, 0), Some(0.5));
+    }
+
+    #[test]
+    fn prune_selection_keeps_top_k() {
+        let m = stochastic_sample();
+        let p = PruneParams { cutoff: 0.0, select: 2, recover_num: 0, recover_pct: 0.0 };
+        let (out, stats) = prune(&m, &p);
+        assert_eq!(out.col_nnz(0), 2);
+        assert_eq!(out.get(0, 0), Some(0.5));
+        assert_eq!(out.get(1, 0), Some(0.3));
+        assert_eq!(stats.pruned_by_select, 2);
+    }
+
+    #[test]
+    fn prune_selection_handles_ties() {
+        let mut t = Triples::new(4, 1);
+        for i in 0..4 {
+            t.push(i, 0, 0.25);
+        }
+        let m = Csc::from_triples(&t);
+        let p = PruneParams { cutoff: 0.0, select: 2, recover_num: 0, recover_pct: 0.0 };
+        let (out, _) = prune(&m, &p);
+        assert_eq!(out.col_nnz(0), 2, "exactly k survive a full tie");
+    }
+
+    #[test]
+    fn prune_recovery_restores_mass() {
+        let m = stochastic_sample();
+        // Aggressive cutoff kills 0.15/0.05; recovery demands 90% mass back.
+        let p = PruneParams { cutoff: 0.2, select: 10, recover_num: 3, recover_pct: 0.9 };
+        let (out, stats) = prune(&m, &p);
+        assert!(stats.recovered >= 1);
+        // Column 0 kept 0.8 mass after cutoff; recovery adds 0.15 back.
+        assert_eq!(out.get(2, 0), Some(0.15));
+    }
+
+    #[test]
+    fn symmetrize_max_produces_symmetric_pattern() {
+        let mut t = Triples::new(3, 3);
+        t.push(0, 1, 2.0);
+        t.push(1, 0, 5.0);
+        t.push(2, 0, 1.0);
+        let s = symmetrize_max(&Csc::from_triples(&t));
+        s.assert_valid();
+        assert_eq!(s.get(0, 1), Some(5.0));
+        assert_eq!(s.get(1, 0), Some(5.0));
+        assert_eq!(s.get(0, 2), Some(1.0));
+        assert_eq!(s.get(2, 0), Some(1.0));
+    }
+
+    #[test]
+    fn add_self_loops_only_where_missing() {
+        let mut t = Triples::new(2, 2);
+        t.push(0, 0, 3.0);
+        t.push(1, 0, 1.0);
+        let m = add_self_loops(&Csc::from_triples(&t), 1.0);
+        assert_eq!(m.get(0, 0), Some(3.0), "existing loop untouched");
+        assert_eq!(m.get(1, 1), Some(1.0), "missing loop added");
+    }
+
+    #[test]
+    fn col_maxes_and_sums() {
+        let m = stochastic_sample();
+        let maxes = col_maxes(&m);
+        assert_eq!(maxes, vec![0.5, 0.9, 1.0]);
+        let sums = col_sums(&m);
+        assert!((sums[0] - 1.0).abs() < 1e-12);
+    }
+}

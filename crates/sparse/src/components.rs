@@ -1,0 +1,178 @@
+//! Connected components via union-find, used to extract the final clusters
+//! from the converged MCL matrix (Algorithm 1, line 6).
+//!
+//! The converged matrix is a disjoint union of near-star subgraphs, so a
+//! sequential union-find over its nonzeros is effectively linear time and
+//! far cheaper than any MCL iteration. A label-propagation alternative that
+//! distributes over ranks lives in `hipmcl-summa::components`.
+
+use crate::csc::Csc;
+use crate::scalar::Scalar;
+
+/// Disjoint-set forest with union by rank and path halving.
+#[derive(Clone, Debug)]
+pub struct UnionFind {
+    parent: Vec<u32>,
+    rank: Vec<u8>,
+}
+
+impl UnionFind {
+    /// Creates `n` singleton sets.
+    pub fn new(n: usize) -> Self {
+        Self { parent: (0..n as u32).collect(), rank: vec![0; n] }
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.parent.len()
+    }
+
+    /// `true` if there are no elements.
+    pub fn is_empty(&self) -> bool {
+        self.parent.is_empty()
+    }
+
+    /// Finds the representative of `x` with path halving.
+    pub fn find(&mut self, mut x: u32) -> u32 {
+        while self.parent[x as usize] != x {
+            let grand = self.parent[self.parent[x as usize] as usize];
+            self.parent[x as usize] = grand;
+            x = grand;
+        }
+        x
+    }
+
+    /// Unions the sets of `a` and `b`; returns `true` if they were separate.
+    pub fn union(&mut self, a: u32, b: u32) -> bool {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return false;
+        }
+        let (hi, lo) = if self.rank[ra as usize] >= self.rank[rb as usize] {
+            (ra, rb)
+        } else {
+            (rb, ra)
+        };
+        self.parent[lo as usize] = hi;
+        if self.rank[hi as usize] == self.rank[lo as usize] {
+            self.rank[hi as usize] += 1;
+        }
+        true
+    }
+
+    /// Compacts representatives into dense labels `0..k`; returns
+    /// `(labels, k)`.
+    pub fn labels(&mut self) -> (Vec<u32>, usize) {
+        let n = self.len();
+        let mut map = vec![u32::MAX; n];
+        let mut labels = vec![0u32; n];
+        let mut next = 0u32;
+        for x in 0..n as u32 {
+            let r = self.find(x);
+            if map[r as usize] == u32::MAX {
+                map[r as usize] = next;
+                next += 1;
+            }
+            labels[x as usize] = map[r as usize];
+        }
+        (labels, next as usize)
+    }
+}
+
+/// Connected components of the undirected graph underlying `m` (the pattern
+/// of `m ∨ mᵀ`). Returns `(labels, number_of_components)` with labels dense
+/// in `0..k`.
+pub fn connected_components<T: Scalar>(m: &Csc<T>) -> (Vec<u32>, usize) {
+    assert_eq!(m.nrows(), m.ncols(), "components need a square matrix");
+    let mut uf = UnionFind::new(m.ncols());
+    for j in 0..m.ncols() {
+        for &r in m.col_rows(j) {
+            uf.union(r, j as u32);
+        }
+    }
+    uf.labels()
+}
+
+/// Groups vertex ids by component label: `clusters[c]` lists the vertices of
+/// component `c`, each list sorted ascending.
+pub fn clusters_from_labels(labels: &[u32], k: usize) -> Vec<Vec<u32>> {
+    let mut clusters = vec![Vec::new(); k];
+    for (v, &c) in labels.iter().enumerate() {
+        clusters[c as usize].push(v as u32);
+    }
+    clusters
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::triples::Triples;
+
+    #[test]
+    fn union_find_basics() {
+        let mut uf = UnionFind::new(5);
+        assert!(uf.union(0, 1));
+        assert!(uf.union(3, 4));
+        assert!(!uf.union(1, 0), "already joined");
+        assert_eq!(uf.find(0), uf.find(1));
+        assert_ne!(uf.find(0), uf.find(3));
+        let (labels, k) = uf.labels();
+        assert_eq!(k, 3);
+        assert_eq!(labels[0], labels[1]);
+        assert_eq!(labels[3], labels[4]);
+        assert_ne!(labels[0], labels[2]);
+    }
+
+    #[test]
+    fn components_of_two_triangles() {
+        let mut t = Triples::new(6, 6);
+        for &(a, b) in &[(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3)] {
+            t.push(a, b, 1.0);
+        }
+        let m = Csc::from_triples(&t);
+        let (labels, k) = connected_components(&m);
+        assert_eq!(k, 2);
+        let clusters = clusters_from_labels(&labels, k);
+        let mut sizes: Vec<usize> = clusters.iter().map(Vec::len).collect();
+        sizes.sort();
+        assert_eq!(sizes, vec![3, 3]);
+    }
+
+    #[test]
+    fn directed_edges_still_connect() {
+        // Only (0 -> 1) stored; pattern treated as undirected.
+        let mut t = Triples::new(3, 3);
+        t.push(0, 1, 1.0);
+        let (labels, k) = connected_components(&Csc::from_triples(&t));
+        assert_eq!(k, 2);
+        assert_eq!(labels[0], labels[1]);
+        assert_ne!(labels[0], labels[2]);
+    }
+
+    #[test]
+    fn empty_matrix_all_singletons() {
+        let m = Csc::<f64>::zero(4, 4);
+        let (labels, k) = connected_components(&m);
+        assert_eq!(k, 4);
+        assert_eq!(labels, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn clusters_from_labels_sorted_members() {
+        let labels = vec![1, 0, 1, 0, 1];
+        let clusters = clusters_from_labels(&labels, 2);
+        assert_eq!(clusters[0], vec![1, 3]);
+        assert_eq!(clusters[1], vec![0, 2, 4]);
+    }
+
+    #[test]
+    fn path_graph_single_component() {
+        let n = 1000;
+        let mut t = Triples::new(n, n);
+        for i in 0..n - 1 {
+            t.push(i as u32, (i + 1) as u32, 1.0);
+        }
+        let (_, k) = connected_components(&Csc::from_triples(&t));
+        assert_eq!(k, 1);
+    }
+}

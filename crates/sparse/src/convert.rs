@@ -1,0 +1,169 @@
+//! Cross-format conversion helpers and 2D block distribution.
+//!
+//! The 2D decomposition follows CombBLAS: an `m × n` matrix on a `pr × pc`
+//! process grid is split into `pr` row stripes and `pc` column stripes with
+//! the balanced block distribution of [`crate::util::even_chunk`]. Block
+//! `(i, j)` lives on the process at grid coordinates `(i, j)` and uses
+//! *local* indices.
+
+use crate::csc::Csc;
+use crate::scalar::Scalar;
+use crate::triples::Triples;
+use crate::util::even_chunk;
+use crate::Idx;
+
+/// Splits a global matrix into `pr × pc` blocks (row-major block order)
+/// with local indices. Inverse of [`gather_2d`].
+pub fn split_2d<T: Scalar>(global: &Triples<T>, pr: usize, pc: usize) -> Vec<Triples<T>> {
+    let m = global.nrows();
+    let n = global.ncols();
+    let row_ranges: Vec<_> = (0..pr).map(|i| even_chunk(m, pr, i)).collect();
+    let col_ranges: Vec<_> = (0..pc).map(|j| even_chunk(n, pc, j)).collect();
+    let mut blocks: Vec<Triples<T>> = (0..pr * pc)
+        .map(|b| Triples::new(row_ranges[b / pc].len(), col_ranges[b % pc].len()))
+        .collect();
+    for (r, c, v) in global.iter() {
+        let (r, c) = (r as usize, c as usize);
+        let bi = block_of(m, pr, r);
+        let bj = block_of(n, pc, c);
+        let lr = (r - row_ranges[bi].start) as Idx;
+        let lc = (c - col_ranges[bj].start) as Idx;
+        blocks[bi * pc + bj].push(lr, lc, v);
+    }
+    blocks
+}
+
+/// Reassembles a global matrix from `pr × pc` local blocks (row-major block
+/// order). Inverse of [`split_2d`].
+pub fn gather_2d<T: Scalar>(
+    blocks: &[Triples<T>],
+    m: usize,
+    n: usize,
+    pr: usize,
+    pc: usize,
+) -> Triples<T> {
+    assert_eq!(blocks.len(), pr * pc);
+    let nnz = blocks.iter().map(|b| b.nnz()).sum();
+    let mut global = Triples::with_capacity(m, n, nnz);
+    for bi in 0..pr {
+        let rr = even_chunk(m, pr, bi);
+        for bj in 0..pc {
+            let cr = even_chunk(n, pc, bj);
+            let blk = &blocks[bi * pc + bj];
+            assert_eq!(blk.nrows(), rr.len(), "block ({bi},{bj}) row dim");
+            assert_eq!(blk.ncols(), cr.len(), "block ({bi},{bj}) col dim");
+            for (r, c, v) in blk.iter() {
+                global.push((rr.start + r as usize) as Idx, (cr.start + c as usize) as Idx, v);
+            }
+        }
+    }
+    global
+}
+
+/// Which of the `parts` balanced chunks of `n` items contains item `idx`.
+pub fn block_of(n: usize, parts: usize, idx: usize) -> usize {
+    debug_assert!(idx < n);
+    let base = n / parts;
+    let extra = n % parts;
+    let big = (base + 1) * extra; // items covered by the first `extra` chunks
+    if idx < big {
+        idx / (base + 1)
+    } else {
+        extra + (idx - big) / base.max(1)
+    }
+}
+
+/// Splits a CSC matrix into `pr × pc` CSC blocks (row-major block order).
+/// Convenience wrapper over [`split_2d`].
+pub fn split_2d_csc<T: Scalar>(global: &Csc<T>, pr: usize, pc: usize) -> Vec<Csc<T>> {
+    split_2d(&global.to_triples(), pr, pc)
+        .iter()
+        .map(Csc::from_triples)
+        .collect()
+}
+
+/// Reassembles a global CSC matrix from CSC blocks.
+pub fn gather_2d_csc<T: Scalar>(
+    blocks: &[Csc<T>],
+    m: usize,
+    n: usize,
+    pr: usize,
+    pc: usize,
+) -> Csc<T> {
+    let t: Vec<Triples<T>> = blocks.iter().map(|b| b.to_triples()).collect();
+    Csc::from_triples(&gather_2d(&t, m, n, pr, pc))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn random_triples(m: usize, n: usize, nnz: usize, seed: u64) -> Triples<f64> {
+        // Simple LCG to avoid pulling rand into every unit test.
+        let mut state = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+        let mut next = || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (state >> 33) as usize
+        };
+        let mut t = Triples::new(m, n);
+        for _ in 0..nnz {
+            t.push((next() % m) as Idx, (next() % n) as Idx, (next() % 100) as f64 + 1.0);
+        }
+        t.sum_duplicates();
+        t
+    }
+
+    #[test]
+    fn block_of_matches_even_chunk() {
+        for n in [1usize, 7, 10, 33] {
+            for parts in [1usize, 2, 3, 5] {
+                for idx in 0..n {
+                    let b = block_of(n, parts, idx);
+                    assert!(even_chunk(n, parts, b).contains(&idx), "n={n} parts={parts} idx={idx}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn split_gather_roundtrip() {
+        let g = random_triples(23, 17, 120, 42);
+        for (pr, pc) in [(1, 1), (2, 2), (3, 3), (4, 2)] {
+            let blocks = split_2d(&g, pr, pc);
+            let mut back = gather_2d(&blocks, 23, 17, pr, pc);
+            back.sum_duplicates();
+            let mut want = g.clone();
+            want.sum_duplicates();
+            assert_eq!(back, want, "roundtrip pr={pr} pc={pc}");
+        }
+    }
+
+    #[test]
+    fn split_preserves_total_nnz() {
+        let g = random_triples(31, 31, 200, 7);
+        let blocks = split_2d(&g, 3, 3);
+        let total: usize = blocks.iter().map(|b| b.nnz()).sum();
+        assert_eq!(total, g.nnz());
+    }
+
+    #[test]
+    fn csc_split_gather_roundtrip() {
+        let g = Csc::from_triples(&random_triples(16, 16, 60, 3));
+        let blocks = split_2d_csc(&g, 2, 2);
+        assert_eq!(blocks.len(), 4);
+        let back = gather_2d_csc(&blocks, 16, 16, 2, 2);
+        assert_eq!(back, g);
+    }
+
+    #[test]
+    fn single_block_is_identity() {
+        let g = random_triples(9, 9, 30, 11);
+        let blocks = split_2d(&g, 1, 1);
+        assert_eq!(blocks.len(), 1);
+        let mut got = blocks[0].clone();
+        got.sum_duplicates();
+        let mut want = g.clone();
+        want.sum_duplicates();
+        assert_eq!(got, want);
+    }
+}

@@ -1,0 +1,548 @@
+//! Compressed sparse column (CSC) storage.
+//!
+//! CSC is the primary compute format of the MCL pipeline: the matrix is
+//! column stochastic and every kernel (normalization, pruning, selection,
+//! inflation, column-by-column SpGEMM) walks columns. Rows within a column
+//! are kept sorted by row index — several kernels (heap SpGEMM, two-way
+//! merges) rely on that invariant, and [`Csc::assert_valid`] checks it.
+
+use crate::scalar::Scalar;
+use crate::triples::Triples;
+use crate::util::is_strictly_increasing;
+use crate::Idx;
+
+/// Sparse matrix in compressed sparse column form.
+///
+/// Invariants (checked by [`Csc::assert_valid`], enforced by constructors):
+/// * `colptr.len() == ncols + 1`, `colptr[0] == 0`, monotone non-decreasing,
+///   `colptr[ncols] == nnz`.
+/// * Within each column, row indices are strictly increasing (no duplicates).
+/// * All row indices `< nrows`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Csc<T> {
+    nrows: usize,
+    ncols: usize,
+    /// `colptr[j]..colptr[j+1]` is the index range of column `j`.
+    pub colptr: Vec<usize>,
+    /// Row index of each nonzero, sorted within each column.
+    pub rowidx: Vec<Idx>,
+    /// Value of each nonzero.
+    pub vals: Vec<T>,
+}
+
+impl<T: Scalar> Csc<T> {
+    /// Creates an empty `nrows × ncols` matrix.
+    pub fn zero(nrows: usize, ncols: usize) -> Self {
+        Self { nrows, ncols, colptr: vec![0; ncols + 1], rowidx: Vec::new(), vals: Vec::new() }
+    }
+
+    /// Identity matrix of size `n`.
+    pub fn identity(n: usize) -> Self {
+        Self {
+            nrows: n,
+            ncols: n,
+            colptr: (0..=n).collect(),
+            rowidx: (0..n as Idx).collect(),
+            vals: vec![T::ONE; n],
+        }
+    }
+
+    /// Builds from raw parts, validating invariants.
+    pub fn from_parts(
+        nrows: usize,
+        ncols: usize,
+        colptr: Vec<usize>,
+        rowidx: Vec<Idx>,
+        vals: Vec<T>,
+    ) -> Self {
+        let m = Self { nrows, ncols, colptr, rowidx, vals };
+        m.assert_valid();
+        m
+    }
+
+    /// Converts from COO, collapsing duplicate entries with semiring
+    /// addition. `O(nnz + nrows + ncols)`.
+    pub fn from_triples(t: &Triples<T>) -> Self {
+        let mut t = t.clone();
+        t.sum_duplicates();
+        Self::from_sorted_dedup_triples(&t)
+    }
+
+    /// Converts from COO that is already column-major sorted with no
+    /// duplicate coordinates (e.g. the output of
+    /// [`Triples::sum_duplicates`]). Avoids the extra sort.
+    pub fn from_sorted_dedup_triples(t: &Triples<T>) -> Self {
+        let mut colptr = vec![0usize; t.ncols() + 1];
+        for &c in &t.cols {
+            colptr[c as usize + 1] += 1;
+        }
+        for j in 0..t.ncols() {
+            colptr[j + 1] += colptr[j];
+        }
+        let m = Self {
+            nrows: t.nrows(),
+            ncols: t.ncols(),
+            colptr,
+            rowidx: t.rows.clone(),
+            vals: t.vals.clone(),
+        };
+        m.assert_valid();
+        m
+    }
+
+    /// Converts to COO (column-major order).
+    pub fn to_triples(&self) -> Triples<T> {
+        let mut t = Triples::with_capacity(self.nrows, self.ncols, self.nnz());
+        for j in 0..self.ncols {
+            for k in self.colptr[j]..self.colptr[j + 1] {
+                t.push(self.rowidx[k], j as Idx, self.vals[k]);
+            }
+        }
+        t
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn nrows(&self) -> usize {
+        self.nrows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn ncols(&self) -> usize {
+        self.ncols
+    }
+
+    /// Number of stored nonzeros.
+    #[inline]
+    pub fn nnz(&self) -> usize {
+        self.vals.len()
+    }
+
+    /// Number of nonzeros in column `j`.
+    #[inline]
+    pub fn col_nnz(&self, j: usize) -> usize {
+        self.colptr[j + 1] - self.colptr[j]
+    }
+
+    /// Row indices of column `j` (sorted).
+    #[inline]
+    pub fn col_rows(&self, j: usize) -> &[Idx] {
+        &self.rowidx[self.colptr[j]..self.colptr[j + 1]]
+    }
+
+    /// Values of column `j`, parallel to [`Csc::col_rows`].
+    #[inline]
+    pub fn col_vals(&self, j: usize) -> &[T] {
+        &self.vals[self.colptr[j]..self.colptr[j + 1]]
+    }
+
+    /// Mutable values of column `j`.
+    #[inline]
+    pub fn col_vals_mut(&mut self, j: usize) -> &mut [T] {
+        &mut self.vals[self.colptr[j]..self.colptr[j + 1]]
+    }
+
+    /// Iterates `(row, col, val)` in column-major order.
+    pub fn iter(&self) -> impl Iterator<Item = (Idx, Idx, T)> + '_ {
+        (0..self.ncols).flat_map(move |j| {
+            self.col_rows(j)
+                .iter()
+                .zip(self.col_vals(j))
+                .map(move |(&r, &v)| (r, j as Idx, v))
+        })
+    }
+
+    /// Value at `(i, j)` if stored. Binary search within the column.
+    pub fn get(&self, i: usize, j: usize) -> Option<T> {
+        let rows = self.col_rows(j);
+        rows.binary_search(&(i as Idx)).ok().map(|k| self.col_vals(j)[k])
+    }
+
+    /// Transpose via counting sort on row indices — `O(nnz + nrows)`.
+    /// The result's columns (original rows) come out sorted.
+    pub fn transposed(&self) -> Self {
+        let mut colptr = vec![0usize; self.nrows + 1];
+        for &r in &self.rowidx {
+            colptr[r as usize + 1] += 1;
+        }
+        for i in 0..self.nrows {
+            colptr[i + 1] += colptr[i];
+        }
+        let mut cursor = colptr.clone();
+        let mut rowidx = vec![0 as Idx; self.nnz()];
+        let mut vals = vec![T::ZERO; self.nnz()];
+        for j in 0..self.ncols {
+            for k in self.colptr[j]..self.colptr[j + 1] {
+                let r = self.rowidx[k] as usize;
+                let dst = cursor[r];
+                cursor[r] += 1;
+                rowidx[dst] = j as Idx;
+                vals[dst] = self.vals[k];
+            }
+        }
+        Self { nrows: self.ncols, ncols: self.nrows, colptr, rowidx, vals }
+    }
+
+    /// Extracts columns `range` as a new matrix with columns relabelled from
+    /// zero. `O(cols + nnz of slice)`. Used by phased SUMMA to take `b`
+    /// columns of the B operand at a time.
+    pub fn column_slice(&self, range: std::ops::Range<usize>) -> Self {
+        let lo = self.colptr[range.start];
+        let hi = self.colptr[range.end];
+        let colptr = self.colptr[range.start..=range.end].iter().map(|&p| p - lo).collect();
+        Self {
+            nrows: self.nrows,
+            ncols: range.len(),
+            colptr,
+            rowidx: self.rowidx[lo..hi].to_vec(),
+            vals: self.vals[lo..hi].to_vec(),
+        }
+    }
+
+    /// Horizontal concatenation of column blocks (inverse of
+    /// [`Csc::column_slice`] partitioning). All blocks must share `nrows`.
+    pub fn hcat(blocks: &[Self]) -> Self {
+        assert!(!blocks.is_empty());
+        let nrows = blocks[0].nrows;
+        assert!(blocks.iter().all(|b| b.nrows == nrows));
+        let ncols: usize = blocks.iter().map(|b| b.ncols).sum();
+        let nnz: usize = blocks.iter().map(|b| b.nnz()).sum();
+        let mut colptr = Vec::with_capacity(ncols + 1);
+        colptr.push(0usize);
+        let mut rowidx = Vec::with_capacity(nnz);
+        let mut vals = Vec::with_capacity(nnz);
+        for b in blocks {
+            let base = *colptr.last().unwrap();
+            colptr.extend(b.colptr[1..].iter().map(|&p| base + p));
+            rowidx.extend_from_slice(&b.rowidx);
+            vals.extend_from_slice(&b.vals);
+        }
+        Self { nrows, ncols, colptr, rowidx, vals }
+    }
+
+    /// Removes stored entries equal to the additive identity.
+    pub fn drop_zeros(&mut self) {
+        let mut w = 0usize;
+        let mut new_colptr = vec![0usize; self.ncols + 1];
+        for j in 0..self.ncols {
+            for k in self.colptr[j]..self.colptr[j + 1] {
+                if !self.vals[k].is_zero() {
+                    self.rowidx[w] = self.rowidx[k];
+                    self.vals[w] = self.vals[k];
+                    w += 1;
+                }
+            }
+            new_colptr[j + 1] = w;
+        }
+        self.rowidx.truncate(w);
+        self.vals.truncate(w);
+        self.colptr = new_colptr;
+    }
+
+    /// Approximate heap footprint in bytes.
+    pub fn bytes(&self) -> usize {
+        self.colptr.len() * std::mem::size_of::<usize>()
+            + self.rowidx.len() * std::mem::size_of::<Idx>()
+            + self.vals.len() * std::mem::size_of::<T>()
+    }
+
+    /// Checks the structural invariants; panics with a description on
+    /// violation. Cheap enough to run in tests and after every kernel.
+    pub fn assert_valid(&self) {
+        assert_eq!(self.colptr.len(), self.ncols + 1, "colptr length");
+        assert_eq!(self.colptr[0], 0, "colptr[0]");
+        assert_eq!(*self.colptr.last().unwrap(), self.nnz(), "colptr end");
+        assert_eq!(self.rowidx.len(), self.vals.len(), "index/value parity");
+        for j in 0..self.ncols {
+            assert!(self.colptr[j] <= self.colptr[j + 1], "colptr monotone at {j}");
+            let rows = self.col_rows(j);
+            assert!(is_strictly_increasing(rows), "rows sorted+unique in col {j}");
+            if let Some(&last) = rows.last() {
+                assert!((last as usize) < self.nrows, "row bound in col {j}");
+            }
+        }
+    }
+
+    /// Elementwise (Hadamard) product restricted to the intersection of the
+    /// two nonzero patterns.
+    pub fn hadamard(&self, other: &Self) -> Self {
+        assert_eq!(self.nrows, other.nrows);
+        assert_eq!(self.ncols, other.ncols);
+        let mut t = Triples::new(self.nrows, self.ncols);
+        for j in 0..self.ncols {
+            let (ra, va) = (self.col_rows(j), self.col_vals(j));
+            let (rb, vb) = (other.col_rows(j), other.col_vals(j));
+            let (mut a, mut b) = (0usize, 0usize);
+            while a < ra.len() && b < rb.len() {
+                match ra[a].cmp(&rb[b]) {
+                    std::cmp::Ordering::Less => a += 1,
+                    std::cmp::Ordering::Greater => b += 1,
+                    std::cmp::Ordering::Equal => {
+                        let v = va[a].mul(vb[b]);
+                        if !v.is_zero() {
+                            t.push(ra[a], j as Idx, v);
+                        }
+                        a += 1;
+                        b += 1;
+                    }
+                }
+            }
+        }
+        Self::from_sorted_dedup_triples(&t)
+    }
+
+    /// Elementwise sum over the union of the two nonzero patterns.
+    pub fn add_elementwise(&self, other: &Self) -> Self {
+        assert_eq!(self.nrows, other.nrows);
+        assert_eq!(self.ncols, other.ncols);
+        let mut t = Triples::with_capacity(self.nrows, self.ncols, self.nnz() + other.nnz());
+        for j in 0..self.ncols {
+            let (ra, va) = (self.col_rows(j), self.col_vals(j));
+            let (rb, vb) = (other.col_rows(j), other.col_vals(j));
+            let (mut a, mut b) = (0usize, 0usize);
+            while a < ra.len() || b < rb.len() {
+                let take_a = b >= rb.len() || (a < ra.len() && ra[a] < rb[b]);
+                let take_both = a < ra.len() && b < rb.len() && ra[a] == rb[b];
+                if take_both {
+                    let v = va[a].add(vb[b]);
+                    if !v.is_zero() {
+                        t.push(ra[a], j as Idx, v);
+                    }
+                    a += 1;
+                    b += 1;
+                } else if take_a {
+                    t.push(ra[a], j as Idx, va[a]);
+                    a += 1;
+                } else {
+                    t.push(rb[b], j as Idx, vb[b]);
+                    b += 1;
+                }
+            }
+        }
+        Self::from_sorted_dedup_triples(&t)
+    }
+
+    /// Maximum absolute difference between two matrices viewed as dense,
+    /// useful for convergence checks and numerical test assertions.
+    pub fn max_abs_diff(&self, other: &Self) -> f64 {
+        assert_eq!(self.nrows, other.nrows);
+        assert_eq!(self.ncols, other.ncols);
+        let mut worst = 0.0f64;
+        for j in 0..self.ncols {
+            let (ra, va) = (self.col_rows(j), self.col_vals(j));
+            let (rb, vb) = (other.col_rows(j), other.col_vals(j));
+            let (mut a, mut b) = (0usize, 0usize);
+            while a < ra.len() || b < rb.len() {
+                let d = if b >= rb.len() || (a < ra.len() && ra[a] < rb[b]) {
+                    let d = va[a].to_f64().abs();
+                    a += 1;
+                    d
+                } else if a >= ra.len() || rb[b] < ra[a] {
+                    let d = vb[b].to_f64().abs();
+                    b += 1;
+                    d
+                } else {
+                    let d = (va[a].to_f64() - vb[b].to_f64()).abs();
+                    a += 1;
+                    b += 1;
+                    d
+                };
+                worst = worst.max(d);
+            }
+        }
+        worst
+    }
+}
+
+impl Csc<f64> {
+    /// Dense `nrows × ncols` representation in column-major order. Only for
+    /// tests and tiny examples.
+    pub fn to_dense(&self) -> Vec<f64> {
+        let mut d = vec![0.0; self.nrows * self.ncols];
+        for (r, c, v) in self.iter() {
+            d[c as usize * self.nrows + r as usize] = v;
+        }
+        d
+    }
+
+    /// Builds from a dense column-major array, skipping zeros.
+    pub fn from_dense(nrows: usize, ncols: usize, data: &[f64]) -> Self {
+        assert_eq!(data.len(), nrows * ncols);
+        let mut t = Triples::new(nrows, ncols);
+        for j in 0..ncols {
+            for i in 0..nrows {
+                let v = data[j * nrows + i];
+                if v != 0.0 {
+                    t.push(i as Idx, j as Idx, v);
+                }
+            }
+        }
+        Self::from_sorted_dedup_triples(&t)
+    }
+}
+
+/// Converts per-column nonzero counts into a CSC column-pointer array
+/// (`ncols` counts → `ncols + 1` pointers). Shared by the SpGEMM kernels.
+pub fn counts_to_colptr(counts: &[usize]) -> Vec<usize> {
+    let mut colptr = Vec::with_capacity(counts.len() + 1);
+    colptr.push(0usize);
+    colptr.extend_from_slice(counts);
+    // Inclusive prefix over [0, c0, c1, ...] yields [0, c0, c0+c1, ...].
+    crate::util::inclusive_prefix_sum(&mut colptr);
+    colptr
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Csc<f64> {
+        // [ 2 0 0 4 ]
+        // [ 0 3 0 0 ]
+        // [ 5 1 0 0 ]
+        let mut t = Triples::new(3, 4);
+        t.push(0, 0, 2.0);
+        t.push(2, 0, 5.0);
+        t.push(1, 1, 3.0);
+        t.push(2, 1, 1.0);
+        t.push(0, 3, 4.0);
+        Csc::from_triples(&t)
+    }
+
+    #[test]
+    fn from_triples_builds_valid_csc() {
+        let m = sample();
+        m.assert_valid();
+        assert_eq!(m.nnz(), 5);
+        assert_eq!(m.col_nnz(0), 2);
+        assert_eq!(m.col_nnz(2), 0);
+        assert_eq!(m.get(2, 1), Some(1.0));
+        assert_eq!(m.get(1, 0), None);
+    }
+
+    #[test]
+    fn from_triples_sums_duplicates() {
+        let mut t = Triples::new(2, 2);
+        t.push(1, 1, 1.5);
+        t.push(1, 1, 2.5);
+        let m = Csc::from_triples(&t);
+        assert_eq!(m.nnz(), 1);
+        assert_eq!(m.get(1, 1), Some(4.0));
+    }
+
+    #[test]
+    fn roundtrip_triples() {
+        let m = sample();
+        let back = Csc::from_triples(&m.to_triples());
+        assert_eq!(m, back);
+    }
+
+    #[test]
+    fn transpose_involution() {
+        let m = sample();
+        let tt = m.transposed().transposed();
+        assert_eq!(m, tt);
+        m.transposed().assert_valid();
+    }
+
+    #[test]
+    fn transpose_values_move() {
+        let m = sample().transposed();
+        assert_eq!(m.get(1, 2), Some(1.0));
+        assert_eq!(m.get(3, 0), Some(4.0));
+    }
+
+    #[test]
+    fn column_slice_and_hcat_roundtrip() {
+        let m = sample();
+        let a = m.column_slice(0..2);
+        let b = m.column_slice(2..4);
+        assert_eq!(a.ncols(), 2);
+        assert_eq!(b.ncols(), 2);
+        let glued = Csc::hcat(&[a, b]);
+        assert_eq!(glued, m);
+    }
+
+    #[test]
+    fn identity_is_identity() {
+        let i = Csc::<f64>::identity(3);
+        i.assert_valid();
+        let m = sample();
+        // m * I should equal m; spot-check via dense mult.
+        let d = m.to_dense();
+        assert_eq!(d.len(), 12);
+        assert_eq!(i.get(2, 2), Some(1.0));
+        assert_eq!(i.nnz(), 3);
+    }
+
+    #[test]
+    fn hadamard_intersects_patterns() {
+        let a = sample();
+        let mut t = Triples::new(3, 4);
+        t.push(0, 0, 10.0);
+        t.push(1, 1, 2.0);
+        t.push(2, 2, 9.0);
+        let b = Csc::from_triples(&t);
+        let h = a.hadamard(&b);
+        h.assert_valid();
+        assert_eq!(h.nnz(), 2);
+        assert_eq!(h.get(0, 0), Some(20.0));
+        assert_eq!(h.get(1, 1), Some(6.0));
+    }
+
+    #[test]
+    fn add_elementwise_unions_patterns() {
+        let a = sample();
+        let mut t = Triples::new(3, 4);
+        t.push(0, 0, -2.0); // cancels a's (0,0)
+        t.push(2, 2, 9.0); // new entry
+        let b = Csc::from_triples(&t);
+        let s = a.add_elementwise(&b);
+        s.assert_valid();
+        assert_eq!(s.get(0, 0), None, "cancellation drops entry");
+        assert_eq!(s.get(2, 2), Some(9.0));
+        assert_eq!(s.get(2, 0), Some(5.0));
+    }
+
+    #[test]
+    fn drop_zeros_removes_explicit_zeros() {
+        let mut m = sample();
+        m.vals[0] = 0.0;
+        m.drop_zeros();
+        m.assert_valid();
+        assert_eq!(m.nnz(), 4);
+        assert_eq!(m.get(0, 0), None);
+    }
+
+    #[test]
+    fn dense_roundtrip() {
+        let m = sample();
+        let d = m.to_dense();
+        let back = Csc::from_dense(3, 4, &d);
+        assert_eq!(m, back);
+    }
+
+    #[test]
+    fn max_abs_diff_detects_difference() {
+        let a = sample();
+        let mut b = sample();
+        assert_eq!(a.max_abs_diff(&b), 0.0);
+        b.vals[3] += 0.25;
+        assert!((a.max_abs_diff(&b) - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn counts_to_colptr_matches_manual() {
+        assert_eq!(counts_to_colptr(&[2, 0, 3]), vec![0, 2, 2, 5]);
+        assert_eq!(counts_to_colptr(&[]), vec![0]);
+    }
+
+    #[test]
+    fn zero_matrix() {
+        let z = Csc::<f64>::zero(5, 7);
+        z.assert_valid();
+        assert_eq!(z.nnz(), 0);
+        assert_eq!(z.ncols(), 7);
+    }
+}

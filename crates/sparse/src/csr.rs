@@ -1,0 +1,186 @@
+//! Compressed sparse row (CSR) storage.
+//!
+//! CSR is the format consumed by the GPU SpGEMM library analogues
+//! (bhsparse / nsparse / rmerge2 are all row-parallel). The paper's §III-B
+//! observation — a matrix stored in CSC *is* its transpose stored in CSR —
+//! is expressed here as the zero-copy [`Csr::from_csc_transpose`] /
+//! [`Csr::into_csc_transpose`] pair: computing `Cᵀ = Bᵀ·Aᵀ` with CSR
+//! kernels yields `C` in CSC with no conversion work.
+
+use crate::csc::Csc;
+use crate::scalar::Scalar;
+use crate::util::is_strictly_increasing;
+use crate::Idx;
+
+/// Sparse matrix in compressed sparse row form. Column indices within each
+/// row are sorted and unique (mirror of the [`Csc`] invariants).
+#[derive(Clone, Debug, PartialEq)]
+pub struct Csr<T> {
+    nrows: usize,
+    ncols: usize,
+    /// `rowptr[i]..rowptr[i+1]` is the index range of row `i`.
+    pub rowptr: Vec<usize>,
+    /// Column index of each nonzero, sorted within each row.
+    pub colidx: Vec<Idx>,
+    /// Value of each nonzero.
+    pub vals: Vec<T>,
+}
+
+impl<T: Scalar> Csr<T> {
+    /// Creates an empty `nrows × ncols` matrix.
+    pub fn zero(nrows: usize, ncols: usize) -> Self {
+        Self { nrows, ncols, rowptr: vec![0; nrows + 1], colidx: Vec::new(), vals: Vec::new() }
+    }
+
+    /// Builds from raw parts, validating invariants.
+    pub fn from_parts(
+        nrows: usize,
+        ncols: usize,
+        rowptr: Vec<usize>,
+        colidx: Vec<Idx>,
+        vals: Vec<T>,
+    ) -> Self {
+        let m = Self { nrows, ncols, rowptr, colidx, vals };
+        m.assert_valid();
+        m
+    }
+
+    /// Reinterprets a CSC matrix as the CSR of its transpose — zero copy in
+    /// spirit (moves the arrays, swaps the dimensions). This is the §III-B
+    /// trick: no physical conversion is needed to hand CSC data to a CSR
+    /// kernel, as long as the kernel computes the transposed product.
+    pub fn from_csc_transpose(csc: Csc<T>) -> Self {
+        Self {
+            nrows: csc.ncols(),
+            ncols: csc.nrows(),
+            rowptr: csc.colptr,
+            colidx: csc.rowidx,
+            vals: csc.vals,
+        }
+    }
+
+    /// Inverse of [`Csr::from_csc_transpose`].
+    pub fn into_csc_transpose(self) -> Csc<T> {
+        Csc::from_parts(self.ncols, self.nrows, self.rowptr, self.colidx, self.vals)
+    }
+
+    /// Converts a CSC matrix of the *same* logical orientation into CSR
+    /// (performs the actual transpose-of-transpose, `O(nnz + dims)`).
+    pub fn from_csc(csc: &Csc<T>) -> Self {
+        Self::from_csc_transpose(csc.transposed())
+    }
+
+    /// Converts to CSC of the same logical orientation.
+    pub fn to_csc(&self) -> Csc<T> {
+        self.clone().into_csc_transpose().transposed()
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn nrows(&self) -> usize {
+        self.nrows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn ncols(&self) -> usize {
+        self.ncols
+    }
+
+    /// Number of stored nonzeros.
+    #[inline]
+    pub fn nnz(&self) -> usize {
+        self.vals.len()
+    }
+
+    /// Number of nonzeros in row `i`.
+    #[inline]
+    pub fn row_nnz(&self, i: usize) -> usize {
+        self.rowptr[i + 1] - self.rowptr[i]
+    }
+
+    /// Column indices of row `i` (sorted).
+    #[inline]
+    pub fn row_cols(&self, i: usize) -> &[Idx] {
+        &self.colidx[self.rowptr[i]..self.rowptr[i + 1]]
+    }
+
+    /// Values of row `i`, parallel to [`Csr::row_cols`].
+    #[inline]
+    pub fn row_vals(&self, i: usize) -> &[T] {
+        &self.vals[self.rowptr[i]..self.rowptr[i + 1]]
+    }
+
+    /// Approximate heap footprint in bytes.
+    pub fn bytes(&self) -> usize {
+        self.rowptr.len() * std::mem::size_of::<usize>()
+            + self.colidx.len() * std::mem::size_of::<Idx>()
+            + self.vals.len() * std::mem::size_of::<T>()
+    }
+
+    /// Checks the structural invariants; panics on violation.
+    pub fn assert_valid(&self) {
+        assert_eq!(self.rowptr.len(), self.nrows + 1, "rowptr length");
+        assert_eq!(self.rowptr[0], 0, "rowptr[0]");
+        assert_eq!(*self.rowptr.last().unwrap(), self.nnz(), "rowptr end");
+        assert_eq!(self.colidx.len(), self.vals.len(), "index/value parity");
+        for i in 0..self.nrows {
+            assert!(self.rowptr[i] <= self.rowptr[i + 1], "rowptr monotone at {i}");
+            let cols = self.row_cols(i);
+            assert!(is_strictly_increasing(cols), "cols sorted+unique in row {i}");
+            if let Some(&last) = cols.last() {
+                assert!((last as usize) < self.ncols, "col bound in row {i}");
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::triples::Triples;
+
+    fn sample_csc() -> Csc<f64> {
+        let mut t = Triples::new(3, 4);
+        t.push(0, 0, 2.0);
+        t.push(2, 0, 5.0);
+        t.push(1, 1, 3.0);
+        t.push(2, 1, 1.0);
+        t.push(0, 3, 4.0);
+        Csc::from_triples(&t)
+    }
+
+    #[test]
+    fn csc_transpose_view_is_free_and_consistent() {
+        let csc = sample_csc();
+        let csr = Csr::from_csc_transpose(csc.clone());
+        // csr represents cscᵀ: (r,c,v) in csc appears as row c, col r.
+        assert_eq!(csr.nrows(), 4);
+        assert_eq!(csr.ncols(), 3);
+        assert_eq!(csr.row_cols(0), &[0, 2]);
+        assert_eq!(csr.row_vals(0), &[2.0, 5.0]);
+        assert_eq!(csr.row_cols(3), &[0]);
+        let back = csr.into_csc_transpose();
+        assert_eq!(back, csc);
+    }
+
+    #[test]
+    fn from_csc_same_orientation() {
+        let csc = sample_csc();
+        let csr = Csr::from_csc(&csc);
+        csr.assert_valid();
+        assert_eq!(csr.nrows(), 3);
+        assert_eq!(csr.ncols(), 4);
+        // Row 2 of the matrix holds (2,0,5.0) and (2,1,1.0).
+        assert_eq!(csr.row_cols(2), &[0, 1]);
+        assert_eq!(csr.row_vals(2), &[5.0, 1.0]);
+        assert_eq!(csr.to_csc(), csc);
+    }
+
+    #[test]
+    fn zero_is_valid() {
+        let z = Csr::<f64>::zero(3, 9);
+        z.assert_valid();
+        assert_eq!(z.row_nnz(1), 0);
+    }
+}

@@ -1,0 +1,220 @@
+//! Doubly compressed sparse column (DCSC) storage for hypersparse matrices.
+//!
+//! When a matrix is block-distributed over a `√P × √P` process grid, each
+//! local block holds `nnz/P` nonzeros across `n/√P` columns. For large `P`
+//! most columns are empty (`nnz < ncols`, the *hypersparse* regime) and the
+//! CSC column-pointer array alone would dwarf the data. DCSC (Buluç &
+//! Gilbert, IPDPS 2008) stores only the non-empty columns: `jc` holds their
+//! column indices and `cp` their pointer ranges into `ir`/`num`.
+//!
+//! HipMCL stores distributed blocks in DCSC; the GPU path decompresses to
+//! CSC (`O(nzc)` — cheap) and applies the §III-B transpose trick instead of
+//! a full CSR conversion. [`Dcsc::to_csc`] / [`Dcsc::from_csc`] implement
+//! exactly that decompression/compression.
+
+use crate::csc::Csc;
+use crate::scalar::Scalar;
+use crate::Idx;
+
+/// Sparse matrix in doubly compressed sparse column form.
+///
+/// Invariants:
+/// * `jc` strictly increasing, entries `< ncols` — the non-empty columns.
+/// * `cp.len() == jc.len() + 1`, strictly increasing (every listed column
+///   is genuinely non-empty), `cp[last] == nnz`.
+/// * Row indices sorted and unique within each column, `< nrows`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Dcsc<T> {
+    nrows: usize,
+    ncols: usize,
+    /// Column indices of the non-empty columns, strictly increasing.
+    pub jc: Vec<Idx>,
+    /// `cp[k]..cp[k+1]` is the range of column `jc[k]` in `ir`/`num`.
+    pub cp: Vec<usize>,
+    /// Row indices, sorted within each column.
+    pub ir: Vec<Idx>,
+    /// Values.
+    pub num: Vec<T>,
+}
+
+impl<T: Scalar> Dcsc<T> {
+    /// Empty matrix of the given dimensions.
+    pub fn zero(nrows: usize, ncols: usize) -> Self {
+        Self { nrows, ncols, jc: Vec::new(), cp: vec![0], ir: Vec::new(), num: Vec::new() }
+    }
+
+    /// Builds from raw parts, validating invariants.
+    pub fn from_parts(
+        nrows: usize,
+        ncols: usize,
+        jc: Vec<Idx>,
+        cp: Vec<usize>,
+        ir: Vec<Idx>,
+        num: Vec<T>,
+    ) -> Self {
+        let m = Self { nrows, ncols, jc, cp, ir, num };
+        m.assert_valid();
+        m
+    }
+
+    /// Compresses a CSC matrix by dropping its empty columns' pointers.
+    pub fn from_csc(csc: &Csc<T>) -> Self {
+        let mut jc = Vec::new();
+        let mut cp = vec![0usize];
+        for j in 0..csc.ncols() {
+            if csc.col_nnz(j) > 0 {
+                jc.push(j as Idx);
+                cp.push(csc.colptr[j + 1]);
+            }
+        }
+        Self {
+            nrows: csc.nrows(),
+            ncols: csc.ncols(),
+            jc,
+            cp,
+            ir: csc.rowidx.clone(),
+            num: csc.vals.clone(),
+        }
+    }
+
+    /// Decompresses the column pointers back to a full CSC pointer array.
+    /// `O(ncols + nzc)`; the index and value arrays are shared semantics
+    /// (copied here — they are identical byte-for-byte).
+    pub fn to_csc(&self) -> Csc<T> {
+        let mut colptr = vec![0usize; self.ncols + 1];
+        for (k, &j) in self.jc.iter().enumerate() {
+            colptr[j as usize + 1] = self.cp[k + 1] - self.cp[k];
+        }
+        for j in 0..self.ncols {
+            colptr[j + 1] += colptr[j];
+        }
+        Csc::from_parts(self.nrows, self.ncols, colptr, self.ir.clone(), self.num.clone())
+    }
+
+    /// Number of rows.
+    pub fn nrows(&self) -> usize {
+        self.nrows
+    }
+
+    /// Number of columns (logical, including empty ones).
+    pub fn ncols(&self) -> usize {
+        self.ncols
+    }
+
+    /// Number of stored nonzeros.
+    pub fn nnz(&self) -> usize {
+        self.num.len()
+    }
+
+    /// Number of non-empty columns (`nzc` in the DCSC literature).
+    pub fn nzc(&self) -> usize {
+        self.jc.len()
+    }
+
+    /// `true` if the matrix is hypersparse (`nnz < ncols`), the regime DCSC
+    /// is designed for.
+    pub fn is_hypersparse(&self) -> bool {
+        self.nnz() < self.ncols
+    }
+
+    /// Iterates non-empty columns as `(col, rows, vals)`.
+    pub fn iter_cols(&self) -> impl Iterator<Item = (Idx, &[Idx], &[T])> + '_ {
+        self.jc.iter().enumerate().map(move |(k, &j)| {
+            let range = self.cp[k]..self.cp[k + 1];
+            (j, &self.ir[range.clone()], &self.num[range])
+        })
+    }
+
+    /// Approximate heap footprint in bytes. For a hypersparse block this is
+    /// `O(nnz + nzc)` versus CSC's `O(nnz + ncols)`.
+    pub fn bytes(&self) -> usize {
+        self.jc.len() * std::mem::size_of::<Idx>()
+            + self.cp.len() * std::mem::size_of::<usize>()
+            + self.ir.len() * std::mem::size_of::<Idx>()
+            + self.num.len() * std::mem::size_of::<T>()
+    }
+
+    /// Checks structural invariants; panics on violation.
+    pub fn assert_valid(&self) {
+        assert_eq!(self.cp.len(), self.jc.len() + 1, "cp length");
+        assert_eq!(self.cp[0], 0, "cp[0]");
+        assert_eq!(*self.cp.last().unwrap(), self.nnz(), "cp end");
+        assert_eq!(self.ir.len(), self.num.len(), "index/value parity");
+        assert!(
+            crate::util::is_strictly_increasing(&self.jc),
+            "jc strictly increasing"
+        );
+        if let Some(&last) = self.jc.last() {
+            assert!((last as usize) < self.ncols, "jc bound");
+        }
+        for k in 0..self.jc.len() {
+            assert!(self.cp[k] < self.cp[k + 1], "listed column {k} must be non-empty");
+            let rows = &self.ir[self.cp[k]..self.cp[k + 1]];
+            assert!(crate::util::is_strictly_increasing(rows), "rows sorted in col {k}");
+            assert!((*rows.last().unwrap() as usize) < self.nrows, "row bound");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::triples::Triples;
+
+    fn hypersparse_sample() -> Csc<f64> {
+        // 100 x 100 with 5 nonzeros in 3 columns: genuinely hypersparse.
+        let mut t = Triples::new(100, 100);
+        t.push(3, 7, 1.0);
+        t.push(50, 7, 2.0);
+        t.push(0, 20, 3.0);
+        t.push(99, 99, 4.0);
+        t.push(98, 99, 5.0);
+        Csc::from_triples(&t)
+    }
+
+    #[test]
+    fn roundtrip_csc() {
+        let csc = hypersparse_sample();
+        let d = Dcsc::from_csc(&csc);
+        d.assert_valid();
+        assert_eq!(d.nzc(), 3);
+        assert_eq!(d.nnz(), 5);
+        assert!(d.is_hypersparse());
+        assert_eq!(d.to_csc(), csc);
+    }
+
+    #[test]
+    fn compression_saves_pointer_space() {
+        let csc = hypersparse_sample();
+        let d = Dcsc::from_csc(&csc);
+        assert!(d.bytes() < csc.bytes(), "DCSC must be smaller when hypersparse");
+    }
+
+    #[test]
+    fn iter_cols_yields_nonempty_columns() {
+        let d = Dcsc::from_csc(&hypersparse_sample());
+        let cols: Vec<Idx> = d.iter_cols().map(|(j, _, _)| j).collect();
+        assert_eq!(cols, vec![7, 20, 99]);
+        let (j, rows, vals) = d.iter_cols().next().unwrap();
+        assert_eq!(j, 7);
+        assert_eq!(rows, &[3, 50]);
+        assert_eq!(vals, &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn zero_matrix_valid() {
+        let d = Dcsc::<f64>::zero(10, 10);
+        d.assert_valid();
+        assert_eq!(d.nzc(), 0);
+        assert_eq!(d.to_csc(), Csc::zero(10, 10));
+    }
+
+    #[test]
+    fn dense_matrix_roundtrips_too() {
+        let csc = Csc::<f64>::identity(8);
+        let d = Dcsc::from_csc(&csc);
+        d.assert_valid();
+        assert!(!d.is_hypersparse());
+        assert_eq!(d.to_csc(), csc);
+    }
+}

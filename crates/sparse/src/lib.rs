@@ -1,0 +1,50 @@
+//! Sparse-matrix substrate for `hipmcl-rs`.
+//!
+//! This crate provides the storage formats and elementwise/columnwise
+//! operations that the Markov Cluster (MCL) pipeline and the distributed
+//! SUMMA layers are built on. It mirrors the roles CombBLAS plays for the
+//! original HipMCL:
+//!
+//! * [`Triples`] — coordinate (COO) form, the interchange format used for
+//!   graph construction, I/O and the merge stages of Sparse SUMMA.
+//! * [`Csc`] — compressed sparse column, the workhorse format. MCL is a
+//!   column-stochastic algorithm, so columnwise access dominates.
+//! * [`Csr`] — compressed sparse row, used by the GPU SpGEMM kernels
+//!   (bhsparse/nsparse/rmerge2 analogues are row-parallel).
+//! * [`Dcsc`] — doubly compressed sparse column for hypersparse submatrices,
+//!   as used by 2D-distributed blocks (Buluç & Gilbert, IPDPS'08). When a
+//!   matrix is split over `√P × √P` processes, each block has on average
+//!   `nnz/P` nonzeros over `n/√P` columns; most columns are empty and plain
+//!   CSC wastes `O(n/√P)` pointer space. DCSC compresses the column pointers.
+//!
+//! Columnwise MCL kernels (normalization, pruning, top-k selection,
+//! inflation) live in [`colops`]; connected components for the final
+//! cluster extraction live in [`components`]; Matrix Market I/O in [`io`].
+//!
+//! Indices are `u32` ([`Idx`]) — sufficient for the scaled-down networks
+//! this reproduction runs (the paper's largest, metaclust50 at 383 M
+//! vertices, would also fit). Pointer arrays are `usize`.
+
+pub mod colops;
+pub mod components;
+pub mod convert;
+pub mod csc;
+pub mod csr;
+pub mod dcsc;
+pub mod io;
+pub mod labels;
+pub mod scalar;
+pub mod triples;
+pub mod util;
+
+pub use csc::Csc;
+pub use csr::Csr;
+pub use dcsc::Dcsc;
+pub use scalar::Scalar;
+pub use triples::Triples;
+
+/// Row/column index type used by all sparse formats.
+pub type Idx = u32;
+
+#[cfg(test)]
+mod proptests;

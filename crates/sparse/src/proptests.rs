@@ -1,0 +1,204 @@
+//! Property-based tests over the sparse-format invariants.
+
+use crate::colops::{self, PruneParams};
+use crate::components::connected_components;
+use crate::convert::{gather_2d, split_2d};
+use crate::csc::Csc;
+use crate::csr::Csr;
+use crate::dcsc::Dcsc;
+use crate::triples::Triples;
+use crate::Idx;
+use proptest::prelude::*;
+
+/// Strategy: a random matrix as (nrows, ncols, entries).
+fn arb_triples(max_dim: usize, max_nnz: usize) -> impl Strategy<Value = Triples<f64>> {
+    (1..=max_dim, 1..=max_dim).prop_flat_map(move |(m, n)| {
+        proptest::collection::vec(
+            (0..m as Idx, 0..n as Idx, -100i32..100i32),
+            0..=max_nnz,
+        )
+        .prop_map(move |entries| {
+            let mut t = Triples::new(m, n);
+            for (r, c, v) in entries {
+                t.push(r, c, v as f64 / 4.0);
+            }
+            t
+        })
+    })
+}
+
+/// Strategy: a random square matrix with positive values (MCL-like input).
+fn arb_square_positive(max_dim: usize, max_nnz: usize) -> impl Strategy<Value = Triples<f64>> {
+    (2..=max_dim).prop_flat_map(move |n| {
+        proptest::collection::vec((0..n as Idx, 0..n as Idx, 1u32..1000u32), 1..=max_nnz)
+            .prop_map(move |entries| {
+                let mut t = Triples::new(n, n);
+                for (r, c, v) in entries {
+                    t.push(r, c, v as f64 / 100.0);
+                }
+                t
+            })
+    })
+}
+
+proptest! {
+    #[test]
+    fn csc_from_triples_is_always_valid(t in arb_triples(24, 120)) {
+        let m = Csc::from_triples(&t);
+        m.assert_valid();
+        prop_assert!(m.nnz() <= t.nnz());
+    }
+
+    #[test]
+    fn csc_triples_roundtrip(t in arb_triples(24, 120)) {
+        let m = Csc::from_triples(&t);
+        let back = Csc::from_triples(&m.to_triples());
+        prop_assert_eq!(m, back);
+    }
+
+    #[test]
+    fn transpose_is_involution(t in arb_triples(20, 100)) {
+        let m = Csc::from_triples(&t);
+        prop_assert_eq!(m.transposed().transposed(), m);
+    }
+
+    #[test]
+    fn transpose_preserves_entries(t in arb_triples(16, 60)) {
+        let m = Csc::from_triples(&t);
+        let mt = m.transposed();
+        for (r, c, v) in m.iter() {
+            prop_assert_eq!(mt.get(c as usize, r as usize), Some(v));
+        }
+    }
+
+    #[test]
+    fn dcsc_roundtrip(t in arb_triples(30, 40)) {
+        let m = Csc::from_triples(&t);
+        let d = Dcsc::from_csc(&m);
+        d.assert_valid();
+        prop_assert_eq!(d.to_csc(), m);
+        prop_assert_eq!(d.nnz(), d.cp[d.nzc()]);
+    }
+
+    #[test]
+    fn csr_roundtrip(t in arb_triples(20, 80)) {
+        let m = Csc::from_triples(&t);
+        let r = Csr::from_csc(&m);
+        r.assert_valid();
+        prop_assert_eq!(r.to_csc(), m);
+    }
+
+    #[test]
+    fn split_gather_2d_roundtrip(t in arb_triples(25, 100), pr in 1usize..4, pc in 1usize..4) {
+        let mut canon = t.clone();
+        canon.sum_duplicates();
+        let m = canon.nrows();
+        let n = canon.ncols();
+        // split_2d needs dims >= parts to give every block real extent; the
+        // balanced chunking tolerates empty chunks, so no restriction needed.
+        let blocks = split_2d(&canon, pr, pc);
+        let mut back = gather_2d(&blocks, m, n, pr, pc);
+        back.sum_duplicates();
+        prop_assert_eq!(back, canon);
+    }
+
+    #[test]
+    fn normalize_then_columns_sum_to_one(t in arb_square_positive(20, 100)) {
+        let mut m = Csc::from_triples(&t);
+        colops::normalize_columns(&mut m);
+        for j in 0..m.ncols() {
+            let s: f64 = m.col_vals(j).iter().sum();
+            if m.col_nnz(j) > 0 {
+                prop_assert!((s - 1.0).abs() < 1e-9, "col {} sums to {}", j, s);
+            }
+        }
+    }
+
+    #[test]
+    fn inflate_keeps_stochastic_and_order(t in arb_square_positive(16, 80)) {
+        let mut m = Csc::from_triples(&t);
+        colops::normalize_columns(&mut m);
+        let before = m.clone();
+        colops::inflate(&mut m, 2.0);
+        for j in 0..m.ncols() {
+            let s: f64 = m.col_vals(j).iter().sum();
+            if m.col_nnz(j) > 0 {
+                prop_assert!((s - 1.0).abs() < 1e-9);
+            }
+            // Inflation preserves the relative order of entries in a column.
+            let b = before.col_vals(j);
+            let a = m.col_vals(j);
+            for x in 1..a.len() {
+                if b[x - 1] < b[x] {
+                    prop_assert!(a[x - 1] <= a[x]);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn prune_output_valid_and_bounded(t in arb_square_positive(20, 150), k in 1usize..8) {
+        let mut m = Csc::from_triples(&t);
+        colops::normalize_columns(&mut m);
+        let p = PruneParams { cutoff: 1e-3, select: k, recover_num: 0, recover_pct: 0.0 };
+        let (out, _) = colops::prune(&m, &p);
+        out.assert_valid();
+        for j in 0..out.ncols() {
+            prop_assert!(out.col_nnz(j) <= k.max(1));
+            if m.col_nnz(j) > 0 {
+                prop_assert!(out.col_nnz(j) >= 1, "columns never emptied");
+            }
+        }
+    }
+
+    #[test]
+    fn symmetrize_is_symmetric(t in arb_square_positive(14, 60)) {
+        let m = Csc::from_triples(&t);
+        let s = colops::symmetrize_max(&m);
+        prop_assert_eq!(s.transposed(), s.clone());
+    }
+
+    #[test]
+    fn components_labels_are_consistent(t in arb_square_positive(20, 60)) {
+        let m = Csc::from_triples(&t);
+        let (labels, k) = connected_components(&m);
+        prop_assert_eq!(labels.len(), m.ncols());
+        prop_assert!(k >= 1 && k <= m.ncols());
+        // Every edge joins same-label endpoints.
+        for (r, c, _) in m.iter() {
+            prop_assert_eq!(labels[r as usize], labels[c as usize]);
+        }
+        // Labels are dense 0..k.
+        let mut seen = vec![false; k];
+        for &l in &labels {
+            seen[l as usize] = true;
+        }
+        prop_assert!(seen.into_iter().all(|b| b));
+    }
+
+    #[test]
+    fn add_elementwise_commutes(a in arb_triples(12, 50), b in arb_triples(12, 50)) {
+        // Force equal dims by embedding both in a common frame.
+        let m = a.nrows().max(b.nrows());
+        let n = a.ncols().max(b.ncols());
+        let embed = |t: &Triples<f64>| {
+            let mut out = Triples::new(m, n);
+            for (r, c, v) in t.iter() { out.push(r, c, v); }
+            Csc::from_triples(&out)
+        };
+        let (x, y) = (embed(&a), embed(&b));
+        prop_assert_eq!(x.add_elementwise(&y), y.add_elementwise(&x));
+    }
+
+    #[test]
+    fn hadamard_pattern_is_intersection(a in arb_triples(12, 50)) {
+        let m = Csc::from_triples(&a);
+        let h = m.hadamard(&m);
+        // Squaring never grows the pattern; zero values may shrink it.
+        prop_assert!(h.nnz() <= m.nnz());
+        for (r, c, v) in h.iter() {
+            let orig = m.get(r as usize, c as usize).unwrap();
+            prop_assert!((v - orig * orig).abs() < 1e-12);
+        }
+    }
+}

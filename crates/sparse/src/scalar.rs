@@ -1,0 +1,103 @@
+//! Scalar trait abstracting the value type stored in sparse matrices.
+//!
+//! The MCL pipeline runs on `f64`, but the formats and kernels are generic
+//! so that symbolic computations (`u32`/`u64` counts) and single-precision
+//! variants reuse the same code.
+
+/// Arithmetic scalar stored in a sparse matrix.
+///
+/// The `(add, mul)` pair forms the semiring used by SpGEMM. For MCL this is
+/// the ordinary `(+, ×)` over `f64`.
+pub trait Scalar:
+    Copy + Send + Sync + PartialEq + PartialOrd + std::fmt::Debug + 'static
+{
+    /// Additive identity.
+    const ZERO: Self;
+    /// Multiplicative identity.
+    const ONE: Self;
+
+    /// Semiring addition.
+    fn add(self, other: Self) -> Self;
+    /// Semiring multiplication.
+    fn mul(self, other: Self) -> Self;
+    /// `true` if the value equals the additive identity (used to drop
+    /// explicit zeros after accumulation).
+    fn is_zero(self) -> bool {
+        self == Self::ZERO
+    }
+    /// Lossy conversion to `f64`, used by instrumentation and statistics.
+    fn to_f64(self) -> f64;
+}
+
+macro_rules! impl_scalar_float {
+    ($t:ty) => {
+        impl Scalar for $t {
+            const ZERO: Self = 0.0;
+            const ONE: Self = 1.0;
+            #[inline(always)]
+            fn add(self, other: Self) -> Self {
+                self + other
+            }
+            #[inline(always)]
+            fn mul(self, other: Self) -> Self {
+                self * other
+            }
+            #[inline(always)]
+            fn to_f64(self) -> f64 {
+                self as f64
+            }
+        }
+    };
+}
+
+macro_rules! impl_scalar_int {
+    ($t:ty) => {
+        impl Scalar for $t {
+            const ZERO: Self = 0;
+            const ONE: Self = 1;
+            #[inline(always)]
+            fn add(self, other: Self) -> Self {
+                self.wrapping_add(other)
+            }
+            #[inline(always)]
+            fn mul(self, other: Self) -> Self {
+                self.wrapping_mul(other)
+            }
+            #[inline(always)]
+            fn to_f64(self) -> f64 {
+                self as f64
+            }
+        }
+    };
+}
+
+impl_scalar_float!(f64);
+impl_scalar_float!(f32);
+impl_scalar_int!(u32);
+impl_scalar_int!(u64);
+impl_scalar_int!(i64);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn f64_semiring_identities() {
+        assert_eq!(<f64 as Scalar>::ZERO.add(3.5), 3.5);
+        assert_eq!(<f64 as Scalar>::ONE.mul(3.5), 3.5);
+        assert!(<f64 as Scalar>::ZERO.is_zero());
+        assert!(!(1.0f64).is_zero());
+    }
+
+    #[test]
+    fn int_semiring_wraps() {
+        assert_eq!(u32::MAX.add(1), 0);
+        assert_eq!(2u64.mul(3), 6);
+    }
+
+    #[test]
+    fn to_f64_roundtrips_small_ints() {
+        assert_eq!(42u32.to_f64(), 42.0);
+        assert_eq!((-7i64).to_f64(), -7.0);
+    }
+}

@@ -1,0 +1,284 @@
+//! Coordinate (COO) sparse matrix storage.
+//!
+//! `Triples` is the interchange format: graph generators emit it, Matrix
+//! Market I/O reads into it, and the SUMMA merge stages treat intermediate
+//! products as lists of triples. Stored struct-of-arrays for cache-friendly
+//! bulk operations.
+
+use crate::scalar::Scalar;
+use crate::util::exclusive_prefix_sum;
+use crate::Idx;
+
+/// A sparse matrix in coordinate form: parallel arrays of `(row, col, val)`.
+///
+/// Duplicates are allowed; [`Triples::sum_duplicates`] collapses them with
+/// semiring addition. Most consumers convert to [`crate::Csc`] via
+/// [`crate::Csc::from_triples`], which also tolerates duplicates.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Triples<T> {
+    nrows: usize,
+    ncols: usize,
+    /// Row index of each nonzero.
+    pub rows: Vec<Idx>,
+    /// Column index of each nonzero.
+    pub cols: Vec<Idx>,
+    /// Value of each nonzero.
+    pub vals: Vec<T>,
+}
+
+impl<T: Scalar> Triples<T> {
+    /// Creates an empty matrix of the given dimensions.
+    pub fn new(nrows: usize, ncols: usize) -> Self {
+        Self { nrows, ncols, rows: Vec::new(), cols: Vec::new(), vals: Vec::new() }
+    }
+
+    /// Creates an empty matrix with capacity reserved for `cap` nonzeros.
+    pub fn with_capacity(nrows: usize, ncols: usize, cap: usize) -> Self {
+        Self {
+            nrows,
+            ncols,
+            rows: Vec::with_capacity(cap),
+            cols: Vec::with_capacity(cap),
+            vals: Vec::with_capacity(cap),
+        }
+    }
+
+    /// Builds from parallel arrays. Panics if lengths differ or any index is
+    /// out of bounds (debug builds check every entry).
+    pub fn from_arrays(
+        nrows: usize,
+        ncols: usize,
+        rows: Vec<Idx>,
+        cols: Vec<Idx>,
+        vals: Vec<T>,
+    ) -> Self {
+        assert_eq!(rows.len(), cols.len());
+        assert_eq!(rows.len(), vals.len());
+        debug_assert!(rows.iter().all(|&r| (r as usize) < nrows));
+        debug_assert!(cols.iter().all(|&c| (c as usize) < ncols));
+        Self { nrows, ncols, rows, cols, vals }
+    }
+
+    /// Number of rows.
+    pub fn nrows(&self) -> usize {
+        self.nrows
+    }
+
+    /// Number of columns.
+    pub fn ncols(&self) -> usize {
+        self.ncols
+    }
+
+    /// Number of stored entries (duplicates counted separately).
+    pub fn nnz(&self) -> usize {
+        self.vals.len()
+    }
+
+    /// `true` if no entries are stored.
+    pub fn is_empty(&self) -> bool {
+        self.vals.is_empty()
+    }
+
+    /// Appends one entry.
+    #[inline]
+    pub fn push(&mut self, row: Idx, col: Idx, val: T) {
+        debug_assert!((row as usize) < self.nrows && (col as usize) < self.ncols);
+        self.rows.push(row);
+        self.cols.push(col);
+        self.vals.push(val);
+    }
+
+    /// Iterates over `(row, col, val)`.
+    pub fn iter(&self) -> impl Iterator<Item = (Idx, Idx, T)> + '_ {
+        self.rows
+            .iter()
+            .zip(&self.cols)
+            .zip(&self.vals)
+            .map(|((&r, &c), &v)| (r, c, v))
+    }
+
+    /// Sorts entries into column-major order (column, then row) with a
+    /// two-pass counting sort — `O(nnz + nrows + ncols)`, stable.
+    pub fn sort_column_major(&mut self) {
+        if self.nnz() <= 1 {
+            return;
+        }
+        // Pass 1: stable counting sort by row.
+        let by_row = counting_sort_perm(&self.rows, self.nrows);
+        apply_perm(&by_row, &mut self.rows, &mut self.cols, &mut self.vals);
+        // Pass 2: stable counting sort by column; rows stay sorted per column.
+        let by_col = counting_sort_perm(&self.cols, self.ncols);
+        apply_perm(&by_col, &mut self.rows, &mut self.cols, &mut self.vals);
+    }
+
+    /// Collapses duplicate `(row, col)` entries with semiring addition and
+    /// drops entries that accumulate to zero. Leaves the matrix sorted
+    /// column-major.
+    pub fn sum_duplicates(&mut self) {
+        self.sort_column_major();
+        let n = self.nnz();
+        if n == 0 {
+            return;
+        }
+        let mut w = 0usize; // write cursor
+        for r in 0..n {
+            if w > 0 && self.rows[w - 1] == self.rows[r] && self.cols[w - 1] == self.cols[r] {
+                self.vals[w - 1] = self.vals[w - 1].add(self.vals[r]);
+            } else {
+                self.rows[w] = self.rows[r];
+                self.cols[w] = self.cols[r];
+                self.vals[w] = self.vals[r];
+                w += 1;
+            }
+        }
+        // Drop explicit zeros produced by cancellation.
+        let mut k = 0usize;
+        for i in 0..w {
+            if !self.vals[i].is_zero() {
+                self.rows[k] = self.rows[i];
+                self.cols[k] = self.cols[i];
+                self.vals[k] = self.vals[i];
+                k += 1;
+            }
+        }
+        self.rows.truncate(k);
+        self.cols.truncate(k);
+        self.vals.truncate(k);
+    }
+
+    /// Returns the transpose (rows and columns swapped).
+    pub fn transposed(&self) -> Self {
+        Self {
+            nrows: self.ncols,
+            ncols: self.nrows,
+            rows: self.cols.clone(),
+            cols: self.rows.clone(),
+            vals: self.vals.clone(),
+        }
+    }
+
+    /// Extracts the submatrix of columns in `col_range`, relabelling columns
+    /// to start at zero. Used by phased SUMMA to split the B operand.
+    pub fn column_slice(&self, col_range: std::ops::Range<usize>) -> Self {
+        let mut out = Triples::new(self.nrows, col_range.len());
+        for (r, c, v) in self.iter() {
+            let c = c as usize;
+            if col_range.contains(&c) {
+                out.push(r, (c - col_range.start) as Idx, v);
+            }
+        }
+        out
+    }
+
+    /// Approximate heap footprint in bytes of the stored entries.
+    pub fn bytes(&self) -> usize {
+        self.nnz() * (2 * std::mem::size_of::<Idx>() + std::mem::size_of::<T>())
+    }
+}
+
+/// Stable counting-sort permutation of `keys` with key domain `[0, domain)`.
+fn counting_sort_perm(keys: &[Idx], domain: usize) -> Vec<u32> {
+    let mut counts = vec![0usize; domain + 1];
+    for &k in keys {
+        counts[k as usize] += 1;
+    }
+    exclusive_prefix_sum(&mut counts);
+    let mut perm = vec![0u32; keys.len()];
+    for (i, &k) in keys.iter().enumerate() {
+        perm[counts[k as usize]] = i as u32;
+        counts[k as usize] += 1;
+    }
+    perm
+}
+
+/// Applies permutation `perm` (source indices) to the three parallel arrays.
+fn apply_perm<T: Copy>(perm: &[u32], rows: &mut Vec<Idx>, cols: &mut Vec<Idx>, vals: &mut Vec<T>) {
+    let r2: Vec<Idx> = perm.iter().map(|&i| rows[i as usize]).collect();
+    let c2: Vec<Idx> = perm.iter().map(|&i| cols[i as usize]).collect();
+    let v2: Vec<T> = perm.iter().map(|&i| vals[i as usize]).collect();
+    *rows = r2;
+    *cols = c2;
+    *vals = v2;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Triples<f64> {
+        let mut t = Triples::new(3, 4);
+        t.push(2, 1, 1.0);
+        t.push(0, 0, 2.0);
+        t.push(1, 1, 3.0);
+        t.push(0, 3, 4.0);
+        t.push(2, 0, 5.0);
+        t
+    }
+
+    #[test]
+    fn push_and_iter() {
+        let t = sample();
+        assert_eq!(t.nnz(), 5);
+        assert_eq!(t.nrows(), 3);
+        assert_eq!(t.ncols(), 4);
+        let collected: Vec<_> = t.iter().collect();
+        assert_eq!(collected[0], (2, 1, 1.0));
+    }
+
+    #[test]
+    fn sort_column_major_orders_by_col_then_row() {
+        let mut t = sample();
+        t.sort_column_major();
+        let got: Vec<_> = t.iter().map(|(r, c, _)| (c, r)).collect();
+        let mut want = got.clone();
+        want.sort();
+        assert_eq!(got, want);
+        assert_eq!(t.iter().next().unwrap(), (0, 0, 2.0));
+    }
+
+    #[test]
+    fn sum_duplicates_collapses_and_drops_zero() {
+        let mut t = Triples::new(2, 2);
+        t.push(0, 0, 1.0);
+        t.push(0, 0, 2.0);
+        t.push(1, 1, 5.0);
+        t.push(1, 1, -5.0);
+        t.sum_duplicates();
+        assert_eq!(t.nnz(), 1);
+        assert_eq!(t.iter().next().unwrap(), (0, 0, 3.0));
+    }
+
+    #[test]
+    fn sum_duplicates_empty() {
+        let mut t: Triples<f64> = Triples::new(4, 4);
+        t.sum_duplicates();
+        assert_eq!(t.nnz(), 0);
+    }
+
+    #[test]
+    fn transpose_swaps_dims() {
+        let t = sample().transposed();
+        assert_eq!(t.nrows(), 4);
+        assert_eq!(t.ncols(), 3);
+        assert!(t.iter().any(|(r, c, v)| (r, c, v) == (1, 2, 1.0)));
+    }
+
+    #[test]
+    fn column_slice_relabels() {
+        let t = sample();
+        let s = t.column_slice(1..4);
+        assert_eq!(s.ncols(), 3);
+        assert_eq!(s.nrows(), 3);
+        // (0,3,4.0) becomes (0,2,4.0)
+        assert!(s.iter().any(|(r, c, v)| (r, c, v) == (0, 2, 4.0)));
+        // column 0 entries are gone
+        assert_eq!(s.nnz(), 3);
+    }
+
+    #[test]
+    fn counting_sort_perm_is_stable() {
+        let keys = vec![1u32, 0, 1, 0];
+        let perm = counting_sort_perm(&keys, 2);
+        assert_eq!(perm, vec![1, 3, 0, 2]);
+    }
+}

@@ -1,0 +1,117 @@
+//! Small shared helpers: prefix sums, counting sort scaffolding.
+
+/// Exclusive prefix sum in place: `v[i] := sum(v[..i])`, returns the total.
+///
+/// This is the standard bucket→pointer conversion used when building
+/// compressed formats from counts.
+pub fn exclusive_prefix_sum(v: &mut [usize]) -> usize {
+    let mut acc = 0usize;
+    for x in v.iter_mut() {
+        let c = *x;
+        *x = acc;
+        acc += c;
+    }
+    acc
+}
+
+/// Inclusive prefix sum in place, returns the total (last element).
+pub fn inclusive_prefix_sum(v: &mut [usize]) -> usize {
+    let mut acc = 0usize;
+    for x in v.iter_mut() {
+        acc += *x;
+        *x = acc;
+    }
+    acc
+}
+
+/// Returns `true` if `s` is sorted in strictly increasing order.
+pub fn is_strictly_increasing<T: PartialOrd>(s: &[T]) -> bool {
+    s.windows(2).all(|w| w[0] < w[1])
+}
+
+/// Rounds `x` up to the next multiple of `m` (`m > 0`).
+pub fn round_up(x: usize, m: usize) -> usize {
+    debug_assert!(m > 0);
+    x.div_ceil(m) * m
+}
+
+/// Splits `n` items into `parts` contiguous chunks as evenly as possible and
+/// returns the half-open range of chunk `i`.
+///
+/// The first `n % parts` chunks get one extra item, matching the block
+/// distribution CombBLAS uses for 2D matrix decomposition.
+pub fn even_chunk(n: usize, parts: usize, i: usize) -> std::ops::Range<usize> {
+    debug_assert!(parts > 0 && i < parts);
+    let base = n / parts;
+    let extra = n % parts;
+    let start = i * base + i.min(extra);
+    let len = base + usize::from(i < extra);
+    start..start + len
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exclusive_prefix_sum_basic() {
+        let mut v = vec![3, 0, 2, 5];
+        let total = exclusive_prefix_sum(&mut v);
+        assert_eq!(total, 10);
+        assert_eq!(v, vec![0, 3, 3, 5]);
+    }
+
+    #[test]
+    fn exclusive_prefix_sum_empty() {
+        let mut v: Vec<usize> = vec![];
+        assert_eq!(exclusive_prefix_sum(&mut v), 0);
+    }
+
+    #[test]
+    fn inclusive_prefix_sum_basic() {
+        let mut v = vec![1, 2, 3];
+        let total = inclusive_prefix_sum(&mut v);
+        assert_eq!(total, 6);
+        assert_eq!(v, vec![1, 3, 6]);
+    }
+
+    #[test]
+    fn strictly_increasing() {
+        assert!(is_strictly_increasing(&[1, 2, 5]));
+        assert!(!is_strictly_increasing(&[1, 1, 5]));
+        assert!(is_strictly_increasing::<u32>(&[]));
+        assert!(is_strictly_increasing(&[7]));
+    }
+
+    #[test]
+    fn round_up_basic() {
+        assert_eq!(round_up(0, 4), 0);
+        assert_eq!(round_up(1, 4), 4);
+        assert_eq!(round_up(8, 4), 8);
+    }
+
+    #[test]
+    fn even_chunk_covers_everything_without_overlap() {
+        for n in [0usize, 1, 7, 16, 100] {
+            for parts in [1usize, 2, 3, 7, 16] {
+                let mut covered = 0usize;
+                let mut prev_end = 0usize;
+                for i in 0..parts {
+                    let r = even_chunk(n, parts, i);
+                    assert_eq!(r.start, prev_end, "chunks must be contiguous");
+                    prev_end = r.end;
+                    covered += r.len();
+                }
+                assert_eq!(covered, n);
+                assert_eq!(prev_end, n);
+            }
+        }
+    }
+
+    #[test]
+    fn even_chunk_balanced() {
+        // 10 items over 4 parts -> sizes 3,3,2,2
+        let sizes: Vec<usize> = (0..4).map(|i| even_chunk(10, 4, i).len()).collect();
+        assert_eq!(sizes, vec![3, 3, 2, 2]);
+    }
+}

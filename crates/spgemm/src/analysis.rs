@@ -1,0 +1,114 @@
+//! Multiplication analysis: `flops`, per-column `flops`, and the
+//! compression factor `cf = flops / nnz(C)` that drives kernel selection.
+//!
+//! Notation follows the paper: `flops(AB) = Σ_j Σ_{i ∈ inds(B_{*j})}
+//! nnz(A_{*i})` counts the nontrivial multiply-adds; `cf` measures how much
+//! accumulation collapses them into output entries.
+
+use hipmcl_sparse::{Csc, Scalar};
+use rayon::prelude::*;
+
+/// Number of nontrivial scalar multiplications in `A · B`.
+///
+/// This is the exact arithmetic work of any Gustavson-style SpGEMM and is
+/// `O(nnz(B))` to compute — cheap enough to evaluate before every local
+/// multiplication for kernel selection.
+pub fn flops<T: Scalar, U: Scalar>(a: &Csc<T>, b: &Csc<U>) -> u64 {
+    assert_eq!(a.ncols(), b.nrows(), "inner dimensions must agree");
+    let col_nnz_a: Vec<u64> = (0..a.ncols()).map(|k| a.col_nnz(k) as u64).collect();
+    (0..b.ncols())
+        .into_par_iter()
+        .map(|j| b.col_rows(j).iter().map(|&k| col_nnz_a[k as usize]).sum::<u64>())
+        .sum()
+}
+
+/// Per-output-column `flops`, used to size hash tables and to split phases.
+pub fn flops_per_column<T: Scalar, U: Scalar>(a: &Csc<T>, b: &Csc<U>) -> Vec<u64> {
+    assert_eq!(a.ncols(), b.nrows(), "inner dimensions must agree");
+    let col_nnz_a: Vec<u64> = (0..a.ncols()).map(|k| a.col_nnz(k) as u64).collect();
+    (0..b.ncols())
+        .into_par_iter()
+        .map(|j| b.col_rows(j).iter().map(|&k| col_nnz_a[k as usize]).sum::<u64>())
+        .collect()
+}
+
+/// Summary of one multiplication instance, as consumed by the hybrid
+/// selector and the machine model.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct MultAnalysis {
+    /// Nontrivial multiply count.
+    pub flops: u64,
+    /// Output nonzero count (exact or estimated, depending on provenance).
+    pub nnz_out: u64,
+}
+
+impl MultAnalysis {
+    /// Compression factor `flops / nnz(C)`; 1.0 when the output is empty
+    /// (no accumulation happened, by convention).
+    pub fn cf(&self) -> f64 {
+        if self.nnz_out == 0 {
+            1.0
+        } else {
+            self.flops as f64 / self.nnz_out as f64
+        }
+    }
+}
+
+/// Upper bound on `nnz(A·B)`: `min(flops, nrows(A) · ncols(B))`. Used when
+/// neither an exact symbolic pass nor a probabilistic estimate is available.
+pub fn nnz_upper_bound<T: Scalar, U: Scalar>(a: &Csc<T>, b: &Csc<U>) -> u64 {
+    let f = flops(a, b);
+    f.min(a.nrows() as u64 * b.ncols() as u64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hipmcl_sparse::Triples;
+
+    fn ab() -> (Csc<f64>, Csc<f64>) {
+        // A: 3x3 with cols of nnz 2,1,0 ; B: 3x2
+        let mut ta = Triples::new(3, 3);
+        ta.push(0, 0, 1.0);
+        ta.push(2, 0, 1.0);
+        ta.push(1, 1, 1.0);
+        let mut tb = Triples::new(3, 2);
+        tb.push(0, 0, 1.0); // col0 of B hits A col0 (nnz 2)
+        tb.push(1, 0, 1.0); // and A col1 (nnz 1)
+        tb.push(2, 1, 1.0); // col1 hits A col2 (nnz 0)
+        (Csc::from_triples(&ta), Csc::from_triples(&tb))
+    }
+
+    #[test]
+    fn flops_counts_nontrivial_products() {
+        let (a, b) = ab();
+        assert_eq!(flops(&a, &b), 3);
+        assert_eq!(flops_per_column(&a, &b), vec![3, 0]);
+    }
+
+    #[test]
+    fn flops_of_identity_square() {
+        let i = Csc::<f64>::identity(5);
+        assert_eq!(flops(&i, &i), 5);
+    }
+
+    #[test]
+    fn cf_convention() {
+        assert_eq!(MultAnalysis { flops: 12, nnz_out: 4 }.cf(), 3.0);
+        assert_eq!(MultAnalysis { flops: 0, nnz_out: 0 }.cf(), 1.0);
+    }
+
+    #[test]
+    fn upper_bound_caps_at_dense() {
+        let (a, b) = ab();
+        assert!(nnz_upper_bound(&a, &b) <= 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "inner dimensions")]
+    fn dimension_mismatch_panics() {
+        let a = Csc::<f64>::identity(3);
+        let b = Csc::<f64>::identity(4);
+        let _ = flops(&a, &b);
+    }
+}

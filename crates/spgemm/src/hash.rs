@@ -1,0 +1,274 @@
+//! Hash-assisted column-by-column SpGEMM (Nagasaka, Matsuoka, Azad, Buluç —
+//! ICPP Workshops 2018), the CPU kernel the paper integrates in §VI.
+//!
+//! Each worker owns one open-addressing table that persists across all the
+//! output columns it processes; the table is sized once to the largest
+//! per-column `flops` it will see and reset in `O(touched)` between
+//! columns. Accumulation is `O(1)` expected per product — no `lg` factor —
+//! which is why hash accumulation dominates heaps when the compression
+//! factor `cf = flops/nnz(C)` is large, the regime of the expensive MCL
+//! iterations. The output column is sorted afterwards (MCL needs sorted
+//! columns for merging and pruning).
+
+use crate::analysis::flops_per_column;
+use crate::assemble::build_csc_parallel_scratch;
+use hipmcl_sparse::{Csc, Idx, Scalar};
+use rayon::prelude::*;
+
+const EMPTY: Idx = Idx::MAX;
+
+/// Linear-probing accumulation table reused across columns by one worker.
+#[derive(Clone)]
+pub(crate) struct HashScratch<T> {
+    keys: Vec<Idx>,
+    vals: Vec<T>,
+    /// Slots touched by the current column, for O(touched) reset.
+    touched: Vec<u32>,
+    mask: usize,
+}
+
+impl<T: Scalar> HashScratch<T> {
+    pub(crate) fn new() -> Self {
+        Self { keys: Vec::new(), vals: Vec::new(), touched: Vec::new(), mask: 0 }
+    }
+
+    /// Ensures capacity for `n` distinct keys at ≤ 50 % load.
+    pub(crate) fn reserve(&mut self, n: usize) {
+        let want = (2 * n.max(1)).next_power_of_two();
+        if self.keys.len() < want {
+            self.keys = vec![EMPTY; want];
+            self.vals = vec![T::ZERO; want];
+            self.mask = want - 1;
+        }
+    }
+
+    #[inline]
+    fn slot_of(&self, key: Idx) -> usize {
+        // Fibonacci hashing spreads consecutive row ids well.
+        ((key as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 32) as usize & self.mask
+    }
+
+    /// Accumulates `val` into `key`'s slot, inserting on first touch.
+    #[inline]
+    pub(crate) fn upsert(&mut self, key: Idx, val: T) {
+        let mut s = self.slot_of(key);
+        loop {
+            let k = self.keys[s];
+            if k == key {
+                self.vals[s] = self.vals[s].add(val);
+                return;
+            }
+            if k == EMPTY {
+                self.keys[s] = key;
+                self.vals[s] = val;
+                self.touched.push(s as u32);
+                return;
+            }
+            s = (s + 1) & self.mask;
+        }
+    }
+
+    /// Inserts `key` if absent (symbolic pass); returns `true` on insert.
+    #[inline]
+    pub(crate) fn insert_key(&mut self, key: Idx) -> bool {
+        let mut s = self.slot_of(key);
+        loop {
+            let k = self.keys[s];
+            if k == key {
+                return false;
+            }
+            if k == EMPTY {
+                self.keys[s] = key;
+                self.touched.push(s as u32);
+                return true;
+            }
+            s = (s + 1) & self.mask;
+        }
+    }
+
+    /// Number of distinct keys currently stored.
+    pub(crate) fn len(&self) -> usize {
+        self.touched.len()
+    }
+
+    /// Drains `(key, val)` pairs sorted by key into the output slices and
+    /// resets the table.
+    pub(crate) fn drain_sorted_into(&mut self, rows: &mut [Idx], vals: &mut [T]) {
+        debug_assert_eq!(rows.len(), self.touched.len());
+        let mut pairs: Vec<(Idx, T)> = self
+            .touched
+            .iter()
+            .map(|&s| (self.keys[s as usize], self.vals[s as usize]))
+            .collect();
+        pairs.sort_unstable_by_key(|&(r, _)| r);
+        for (i, (r, v)) in pairs.into_iter().enumerate() {
+            rows[i] = r;
+            vals[i] = v;
+        }
+        self.reset();
+    }
+
+    /// Clears touched slots in `O(touched)`.
+    pub(crate) fn reset(&mut self) {
+        for &s in &self.touched {
+            self.keys[s as usize] = EMPTY;
+        }
+        self.touched.clear();
+    }
+}
+
+/// Multiplies `C = A · B` with hash accumulation (two-phase: symbolic
+/// column counts, then numeric fill with per-worker reused tables).
+pub fn multiply<T: Scalar>(a: &Csc<T>, b: &Csc<T>) -> Csc<T> {
+    let fpc = flops_per_column(a, b);
+    multiply_with_flops(a, b, &fpc)
+}
+
+/// [`multiply`] when the per-column flops are already known (the SUMMA
+/// layer computes them once for estimation and reuses them here).
+pub fn multiply_with_flops<T: Scalar>(a: &Csc<T>, b: &Csc<T>, fpc: &[u64]) -> Csc<T> {
+    assert_eq!(a.ncols(), b.nrows(), "inner dimensions must agree");
+    assert_eq!(fpc.len(), b.ncols());
+
+    // Symbolic: exact output count per column.
+    let counts: Vec<usize> = (0..b.ncols())
+        .into_par_iter()
+        .map_with(HashScratch::<T>::new(), |scratch, j| {
+            symbolic_column(a, b, j, fpc[j] as usize, scratch)
+        })
+        .collect();
+
+    build_csc_parallel_scratch(
+        a.nrows(),
+        b.ncols(),
+        &counts,
+        HashScratch::<T>::new(),
+        |scratch, j, rows_out, vals_out| {
+            scratch.reserve(fpc[j] as usize);
+            for (l, &k) in b.col_rows(j).iter().enumerate() {
+                let bv = b.col_vals(j)[l];
+                let k = k as usize;
+                let (ar, av) = (a.col_rows(k), a.col_vals(k));
+                for (idx, &r) in ar.iter().enumerate() {
+                    scratch.upsert(r, av[idx].mul(bv));
+                }
+            }
+            scratch.drain_sorted_into(rows_out, vals_out);
+        },
+    )
+}
+
+/// Exact `nnz(C_{*j})` via key insertion; leaves the scratch reset.
+fn symbolic_column<T: Scalar>(
+    a: &Csc<T>,
+    b: &Csc<T>,
+    j: usize,
+    flops_j: usize,
+    scratch: &mut HashScratch<T>,
+) -> usize {
+    scratch.reserve(flops_j);
+    for &k in b.col_rows(j) {
+        for &r in a.col_rows(k as usize) {
+            scratch.insert_key(r);
+        }
+    }
+    let n = scratch.len();
+    scratch.reset();
+    n
+}
+
+/// Exact per-column output counts (the "symbolic SpGEMM" of the paper's
+/// exact memory estimator). Shares the kernel with [`multiply`].
+pub fn symbolic_counts<T: Scalar>(a: &Csc<T>, b: &Csc<T>) -> Vec<usize> {
+    assert_eq!(a.ncols(), b.nrows(), "inner dimensions must agree");
+    let fpc = flops_per_column(a, b);
+    (0..b.ncols())
+        .into_par_iter()
+        .map_with(HashScratch::<T>::new(), |scratch, j| {
+            symbolic_column(a, b, j, fpc[j] as usize, scratch)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::{dense_reference, random_csc};
+
+    #[test]
+    fn scratch_upsert_accumulates() {
+        let mut s = HashScratch::<f64>::new();
+        s.reserve(4);
+        s.upsert(7, 1.0);
+        s.upsert(3, 2.0);
+        s.upsert(7, 0.5);
+        assert_eq!(s.len(), 2);
+        let mut rows = vec![0; 2];
+        let mut vals = vec![0.0; 2];
+        s.drain_sorted_into(&mut rows, &mut vals);
+        assert_eq!(rows, vec![3, 7]);
+        assert_eq!(vals, vec![2.0, 1.5]);
+        assert_eq!(s.len(), 0, "drain resets");
+    }
+
+    #[test]
+    fn scratch_insert_key_counts_distinct() {
+        let mut s = HashScratch::<f64>::new();
+        s.reserve(8);
+        assert!(s.insert_key(1));
+        assert!(s.insert_key(2));
+        assert!(!s.insert_key(1));
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn scratch_survives_collisions() {
+        let mut s = HashScratch::<f64>::new();
+        s.reserve(2); // tiny table, forced probing
+        for k in 0..4u32 {
+            s.upsert(k, k as f64);
+        }
+        assert_eq!(s.len(), 4);
+    }
+
+    #[test]
+    fn identity_times_identity() {
+        let i = Csc::<f64>::identity(5);
+        assert_eq!(multiply(&i, &i), i);
+    }
+
+    #[test]
+    fn matches_dense_reference() {
+        let a = random_csc(10, 8, 30, 1);
+        let b = random_csc(8, 6, 24, 2);
+        let c = multiply(&a, &b);
+        c.assert_valid();
+        assert!(c.max_abs_diff(&dense_reference(&a, &b)) < 1e-9);
+    }
+
+    #[test]
+    fn matches_heap_kernel() {
+        let a = random_csc(30, 30, 300, 9);
+        let c_hash = multiply(&a, &a);
+        let c_heap = crate::heap::multiply(&a, &a);
+        assert!(c_hash.max_abs_diff(&c_heap) < 1e-9);
+        assert_eq!(c_hash.nnz(), c_heap.nnz());
+    }
+
+    #[test]
+    fn symbolic_counts_match_numeric() {
+        let a = random_csc(20, 20, 120, 4);
+        let counts = symbolic_counts(&a, &a);
+        let c = multiply(&a, &a);
+        let got: Vec<usize> = (0..c.ncols()).map(|j| c.col_nnz(j)).collect();
+        assert_eq!(counts, got);
+    }
+
+    #[test]
+    fn empty_matrices() {
+        let a = Csc::<f64>::zero(3, 4);
+        let b = Csc::<f64>::zero(4, 2);
+        let c = multiply(&a, &b);
+        assert_eq!(c.nnz(), 0);
+    }
+}

@@ -1,0 +1,115 @@
+//! CPU kernel selection by `flops` and compression factor — the paper's
+//! "recipe" (§I, §VI): benchmark the candidates, find the density regimes
+//! where each dominates, then choose per multiplication instance.
+//!
+//! On CPU the rule reduces to: heaps win when `cf` is small (little
+//! accumulation, the heap's `lg` factor is paid on few elements and its
+//! cache behaviour is better), hash tables win when `cf` is large (every
+//! product hits an existing accumulator slot in `O(1)`). The GPU-inclusive
+//! selection — including the `flops` threshold that decides whether a
+//! multiplication is big enough to saturate a device at all — lives in
+//! `hipmcl-gpu::select`, layered on top of this.
+
+use crate::analysis::MultAnalysis;
+use hipmcl_sparse::{Csc, Scalar};
+
+/// CPU-side SpGEMM kernels available to the selector.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum CpuAlgo {
+    /// Heap (priority queue) accumulation — original HipMCL.
+    Heap,
+    /// Hash-table accumulation — Nagasaka et al., the §VI replacement.
+    Hash,
+    /// Dense sparse accumulator — benchmark baseline.
+    Spa,
+}
+
+impl CpuAlgo {
+    /// Human-readable name matching the paper's plot labels.
+    pub fn name(self) -> &'static str {
+        match self {
+            CpuAlgo::Heap => "cpu-heap",
+            CpuAlgo::Hash => "cpu-hash",
+            CpuAlgo::Spa => "cpu-spa",
+        }
+    }
+
+    /// Runs the selected kernel.
+    pub fn multiply<T: Scalar>(self, a: &Csc<T>, b: &Csc<T>) -> Csc<T> {
+        match self {
+            CpuAlgo::Heap => crate::heap::multiply(a, b),
+            CpuAlgo::Hash => crate::hash::multiply(a, b),
+            CpuAlgo::Spa => crate::spa::multiply(a, b),
+        }
+    }
+}
+
+/// `cf` threshold below which heaps beat hash tables on CPU.
+///
+/// Benchmarked on this implementation (see `hipmcl-bench/benches/
+/// local_spgemm.rs`); the paper reports the same qualitative crossover
+/// ("for small cf values, the heaps show themselves to be slightly more
+/// effective while for large cf values hash tables perform significantly
+/// better", §VII-B).
+pub const HEAP_HASH_CF_CROSSOVER: f64 = 2.0;
+
+/// Picks the CPU kernel for a multiplication with the given analysis.
+pub fn select_cpu(analysis: &MultAnalysis) -> CpuAlgo {
+    if analysis.cf() < HEAP_HASH_CF_CROSSOVER {
+        CpuAlgo::Heap
+    } else {
+        CpuAlgo::Hash
+    }
+}
+
+/// Analyses `A·B` (exact symbolic count) and multiplies with the selected
+/// kernel. Returns the product and the analysis for instrumentation.
+pub fn multiply_auto<T: Scalar>(a: &Csc<T>, b: &Csc<T>) -> (Csc<T>, MultAnalysis, CpuAlgo) {
+    let flops = crate::analysis::flops(a, b);
+    let nnz_out = crate::symbolic::output_nnz(a, b);
+    let analysis = MultAnalysis { flops, nnz_out };
+    let algo = select_cpu(&analysis);
+    (algo.multiply(a, b), analysis, algo)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::random_csc;
+
+    #[test]
+    fn low_cf_prefers_heap() {
+        let a = MultAnalysis { flops: 100, nnz_out: 90 };
+        assert_eq!(select_cpu(&a), CpuAlgo::Heap);
+    }
+
+    #[test]
+    fn high_cf_prefers_hash() {
+        let a = MultAnalysis { flops: 10_000, nnz_out: 100 };
+        assert_eq!(select_cpu(&a), CpuAlgo::Hash);
+    }
+
+    #[test]
+    fn all_algos_agree() {
+        let a = random_csc(20, 20, 150, 2);
+        let heap = CpuAlgo::Heap.multiply(&a, &a);
+        let hash = CpuAlgo::Hash.multiply(&a, &a);
+        let spa = CpuAlgo::Spa.multiply(&a, &a);
+        assert!(heap.max_abs_diff(&hash) < 1e-9);
+        assert!(heap.max_abs_diff(&spa) < 1e-9);
+    }
+
+    #[test]
+    fn multiply_auto_returns_consistent_analysis() {
+        let a = random_csc(15, 15, 60, 4);
+        let (c, analysis, _) = multiply_auto(&a, &a);
+        assert_eq!(analysis.nnz_out, c.nnz() as u64);
+        assert!(analysis.flops >= analysis.nnz_out);
+    }
+
+    #[test]
+    fn names_match_paper_labels() {
+        assert_eq!(CpuAlgo::Hash.name(), "cpu-hash");
+        assert_eq!(CpuAlgo::Heap.name(), "cpu-heap");
+    }
+}

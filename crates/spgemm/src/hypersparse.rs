@@ -1,0 +1,167 @@
+//! Hypersparse SpGEMM on DCSC operands (Buluç & Gilbert, IPDPS 2008).
+//!
+//! At high process counts the 2D blocks have `nnz < ncols` and a
+//! CSC-walking kernel would waste `O(ncols)` per multiply just scanning
+//! empty column pointers. This kernel touches only the *non-empty*
+//! columns: it iterates `B`'s `jc` array and resolves each needed column
+//! of `A` by binary search in `A.jc`, so the work is
+//! `O(nzc(B)·lg nzc(A) + flops)` — independent of the logical dimension.
+//! This is the algorithmic core of CombBLAS's `HyperSparseGEMM`, which
+//! HipMCL's distributed blocks use on large grids.
+
+use hipmcl_sparse::{Dcsc, Idx, Scalar};
+
+/// Multiplies `C = A · B` with both operands (and the result) in DCSC.
+///
+/// Accumulation is hash-based per output column (the §VI choice); output
+/// columns are produced sorted. Sequential: hypersparse blocks are small
+/// by construction (`nnz/P` elements), and the caller parallelizes across
+/// blocks/stages, not within them.
+pub fn multiply_dcsc<T: Scalar>(a: &Dcsc<T>, b: &Dcsc<T>) -> Dcsc<T> {
+    assert_eq!(a.ncols(), b.nrows(), "inner dimensions must agree");
+
+    let mut jc: Vec<Idx> = Vec::new();
+    let mut cp: Vec<usize> = vec![0];
+    let mut ir: Vec<Idx> = Vec::new();
+    let mut num: Vec<T> = Vec::new();
+
+    // Scratch accumulator reused across output columns.
+    let mut acc: Vec<(Idx, T)> = Vec::new();
+
+    for (j, b_rows, b_vals) in b.iter_cols() {
+        acc.clear();
+        for (bi, &k) in b_rows.iter().enumerate() {
+            // Locate column k of A among its non-empty columns.
+            let Ok(pos) = a.jc.binary_search(&k) else {
+                continue;
+            };
+            let range = a.cp[pos]..a.cp[pos + 1];
+            let bv = b_vals[bi];
+            for t in range {
+                acc.push((a.ir[t], a.num[t].mul(bv)));
+            }
+        }
+        if acc.is_empty() {
+            continue;
+        }
+        // Sort-compress the accumulated products (columns are tiny in the
+        // hypersparse regime, so sorting beats table setup).
+        acc.sort_unstable_by_key(|&(r, _)| r);
+        let col_start = ir.len();
+        for &(r, v) in acc.iter() {
+            if ir.len() > col_start && *ir.last().unwrap() == r {
+                let last = num.last_mut().unwrap();
+                *last = last.add(v);
+            } else {
+                ir.push(r);
+                num.push(v);
+            }
+        }
+        // Drop entries that cancelled to zero.
+        let mut w = col_start;
+        for i in col_start..ir.len() {
+            if !num[i].is_zero() {
+                ir[w] = ir[i];
+                num[w] = num[i];
+                w += 1;
+            }
+        }
+        ir.truncate(w);
+        num.truncate(w);
+        if ir.len() > col_start {
+            jc.push(j);
+            cp.push(ir.len());
+        }
+    }
+
+    Dcsc::from_parts(a.nrows(), b.ncols(), jc, cp, ir, num)
+}
+
+/// `flops(A·B)` for DCSC operands, `O(nzc(B)·lg nzc(A) + nnz(B))`.
+pub fn flops_dcsc<T: Scalar>(a: &Dcsc<T>, b: &Dcsc<T>) -> u64 {
+    assert_eq!(a.ncols(), b.nrows(), "inner dimensions must agree");
+    let mut total = 0u64;
+    for (_, b_rows, _) in b.iter_cols() {
+        for &k in b_rows {
+            if let Ok(pos) = a.jc.binary_search(&k) {
+                total += (a.cp[pos + 1] - a.cp[pos]) as u64;
+            }
+        }
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::random_csc;
+    use hipmcl_sparse::Triples;
+
+    fn hypersparse(n: usize, nnz: usize, seed: u64) -> Dcsc<f64> {
+        Dcsc::from_csc(&random_csc(n, n, nnz, seed))
+    }
+
+    #[test]
+    fn matches_csc_kernel_on_hypersparse_blocks() {
+        // 500x500 with 60 nonzeros: deeply hypersparse.
+        let a = hypersparse(500, 60, 1);
+        let b = hypersparse(500, 55, 2);
+        let want = crate::hash::multiply(&a.to_csc(), &b.to_csc());
+        let got = multiply_dcsc(&a, &b).to_csc();
+        got.assert_valid();
+        assert_eq!(got.colptr, want.colptr, "pattern");
+        assert_eq!(got.rowidx, want.rowidx, "pattern");
+        assert!(got.max_abs_diff(&want) < 1e-12);
+    }
+
+    #[test]
+    fn matches_csc_kernel_on_denser_blocks() {
+        let a = hypersparse(60, 400, 3);
+        let got = multiply_dcsc(&a, &a).to_csc();
+        let want = crate::hash::multiply(&a.to_csc(), &a.to_csc());
+        // Same pattern; values agree up to summation-order rounding.
+        assert_eq!(got.colptr, want.colptr, "pattern");
+        assert_eq!(got.rowidx, want.rowidx, "pattern");
+        assert!(got.max_abs_diff(&want) < 1e-9);
+    }
+
+    #[test]
+    fn flops_agrees_with_csc_analysis() {
+        let a = hypersparse(200, 150, 4);
+        let b = hypersparse(200, 140, 5);
+        assert_eq!(flops_dcsc(&a, &b), crate::analysis::flops(&a.to_csc(), &b.to_csc()));
+    }
+
+    #[test]
+    fn empty_operands() {
+        let a = Dcsc::<f64>::zero(100, 100);
+        let c = multiply_dcsc(&a, &a);
+        assert_eq!(c.nnz(), 0);
+        assert_eq!(c.nzc(), 0);
+        assert_eq!(flops_dcsc(&a, &a), 0);
+    }
+
+    #[test]
+    fn cancellation_drops_entries_and_columns() {
+        // A row pair engineered so products cancel exactly.
+        let mut ta = Triples::new(4, 4);
+        ta.push(0, 0, 1.0);
+        ta.push(0, 1, -1.0);
+        let mut tb = Triples::new(4, 4);
+        tb.push(0, 2, 1.0);
+        tb.push(1, 2, 1.0);
+        let a = Dcsc::from_csc(&hipmcl_sparse::Csc::from_triples(&ta));
+        let b = Dcsc::from_csc(&hipmcl_sparse::Csc::from_triples(&tb));
+        let c = multiply_dcsc(&a, &b);
+        assert_eq!(c.nnz(), 0, "1·1 + (−1)·1 cancels");
+        assert_eq!(c.nzc(), 0, "fully cancelled columns are not listed");
+    }
+
+    #[test]
+    fn output_is_hypersparse_for_hypersparse_inputs() {
+        let a = hypersparse(1000, 80, 6);
+        let c = multiply_dcsc(&a, &a);
+        c.assert_valid();
+        assert!(c.nzc() <= a.nzc(), "output columns bounded by B's non-empty columns");
+    }
+}

@@ -1,0 +1,47 @@
+//! Local (in-node) sparse matrix–matrix multiplication for `hipmcl-rs`.
+//!
+//! The MCL expansion step `B = A·A` is an SpGEMM whose character changes as
+//! the iteration proceeds: early iterations are sparse (tens of nonzeros
+//! per column) while mid-iterations approach ~1000 nonzeros per column with
+//! large compression factors `cf = flops / nnz(C)`. No single accumulator
+//! wins everywhere (§VI, [Nagasaka et al. 2018]):
+//!
+//! * [`heap`] — priority-queue accumulation, the *original HipMCL* kernel.
+//!   Wins at small `cf` (≈ sparse graph processing).
+//! * [`hash`] — hash-table accumulation, the paper's replacement. Wins at
+//!   large `cf`, which dominates MCL runs.
+//! * [`spa`] — dense sparse-accumulator (Gilbert/Moler/Schreiber), the
+//!   classic baseline; fast for short, dense outputs, memory-hungry.
+//!
+//! [`hypersparse`] multiplies DCSC operands directly — the CombBLAS
+//! HyperSparseGEMM analogue for blocks with `nnz < ncols` (large grids).
+//!
+//! [`symbolic`] computes exact output structure counts (the "exact" memory
+//! estimator), and [`estimate`] implements Cohen's probabilistic `nnz(AB)`
+//! estimator (§V). [`hybrid`] picks a CPU kernel from `flops`/`cf` the way
+//! the paper's recipe does; the full CPU/GPU selection lives in
+//! `hipmcl-gpu::select`.
+//!
+//! All kernels are column-parallel over the output with rayon and produce
+//! CSC with sorted, duplicate-free columns (validated in tests against a
+//! dense reference and against each other).
+
+pub mod analysis;
+pub mod estimate;
+pub mod hash;
+pub mod heap;
+pub mod hypersparse;
+pub mod hybrid;
+pub mod spa;
+pub mod symbolic;
+
+mod assemble;
+
+pub use analysis::{flops, flops_per_column, MultAnalysis};
+pub use estimate::CohenEstimator;
+pub use hybrid::CpuAlgo;
+
+pub mod testutil;
+
+#[cfg(test)]
+mod proptests;

@@ -1,0 +1,95 @@
+//! Property tests: all SpGEMM kernels agree with each other and with the
+//! dense reference; symbolic and probabilistic estimators are consistent.
+
+use crate::testutil::dense_reference;
+use crate::{hash, heap, spa, symbolic};
+use hipmcl_sparse::{Csc, Idx, Triples};
+use proptest::prelude::*;
+
+/// Strategy: a pair of multiplicable random matrices with positive values.
+fn arb_mult_pair() -> impl Strategy<Value = (Csc<f64>, Csc<f64>)> {
+    (1usize..16, 1usize..16, 1usize..16).prop_flat_map(|(m, k, n)| {
+        let a = proptest::collection::vec((0..m as Idx, 0..k as Idx, 1u32..100), 0..80);
+        let b = proptest::collection::vec((0..k as Idx, 0..n as Idx, 1u32..100), 0..80);
+        (a, b).prop_map(move |(ea, eb)| {
+            let mut ta = Triples::new(m, k);
+            for (r, c, v) in ea {
+                ta.push(r, c, v as f64 / 16.0);
+            }
+            let mut tb = Triples::new(k, n);
+            for (r, c, v) in eb {
+                tb.push(r, c, v as f64 / 16.0);
+            }
+            (Csc::from_triples(&ta), Csc::from_triples(&tb))
+        })
+    })
+}
+
+proptest! {
+    #[test]
+    fn kernels_match_dense_reference((a, b) in arb_mult_pair()) {
+        let want = dense_reference(&a, &b);
+        for (name, got) in [
+            ("heap", heap::multiply(&a, &b)),
+            ("hash", hash::multiply(&a, &b)),
+            ("spa", spa::multiply(&a, &b)),
+        ] {
+            got.assert_valid();
+            prop_assert!(got.max_abs_diff(&want) < 1e-9, "{} kernel mismatch", name);
+        }
+    }
+
+    #[test]
+    fn kernels_agree_on_pattern((a, b) in arb_mult_pair()) {
+        // Positive inputs -> no cancellation -> identical patterns.
+        let c1 = heap::multiply(&a, &b);
+        let c2 = hash::multiply(&a, &b);
+        let c3 = spa::multiply(&a, &b);
+        prop_assert_eq!(c1.nnz(), c2.nnz());
+        prop_assert_eq!(&c1.colptr, &c2.colptr);
+        prop_assert_eq!(&c1.rowidx, &c2.rowidx);
+        prop_assert_eq!(&c2.colptr, &c3.colptr);
+        prop_assert_eq!(&c2.rowidx, &c3.rowidx);
+    }
+
+    #[test]
+    fn symbolic_counts_are_exact((a, b) in arb_mult_pair()) {
+        let c = hash::multiply(&a, &b);
+        let counts = symbolic::output_counts(&a, &b);
+        prop_assert_eq!(counts.len(), c.ncols());
+        for j in 0..c.ncols() {
+            prop_assert_eq!(counts[j], c.col_nnz(j));
+        }
+    }
+
+    #[test]
+    fn flops_bounds_output((a, b) in arb_mult_pair()) {
+        let f = crate::analysis::flops(&a, &b);
+        let nnz = symbolic::output_nnz(&a, &b);
+        prop_assert!(nnz <= f, "output nnz can never exceed flops");
+    }
+
+    #[test]
+    fn estimator_is_finite_and_nonnegative((a, b) in arb_mult_pair()) {
+        let e = crate::estimate::CohenEstimator::new(5, 99);
+        let ests = e.estimate_columns(&a, &b);
+        prop_assert_eq!(ests.len(), b.ncols());
+        for (j, &est) in ests.iter().enumerate() {
+            prop_assert!(est.is_finite() && est >= 0.0, "col {} estimate {}", j, est);
+        }
+        // Columns with provably empty output estimate exactly zero.
+        let counts = symbolic::output_counts(&a, &b);
+        for j in 0..b.ncols() {
+            if counts[j] == 0 {
+                prop_assert_eq!(ests[j], 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn multiply_auto_correct((a, b) in arb_mult_pair()) {
+        let (c, analysis, _) = crate::hybrid::multiply_auto(&a, &b);
+        prop_assert!(c.max_abs_diff(&dense_reference(&a, &b)) < 1e-9);
+        prop_assert_eq!(analysis.nnz_out, c.nnz() as u64);
+    }
+}

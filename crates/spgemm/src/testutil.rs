@@ -1,0 +1,63 @@
+//! Shared test helpers: seeded random matrices and a dense reference
+//! multiply that the sparse kernels are validated against.
+
+use hipmcl_sparse::{Csc, Idx, Triples};
+use rand::{Rng, SeedableRng};
+
+/// Random `m × n` CSC with ~`nnz` entries (duplicates collapse) and
+/// positive values in `[0.5, 1.5)` — positivity avoids cancellation so
+/// kernels can be compared by pattern as well as value.
+pub fn random_csc(m: usize, n: usize, nnz: usize, seed: u64) -> Csc<f64> {
+    let mut rng = rand::rngs::SmallRng::seed_from_u64(seed);
+    let mut t = Triples::new(m, n);
+    for _ in 0..nnz {
+        t.push(
+            rng.gen_range(0..m) as Idx,
+            rng.gen_range(0..n) as Idx,
+            rng.gen_range(0.5..1.5),
+        );
+    }
+    Csc::from_triples(&t)
+}
+
+/// Dense `O(n³)`-style reference product, for small validation cases only.
+pub fn dense_reference(a: &Csc<f64>, b: &Csc<f64>) -> Csc<f64> {
+    assert_eq!(a.ncols(), b.nrows());
+    let (m, n, k) = (a.nrows(), b.ncols(), a.ncols());
+    let da = a.to_dense();
+    let db = b.to_dense();
+    let mut dc = vec![0.0f64; m * n];
+    for j in 0..n {
+        for l in 0..k {
+            let bv = db[j * k + l];
+            if bv == 0.0 {
+                continue;
+            }
+            for i in 0..m {
+                dc[j * m + i] += da[l * m + i] * bv;
+            }
+        }
+    }
+    Csc::from_dense(m, n, &dc)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn random_csc_is_valid_and_seed_stable() {
+        let a = random_csc(10, 10, 40, 1);
+        a.assert_valid();
+        assert_eq!(a, random_csc(10, 10, 40, 1));
+        assert_ne!(a, random_csc(10, 10, 40, 2));
+    }
+
+    #[test]
+    fn dense_reference_identity() {
+        let i = Csc::<f64>::identity(4);
+        let a = random_csc(4, 4, 10, 3);
+        assert!(dense_reference(&i, &a).max_abs_diff(&a) < 1e-12);
+        assert!(dense_reference(&a, &i).max_abs_diff(&a) < 1e-12);
+    }
+}

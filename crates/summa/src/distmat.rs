@@ -1,0 +1,202 @@
+//! 2D block-distributed sparse matrices on the SUMMA process grid.
+//!
+//! An `m × n` matrix on a `√P × √P` grid is split into balanced row and
+//! column stripes ([`hipmcl_sparse::util::even_chunk`]); the process at
+//! grid `(i, j)` owns block `(i, j)` with local indices. Blocks are stored
+//! as CSC for compute and shipped as CSC too; [`DistMatrix::dcsc_bytes`]
+//! reports what the hypersparse DCSC representation would occupy, which is
+//! what the broadcast payloads are charged as (HipMCL broadcasts DCSC).
+
+use hipmcl_comm::collectives::{allreduce, gather};
+use hipmcl_comm::ProcGrid;
+use hipmcl_sparse::convert::{gather_2d, split_2d};
+use hipmcl_sparse::util::even_chunk;
+use hipmcl_sparse::{Csc, Dcsc, Triples};
+
+/// One rank's block of a 2D-distributed sparse matrix.
+#[derive(Clone, Debug, PartialEq)]
+pub struct DistMatrix {
+    /// The local block, in local indices.
+    pub local: Csc<f64>,
+    /// Global row count.
+    pub nrows_global: usize,
+    /// Global column count.
+    pub ncols_global: usize,
+}
+
+impl DistMatrix {
+    /// Builds this rank's block from a globally replicated matrix. Every
+    /// rank calls this with the *same* `global` (e.g. generated from a
+    /// shared seed); no communication happens.
+    pub fn from_global(grid: &ProcGrid, global: &Triples<f64>) -> Self {
+        let blocks = split_2d(global, grid.side, grid.side);
+        let mine = &blocks[grid.row * grid.side + grid.col];
+        Self {
+            local: Csc::from_triples(mine),
+            nrows_global: global.nrows(),
+            ncols_global: global.ncols(),
+        }
+    }
+
+    /// Scatter-based construction: rank 0 holds the global matrix and
+    /// sends each rank its block (collective).
+    pub fn scatter_from_root(grid: &ProcGrid, global: Option<&Triples<f64>>) -> Self {
+        let comm = &grid.world;
+        const TAG: u64 = 0x5CA7;
+        if comm.rank() == 0 {
+            let g = global.expect("root must supply the global matrix");
+            let blocks = split_2d(g, grid.side, grid.side);
+            for r in (1..comm.size()).rev() {
+                comm.send(r, TAG, (blocks[r].clone(), g.nrows(), g.ncols()));
+            }
+            Self {
+                local: Csc::from_triples(&blocks[0]),
+                nrows_global: g.nrows(),
+                ncols_global: g.ncols(),
+            }
+        } else {
+            let (block, m, n): (Triples<f64>, usize, usize) = comm.recv(0, TAG);
+            Self { local: Csc::from_triples(&block), nrows_global: m, ncols_global: n }
+        }
+    }
+
+    /// Gathers the matrix to rank 0 (others get `None`). Collective.
+    pub fn gather_to_root(&self, grid: &ProcGrid) -> Option<Csc<f64>> {
+        let blocks = gather(&grid.world, 0, self.local.to_triples());
+        blocks.map(|blocks| {
+            let t = gather_2d(
+                &blocks,
+                self.nrows_global,
+                self.ncols_global,
+                grid.side,
+                grid.side,
+            );
+            Csc::from_triples(&t)
+        })
+    }
+
+    /// Global nonzero count (collective all-reduce).
+    pub fn nnz_global(&self, grid: &ProcGrid) -> u64 {
+        allreduce(&grid.world, self.local.nnz() as u64, |a, b| a + b)
+    }
+
+    /// Global row range of this rank's block.
+    pub fn row_range(&self, grid: &ProcGrid) -> std::ops::Range<usize> {
+        even_chunk(self.nrows_global, grid.side, grid.row)
+    }
+
+    /// Global column range of this rank's block.
+    pub fn col_range(&self, grid: &ProcGrid) -> std::ops::Range<usize> {
+        even_chunk(self.ncols_global, grid.side, grid.col)
+    }
+
+    /// Bytes of the local block in hypersparse DCSC form — the size
+    /// HipMCL's SUMMA broadcasts actually move (§III-B).
+    pub fn dcsc_bytes(&self) -> usize {
+        Dcsc::from_csc(&self.local).bytes()
+    }
+
+    /// An empty distributed matrix with the same global shape as `self`.
+    pub fn empty_like(&self, grid: &ProcGrid) -> Self {
+        Self {
+            local: Csc::zero(self.row_range(grid).len(), self.col_range(grid).len()),
+            nrows_global: self.nrows_global,
+            ncols_global: self.ncols_global,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hipmcl_comm::{MachineModel, Universe};
+    use hipmcl_sparse::Idx;
+    use rand::{Rng, SeedableRng};
+
+    fn random_global(n: usize, nnz: usize, seed: u64) -> Triples<f64> {
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(seed);
+        let mut t = Triples::new(n, n);
+        for _ in 0..nnz {
+            t.push(
+                rng.gen_range(0..n) as Idx,
+                rng.gen_range(0..n) as Idx,
+                rng.gen_range(0.5..1.5),
+            );
+        }
+        t.sum_duplicates();
+        t
+    }
+
+    #[test]
+    fn from_global_then_gather_roundtrips() {
+        let global = random_global(20, 80, 1);
+        let want = Csc::from_triples(&global);
+        for p in [1usize, 4, 9] {
+            let results = Universe::run(p, MachineModel::summit(), |comm| {
+                let grid = ProcGrid::new(comm);
+                let dm = DistMatrix::from_global(&grid, &random_global(20, 80, 1));
+                dm.gather_to_root(&grid)
+            });
+            assert_eq!(results[0].as_ref(), Some(&want), "p={p}");
+            for r in &results[1..] {
+                assert!(r.is_none());
+            }
+        }
+    }
+
+    #[test]
+    fn scatter_matches_from_global() {
+        let results = Universe::run(4, MachineModel::summit(), |comm| {
+            let grid = ProcGrid::new(comm);
+            let global = random_global(15, 60, 2);
+            let a = DistMatrix::from_global(&grid, &global);
+            let b = DistMatrix::scatter_from_root(
+                &grid,
+                if grid.world.rank() == 0 { Some(&global) } else { None },
+            );
+            a == b
+        });
+        assert!(results.iter().all(|&ok| ok));
+    }
+
+    #[test]
+    fn nnz_global_sums_blocks() {
+        let global = random_global(18, 70, 3);
+        let want = global.nnz() as u64;
+        let results = Universe::run(9, MachineModel::summit(), |comm| {
+            let grid = ProcGrid::new(comm);
+            let dm = DistMatrix::from_global(&grid, &random_global(18, 70, 3));
+            dm.nnz_global(&grid)
+        });
+        assert!(results.iter().all(|&n| n == want));
+    }
+
+    #[test]
+    fn ranges_partition_global_dims() {
+        let results = Universe::run(4, MachineModel::summit(), |comm| {
+            let grid = ProcGrid::new(comm);
+            let dm = DistMatrix::from_global(&grid, &random_global(11, 30, 4));
+            let rr = dm.row_range(&grid);
+            let cr = dm.col_range(&grid);
+            assert_eq!(dm.local.nrows(), rr.len());
+            assert_eq!(dm.local.ncols(), cr.len());
+            (rr.start, rr.end, cr.start, cr.end)
+        });
+        // 11 rows over 2 stripes: 6 + 5.
+        assert_eq!(results[0], (0, 6, 0, 6));
+        assert_eq!(results[3], (6, 11, 6, 11));
+    }
+
+    #[test]
+    fn dcsc_bytes_smaller_for_hypersparse_blocks() {
+        let results = Universe::run(9, MachineModel::summit(), |comm| {
+            let grid = ProcGrid::new(comm);
+            // 90x90 with only 40 nonzeros: blocks are hypersparse.
+            let dm = DistMatrix::from_global(&grid, &random_global(90, 40, 5));
+            (dm.dcsc_bytes(), dm.local.bytes())
+        });
+        let (d, c): (usize, usize) =
+            results.iter().fold((0, 0), |(d, c), &(dd, cc)| (d + dd, c + cc));
+        assert!(d < c, "DCSC total {d} should beat CSC total {c}");
+    }
+}

@@ -1,0 +1,538 @@
+//! Distributed memory-requirement estimation (§V).
+//!
+//! Before each MCL iteration HipMCL must know how large the *unpruned*
+//! expanded matrix will be, to pick the number of SUMMA phases `h` that
+//! keeps every process inside its memory budget. Two estimators:
+//!
+//! * **Exact symbolic SUMMA** (original HipMCL): replays the whole SUMMA
+//!   stage structure, computing output structure without values. Cost is
+//!   `O(flops)` — nearly as expensive as the numeric multiplication, which
+//!   is why Fig. 1 shows memory estimation consuming ~½ of the original
+//!   runtime.
+//! * **Probabilistic** (the paper's contribution): the distributed form of
+//!   Cohen's min-key sketch. Keys are drawn *deterministically from global
+//!   row ids*, so the first layer needs no communication; propagation
+//!   through each operand is local per block followed by a min-allreduce
+//!   along the process column; the two propagations are stitched together
+//!   by a single transpose-pair exchange. Cost is
+//!   `O(r·(nnz A + nnz B)/P)` per rank plus two thin collectives —
+//!   independent of `flops`, hence the Fig. 6 runtime win at high `cf`.
+//!
+//! The hybrid rule (§VII-D, last paragraph): when the estimated `cf` is
+//! below a threshold the exact scheme is actually cheaper, so use it.
+
+use crate::distmat::DistMatrix;
+use hipmcl_comm::collectives::{allreduce, allreduce_min_vec_f32};
+use hipmcl_comm::{Comm, ProcGrid, SpgemmKernel, WireSize};
+use hipmcl_sparse::Csc;
+use rand::SeedableRng;
+use rand_distr::Distribution;
+
+/// Which estimator to run.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum EstimatorKind {
+    /// Exact symbolic SUMMA (original HipMCL).
+    ExactSymbolic,
+    /// Cohen sketch with `r` keys per vertex.
+    Probabilistic {
+        /// Keys per vertex (paper sweeps r ∈ {3, 5, 7, 10}).
+        r: usize,
+    },
+    /// Probabilistic first; fall back to exact when estimated `cf` is
+    /// below `cf_threshold`.
+    Hybrid {
+        /// Keys per vertex for the probabilistic pass.
+        r: usize,
+        /// `cf` below which the exact scheme is cheaper and is rerun.
+        cf_threshold: f64,
+    },
+    /// The paper's stated future work (§VIII): the Cohen sketch with its
+    /// key propagation offloaded to the GPUs. Identical estimates; the
+    /// key-op compute is charged at the device rate plus the H2D staging
+    /// of the operand structures.
+    ProbabilisticGpu {
+        /// Keys per vertex.
+        r: usize,
+    },
+}
+
+/// Result of a memory estimation.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct MemoryEstimate {
+    /// Estimated global `nnz(A·B)` before pruning.
+    pub nnz_estimate: f64,
+    /// Estimated bytes of the unpruned output, CSC, summed over ranks.
+    pub bytes_estimate: u64,
+    /// `flops(A·B)` (exact — cheap to compute).
+    pub flops: u64,
+    /// Virtual seconds this rank spent estimating.
+    pub time: f64,
+    /// Name of the scheme that produced the estimate.
+    pub scheme: &'static str,
+}
+
+/// Exact `flops(A·B)` for 2D-distributed operands: each rank needs the
+/// global column counts of `A`, obtained with one allreduce, then counts
+/// locally against its `B` block.
+pub fn distributed_flops(grid: &ProcGrid, a: &DistMatrix, b: &DistMatrix) -> u64 {
+    // Global nnz per column of A: local counts summed down process columns
+    // then shared along rows. We allreduce the full-length vector for
+    // simplicity (cost charged through the collective's real bytes).
+    let mut counts = vec![0.0f64; a.ncols_global];
+    let col_range = a.col_range(grid);
+    for (local_j, global_j) in col_range.enumerate() {
+        counts[global_j] = a.local.col_nnz(local_j) as f64;
+    }
+    let counts = hipmcl_comm::collectives::allreduce_sum_vec(&grid.world, counts);
+
+    // Each B-block column selects A columns by *global* row id.
+    let row_range = b.row_range(grid);
+    let mut local_flops = 0u64;
+    for j in 0..b.local.ncols() {
+        for &k in b.local.col_rows(j) {
+            local_flops += counts[row_range.start + k as usize] as u64;
+        }
+    }
+    allreduce(&grid.world, local_flops, |x, y| x + y)
+}
+
+/// Runs the requested estimator. Collective over the grid. Returns an
+/// identical estimate on every rank.
+pub fn estimate_memory(
+    grid: &ProcGrid,
+    a: &DistMatrix,
+    b: &DistMatrix,
+    kind: EstimatorKind,
+    seed: u64,
+) -> MemoryEstimate {
+    match kind {
+        EstimatorKind::ExactSymbolic => exact_symbolic(grid, a, b),
+        EstimatorKind::Probabilistic { r } => probabilistic(grid, a, b, r, seed, false),
+        EstimatorKind::ProbabilisticGpu { r } => probabilistic(grid, a, b, r, seed, true),
+        EstimatorKind::Hybrid { r, cf_threshold } => {
+            let prob = probabilistic(grid, a, b, r, seed, false);
+            let cf_est = if prob.nnz_estimate > 0.0 {
+                prob.flops as f64 / prob.nnz_estimate
+            } else {
+                1.0
+            };
+            if cf_est < cf_threshold {
+                let mut exact = exact_symbolic(grid, a, b);
+                exact.time += prob.time; // the probabilistic probe was paid too
+                exact
+            } else {
+                prob
+            }
+        }
+    }
+}
+
+/// Pattern-only broadcast payload: structure bytes, no values (what a
+/// symbolic SUMMA actually moves).
+#[derive(Clone)]
+struct PatternBlock(std::sync::Arc<Csc<f64>>);
+
+impl WireSize for PatternBlock {
+    fn wire_bytes(&self) -> usize {
+        self.0.rowidx.len() * std::mem::size_of::<hipmcl_sparse::Idx>()
+            + self.0.colptr.len() * std::mem::size_of::<usize>()
+    }
+}
+
+/// Exact symbolic SUMMA: replays the stage loop, broadcasting block
+/// *structures* and computing per-stage symbolic products, then merges the
+/// patterns to the exact output nnz.
+fn exact_symbolic(grid: &ProcGrid, a: &DistMatrix, b: &DistMatrix) -> MemoryEstimate {
+    let t0 = grid.world.now();
+    let side = grid.side;
+    let mut stage_patterns: Vec<Csc<f64>> = Vec::with_capacity(side);
+    let mut flops_total = 0u64;
+
+    for k in 0..side {
+        // Broadcast A_{i,k} along rows and B_{k,j} along columns.
+        let a_blk = bcast_pattern(&grid.row_comm, k, &a.local, grid.col == k);
+        let b_blk = bcast_pattern(&grid.col_comm, k, &b.local, grid.row == k);
+
+        let flops = hipmcl_spgemm::flops(&a_blk, &b_blk);
+        flops_total += flops;
+        // Real symbolic pass; pattern materialized (values=1) so stage
+        // patterns can be union-merged exactly.
+        let mut pattern = hipmcl_spgemm::hash::multiply(&a_blk, &b_blk);
+        for v in &mut pattern.vals {
+            *v = 1.0;
+        }
+        let cf = if pattern.nnz() == 0 { 1.0 } else { flops as f64 / pattern.nnz() as f64 };
+        grid.world
+            .advance_clock(grid.world.model().spgemm_time(SpgemmKernel::CpuHash, flops, cf));
+        stage_patterns.push(pattern);
+    }
+
+    // Union of stage patterns = exact local output structure.
+    let merged = crate::merge::kway_merge(&stage_patterns);
+    let merged_elems: usize = stage_patterns.iter().map(|p| p.nnz()).sum();
+    grid.world
+        .advance_clock(grid.world.model().merge_time(merged_elems as u64, side.max(2)));
+
+    let local_nnz = merged.nnz() as u64;
+    let global_nnz = allreduce(&grid.world, local_nnz, |x, y| x + y);
+    let flops = allreduce(&grid.world, flops_total, |x, y| x + y);
+    MemoryEstimate {
+        nnz_estimate: global_nnz as f64,
+        bytes_estimate: hipmcl_spgemm::symbolic::csc_bytes(global_nnz, b.ncols_global as u64),
+        flops,
+        time: grid.world.now() - t0,
+        scheme: "exact-symbolic",
+    }
+}
+
+/// Broadcasts a block's pattern within `comm` from `root`; `is_root` says
+/// whether this rank supplies `local`.
+fn bcast_pattern(comm: &Comm, root: usize, local: &Csc<f64>, is_root: bool) -> Csc<f64> {
+    let payload = if is_root {
+        Some(PatternBlock(std::sync::Arc::new(local.clone())))
+    } else {
+        None
+    };
+    let blk = hipmcl_comm::collectives::bcast(comm, root, payload);
+    blk.0.as_ref().clone()
+}
+
+/// Distributed Cohen estimation. Requires square operands distributed on
+/// the same grid with `nrows_global == ncols_global` (the MCL case), so
+/// that row and column ranges coincide for the transpose exchange.
+fn probabilistic(
+    grid: &ProcGrid,
+    a: &DistMatrix,
+    b: &DistMatrix,
+    r: usize,
+    seed: u64,
+    on_gpu: bool,
+) -> MemoryEstimate {
+    assert!(r >= 2, "need at least two keys");
+    assert_eq!(
+        a.nrows_global, a.ncols_global,
+        "distributed Cohen estimation assumes square operands (MCL matrices)"
+    );
+    let t0 = grid.world.now();
+    let flops = distributed_flops(grid, a, b);
+
+    // Layer 1: keys for this block's global rows, drawn deterministically
+    // from (seed, global row id) — identical across ranks, zero comm.
+    let row_range = a.row_range(grid);
+    let row_keys = draw_keys_range(row_range.clone(), r, seed);
+
+    // Propagate through A: per local column, min over present rows.
+    let col_range = a.col_range(grid);
+    let mut mid_partial = vec![f32::INFINITY; col_range.len() * r];
+    propagate_block(&a.local, &row_keys, &mut mid_partial, r);
+    // Combine partial mins down the process column.
+    let mid_keys = allreduce_min_vec_f32(&grid.col_comm, mid_partial);
+
+    // Transpose exchange: this rank holds mid keys for its *column* range
+    // but needs them for its *row* range (B's rows). The grid transpose
+    // partner holds exactly those.
+    let my_rows_mid: Vec<f32> = if grid.row == grid.col {
+        mid_keys.clone()
+    } else {
+        const TAG: u64 = 0xC0E7;
+        let partner = grid.rank_of(grid.col, grid.row);
+        grid.world.send(partner, TAG, mid_keys.clone());
+        grid.world.recv::<Vec<f32>>(partner, TAG)
+    };
+
+    // Propagate through B.
+    let out_range = b.col_range(grid);
+    let mut out_partial = vec![f32::INFINITY; out_range.len() * r];
+    propagate_block(&b.local, &my_rows_mid, &mut out_partial, r);
+    let out_keys = allreduce_min_vec_f32(&grid.col_comm, out_partial);
+
+    // Charge the sketch's compute: r·(nnz A + nnz B) local key ops. On
+    // the GPU path (§VIII future work) the key propagation runs at the
+    // aggregate device key-op rate after staging the operand structures
+    // over the link; the collectives above are unchanged.
+    let ops = r as u64 * (a.local.nnz() as u64 + b.local.nnz() as u64);
+    let model = grid.world.model();
+    if on_gpu && model.gpus > 0 {
+        let structure_bytes = (a.local.nnz() + b.local.nnz())
+            * std::mem::size_of::<hipmcl_sparse::Idx>();
+        // Device key-op rate: scale the CPU estimate rate by the same
+        // GPU:CPU throughput ratio the SpGEMM kernels enjoy at high cf.
+        let gpu_ratio = model.gpu_node_rate
+            / (model.core_spgemm_rate * 40.0 / (1.0 + 0.007 * 40.0));
+        let gpu_time = model.link_time(structure_bytes)
+            + model.estimate_time(ops) / gpu_ratio;
+        grid.world.advance_clock(gpu_time);
+    } else {
+        grid.world.advance_clock(model.estimate_time(ops));
+    }
+
+    // Per-column estimates for this rank's slab; identical across the
+    // process column, so divide the global sum by `side`.
+    let slab_total: f64 = (0..out_range.len())
+        .map(|j| {
+            let keys = &out_keys[j * r..(j + 1) * r];
+            if keys.iter().any(|k| k.is_infinite()) {
+                return 0.0;
+            }
+            let sum: f64 = keys.iter().map(|&k| k as f64).sum();
+            if sum <= 0.0 {
+                0.0
+            } else {
+                (r as f64 - 1.0) / sum
+            }
+        })
+        .sum();
+    let total = allreduce(&grid.world, slab_total, |x, y| x + y) / grid.side as f64;
+
+    MemoryEstimate {
+        nnz_estimate: total,
+        bytes_estimate: hipmcl_spgemm::symbolic::csc_bytes(
+            total.max(0.0) as u64,
+            b.ncols_global as u64,
+        ),
+        flops,
+        time: grid.world.now() - t0,
+        scheme: if on_gpu { "probabilistic-gpu" } else { "probabilistic" },
+    }
+}
+
+/// Keys for global vertex ids in `range`: `r` per vertex, deterministic in
+/// `(seed, id)` so every rank agrees without communication.
+fn draw_keys_range(range: std::ops::Range<usize>, r: usize, seed: u64) -> Vec<f32> {
+    let mut keys = Vec::with_capacity(range.len() * r);
+    for id in range {
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(
+            seed ^ (id as u64).wrapping_mul(0x9E3779B97F4A7C15),
+        );
+        for _ in 0..r {
+            let e: f64 = rand_distr::Exp1.sample(&mut rng);
+            keys.push(e as f32);
+        }
+    }
+    keys
+}
+
+/// `out[j·r + t] = min(out[j·r + t], min over rows i of col j of keys[i·r + t])`.
+fn propagate_block(m: &Csc<f64>, row_keys: &[f32], out: &mut [f32], r: usize) {
+    debug_assert_eq!(row_keys.len(), m.nrows() * r);
+    debug_assert_eq!(out.len(), m.ncols() * r);
+    for j in 0..m.ncols() {
+        for &i in m.col_rows(j) {
+            let src = &row_keys[i as usize * r..(i as usize + 1) * r];
+            let dst = &mut out[j * r..(j + 1) * r];
+            for t in 0..r {
+                if src[t] < dst[t] {
+                    dst[t] = src[t];
+                }
+            }
+        }
+    }
+}
+
+/// Phase planning: the number of SUMMA phases `h` needed so the unpruned
+/// output slab fits each rank's memory budget (§V).
+pub fn plan_phases(estimate: &MemoryEstimate, ranks: usize, per_rank_budget_bytes: u64) -> usize {
+    let per_rank = estimate.bytes_estimate / ranks as u64;
+    (per_rank.div_ceil(per_rank_budget_bytes.max(1)) as usize).max(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hipmcl_comm::{MachineModel, Universe};
+    use hipmcl_sparse::{Idx, Triples};
+    use rand::Rng;
+
+    fn random_global(n: usize, nnz: usize, seed: u64) -> Triples<f64> {
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(seed);
+        let mut t = Triples::new(n, n);
+        for _ in 0..nnz {
+            t.push(
+                rng.gen_range(0..n) as Idx,
+                rng.gen_range(0..n) as Idx,
+                rng.gen_range(0.5..1.5),
+            );
+        }
+        t.sum_duplicates();
+        t
+    }
+
+    fn exact_reference(n: usize, nnz: usize, seed: u64) -> (u64, u64) {
+        let g = Csc::from_triples(&random_global(n, nnz, seed));
+        let flops = hipmcl_spgemm::flops(&g, &g);
+        let out = hipmcl_spgemm::symbolic::output_nnz(&g, &g);
+        (flops, out)
+    }
+
+    #[test]
+    fn distributed_flops_matches_serial() {
+        let (want_flops, _) = exact_reference(24, 160, 7);
+        for p in [1usize, 4, 9] {
+            let results = Universe::run(p, MachineModel::summit(), |comm| {
+                let grid = ProcGrid::new(comm);
+                let g = random_global(24, 160, 7);
+                let a = DistMatrix::from_global(&grid, &g);
+                distributed_flops(&grid, &a, &a)
+            });
+            assert!(results.iter().all(|&f| f == want_flops), "p={p}: {results:?}");
+        }
+    }
+
+    #[test]
+    fn exact_symbolic_matches_serial_nnz() {
+        let (want_flops, want_nnz) = exact_reference(20, 120, 8);
+        for p in [1usize, 4, 9] {
+            let results = Universe::run(p, MachineModel::summit(), |comm| {
+                let grid = ProcGrid::new(comm);
+                let g = random_global(20, 120, 8);
+                let a = DistMatrix::from_global(&grid, &g);
+                estimate_memory(&grid, &a, &a, EstimatorKind::ExactSymbolic, 0)
+            });
+            for e in &results {
+                assert_eq!(e.nnz_estimate, want_nnz as f64, "p={p}");
+                assert_eq!(e.flops, want_flops, "p={p}");
+                assert!(e.time > 0.0);
+                assert_eq!(e.scheme, "exact-symbolic");
+            }
+        }
+    }
+
+    #[test]
+    fn probabilistic_estimate_is_close_and_grid_invariant() {
+        let (_, want_nnz) = exact_reference(60, 900, 9);
+        // Column estimates share one key draw, so a single seed carries a
+        // correlated error of order 1/sqrt(r-2); average over seeds like
+        // the paper's per-iteration averages (Fig. 6).
+        let mut estimates = Vec::new();
+        for p in [1usize, 4, 9] {
+            let results = Universe::run(p, MachineModel::summit(), |comm| {
+                let grid = ProcGrid::new(comm);
+                let g = random_global(60, 900, 9);
+                let a = DistMatrix::from_global(&grid, &g);
+                let per_seed: Vec<f64> = (0..6)
+                    .map(|s| {
+                        estimate_memory(
+                            &grid,
+                            &a,
+                            &a,
+                            EstimatorKind::Probabilistic { r: 10 },
+                            s,
+                        )
+                        .nnz_estimate
+                    })
+                    .collect();
+                per_seed
+            });
+            // All ranks agree exactly.
+            for e in &results[1..] {
+                assert_eq!(e, &results[0]);
+            }
+            let mean = results[0].iter().sum::<f64>() / results[0].len() as f64;
+            estimates.push(mean);
+        }
+        // Grid-size independent: the sketch sees the same global matrix.
+        for e in &estimates[1..] {
+            assert!((e - estimates[0]).abs() / estimates[0] < 1e-6, "{estimates:?}");
+        }
+        let err = (estimates[0] - want_nnz as f64).abs() / want_nnz as f64;
+        assert!(err < 0.2, "estimate {} vs exact {} (err {err})", estimates[0], want_nnz);
+    }
+
+    #[test]
+    fn probabilistic_is_cheaper_than_exact_at_high_cf() {
+        // Dense-ish square: cf large, sketch should win on virtual time.
+        let results = Universe::run(4, MachineModel::summit(), |comm| {
+            let grid = ProcGrid::new(comm);
+            let g = random_global(300, 30_000, 10);
+            let a = DistMatrix::from_global(&grid, &g);
+            let exact = estimate_memory(&grid, &a, &a, EstimatorKind::ExactSymbolic, 0);
+            let prob =
+                estimate_memory(&grid, &a, &a, EstimatorKind::Probabilistic { r: 5 }, 1);
+            (exact.time, prob.time)
+        });
+        for (te, tp) in results {
+            assert!(tp < te, "probabilistic {tp} should beat exact {te}");
+        }
+    }
+
+    #[test]
+    fn hybrid_switches_on_cf() {
+        let results = Universe::run(4, MachineModel::summit(), |comm| {
+            let grid = ProcGrid::new(comm);
+            // Hypersparse: cf ~ 1 -> hybrid should pick exact.
+            let sparse = random_global(60, 60, 11);
+            let a = DistMatrix::from_global(&grid, &sparse);
+            let low = estimate_memory(
+                &grid,
+                &a,
+                &a,
+                EstimatorKind::Hybrid { r: 5, cf_threshold: 1.5 },
+                2,
+            );
+            // Dense: cf >> threshold -> probabilistic.
+            let dense = random_global(40, 1200, 12);
+            let d = DistMatrix::from_global(&grid, &dense);
+            let high = estimate_memory(
+                &grid,
+                &d,
+                &d,
+                EstimatorKind::Hybrid { r: 5, cf_threshold: 1.5 },
+                2,
+            );
+            (low.scheme, high.scheme)
+        });
+        for (lo, hi) in results {
+            assert_eq!(lo, "exact-symbolic");
+            assert_eq!(hi, "probabilistic");
+        }
+    }
+
+    #[test]
+    fn gpu_estimator_matches_cpu_estimate_and_is_faster() {
+        // summit_bench + a dense instance: offload only pays once the key
+        // work amortizes the transfer, like any device offload.
+        let results = Universe::run(4, MachineModel::summit_bench(), |comm| {
+            let grid = ProcGrid::new(comm);
+            let g = random_global(300, 30_000, 31);
+            let a = DistMatrix::from_global(&grid, &g);
+            let cpu =
+                estimate_memory(&grid, &a, &a, EstimatorKind::Probabilistic { r: 7 }, 9);
+            let gpu = estimate_memory(
+                &grid,
+                &a,
+                &a,
+                EstimatorKind::ProbabilisticGpu { r: 7 },
+                9,
+            );
+            (cpu, gpu)
+        });
+        for (cpu, gpu) in results {
+            assert_eq!(cpu.nnz_estimate, gpu.nnz_estimate, "same sketch, same estimate");
+            assert_eq!(gpu.scheme, "probabilistic-gpu");
+            assert!(gpu.time < cpu.time, "gpu {} vs cpu {}", gpu.time, cpu.time);
+        }
+    }
+
+    #[test]
+    fn plan_phases_divides_budget() {
+        let est = MemoryEstimate {
+            nnz_estimate: 0.0,
+            bytes_estimate: 1000,
+            flops: 0,
+            time: 0.0,
+            scheme: "x",
+        };
+        assert_eq!(plan_phases(&est, 4, 250), 1);
+        assert_eq!(plan_phases(&est, 4, 100), 3);
+        assert_eq!(plan_phases(&est, 1, 100), 10);
+        assert_eq!(plan_phases(&est, 1, u64::MAX), 1);
+    }
+
+    #[test]
+    fn draw_keys_deterministic_across_ranges() {
+        // Keys for id 5 must be identical whether drawn in 0..10 or 5..6.
+        let a = draw_keys_range(0..10, 3, 42);
+        let b = draw_keys_range(5..6, 3, 42);
+        assert_eq!(&a[15..18], &b[..]);
+    }
+}

@@ -1,0 +1,382 @@
+//! Merging the intermediate products of Sparse SUMMA.
+//!
+//! Each SUMMA stage `k` produces an intermediate `A_ik · B_kj` for the
+//! local output block; the block's final value is their elementwise sum.
+//! Two schemes are implemented:
+//!
+//! * **Multiway merge** (original HipMCL): hold all `k = √P` lists until
+//!   the stages finish, then one `k`-way heap merge — `O(kn lg k)` work,
+//!   but every intermediate stays resident and nothing can overlap.
+//! * **Binary merge** (§IV, Algorithm 2): push lists as they arrive and
+//!   merge on even-numbered stages with a stack whose shape mirrors merge
+//!   sort. Work is `O(kn lg k · lg lg k)` — a `lg lg k` factor worse — but
+//!   merges happen *while the GPU computes the next stage*, and because
+//!   early merges compress duplicates, the largest single merge holds
+//!   fewer elements than the multiway merge's all-at-once set (the
+//!   15–25 % peak-memory win of Table III).
+//!
+//! [`BinaryMerger`] also owns the virtual-time accounting: each merge
+//! waits for its inputs' ready events (GPU D2H completions) and charges
+//! [`hipmcl_comm::MachineModel::merge_time`].
+
+use hipmcl_comm::MachineModel;
+use hipmcl_sparse::csc::counts_to_colptr;
+use hipmcl_sparse::{Csc, Idx};
+use rayon::prelude::*;
+
+/// Which merging scheme a SUMMA run uses.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MergeStrategy {
+    /// Defer everything, one k-way merge at the end (original HipMCL).
+    Multiway,
+    /// Algorithm 2: incremental stack merges on even stages.
+    Binary,
+}
+
+/// K-way merges equally-shaped CSC matrices by summing coincident entries.
+/// Column-parallel; each column runs a cursor-based heap merge. Entries
+/// that cancel to exactly zero are dropped.
+pub fn kway_merge(mats: &[Csc<f64>]) -> Csc<f64> {
+    assert!(!mats.is_empty(), "nothing to merge");
+    let (m, n) = (mats[0].nrows(), mats[0].ncols());
+    for mat in mats {
+        assert_eq!((mat.nrows(), mat.ncols()), (m, n), "merge shape mismatch");
+    }
+    if mats.len() == 1 {
+        return mats[0].clone();
+    }
+
+    // Per-column merged outputs.
+    let cols: Vec<(Vec<Idx>, Vec<f64>)> = (0..n)
+        .into_par_iter()
+        .map(|j| merge_column(mats, j))
+        .collect();
+
+    let counts: Vec<usize> = cols.iter().map(|(r, _)| r.len()).collect();
+    let colptr = counts_to_colptr(&counts);
+    let nnz = colptr[n];
+    let mut rowidx = Vec::with_capacity(nnz);
+    let mut vals = Vec::with_capacity(nnz);
+    for (r, v) in cols {
+        rowidx.extend_from_slice(&r);
+        vals.extend_from_slice(&v);
+    }
+    Csc::from_parts(m, n, colptr, rowidx, vals)
+}
+
+/// Heap-merges column `j` across all matrices.
+fn merge_column(mats: &[Csc<f64>], j: usize) -> (Vec<Idx>, Vec<f64>) {
+    use std::cmp::Reverse;
+    use std::collections::BinaryHeap;
+
+    let mut heap: BinaryHeap<Reverse<(Idx, usize)>> = BinaryHeap::with_capacity(mats.len());
+    let mut pos: Vec<usize> = vec![0; mats.len()];
+    for (l, mat) in mats.iter().enumerate() {
+        if let Some(&r) = mat.col_rows(j).first() {
+            heap.push(Reverse((r, l)));
+        }
+    }
+    let mut rows = Vec::new();
+    let mut vals: Vec<f64> = Vec::new();
+    while let Some(Reverse((r, l))) = heap.pop() {
+        let v = mats[l].col_vals(j)[pos[l]];
+        if rows.last() == Some(&r) {
+            *vals.last_mut().unwrap() += v;
+        } else {
+            // Drop a just-finished entry if it cancelled to zero.
+            if let Some(&last_v) = vals.last() {
+                if last_v == 0.0 {
+                    rows.pop();
+                    vals.pop();
+                }
+            }
+            rows.push(r);
+            vals.push(v);
+        }
+        pos[l] += 1;
+        let rcol = mats[l].col_rows(j);
+        if pos[l] < rcol.len() {
+            heap.push(Reverse((rcol[pos[l]], l)));
+        }
+    }
+    if let Some(&last_v) = vals.last() {
+        if last_v == 0.0 {
+            rows.pop();
+            vals.pop();
+        }
+    }
+    (rows, vals)
+}
+
+/// Statistics of a merging run, feeding Table III and the §VII-C text.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct MergeStats {
+    /// Largest element count over single merge operations — the peak
+    /// memory proxy of Table III.
+    pub peak_merge_elems: usize,
+    /// Total elements passed through merge operations (work proxy).
+    pub total_merged_elems: u64,
+    /// Number of merge operations performed.
+    pub merge_ops: usize,
+    /// Virtual seconds spent merging.
+    pub merge_time: f64,
+    /// Virtual seconds the host waited for inputs (CPU idle).
+    pub wait_time: f64,
+}
+
+/// Incremental stack merger implementing Algorithm 2 of the paper, with
+/// virtual-time accounting.
+pub struct BinaryMerger {
+    model: MachineModel,
+    /// `(slab, ready_at)` — ready is when the slab landed on the host.
+    stack: Vec<(Csc<f64>, f64)>,
+    pushed: usize,
+    stats: MergeStats,
+}
+
+impl BinaryMerger {
+    /// New merger under the given machine model.
+    pub fn new(model: MachineModel) -> Self {
+        Self { model, stack: Vec::new(), pushed: 0, stats: MergeStats::default() }
+    }
+
+    /// Pushes the stage-`i` intermediate (1-indexed pushes). `ready_at` is
+    /// the virtual time the slab became available on the host (its D2H
+    /// completion, or the CPU kernel's finish). `host_now` is the host
+    /// clock; the returned value is the host clock after any merging this
+    /// push triggers (Algorithm 2, lines 5–15).
+    pub fn push(&mut self, slab: Csc<f64>, ready_at: f64, host_now: f64) -> f64 {
+        self.pushed += 1;
+        self.stack.push((slab, ready_at));
+        let mut nmerges = 0usize;
+        let mut j = self.pushed;
+        while j % 2 == 0 && j != 0 {
+            nmerges += 1;
+            j /= 2;
+        }
+        if nmerges == 0 {
+            return host_now;
+        }
+        self.merge_top(nmerges + 1, host_now)
+    }
+
+    /// Final merge of whatever remains on the stack (Algorithm 2, line 16
+    /// generalized to non-power-of-two stage counts). Returns the merged
+    /// block and the updated host clock.
+    pub fn finish(&mut self, host_now: f64) -> (Csc<f64>, f64) {
+        assert!(!self.stack.is_empty(), "finish on empty merger");
+        let now = if self.stack.len() > 1 {
+            self.merge_top(self.stack.len(), host_now)
+        } else {
+            // Single slab: still must wait for it to be resident.
+            let ready = self.stack[0].1;
+            let idle = (ready - host_now).max(0.0);
+            self.stats.wait_time += idle;
+            host_now.max(ready)
+        };
+        let (slab, _) = self.stack.pop().unwrap();
+        (slab, now)
+    }
+
+    /// Merges the top `count` stack entries with a heap (the paper found
+    /// successive two-way merges inefficient in practice, §IV).
+    fn merge_top(&mut self, count: usize, host_now: f64) -> f64 {
+        let at = self.stack.len() - count;
+        let tail: Vec<(Csc<f64>, f64)> = self.stack.split_off(at);
+        let elems: usize = tail.iter().map(|(m, _)| m.nnz()).sum();
+        let inputs_ready = tail.iter().map(|(_, r)| *r).fold(0.0f64, f64::max);
+
+        let start = host_now.max(inputs_ready);
+        self.stats.wait_time += (inputs_ready - host_now).max(0.0);
+        let dur = self.model.merge_time(elems as u64, count);
+        let done = start + dur;
+
+        self.stats.peak_merge_elems = self.stats.peak_merge_elems.max(elems);
+        self.stats.total_merged_elems += elems as u64;
+        self.stats.merge_ops += 1;
+        self.stats.merge_time += dur;
+
+        let mats: Vec<Csc<f64>> = tail.into_iter().map(|(m, _)| m).collect();
+        let merged = kway_merge(&mats);
+        self.stack.push((merged, done));
+        done
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> MergeStats {
+        self.stats
+    }
+
+    /// Number of slabs currently on the stack.
+    pub fn stack_len(&self) -> usize {
+        self.stack.len()
+    }
+}
+
+/// Runs a whole merging sequence through the *multiway* scheme: waits for
+/// every slab, then a single k-way merge. Returns `(merged, new_host_now,
+/// stats)`.
+pub fn multiway_merge_timed(
+    model: &MachineModel,
+    slabs: Vec<(Csc<f64>, f64)>,
+    host_now: f64,
+) -> (Csc<f64>, f64, MergeStats) {
+    assert!(!slabs.is_empty());
+    let elems: usize = slabs.iter().map(|(m, _)| m.nnz()).sum();
+    let ready = slabs.iter().map(|(_, r)| *r).fold(0.0f64, f64::max);
+    let ways = slabs.len();
+    let start = host_now.max(ready);
+    let dur = if ways > 1 { model.merge_time(elems as u64, ways) } else { 0.0 };
+    let stats = MergeStats {
+        peak_merge_elems: elems,
+        total_merged_elems: elems as u64,
+        merge_ops: 1,
+        merge_time: dur,
+        wait_time: (ready - host_now).max(0.0),
+    };
+    let mats: Vec<Csc<f64>> = slabs.into_iter().map(|(m, _)| m).collect();
+    (kway_merge(&mats), start + dur, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hipmcl_spgemm::testutil::random_csc;
+
+    fn slabs(n: usize, count: usize) -> Vec<Csc<f64>> {
+        (0..count).map(|i| random_csc(n, n, n * 3, 100 + i as u64)).collect()
+    }
+
+    fn reference_sum(mats: &[Csc<f64>]) -> Csc<f64> {
+        mats.iter()
+            .skip(1)
+            .fold(mats[0].clone(), |acc, m| acc.add_elementwise(m))
+    }
+
+    #[test]
+    fn kway_merge_matches_elementwise_sum() {
+        for k in [1usize, 2, 3, 4, 7, 8] {
+            let mats = slabs(12, k);
+            let got = kway_merge(&mats);
+            got.assert_valid();
+            let want = reference_sum(&mats);
+            assert!(got.max_abs_diff(&want) < 1e-9, "k={k}");
+            assert_eq!(got.nnz(), want.nnz(), "k={k}");
+        }
+    }
+
+    #[test]
+    fn kway_merge_drops_cancellation() {
+        let a = random_csc(8, 8, 20, 1);
+        let mut b = a.clone();
+        for v in &mut b.vals {
+            *v = -*v;
+        }
+        let merged = kway_merge(&[a, b]);
+        assert_eq!(merged.nnz(), 0, "exact cancellation drops all entries");
+    }
+
+    #[test]
+    fn binary_merger_matches_multiway_result() {
+        for k in [1usize, 2, 3, 4, 5, 8] {
+            let mats = slabs(10, k);
+            let want = reference_sum(&mats);
+
+            let mut bm = BinaryMerger::new(MachineModel::summit());
+            let mut now = 0.0;
+            for m in &mats {
+                now = bm.push(m.clone(), 0.0, now);
+            }
+            let (got, _) = bm.finish(now);
+            assert!(got.max_abs_diff(&want) < 1e-9, "k={k}");
+        }
+    }
+
+    #[test]
+    fn binary_merge_schedule_follows_algorithm2() {
+        // Pushing 8 slabs must trigger merges at pushes 2,4,6,8 with
+        // 2,3,2,4 lists respectively (stack mirrors merge sort).
+        let mats = slabs(6, 8);
+        let mut bm = BinaryMerger::new(MachineModel::summit());
+        let mut ops = Vec::new();
+        let mut now = 0.0;
+        for m in &mats {
+            let before = bm.stats().merge_ops;
+            now = bm.push(m.clone(), 0.0, now);
+            if bm.stats().merge_ops > before {
+                ops.push(bm.pushed);
+            }
+        }
+        assert_eq!(ops, vec![2, 4, 6, 8]);
+        assert_eq!(bm.stack_len(), 1, "8 = 2^3 collapses to one slab");
+        let (_, _) = bm.finish(now);
+    }
+
+    #[test]
+    fn binary_peak_memory_beats_multiway_on_overlapping_slabs() {
+        // Heavily overlapping patterns: early merges compress, so the
+        // binary scheme's largest merge holds fewer elements (Table III).
+        let base = random_csc(40, 40, 600, 42);
+        let mats: Vec<Csc<f64>> = (0..8)
+            .map(|i| {
+                let mut m = base.clone();
+                for v in &mut m.vals {
+                    *v += i as f64 * 0.01;
+                }
+                m
+            })
+            .collect();
+
+        let model = MachineModel::summit();
+        let timed: Vec<(Csc<f64>, f64)> = mats.iter().map(|m| (m.clone(), 0.0)).collect();
+        let (_, _, mstats) = multiway_merge_timed(&model, timed, 0.0);
+
+        let mut bm = BinaryMerger::new(model);
+        let mut now = 0.0;
+        for m in &mats {
+            now = bm.push(m.clone(), 0.0, now);
+        }
+        let _ = bm.finish(now);
+        let bstats = bm.stats();
+
+        assert!(
+            bstats.peak_merge_elems < mstats.peak_merge_elems,
+            "binary {} vs multiway {}",
+            bstats.peak_merge_elems,
+            mstats.peak_merge_elems
+        );
+    }
+
+    #[test]
+    fn binary_merger_waits_for_late_slabs() {
+        let mats = slabs(6, 2);
+        let mut bm = BinaryMerger::new(MachineModel::summit());
+        let now = bm.push(mats[0].clone(), 0.0, 0.0);
+        // Second slab lands at t=5 (e.g. GPU D2H): merge starts then.
+        let now = bm.push(mats[1].clone(), 5.0, now);
+        assert!(now >= 5.0);
+        assert!(bm.stats().wait_time >= 5.0 - 1e-9);
+    }
+
+    #[test]
+    fn multiway_merge_timed_waits_for_slowest() {
+        let mats = slabs(6, 3);
+        let timed: Vec<(Csc<f64>, f64)> =
+            mats.iter().enumerate().map(|(i, m)| (m.clone(), i as f64)).collect();
+        let (merged, now, stats) = multiway_merge_timed(&MachineModel::summit(), timed, 0.0);
+        merged.assert_valid();
+        assert!(now >= 2.0, "must wait for the slab ready at t=2");
+        assert!((stats.wait_time - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn finish_single_slab_waits() {
+        let mats = slabs(4, 1);
+        let mut bm = BinaryMerger::new(MachineModel::summit());
+        let now = bm.push(mats[0].clone(), 3.0, 0.0);
+        assert_eq!(now, 0.0, "no merge on first push");
+        let (out, now) = bm.finish(now);
+        assert_eq!(out, mats[0]);
+        assert!(now >= 3.0);
+    }
+}

@@ -1,0 +1,572 @@
+//! Distributed `C = A · B`: Sparse SUMMA and Pipelined Sparse SUMMA (§III).
+//!
+//! The plain algorithm (original HipMCL) is bulk synchronous: in stage `k`
+//! of `√P`, `A_{ik}` is broadcast along grid rows and `B_{kj}` along grid
+//! columns, each rank multiplies locally on the CPU, and all intermediate
+//! products are merged at the end with one multiway merge.
+//!
+//! The pipelined variant offloads the local multiplications to the GPUs
+//! and exploits two overlaps (Fig. 2):
+//!
+//! 1. **Broadcast/compute** — the host regains control as soon as stage
+//!    `k`'s inputs are *transferred* to the device, so the stage `k+1`
+//!    broadcasts proceed while the GPU multiplies stage `k`.
+//! 2. **Merge/compute** — the stage `k−1` intermediate product is merged
+//!    on the CPU (binary merge, §IV) while the GPU works on stage `k`;
+//!    only the first broadcast and the final merge cannot be hidden.
+//!
+//! Execution is real (the returned distributed product is validated
+//! against single-process kernels); the stage timers, CPU idle and GPU
+//! idle times come from the virtual clocks.
+
+use crate::distmat::DistMatrix;
+use crate::estimate::{estimate_memory, plan_phases, EstimatorKind, MemoryEstimate};
+use crate::merge::{multiway_merge_timed, BinaryMerger, MergeStats, MergeStrategy};
+use hipmcl_comm::clock::StageTimers;
+use hipmcl_comm::collectives::bcast;
+use hipmcl_comm::{Comm, ProcGrid, SpgemmKernel, WireSize};
+use hipmcl_gpu::multi::MultiGpu;
+use hipmcl_gpu::select::{select_kernel, SelectionPolicy};
+use hipmcl_sparse::util::even_chunk;
+use hipmcl_sparse::{Csc, Dcsc};
+use hipmcl_spgemm::{CohenEstimator, MultAnalysis};
+use std::sync::Arc;
+
+/// How the number of SUMMA phases is chosen.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum PhasePlan {
+    /// Fixed phase count.
+    Fixed(usize),
+    /// Run a memory estimator and derive the phase count from a per-rank
+    /// byte budget (§V).
+    Auto {
+        /// Which estimator to run.
+        estimator: EstimatorKind,
+        /// Unpruned-output bytes each rank may hold at once.
+        per_rank_budget: u64,
+    },
+}
+
+/// Configuration of one distributed multiplication.
+#[derive(Clone, Copy, Debug)]
+pub struct SummaConfig {
+    /// Phase selection.
+    pub phases: PhasePlan,
+    /// CPU/GPU kernel selection thresholds.
+    pub policy: SelectionPolicy,
+    /// Merging scheme for the stage intermediates.
+    pub merge: MergeStrategy,
+    /// Overlap GPU multiplications with broadcasts and merging (§III).
+    /// Without it the host waits for every kernel's output (bulk
+    /// synchronous, like original HipMCL even when kernels run on GPU).
+    pub pipelined: bool,
+    /// Seed for the per-stage Cohen probes driving kernel selection.
+    pub seed: u64,
+}
+
+impl SummaConfig {
+    /// Original HipMCL: CPU heap kernels, multiway merge, exact symbolic
+    /// estimation, no pipelining.
+    pub fn original_hipmcl(per_rank_budget: u64) -> Self {
+        Self {
+            phases: PhasePlan::Auto {
+                estimator: EstimatorKind::ExactSymbolic,
+                per_rank_budget,
+            },
+            policy: SelectionPolicy::original_heap(),
+            merge: MergeStrategy::Multiway,
+            pipelined: false,
+            seed: 0,
+        }
+    }
+
+    /// The paper's optimized HipMCL *without* overlap (Fig. 1 middle bar):
+    /// GPU kernels and the probabilistic estimator, but bulk synchronous
+    /// with multiway merging.
+    pub fn optimized_no_overlap(per_rank_budget: u64) -> Self {
+        Self {
+            phases: PhasePlan::Auto {
+                estimator: EstimatorKind::Hybrid { r: 5, cf_threshold: 2.0 },
+                per_rank_budget,
+            },
+            policy: SelectionPolicy::always_gpu(),
+            merge: MergeStrategy::Multiway,
+            pipelined: false,
+            seed: 0,
+        }
+    }
+
+    /// The fully optimized HipMCL (Fig. 1 right bar): Pipelined Sparse
+    /// SUMMA with binary merge.
+    pub fn optimized(per_rank_budget: u64) -> Self {
+        Self {
+            phases: PhasePlan::Auto {
+                estimator: EstimatorKind::Hybrid { r: 5, cf_threshold: 2.0 },
+                per_rank_budget,
+            },
+            policy: SelectionPolicy::always_gpu(),
+            merge: MergeStrategy::Binary,
+            pipelined: true,
+            seed: 0,
+        }
+    }
+}
+
+/// Result of a distributed multiplication on one rank.
+pub struct SummaOutput {
+    /// This rank's block of `C` (post any per-phase hook).
+    pub c: DistMatrix,
+    /// Virtual-time stage breakdown (`local_spgemm`, `summa_bcast`,
+    /// `merge`, `mem_estimation`, `other`).
+    pub timers: StageTimers,
+    /// Merge statistics (peak elements feed Table III).
+    pub merge_stats: MergeStats,
+    /// Host idle time spent waiting on device events (Table V, CPU).
+    pub cpu_idle: f64,
+    /// Device idle time (Table V, GPU).
+    pub gpu_idle: f64,
+    /// The memory estimate, when `PhasePlan::Auto` ran.
+    pub estimate: Option<MemoryEstimate>,
+    /// Number of phases executed.
+    pub phases: usize,
+    /// Kernels chosen per (phase, stage), for instrumentation.
+    pub kernels_used: Vec<SpgemmKernel>,
+}
+
+/// Broadcast payload: a shared block plus its hypersparse wire size.
+/// HipMCL broadcasts DCSC; an `Arc` keeps the in-process copy free while
+/// the virtual cost reflects the real payload (§III-B).
+#[derive(Clone)]
+struct BlockMsg(Arc<Csc<f64>>, usize);
+
+impl WireSize for BlockMsg {
+    fn wire_bytes(&self) -> usize {
+        self.1
+    }
+}
+
+fn bcast_block(comm: &Comm, root: usize, local: Option<&Csc<f64>>) -> Arc<Csc<f64>> {
+    let payload = local.map(|m| {
+        let bytes = Dcsc::from_csc(m).bytes();
+        BlockMsg(Arc::new(m.clone()), bytes)
+    });
+    bcast(comm, root, payload).0
+}
+
+/// Distributed `C = A·B` with the identity per-phase hook.
+pub fn summa_spgemm(
+    grid: &ProcGrid,
+    gpus: &mut MultiGpu,
+    a: &DistMatrix,
+    b: &DistMatrix,
+    cfg: &SummaConfig,
+) -> SummaOutput {
+    summa_spgemm_with(grid, gpus, a, b, cfg, |_, c| c)
+}
+
+/// Distributed `C = A·B` with a per-phase output hook.
+///
+/// `on_slab(phase, slab)` receives each phase's merged (unpruned) output
+/// slab and returns what should be kept — the MCL driver prunes here, so
+/// the full unpruned matrix never exists at once (the fused
+/// expansion+pruning of §II). The hook's virtual cost must be charged by
+/// the caller (the driver charges the pruning stage).
+pub fn summa_spgemm_with<F>(
+    grid: &ProcGrid,
+    gpus: &mut MultiGpu,
+    a: &DistMatrix,
+    b: &DistMatrix,
+    cfg: &SummaConfig,
+    mut on_slab: F,
+) -> SummaOutput
+where
+    F: FnMut(usize, Csc<f64>) -> Csc<f64>,
+{
+    assert_eq!(a.ncols_global, b.nrows_global, "global inner dims must agree");
+    let comm = &grid.world;
+    let side = grid.side;
+    let mut timers = StageTimers::new();
+    let mut kernels_used = Vec::new();
+    let mut cpu_idle = 0.0f64;
+    // Idle accounting is per SUMMA-pipeline section: the gap between the
+    // previous expansion's last kernel and this one's first (pruning,
+    // inflation, estimation happen there) is not pipeline idle — Table V
+    // measures idleness *within* the Pipelined Sparse SUMMA.
+    gpus.reset_timelines();
+    let gpu_idle_before = gpus.total_idle();
+
+    // Phase planning (memory estimation).
+    let (phases, estimate) = match cfg.phases {
+        PhasePlan::Fixed(h) => (h.max(1), None),
+        PhasePlan::Auto { estimator, per_rank_budget } => {
+            let t0 = comm.now();
+            let est = estimate_memory(grid, a, b, estimator, cfg.seed);
+            timers.add("mem_estimation", comm.now() - t0);
+            (plan_phases(&est, grid.size(), per_rank_budget), Some(est))
+        }
+    };
+
+    // Kernel selection needs a cf estimate per local multiply. When the
+    // phase planner ran an estimator, reuse its global cf (the paper's
+    // recipe: the selection metrics come from the iteration's memory
+    // estimation); only Fixed-phase runs pay for a per-stage Cohen probe.
+    let cf_hint: Option<f64> = estimate.as_ref().map(|e| {
+        if e.nnz_estimate > 0.0 {
+            e.flops as f64 / e.nnz_estimate
+        } else {
+            1.0
+        }
+    });
+    let probe = CohenEstimator::new(4, cfg.seed ^ 0xABCD);
+    let mut merge_stats = MergeStats::default();
+    let local_cols = b.local.ncols();
+    let mut phase_slabs: Vec<Csc<f64>> = Vec::with_capacity(phases);
+
+    for ph in 0..phases {
+        let cols = even_chunk(local_cols, phases, ph);
+        let b_phase = b.local.column_slice(cols);
+
+        // Pending GPU slab from the previous stage (pipelined binary merge
+        // pushes one stage late so merging overlaps the next kernel).
+        let mut pending: Option<(Csc<f64>, f64)> = None;
+        let mut merger = BinaryMerger::new(comm.model().clone());
+        let mut multiway_slabs: Vec<(Csc<f64>, f64)> = Vec::new();
+
+        for k in 0..side {
+            // --- SUMMA broadcasts -------------------------------------
+            let t0 = comm.now();
+            let a_blk =
+                bcast_block(&grid.row_comm, k, (grid.col == k).then_some(&a.local));
+            let b_blk = bcast_block(&grid.col_comm, k, (grid.row == k).then_some(&b_phase));
+            timers.add("summa_bcast", comm.now() - t0);
+
+            // --- Kernel selection (flops + Cohen cf probe, §III/VI) ----
+            let flops = hipmcl_spgemm::flops(&a_blk, &b_blk);
+            let (slab, ready_at) = if flops == 0 {
+                (Csc::zero(a_blk.nrows(), b_blk.ncols()), comm.now())
+            } else {
+                let nnz_probe = match cf_hint {
+                    Some(cf) => ((flops as f64 / cf).max(1.0)) as u64,
+                    None => {
+                        comm.advance_clock(
+                            comm.model().estimate_time(probe.op_count(&a_blk, &b_blk)),
+                        );
+                        probe.estimate_total(&a_blk, &b_blk).max(1.0) as u64
+                    }
+                };
+                let analysis = MultAnalysis { flops, nnz_out: nnz_probe.max(1) };
+                let kernel = select_kernel(&analysis, &cfg.policy, gpus.len());
+                kernels_used.push(kernel);
+
+                match kernel {
+                    SpgemmKernel::Gpu(lib) => {
+                        let launch = gpus
+                            .multiply(comm.now(), &a_blk, &b_blk, lib)
+                            .expect("device OOM: increase phases or use CPU policy");
+                        if cfg.pipelined {
+                            // Host resumes right after the input transfer.
+                            comm.wait_clock_until(launch.inputs_transferred_at);
+                        } else {
+                            // Bulk synchronous: wait for the output.
+                            cpu_idle += comm.wait_clock_until(launch.output_ready_at);
+                        }
+                        timers.add(
+                            "local_spgemm",
+                            launch.output_ready_at - launch.inputs_transferred_at,
+                        );
+                        (launch.c, launch.output_ready_at)
+                    }
+                    cpu_kernel => {
+                        let algo = match cpu_kernel {
+                            SpgemmKernel::CpuHeap => hipmcl_spgemm::CpuAlgo::Heap,
+                            SpgemmKernel::CpuSpa => hipmcl_spgemm::CpuAlgo::Spa,
+                            _ => hipmcl_spgemm::CpuAlgo::Hash,
+                        };
+                        let c = algo.multiply(&a_blk, &b_blk);
+                        let cf =
+                            if c.nnz() == 0 { 1.0 } else { flops as f64 / c.nnz() as f64 };
+                        let dur = comm.model().spgemm_time(cpu_kernel, flops, cf);
+                        comm.advance_clock(dur);
+                        timers.add("local_spgemm", dur);
+                        (c, comm.now())
+                    }
+                }
+            };
+
+            // --- Merging ----------------------------------------------
+            match cfg.merge {
+                MergeStrategy::Multiway => multiway_slabs.push((slab, ready_at)),
+                MergeStrategy::Binary => {
+                    if cfg.pipelined {
+                        // Push the *previous* stage's slab: its merge (if
+                        // Algorithm 2 triggers one) overlaps this stage's
+                        // GPU kernel.
+                        if let Some((prev, prev_ready)) = pending.take() {
+                            let now = merger.push(prev, prev_ready, comm.now());
+                            comm.wait_clock_until(now);
+                        }
+                        pending = Some((slab, ready_at));
+                    } else {
+                        let now = merger.push(slab, ready_at, comm.now());
+                        comm.wait_clock_until(now);
+                    }
+                }
+            }
+        }
+
+        // --- Phase wrap-up: final merge --------------------------------
+        let merged = match cfg.merge {
+            MergeStrategy::Multiway => {
+                let (m, now, stats) =
+                    multiway_merge_timed(comm.model(), std::mem::take(&mut multiway_slabs), comm.now());
+                comm.wait_clock_until(now);
+                timers.add("merge", stats.merge_time);
+                cpu_idle += stats.wait_time;
+                merge_stats.peak_merge_elems =
+                    merge_stats.peak_merge_elems.max(stats.peak_merge_elems);
+                merge_stats.total_merged_elems += stats.total_merged_elems;
+                merge_stats.merge_ops += stats.merge_ops;
+                merge_stats.merge_time += stats.merge_time;
+                merge_stats.wait_time += stats.wait_time;
+                m
+            }
+            MergeStrategy::Binary => {
+                if let Some((prev, prev_ready)) = pending.take() {
+                    let now = merger.push(prev, prev_ready, comm.now());
+                    comm.wait_clock_until(now);
+                }
+                let (m, now) = merger.finish(comm.now());
+                comm.wait_clock_until(now);
+                let stats = merger.stats();
+                timers.add("merge", stats.merge_time);
+                cpu_idle += stats.wait_time;
+                merge_stats.peak_merge_elems =
+                    merge_stats.peak_merge_elems.max(stats.peak_merge_elems);
+                merge_stats.total_merged_elems += stats.total_merged_elems;
+                merge_stats.merge_ops += stats.merge_ops;
+                merge_stats.merge_time += stats.merge_time;
+                merge_stats.wait_time += stats.wait_time;
+                m
+            }
+        };
+        phase_slabs.push(on_slab(ph, merged));
+    }
+
+    let local = if phase_slabs.len() == 1 {
+        phase_slabs.pop().unwrap()
+    } else {
+        Csc::hcat(&phase_slabs)
+    };
+
+    SummaOutput {
+        c: DistMatrix {
+            local,
+            nrows_global: a.nrows_global,
+            ncols_global: b.ncols_global,
+        },
+        timers,
+        merge_stats,
+        cpu_idle,
+        gpu_idle: gpus.total_idle() - gpu_idle_before,
+        estimate,
+        phases,
+        kernels_used,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hipmcl_comm::{MachineModel, Universe};
+    use hipmcl_sparse::{Idx, Triples};
+    use rand::{Rng, SeedableRng};
+
+    fn random_global(n: usize, nnz: usize, seed: u64) -> Triples<f64> {
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(seed);
+        let mut t = Triples::new(n, n);
+        for _ in 0..nnz {
+            t.push(
+                rng.gen_range(0..n) as Idx,
+                rng.gen_range(0..n) as Idx,
+                rng.gen_range(0.5..1.5),
+            );
+        }
+        t.sum_duplicates();
+        t
+    }
+
+    fn serial_product(n: usize, nnz: usize, seed: u64) -> Csc<f64> {
+        let g = Csc::from_triples(&random_global(n, nnz, seed));
+        hipmcl_spgemm::hash::multiply(&g, &g)
+    }
+
+    fn run_config(n: usize, nnz: usize, seed: u64, p: usize, cfg: SummaConfig) -> Csc<f64> {
+        let results = Universe::run(p, MachineModel::summit(), move |comm| {
+            let grid = ProcGrid::new(comm);
+            let g = random_global(n, nnz, seed);
+            let a = DistMatrix::from_global(&grid, &g);
+            let mut gpus = MultiGpu::summit_node(grid.world.model());
+            let out = summa_spgemm(&grid, &mut gpus, &a, &a, &cfg);
+            out.c.gather_to_root(&grid)
+        });
+        results.into_iter().next().unwrap().unwrap()
+    }
+
+    fn base_cfg() -> SummaConfig {
+        SummaConfig {
+            phases: PhasePlan::Fixed(1),
+            policy: SelectionPolicy::cpu_only(),
+            merge: MergeStrategy::Multiway,
+            pipelined: false,
+            seed: 7,
+        }
+    }
+
+    #[test]
+    fn plain_summa_matches_serial_product() {
+        let want = serial_product(22, 140, 1);
+        for p in [1usize, 4, 9] {
+            let got = run_config(22, 140, 1, p, base_cfg());
+            assert!(got.max_abs_diff(&want) < 1e-9, "p={p}");
+            assert_eq!(got.nnz(), want.nnz(), "p={p}");
+        }
+    }
+
+    #[test]
+    fn phased_execution_matches() {
+        let want = serial_product(25, 170, 2);
+        for phases in [1usize, 2, 3, 5] {
+            let cfg = SummaConfig { phases: PhasePlan::Fixed(phases), ..base_cfg() };
+            let got = run_config(25, 170, 2, 4, cfg);
+            assert!(got.max_abs_diff(&want) < 1e-9, "phases={phases}");
+        }
+    }
+
+    #[test]
+    fn binary_merge_matches_multiway() {
+        let want = serial_product(24, 160, 3);
+        let cfg = SummaConfig { merge: MergeStrategy::Binary, ..base_cfg() };
+        let got = run_config(24, 160, 3, 9, cfg);
+        assert!(got.max_abs_diff(&want) < 1e-9);
+    }
+
+    #[test]
+    fn gpu_pipelined_matches() {
+        let want = serial_product(26, 200, 4);
+        let cfg = SummaConfig {
+            policy: SelectionPolicy::always_gpu(),
+            merge: MergeStrategy::Binary,
+            pipelined: true,
+            ..base_cfg()
+        };
+        let got = run_config(26, 200, 4, 4, cfg);
+        assert!(got.max_abs_diff(&want) < 1e-9);
+    }
+
+    #[test]
+    fn gpu_unpipelined_matches() {
+        let want = serial_product(26, 200, 5);
+        let cfg = SummaConfig {
+            policy: SelectionPolicy::always_gpu(),
+            ..base_cfg()
+        };
+        let got = run_config(26, 200, 5, 9, cfg);
+        assert!(got.max_abs_diff(&want) < 1e-9);
+    }
+
+    #[test]
+    fn auto_phases_run_estimator() {
+        let results = Universe::run(4, MachineModel::summit(), |comm| {
+            let grid = ProcGrid::new(comm);
+            let g = random_global(30, 400, 6);
+            let a = DistMatrix::from_global(&grid, &g);
+            let mut gpus = MultiGpu::summit_node(grid.world.model());
+            let cfg = SummaConfig {
+                phases: PhasePlan::Auto {
+                    estimator: EstimatorKind::Probabilistic { r: 5 },
+                    per_rank_budget: 500, // small budget forces phases
+                },
+                policy: SelectionPolicy::cpu_only(),
+                merge: MergeStrategy::Multiway,
+                pipelined: false,
+                seed: 1,
+            };
+            let out = summa_spgemm(&grid, &mut gpus, &a, &a, &cfg);
+            (out.phases, out.estimate.is_some(), out.timers.get("mem_estimation") > 0.0)
+        });
+        for (phases, has_est, timed) in results {
+            assert!(phases > 1, "small budget must force multiple phases");
+            assert!(has_est);
+            assert!(timed);
+        }
+    }
+
+    #[test]
+    fn on_slab_hook_sees_every_phase() {
+        let results = Universe::run(4, MachineModel::summit(), |comm| {
+            let grid = ProcGrid::new(comm);
+            let g = random_global(20, 150, 7);
+            let a = DistMatrix::from_global(&grid, &g);
+            let mut gpus = MultiGpu::summit_node(grid.world.model());
+            let cfg = SummaConfig { phases: PhasePlan::Fixed(3), ..base_cfg() };
+            let mut seen = Vec::new();
+            let out = summa_spgemm_with(&grid, &mut gpus, &a, &a, &cfg, |ph, slab| {
+                seen.push(ph);
+                slab
+            });
+            (seen, out.phases)
+        });
+        for (seen, phases) in results {
+            assert_eq!(phases, 3);
+            assert_eq!(seen, vec![0, 1, 2]);
+        }
+    }
+
+    #[test]
+    fn pipelined_overlap_beats_bulk_synchronous() {
+        // Dense enough that kernels dominate; overall time with overlap
+        // must be below the no-overlap run (Table II's effect).
+        let elapsed = |pipelined: bool| {
+            let results = Universe::run(4, MachineModel::summit(), move |comm| {
+                let grid = ProcGrid::new(comm);
+                let g = random_global(120, 7000, 8);
+                let a = DistMatrix::from_global(&grid, &g);
+                let mut gpus = MultiGpu::summit_node(grid.world.model());
+                let cfg = SummaConfig {
+                    phases: PhasePlan::Fixed(2),
+                    policy: SelectionPolicy::always_gpu(),
+                    merge: MergeStrategy::Binary,
+                    pipelined,
+                    seed: 2,
+                };
+                let _ = summa_spgemm(&grid, &mut gpus, &a, &a, &cfg);
+                grid.world.now()
+            });
+            results.into_iter().fold(0.0f64, f64::max)
+        };
+        let with = elapsed(true);
+        let without = elapsed(false);
+        assert!(with < without, "pipelined {with} must beat bulk-sync {without}");
+    }
+
+    #[test]
+    fn timers_cover_expected_stages() {
+        let results = Universe::run(4, MachineModel::summit(), |comm| {
+            let grid = ProcGrid::new(comm);
+            let g = random_global(30, 300, 9);
+            let a = DistMatrix::from_global(&grid, &g);
+            let mut gpus = MultiGpu::summit_node(grid.world.model());
+            let out = summa_spgemm(&grid, &mut gpus, &a, &a, &base_cfg());
+            (
+                out.timers.get("local_spgemm") > 0.0,
+                out.timers.get("summa_bcast") > 0.0,
+                out.timers.get("merge") >= 0.0,
+                out.kernels_used.len(),
+            )
+        });
+        for (sp, bc, mg, kernels) in results {
+            assert!(sp && bc && mg);
+            assert!(kernels >= 1);
+        }
+    }
+}

@@ -1,0 +1,417 @@
+//! Distributed column pruning: cutoff + top-k selection across the process
+//! grid.
+//!
+//! After expansion, MCL prunes each column of the distributed product.
+//! The cutoff is embarrassingly local, but *selection* (keep only the
+//! `select` largest entries of each column) needs coordination because a
+//! column's entries are spread over the `√P` blocks of one process
+//! column. HipMCL "identifies top-k entries in every column by selecting
+//! top-k entries in each process and then exchanging these entries with
+//! other processes" (§II) — reproduced here: each rank contributes its
+//! local top-k candidates per column via an allgather on the column
+//! subcommunicator, every rank then derives the same global threshold and
+//! prunes locally. Ties at the threshold are granted deterministically in
+//! grid-row order, so the global kept count never exceeds `select`.
+//!
+//! MCL's *recovery* step (`-R`) is also implemented distributedly: when a
+//! column keeps too little mass and too few entries after pruning, the
+//! largest pruned entries are restored. The recovery set is derived from
+//! a second candidate exchange, with every rank walking the identical
+//! merged candidate order so the global decision is deterministic.
+
+use crate::distmat::DistMatrix;
+use hipmcl_comm::collectives::{allgather, allreduce_sum_vec};
+use hipmcl_comm::ProcGrid;
+use hipmcl_sparse::colops::{PruneParams, PruneStats};
+use hipmcl_sparse::{Csc, Idx, Triples};
+
+/// Applies cutoff + top-`select` pruning to a 2D-distributed matrix.
+/// Collective over the grid. Returns the pruned matrix and per-rank stats.
+pub fn distributed_prune(
+    grid: &ProcGrid,
+    c: &DistMatrix,
+    params: &PruneParams,
+) -> (DistMatrix, PruneStats) {
+    let (pruned, stats) = prune_local_slab(&grid.col_comm, &c.local, params);
+    (
+        DistMatrix {
+            local: pruned,
+            nrows_global: c.nrows_global,
+            ncols_global: c.ncols_global,
+        },
+        stats,
+    )
+}
+
+/// Slab-level distributed prune: operates on a column slab whose columns
+/// are aligned across the ranks of `col_comm` (each rank holds a block of
+/// the same global columns). This is what the MCL driver calls from the
+/// per-phase SUMMA hook so expansion and pruning stay fused (§II).
+pub fn prune_local_slab(
+    col_comm: &hipmcl_comm::Comm,
+    m: &Csc<f64>,
+    params: &PruneParams,
+) -> (Csc<f64>, PruneStats) {
+    let ncols = m.ncols();
+    let mut stats = PruneStats::default();
+
+    // Global column maxima (for the never-empty guarantee) and the owner
+    // of each maximum (lowest grid row wins ties).
+    let local_max: Vec<f64> = (0..ncols)
+        .map(|j| m.col_vals(j).iter().copied().fold(f64::NEG_INFINITY, f64::max))
+        .collect();
+    let all_max: Vec<Vec<f64>> = allgather(col_comm, local_max.clone());
+    let owner_and_max: Vec<(usize, f64)> = (0..ncols)
+        .map(|j| {
+            let mut best = (usize::MAX, f64::NEG_INFINITY);
+            for (r, v) in all_max.iter().enumerate() {
+                if v[j] > best.1 {
+                    best = (r, v[j]);
+                }
+            }
+            best
+        })
+        .collect();
+
+    // Candidate exchange: local top-`select` values per column, sorted
+    // descending, cutoff survivors only.
+    let my_row = col_comm.rank();
+    let local_cands: Vec<Vec<f64>> = (0..ncols)
+        .map(|j| {
+            let mut v: Vec<f64> =
+                m.col_vals(j).iter().copied().filter(|&x| x >= params.cutoff).collect();
+            v.sort_unstable_by(|a, b| b.partial_cmp(a).unwrap());
+            v.truncate(params.select);
+            v
+        })
+        .collect();
+    let all_cands: Vec<Vec<Vec<f64>>> = allgather(col_comm, local_cands);
+
+    // Survivor counts per column (for select decisions).
+    let survivors: Vec<f64> = (0..ncols)
+        .map(|j| m.col_vals(j).iter().filter(|&&x| x >= params.cutoff).count() as f64)
+        .collect();
+    let global_survivors = allreduce_sum_vec(col_comm, survivors);
+
+    // Column masses (for recovery decisions).
+    let want_recovery = params.recover_num > 0 || params.recover_pct > 0.0;
+    let total_mass = if want_recovery {
+        let local: Vec<f64> =
+            (0..ncols).map(|j| m.col_vals(j).iter().sum()).collect();
+        allreduce_sum_vec(col_comm, local)
+    } else {
+        Vec::new()
+    };
+
+    // Per-column keep decision, applied locally. `kept[j]` collects the
+    // locally kept entry indices so recovery can extend them.
+    let mut kept: Vec<Vec<usize>> = vec![Vec::new(); ncols];
+    for j in 0..ncols {
+        let rows = m.col_rows(j);
+        let vals = m.col_vals(j);
+        if rows.is_empty() {
+            continue;
+        }
+        let (owner, gmax) = owner_and_max[j];
+        let survivors_here: Vec<usize> =
+            (0..rows.len()).filter(|&k| vals[k] >= params.cutoff).collect();
+        stats.pruned_by_cutoff += rows.len() - survivors_here.len();
+
+        if global_survivors[j] == 0.0 {
+            // Whole global column fell below the cutoff: the owner of the
+            // maximum keeps exactly that entry.
+            if owner == my_row {
+                let best = (0..vals.len())
+                    .max_by(|&a, &b| vals[a].partial_cmp(&vals[b]).unwrap())
+                    .unwrap();
+                debug_assert_eq!(vals[best], gmax);
+                kept[j].push(best);
+                stats.pruned_by_cutoff -= 1;
+            }
+            continue;
+        }
+
+        if global_survivors[j] as usize <= params.select {
+            kept[j] = survivors_here;
+            continue;
+        }
+
+        // Global selection threshold from the merged candidate lists —
+        // identical on every rank of the process column.
+        let mut merged: Vec<f64> =
+            all_cands.iter().flat_map(|per_rank| per_rank[j].iter().copied()).collect();
+        merged.sort_unstable_by(|a, b| b.partial_cmp(a).unwrap());
+        let thr = merged[params.select - 1];
+
+        // Entries strictly above the threshold are always kept; ties are
+        // granted to ranks in grid-row order until the quota is filled.
+        let gt_by_rank: Vec<usize> = all_cands
+            .iter()
+            .map(|per_rank| per_rank[j].iter().filter(|&&v| v > thr).count())
+            .collect();
+        let eq_by_rank: Vec<usize> = all_cands
+            .iter()
+            .map(|per_rank| per_rank[j].iter().filter(|&&v| v == thr).count())
+            .collect();
+        let gt_total: usize = gt_by_rank.iter().sum();
+        let mut quota = params.select - gt_total;
+        let mut my_eq_quota = 0usize;
+        for (r, &eq) in eq_by_rank.iter().enumerate() {
+            let grant = eq.min(quota);
+            if r == my_row {
+                my_eq_quota = grant;
+            }
+            quota -= grant;
+        }
+
+        let mut eq_used = 0usize;
+        for &k in &survivors_here {
+            let v = vals[k];
+            if v > thr {
+                kept[j].push(k);
+            } else if v == thr && eq_used < my_eq_quota {
+                kept[j].push(k);
+                eq_used += 1;
+            }
+        }
+        stats.pruned_by_select += survivors_here.len() - kept[j].len();
+    }
+
+    // Recovery (MCL `-R`): for columns that kept too few entries *and*
+    // too little mass, restore the largest pruned entries until either
+    // bound is met. A second candidate exchange (pruned entries this
+    // time) lets every rank walk the identical merged order.
+    if want_recovery {
+        let kept_count: Vec<f64> = (0..ncols).map(|j| kept[j].len() as f64).collect();
+        let kept_count = allreduce_sum_vec(col_comm, kept_count);
+        let kept_mass: Vec<f64> = (0..ncols)
+            .map(|j| kept[j].iter().map(|&k| m.col_vals(j)[k]).sum())
+            .collect();
+        let kept_mass = allreduce_sum_vec(col_comm, kept_mass);
+
+        // Pruned candidates per column (largest first), only for columns
+        // that might recover.
+        let needs: Vec<bool> = (0..ncols)
+            .map(|j| {
+                (kept_count[j] as usize) < params.recover_num
+                    && kept_mass[j] < params.recover_pct * total_mass[j]
+            })
+            .collect();
+        let my_pruned: Vec<Vec<f64>> = (0..ncols)
+            .map(|j| {
+                if !needs[j] {
+                    return Vec::new();
+                }
+                let vals = m.col_vals(j);
+                let kept_set: std::collections::BTreeSet<usize> =
+                    kept[j].iter().copied().collect();
+                let mut v: Vec<f64> = (0..vals.len())
+                    .filter(|k| !kept_set.contains(k))
+                    .map(|k| vals[k])
+                    .collect();
+                v.sort_unstable_by(|a, b| b.partial_cmp(a).unwrap());
+                v.truncate(params.recover_num);
+                v
+            })
+            .collect();
+        let all_pruned: Vec<Vec<Vec<f64>>> = allgather(col_comm, my_pruned);
+
+        for j in 0..ncols {
+            if !needs[j] {
+                continue;
+            }
+            // Merge candidates as (value, rank, slot), sorted by value
+            // desc with (rank, slot) tie-break — identical on all ranks.
+            let mut merged: Vec<(f64, usize, usize)> = Vec::new();
+            for (r, per_rank) in all_pruned.iter().enumerate() {
+                for (slot, &v) in per_rank[j].iter().enumerate() {
+                    merged.push((v, r, slot));
+                }
+            }
+            merged.sort_unstable_by(|a, b| {
+                b.0.partial_cmp(&a.0).unwrap().then(a.1.cmp(&b.1)).then(a.2.cmp(&b.2))
+            });
+            let mut count = kept_count[j] as usize;
+            let mut mass = kept_mass[j];
+            let mut take_from_me = 0usize;
+            for &(v, r, _) in &merged {
+                if count >= params.recover_num
+                    || mass >= params.recover_pct * total_mass[j]
+                {
+                    break;
+                }
+                count += 1;
+                mass += v;
+                if r == my_row {
+                    take_from_me += 1;
+                }
+            }
+            if take_from_me > 0 {
+                // Restore my `take_from_me` largest pruned entries.
+                let vals = m.col_vals(j);
+                let kept_set: std::collections::BTreeSet<usize> =
+                    kept[j].iter().copied().collect();
+                let mut pruned_idx: Vec<usize> =
+                    (0..vals.len()).filter(|k| !kept_set.contains(k)).collect();
+                pruned_idx
+                    .sort_unstable_by(|&a, &b| vals[b].partial_cmp(&vals[a]).unwrap());
+                for &k in pruned_idx.iter().take(take_from_me) {
+                    kept[j].push(k);
+                }
+                stats.recovered += take_from_me;
+            }
+        }
+    }
+
+    let mut out = Triples::new(m.nrows(), ncols);
+    for (j, kept_j) in kept.iter_mut().enumerate() {
+        kept_j.sort_unstable();
+        let rows = m.col_rows(j);
+        let vals = m.col_vals(j);
+        for &k in kept_j.iter() {
+            out.push(rows[k], j as Idx, vals[k]);
+        }
+    }
+    (Csc::from_triples(&out), stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hipmcl_comm::{MachineModel, Universe};
+    use hipmcl_sparse::colops;
+    use rand::{Rng, SeedableRng};
+
+    fn random_global(n: usize, nnz: usize, seed: u64) -> Triples<f64> {
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(seed);
+        let mut t = Triples::new(n, n);
+        for _ in 0..nnz {
+            t.push(
+                rng.gen_range(0..n) as Idx,
+                rng.gen_range(0..n) as Idx,
+                rng.gen_range(0.01..1.0),
+            );
+        }
+        t.sum_duplicates();
+        t
+    }
+
+    /// Serial reference with identical semantics.
+    fn serial_prune(m: &Csc<f64>, p: &PruneParams) -> Csc<f64> {
+        colops::prune(m, p).0
+    }
+
+    fn check(n: usize, nnz: usize, seed: u64, p: usize, params: PruneParams) {
+        let want = serial_prune(&Csc::from_triples(&random_global(n, nnz, seed)), &params);
+        let results = Universe::run(p, MachineModel::summit(), move |comm| {
+            let grid = ProcGrid::new(comm);
+            let g = random_global(n, nnz, seed);
+            let c = DistMatrix::from_global(&grid, &g);
+            let (pruned, _) = distributed_prune(&grid, &c, &params);
+            pruned.gather_to_root(&grid)
+        });
+        let got = results.into_iter().next().unwrap().unwrap();
+        // Values kept must be identical except possibly *which* exact-tie
+        // entries survive; compare nnz per column and value multisets.
+        assert_eq!(got.nnz(), want.nnz(), "total kept");
+        for j in 0..got.ncols() {
+            assert_eq!(got.col_nnz(j), want.col_nnz(j), "col {j} count");
+            let mut gv: Vec<f64> = got.col_vals(j).to_vec();
+            let mut wv: Vec<f64> = want.col_vals(j).to_vec();
+            gv.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            wv.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            assert_eq!(gv, wv, "col {j} values");
+        }
+    }
+
+    #[test]
+    fn matches_serial_cutoff_only() {
+        let params = PruneParams { cutoff: 0.3, select: 1000, recover_num: 0, recover_pct: 0.0 };
+        for p in [1usize, 4, 9] {
+            check(18, 120, 1, p, params);
+        }
+    }
+
+    #[test]
+    fn matches_serial_with_selection() {
+        let params = PruneParams { cutoff: 0.05, select: 3, recover_num: 0, recover_pct: 0.0 };
+        for p in [1usize, 4, 9] {
+            check(20, 260, 2, p, params);
+        }
+    }
+
+    #[test]
+    fn column_never_emptied_globally() {
+        // Brutal cutoff: every column must still keep exactly its max.
+        let params = PruneParams { cutoff: 100.0, select: 5, recover_num: 0, recover_pct: 0.0 };
+        for p in [1usize, 4] {
+            check(15, 90, 3, p, params);
+        }
+    }
+
+    #[test]
+    fn selection_bounds_column_counts() {
+        let results = Universe::run(4, MachineModel::summit(), |comm| {
+            let grid = ProcGrid::new(comm);
+            let g = random_global(16, 200, 4);
+            let c = DistMatrix::from_global(&grid, &g);
+            let params =
+                PruneParams { cutoff: 0.0, select: 2, recover_num: 0, recover_pct: 0.0 };
+            let (pruned, _) = distributed_prune(&grid, &c, &params);
+            pruned.gather_to_root(&grid)
+        });
+        let got = results.into_iter().next().unwrap().unwrap();
+        for j in 0..got.ncols() {
+            assert!(got.col_nnz(j) <= 2, "col {j} kept {}", got.col_nnz(j));
+        }
+    }
+
+    #[test]
+    fn recovery_matches_serial_reference() {
+        // Aggressive cutoff forces recovery in most columns.
+        let params = PruneParams {
+            cutoff: 0.6,
+            select: 50,
+            recover_num: 4,
+            recover_pct: 0.8,
+        };
+        for p in [1usize, 4, 9] {
+            check(18, 220, 6, p, params);
+        }
+    }
+
+    #[test]
+    fn recovery_restores_mass_distributedly() {
+        let results = Universe::run(4, MachineModel::summit(), |comm| {
+            let grid = ProcGrid::new(comm);
+            let g = random_global(16, 220, 7);
+            let c = DistMatrix::from_global(&grid, &g);
+            let no_rec =
+                PruneParams { cutoff: 0.6, select: 50, recover_num: 0, recover_pct: 0.0 };
+            let with_rec =
+                PruneParams { cutoff: 0.6, select: 50, recover_num: 5, recover_pct: 0.9 };
+            let (lean, _) = distributed_prune(&grid, &c, &no_rec);
+            let (fat, stats) = distributed_prune(&grid, &c, &with_rec);
+            (lean.nnz_global(&grid), fat.nnz_global(&grid), stats.recovered)
+        });
+        let (lean, fat, _) = results[0];
+        assert!(fat > lean, "recovery must restore entries ({fat} vs {lean})");
+        let total_recovered: usize = results.iter().map(|r| r.2).sum();
+        assert_eq!(total_recovered as u64, fat - lean);
+    }
+
+    #[test]
+    fn stats_are_reported() {
+        let results = Universe::run(4, MachineModel::summit(), |comm| {
+            let grid = ProcGrid::new(comm);
+            let g = random_global(16, 200, 5);
+            let c = DistMatrix::from_global(&grid, &g);
+            let params =
+                PruneParams { cutoff: 0.5, select: 2, recover_num: 0, recover_pct: 0.0 };
+            let (_, stats) = distributed_prune(&grid, &c, &params);
+            stats.pruned_by_cutoff + stats.pruned_by_select
+        });
+        let total: usize = results.iter().sum();
+        assert!(total > 0, "something must have been pruned");
+    }
+}

@@ -1,0 +1,64 @@
+//! Erdős–Rényi `G(n, m)` generator — the unstructured baseline.
+
+use hipmcl_sparse::{Idx, Triples};
+use rand::{Rng, SeedableRng};
+use rayon::prelude::*;
+
+/// Generates `G(n, m)` with uniform `[0.1, 1)` weights, no self-loops,
+/// duplicates collapsed. Deterministic in `seed`.
+pub fn generate_er(n: usize, m: usize, seed: u64) -> Triples<f64> {
+    let edges: Vec<(Idx, Idx, f64)> = (0..m)
+        .into_par_iter()
+        .filter_map(|e| {
+            let mut rng = rand::rngs::SmallRng::seed_from_u64(
+                seed ^ (e as u64).wrapping_mul(0x9E3779B97F4A7C15),
+            );
+            let r = rng.gen_range(0..n);
+            let c = rng.gen_range(0..n);
+            (r != c).then(|| (r as Idx, c as Idx, rng.gen_range(0.1..1.0)))
+        })
+        .collect();
+    let mut t = Triples::with_capacity(n, n, edges.len());
+    for (r, c, v) in edges {
+        t.push(r, c, v);
+    }
+    t.sum_duplicates();
+    t
+}
+
+/// Symmetric variant: each sampled pair is stored in both directions.
+pub fn generate_er_symmetric(n: usize, m: usize, seed: u64) -> Triples<f64> {
+    let base = generate_er(n, m, seed);
+    let mut t = Triples::with_capacity(n, n, base.nnz() * 2);
+    for (r, c, v) in base.iter() {
+        t.push(r, c, v);
+        t.push(c, r, v);
+    }
+    t.sum_duplicates();
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_and_near_target_size() {
+        let a = generate_er(500, 3000, 1);
+        assert_eq!(a, generate_er(500, 3000, 1));
+        assert!(a.nnz() > 2500 && a.nnz() <= 3000, "nnz {}", a.nnz());
+    }
+
+    #[test]
+    fn no_self_loops() {
+        let a = generate_er(100, 1000, 2);
+        assert!(a.iter().all(|(r, c, _)| r != c));
+    }
+
+    #[test]
+    fn symmetric_variant_is_symmetric() {
+        let a = generate_er_symmetric(80, 400, 3);
+        let m = hipmcl_sparse::Csc::from_triples(&a);
+        assert_eq!(m.transposed(), m);
+    }
+}

@@ -1,0 +1,30 @@
+//! Workload generators for `hipmcl-rs`.
+//!
+//! The paper evaluates on protein-similarity networks from the IMG
+//! database (archaea, eukarya, the isom100 family) and Metaclust50 —
+//! none of which can ship with this reproduction. This crate provides
+//! (per the DESIGN.md substitution table):
+//!
+//! * [`protein`] — a planted-partition "protein similarity" generator:
+//!   power-law cluster sizes, dense high-weight intra-cluster blocks,
+//!   sparse low-weight inter-cluster noise. This is the workload family
+//!   whose density regime (hundreds to ~1000 nonzeros per column after
+//!   selection, large SpGEMM compression factors) drives every
+//!   experiment in the paper.
+//! * [`rmat`] — R-MAT (Graph500 parameters) for skewed-degree stress
+//!   tests.
+//! * [`er`] — Erdős–Rényi `G(n, m)` for unstructured baselines.
+//! * [`registry`] — the paper's six networks (Table I) mapped to scaled
+//!   synthetic instances with matched average degree, one constructor per
+//!   network, so benches can say `Dataset::Archaea.instance(scale)`.
+//!
+//! All generators are deterministic in their seed and rayon-parallel.
+
+pub mod er;
+pub mod protein;
+pub mod registry;
+pub mod rmat;
+pub mod stats;
+
+pub use protein::{generate_protein_net, ProteinNetConfig};
+pub use registry::Dataset;

@@ -1,0 +1,168 @@
+//! Registry of the paper's evaluation networks (Table I) as scaled
+//! synthetic instances.
+//!
+//! | network      | proteins | connections | avg degree |
+//! |--------------|----------|-------------|-----------:|
+//! | archaea      | 1.64 M   | 205 M       | ~125 |
+//! | eukarya      | 3.24 M   | 360 M       | ~111 |
+//! | isom100-3    | 8.75 M   | 1.06 B      | ~121 |
+//! | isom100-1    | 35 M     | 17 B        | ~486 |
+//! | isom100      | 70 M     | 68 B        | ~971 |
+//! | metaclust50  | 383 M    | 37 B        | ~97  |
+//!
+//! `instance(scale)` shrinks the vertex count by `scale` while keeping
+//! the average degree capped to the shrunken size — preserving the
+//! per-column density regime (and hence the SpGEMM `cf` behaviour) that
+//! the paper's optimizations target. Seeds are fixed per network so every
+//! bench and every rank regenerates identical graphs.
+
+use crate::protein::{generate_protein_net, ProteinNet, ProteinNetConfig};
+
+/// The six networks of Table I.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Dataset {
+    /// Archaeal proteins from IMG isolate genomes.
+    Archaea,
+    /// Eukaryotic proteins from IMG isolate genomes.
+    Eukarya,
+    /// 1/8 induced subgraph of isom100.
+    Isom100_3,
+    /// 1/2 induced subgraph of isom100.
+    Isom100_1,
+    /// All isolate-genome proteins.
+    Isom100,
+    /// Metaclust50 metagenome proteins.
+    Metaclust50,
+}
+
+impl Dataset {
+    /// Paper name of the network.
+    pub fn name(self) -> &'static str {
+        match self {
+            Dataset::Archaea => "archaea",
+            Dataset::Eukarya => "eukarya",
+            Dataset::Isom100_3 => "isom100-3",
+            Dataset::Isom100_1 => "isom100-1",
+            Dataset::Isom100 => "isom100",
+            Dataset::Metaclust50 => "metaclust50",
+        }
+    }
+
+    /// The paper's (proteins, connections) for this network.
+    pub fn paper_size(self) -> (u64, u64) {
+        match self {
+            Dataset::Archaea => (1_644_227, 204_784_551),
+            Dataset::Eukarya => (3_243_106, 359_744_161),
+            Dataset::Isom100_3 => (8_745_542, 1_058_120_062),
+            Dataset::Isom100_1 => (35_000_000, 17_000_000_000),
+            Dataset::Isom100 => (70_000_000, 68_000_000_000),
+            Dataset::Metaclust50 => (383_000_000, 37_000_000_000),
+        }
+    }
+
+    /// Average degree of the paper's network.
+    pub fn paper_avg_degree(self) -> f64 {
+        let (n, m) = self.paper_size();
+        m as f64 / n as f64
+    }
+
+    /// The three medium-scale validation networks (Table I, top half).
+    pub fn medium() -> [Dataset; 3] {
+        [Dataset::Archaea, Dataset::Eukarya, Dataset::Isom100_3]
+    }
+
+    /// The three large-scale networks (Table I, bottom half).
+    pub fn large() -> [Dataset; 3] {
+        [Dataset::Isom100_1, Dataset::Isom100, Dataset::Metaclust50]
+    }
+
+    /// Generator configuration at reduction factor `scale` (vertices are
+    /// `paper_n / scale`). The degree is kept at the paper's value but
+    /// capped so tiny instances stay generable.
+    pub fn config(self, scale: u64) -> ProteinNetConfig {
+        let (paper_n, _) = self.paper_size();
+        let n = ((paper_n / scale.max(1)) as usize).max(64);
+        let avg_degree = self.paper_avg_degree().min(n as f64 / 4.0);
+        let seed = 0xDA7A_0000
+            + match self {
+                Dataset::Archaea => 1,
+                Dataset::Eukarya => 2,
+                Dataset::Isom100_3 => 3,
+                Dataset::Isom100_1 => 4,
+                Dataset::Isom100 => 5,
+                Dataset::Metaclust50 => 6,
+            };
+        // Family sizes scale with the degree: the sustained per-column
+        // density of an MCL run (what drives flops and cf, hence every
+        // optimization in the paper) tracks the protein-family size, so
+        // a dense network like isom100 must plant large families even at
+        // reduced scale.
+        let min_cluster = ((avg_degree / 3.0) as usize).clamp(8, n / 2);
+        let max_cluster = ((avg_degree * 2.0) as usize).clamp(16, n / 2);
+        ProteinNetConfig {
+            n,
+            avg_degree,
+            cluster_alpha: 1.8,
+            min_cluster,
+            max_cluster,
+            noise_frac: 0.05,
+            seed,
+        }
+    }
+
+    /// Generates the scaled instance.
+    pub fn instance(self, scale: u64) -> ProteinNet {
+        generate_protein_net(&self.config(scale))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_and_sizes_match_table1() {
+        assert_eq!(Dataset::Archaea.name(), "archaea");
+        assert_eq!(Dataset::Archaea.paper_size().0, 1_644_227);
+        assert!((Dataset::Archaea.paper_avg_degree() - 124.5).abs() < 1.0);
+        assert!((Dataset::Isom100.paper_avg_degree() - 971.4).abs() < 1.0);
+    }
+
+    #[test]
+    fn scaled_instances_shrink_with_scale() {
+        let big = Dataset::Archaea.config(1000);
+        let small = Dataset::Archaea.config(10_000);
+        assert!(big.n > small.n);
+        assert_eq!(big.n, 1_644);
+    }
+
+    #[test]
+    fn degree_capped_for_tiny_instances() {
+        let cfg = Dataset::Isom100.config(1_000_000); // 70 vertices -> min 64
+        assert!(cfg.avg_degree <= cfg.n as f64 / 4.0);
+    }
+
+    #[test]
+    fn instance_is_deterministic_per_dataset() {
+        let a = Dataset::Eukarya.instance(20_000);
+        let b = Dataset::Eukarya.instance(20_000);
+        assert_eq!(a.graph, b.graph);
+        let c = Dataset::Archaea.instance(20_000);
+        assert_ne!(a.graph.nnz(), 0);
+        assert_ne!(a.graph, c.graph);
+    }
+
+    #[test]
+    fn medium_and_large_partition_the_six() {
+        let mut all: Vec<&str> = Dataset::medium()
+            .iter()
+            .chain(Dataset::large().iter())
+            .map(|d| d.name())
+            .collect();
+        all.sort();
+        assert_eq!(
+            all,
+            vec!["archaea", "eukarya", "isom100", "isom100-1", "isom100-3", "metaclust50"]
+        );
+    }
+}

@@ -1,0 +1,118 @@
+//! R-MAT recursive matrix generator (Chakrabarti, Zhan, Faloutsos 2004)
+//! with Graph500 default probabilities — the standard skewed-degree
+//! stress workload for distributed graph kernels.
+
+use hipmcl_sparse::{Idx, Triples};
+use rand::{Rng, SeedableRng};
+use rayon::prelude::*;
+
+/// R-MAT quadrant probabilities. Graph500 uses `(0.57, 0.19, 0.19, 0.05)`.
+#[derive(Clone, Copy, Debug)]
+pub struct RmatParams {
+    /// Top-left quadrant probability.
+    pub a: f64,
+    /// Top-right.
+    pub b: f64,
+    /// Bottom-left.
+    pub c: f64,
+    /// log2 of the vertex count.
+    pub scale: u32,
+    /// Edges per vertex.
+    pub edge_factor: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl RmatParams {
+    /// Graph500 defaults at the given scale.
+    pub fn graph500(scale: u32, edge_factor: usize, seed: u64) -> Self {
+        Self { a: 0.57, b: 0.19, c: 0.19, scale, edge_factor, seed }
+    }
+}
+
+/// Generates an R-MAT graph with uniform `[0.5, 1)` weights; duplicate
+/// edges collapse by summation (heavier multi-edges, as in Graph500
+/// similarity uses). Self-loops are dropped.
+pub fn generate_rmat(p: &RmatParams) -> Triples<f64> {
+    let n = 1usize << p.scale;
+    let m = n * p.edge_factor;
+    let d = p.a + p.b + p.c;
+    assert!(d < 1.0, "quadrant probabilities must leave room for d");
+
+    let edges: Vec<(Idx, Idx, f64)> = (0..m)
+        .into_par_iter()
+        .filter_map(|e| {
+            let mut rng = rand::rngs::SmallRng::seed_from_u64(
+                p.seed ^ (e as u64).wrapping_mul(0x9E3779B97F4A7C15),
+            );
+            let (mut r, mut c) = (0usize, 0usize);
+            for level in (0..p.scale).rev() {
+                let bit = 1usize << level;
+                let u: f64 = rng.gen();
+                if u < p.a {
+                    // top-left: nothing
+                } else if u < p.a + p.b {
+                    c |= bit;
+                } else if u < p.a + p.b + p.c {
+                    r |= bit;
+                } else {
+                    r |= bit;
+                    c |= bit;
+                }
+            }
+            if r == c {
+                None
+            } else {
+                Some((r as Idx, c as Idx, rng.gen_range(0.5..1.0)))
+            }
+        })
+        .collect();
+
+    let mut t = Triples::with_capacity(n, n, edges.len());
+    for (r, c, v) in edges {
+        t.push(r, c, v);
+    }
+    t.sum_duplicates();
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_and_in_bounds() {
+        let p = RmatParams::graph500(8, 8, 3);
+        let a = generate_rmat(&p);
+        let b = generate_rmat(&p);
+        assert_eq!(a, b);
+        assert_eq!(a.nrows(), 256);
+        for (r, c, _) in a.iter() {
+            assert!(r < 256 && c < 256);
+            assert_ne!(r, c, "no self-loops");
+        }
+    }
+
+    #[test]
+    fn skewed_degrees() {
+        let p = RmatParams::graph500(10, 16, 5);
+        let t = generate_rmat(&p);
+        let m = hipmcl_sparse::Csc::from_triples(&t);
+        let mut degs: Vec<usize> = (0..m.ncols()).map(|j| m.col_nnz(j)).collect();
+        degs.sort_unstable();
+        let max = *degs.last().unwrap();
+        let median = degs[degs.len() / 2];
+        assert!(
+            max > 8 * median.max(1),
+            "R-MAT should be skewed: max {max}, median {median}"
+        );
+    }
+
+    #[test]
+    fn edge_count_in_expected_range() {
+        let p = RmatParams::graph500(9, 8, 7);
+        let t = generate_rmat(&p);
+        let target = 512 * 8;
+        assert!(t.nnz() > target / 2 && t.nnz() <= target, "nnz {}", t.nnz());
+    }
+}

@@ -1,0 +1,95 @@
+//! Graph statistics used by the benches' workload descriptions.
+
+use hipmcl_sparse::{Csc, Scalar};
+
+/// Summary statistics of a graph / sparse matrix.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct GraphStats {
+    /// Vertex count (columns).
+    pub n: usize,
+    /// Stored nonzeros.
+    pub nnz: usize,
+    /// Mean column degree.
+    pub avg_degree: f64,
+    /// Maximum column degree.
+    pub max_degree: usize,
+    /// Fraction of empty columns.
+    pub empty_cols: f64,
+}
+
+/// Computes [`GraphStats`] for a CSC matrix.
+pub fn graph_stats<T: Scalar>(m: &Csc<T>) -> GraphStats {
+    let n = m.ncols();
+    let mut max_degree = 0usize;
+    let mut empty = 0usize;
+    for j in 0..n {
+        let d = m.col_nnz(j);
+        max_degree = max_degree.max(d);
+        if d == 0 {
+            empty += 1;
+        }
+    }
+    GraphStats {
+        n,
+        nnz: m.nnz(),
+        avg_degree: if n == 0 { 0.0 } else { m.nnz() as f64 / n as f64 },
+        max_degree,
+        empty_cols: if n == 0 { 0.0 } else { empty as f64 / n as f64 },
+    }
+}
+
+/// Degree histogram in powers of two: `hist[k]` counts columns with
+/// degree in `[2^k, 2^(k+1))`; `hist[0]` includes degree 0 and 1.
+pub fn degree_histogram<T: Scalar>(m: &Csc<T>) -> Vec<usize> {
+    let mut hist = Vec::new();
+    for j in 0..m.ncols() {
+        let d = m.col_nnz(j);
+        let bucket = if d <= 1 { 0 } else { (usize::BITS - (d - 1).leading_zeros()) as usize };
+        if hist.len() <= bucket {
+            hist.resize(bucket + 1, 0);
+        }
+        hist[bucket] += 1;
+    }
+    hist
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hipmcl_sparse::Triples;
+
+    #[test]
+    fn stats_of_identity() {
+        let m = Csc::<f64>::identity(10);
+        let s = graph_stats(&m);
+        assert_eq!(s.n, 10);
+        assert_eq!(s.nnz, 10);
+        assert_eq!(s.avg_degree, 1.0);
+        assert_eq!(s.max_degree, 1);
+        assert_eq!(s.empty_cols, 0.0);
+    }
+
+    #[test]
+    fn empty_columns_counted() {
+        let mut t = Triples::new(4, 4);
+        t.push(0, 0, 1.0);
+        t.push(1, 0, 1.0);
+        let s = graph_stats(&Csc::from_triples(&t));
+        assert_eq!(s.max_degree, 2);
+        assert_eq!(s.empty_cols, 0.75);
+    }
+
+    #[test]
+    fn histogram_buckets() {
+        let mut t = Triples::new(8, 3);
+        t.push(0, 0, 1.0); // degree 1 -> bucket 0
+        for i in 0..3 {
+            t.push(i, 1, 1.0); // degree 3 -> bucket 2
+        }
+        for i in 0..8 {
+            t.push(i, 2, 1.0); // degree 8 -> bucket 3
+        }
+        let h = degree_histogram(&Csc::from_triples(&t));
+        assert_eq!(h, vec![1, 0, 1, 1]);
+    }
+}

