@@ -10,7 +10,11 @@ fn local_spgemm(c: &mut Criterion) {
     let mut group = c.benchmark_group("local_spgemm");
     group.sample_size(10);
     // (label, n, nnz): sparse -> low cf, dense -> high cf.
-    let cases = [("sparse_cf~1", 2000usize, 8_000usize), ("medium_cf", 1000, 30_000), ("dense_cf", 600, 60_000)];
+    let cases = [
+        ("sparse_cf~1", 2000usize, 8_000usize),
+        ("medium_cf", 1000, 30_000),
+        ("dense_cf", 600, 60_000),
+    ];
     for (label, n, nnz) in cases {
         let a = random_csc(n, n, nnz, 42);
         group.bench_with_input(BenchmarkId::new("cpu-heap", label), &a, |b, a| {

@@ -8,7 +8,9 @@ use hipmcl_spgemm::testutil::random_csc;
 use hipmcl_summa::merge::{kway_merge, BinaryMerger};
 
 fn slabs(k: usize) -> Vec<Csc<f64>> {
-    (0..k).map(|i| random_csc(2000, 2000, 40_000, i as u64)).collect()
+    (0..k)
+        .map(|i| random_csc(2000, 2000, 40_000, i as u64))
+        .collect()
 }
 
 fn merging(c: &mut Criterion) {

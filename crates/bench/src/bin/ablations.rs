@@ -34,8 +34,9 @@ fn ablation_merge_strategies() {
     let headers = ["k lists", "multiway", "binary (Alg.2)", "immediate 2-way"];
     let mut rows = Vec::new();
     for k in [4usize, 8, 16, 32] {
-        let slabs: Vec<Csc<f64>> =
-            (0..k).map(|i| random_csc(500, 500, 5_000, 77 + i as u64)).collect();
+        let slabs: Vec<Csc<f64>> = (0..k)
+            .map(|i| random_csc(500, 500, 5_000, 77 + i as u64))
+            .collect();
         let n: usize = slabs.iter().map(Csc::nnz).sum::<usize>() / k;
 
         // Multiway: every element passes through one k-way merge.
@@ -88,7 +89,15 @@ fn ablation_dcsc_payloads() {
     ));
     let cfg = bench_mcl_config_for(Dataset::Archaea, MclConfig::optimized(u64::MAX));
     let dense = bench_graph(Dataset::Archaea, &cfg);
-    let headers = ["matrix", "grid", "block nnz", "block cols", "CSC B", "DCSC B", "saving"];
+    let headers = [
+        "matrix",
+        "grid",
+        "block nnz",
+        "block cols",
+        "CSC B",
+        "DCSC B",
+        "saving",
+    ];
     let mut rows = Vec::new();
     for (name, g) in [("degree-2", &sparse), ("archaea-mini", &dense)] {
         for side in [4usize, 16, 32] {
@@ -107,7 +116,10 @@ fn ablation_dcsc_payloads() {
                 (g.ncols() / side).to_string(),
                 (csc_b / nb).to_string(),
                 (dcsc_b / nb).to_string(),
-                format!("{:.0}%", 100.0 * (csc_b as f64 - dcsc_b as f64) / csc_b as f64),
+                format!(
+                    "{:.0}%",
+                    100.0 * (csc_b as f64 - dcsc_b as f64) / csc_b as f64
+                ),
             ]);
         }
     }
@@ -139,7 +151,10 @@ fn ablation_phases() {
             h.to_string(),
             a_vol.to_string(),
             b_vol.to_string(),
-            format!("{:.2}x", (a_vol + b_vol) as f64 / (a_bytes * 2 * side) as f64),
+            format!(
+                "{:.2}x",
+                (a_vol + b_vol) as f64 / (a_bytes * 2 * side) as f64
+            ),
         ]);
     }
     print_table(&headers, &rows);
@@ -155,7 +170,11 @@ fn ablation_transpose_trick() {
     println!("Ablation 4 — CSC->CSR conversion avoided by the transpose trick\n");
     let headers = ["n", "nnz", "explicit CSC->CSR", "transpose reinterpret"];
     let mut rows = Vec::new();
-    for (n, nnz) in [(2_000usize, 100_000usize), (8_000, 400_000), (20_000, 1_000_000)] {
+    for (n, nnz) in [
+        (2_000usize, 100_000usize),
+        (8_000, 400_000),
+        (20_000, 1_000_000),
+    ] {
         let a = random_csc(n, n, nnz, 5);
         let t0 = Instant::now();
         let explicit = Csr::from_csc(&a); // real transpose work

@@ -21,9 +21,18 @@ fn main() {
     );
 
     let configs: [(&str, MclConfig); 3] = [
-        ("HipMCL", bench_mcl_config_for(dataset, MclConfig::original_hipmcl(budget))),
-        ("Optimized", bench_mcl_config_for(dataset, MclConfig::optimized_no_overlap(budget))),
-        ("Optimized+overlap", bench_mcl_config_for(dataset, MclConfig::optimized(budget))),
+        (
+            "HipMCL",
+            bench_mcl_config_for(dataset, MclConfig::original_hipmcl(budget)),
+        ),
+        (
+            "Optimized",
+            bench_mcl_config_for(dataset, MclConfig::optimized_no_overlap(budget)),
+        ),
+        (
+            "Optimized+overlap",
+            bench_mcl_config_for(dataset, MclConfig::optimized(budget)),
+        ),
     ];
 
     let mut rows = Vec::new();
@@ -35,7 +44,11 @@ fn main() {
         totals.push(r.total_time);
         let mut row = vec![name.to_string()];
         for s in STAGES {
-            let t = r.stage_times.iter().find(|(n, _)| n == s).map_or(0.0, |(_, t)| *t);
+            let t = r
+                .stage_times
+                .iter()
+                .find(|(n, _)| n == s)
+                .map_or(0.0, |(_, t)| *t);
             row.push(format!("{:.3}", t));
         }
         row.push(format!("{:.3}", r.total_time));

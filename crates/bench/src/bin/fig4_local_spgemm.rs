@@ -45,8 +45,15 @@ fn main() {
     ];
 
     println!("Fig. 4: modeled per-node local SpGEMM time over a full MCL run\n");
-    let headers =
-        ["network", "cpu-hash", "rmerge2", "bhsparse", "nsparse", "hybrid", "best-speedup"];
+    let headers = [
+        "network",
+        "cpu-hash",
+        "rmerge2",
+        "bhsparse",
+        "nsparse",
+        "hybrid",
+        "best-speedup",
+    ];
     let mut rows = Vec::new();
 
     for d in Dataset::medium() {
@@ -66,7 +73,11 @@ fn main() {
                 let g = hipmcl_gpu::libs::multiply_csc(a, a, lib);
                 assert_eq!(g.nnz(), c.nnz(), "{} disagreed", lib.name());
             }
-            let cf = if c.nnz() == 0 { 1.0 } else { flops as f64 / c.nnz() as f64 };
+            let cf = if c.nnz() == 0 {
+                1.0
+            } else {
+                flops as f64 / c.nnz() as f64
+            };
             for (i, (_, k)) in kernels.iter().enumerate() {
                 totals[i] += kernel_time(&model, *k, flops, cf);
             }

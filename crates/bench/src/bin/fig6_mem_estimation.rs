@@ -25,8 +25,15 @@ fn main() {
         let mut a = bench_graph(d, &cfg);
 
         println!("\nFig. 6 — {} (scaled 1/{}):", d.name(), bench_reduction(d));
-        let headers =
-            ["iter", "exact nnz", "err r=3", "err r=5", "err r=7", "err r=10", "cf"];
+        let headers = [
+            "iter",
+            "exact nnz",
+            "err r=3",
+            "err r=5",
+            "err r=7",
+            "err r=10",
+            "cf",
+        ];
         let mut rows = Vec::new();
         let mut cum_exact = 0.0f64;
         let mut cum_prob = [0.0f64; 4];

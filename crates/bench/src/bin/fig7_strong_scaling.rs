@@ -10,7 +10,10 @@ use hipmcl_core::MclConfig;
 use hipmcl_workloads::Dataset;
 
 fn max_ranks() -> usize {
-    std::env::var("HIPMCL_MAX_RANKS").ok().and_then(|s| s.parse().ok()).unwrap_or(400)
+    std::env::var("HIPMCL_MAX_RANKS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(400)
 }
 
 fn main() {
@@ -21,8 +24,11 @@ fn main() {
     ];
 
     for (d, nodes_list) in sweeps {
-        let nodes: Vec<usize> =
-            nodes_list.iter().copied().filter(|&n| n <= max_ranks()).collect();
+        let nodes: Vec<usize> = nodes_list
+            .iter()
+            .copied()
+            .filter(|&n| n <= max_ranks())
+            .collect();
         if nodes.len() < 2 {
             println!("({}: skipped — raise HIPMCL_MAX_RANKS)\n", d.name());
             continue;

@@ -11,7 +11,10 @@ use hipmcl_core::MclConfig;
 use hipmcl_workloads::Dataset;
 
 fn max_ranks() -> usize {
-    std::env::var("HIPMCL_MAX_RANKS").ok().and_then(|s| s.parse().ok()).unwrap_or(400)
+    std::env::var("HIPMCL_MAX_RANKS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(400)
 }
 
 fn main() {
@@ -22,8 +25,11 @@ fn main() {
     ];
 
     for (d, nodes_list) in sweeps {
-        let nodes: Vec<usize> =
-            nodes_list.iter().copied().filter(|&n| n <= max_ranks()).collect();
+        let nodes: Vec<usize> = nodes_list
+            .iter()
+            .copied()
+            .filter(|&n| n <= max_ranks())
+            .collect();
         if nodes.len() < 2 {
             println!("({}: skipped — raise HIPMCL_MAX_RANKS)\n", d.name());
             continue;
@@ -38,7 +44,10 @@ fn main() {
                 STAGES
                     .iter()
                     .map(|s| {
-                        r.stage_times.iter().find(|(n, _)| n == s).map_or(0.0, |(_, t)| *t)
+                        r.stage_times
+                            .iter()
+                            .find(|(n, _)| n == s)
+                            .map_or(0.0, |(_, t)| *t)
                     })
                     .collect(),
             );
@@ -55,8 +64,8 @@ fn main() {
                 continue;
             }
             let mut row = vec![s.to_string()];
-            for ni in 0..nodes.len() {
-                row.push(format!("{:.2}x", base / per_node[ni][si].max(1e-12)));
+            for node_stages in per_node.iter().take(nodes.len()) {
+                row.push(format!("{:.2}x", base / node_stages[si].max(1e-12)));
             }
             row.push(format!("{:.4}s", per_node[nodes.len() - 1][si]));
             rows.push(row);

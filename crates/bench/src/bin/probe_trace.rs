@@ -11,21 +11,38 @@ fn main() {
         Some("archaea") => Dataset::Archaea,
         _ => Dataset::Isom100_1,
     };
-    let nodes: usize =
-        std::env::args().nth(2).and_then(|s| s.parse().ok()).unwrap_or(100);
+    let nodes: usize = std::env::args()
+        .nth(2)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(100);
     for (name, cfg) in [
-        ("original", bench_mcl_config_for(d, MclConfig::original_hipmcl(4 << 30))),
-        ("optimized", bench_mcl_config_for(d, MclConfig::optimized(4 << 30))),
+        (
+            "original",
+            bench_mcl_config_for(d, MclConfig::original_hipmcl(4 << 30)),
+        ),
+        (
+            "optimized",
+            bench_mcl_config_for(d, MclConfig::optimized(4 << 30)),
+        ),
     ] {
         let r = run_scattered(nodes, d, &cfg);
-        println!("== {name}: total {:.6}s, iters {}, clusters {}", r.total_time, r.iterations, r.num_clusters);
+        println!(
+            "== {name}: total {:.6}s, iters {}, clusters {}",
+            r.total_time, r.iterations, r.num_clusters
+        );
         for (s, t) in &r.stage_times {
             println!("   {s:<16} {t:.6}");
         }
         println!("   cpu_idle {:.6}  gpu_idle {:.6}", r.cpu_idle, r.gpu_idle);
         println!("   iter  flops        nnz_pruned   cf");
         for (i, it) in r.trace.iter().enumerate() {
-            println!("   {:<5} {:<12} {:<12} {:.1}", i + 1, it.flops, it.nnz_pruned, it.cf);
+            println!(
+                "   {:<5} {:<12} {:<12} {:.1}",
+                i + 1,
+                it.flops,
+                it.nnz_pruned,
+                it.cf
+            );
         }
     }
 }

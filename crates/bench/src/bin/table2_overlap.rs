@@ -14,7 +14,15 @@ fn main() {
         "(components measured in an unoverlapped run, 'overall' in the\n\
          pipelined run — the paper's methodology, §VII-B)\n"
     );
-    let headers = ["network", "nodes", "SpGEMM", "bcast", "merge", "overall", "over-SpGEMM"];
+    let headers = [
+        "network",
+        "nodes",
+        "SpGEMM",
+        "bcast",
+        "merge",
+        "overall",
+        "over-SpGEMM",
+    ];
     let mut rows = Vec::new();
 
     for d in Dataset::medium() {
@@ -26,7 +34,10 @@ fn main() {
             // Components, unoverlapped (each stage's cost visible).
             let ri = run_scattered(nodes, d, &isolated);
             let get = |r: &hipmcl_core::dist::DistMclReport, s: &str| {
-                r.stage_times.iter().find(|(n, _)| n == s).map_or(0.0, |(_, t)| *t)
+                r.stage_times
+                    .iter()
+                    .find(|(n, _)| n == s)
+                    .map_or(0.0, |(_, t)| *t)
             };
             let spgemm = get(&ri, "local_spgemm");
             let bcast = get(&ri, "summa_bcast");

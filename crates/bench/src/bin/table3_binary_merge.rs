@@ -12,7 +12,6 @@ use hipmcl_workloads::Dataset;
 fn main() {
     let nodes = 16;
 
-
     println!(
         "Table III: peak single-merge elements per MCL iteration ({} nodes)\n",
         nodes
@@ -35,7 +34,11 @@ fn main() {
         for i in 0..iters {
             let m = rm.merge_peaks[i];
             let b = rb.merge_peaks[i];
-            let impr = if m == 0 { 0.0 } else { 100.0 * (m as f64 - b as f64) / m as f64 };
+            let impr = if m == 0 {
+                0.0
+            } else {
+                100.0 * (m as f64 - b as f64) / m as f64
+            };
             rows.push(vec![
                 d.name().to_string(),
                 (i + 1).to_string(),

@@ -13,7 +13,10 @@ use hipmcl_core::MclConfig;
 use hipmcl_workloads::Dataset;
 
 fn max_ranks() -> usize {
-    std::env::var("HIPMCL_MAX_RANKS").ok().and_then(|s| s.parse().ok()).unwrap_or(256)
+    std::env::var("HIPMCL_MAX_RANKS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(256)
 }
 
 /// Largest perfect square ≤ min(want, cap).
@@ -56,7 +59,13 @@ fn main() {
             // extraordinary amount of compute hours").
             ("-".to_string(), "-".to_string())
         };
-        rows.push(vec![d.name().to_string(), label, t_orig_s, fmt_time(t_opt), speedup]);
+        rows.push(vec![
+            d.name().to_string(),
+            label,
+            t_orig_s,
+            fmt_time(t_opt),
+            speedup,
+        ]);
     }
 
     print_table(&headers, &rows);

@@ -8,7 +8,10 @@ use hipmcl_core::MclConfig;
 use hipmcl_workloads::Dataset;
 
 fn max_ranks() -> usize {
-    std::env::var("HIPMCL_MAX_RANKS").ok().and_then(|s| s.parse().ok()).unwrap_or(400)
+    std::env::var("HIPMCL_MAX_RANKS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(400)
 }
 
 fn main() {

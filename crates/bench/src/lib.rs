@@ -94,11 +94,7 @@ pub fn run_scattered(p: usize, d: Dataset, cfg: &MclConfig) -> DistMclReport {
 
 /// Rank body of [`run_scattered`], reusable by binaries that need custom
 /// machine models.
-pub fn run_scattered_on(
-    comm: hipmcl_comm::Comm,
-    d: Dataset,
-    cfg: &MclConfig,
-) -> DistMclReport {
+pub fn run_scattered_on(comm: hipmcl_comm::Comm, d: Dataset, cfg: &MclConfig) -> DistMclReport {
     let grid = ProcGrid::new(comm);
     let mut gpus = MultiGpu::summit_node(grid.world.model());
     let global = if grid.world.rank() == 0 {
@@ -191,7 +187,11 @@ mod tests {
             assert!(bench_reduction(d) > 0);
             let cfg = d.config(bench_reduction(d));
             assert!(cfg.n >= 64, "{} instance too small", d.name());
-            assert!(cfg.n <= 20_000, "{} instance too large for the harness", d.name());
+            assert!(
+                cfg.n <= 20_000,
+                "{} instance too large for the harness",
+                d.name()
+            );
         }
     }
 

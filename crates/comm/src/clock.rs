@@ -52,6 +52,78 @@ impl VClock {
     }
 }
 
+/// Completion event of an asynchronous operation on some timeline —
+/// a GPU kernel, a D2H transfer, a CPU worker-pool job. Purely a virtual
+/// timestamp; whoever holds the event decides what to overlap against it.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Event {
+    /// Virtual time at which the operation completes.
+    pub at: f64,
+}
+
+/// A FIFO resource timeline: jobs occupy the resource one at a time, each
+/// starting no earlier than both its `ready` time and the end of the
+/// previous job. This is the shared backbone of every asynchronous
+/// executor in the pipeline — GPU kernel queues, copy engines, and the
+/// per-rank CPU worker pool all advance one of these — so idle-time
+/// accounting (Table V) reads identically off any of them.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct Timeline {
+    /// The resource is busy until this time.
+    busy_until: f64,
+    /// Accumulated gaps between consecutive jobs.
+    idle: f64,
+    /// End of the last job (to measure the next gap).
+    last_end: f64,
+    /// Jobs submitted so far.
+    jobs: usize,
+}
+
+impl Timeline {
+    /// A timeline with nothing queued.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Queues a job of duration `dur` that may start at `ready`; returns
+    /// its completion event. The gap (if any) between the previous job's
+    /// end and this job's start counts as idle time — except before the
+    /// first job, which mirrors how Table V measures idleness *within* a
+    /// pipeline section rather than from time zero.
+    pub fn submit(&mut self, ready: f64, dur: f64) -> Event {
+        debug_assert!(dur >= 0.0, "negative job duration {dur}");
+        let start = ready.max(self.busy_until);
+        if self.jobs > 0 {
+            self.idle += (start - self.last_end).max(0.0);
+        }
+        let end = start + dur;
+        self.busy_until = end;
+        self.last_end = end;
+        self.jobs += 1;
+        Event { at: end }
+    }
+
+    /// Time at which everything queued so far has finished.
+    pub fn busy_until(&self) -> f64 {
+        self.busy_until
+    }
+
+    /// Accumulated gaps between jobs.
+    pub fn idle_time(&self) -> f64 {
+        self.idle
+    }
+
+    /// Number of jobs submitted.
+    pub fn jobs(&self) -> usize {
+        self.jobs
+    }
+
+    /// Resets to an empty timeline (between pipeline sections).
+    pub fn reset(&mut self) {
+        *self = Self::default();
+    }
+}
+
 /// Message and byte counters for one rank.
 #[derive(Clone, Copy, Debug, Default, PartialEq)]
 pub struct CommStats {
@@ -101,7 +173,10 @@ impl StageTimers {
 
     /// Time recorded for `name` (0 if absent).
     pub fn get(&self, name: &str) -> f64 {
-        self.entries.iter().find(|(n, _)| n == name).map_or(0.0, |(_, t)| *t)
+        self.entries
+            .iter()
+            .find(|(n, _)| n == name)
+            .map_or(0.0, |(_, t)| *t)
     }
 
     /// All stages in insertion order.
@@ -140,6 +215,41 @@ mod tests {
     use super::*;
 
     #[test]
+    fn timeline_queues_fifo_and_tracks_idle() {
+        let mut t = Timeline::new();
+        let e1 = t.submit(0.0, 1.0);
+        assert_eq!(e1.at, 1.0);
+        // Ready before the previous job ends: queues behind it, no gap.
+        let e2 = t.submit(0.5, 2.0);
+        assert_eq!(e2.at, 3.0);
+        assert_eq!(t.idle_time(), 0.0);
+        // Ready after a gap: the gap is idle.
+        let e3 = t.submit(5.0, 1.0);
+        assert_eq!(e3.at, 6.0);
+        assert!((t.idle_time() - 2.0).abs() < 1e-12);
+        assert_eq!(t.jobs(), 3);
+        assert_eq!(t.busy_until(), 6.0);
+    }
+
+    #[test]
+    fn timeline_leading_gap_is_not_idle() {
+        let mut t = Timeline::new();
+        t.submit(10.0, 1.0);
+        assert_eq!(t.idle_time(), 0.0, "time before the first job is not idle");
+    }
+
+    #[test]
+    fn timeline_reset() {
+        let mut t = Timeline::new();
+        t.submit(0.0, 1.0);
+        t.submit(3.0, 1.0);
+        t.reset();
+        assert_eq!(t.busy_until(), 0.0);
+        assert_eq!(t.idle_time(), 0.0);
+        assert_eq!(t.jobs(), 0);
+    }
+
+    #[test]
     fn clock_advances_and_waits() {
         let mut c = VClock::new();
         c.advance(1.5);
@@ -161,8 +271,18 @@ mod tests {
 
     #[test]
     fn stats_merge() {
-        let mut a = CommStats { msgs_sent: 1, bytes_sent: 10, msgs_recv: 2, bytes_recv: 20 };
-        let b = CommStats { msgs_sent: 3, bytes_sent: 30, msgs_recv: 4, bytes_recv: 40 };
+        let mut a = CommStats {
+            msgs_sent: 1,
+            bytes_sent: 10,
+            msgs_recv: 2,
+            bytes_recv: 20,
+        };
+        let b = CommStats {
+            msgs_sent: 3,
+            bytes_sent: 30,
+            msgs_recv: 4,
+            bytes_recv: 40,
+        };
         a.merge(&b);
         assert_eq!(a.msgs_sent, 4);
         assert_eq!(a.bytes_recv, 60);

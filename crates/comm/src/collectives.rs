@@ -124,9 +124,9 @@ where
     if comm.rank() == root {
         let mut out: Vec<Option<T>> = (0..p).map(|_| None).collect();
         out[root] = Some(value);
-        for src in 0..p {
+        for (src, slot) in out.iter_mut().enumerate() {
             if src != root {
-                out[src] = Some(comm.recv::<T>(src, tag));
+                *slot = Some(comm.recv::<T>(src, tag));
             }
         }
         Some(out.into_iter().map(Option::unwrap).collect())
@@ -148,7 +148,7 @@ where
 /// Barrier: a zero-byte all-reduce. Synchronizes virtual clocks to the
 /// latest rank plus the tree's latency cost — stragglers pull everyone.
 pub fn barrier(comm: &Comm) {
-    let _ = allreduce(comm, (), |_, _| ());
+    allreduce(comm, (), |_, _| ());
 }
 
 /// All-reduce specialization: elementwise sum of equal-length `f64`
@@ -186,10 +186,17 @@ mod tests {
         for p in [1usize, 2, 3, 4, 5, 8] {
             for root in 0..p {
                 let results = Universe::run(p, MachineModel::summit(), |comm| {
-                    let v = if comm.rank() == root { Some(42u64 + root as u64) } else { None };
+                    let v = if comm.rank() == root {
+                        Some(42u64 + root as u64)
+                    } else {
+                        None
+                    };
                     bcast(&comm, root, v)
                 });
-                assert!(results.iter().all(|&v| v == 42 + root as u64), "p={p} root={root}");
+                assert!(
+                    results.iter().all(|&v| v == 42 + root as u64),
+                    "p={p} root={root}"
+                );
             }
         }
     }
@@ -198,7 +205,11 @@ mod tests {
     fn bcast_cost_scales_logarithmically() {
         let time_for = |p: usize| {
             let results = Universe::run(p, MachineModel::summit(), |comm| {
-                let v = if comm.rank() == 0 { Some(vec![0u8; 1 << 20]) } else { None };
+                let v = if comm.rank() == 0 {
+                    Some(vec![0u8; 1 << 20])
+                } else {
+                    None
+                };
                 let _ = bcast(&comm, 0, v);
                 comm.now()
             });
@@ -261,7 +272,10 @@ mod tests {
             comm.now()
         });
         for &t in &results {
-            assert!(t >= 5.0, "barrier must not complete before the straggler: {t}");
+            assert!(
+                t >= 5.0,
+                "barrier must not complete before the straggler: {t}"
+            );
         }
     }
 

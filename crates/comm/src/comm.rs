@@ -60,7 +60,10 @@ impl Comm {
             split_seq: 0,
             coll_seq: std::cell::Cell::new(0),
             shared,
-            mailbox: Rc::new(Mailbox { rx, pending: RefCell::new(Vec::new()) }),
+            mailbox: Rc::new(Mailbox {
+                rx,
+                pending: RefCell::new(Vec::new()),
+            }),
             clock: Rc::new(RefCell::new(VClock::new())),
             stats: Rc::new(RefCell::new(CommStats::default())),
         }
@@ -166,8 +169,7 @@ impl Comm {
         }
         let arrival = pkt.send_clock + self.shared.model.p2p_time(pkt.bytes);
         self.clock.borrow_mut().wait_until(arrival);
-        *pkt
-            .payload
+        *pkt.payload
             .downcast::<T>()
             .unwrap_or_else(|_| panic!("type mismatch receiving tag {tag} from {src}"))
     }
@@ -211,8 +213,10 @@ impl Comm {
             .map(|(r, &(_, k))| (k, r))
             .collect();
         members.sort();
-        let world_ranks: Vec<usize> =
-            members.iter().map(|&(_, parent_rank)| self.world_ranks[parent_rank]).collect();
+        let world_ranks: Vec<usize> = members
+            .iter()
+            .map(|&(_, parent_rank)| self.world_ranks[parent_rank])
+            .collect();
         let new_rank = members
             .iter()
             .position(|&(_, parent_rank)| parent_rank == self.rank)
@@ -286,7 +290,12 @@ mod tests {
             comm.now()
         });
         let expect = 1.0 + MachineModel::summit().p2p_time(1_000_000 + 8);
-        assert!((results[1] - expect).abs() < 1e-9, "got {} want {}", results[1], expect);
+        assert!(
+            (results[1] - expect).abs() < 1e-9,
+            "got {} want {}",
+            results[1],
+            expect
+        );
     }
 
     #[test]

@@ -28,14 +28,25 @@ impl ProcGrid {
     pub fn new(mut world: Comm) -> Self {
         let p = world.size();
         let side = integer_sqrt(p);
-        assert_eq!(side * side, p, "SUMMA grid needs a perfect-square rank count, got {p}");
+        assert_eq!(
+            side * side,
+            p,
+            "SUMMA grid needs a perfect-square rank count, got {p}"
+        );
         let rank = world.rank();
         let (row, col) = (rank / side, rank % side);
         let row_comm = world.split(row as u64, col as u64);
         let col_comm = world.split((side + col) as u64, row as u64);
         debug_assert_eq!(row_comm.rank(), col);
         debug_assert_eq!(col_comm.rank(), row);
-        Self { world, row_comm, col_comm, side, row, col }
+        Self {
+            world,
+            row_comm,
+            col_comm,
+            side,
+            row,
+            col,
+        }
     }
 
     /// World rank of grid position `(row, col)`.

@@ -31,7 +31,7 @@ pub mod machine;
 pub mod packet;
 pub mod universe;
 
-pub use clock::{CommStats, StageTimers, VClock};
+pub use clock::{CommStats, Event, StageTimers, Timeline, VClock};
 pub use comm::Comm;
 pub use grid::ProcGrid;
 pub use machine::{GpuLib, MachineModel, SpgemmKernel};

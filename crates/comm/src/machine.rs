@@ -163,7 +163,12 @@ impl MachineModel {
 
     /// A CPU-only Summit node (for "original HipMCL" baselines).
     pub fn summit_cpu_only() -> Self {
-        Self { gpus: 0, gpu_node_rate: 0.0, name: "summit-cpu-only", ..Self::summit() }
+        Self {
+            gpus: 0,
+            gpu_node_rate: 0.0,
+            name: "summit-cpu-only",
+            ..Self::summit()
+        }
     }
 
     /// Thread-parallel efficiency for this rank's thread count.
@@ -203,7 +208,9 @@ impl MachineModel {
         let per_gpu = |node_rate: f64| node_rate / 6.0;
         let s = |x: f64| 1.0 - (-x).exp();
         match lib {
-            GpuLib::Nsparse => per_gpu(hash_node * 0.5 + (peak_node - hash_node * 0.5) * s(cf / 12.0)),
+            GpuLib::Nsparse => {
+                per_gpu(hash_node * 0.5 + (peak_node - hash_node * 0.5) * s(cf / 12.0))
+            }
             GpuLib::Bhsparse => {
                 per_gpu(hash_node * 0.4 + (2.6 * hash_node - hash_node * 0.4) * s(cf / 12.0))
             }
@@ -321,7 +328,10 @@ mod tests {
         let m = MachineModel::summit();
         assert!(m.p2p_time(0) > 0.0);
         assert!(m.p2p_time(1 << 20) > m.p2p_time(1 << 10));
-        assert!(m.link_time(1 << 20) < m.p2p_time(1 << 20), "NVLink faster than network");
+        assert!(
+            m.link_time(1 << 20) < m.p2p_time(1 << 20),
+            "NVLink faster than network"
+        );
     }
 
     #[test]

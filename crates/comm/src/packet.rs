@@ -27,7 +27,22 @@ macro_rules! impl_wire_primitive {
     };
 }
 
-impl_wire_primitive!((), bool, u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+impl_wire_primitive!(
+    (),
+    bool,
+    u8,
+    u16,
+    u32,
+    u64,
+    usize,
+    i8,
+    i16,
+    i32,
+    i64,
+    isize,
+    f32,
+    f64
+);
 
 impl<T: WireSize> WireSize for Vec<T> {
     fn wire_bytes(&self) -> usize {

@@ -11,7 +11,7 @@ use proptest::prelude::*;
 proptest! {
     // Thread-spawning tests are comparatively expensive; keep the case
     // counts modest.
-    #![proptest_config(ProptestConfig { cases: 16, ..ProptestConfig::default() })]
+    #![proptest_config(ProptestConfig::with_cases(16))]
 
     #[test]
     fn bcast_delivers_root_value(p in 1usize..10, root_sel in 0usize..10, payload in any::<u64>()) {

@@ -27,8 +27,7 @@ impl Universe {
         F: Fn(Comm) -> R + Sync,
     {
         assert!(p > 0, "need at least one rank");
-        let (senders, receivers): (Vec<_>, Vec<_>) =
-            (0..p).map(|_| unbounded::<Packet>()).unzip();
+        let (senders, receivers): (Vec<_>, Vec<_>) = (0..p).map(|_| unbounded::<Packet>()).unzip();
         let shared = Arc::new(Shared { senders, model });
 
         std::thread::scope(|scope| {

@@ -3,6 +3,7 @@
 use hipmcl_gpu::select::SelectionPolicy;
 use hipmcl_sparse::colops::PruneParams;
 use hipmcl_summa::estimate::EstimatorKind;
+use hipmcl_summa::executor::ExecutorKind;
 use hipmcl_summa::merge::MergeStrategy;
 use hipmcl_summa::spgemm::{PhasePlan, SummaConfig};
 
@@ -44,7 +45,11 @@ impl MclConfig {
     pub fn original_hipmcl(per_rank_budget: u64) -> Self {
         Self {
             inflation: 2.0,
-            prune: PruneParams { recover_num: 0, recover_pct: 0.0, ..PruneParams::default() },
+            prune: PruneParams {
+                recover_num: 0,
+                recover_pct: 0.0,
+                ..PruneParams::default()
+            },
             add_self_loops: true,
             symmetrize: true,
             chaos_epsilon: 1e-3,
@@ -70,6 +75,16 @@ impl MclConfig {
         }
     }
 
+    /// Optimized HipMCL on nodes without accelerators: CPU kernels run as
+    /// asynchronous launches on the per-rank worker pool, keeping the
+    /// §III broadcast/merge overlap.
+    pub fn cpu_pipelined(per_rank_budget: u64) -> Self {
+        Self {
+            summa: SummaConfig::cpu_pipelined(per_rank_budget),
+            ..Self::original_hipmcl(per_rank_budget)
+        }
+    }
+
     /// Small-graph testing preset: keep at most `select` entries per
     /// column, single fixed phase, deterministic seed.
     pub fn testing(select: usize) -> Self {
@@ -85,6 +100,7 @@ impl MclConfig {
                 policy: SelectionPolicy::cpu_only(),
                 merge: MergeStrategy::Multiway,
                 pipelined: false,
+                executor: ExecutorKind::Gpus,
                 seed: 42,
             },
             ..Self::original_hipmcl(u64::MAX)
@@ -93,7 +109,17 @@ impl MclConfig {
 
     /// Overrides the estimator while keeping everything else.
     pub fn with_estimator(mut self, estimator: EstimatorKind, per_rank_budget: u64) -> Self {
-        self.summa.phases = PhasePlan::Auto { estimator, per_rank_budget };
+        self.summa.phases = PhasePlan::Auto {
+            estimator,
+            per_rank_budget,
+        };
+        self
+    }
+
+    /// Overrides where local multiplications execute (devices, CPU worker
+    /// pool, or a hybrid column split) while keeping everything else.
+    pub fn with_executor(mut self, executor: ExecutorKind) -> Self {
+        self.summa.executor = executor;
         self
     }
 }
@@ -127,11 +153,28 @@ mod tests {
     }
 
     #[test]
+    fn cpu_pipelined_preset_uses_worker_pool() {
+        let c = MclConfig::cpu_pipelined(1 << 30);
+        assert_eq!(c.summa.executor, ExecutorKind::CpuPool);
+        assert!(c.summa.pipelined, "the pool exists to overlap");
+        assert_eq!(c.summa.merge, MergeStrategy::Binary);
+    }
+
+    #[test]
+    fn with_executor_overrides_only_the_executor() {
+        let c = MclConfig::testing(8).with_executor(ExecutorKind::hybrid());
+        assert!(matches!(c.summa.executor, ExecutorKind::Hybrid { .. }));
+        assert!(matches!(c.summa.phases, PhasePlan::Fixed(1)));
+    }
+
+    #[test]
     fn with_estimator_overrides_phases() {
-        let c = MclConfig::testing(8)
-            .with_estimator(EstimatorKind::Probabilistic { r: 7 }, 1000);
+        let c = MclConfig::testing(8).with_estimator(EstimatorKind::Probabilistic { r: 7 }, 1000);
         match c.summa.phases {
-            PhasePlan::Auto { estimator, per_rank_budget } => {
+            PhasePlan::Auto {
+                estimator,
+                per_rank_budget,
+            } => {
                 assert_eq!(estimator, EstimatorKind::Probabilistic { r: 7 });
                 assert_eq!(per_rank_budget, 1000);
             }

@@ -31,8 +31,15 @@ use hipmcl_summa::DistMatrix;
 /// `expansion` is the wall time of the whole SUMMA pipeline section
 /// (broadcasts + kernels + merging + synchronization waits, excluding the
 /// fused pruning) — the quantity Table II calls "overall".
-pub const STAGES: [&str; 7] =
-    ["local_spgemm", "mem_estimation", "summa_bcast", "merge", "pruning", "other", "expansion"];
+pub const STAGES: [&str; 7] = [
+    "local_spgemm",
+    "mem_estimation",
+    "summa_bcast",
+    "merge",
+    "pruning",
+    "other",
+    "expansion",
+];
 
 /// Result of a distributed MCL run, identical on every rank.
 #[derive(Clone, Debug)]
@@ -53,9 +60,12 @@ pub struct DistMclReport {
     /// the straggler, so per-rank maxima over-count; means keep the
     /// stages additive, matching how stage breakdowns are reported.)
     pub stage_times: Vec<(String, f64)>,
-    /// Mean over ranks of host idle time waiting on devices (Table V).
+    /// Mean over ranks of host idle time waiting on launch events
+    /// (Table V).
     pub cpu_idle: f64,
-    /// Mean over ranks of device idle time (Table V).
+    /// Mean over ranks of device/worker idle time, read off the
+    /// executor's unified timelines (Table V's GPU column; the CPU
+    /// worker pool's idle when no devices are configured).
     pub gpu_idle: f64,
     /// Per-iteration peak single-merge element count, max over ranks
     /// (Table III's peak-memory proxy).
@@ -112,8 +122,7 @@ pub fn cluster_distributed_from(
                 let t0 = col_comm.now();
                 let (pruned, _stats) = prune_local_slab(col_comm, &slab, &prune_params);
                 // Charge the columnwise scan + selection work.
-                col_comm
-                    .advance_clock(col_comm.model().elementwise_time(slab.nnz() as u64));
+                col_comm.advance_clock(col_comm.model().elementwise_time(slab.nnz() as u64));
                 prune_time += col_comm.now() - t0;
                 pruned
             })
@@ -144,7 +153,11 @@ pub fn cluster_distributed_from(
             flops,
             nnz_expanded,
             nnz_pruned,
-            cf: if nnz_expanded == 0 { 1.0 } else { flops as f64 / nnz_expanded as f64 },
+            cf: if nnz_expanded == 0 {
+                1.0
+            } else {
+                flops as f64 / nnz_expanded as f64
+            },
             chaos,
         });
         if chaos < cfg.chaos_epsilon {
@@ -206,8 +219,7 @@ pub fn dist_inflate_and_chaos(grid: &ProcGrid, m: &mut Csc<f64>, power: f64) -> 
     // Column sums reduced down the process column.
     let local_sums: Vec<f64> = (0..m.ncols()).map(|j| m.col_vals(j).iter().sum()).collect();
     let sums = allreduce_sum_vec(col_comm, local_sums);
-    for j in 0..m.ncols() {
-        let s = sums[j];
+    for (j, &s) in sums.iter().enumerate() {
         if s > 0.0 {
             let inv = 1.0 / s;
             for v in m.col_vals_mut(j) {
@@ -247,9 +259,9 @@ pub fn dist_normalize(grid: &ProcGrid, m: &mut Csc<f64>) {
     let col_comm = &grid.col_comm;
     let local_sums: Vec<f64> = (0..m.ncols()).map(|j| m.col_vals(j).iter().sum()).collect();
     let sums = allreduce_sum_vec(col_comm, local_sums);
-    for j in 0..m.ncols() {
-        if sums[j] > 0.0 {
-            let inv = 1.0 / sums[j];
+    for (j, &s) in sums.iter().enumerate() {
+        if s > 0.0 {
+            let inv = 1.0 / s;
             for v in m.col_vals_mut(j) {
                 *v *= inv;
             }
@@ -284,7 +296,11 @@ mod tests {
             let base = c * sz;
             for i in 0..sz {
                 for j in (i + 1)..sz {
-                    t.push((base + i) as Idx, (base + j) as Idx, rng.gen_range(0.8..1.0));
+                    t.push(
+                        (base + i) as Idx,
+                        (base + j) as Idx,
+                        rng.gen_range(0.8..1.0),
+                    );
                 }
             }
         }
@@ -335,7 +351,6 @@ mod tests {
 
     #[test]
     fn optimized_config_matches_original_clusters() {
-        let g = planted(3, 7, 12, 13);
         let run = |use_opt: bool| {
             let results = Universe::run(4, MachineModel::summit(), move |comm| {
                 let grid = ProcGrid::new(comm);
@@ -361,6 +376,32 @@ mod tests {
         assert_eq!(orig.num_clusters, opt.num_clusters);
         assert!(same_partition(&orig.labels, &opt.labels));
         assert_eq!(orig.num_clusters, 3);
+    }
+
+    #[test]
+    fn every_executor_choice_matches_serial_clusters() {
+        use hipmcl_summa::executor::ExecutorKind;
+        let g = planted(3, 6, 10, 29);
+        let cfg = MclConfig::testing(12);
+        let serial = crate::serial::cluster_serial(&g, &cfg);
+        for exec in [
+            ExecutorKind::Gpus,
+            ExecutorKind::CpuPool,
+            ExecutorKind::hybrid(),
+        ] {
+            let results = Universe::run(4, MachineModel::summit(), move |comm| {
+                let grid = ProcGrid::new(comm);
+                let mut gpus = MultiGpu::summit_node(grid.world.model());
+                let g = planted(3, 6, 10, 29);
+                let cfg = MclConfig::testing(12).with_executor(exec);
+                cluster_distributed(&grid, &mut gpus, &g, &cfg)
+            });
+            for r in &results {
+                assert_eq!(r.num_clusters, serial.num_clusters, "{exec:?}");
+                assert!(same_partition(&r.labels, &serial.labels), "{exec:?}");
+                assert!(r.cpu_idle >= 0.0 && r.gpu_idle >= 0.0, "{exec:?}");
+            }
+        }
     }
 
     #[test]
@@ -420,8 +461,9 @@ mod tests {
             let g = planted(2, 5, 8, 23);
             let mut dm = DistMatrix::from_global(&grid, &g.to_triples());
             dist_normalize(&grid, &mut dm.local);
-            let local_sums: Vec<f64> =
-                (0..dm.local.ncols()).map(|j| dm.local.col_vals(j).iter().sum()).collect();
+            let local_sums: Vec<f64> = (0..dm.local.ncols())
+                .map(|j| dm.local.col_vals(j).iter().sum())
+                .collect();
             let sums = allreduce_sum_vec(&grid.col_comm, local_sums);
             sums.iter().all(|&s| s == 0.0 || (s - 1.0).abs() < 1e-9)
         });
@@ -432,10 +474,7 @@ mod tests {
     fn chaos_zero_on_converged_matrix() {
         let results = Universe::run(4, MachineModel::summit(), |comm| {
             let grid = ProcGrid::new(comm);
-            let idm = DistMatrix::from_global(
-                &grid,
-                &Csc::<f64>::identity(8).to_triples(),
-            );
+            let idm = DistMatrix::from_global(&grid, &Csc::<f64>::identity(8).to_triples());
             let mut local = idm.local.clone();
             dist_inflate_and_chaos(&grid, &mut local, 2.0)
         });

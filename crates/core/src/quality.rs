@@ -26,7 +26,11 @@ pub struct PairCounts {
 /// Counts pair agreements between two label vectors (`O(n²)` — these
 /// metrics are for validation-sized graphs).
 pub fn pair_counts(predicted: &[u32], reference: &[u32]) -> PairCounts {
-    assert_eq!(predicted.len(), reference.len(), "partitions must cover the same vertices");
+    assert_eq!(
+        predicted.len(),
+        reference.len(),
+        "partitions must cover the same vertices"
+    );
     let mut c = PairCounts::default();
     let n = predicted.len();
     for i in 0..n {
@@ -79,8 +83,10 @@ impl PairCounts {
 
     /// Rand index: fraction of pairs on which the partitions agree.
     pub fn rand_index(&self) -> f64 {
-        let total =
-            self.together_both + self.together_pred_only + self.together_ref_only + self.separate_both;
+        let total = self.together_both
+            + self.together_pred_only
+            + self.together_ref_only
+            + self.separate_both;
         if total == 0 {
             1.0
         } else {
@@ -183,7 +189,7 @@ mod tests {
     fn modularity_prefers_the_natural_partition() {
         let (g, good) = two_cliques();
         let q_good = modularity(&g, &good);
-        let q_merged = modularity(&g, &vec![0; 8]);
+        let q_merged = modularity(&g, &[0; 8]);
         let q_split = modularity(&g, &(0..8u32).collect::<Vec<_>>());
         assert!(q_good > q_merged, "{q_good} vs merged {q_merged}");
         assert!(q_good > q_split, "{q_good} vs split {q_split}");

@@ -49,7 +49,11 @@ pub struct MclResult {
 /// then iterated until the chaos statistic drops below
 /// `cfg.chaos_epsilon`.
 pub fn cluster_serial(adjacency: &Csc<f64>, cfg: &MclConfig) -> MclResult {
-    assert_eq!(adjacency.nrows(), adjacency.ncols(), "MCL needs a square matrix");
+    assert_eq!(
+        adjacency.nrows(),
+        adjacency.ncols(),
+        "MCL needs a square matrix"
+    );
     let mut a = prepare_matrix(adjacency, cfg);
 
     let mut trace = Vec::new();
@@ -81,7 +85,14 @@ pub fn cluster_serial(adjacency: &Csc<f64>, cfg: &MclConfig) -> MclResult {
 
     let (labels, k) = connected_components(&a);
     let clusters = clusters_from_labels(&labels, k);
-    MclResult { labels, num_clusters: k, clusters, iterations, converged, trace }
+    MclResult {
+        labels,
+        num_clusters: k,
+        clusters,
+        iterations,
+        converged,
+        trace,
+    }
 }
 
 /// Symmetrize / self-loop / column-normalize the input per `cfg`.
@@ -114,7 +125,11 @@ mod tests {
             let base = c * sz;
             for i in 0..sz {
                 for j in (i + 1)..sz {
-                    t.push((base + i) as Idx, (base + j) as Idx, rng.gen_range(0.8..1.0));
+                    t.push(
+                        (base + i) as Idx,
+                        (base + j) as Idx,
+                        rng.gen_range(0.8..1.0),
+                    );
                 }
             }
         }

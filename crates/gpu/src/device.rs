@@ -17,14 +17,9 @@
 //! * GPU idle time (Table V) accumulates whenever the kernel queue starts
 //!   a kernel later than it became free.
 
-use hipmcl_comm::{GpuLib, MachineModel, SpgemmKernel};
+use hipmcl_comm::{GpuLib, MachineModel, SpgemmKernel, Timeline};
 
-/// Completion event of an asynchronous device operation.
-#[derive(Clone, Copy, Debug, PartialEq)]
-pub struct Event {
-    /// Virtual time at which the operation completes.
-    pub at: f64,
-}
+pub use hipmcl_comm::Event;
 
 /// Errors surfaced by the device.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -42,7 +37,10 @@ impl std::fmt::Display for DeviceError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             DeviceError::OutOfMemory { requested, free } => {
-                write!(f, "device out of memory: requested {requested} B, free {free} B")
+                write!(
+                    f,
+                    "device out of memory: requested {requested} B, free {free} B"
+                )
             }
         }
     }
@@ -57,15 +55,11 @@ pub struct Device {
     mem_capacity: usize,
     mem_used: usize,
     peak_mem: usize,
-    /// Kernel queue tail: the device is busy computing until this time.
-    busy_until: f64,
-    /// Copy engine tail.
-    copy_busy_until: f64,
-    /// Accumulated gaps in the kernel queue.
-    idle: f64,
-    /// End of the last kernel (to measure the next gap).
-    last_kernel_end: f64,
-    kernels_launched: usize,
+    /// Kernel queue: one kernel at a time, gaps between kernels are the
+    /// Table V "GPU idle" quantity.
+    kernel_queue: Timeline,
+    /// Copy engine, concurrent with the kernel queue.
+    copy_engine: Timeline,
 }
 
 /// Default V100 memory capacity (16 GB, Summit's variant).
@@ -79,11 +73,8 @@ impl Device {
             mem_capacity,
             mem_used: 0,
             peak_mem: 0,
-            busy_until: 0.0,
-            copy_busy_until: 0.0,
-            idle: 0.0,
-            last_kernel_end: 0.0,
-            kernels_launched: 0,
+            kernel_queue: Timeline::new(),
+            copy_engine: Timeline::new(),
         }
     }
 
@@ -96,7 +87,10 @@ impl Device {
     pub fn alloc(&mut self, bytes: usize) -> Result<(), DeviceError> {
         let free = self.mem_capacity - self.mem_used;
         if bytes > free {
-            return Err(DeviceError::OutOfMemory { requested: bytes, free });
+            return Err(DeviceError::OutOfMemory {
+                requested: bytes,
+                free,
+            });
         }
         self.mem_used += bytes;
         self.peak_mem = self.peak_mem.max(self.mem_used);
@@ -125,68 +119,53 @@ impl Device {
     /// regains control (synchronous transfer, as in the paper's pipeline).
     pub fn h2d(&mut self, host_now: f64, bytes: usize) -> Result<f64, DeviceError> {
         self.alloc(bytes)?;
-        let start = host_now.max(self.copy_busy_until);
-        let done = start + self.model.link_time(bytes);
-        self.copy_busy_until = done;
-        Ok(done)
+        Ok(self
+            .copy_engine
+            .submit(host_now, self.model.link_time(bytes))
+            .at)
     }
 
     /// Launches an SpGEMM kernel that may start at `ready` (typically the
     /// input transfer's completion). Does not block the host. The returned
     /// event carries the kernel's completion time.
     pub fn launch_spgemm(&mut self, ready: f64, lib: GpuLib, flops: u64, cf: f64) -> Event {
-        let start = ready.max(self.busy_until);
-        if self.kernels_launched > 0 {
-            self.idle += (start - self.last_kernel_end).max(0.0);
-        }
         // Duration for a single device: the model's Gpu kernel time is for
         // a full rank (all `gpus` devices); scale back to one device.
         let rate = self.model.gpu_spgemm_rate(lib, cf);
         let dur = self.model.link_alpha + flops as f64 / rate;
-        let end = start + dur;
-        self.busy_until = end;
-        self.last_kernel_end = end;
-        self.kernels_launched += 1;
-        Event { at: end }
+        self.kernel_queue.submit(ready, dur)
     }
 
     /// Generic kernel occupying the queue for `dur` seconds from `ready`.
     pub fn launch_generic(&mut self, ready: f64, dur: f64) -> Event {
-        let start = ready.max(self.busy_until);
-        if self.kernels_launched > 0 {
-            self.idle += (start - self.last_kernel_end).max(0.0);
-        }
-        let end = start + dur;
-        self.busy_until = end;
-        self.last_kernel_end = end;
-        self.kernels_launched += 1;
-        Event { at: end }
+        self.kernel_queue.submit(ready, dur)
     }
 
     /// Device→host transfer of `bytes`, gated on `after` (the producing
     /// kernel's event) and the host (`host_now`). Returns completion time;
     /// the caller frees the buffers explicitly.
     pub fn d2h(&mut self, host_now: f64, after: Event, bytes: usize) -> f64 {
-        let start = host_now.max(after.at).max(self.copy_busy_until);
-        let done = start + self.model.link_time(bytes);
-        self.copy_busy_until = done;
-        done
+        self.copy_engine
+            .submit(host_now.max(after.at), self.model.link_time(bytes))
+            .at
     }
 
     /// Accumulated kernel-queue idle time (gaps between kernels) — the
     /// "GPU idle time" column of Table V.
     pub fn idle_time(&self) -> f64 {
-        self.idle
+        self.kernel_queue.idle_time()
     }
 
     /// Number of kernels launched.
     pub fn kernels_launched(&self) -> usize {
-        self.kernels_launched
+        self.kernel_queue.jobs()
     }
 
     /// Time at which the device finishes everything currently queued.
     pub fn quiescent_at(&self) -> f64 {
-        self.busy_until.max(self.copy_busy_until)
+        self.kernel_queue
+            .busy_until()
+            .max(self.copy_engine.busy_until())
     }
 
     /// The machine model this device was built with.
@@ -196,11 +175,8 @@ impl Device {
 
     /// Resets timeline and idle accounting, keeping memory state.
     pub fn reset_timeline(&mut self) {
-        self.busy_until = 0.0;
-        self.copy_busy_until = 0.0;
-        self.idle = 0.0;
-        self.last_kernel_end = 0.0;
-        self.kernels_launched = 0;
+        self.kernel_queue.reset();
+        self.copy_engine.reset();
     }
 }
 
@@ -258,7 +234,10 @@ mod tests {
         // Second kernel ready immediately but must wait for the first.
         let e2 = d.launch_spgemm(0.0, GpuLib::Nsparse, 1_000_000, 50.0);
         assert!(e2.at > e1.at);
-        assert!((e2.at - 2.0 * e1.at).abs() < 1e-9, "equal kernels, back to back");
+        assert!(
+            (e2.at - 2.0 * e1.at).abs() < 1e-9,
+            "equal kernels, back to back"
+        );
         assert_eq!(d.idle_time(), 0.0, "no gap between kernels");
     }
 

@@ -92,8 +92,7 @@ mod tests {
         let mut buf = Vec::new();
         for i in 0..8 {
             expand_row(&a, &a, i, &mut buf);
-            let flops: usize =
-                a.row_cols(i).iter().map(|&k| a.row_nnz(k as usize)).sum();
+            let flops: usize = a.row_cols(i).iter().map(|&k| a.row_nnz(k as usize)).sum();
             assert_eq!(buf.len(), flops, "row {i}");
         }
     }

@@ -28,7 +28,12 @@ struct RowTable {
 impl RowTable {
     fn with_capacity(n: usize) -> Self {
         let size = (2 * n.max(1)).next_power_of_two();
-        Self { keys: vec![EMPTY; size], vals: vec![0.0; size], touched: Vec::new(), mask: size - 1 }
+        Self {
+            keys: vec![EMPTY; size],
+            vals: vec![0.0; size],
+            touched: Vec::new(),
+            mask: size - 1,
+        }
     }
 
     #[inline]
@@ -61,7 +66,10 @@ impl RowTable {
             self.keys[s as usize] = EMPTY;
         }
         self.touched.clear();
-        (pairs.iter().map(|&(c, _)| c).collect(), pairs.iter().map(|&(_, v)| v).collect())
+        (
+            pairs.iter().map(|&(c, _)| c).collect(),
+            pairs.iter().map(|&(_, v)| v).collect(),
+        )
     }
 }
 
@@ -70,7 +78,11 @@ impl RowTable {
 pub(crate) fn bin_rows(flops: &[u64]) -> Vec<Vec<u32>> {
     let mut bins: Vec<Vec<u32>> = Vec::new();
     for (i, &f) in flops.iter().enumerate() {
-        let b = if f <= 1 { 0 } else { (64 - (f - 1).leading_zeros()) as usize };
+        let b = if f <= 1 {
+            0
+        } else {
+            (64 - (f - 1).leading_zeros()) as usize
+        };
         if bins.len() <= b {
             bins.resize_with(b + 1, Vec::new);
         }
@@ -159,8 +171,12 @@ mod tests {
         let a = random_csr(12, 12, 144, 8);
         let got = multiply(&a, &a);
         let want = reference_csr(&a, &a);
-        let diff: f64 =
-            got.vals.iter().zip(&want.vals).map(|(x, y)| (x - y).abs()).fold(0.0, f64::max);
+        let diff: f64 = got
+            .vals
+            .iter()
+            .zip(&want.vals)
+            .map(|(x, y)| (x - y).abs())
+            .fold(0.0, f64::max);
         assert!(diff < 1e-9);
     }
 }

@@ -42,7 +42,12 @@ pub(crate) fn row_flops(a: &Csr<f64>, b: &Csr<f64>) -> Vec<u64> {
     use rayon::prelude::*;
     (0..a.nrows())
         .into_par_iter()
-        .map(|i| a.row_cols(i).iter().map(|&k| b.row_nnz(k as usize) as u64).sum())
+        .map(|i| {
+            a.row_cols(i)
+                .iter()
+                .map(|&k| b.row_nnz(k as usize) as u64)
+                .sum()
+        })
         .collect()
 }
 
@@ -103,7 +108,12 @@ mod tests {
         let f = row_flops(&a, &a);
         assert_eq!(f.len(), 10);
         let manual: u64 = (0..10)
-            .map(|i| a.row_cols(i).iter().map(|&k| a.row_nnz(k as usize) as u64).sum::<u64>())
+            .map(|i| {
+                a.row_cols(i)
+                    .iter()
+                    .map(|&k| a.row_nnz(k as usize) as u64)
+                    .sum::<u64>()
+            })
             .sum();
         assert_eq!(f.iter().sum::<u64>(), manual);
     }
@@ -150,7 +160,11 @@ mod tests {
 
     #[test]
     fn build_csr_from_rows_assembles() {
-        let rows = vec![(vec![1, 3], vec![1.0, 2.0]), (vec![], vec![]), (vec![0], vec![5.0])];
+        let rows = vec![
+            (vec![1, 3], vec![1.0, 2.0]),
+            (vec![], vec![]),
+            (vec![0], vec![5.0]),
+        ];
         let m = build_csr_from_rows(3, 4, rows);
         m.assert_valid();
         assert_eq!(m.nnz(), 3);

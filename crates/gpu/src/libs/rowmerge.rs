@@ -88,7 +88,11 @@ pub fn merge_work(a: &Csr<f64>, b: &Csr<f64>) -> u64 {
         .into_par_iter()
         .map(|i| {
             let lists = a.row_cols(i).len().max(1);
-            let flops: u64 = a.row_cols(i).iter().map(|&k| b.row_nnz(k as usize) as u64).sum();
+            let flops: u64 = a
+                .row_cols(i)
+                .iter()
+                .map(|&k| b.row_nnz(k as usize) as u64)
+                .sum();
             flops * (lists as f64).log2().ceil().max(1.0) as u64
         })
         .sum()
@@ -134,8 +138,12 @@ mod tests {
         got.assert_valid();
         assert_eq!(got.rowptr, want.rowptr);
         assert_eq!(got.colidx, want.colidx);
-        let diff: f64 =
-            got.vals.iter().zip(&want.vals).map(|(x, y)| (x - y).abs()).fold(0.0, f64::max);
+        let diff: f64 = got
+            .vals
+            .iter()
+            .zip(&want.vals)
+            .map(|(x, y)| (x - y).abs())
+            .fold(0.0, f64::max);
         assert!(diff < 1e-9);
     }
 

@@ -42,7 +42,11 @@ pub struct LaunchResult {
 impl MultiGpu {
     /// Creates `n` devices with the given per-device memory capacity.
     pub fn new(model: MachineModel, n: usize, mem_per_device: usize) -> Self {
-        Self { devices: (0..n).map(|_| Device::new(model.clone(), mem_per_device)).collect() }
+        Self {
+            devices: (0..n)
+                .map(|_| Device::new(model.clone(), mem_per_device))
+                .collect(),
+        }
     }
 
     /// Creates the Summit configuration: `model.gpus` V100s.
@@ -108,7 +112,11 @@ impl MultiGpu {
 
             // Real kernel execution (host-side, verified), modeled duration.
             let c_slab = crate::libs::multiply_csc(a, &b_slab, lib);
-            let cf = if c_slab.nnz() == 0 { 1.0 } else { flops as f64 / c_slab.nnz() as f64 };
+            let cf = if c_slab.nnz() == 0 {
+                1.0
+            } else {
+                flops as f64 / c_slab.nnz() as f64
+            };
             let out_bytes = c_slab.bytes();
             dev.alloc(out_bytes)?;
             let ev = dev.launch_spgemm(t_in, lib, flops, cf);
@@ -125,7 +133,11 @@ impl MultiGpu {
         }
 
         let c = Csc::hcat(&slabs);
-        let cf = if total_out == 0 { 1.0 } else { total_flops as f64 / total_out as f64 };
+        let cf = if total_out == 0 {
+            1.0
+        } else {
+            total_flops as f64 / total_out as f64
+        };
         Ok(LaunchResult {
             c,
             inputs_transferred_at: inputs_done,
@@ -192,7 +204,9 @@ mod tests {
         let a = random_csc(200, 200, 8000, 25);
         let t = |g: usize| {
             let mut m = multi(g);
-            m.multiply(0.0, &a, &a, GpuLib::Nsparse).unwrap().output_ready_at
+            m.multiply(0.0, &a, &a, GpuLib::Nsparse)
+                .unwrap()
+                .output_ready_at
         };
         assert!(t(6) < t(1), "6 GPUs should beat 1");
     }

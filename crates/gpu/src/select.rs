@@ -37,13 +37,19 @@ impl SelectionPolicy {
     /// scaled-down experiments whose absolute flops are far below Summit
     /// saturation sizes.
     pub fn always_gpu() -> Self {
-        Self { gpu_flops_threshold: 0, ..Self::default() }
+        Self {
+            gpu_flops_threshold: 0,
+            ..Self::default()
+        }
     }
 
     /// A CPU-only policy (optimized HipMCL on nodes without accelerators):
     /// heap/hash chosen by `cf` (§VI).
     pub fn cpu_only() -> Self {
-        Self { gpu_flops_threshold: u64::MAX, ..Self::default() }
+        Self {
+            gpu_flops_threshold: u64::MAX,
+            ..Self::default()
+        }
     }
 
     /// Original HipMCL's policy: always the heap kernel on the CPU — hash
@@ -83,7 +89,10 @@ mod tests {
     use super::*;
 
     fn analysis(flops: u64, nnz: u64) -> MultAnalysis {
-        MultAnalysis { flops, nnz_out: nnz }
+        MultAnalysis {
+            flops,
+            nnz_out: nnz,
+        }
     }
 
     #[test]

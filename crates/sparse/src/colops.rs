@@ -32,14 +32,23 @@ pub struct PruneParams {
 
 impl Default for PruneParams {
     fn default() -> Self {
-        Self { cutoff: 1.0 / 10_000.0, select: 1100, recover_num: 1400, recover_pct: 0.9 }
+        Self {
+            cutoff: 1.0 / 10_000.0,
+            select: 1100,
+            recover_num: 1400,
+            recover_pct: 0.9,
+        }
     }
 }
 
 impl PruneParams {
     /// Parameters scaled for small test graphs (keeps ≤ `k` per column).
     pub fn with_select(k: usize) -> Self {
-        Self { select: k, recover_num: k + k / 4, ..Self::default() }
+        Self {
+            select: k,
+            recover_num: k + k / 4,
+            ..Self::default()
+        }
     }
 }
 
@@ -182,7 +191,11 @@ pub fn prune(m: &Csc<f64>, p: &PruneParams) -> (Csc<f64>, PruneStats) {
             let vals = m.col_vals(j);
             let mut stats = PruneStats::default();
             if rows.is_empty() {
-                return ColOut { rows: Vec::new(), vals: Vec::new(), stats };
+                return ColOut {
+                    rows: Vec::new(),
+                    vals: Vec::new(),
+                    stats,
+                };
             }
             let total_mass: f64 = vals.iter().sum();
 
@@ -223,7 +236,8 @@ pub fn prune(m: &Csc<f64>, p: &PruneParams) -> (Csc<f64>, PruneStats) {
             // Recovery: if too much mass was pruned and the column is small.
             let kept_mass: f64 = kept.iter().map(|&k| vals[k]).sum();
             if kept.len() < p.recover_num && kept_mass < p.recover_pct * total_mass {
-                let mut pruned: Vec<usize> = (0..rows.len()).filter(|k| !kept.contains(k)).collect();
+                let mut pruned: Vec<usize> =
+                    (0..rows.len()).filter(|k| !kept.contains(k)).collect();
                 pruned.sort_unstable_by(|&a, &b| vals[b].partial_cmp(&vals[a]).unwrap());
                 let mut mass = kept_mass;
                 for k in pruned {
@@ -259,7 +273,10 @@ pub fn prune(m: &Csc<f64>, p: &PruneParams) -> (Csc<f64>, PruneStats) {
         stats.pruned_by_select += c.stats.pruned_by_select;
         stats.recovered += c.stats.recovered;
     }
-    (Csc::from_parts(m.nrows(), m.ncols(), colptr, rowidx, vals), stats)
+    (
+        Csc::from_parts(m.nrows(), m.ncols(), colptr, rowidx, vals),
+        stats,
+    )
 }
 
 /// Makes the nonzero pattern symmetric: `m ∨ mᵀ` with values `max(a, aᵀ)`.
@@ -372,7 +389,12 @@ mod tests {
     #[test]
     fn prune_cutoff_drops_small_entries() {
         let m = stochastic_sample();
-        let p = PruneParams { cutoff: 0.2, select: 10, recover_num: 0, recover_pct: 0.0 };
+        let p = PruneParams {
+            cutoff: 0.2,
+            select: 10,
+            recover_num: 0,
+            recover_pct: 0.0,
+        };
         let (out, stats) = prune(&m, &p);
         out.assert_valid();
         assert_eq!(out.get(3, 0), None);
@@ -384,7 +406,12 @@ mod tests {
     #[test]
     fn prune_never_empties_a_column() {
         let m = stochastic_sample();
-        let p = PruneParams { cutoff: 5.0, select: 10, recover_num: 0, recover_pct: 0.0 };
+        let p = PruneParams {
+            cutoff: 5.0,
+            select: 10,
+            recover_num: 0,
+            recover_pct: 0.0,
+        };
         let (out, _) = prune(&m, &p);
         for j in 0..3 {
             assert_eq!(out.col_nnz(j), 1, "column {j} keeps its max");
@@ -395,7 +422,12 @@ mod tests {
     #[test]
     fn prune_selection_keeps_top_k() {
         let m = stochastic_sample();
-        let p = PruneParams { cutoff: 0.0, select: 2, recover_num: 0, recover_pct: 0.0 };
+        let p = PruneParams {
+            cutoff: 0.0,
+            select: 2,
+            recover_num: 0,
+            recover_pct: 0.0,
+        };
         let (out, stats) = prune(&m, &p);
         assert_eq!(out.col_nnz(0), 2);
         assert_eq!(out.get(0, 0), Some(0.5));
@@ -410,7 +442,12 @@ mod tests {
             t.push(i, 0, 0.25);
         }
         let m = Csc::from_triples(&t);
-        let p = PruneParams { cutoff: 0.0, select: 2, recover_num: 0, recover_pct: 0.0 };
+        let p = PruneParams {
+            cutoff: 0.0,
+            select: 2,
+            recover_num: 0,
+            recover_pct: 0.0,
+        };
         let (out, _) = prune(&m, &p);
         assert_eq!(out.col_nnz(0), 2, "exactly k survive a full tie");
     }
@@ -419,7 +456,12 @@ mod tests {
     fn prune_recovery_restores_mass() {
         let m = stochastic_sample();
         // Aggressive cutoff kills 0.15/0.05; recovery demands 90% mass back.
-        let p = PruneParams { cutoff: 0.2, select: 10, recover_num: 3, recover_pct: 0.9 };
+        let p = PruneParams {
+            cutoff: 0.2,
+            select: 10,
+            recover_num: 3,
+            recover_pct: 0.9,
+        };
         let (out, stats) = prune(&m, &p);
         assert!(stats.recovered >= 1);
         // Column 0 kept 0.8 mass after cutoff; recovery adds 0.15 back.

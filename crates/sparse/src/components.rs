@@ -19,7 +19,10 @@ pub struct UnionFind {
 impl UnionFind {
     /// Creates `n` singleton sets.
     pub fn new(n: usize) -> Self {
-        Self { parent: (0..n as u32).collect(), rank: vec![0; n] }
+        Self {
+            parent: (0..n as u32).collect(),
+            rank: vec![0; n],
+        }
     }
 
     /// Number of elements.

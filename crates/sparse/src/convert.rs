@@ -53,7 +53,11 @@ pub fn gather_2d<T: Scalar>(
             assert_eq!(blk.nrows(), rr.len(), "block ({bi},{bj}) row dim");
             assert_eq!(blk.ncols(), cr.len(), "block ({bi},{bj}) col dim");
             for (r, c, v) in blk.iter() {
-                global.push((rr.start + r as usize) as Idx, (cr.start + c as usize) as Idx, v);
+                global.push(
+                    (rr.start + r as usize) as Idx,
+                    (cr.start + c as usize) as Idx,
+                    v,
+                );
             }
         }
     }
@@ -102,12 +106,18 @@ mod tests {
         // Simple LCG to avoid pulling rand into every unit test.
         let mut state = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
         let mut next = || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             (state >> 33) as usize
         };
         let mut t = Triples::new(m, n);
         for _ in 0..nnz {
-            t.push((next() % m) as Idx, (next() % n) as Idx, (next() % 100) as f64 + 1.0);
+            t.push(
+                (next() % m) as Idx,
+                (next() % n) as Idx,
+                (next() % 100) as f64 + 1.0,
+            );
         }
         t.sum_duplicates();
         t
@@ -119,7 +129,10 @@ mod tests {
             for parts in [1usize, 2, 3, 5] {
                 for idx in 0..n {
                     let b = block_of(n, parts, idx);
-                    assert!(even_chunk(n, parts, b).contains(&idx), "n={n} parts={parts} idx={idx}");
+                    assert!(
+                        even_chunk(n, parts, b).contains(&idx),
+                        "n={n} parts={parts} idx={idx}"
+                    );
                 }
             }
         }

@@ -33,7 +33,13 @@ pub struct Csc<T> {
 impl<T: Scalar> Csc<T> {
     /// Creates an empty `nrows × ncols` matrix.
     pub fn zero(nrows: usize, ncols: usize) -> Self {
-        Self { nrows, ncols, colptr: vec![0; ncols + 1], rowidx: Vec::new(), vals: Vec::new() }
+        Self {
+            nrows,
+            ncols,
+            colptr: vec![0; ncols + 1],
+            rowidx: Vec::new(),
+            vals: Vec::new(),
+        }
     }
 
     /// Identity matrix of size `n`.
@@ -55,7 +61,13 @@ impl<T: Scalar> Csc<T> {
         rowidx: Vec<Idx>,
         vals: Vec<T>,
     ) -> Self {
-        let m = Self { nrows, ncols, colptr, rowidx, vals };
+        let m = Self {
+            nrows,
+            ncols,
+            colptr,
+            rowidx,
+            vals,
+        };
         m.assert_valid();
         m
     }
@@ -156,7 +168,9 @@ impl<T: Scalar> Csc<T> {
     /// Value at `(i, j)` if stored. Binary search within the column.
     pub fn get(&self, i: usize, j: usize) -> Option<T> {
         let rows = self.col_rows(j);
-        rows.binary_search(&(i as Idx)).ok().map(|k| self.col_vals(j)[k])
+        rows.binary_search(&(i as Idx))
+            .ok()
+            .map(|k| self.col_vals(j)[k])
     }
 
     /// Transpose via counting sort on row indices — `O(nnz + nrows)`.
@@ -181,7 +195,13 @@ impl<T: Scalar> Csc<T> {
                 vals[dst] = self.vals[k];
             }
         }
-        Self { nrows: self.ncols, ncols: self.nrows, colptr, rowidx, vals }
+        Self {
+            nrows: self.ncols,
+            ncols: self.nrows,
+            colptr,
+            rowidx,
+            vals,
+        }
     }
 
     /// Extracts columns `range` as a new matrix with columns relabelled from
@@ -190,7 +210,10 @@ impl<T: Scalar> Csc<T> {
     pub fn column_slice(&self, range: std::ops::Range<usize>) -> Self {
         let lo = self.colptr[range.start];
         let hi = self.colptr[range.end];
-        let colptr = self.colptr[range.start..=range.end].iter().map(|&p| p - lo).collect();
+        let colptr = self.colptr[range.start..=range.end]
+            .iter()
+            .map(|&p| p - lo)
+            .collect();
         Self {
             nrows: self.nrows,
             ncols: range.len(),
@@ -218,7 +241,13 @@ impl<T: Scalar> Csc<T> {
             rowidx.extend_from_slice(&b.rowidx);
             vals.extend_from_slice(&b.vals);
         }
-        Self { nrows, ncols, colptr, rowidx, vals }
+        Self {
+            nrows,
+            ncols,
+            colptr,
+            rowidx,
+            vals,
+        }
     }
 
     /// Removes stored entries equal to the additive identity.
@@ -255,9 +284,15 @@ impl<T: Scalar> Csc<T> {
         assert_eq!(*self.colptr.last().unwrap(), self.nnz(), "colptr end");
         assert_eq!(self.rowidx.len(), self.vals.len(), "index/value parity");
         for j in 0..self.ncols {
-            assert!(self.colptr[j] <= self.colptr[j + 1], "colptr monotone at {j}");
+            assert!(
+                self.colptr[j] <= self.colptr[j + 1],
+                "colptr monotone at {j}"
+            );
             let rows = self.col_rows(j);
-            assert!(is_strictly_increasing(rows), "rows sorted+unique in col {j}");
+            assert!(
+                is_strictly_increasing(rows),
+                "rows sorted+unique in col {j}"
+            );
             if let Some(&last) = rows.last() {
                 assert!((last as usize) < self.nrows, "row bound in col {j}");
             }

@@ -29,7 +29,13 @@ pub struct Csr<T> {
 impl<T: Scalar> Csr<T> {
     /// Creates an empty `nrows × ncols` matrix.
     pub fn zero(nrows: usize, ncols: usize) -> Self {
-        Self { nrows, ncols, rowptr: vec![0; nrows + 1], colidx: Vec::new(), vals: Vec::new() }
+        Self {
+            nrows,
+            ncols,
+            rowptr: vec![0; nrows + 1],
+            colidx: Vec::new(),
+            vals: Vec::new(),
+        }
     }
 
     /// Builds from raw parts, validating invariants.
@@ -40,7 +46,13 @@ impl<T: Scalar> Csr<T> {
         colidx: Vec<Idx>,
         vals: Vec<T>,
     ) -> Self {
-        let m = Self { nrows, ncols, rowptr, colidx, vals };
+        let m = Self {
+            nrows,
+            ncols,
+            rowptr,
+            colidx,
+            vals,
+        };
         m.assert_valid();
         m
     }
@@ -125,9 +137,15 @@ impl<T: Scalar> Csr<T> {
         assert_eq!(*self.rowptr.last().unwrap(), self.nnz(), "rowptr end");
         assert_eq!(self.colidx.len(), self.vals.len(), "index/value parity");
         for i in 0..self.nrows {
-            assert!(self.rowptr[i] <= self.rowptr[i + 1], "rowptr monotone at {i}");
+            assert!(
+                self.rowptr[i] <= self.rowptr[i + 1],
+                "rowptr monotone at {i}"
+            );
             let cols = self.row_cols(i);
-            assert!(is_strictly_increasing(cols), "cols sorted+unique in row {i}");
+            assert!(
+                is_strictly_increasing(cols),
+                "cols sorted+unique in row {i}"
+            );
             if let Some(&last) = cols.last() {
                 assert!((last as usize) < self.ncols, "col bound in row {i}");
             }

@@ -40,7 +40,14 @@ pub struct Dcsc<T> {
 impl<T: Scalar> Dcsc<T> {
     /// Empty matrix of the given dimensions.
     pub fn zero(nrows: usize, ncols: usize) -> Self {
-        Self { nrows, ncols, jc: Vec::new(), cp: vec![0], ir: Vec::new(), num: Vec::new() }
+        Self {
+            nrows,
+            ncols,
+            jc: Vec::new(),
+            cp: vec![0],
+            ir: Vec::new(),
+            num: Vec::new(),
+        }
     }
 
     /// Builds from raw parts, validating invariants.
@@ -52,7 +59,14 @@ impl<T: Scalar> Dcsc<T> {
         ir: Vec<Idx>,
         num: Vec<T>,
     ) -> Self {
-        let m = Self { nrows, ncols, jc, cp, ir, num };
+        let m = Self {
+            nrows,
+            ncols,
+            jc,
+            cp,
+            ir,
+            num,
+        };
         m.assert_valid();
         m
     }
@@ -88,7 +102,13 @@ impl<T: Scalar> Dcsc<T> {
         for j in 0..self.ncols {
             colptr[j + 1] += colptr[j];
         }
-        Csc::from_parts(self.nrows, self.ncols, colptr, self.ir.clone(), self.num.clone())
+        Csc::from_parts(
+            self.nrows,
+            self.ncols,
+            colptr,
+            self.ir.clone(),
+            self.num.clone(),
+        )
     }
 
     /// Number of rows.
@@ -148,9 +168,15 @@ impl<T: Scalar> Dcsc<T> {
             assert!((last as usize) < self.ncols, "jc bound");
         }
         for k in 0..self.jc.len() {
-            assert!(self.cp[k] < self.cp[k + 1], "listed column {k} must be non-empty");
+            assert!(
+                self.cp[k] < self.cp[k + 1],
+                "listed column {k} must be non-empty"
+            );
             let rows = &self.ir[self.cp[k]..self.cp[k + 1]];
-            assert!(crate::util::is_strictly_increasing(rows), "rows sorted in col {k}");
+            assert!(
+                crate::util::is_strictly_increasing(rows),
+                "rows sorted in col {k}"
+            );
             assert!((*rows.last().unwrap() as usize) < self.nrows, "row bound");
         }
     }
@@ -187,7 +213,10 @@ mod tests {
     fn compression_saves_pointer_space() {
         let csc = hypersparse_sample();
         let d = Dcsc::from_csc(&csc);
-        assert!(d.bytes() < csc.bytes(), "DCSC must be smaller when hypersparse");
+        assert!(
+            d.bytes() < csc.bytes(),
+            "DCSC must be smaller when hypersparse"
+        );
     }
 
     #[test]

@@ -63,7 +63,10 @@ pub fn read_matrix_market<R: Read>(reader: R) -> Result<Triples<f64>, IoError> {
     };
     let dims: Vec<usize> = size_line
         .split_whitespace()
-        .map(|t| t.parse::<usize>().map_err(|e| IoError::Parse(format!("size line: {e}"))))
+        .map(|t| {
+            t.parse::<usize>()
+                .map_err(|e| IoError::Parse(format!("size line: {e}")))
+        })
         .collect::<Result<_, _>>()?;
     if dims.len() != 3 {
         return Err(IoError::Parse(format!("bad size line: {size_line}")));
@@ -81,7 +84,11 @@ pub fn read_matrix_market<R: Read>(reader: R) -> Result<Triples<f64>, IoError> {
         let mut toks = trimmed.split_whitespace();
         let i: usize = parse_tok(toks.next(), trimmed)?;
         let j: usize = parse_tok(toks.next(), trimmed)?;
-        let v: f64 = if pattern { 1.0 } else { parse_tok(toks.next(), trimmed)? };
+        let v: f64 = if pattern {
+            1.0
+        } else {
+            parse_tok(toks.next(), trimmed)?
+        };
         if i == 0 || j == 0 || i > m || j > n {
             return Err(IoError::Parse(format!("index out of range: {trimmed}")));
         }
@@ -92,7 +99,9 @@ pub fn read_matrix_market<R: Read>(reader: R) -> Result<Triples<f64>, IoError> {
         seen += 1;
     }
     if seen != nnz {
-        return Err(IoError::Parse(format!("expected {nnz} entries, found {seen}")));
+        return Err(IoError::Parse(format!(
+            "expected {nnz} entries, found {seen}"
+        )));
     }
     Ok(t)
 }
@@ -184,7 +193,8 @@ mod tests {
 
     #[test]
     fn matrix_market_symmetric_expands() {
-        let text = "%%MatrixMarket matrix coordinate real symmetric\n% comment\n3 3 2\n2 1 5.0\n3 3 1.0\n";
+        let text =
+            "%%MatrixMarket matrix coordinate real symmetric\n% comment\n3 3 2\n2 1 5.0\n3 3 1.0\n";
         let t = read_matrix_market(text.as_bytes()).unwrap();
         let m = Csc::from_triples(&t);
         assert_eq!(m.get(1, 0), Some(5.0));

@@ -13,31 +13,29 @@ use proptest::prelude::*;
 /// Strategy: a random matrix as (nrows, ncols, entries).
 fn arb_triples(max_dim: usize, max_nnz: usize) -> impl Strategy<Value = Triples<f64>> {
     (1..=max_dim, 1..=max_dim).prop_flat_map(move |(m, n)| {
-        proptest::collection::vec(
-            (0..m as Idx, 0..n as Idx, -100i32..100i32),
-            0..=max_nnz,
-        )
-        .prop_map(move |entries| {
-            let mut t = Triples::new(m, n);
-            for (r, c, v) in entries {
-                t.push(r, c, v as f64 / 4.0);
-            }
-            t
-        })
+        proptest::collection::vec((0..m as Idx, 0..n as Idx, -100i32..100i32), 0..=max_nnz)
+            .prop_map(move |entries| {
+                let mut t = Triples::new(m, n);
+                for (r, c, v) in entries {
+                    t.push(r, c, v as f64 / 4.0);
+                }
+                t
+            })
     })
 }
 
 /// Strategy: a random square matrix with positive values (MCL-like input).
 fn arb_square_positive(max_dim: usize, max_nnz: usize) -> impl Strategy<Value = Triples<f64>> {
     (2..=max_dim).prop_flat_map(move |n| {
-        proptest::collection::vec((0..n as Idx, 0..n as Idx, 1u32..1000u32), 1..=max_nnz)
-            .prop_map(move |entries| {
+        proptest::collection::vec((0..n as Idx, 0..n as Idx, 1u32..1000u32), 1..=max_nnz).prop_map(
+            move |entries| {
                 let mut t = Triples::new(n, n);
                 for (r, c, v) in entries {
                     t.push(r, c, v as f64 / 100.0);
                 }
                 t
-            })
+            },
+        )
     })
 }
 

@@ -8,9 +8,7 @@
 ///
 /// The `(add, mul)` pair forms the semiring used by SpGEMM. For MCL this is
 /// the ordinary `(+, ×)` over `f64`.
-pub trait Scalar:
-    Copy + Send + Sync + PartialEq + PartialOrd + std::fmt::Debug + 'static
-{
+pub trait Scalar: Copy + Send + Sync + PartialEq + PartialOrd + std::fmt::Debug + 'static {
     /// Additive identity.
     const ZERO: Self;
     /// Multiplicative identity.

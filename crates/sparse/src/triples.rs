@@ -29,7 +29,13 @@ pub struct Triples<T> {
 impl<T: Scalar> Triples<T> {
     /// Creates an empty matrix of the given dimensions.
     pub fn new(nrows: usize, ncols: usize) -> Self {
-        Self { nrows, ncols, rows: Vec::new(), cols: Vec::new(), vals: Vec::new() }
+        Self {
+            nrows,
+            ncols,
+            rows: Vec::new(),
+            cols: Vec::new(),
+            vals: Vec::new(),
+        }
     }
 
     /// Creates an empty matrix with capacity reserved for `cap` nonzeros.
@@ -56,7 +62,13 @@ impl<T: Scalar> Triples<T> {
         assert_eq!(rows.len(), vals.len());
         debug_assert!(rows.iter().all(|&r| (r as usize) < nrows));
         debug_assert!(cols.iter().all(|&c| (c as usize) < ncols));
-        Self { nrows, ncols, rows, cols, vals }
+        Self {
+            nrows,
+            ncols,
+            rows,
+            cols,
+            vals,
+        }
     }
 
     /// Number of rows.

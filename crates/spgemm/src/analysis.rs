@@ -18,7 +18,12 @@ pub fn flops<T: Scalar, U: Scalar>(a: &Csc<T>, b: &Csc<U>) -> u64 {
     let col_nnz_a: Vec<u64> = (0..a.ncols()).map(|k| a.col_nnz(k) as u64).collect();
     (0..b.ncols())
         .into_par_iter()
-        .map(|j| b.col_rows(j).iter().map(|&k| col_nnz_a[k as usize]).sum::<u64>())
+        .map(|j| {
+            b.col_rows(j)
+                .iter()
+                .map(|&k| col_nnz_a[k as usize])
+                .sum::<u64>()
+        })
         .sum()
 }
 
@@ -28,7 +33,12 @@ pub fn flops_per_column<T: Scalar, U: Scalar>(a: &Csc<T>, b: &Csc<U>) -> Vec<u64
     let col_nnz_a: Vec<u64> = (0..a.ncols()).map(|k| a.col_nnz(k) as u64).collect();
     (0..b.ncols())
         .into_par_iter()
-        .map(|j| b.col_rows(j).iter().map(|&k| col_nnz_a[k as usize]).sum::<u64>())
+        .map(|j| {
+            b.col_rows(j)
+                .iter()
+                .map(|&k| col_nnz_a[k as usize])
+                .sum::<u64>()
+        })
         .collect()
 }
 
@@ -94,8 +104,22 @@ mod tests {
 
     #[test]
     fn cf_convention() {
-        assert_eq!(MultAnalysis { flops: 12, nnz_out: 4 }.cf(), 3.0);
-        assert_eq!(MultAnalysis { flops: 0, nnz_out: 0 }.cf(), 1.0);
+        assert_eq!(
+            MultAnalysis {
+                flops: 12,
+                nnz_out: 4
+            }
+            .cf(),
+            3.0
+        );
+        assert_eq!(
+            MultAnalysis {
+                flops: 0,
+                nnz_out: 0
+            }
+            .cf(),
+            1.0
+        );
     }
 
     #[test]

@@ -14,12 +14,7 @@ use rayon::prelude::*;
 /// `counts[j]` must be the exact number of entries `fill` writes for column
 /// `j`. `fill(j, rows, vals)` receives the column's output slices (length
 /// `counts[j]`) and must write all of them, with strictly increasing rows.
-pub fn build_csc_parallel<T, F>(
-    nrows: usize,
-    ncols: usize,
-    counts: &[usize],
-    fill: F,
-) -> Csc<T>
+pub fn build_csc_parallel<T, F>(nrows: usize, ncols: usize, counts: &[usize], fill: F) -> Csc<T>
 where
     T: Scalar,
     F: Fn(usize, &mut [Idx], &mut [T]) + Sync,

@@ -47,8 +47,9 @@ impl CohenEstimator {
         (0..nrows)
             .into_par_iter()
             .flat_map_iter(|i| {
-                let mut rng =
-                    rand::rngs::SmallRng::seed_from_u64(self.seed ^ (i as u64).wrapping_mul(0x9E3779B97F4A7C15));
+                let mut rng = rand::rngs::SmallRng::seed_from_u64(
+                    self.seed ^ (i as u64).wrapping_mul(0x9E3779B97F4A7C15),
+                );
                 (0..r).map(move |_| {
                     let e: f64 = Exp1.sample(&mut rng);
                     e as f32
@@ -198,7 +199,10 @@ mod tests {
         let e = CohenEstimator::new(10, 7);
         let est = e.estimate_total(&a, &a);
         let err = relative_error(est, exact);
-        assert!(err < 0.15, "relative error {err} too large (est {est}, exact {exact})");
+        assert!(
+            err < 0.15,
+            "relative error {err} too large (est {est}, exact {exact})"
+        );
     }
 
     #[test]

@@ -29,7 +29,12 @@ pub(crate) struct HashScratch<T> {
 
 impl<T: Scalar> HashScratch<T> {
     pub(crate) fn new() -> Self {
-        Self { keys: Vec::new(), vals: Vec::new(), touched: Vec::new(), mask: 0 }
+        Self {
+            keys: Vec::new(),
+            vals: Vec::new(),
+            touched: Vec::new(),
+            mask: 0,
+        }
     }
 
     /// Ensures capacity for `n` distinct keys at ≤ 50 % load.

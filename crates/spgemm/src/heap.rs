@@ -79,7 +79,10 @@ fn merge_column<T: Scalar>(
     for (l, &k) in bk.iter().enumerate() {
         let rows = a.col_rows(k as usize);
         if !rows.is_empty() {
-            heap.push(Cursor { row: rows[0], list: l as u32 });
+            heap.push(Cursor {
+                row: rows[0],
+                list: l as u32,
+            });
         }
     }
 
@@ -108,7 +111,10 @@ fn merge_column<T: Scalar>(
         positions[l] += 1;
         let rows = a.col_rows(k);
         if positions[l] < rows.len() {
-            heap.push(Cursor { row: rows[positions[l]], list });
+            heap.push(Cursor {
+                row: rows[positions[l]],
+                list,
+            });
         }
     }
     if let Some(r) = cur_row {

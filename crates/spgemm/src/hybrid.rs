@@ -42,6 +42,20 @@ impl CpuAlgo {
             CpuAlgo::Spa => crate::spa::multiply(a, b),
         }
     }
+
+    /// Runs the kernel and reports the realized compression factor
+    /// `flops / nnz(C)` (1 when the product is empty) — the quantity the
+    /// cost models price the launch with. Async executors wrap this to
+    /// turn a CPU kernel into a timed launch without re-deriving `cf`.
+    pub fn multiply_measured<T: Scalar>(self, a: &Csc<T>, b: &Csc<T>, flops: u64) -> (Csc<T>, f64) {
+        let c = self.multiply(a, b);
+        let cf = if c.nnz() == 0 {
+            1.0
+        } else {
+            flops as f64 / c.nnz() as f64
+        };
+        (c, cf)
+    }
 }
 
 /// `cf` threshold below which heaps beat hash tables on CPU.
@@ -79,13 +93,19 @@ mod tests {
 
     #[test]
     fn low_cf_prefers_heap() {
-        let a = MultAnalysis { flops: 100, nnz_out: 90 };
+        let a = MultAnalysis {
+            flops: 100,
+            nnz_out: 90,
+        };
         assert_eq!(select_cpu(&a), CpuAlgo::Heap);
     }
 
     #[test]
     fn high_cf_prefers_hash() {
-        let a = MultAnalysis { flops: 10_000, nnz_out: 100 };
+        let a = MultAnalysis {
+            flops: 10_000,
+            nnz_out: 100,
+        };
         assert_eq!(select_cpu(&a), CpuAlgo::Hash);
     }
 
@@ -105,6 +125,20 @@ mod tests {
         let (c, analysis, _) = multiply_auto(&a, &a);
         assert_eq!(analysis.nnz_out, c.nnz() as u64);
         assert!(analysis.flops >= analysis.nnz_out);
+    }
+
+    #[test]
+    fn multiply_measured_reports_realized_cf() {
+        let a = random_csc(18, 18, 120, 5);
+        let flops = crate::analysis::flops(&a, &a);
+        let (c, cf) = CpuAlgo::Hash.multiply_measured(&a, &a, flops);
+        assert!(c.max_abs_diff(&CpuAlgo::Heap.multiply(&a, &a)) < 1e-9);
+        assert!((cf - flops as f64 / c.nnz() as f64).abs() < 1e-12);
+        // Empty product: cf defaults to 1.
+        let z = Csc::<f64>::zero(4, 4);
+        let (c0, cf0) = CpuAlgo::Heap.multiply_measured(&z, &z, 0);
+        assert_eq!(c0.nnz(), 0);
+        assert_eq!(cf0, 1.0);
     }
 
     #[test]

@@ -129,7 +129,10 @@ mod tests {
     fn flops_agrees_with_csc_analysis() {
         let a = hypersparse(200, 150, 4);
         let b = hypersparse(200, 140, 5);
-        assert_eq!(flops_dcsc(&a, &b), crate::analysis::flops(&a.to_csc(), &b.to_csc()));
+        assert_eq!(
+            flops_dcsc(&a, &b),
+            crate::analysis::flops(&a.to_csc(), &b.to_csc())
+        );
     }
 
     #[test]
@@ -162,6 +165,9 @@ mod tests {
         let a = hypersparse(1000, 80, 6);
         let c = multiply_dcsc(&a, &a);
         c.assert_valid();
-        assert!(c.nzc() <= a.nzc(), "output columns bounded by B's non-empty columns");
+        assert!(
+            c.nzc() <= a.nzc(),
+            "output columns bounded by B's non-empty columns"
+        );
     }
 }

@@ -30,8 +30,8 @@ pub mod analysis;
 pub mod estimate;
 pub mod hash;
 pub mod heap;
-pub mod hypersparse;
 pub mod hybrid;
+pub mod hypersparse;
 pub mod spa;
 pub mod symbolic;
 

@@ -57,8 +57,8 @@ proptest! {
         let c = hash::multiply(&a, &b);
         let counts = symbolic::output_counts(&a, &b);
         prop_assert_eq!(counts.len(), c.ncols());
-        for j in 0..c.ncols() {
-            prop_assert_eq!(counts[j], c.col_nnz(j));
+        for (j, &cnt) in counts.iter().enumerate() {
+            prop_assert_eq!(cnt, c.col_nnz(j));
         }
     }
 

@@ -24,7 +24,12 @@ struct SpaScratch<T> {
 
 impl<T: Scalar> SpaScratch<T> {
     fn new(nrows: usize) -> Self {
-        Self { vals: vec![T::ZERO; nrows], stamp: vec![0; nrows], gen: 0, rows: Vec::new() }
+        Self {
+            vals: vec![T::ZERO; nrows],
+            stamp: vec![0; nrows],
+            gen: 0,
+            rows: Vec::new(),
+        }
     }
 
     #[inline]

@@ -43,8 +43,8 @@ mod tests {
         let c = crate::hash::multiply(&a, &a);
         assert_eq!(output_nnz(&a, &a), c.nnz() as u64);
         let counts = output_counts(&a, &a);
-        for j in 0..c.ncols() {
-            assert_eq!(counts[j], c.col_nnz(j));
+        for (j, &cnt) in counts.iter().enumerate() {
+            assert_eq!(cnt, c.col_nnz(j));
         }
     }
 

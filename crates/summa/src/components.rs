@@ -69,11 +69,7 @@ pub fn label_propagation_components(grid: &ProcGrid, m: &DistMatrix) -> (Vec<u32
             }
             a
         });
-        let changed = combined
-            .iter()
-            .zip(&labels)
-            .filter(|(a, b)| a != b)
-            .count() as f64;
+        let changed = combined.iter().zip(&labels).filter(|(a, b)| a != b).count() as f64;
         labels = combined;
         let changed_total = allreduce(&grid.world, changed, |a, b| a + b);
         if changed_total == 0.0 {

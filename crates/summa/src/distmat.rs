@@ -56,7 +56,11 @@ impl DistMatrix {
             }
         } else {
             let (block, m, n): (Triples<f64>, usize, usize) = comm.recv(0, TAG);
-            Self { local: Csc::from_triples(&block), nrows_global: m, ncols_global: n }
+            Self {
+                local: Csc::from_triples(&block),
+                nrows_global: m,
+                ncols_global: n,
+            }
         }
     }
 
@@ -152,7 +156,11 @@ mod tests {
             let a = DistMatrix::from_global(&grid, &global);
             let b = DistMatrix::scatter_from_root(
                 &grid,
-                if grid.world.rank() == 0 { Some(&global) } else { None },
+                if grid.world.rank() == 0 {
+                    Some(&global)
+                } else {
+                    None
+                },
             );
             a == b
         });
@@ -195,8 +203,9 @@ mod tests {
             let dm = DistMatrix::from_global(&grid, &random_global(90, 40, 5));
             (dm.dcsc_bytes(), dm.local.bytes())
         });
-        let (d, c): (usize, usize) =
-            results.iter().fold((0, 0), |(d, c), &(dd, cc)| (d + dd, c + cc));
+        let (d, c): (usize, usize) = results
+            .iter()
+            .fold((0, 0), |(d, c), &(dd, cc)| (d + dd, c + cc));
         assert!(d < c, "DCSC total {d} should beat CSC total {c}");
     }
 }

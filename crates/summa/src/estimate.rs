@@ -161,17 +161,27 @@ fn exact_symbolic(grid: &ProcGrid, a: &DistMatrix, b: &DistMatrix) -> MemoryEsti
         for v in &mut pattern.vals {
             *v = 1.0;
         }
-        let cf = if pattern.nnz() == 0 { 1.0 } else { flops as f64 / pattern.nnz() as f64 };
-        grid.world
-            .advance_clock(grid.world.model().spgemm_time(SpgemmKernel::CpuHash, flops, cf));
+        let cf = if pattern.nnz() == 0 {
+            1.0
+        } else {
+            flops as f64 / pattern.nnz() as f64
+        };
+        grid.world.advance_clock(
+            grid.world
+                .model()
+                .spgemm_time(SpgemmKernel::CpuHash, flops, cf),
+        );
         stage_patterns.push(pattern);
     }
 
     // Union of stage patterns = exact local output structure.
     let merged = crate::merge::kway_merge(&stage_patterns);
     let merged_elems: usize = stage_patterns.iter().map(|p| p.nnz()).sum();
-    grid.world
-        .advance_clock(grid.world.model().merge_time(merged_elems as u64, side.max(2)));
+    grid.world.advance_clock(
+        grid.world
+            .model()
+            .merge_time(merged_elems as u64, side.max(2)),
+    );
 
     let local_nnz = merged.nnz() as u64;
     let global_nnz = allreduce(&grid.world, local_nnz, |x, y| x + y);
@@ -253,14 +263,13 @@ fn probabilistic(
     let ops = r as u64 * (a.local.nnz() as u64 + b.local.nnz() as u64);
     let model = grid.world.model();
     if on_gpu && model.gpus > 0 {
-        let structure_bytes = (a.local.nnz() + b.local.nnz())
-            * std::mem::size_of::<hipmcl_sparse::Idx>();
+        let structure_bytes =
+            (a.local.nnz() + b.local.nnz()) * std::mem::size_of::<hipmcl_sparse::Idx>();
         // Device key-op rate: scale the CPU estimate rate by the same
         // GPU:CPU throughput ratio the SpGEMM kernels enjoy at high cf.
-        let gpu_ratio = model.gpu_node_rate
-            / (model.core_spgemm_rate * 40.0 / (1.0 + 0.007 * 40.0));
-        let gpu_time = model.link_time(structure_bytes)
-            + model.estimate_time(ops) / gpu_ratio;
+        let gpu_ratio =
+            model.gpu_node_rate / (model.core_spgemm_rate * 40.0 / (1.0 + 0.007 * 40.0));
+        let gpu_time = model.link_time(structure_bytes) + model.estimate_time(ops) / gpu_ratio;
         grid.world.advance_clock(gpu_time);
     } else {
         grid.world.advance_clock(model.estimate_time(ops));
@@ -292,7 +301,11 @@ fn probabilistic(
         ),
         flops,
         time: grid.world.now() - t0,
-        scheme: if on_gpu { "probabilistic-gpu" } else { "probabilistic" },
+        scheme: if on_gpu {
+            "probabilistic-gpu"
+        } else {
+            "probabilistic"
+        },
     }
 }
 
@@ -374,7 +387,10 @@ mod tests {
                 let a = DistMatrix::from_global(&grid, &g);
                 distributed_flops(&grid, &a, &a)
             });
-            assert!(results.iter().all(|&f| f == want_flops), "p={p}: {results:?}");
+            assert!(
+                results.iter().all(|&f| f == want_flops),
+                "p={p}: {results:?}"
+            );
         }
     }
 
@@ -411,14 +427,8 @@ mod tests {
                 let a = DistMatrix::from_global(&grid, &g);
                 let per_seed: Vec<f64> = (0..6)
                     .map(|s| {
-                        estimate_memory(
-                            &grid,
-                            &a,
-                            &a,
-                            EstimatorKind::Probabilistic { r: 10 },
-                            s,
-                        )
-                        .nnz_estimate
+                        estimate_memory(&grid, &a, &a, EstimatorKind::Probabilistic { r: 10 }, s)
+                            .nnz_estimate
                     })
                     .collect();
                 per_seed
@@ -432,10 +442,18 @@ mod tests {
         }
         // Grid-size independent: the sketch sees the same global matrix.
         for e in &estimates[1..] {
-            assert!((e - estimates[0]).abs() / estimates[0] < 1e-6, "{estimates:?}");
+            assert!(
+                (e - estimates[0]).abs() / estimates[0] < 1e-6,
+                "{estimates:?}"
+            );
         }
         let err = (estimates[0] - want_nnz as f64).abs() / want_nnz as f64;
-        assert!(err < 0.2, "estimate {} vs exact {} (err {err})", estimates[0], want_nnz);
+        assert!(
+            err < 0.2,
+            "estimate {} vs exact {} (err {err})",
+            estimates[0],
+            want_nnz
+        );
     }
 
     #[test]
@@ -446,8 +464,7 @@ mod tests {
             let g = random_global(300, 30_000, 10);
             let a = DistMatrix::from_global(&grid, &g);
             let exact = estimate_memory(&grid, &a, &a, EstimatorKind::ExactSymbolic, 0);
-            let prob =
-                estimate_memory(&grid, &a, &a, EstimatorKind::Probabilistic { r: 5 }, 1);
+            let prob = estimate_memory(&grid, &a, &a, EstimatorKind::Probabilistic { r: 5 }, 1);
             (exact.time, prob.time)
         });
         for (te, tp) in results {
@@ -466,7 +483,10 @@ mod tests {
                 &grid,
                 &a,
                 &a,
-                EstimatorKind::Hybrid { r: 5, cf_threshold: 1.5 },
+                EstimatorKind::Hybrid {
+                    r: 5,
+                    cf_threshold: 1.5,
+                },
                 2,
             );
             // Dense: cf >> threshold -> probabilistic.
@@ -476,7 +496,10 @@ mod tests {
                 &grid,
                 &d,
                 &d,
-                EstimatorKind::Hybrid { r: 5, cf_threshold: 1.5 },
+                EstimatorKind::Hybrid {
+                    r: 5,
+                    cf_threshold: 1.5,
+                },
                 2,
             );
             (low.scheme, high.scheme)
@@ -495,19 +518,15 @@ mod tests {
             let grid = ProcGrid::new(comm);
             let g = random_global(300, 30_000, 31);
             let a = DistMatrix::from_global(&grid, &g);
-            let cpu =
-                estimate_memory(&grid, &a, &a, EstimatorKind::Probabilistic { r: 7 }, 9);
-            let gpu = estimate_memory(
-                &grid,
-                &a,
-                &a,
-                EstimatorKind::ProbabilisticGpu { r: 7 },
-                9,
-            );
+            let cpu = estimate_memory(&grid, &a, &a, EstimatorKind::Probabilistic { r: 7 }, 9);
+            let gpu = estimate_memory(&grid, &a, &a, EstimatorKind::ProbabilisticGpu { r: 7 }, 9);
             (cpu, gpu)
         });
         for (cpu, gpu) in results {
-            assert_eq!(cpu.nnz_estimate, gpu.nnz_estimate, "same sketch, same estimate");
+            assert_eq!(
+                cpu.nnz_estimate, gpu.nnz_estimate,
+                "same sketch, same estimate"
+            );
             assert_eq!(gpu.scheme, "probabilistic-gpu");
             assert!(gpu.time < cpu.time, "gpu {} vs cpu {}", gpu.time, cpu.time);
         }

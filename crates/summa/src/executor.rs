@@ -1,0 +1,540 @@
+//! The kernel-execution layer: every local SpGEMM is an asynchronous
+//! launch.
+//!
+//! The Pipelined Sparse SUMMA scheduler (`pipeline`) never cares *where* a
+//! local multiplication runs — it submits the selected kernel to an
+//! [`Executor`] and overlaps against the returned [`KernelLaunch`] events.
+//! Three executors implement the trait:
+//!
+//! * [`MultiGpu`] — the paper's configuration (§III-A): GPU kernels run
+//!   asynchronously on the devices (the host resumes after the input
+//!   transfer), CPU-selected kernels run inline on the host, exactly as
+//!   original HipMCL executes them.
+//! * [`CpuPool`] — a per-rank worker pool (the rayon thread pool executes
+//!   the real kernel) advancing its own [`Timeline`] like a device stream
+//!   does, which makes CPU kernels overlappable: "optimized HipMCL on
+//!   nodes without accelerators" gains the §III broadcast/merge overlap.
+//! * [`Hybrid`] — extends §III-A's multi-GPU column split to the CPU: the
+//!   trailing column slab of `B` is multiplied on the worker pool while
+//!   the GPUs take the rest, and the output is a trivial `hcat`.
+//!
+//! All timestamps are virtual seconds on the owning rank's clock; the
+//! executors only read the clock value the scheduler passes in and never
+//! advance it themselves — waiting (and therefore idle accounting) is the
+//! scheduler's job.
+
+use hipmcl_comm::{MachineModel, SpgemmKernel, Timeline};
+use hipmcl_gpu::multi::MultiGpu;
+use hipmcl_sparse::Csc;
+use hipmcl_spgemm::CpuAlgo;
+
+/// Which executor a SUMMA run submits its local multiplications to.
+#[derive(Clone, Copy, Debug, PartialEq, Default)]
+pub enum ExecutorKind {
+    /// GPU kernels async on the devices, CPU kernels inline on the host
+    /// (the paper's setup and the legacy behaviour).
+    #[default]
+    Gpus,
+    /// Every kernel is an async launch on the per-rank CPU worker pool.
+    CpuPool,
+    /// Column-split each multiplication across the GPUs and the pool.
+    Hybrid {
+        /// Fraction of `B`'s columns sent to the GPUs (clamped to [0, 1]).
+        gpu_fraction: f64,
+    },
+}
+
+/// Default GPU share of the hybrid column split. Summit's six V100s
+/// out-rate the host cores by a wide margin at high `cf` (Fig. 4), so the
+/// pool only takes a sliver; tuning the ratio per-instance is a ROADMAP
+/// open item.
+pub const DEFAULT_GPU_FRACTION: f64 = 0.85;
+
+impl ExecutorKind {
+    /// Hybrid execution with the default GPU share.
+    pub fn hybrid() -> Self {
+        ExecutorKind::Hybrid {
+            gpu_fraction: DEFAULT_GPU_FRACTION,
+        }
+    }
+}
+
+/// One asynchronous local multiplication, as seen by the scheduler.
+///
+/// The product is real (verified against serial kernels); the timestamps
+/// are virtual. A pipelined scheduler resumes the host at
+/// `inputs_ready_at`; a bulk-synchronous one waits for `output_ready_at`
+/// and counts only `waited − host_compute` as idle (time the host spent
+/// computing inline is work, not waiting).
+#[derive(Debug)]
+pub struct KernelLaunch {
+    /// The (real) product `A · B`.
+    pub c: Csc<f64>,
+    /// The kernel that produced it.
+    pub kernel: SpgemmKernel,
+    /// Virtual time from which the host may issue the next stage's
+    /// broadcasts (inputs handed off / transferred).
+    pub inputs_ready_at: f64,
+    /// Virtual time at which the output is on the host and mergeable.
+    pub output_ready_at: f64,
+    /// Host-synchronous compute folded into the launch (inline CPU
+    /// kernels); never idle time.
+    pub host_compute: f64,
+    /// Seconds attributed to the `local_spgemm` stage timer.
+    pub kernel_time: f64,
+    /// Flops of the multiplication.
+    pub flops: u64,
+    /// Realized compression factor.
+    pub cf: f64,
+}
+
+/// A target that local SpGEMM launches are submitted to.
+pub trait Executor {
+    /// Submits `C = A · B` with the pre-selected `kernel`, starting at
+    /// host virtual time `host_now`. `flops` is the exact flop count the
+    /// scheduler already derived for kernel selection. Must not advance
+    /// any rank clock — the scheduler decides what to wait on.
+    fn submit(
+        &mut self,
+        model: &MachineModel,
+        host_now: f64,
+        a: &Csc<f64>,
+        b: &Csc<f64>,
+        kernel: SpgemmKernel,
+        flops: u64,
+    ) -> KernelLaunch;
+
+    /// GPUs visible to kernel selection (0 keeps selection CPU-only).
+    fn gpus_available(&self) -> usize;
+
+    /// Accumulated device/worker idle time — the Table V "GPU idle"
+    /// column, read uniformly off the executor's timelines.
+    fn device_idle(&self) -> f64;
+
+    /// Resets all internal timelines (between pipeline sections).
+    fn reset_timelines(&mut self);
+}
+
+/// The CPU algorithm behind a CPU-side kernel selection.
+fn cpu_algo(kernel: SpgemmKernel) -> CpuAlgo {
+    match kernel {
+        SpgemmKernel::CpuHeap => CpuAlgo::Heap,
+        SpgemmKernel::CpuSpa => CpuAlgo::Spa,
+        _ => CpuAlgo::Hash,
+    }
+}
+
+impl Executor for MultiGpu {
+    fn submit(
+        &mut self,
+        model: &MachineModel,
+        host_now: f64,
+        a: &Csc<f64>,
+        b: &Csc<f64>,
+        kernel: SpgemmKernel,
+        flops: u64,
+    ) -> KernelLaunch {
+        match kernel {
+            SpgemmKernel::Gpu(lib) => {
+                let r = self
+                    .multiply(host_now, a, b, lib)
+                    .expect("device OOM: increase phases or use CPU policy");
+                KernelLaunch {
+                    c: r.c,
+                    kernel,
+                    inputs_ready_at: r.inputs_transferred_at,
+                    output_ready_at: r.output_ready_at,
+                    host_compute: 0.0,
+                    kernel_time: r.output_ready_at - r.inputs_transferred_at,
+                    flops: r.flops,
+                    cf: r.cf,
+                }
+            }
+            cpu_kernel => {
+                // Inline on the host, as original HipMCL runs CPU kernels:
+                // the host is busy (not idle) for the whole duration and
+                // cannot issue the next broadcast meanwhile.
+                let (c, cf) = cpu_algo(cpu_kernel).multiply_measured(a, b, flops);
+                let dur = model.spgemm_time(cpu_kernel, flops, cf);
+                KernelLaunch {
+                    c,
+                    kernel: cpu_kernel,
+                    inputs_ready_at: host_now + dur,
+                    output_ready_at: host_now + dur,
+                    host_compute: dur,
+                    kernel_time: dur,
+                    flops,
+                    cf,
+                }
+            }
+        }
+    }
+
+    fn gpus_available(&self) -> usize {
+        self.len()
+    }
+
+    fn device_idle(&self) -> f64 {
+        self.total_idle()
+    }
+
+    fn reset_timelines(&mut self) {
+        MultiGpu::reset_timelines(self);
+    }
+}
+
+/// A per-rank CPU worker pool with a device-like virtual timeline.
+///
+/// The real kernel executes through rayon (the kernels themselves are
+/// row-parallel); the modeled duration comes from the machine model's
+/// whole-node CPU rate, queued FIFO on the pool's [`Timeline`]. Handing a
+/// job to the pool is free for the host — that is what makes a CPU-only
+/// configuration pipelinable.
+pub struct CpuPool {
+    threads: usize,
+    workers: Timeline,
+}
+
+impl Default for CpuPool {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl CpuPool {
+    /// A pool sized to the rayon thread pool of this process.
+    pub fn new() -> Self {
+        Self {
+            threads: rayon::current_num_threads().max(1),
+            workers: Timeline::new(),
+        }
+    }
+
+    /// Worker threads backing the pool.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// The pool's timeline (jobs queued, idle gaps).
+    pub fn timeline(&self) -> &Timeline {
+        &self.workers
+    }
+}
+
+impl Executor for CpuPool {
+    fn submit(
+        &mut self,
+        model: &MachineModel,
+        host_now: f64,
+        a: &Csc<f64>,
+        b: &Csc<f64>,
+        kernel: SpgemmKernel,
+        flops: u64,
+    ) -> KernelLaunch {
+        // Selection never yields a GPU kernel here (`gpus_available` is
+        // 0); a forced GPU request degrades to the hash kernel.
+        let cpu_kernel = match kernel {
+            SpgemmKernel::Gpu(_) => SpgemmKernel::CpuHash,
+            k => k,
+        };
+        let (c, cf) = cpu_algo(cpu_kernel).multiply_measured(a, b, flops);
+        let dur = model.spgemm_time(cpu_kernel, flops, cf);
+        let done = self.workers.submit(host_now, dur);
+        KernelLaunch {
+            c,
+            kernel: cpu_kernel,
+            inputs_ready_at: host_now,
+            output_ready_at: done.at,
+            host_compute: 0.0,
+            kernel_time: dur,
+            flops,
+            cf,
+        }
+    }
+
+    fn gpus_available(&self) -> usize {
+        0
+    }
+
+    fn device_idle(&self) -> f64 {
+        self.workers.idle_time()
+    }
+
+    fn reset_timelines(&mut self) {
+        self.workers.reset();
+    }
+}
+
+/// Joint CPU+GPU execution: each GPU-sized multiplication is column-split
+/// between the devices (leading columns) and the worker pool (trailing
+/// columns), extending §III-A's multi-GPU split by one more "device".
+/// CPU-selected (small) multiplications go to the pool whole.
+pub struct Hybrid<'g> {
+    gpus: &'g mut MultiGpu,
+    pool: CpuPool,
+    gpu_fraction: f64,
+}
+
+impl<'g> Hybrid<'g> {
+    /// Wraps the rank's devices; `gpu_fraction` of each `B`'s columns go
+    /// to the GPUs, the rest to the worker pool.
+    pub fn new(gpus: &'g mut MultiGpu, gpu_fraction: f64) -> Self {
+        Self {
+            gpus,
+            pool: CpuPool::new(),
+            gpu_fraction: gpu_fraction.clamp(0.0, 1.0),
+        }
+    }
+}
+
+impl Executor for Hybrid<'_> {
+    fn submit(
+        &mut self,
+        model: &MachineModel,
+        host_now: f64,
+        a: &Csc<f64>,
+        b: &Csc<f64>,
+        kernel: SpgemmKernel,
+        flops: u64,
+    ) -> KernelLaunch {
+        let n = b.ncols();
+        let gcols = match kernel {
+            SpgemmKernel::Gpu(_) if !self.gpus.is_empty() => {
+                ((n as f64 * self.gpu_fraction).round() as usize).min(n)
+            }
+            _ => 0,
+        };
+        if gcols == 0 {
+            return self.pool.submit(model, host_now, a, b, kernel, flops);
+        }
+        let lib = match kernel {
+            SpgemmKernel::Gpu(lib) => lib,
+            _ => unreachable!("gcols > 0 only for GPU kernels"),
+        };
+
+        let b_gpu = b.column_slice(0..gcols);
+        let r = self
+            .gpus
+            .multiply(host_now, a, &b_gpu, lib)
+            .expect("device OOM: increase phases or use CPU policy");
+
+        let mut output_ready_at = r.output_ready_at;
+        let mut total_flops = r.flops;
+        let mut total_nnz = r.c.nnz() as u64;
+        let c = if gcols < n {
+            let b_cpu = b.column_slice(gcols..n);
+            let flops_cpu = hipmcl_spgemm::flops(a, &b_cpu);
+            let (c_cpu, cf_cpu) = CpuAlgo::Hash.multiply_measured(a, &b_cpu, flops_cpu);
+            let dur = model.spgemm_time(SpgemmKernel::CpuHash, flops_cpu, cf_cpu);
+            let done = self.pool.workers.submit(host_now, dur);
+            output_ready_at = output_ready_at.max(done.at);
+            total_flops += flops_cpu;
+            total_nnz += c_cpu.nnz() as u64;
+            Csc::hcat(&[r.c, c_cpu])
+        } else {
+            r.c
+        };
+        debug_assert_eq!(total_flops, flops, "split must cover all columns");
+
+        let cf = if total_nnz == 0 {
+            1.0
+        } else {
+            total_flops as f64 / total_nnz as f64
+        };
+        KernelLaunch {
+            c,
+            kernel,
+            // The host blocks on the GPU input transfers (the pool handoff
+            // is free), exactly like the pure multi-GPU path.
+            inputs_ready_at: r.inputs_transferred_at,
+            output_ready_at,
+            host_compute: 0.0,
+            kernel_time: output_ready_at - r.inputs_transferred_at,
+            flops: total_flops,
+            cf,
+        }
+    }
+
+    fn gpus_available(&self) -> usize {
+        self.gpus.len()
+    }
+
+    fn device_idle(&self) -> f64 {
+        self.gpus.total_idle() + self.pool.workers.idle_time()
+    }
+
+    fn reset_timelines(&mut self) {
+        self.gpus.reset_timelines();
+        self.pool.workers.reset();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hipmcl_comm::GpuLib;
+    use hipmcl_spgemm::testutil::random_csc;
+
+    fn model() -> MachineModel {
+        MachineModel::summit()
+    }
+
+    fn want(a: &Csc<f64>) -> Csc<f64> {
+        hipmcl_spgemm::hash::multiply(a, a)
+    }
+
+    #[test]
+    fn multigpu_executor_gpu_kernel_is_async() {
+        let a = random_csc(30, 30, 260, 41);
+        let flops = hipmcl_spgemm::flops(&a, &a);
+        let mut gpus = MultiGpu::new(model(), 2, 1 << 30);
+        let l = gpus.submit(
+            &model(),
+            1.0,
+            &a,
+            &a,
+            SpgemmKernel::Gpu(GpuLib::Nsparse),
+            flops,
+        );
+        assert!(l.c.max_abs_diff(&want(&a)) < 1e-9);
+        assert!(l.inputs_ready_at > 1.0);
+        assert!(
+            l.output_ready_at > l.inputs_ready_at,
+            "kernel + D2H after transfer"
+        );
+        assert_eq!(l.host_compute, 0.0);
+        assert!((l.kernel_time - (l.output_ready_at - l.inputs_ready_at)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn multigpu_executor_cpu_kernel_is_host_synchronous() {
+        let a = random_csc(30, 30, 260, 42);
+        let flops = hipmcl_spgemm::flops(&a, &a);
+        let mut gpus = MultiGpu::new(model(), 2, 1 << 30);
+        let l = gpus.submit(&model(), 1.0, &a, &a, SpgemmKernel::CpuHash, flops);
+        assert!(l.c.max_abs_diff(&want(&a)) < 1e-9);
+        assert_eq!(
+            l.inputs_ready_at, l.output_ready_at,
+            "host blocked for the whole kernel"
+        );
+        assert!(l.host_compute > 0.0);
+        assert!((l.host_compute - (l.output_ready_at - 1.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cpu_pool_launches_are_async_and_fifo() {
+        let a = random_csc(30, 30, 260, 43);
+        let flops = hipmcl_spgemm::flops(&a, &a);
+        let mut pool = CpuPool::new();
+        let l1 = pool.submit(&model(), 1.0, &a, &a, SpgemmKernel::CpuHash, flops);
+        assert!(l1.c.max_abs_diff(&want(&a)) < 1e-9);
+        assert_eq!(
+            l1.inputs_ready_at, 1.0,
+            "handoff is free — host resumes at once"
+        );
+        assert!(l1.output_ready_at > 1.0);
+        assert_eq!(l1.host_compute, 0.0);
+        // Second job ready immediately queues behind the first.
+        let l2 = pool.submit(&model(), 1.0, &a, &a, SpgemmKernel::CpuHeap, flops);
+        assert!(l2.output_ready_at > l1.output_ready_at);
+        assert_eq!(pool.timeline().jobs(), 2);
+        assert_eq!(pool.device_idle(), 0.0, "back-to-back jobs leave no gap");
+        assert!(pool.threads() >= 1);
+    }
+
+    #[test]
+    fn cpu_pool_degrades_gpu_requests_to_hash() {
+        let a = random_csc(20, 20, 120, 44);
+        let flops = hipmcl_spgemm::flops(&a, &a);
+        let mut pool = CpuPool::new();
+        let l = pool.submit(
+            &model(),
+            0.0,
+            &a,
+            &a,
+            SpgemmKernel::Gpu(GpuLib::Nsparse),
+            flops,
+        );
+        assert_eq!(l.kernel, SpgemmKernel::CpuHash);
+        assert!(l.c.max_abs_diff(&want(&a)) < 1e-9);
+    }
+
+    #[test]
+    fn hybrid_splits_and_matches_reference() {
+        let a = random_csc(40, 40, 500, 45);
+        let flops = hipmcl_spgemm::flops(&a, &a);
+        let w = want(&a);
+        for frac in [0.0, 0.3, 0.5, 0.85, 1.0] {
+            let mut gpus = MultiGpu::new(model(), 3, 1 << 30);
+            let mut h = Hybrid::new(&mut gpus, frac);
+            let l = h.submit(
+                &model(),
+                0.0,
+                &a,
+                &a,
+                SpgemmKernel::Gpu(GpuLib::Nsparse),
+                flops,
+            );
+            assert!(l.c.max_abs_diff(&w) < 1e-9, "frac={frac}");
+            assert_eq!(l.c.nnz(), w.nnz(), "frac={frac}");
+            assert_eq!(l.flops, flops, "frac={frac}");
+            assert!(l.output_ready_at >= l.inputs_ready_at, "frac={frac}");
+        }
+    }
+
+    #[test]
+    fn hybrid_sends_cpu_kernels_to_the_pool() {
+        let a = random_csc(25, 25, 180, 46);
+        let flops = hipmcl_spgemm::flops(&a, &a);
+        let mut gpus = MultiGpu::new(model(), 2, 1 << 30);
+        let mut h = Hybrid::new(&mut gpus, 0.85);
+        let l = h.submit(&model(), 2.0, &a, &a, SpgemmKernel::CpuHeap, flops);
+        assert!(l.c.max_abs_diff(&want(&a)) < 1e-9);
+        assert_eq!(
+            l.inputs_ready_at, 2.0,
+            "pool handoff frees the host immediately"
+        );
+        assert_eq!(h.gpus_available(), 2);
+    }
+
+    #[test]
+    fn hybrid_without_devices_runs_entirely_on_pool() {
+        let a = random_csc(20, 20, 140, 47);
+        let flops = hipmcl_spgemm::flops(&a, &a);
+        let mut gpus = MultiGpu::new(model(), 0, 1 << 30);
+        let mut h = Hybrid::new(&mut gpus, 0.85);
+        let l = h.submit(
+            &model(),
+            0.0,
+            &a,
+            &a,
+            SpgemmKernel::Gpu(GpuLib::Rmerge2),
+            flops,
+        );
+        assert!(l.c.max_abs_diff(&want(&a)) < 1e-9);
+        assert_eq!(l.kernel, SpgemmKernel::CpuHash);
+    }
+
+    #[test]
+    fn executor_kind_default_and_hybrid_preset() {
+        assert_eq!(ExecutorKind::default(), ExecutorKind::Gpus);
+        match ExecutorKind::hybrid() {
+            ExecutorKind::Hybrid { gpu_fraction } => {
+                assert_eq!(gpu_fraction, DEFAULT_GPU_FRACTION)
+            }
+            k => panic!("unexpected {k:?}"),
+        }
+    }
+
+    #[test]
+    fn reset_timelines_clears_idle_accounting() {
+        let a = random_csc(20, 20, 120, 48);
+        let flops = hipmcl_spgemm::flops(&a, &a);
+        let mut pool = CpuPool::new();
+        pool.submit(&model(), 0.0, &a, &a, SpgemmKernel::CpuHash, flops);
+        pool.submit(&model(), 1e9, &a, &a, SpgemmKernel::CpuHash, flops);
+        assert!(pool.device_idle() > 0.0);
+        pool.reset_timelines();
+        assert_eq!(pool.device_idle(), 0.0);
+    }
+}

@@ -11,9 +11,18 @@
 //!   symbolic SUMMA of original HipMCL and the paper's **probabilistic**
 //!   Cohen-sketch estimator (§V), plus the hybrid rule (exact when `cf` is
 //!   small).
-//! * [`spgemm`] — distributed `C = A·B`: plain Sparse SUMMA (bulk
-//!   synchronous, original HipMCL), and **Pipelined Sparse SUMMA** (§III)
-//!   overlapping GPU multiplications with broadcasts and CPU merging.
+//! * [`executor`] — the kernel-execution layer: every local multiply is
+//!   an asynchronous [`executor::KernelLaunch`] submitted to an
+//!   [`executor::Executor`] — the devices ([`hipmcl_gpu::multi::MultiGpu`]),
+//!   a per-rank CPU worker pool ([`executor::CpuPool`]), or a
+//!   column-splitting [`executor::Hybrid`] of both.
+//! * [`pipeline`] — the single stage scheduler of Pipelined Sparse SUMMA:
+//!   issues broadcasts, submits launches, and drives merging off the
+//!   launches' completion events.
+//! * [`spgemm`] — distributed `C = A·B`: configuration and entry points
+//!   for plain Sparse SUMMA (bulk synchronous, original HipMCL) and
+//!   **Pipelined Sparse SUMMA** (§III) overlapping local multiplications
+//!   with broadcasts and CPU merging.
 //! * [`topk`] — distributed top-k column selection for MCL pruning.
 //! * [`components`] — cluster extraction from the converged distributed
 //!   matrix.
@@ -25,11 +34,14 @@
 pub mod components;
 pub mod distmat;
 pub mod estimate;
+pub mod executor;
 pub mod merge;
+pub mod pipeline;
 pub mod spgemm;
 pub mod topk;
 
 pub use distmat::DistMatrix;
 pub use estimate::{EstimatorKind, MemoryEstimate};
+pub use executor::{CpuPool, Executor, ExecutorKind, Hybrid, KernelLaunch};
 pub use merge::{BinaryMerger, MergeStrategy};
 pub use spgemm::{summa_spgemm, SummaConfig, SummaOutput};

@@ -124,6 +124,18 @@ pub struct MergeStats {
     pub wait_time: f64,
 }
 
+impl MergeStats {
+    /// Folds another accumulation into this one: peaks take the max,
+    /// everything else adds (one phase's stats absorbed into a run's).
+    pub fn absorb(&mut self, other: &MergeStats) {
+        self.peak_merge_elems = self.peak_merge_elems.max(other.peak_merge_elems);
+        self.total_merged_elems += other.total_merged_elems;
+        self.merge_ops += other.merge_ops;
+        self.merge_time += other.merge_time;
+        self.wait_time += other.wait_time;
+    }
+}
+
 /// Incremental stack merger implementing Algorithm 2 of the paper, with
 /// virtual-time accounting.
 pub struct BinaryMerger {
@@ -137,7 +149,12 @@ pub struct BinaryMerger {
 impl BinaryMerger {
     /// New merger under the given machine model.
     pub fn new(model: MachineModel) -> Self {
-        Self { model, stack: Vec::new(), pushed: 0, stats: MergeStats::default() }
+        Self {
+            model,
+            stack: Vec::new(),
+            pushed: 0,
+            stats: MergeStats::default(),
+        }
     }
 
     /// Pushes the stage-`i` intermediate (1-indexed pushes). `ready_at` is
@@ -150,7 +167,7 @@ impl BinaryMerger {
         self.stack.push((slab, ready_at));
         let mut nmerges = 0usize;
         let mut j = self.pushed;
-        while j % 2 == 0 && j != 0 {
+        while j != 0 && j.is_multiple_of(2) {
             nmerges += 1;
             j /= 2;
         }
@@ -226,7 +243,11 @@ pub fn multiway_merge_timed(
     let ready = slabs.iter().map(|(_, r)| *r).fold(0.0f64, f64::max);
     let ways = slabs.len();
     let start = host_now.max(ready);
-    let dur = if ways > 1 { model.merge_time(elems as u64, ways) } else { 0.0 };
+    let dur = if ways > 1 {
+        model.merge_time(elems as u64, ways)
+    } else {
+        0.0
+    };
     let stats = MergeStats {
         peak_merge_elems: elems,
         total_merged_elems: elems as u64,
@@ -243,8 +264,40 @@ mod tests {
     use super::*;
     use hipmcl_spgemm::testutil::random_csc;
 
+    #[test]
+    fn merge_stats_absorb_maxes_peak_and_sums_rest() {
+        let mut a = MergeStats {
+            peak_merge_elems: 10,
+            total_merged_elems: 100,
+            merge_ops: 3,
+            merge_time: 1.0,
+            wait_time: 0.5,
+        };
+        let b = MergeStats {
+            peak_merge_elems: 7,
+            total_merged_elems: 50,
+            merge_ops: 2,
+            merge_time: 0.25,
+            wait_time: 1.5,
+        };
+        a.absorb(&b);
+        assert_eq!(a.peak_merge_elems, 10, "peak takes the max");
+        assert_eq!(a.total_merged_elems, 150);
+        assert_eq!(a.merge_ops, 5);
+        assert_eq!(a.merge_time, 1.25);
+        assert_eq!(a.wait_time, 2.0);
+        // Larger incoming peak wins.
+        a.absorb(&MergeStats {
+            peak_merge_elems: 99,
+            ..MergeStats::default()
+        });
+        assert_eq!(a.peak_merge_elems, 99);
+    }
+
     fn slabs(n: usize, count: usize) -> Vec<Csc<f64>> {
-        (0..count).map(|i| random_csc(n, n, n * 3, 100 + i as u64)).collect()
+        (0..count)
+            .map(|i| random_csc(n, n, n * 3, 100 + i as u64))
+            .collect()
     }
 
     fn reference_sum(mats: &[Csc<f64>]) -> Csc<f64> {
@@ -361,8 +414,11 @@ mod tests {
     #[test]
     fn multiway_merge_timed_waits_for_slowest() {
         let mats = slabs(6, 3);
-        let timed: Vec<(Csc<f64>, f64)> =
-            mats.iter().enumerate().map(|(i, m)| (m.clone(), i as f64)).collect();
+        let timed: Vec<(Csc<f64>, f64)> = mats
+            .iter()
+            .enumerate()
+            .map(|(i, m)| (m.clone(), i as f64))
+            .collect();
         let (merged, now, stats) = multiway_merge_timed(&MachineModel::summit(), timed, 0.0);
         merged.assert_valid();
         assert!(now >= 2.0, "must wait for the slab ready at t=2");

@@ -5,32 +5,33 @@
 //! columns, each rank multiplies locally on the CPU, and all intermediate
 //! products are merged at the end with one multiway merge.
 //!
-//! The pipelined variant offloads the local multiplications to the GPUs
-//! and exploits two overlaps (Fig. 2):
+//! The pipelined variant makes the local multiplications asynchronous and
+//! exploits two overlaps (Fig. 2):
 //!
 //! 1. **Broadcast/compute** — the host regains control as soon as stage
-//!    `k`'s inputs are *transferred* to the device, so the stage `k+1`
-//!    broadcasts proceed while the GPU multiplies stage `k`.
+//!    `k`'s inputs are handed to the executor, so the stage `k+1`
+//!    broadcasts proceed while stage `k` multiplies.
 //! 2. **Merge/compute** — the stage `k−1` intermediate product is merged
-//!    on the CPU (binary merge, §IV) while the GPU works on stage `k`;
-//!    only the first broadcast and the final merge cannot be hidden.
+//!    on the CPU (binary merge, §IV) while stage `k` computes; only the
+//!    first broadcast and the final merge cannot be hidden.
 //!
+//! This module holds the configuration and entry points; the stage loop
+//! itself lives in [`crate::pipeline`] and submits every kernel — GPU
+//! *and* CPU — to the configured [`Executor`] (see [`crate::executor`]).
 //! Execution is real (the returned distributed product is validated
-//! against single-process kernels); the stage timers, CPU idle and GPU
-//! idle times come from the virtual clocks.
+//! against single-process kernels); the stage timers, CPU idle and device
+//! idle times come from the virtual clocks and executor timelines.
 
 use crate::distmat::DistMatrix;
 use crate::estimate::{estimate_memory, plan_phases, EstimatorKind, MemoryEstimate};
-use crate::merge::{multiway_merge_timed, BinaryMerger, MergeStats, MergeStrategy};
+use crate::executor::{CpuPool, Executor, ExecutorKind, Hybrid};
+use crate::merge::{MergeStats, MergeStrategy};
+use crate::pipeline::{self, PipelineOutcome};
 use hipmcl_comm::clock::StageTimers;
-use hipmcl_comm::collectives::bcast;
-use hipmcl_comm::{Comm, ProcGrid, SpgemmKernel, WireSize};
+use hipmcl_comm::{ProcGrid, SpgemmKernel};
 use hipmcl_gpu::multi::MultiGpu;
-use hipmcl_gpu::select::{select_kernel, SelectionPolicy};
-use hipmcl_sparse::util::even_chunk;
-use hipmcl_sparse::{Csc, Dcsc};
-use hipmcl_spgemm::{CohenEstimator, MultAnalysis};
-use std::sync::Arc;
+use hipmcl_gpu::select::SelectionPolicy;
+use hipmcl_sparse::Csc;
 
 /// How the number of SUMMA phases is chosen.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -56,10 +57,13 @@ pub struct SummaConfig {
     pub policy: SelectionPolicy,
     /// Merging scheme for the stage intermediates.
     pub merge: MergeStrategy,
-    /// Overlap GPU multiplications with broadcasts and merging (§III).
+    /// Overlap local multiplications with broadcasts and merging (§III).
     /// Without it the host waits for every kernel's output (bulk
     /// synchronous, like original HipMCL even when kernels run on GPU).
     pub pipelined: bool,
+    /// Where local multiplications execute (devices, CPU worker pool, or
+    /// a hybrid column split across both).
+    pub executor: ExecutorKind,
     /// Seed for the per-stage Cohen probes driving kernel selection.
     pub seed: u64,
 }
@@ -76,6 +80,7 @@ impl SummaConfig {
             policy: SelectionPolicy::original_heap(),
             merge: MergeStrategy::Multiway,
             pipelined: false,
+            executor: ExecutorKind::Gpus,
             seed: 0,
         }
     }
@@ -86,12 +91,16 @@ impl SummaConfig {
     pub fn optimized_no_overlap(per_rank_budget: u64) -> Self {
         Self {
             phases: PhasePlan::Auto {
-                estimator: EstimatorKind::Hybrid { r: 5, cf_threshold: 2.0 },
+                estimator: EstimatorKind::Hybrid {
+                    r: 5,
+                    cf_threshold: 2.0,
+                },
                 per_rank_budget,
             },
             policy: SelectionPolicy::always_gpu(),
             merge: MergeStrategy::Multiway,
             pipelined: false,
+            executor: ExecutorKind::Gpus,
             seed: 0,
         }
     }
@@ -101,13 +110,28 @@ impl SummaConfig {
     pub fn optimized(per_rank_budget: u64) -> Self {
         Self {
             phases: PhasePlan::Auto {
-                estimator: EstimatorKind::Hybrid { r: 5, cf_threshold: 2.0 },
+                estimator: EstimatorKind::Hybrid {
+                    r: 5,
+                    cf_threshold: 2.0,
+                },
                 per_rank_budget,
             },
             policy: SelectionPolicy::always_gpu(),
             merge: MergeStrategy::Binary,
             pipelined: true,
+            executor: ExecutorKind::Gpus,
             seed: 0,
+        }
+    }
+
+    /// Optimized HipMCL on nodes without accelerators: CPU kernels become
+    /// asynchronous launches on the per-rank worker pool, so the §III
+    /// broadcast/merge overlap applies without any GPU.
+    pub fn cpu_pipelined(per_rank_budget: u64) -> Self {
+        Self {
+            policy: SelectionPolicy::cpu_only(),
+            executor: ExecutorKind::CpuPool,
+            ..Self::optimized(per_rank_budget)
         }
     }
 }
@@ -121,36 +145,19 @@ pub struct SummaOutput {
     pub timers: StageTimers,
     /// Merge statistics (peak elements feed Table III).
     pub merge_stats: MergeStats,
-    /// Host idle time spent waiting on device events (Table V, CPU).
+    /// Host idle time spent waiting on launch events (Table V, CPU).
     pub cpu_idle: f64,
-    /// Device idle time (Table V, GPU).
+    /// Device/worker idle time off the executor's timelines (Table V,
+    /// GPU column; the pool's idle for CPU-only executors).
     pub gpu_idle: f64,
     /// The memory estimate, when `PhasePlan::Auto` ran.
     pub estimate: Option<MemoryEstimate>,
     /// Number of phases executed.
     pub phases: usize,
-    /// Kernels chosen per (phase, stage), for instrumentation.
+    /// Kernels chosen per (phase, stage), for instrumentation; always
+    /// `phases × √P` entries (zero-flops stages record the selector's
+    /// degenerate choice).
     pub kernels_used: Vec<SpgemmKernel>,
-}
-
-/// Broadcast payload: a shared block plus its hypersparse wire size.
-/// HipMCL broadcasts DCSC; an `Arc` keeps the in-process copy free while
-/// the virtual cost reflects the real payload (§III-B).
-#[derive(Clone)]
-struct BlockMsg(Arc<Csc<f64>>, usize);
-
-impl WireSize for BlockMsg {
-    fn wire_bytes(&self) -> usize {
-        self.1
-    }
-}
-
-fn bcast_block(comm: &Comm, root: usize, local: Option<&Csc<f64>>) -> Arc<Csc<f64>> {
-    let payload = local.map(|m| {
-        let bytes = Dcsc::from_csc(m).bytes();
-        BlockMsg(Arc::new(m.clone()), bytes)
-    });
-    bcast(comm, root, payload).0
 }
 
 /// Distributed `C = A·B` with the identity per-phase hook.
@@ -162,6 +169,33 @@ pub fn summa_spgemm(
     cfg: &SummaConfig,
 ) -> SummaOutput {
     summa_spgemm_with(grid, gpus, a, b, cfg, |_, c| c)
+}
+
+/// Runs the pipeline with idle accounting bracketed around it: timelines
+/// reset first (the gap between the previous expansion's last kernel and
+/// this one's first is not pipeline idle — Table V measures idleness
+/// *within* the Pipelined Sparse SUMMA), device idle read as a delta
+/// after.
+#[allow(clippy::too_many_arguments)]
+fn run_on<F>(
+    grid: &ProcGrid,
+    exec: &mut dyn Executor,
+    a: &DistMatrix,
+    b: &DistMatrix,
+    cfg: &SummaConfig,
+    phases: usize,
+    cf_hint: Option<f64>,
+    timers: &mut StageTimers,
+    on_slab: F,
+) -> (PipelineOutcome, f64)
+where
+    F: FnMut(usize, Csc<f64>) -> Csc<f64>,
+{
+    exec.reset_timelines();
+    let idle0 = exec.device_idle();
+    let outcome = pipeline::run(grid, exec, a, b, cfg, phases, cf_hint, timers, on_slab);
+    let device_idle = exec.device_idle() - idle0;
+    (outcome, device_idle)
 }
 
 /// Distributed `C = A·B` with a per-phase output hook.
@@ -177,28 +211,25 @@ pub fn summa_spgemm_with<F>(
     a: &DistMatrix,
     b: &DistMatrix,
     cfg: &SummaConfig,
-    mut on_slab: F,
+    on_slab: F,
 ) -> SummaOutput
 where
     F: FnMut(usize, Csc<f64>) -> Csc<f64>,
 {
-    assert_eq!(a.ncols_global, b.nrows_global, "global inner dims must agree");
+    assert_eq!(
+        a.ncols_global, b.nrows_global,
+        "global inner dims must agree"
+    );
     let comm = &grid.world;
-    let side = grid.side;
     let mut timers = StageTimers::new();
-    let mut kernels_used = Vec::new();
-    let mut cpu_idle = 0.0f64;
-    // Idle accounting is per SUMMA-pipeline section: the gap between the
-    // previous expansion's last kernel and this one's first (pruning,
-    // inflation, estimation happen there) is not pipeline idle — Table V
-    // measures idleness *within* the Pipelined Sparse SUMMA.
-    gpus.reset_timelines();
-    let gpu_idle_before = gpus.total_idle();
 
     // Phase planning (memory estimation).
     let (phases, estimate) = match cfg.phases {
         PhasePlan::Fixed(h) => (h.max(1), None),
-        PhasePlan::Auto { estimator, per_rank_budget } => {
+        PhasePlan::Auto {
+            estimator,
+            per_rank_budget,
+        } => {
             let t0 = comm.now();
             let est = estimate_memory(grid, a, b, estimator, cfg.seed);
             timers.add("mem_estimation", comm.now() - t0);
@@ -217,145 +248,49 @@ where
             1.0
         }
     });
-    let probe = CohenEstimator::new(4, cfg.seed ^ 0xABCD);
-    let mut merge_stats = MergeStats::default();
-    let local_cols = b.local.ncols();
-    let mut phase_slabs: Vec<Csc<f64>> = Vec::with_capacity(phases);
 
-    for ph in 0..phases {
-        let cols = even_chunk(local_cols, phases, ph);
-        let b_phase = b.local.column_slice(cols);
-
-        // Pending GPU slab from the previous stage (pipelined binary merge
-        // pushes one stage late so merging overlaps the next kernel).
-        let mut pending: Option<(Csc<f64>, f64)> = None;
-        let mut merger = BinaryMerger::new(comm.model().clone());
-        let mut multiway_slabs: Vec<(Csc<f64>, f64)> = Vec::new();
-
-        for k in 0..side {
-            // --- SUMMA broadcasts -------------------------------------
-            let t0 = comm.now();
-            let a_blk =
-                bcast_block(&grid.row_comm, k, (grid.col == k).then_some(&a.local));
-            let b_blk = bcast_block(&grid.col_comm, k, (grid.row == k).then_some(&b_phase));
-            timers.add("summa_bcast", comm.now() - t0);
-
-            // --- Kernel selection (flops + Cohen cf probe, §III/VI) ----
-            let flops = hipmcl_spgemm::flops(&a_blk, &b_blk);
-            let (slab, ready_at) = if flops == 0 {
-                (Csc::zero(a_blk.nrows(), b_blk.ncols()), comm.now())
-            } else {
-                let nnz_probe = match cf_hint {
-                    Some(cf) => ((flops as f64 / cf).max(1.0)) as u64,
-                    None => {
-                        comm.advance_clock(
-                            comm.model().estimate_time(probe.op_count(&a_blk, &b_blk)),
-                        );
-                        probe.estimate_total(&a_blk, &b_blk).max(1.0) as u64
-                    }
-                };
-                let analysis = MultAnalysis { flops, nnz_out: nnz_probe.max(1) };
-                let kernel = select_kernel(&analysis, &cfg.policy, gpus.len());
-                kernels_used.push(kernel);
-
-                match kernel {
-                    SpgemmKernel::Gpu(lib) => {
-                        let launch = gpus
-                            .multiply(comm.now(), &a_blk, &b_blk, lib)
-                            .expect("device OOM: increase phases or use CPU policy");
-                        if cfg.pipelined {
-                            // Host resumes right after the input transfer.
-                            comm.wait_clock_until(launch.inputs_transferred_at);
-                        } else {
-                            // Bulk synchronous: wait for the output.
-                            cpu_idle += comm.wait_clock_until(launch.output_ready_at);
-                        }
-                        timers.add(
-                            "local_spgemm",
-                            launch.output_ready_at - launch.inputs_transferred_at,
-                        );
-                        (launch.c, launch.output_ready_at)
-                    }
-                    cpu_kernel => {
-                        let algo = match cpu_kernel {
-                            SpgemmKernel::CpuHeap => hipmcl_spgemm::CpuAlgo::Heap,
-                            SpgemmKernel::CpuSpa => hipmcl_spgemm::CpuAlgo::Spa,
-                            _ => hipmcl_spgemm::CpuAlgo::Hash,
-                        };
-                        let c = algo.multiply(&a_blk, &b_blk);
-                        let cf =
-                            if c.nnz() == 0 { 1.0 } else { flops as f64 / c.nnz() as f64 };
-                        let dur = comm.model().spgemm_time(cpu_kernel, flops, cf);
-                        comm.advance_clock(dur);
-                        timers.add("local_spgemm", dur);
-                        (c, comm.now())
-                    }
-                }
-            };
-
-            // --- Merging ----------------------------------------------
-            match cfg.merge {
-                MergeStrategy::Multiway => multiway_slabs.push((slab, ready_at)),
-                MergeStrategy::Binary => {
-                    if cfg.pipelined {
-                        // Push the *previous* stage's slab: its merge (if
-                        // Algorithm 2 triggers one) overlaps this stage's
-                        // GPU kernel.
-                        if let Some((prev, prev_ready)) = pending.take() {
-                            let now = merger.push(prev, prev_ready, comm.now());
-                            comm.wait_clock_until(now);
-                        }
-                        pending = Some((slab, ready_at));
-                    } else {
-                        let now = merger.push(slab, ready_at, comm.now());
-                        comm.wait_clock_until(now);
-                    }
-                }
-            }
+    let (outcome, gpu_idle) = match cfg.executor {
+        ExecutorKind::Gpus => run_on(grid, gpus, a, b, cfg, phases, cf_hint, &mut timers, on_slab),
+        ExecutorKind::CpuPool => {
+            let mut pool = CpuPool::new();
+            run_on(
+                grid,
+                &mut pool,
+                a,
+                b,
+                cfg,
+                phases,
+                cf_hint,
+                &mut timers,
+                on_slab,
+            )
         }
+        ExecutorKind::Hybrid { gpu_fraction } => {
+            let mut hybrid = Hybrid::new(gpus, gpu_fraction);
+            run_on(
+                grid,
+                &mut hybrid,
+                a,
+                b,
+                cfg,
+                phases,
+                cf_hint,
+                &mut timers,
+                on_slab,
+            )
+        }
+    };
 
-        // --- Phase wrap-up: final merge --------------------------------
-        let merged = match cfg.merge {
-            MergeStrategy::Multiway => {
-                let (m, now, stats) =
-                    multiway_merge_timed(comm.model(), std::mem::take(&mut multiway_slabs), comm.now());
-                comm.wait_clock_until(now);
-                timers.add("merge", stats.merge_time);
-                cpu_idle += stats.wait_time;
-                merge_stats.peak_merge_elems =
-                    merge_stats.peak_merge_elems.max(stats.peak_merge_elems);
-                merge_stats.total_merged_elems += stats.total_merged_elems;
-                merge_stats.merge_ops += stats.merge_ops;
-                merge_stats.merge_time += stats.merge_time;
-                merge_stats.wait_time += stats.wait_time;
-                m
-            }
-            MergeStrategy::Binary => {
-                if let Some((prev, prev_ready)) = pending.take() {
-                    let now = merger.push(prev, prev_ready, comm.now());
-                    comm.wait_clock_until(now);
-                }
-                let (m, now) = merger.finish(comm.now());
-                comm.wait_clock_until(now);
-                let stats = merger.stats();
-                timers.add("merge", stats.merge_time);
-                cpu_idle += stats.wait_time;
-                merge_stats.peak_merge_elems =
-                    merge_stats.peak_merge_elems.max(stats.peak_merge_elems);
-                merge_stats.total_merged_elems += stats.total_merged_elems;
-                merge_stats.merge_ops += stats.merge_ops;
-                merge_stats.merge_time += stats.merge_time;
-                merge_stats.wait_time += stats.wait_time;
-                m
-            }
-        };
-        phase_slabs.push(on_slab(ph, merged));
-    }
-
-    let local = if phase_slabs.len() == 1 {
-        phase_slabs.pop().unwrap()
+    let PipelineOutcome {
+        mut slabs,
+        merge_stats,
+        cpu_idle,
+        kernels_used,
+    } = outcome;
+    let local = if slabs.len() == 1 {
+        slabs.pop().unwrap()
     } else {
-        Csc::hcat(&phase_slabs)
+        Csc::hcat(&slabs)
     };
 
     SummaOutput {
@@ -367,7 +302,7 @@ where
         timers,
         merge_stats,
         cpu_idle,
-        gpu_idle: gpus.total_idle() - gpu_idle_before,
+        gpu_idle,
         estimate,
         phases,
         kernels_used,
@@ -418,6 +353,7 @@ mod tests {
             policy: SelectionPolicy::cpu_only(),
             merge: MergeStrategy::Multiway,
             pipelined: false,
+            executor: ExecutorKind::Gpus,
             seed: 7,
         }
     }
@@ -436,7 +372,10 @@ mod tests {
     fn phased_execution_matches() {
         let want = serial_product(25, 170, 2);
         for phases in [1usize, 2, 3, 5] {
-            let cfg = SummaConfig { phases: PhasePlan::Fixed(phases), ..base_cfg() };
+            let cfg = SummaConfig {
+                phases: PhasePlan::Fixed(phases),
+                ..base_cfg()
+            };
             let got = run_config(25, 170, 2, 4, cfg);
             assert!(got.max_abs_diff(&want) < 1e-9, "phases={phases}");
         }
@@ -445,7 +384,10 @@ mod tests {
     #[test]
     fn binary_merge_matches_multiway() {
         let want = serial_product(24, 160, 3);
-        let cfg = SummaConfig { merge: MergeStrategy::Binary, ..base_cfg() };
+        let cfg = SummaConfig {
+            merge: MergeStrategy::Binary,
+            ..base_cfg()
+        };
         let got = run_config(24, 160, 3, 9, cfg);
         assert!(got.max_abs_diff(&want) < 1e-9);
     }
@@ -475,6 +417,40 @@ mod tests {
     }
 
     #[test]
+    fn cpu_pool_executor_matches() {
+        let want = serial_product(27, 210, 10);
+        for pipelined in [false, true] {
+            let cfg = SummaConfig {
+                executor: ExecutorKind::CpuPool,
+                merge: MergeStrategy::Binary,
+                pipelined,
+                ..base_cfg()
+            };
+            let got = run_config(27, 210, 10, 4, cfg);
+            assert!(got.max_abs_diff(&want) < 1e-9, "pipelined={pipelined}");
+        }
+    }
+
+    #[test]
+    fn hybrid_executor_matches() {
+        let want = serial_product(28, 240, 11);
+        for gpu_fraction in [0.0, 0.5, 0.85, 1.0] {
+            let cfg = SummaConfig {
+                executor: ExecutorKind::Hybrid { gpu_fraction },
+                policy: SelectionPolicy::always_gpu(),
+                merge: MergeStrategy::Binary,
+                pipelined: true,
+                ..base_cfg()
+            };
+            let got = run_config(28, 240, 11, 4, cfg);
+            assert!(
+                got.max_abs_diff(&want) < 1e-9,
+                "gpu_fraction={gpu_fraction}"
+            );
+        }
+    }
+
+    #[test]
     fn auto_phases_run_estimator() {
         let results = Universe::run(4, MachineModel::summit(), |comm| {
             let grid = ProcGrid::new(comm);
@@ -489,10 +465,15 @@ mod tests {
                 policy: SelectionPolicy::cpu_only(),
                 merge: MergeStrategy::Multiway,
                 pipelined: false,
+                executor: ExecutorKind::Gpus,
                 seed: 1,
             };
             let out = summa_spgemm(&grid, &mut gpus, &a, &a, &cfg);
-            (out.phases, out.estimate.is_some(), out.timers.get("mem_estimation") > 0.0)
+            (
+                out.phases,
+                out.estimate.is_some(),
+                out.timers.get("mem_estimation") > 0.0,
+            )
         });
         for (phases, has_est, timed) in results {
             assert!(phases > 1, "small budget must force multiple phases");
@@ -508,7 +489,10 @@ mod tests {
             let g = random_global(20, 150, 7);
             let a = DistMatrix::from_global(&grid, &g);
             let mut gpus = MultiGpu::summit_node(grid.world.model());
-            let cfg = SummaConfig { phases: PhasePlan::Fixed(3), ..base_cfg() };
+            let cfg = SummaConfig {
+                phases: PhasePlan::Fixed(3),
+                ..base_cfg()
+            };
             let mut seen = Vec::new();
             let out = summa_spgemm_with(&grid, &mut gpus, &a, &a, &cfg, |ph, slab| {
                 seen.push(ph);
@@ -522,31 +506,124 @@ mod tests {
         }
     }
 
+    /// Max over ranks of the final virtual clock for one configuration.
+    fn elapsed(n: usize, nnz: usize, seed: u64, cfg: SummaConfig) -> f64 {
+        let results = Universe::run(4, MachineModel::summit(), move |comm| {
+            let grid = ProcGrid::new(comm);
+            let g = random_global(n, nnz, seed);
+            let a = DistMatrix::from_global(&grid, &g);
+            let mut gpus = MultiGpu::summit_node(grid.world.model());
+            let _ = summa_spgemm(&grid, &mut gpus, &a, &a, &cfg);
+            grid.world.now()
+        });
+        results.into_iter().fold(0.0f64, f64::max)
+    }
+
     #[test]
     fn pipelined_overlap_beats_bulk_synchronous() {
         // Dense enough that kernels dominate; overall time with overlap
         // must be below the no-overlap run (Table II's effect).
-        let elapsed = |pipelined: bool| {
-            let results = Universe::run(4, MachineModel::summit(), move |comm| {
+        let run = |pipelined: bool| {
+            let cfg = SummaConfig {
+                phases: PhasePlan::Fixed(2),
+                policy: SelectionPolicy::always_gpu(),
+                merge: MergeStrategy::Binary,
+                pipelined,
+                executor: ExecutorKind::Gpus,
+                seed: 2,
+            };
+            elapsed(120, 7000, 8, cfg)
+        };
+        let with = run(true);
+        let without = run(false);
+        assert!(
+            with < without,
+            "pipelined {with} must beat bulk-sync {without}"
+        );
+    }
+
+    #[test]
+    fn cpu_only_pipelined_beats_bulk_synchronous() {
+        // The new capability: with the worker-pool executor, the same
+        // overlap shows up without any GPU (Table II's effect on
+        // accelerator-less nodes).
+        let run = |pipelined: bool| {
+            let cfg = SummaConfig {
+                phases: PhasePlan::Fixed(2),
+                policy: SelectionPolicy::cpu_only(),
+                merge: MergeStrategy::Binary,
+                pipelined,
+                executor: ExecutorKind::CpuPool,
+                seed: 2,
+            };
+            elapsed(120, 7000, 8, cfg)
+        };
+        let with = run(true);
+        let without = run(false);
+        assert!(
+            with < without,
+            "cpu pipelined {with} must beat bulk-sync {without}"
+        );
+    }
+
+    #[test]
+    fn kernels_used_counts_every_stage() {
+        // Sparse enough that some stage blocks are empty (zero flops):
+        // the fast path must still record an entry, keeping the count at
+        // phases × √P on every rank.
+        for (nnz, phases) in [(30usize, 2usize), (200, 3)] {
+            let results = Universe::run(9, MachineModel::summit(), move |comm| {
                 let grid = ProcGrid::new(comm);
-                let g = random_global(120, 7000, 8);
+                let g = random_global(21, nnz, 12);
                 let a = DistMatrix::from_global(&grid, &g);
                 let mut gpus = MultiGpu::summit_node(grid.world.model());
                 let cfg = SummaConfig {
-                    phases: PhasePlan::Fixed(2),
-                    policy: SelectionPolicy::always_gpu(),
-                    merge: MergeStrategy::Binary,
-                    pipelined,
-                    seed: 2,
+                    phases: PhasePlan::Fixed(phases),
+                    ..base_cfg()
                 };
-                let _ = summa_spgemm(&grid, &mut gpus, &a, &a, &cfg);
-                grid.world.now()
+                let out = summa_spgemm(&grid, &mut gpus, &a, &a, &cfg);
+                (out.kernels_used.len(), out.phases, grid.side)
             });
-            results.into_iter().fold(0.0f64, f64::max)
-        };
-        let with = elapsed(true);
-        let without = elapsed(false);
-        assert!(with < without, "pipelined {with} must beat bulk-sync {without}");
+            for (kernels, ph, side) in results {
+                assert_eq!(kernels, ph * side, "nnz={nnz} phases={ph}");
+            }
+        }
+    }
+
+    #[test]
+    fn idle_times_are_nonnegative_across_configs() {
+        // Property-style sweep over executors, overlap modes and seeds:
+        // Table V's idle quantities must never go negative.
+        let execs = [
+            ExecutorKind::Gpus,
+            ExecutorKind::CpuPool,
+            ExecutorKind::Hybrid { gpu_fraction: 0.7 },
+        ];
+        for exec in execs {
+            for pipelined in [false, true] {
+                for seed in [1u64, 9, 23] {
+                    let results = Universe::run(4, MachineModel::summit(), move |comm| {
+                        let grid = ProcGrid::new(comm);
+                        let g = random_global(30, 350, seed);
+                        let a = DistMatrix::from_global(&grid, &g);
+                        let mut gpus = MultiGpu::summit_node(grid.world.model());
+                        let cfg = SummaConfig {
+                            policy: SelectionPolicy::always_gpu(),
+                            merge: MergeStrategy::Binary,
+                            pipelined,
+                            executor: exec,
+                            ..base_cfg()
+                        };
+                        let out = summa_spgemm(&grid, &mut gpus, &a, &a, &cfg);
+                        (out.cpu_idle, out.gpu_idle)
+                    });
+                    for (cpu, gpu) in results {
+                        assert!(cpu >= 0.0, "{exec:?} pipelined={pipelined} seed={seed}");
+                        assert!(gpu >= 0.0, "{exec:?} pipelined={pipelined} seed={seed}");
+                    }
+                }
+            }
+        }
     }
 
     #[test]

@@ -58,7 +58,12 @@ pub fn prune_local_slab(
     // Global column maxima (for the never-empty guarantee) and the owner
     // of each maximum (lowest grid row wins ties).
     let local_max: Vec<f64> = (0..ncols)
-        .map(|j| m.col_vals(j).iter().copied().fold(f64::NEG_INFINITY, f64::max))
+        .map(|j| {
+            m.col_vals(j)
+                .iter()
+                .copied()
+                .fold(f64::NEG_INFINITY, f64::max)
+        })
         .collect();
     let all_max: Vec<Vec<f64>> = allgather(col_comm, local_max.clone());
     let owner_and_max: Vec<(usize, f64)> = (0..ncols)
@@ -78,8 +83,12 @@ pub fn prune_local_slab(
     let my_row = col_comm.rank();
     let local_cands: Vec<Vec<f64>> = (0..ncols)
         .map(|j| {
-            let mut v: Vec<f64> =
-                m.col_vals(j).iter().copied().filter(|&x| x >= params.cutoff).collect();
+            let mut v: Vec<f64> = m
+                .col_vals(j)
+                .iter()
+                .copied()
+                .filter(|&x| x >= params.cutoff)
+                .collect();
             v.sort_unstable_by(|a, b| b.partial_cmp(a).unwrap());
             v.truncate(params.select);
             v
@@ -89,15 +98,19 @@ pub fn prune_local_slab(
 
     // Survivor counts per column (for select decisions).
     let survivors: Vec<f64> = (0..ncols)
-        .map(|j| m.col_vals(j).iter().filter(|&&x| x >= params.cutoff).count() as f64)
+        .map(|j| {
+            m.col_vals(j)
+                .iter()
+                .filter(|&&x| x >= params.cutoff)
+                .count() as f64
+        })
         .collect();
     let global_survivors = allreduce_sum_vec(col_comm, survivors);
 
     // Column masses (for recovery decisions).
     let want_recovery = params.recover_num > 0 || params.recover_pct > 0.0;
     let total_mass = if want_recovery {
-        let local: Vec<f64> =
-            (0..ncols).map(|j| m.col_vals(j).iter().sum()).collect();
+        let local: Vec<f64> = (0..ncols).map(|j| m.col_vals(j).iter().sum()).collect();
         allreduce_sum_vec(col_comm, local)
     } else {
         Vec::new()
@@ -113,8 +126,9 @@ pub fn prune_local_slab(
             continue;
         }
         let (owner, gmax) = owner_and_max[j];
-        let survivors_here: Vec<usize> =
-            (0..rows.len()).filter(|&k| vals[k] >= params.cutoff).collect();
+        let survivors_here: Vec<usize> = (0..rows.len())
+            .filter(|&k| vals[k] >= params.cutoff)
+            .collect();
         stats.pruned_by_cutoff += rows.len() - survivors_here.len();
 
         if global_survivors[j] == 0.0 {
@@ -138,8 +152,10 @@ pub fn prune_local_slab(
 
         // Global selection threshold from the merged candidate lists —
         // identical on every rank of the process column.
-        let mut merged: Vec<f64> =
-            all_cands.iter().flat_map(|per_rank| per_rank[j].iter().copied()).collect();
+        let mut merged: Vec<f64> = all_cands
+            .iter()
+            .flat_map(|per_rank| per_rank[j].iter().copied())
+            .collect();
         merged.sort_unstable_by(|a, b| b.partial_cmp(a).unwrap());
         let thr = merged[params.select - 1];
 
@@ -203,8 +219,7 @@ pub fn prune_local_slab(
                     return Vec::new();
                 }
                 let vals = m.col_vals(j);
-                let kept_set: std::collections::BTreeSet<usize> =
-                    kept[j].iter().copied().collect();
+                let kept_set: std::collections::BTreeSet<usize> = kept[j].iter().copied().collect();
                 let mut v: Vec<f64> = (0..vals.len())
                     .filter(|k| !kept_set.contains(k))
                     .map(|k| vals[k])
@@ -229,18 +244,20 @@ pub fn prune_local_slab(
                 }
             }
             merged.sort_unstable_by(|a, b| {
-                b.0.partial_cmp(&a.0).unwrap().then(a.1.cmp(&b.1)).then(a.2.cmp(&b.2))
+                b.0.partial_cmp(&a.0)
+                    .unwrap()
+                    .then(a.1.cmp(&b.1))
+                    .then(a.2.cmp(&b.2))
             });
-            let mut count = kept_count[j] as usize;
+            let start_count = kept_count[j] as usize;
             let mut mass = kept_mass[j];
             let mut take_from_me = 0usize;
-            for &(v, r, _) in &merged {
-                if count >= params.recover_num
+            for (taken, &(v, r, _)) in merged.iter().enumerate() {
+                if start_count + taken >= params.recover_num
                     || mass >= params.recover_pct * total_mass[j]
                 {
                     break;
                 }
-                count += 1;
                 mass += v;
                 if r == my_row {
                     take_from_me += 1;
@@ -249,12 +266,10 @@ pub fn prune_local_slab(
             if take_from_me > 0 {
                 // Restore my `take_from_me` largest pruned entries.
                 let vals = m.col_vals(j);
-                let kept_set: std::collections::BTreeSet<usize> =
-                    kept[j].iter().copied().collect();
+                let kept_set: std::collections::BTreeSet<usize> = kept[j].iter().copied().collect();
                 let mut pruned_idx: Vec<usize> =
                     (0..vals.len()).filter(|k| !kept_set.contains(k)).collect();
-                pruned_idx
-                    .sort_unstable_by(|&a, &b| vals[b].partial_cmp(&vals[a]).unwrap());
+                pruned_idx.sort_unstable_by(|&a, &b| vals[b].partial_cmp(&vals[a]).unwrap());
                 for &k in pruned_idx.iter().take(take_from_me) {
                     kept[j].push(k);
                 }
@@ -326,7 +341,12 @@ mod tests {
 
     #[test]
     fn matches_serial_cutoff_only() {
-        let params = PruneParams { cutoff: 0.3, select: 1000, recover_num: 0, recover_pct: 0.0 };
+        let params = PruneParams {
+            cutoff: 0.3,
+            select: 1000,
+            recover_num: 0,
+            recover_pct: 0.0,
+        };
         for p in [1usize, 4, 9] {
             check(18, 120, 1, p, params);
         }
@@ -334,7 +354,12 @@ mod tests {
 
     #[test]
     fn matches_serial_with_selection() {
-        let params = PruneParams { cutoff: 0.05, select: 3, recover_num: 0, recover_pct: 0.0 };
+        let params = PruneParams {
+            cutoff: 0.05,
+            select: 3,
+            recover_num: 0,
+            recover_pct: 0.0,
+        };
         for p in [1usize, 4, 9] {
             check(20, 260, 2, p, params);
         }
@@ -343,7 +368,12 @@ mod tests {
     #[test]
     fn column_never_emptied_globally() {
         // Brutal cutoff: every column must still keep exactly its max.
-        let params = PruneParams { cutoff: 100.0, select: 5, recover_num: 0, recover_pct: 0.0 };
+        let params = PruneParams {
+            cutoff: 100.0,
+            select: 5,
+            recover_num: 0,
+            recover_pct: 0.0,
+        };
         for p in [1usize, 4] {
             check(15, 90, 3, p, params);
         }
@@ -355,8 +385,12 @@ mod tests {
             let grid = ProcGrid::new(comm);
             let g = random_global(16, 200, 4);
             let c = DistMatrix::from_global(&grid, &g);
-            let params =
-                PruneParams { cutoff: 0.0, select: 2, recover_num: 0, recover_pct: 0.0 };
+            let params = PruneParams {
+                cutoff: 0.0,
+                select: 2,
+                recover_num: 0,
+                recover_pct: 0.0,
+            };
             let (pruned, _) = distributed_prune(&grid, &c, &params);
             pruned.gather_to_root(&grid)
         });
@@ -386,16 +420,31 @@ mod tests {
             let grid = ProcGrid::new(comm);
             let g = random_global(16, 220, 7);
             let c = DistMatrix::from_global(&grid, &g);
-            let no_rec =
-                PruneParams { cutoff: 0.6, select: 50, recover_num: 0, recover_pct: 0.0 };
-            let with_rec =
-                PruneParams { cutoff: 0.6, select: 50, recover_num: 5, recover_pct: 0.9 };
+            let no_rec = PruneParams {
+                cutoff: 0.6,
+                select: 50,
+                recover_num: 0,
+                recover_pct: 0.0,
+            };
+            let with_rec = PruneParams {
+                cutoff: 0.6,
+                select: 50,
+                recover_num: 5,
+                recover_pct: 0.9,
+            };
             let (lean, _) = distributed_prune(&grid, &c, &no_rec);
             let (fat, stats) = distributed_prune(&grid, &c, &with_rec);
-            (lean.nnz_global(&grid), fat.nnz_global(&grid), stats.recovered)
+            (
+                lean.nnz_global(&grid),
+                fat.nnz_global(&grid),
+                stats.recovered,
+            )
         });
         let (lean, fat, _) = results[0];
-        assert!(fat > lean, "recovery must restore entries ({fat} vs {lean})");
+        assert!(
+            fat > lean,
+            "recovery must restore entries ({fat} vs {lean})"
+        );
         let total_recovered: usize = results.iter().map(|r| r.2).sum();
         assert_eq!(total_recovered as u64, fat - lean);
     }
@@ -406,8 +455,12 @@ mod tests {
             let grid = ProcGrid::new(comm);
             let g = random_global(16, 200, 5);
             let c = DistMatrix::from_global(&grid, &g);
-            let params =
-                PruneParams { cutoff: 0.5, select: 2, recover_num: 0, recover_pct: 0.0 };
+            let params = PruneParams {
+                cutoff: 0.5,
+                select: 2,
+                recover_num: 0,
+                recover_pct: 0.0,
+            };
             let (_, stats) = distributed_prune(&grid, &c, &params);
             stats.pruned_by_cutoff + stats.pruned_by_select
         });

@@ -97,8 +97,8 @@ pub fn generate_protein_net(cfg: &ProteinNetConfig) -> ProteinNet {
 
     let mut truth = vec![0u32; cfg.n];
     for (c, (&start, &size)) in starts.iter().zip(&sizes).enumerate() {
-        for v in start..start + size {
-            truth[v] = c as u32;
+        for t in &mut truth[start..start + size] {
+            *t = c as u32;
         }
     }
 
@@ -184,7 +184,11 @@ pub fn generate_protein_net(cfg: &ProteinNetConfig) -> ProteinNet {
     }
     graph.sum_duplicates();
 
-    ProteinNet { graph, truth: permuted_truth, num_clusters: sizes.len() }
+    ProteinNet {
+        graph,
+        truth: permuted_truth,
+        num_clusters: sizes.len(),
+    }
 }
 
 #[cfg(test)]
@@ -209,7 +213,10 @@ mod tests {
         let b = generate_protein_net(&small_cfg());
         assert_eq!(a.graph, b.graph);
         assert_eq!(a.truth, b.truth);
-        let c = generate_protein_net(&ProteinNetConfig { seed: 8, ..small_cfg() });
+        let c = generate_protein_net(&ProteinNetConfig {
+            seed: 8,
+            ..small_cfg()
+        });
         assert_ne!(a.graph, c.graph);
     }
 
@@ -233,7 +240,11 @@ mod tests {
 
     #[test]
     fn average_degree_roughly_matches() {
-        let cfg = ProteinNetConfig { n: 2000, avg_degree: 30.0, ..small_cfg() };
+        let cfg = ProteinNetConfig {
+            n: 2000,
+            avg_degree: 30.0,
+            ..small_cfg()
+        };
         let net = generate_protein_net(&cfg);
         let avg = net.graph.nnz() as f64 / cfg.n as f64;
         assert!(
@@ -255,7 +266,10 @@ mod tests {
                 inter_max = inter_max.max(v);
             }
         }
-        assert!(intra_min > inter_max, "intra {intra_min} vs inter {inter_max}");
+        assert!(
+            intra_min > inter_max,
+            "intra {intra_min} vs inter {inter_max}"
+        );
     }
 
     #[test]
@@ -265,7 +279,10 @@ mod tests {
         for &l in &net.truth {
             seen[l as usize] = true;
         }
-        assert!(seen.into_iter().all(|b| b), "every planted cluster has members");
+        assert!(
+            seen.into_iter().all(|b| b),
+            "every planted cluster has members"
+        );
     }
 
     #[test]
@@ -292,8 +309,7 @@ mod tests {
         };
         let net = generate_protein_net(&cfg);
         let m = hipmcl_sparse::Csc::from_triples(&net.graph);
-        let result =
-            hipmcl_core::cluster_serial(&m, &hipmcl_core::MclConfig::testing(24));
+        let result = hipmcl_core::cluster_serial(&m, &hipmcl_core::MclConfig::testing(24));
         // The truncated final family can be tiny and noise-attached, so
         // compare partitions over vertices in full-sized families only.
         let full: Vec<usize> = (0..cfg.n)

@@ -162,7 +162,14 @@ mod tests {
         all.sort();
         assert_eq!(
             all,
-            vec!["archaea", "eukarya", "isom100", "isom100-1", "isom100-3", "metaclust50"]
+            vec![
+                "archaea",
+                "eukarya",
+                "isom100",
+                "isom100-1",
+                "isom100-3",
+                "metaclust50"
+            ]
         );
     }
 }

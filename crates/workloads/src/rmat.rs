@@ -26,7 +26,14 @@ pub struct RmatParams {
 impl RmatParams {
     /// Graph500 defaults at the given scale.
     pub fn graph500(scale: u32, edge_factor: usize, seed: u64) -> Self {
-        Self { a: 0.57, b: 0.19, c: 0.19, scale, edge_factor, seed }
+        Self {
+            a: 0.57,
+            b: 0.19,
+            c: 0.19,
+            scale,
+            edge_factor,
+            seed,
+        }
     }
 }
 

@@ -32,7 +32,11 @@ pub fn graph_stats<T: Scalar>(m: &Csc<T>) -> GraphStats {
     GraphStats {
         n,
         nnz: m.nnz(),
-        avg_degree: if n == 0 { 0.0 } else { m.nnz() as f64 / n as f64 },
+        avg_degree: if n == 0 {
+            0.0
+        } else {
+            m.nnz() as f64 / n as f64
+        },
         max_degree,
         empty_cols: if n == 0 { 0.0 } else { empty as f64 / n as f64 },
     }
@@ -44,7 +48,11 @@ pub fn degree_histogram<T: Scalar>(m: &Csc<T>) -> Vec<usize> {
     let mut hist = Vec::new();
     for j in 0..m.ncols() {
         let d = m.col_nnz(j);
-        let bucket = if d <= 1 { 0 } else { (usize::BITS - (d - 1).leading_zeros()) as usize };
+        let bucket = if d <= 1 {
+            0
+        } else {
+            (usize::BITS - (d - 1).leading_zeros()) as usize
+        };
         if hist.len() <= bucket {
             hist.resize(bucket + 1, 0);
         }

@@ -35,14 +35,21 @@ fn main() {
                 text.push_str(&format!("PROT{r:05} PROT{c:05} {v:.4}\n"));
             }
         }
-        println!("(no input given: generated a demo edge list with {} similarities)", net.graph.nnz() / 2);
+        println!(
+            "(no input given: generated a demo edge list with {} similarities)",
+            net.graph.nnz() / 2
+        );
         Box::new(std::io::Cursor::new(text))
     };
 
     // 1. Ingest: labels -> dense ids.
     let (triples, map) = read_labelled_edge_list(input).expect("parse edge list");
     let graph = Csc::from_triples(&triples);
-    println!("{} proteins, {} stored similarities", map.len(), graph.nnz());
+    println!(
+        "{} proteins, {} stored similarities",
+        map.len(),
+        graph.nnz()
+    );
 
     // 2. Cluster (serial driver; use the distributed one for big inputs).
     let cfg = MclConfig::testing(64);

@@ -36,8 +36,7 @@ fn main() {
         let mut gpus = MultiGpu::summit_node(grid.world.model());
         let net = dataset.instance(scale);
         let graph = Csc::from_triples(&net.graph);
-        let report =
-            hipmcl::core::dist::cluster_distributed(&grid, &mut gpus, &graph, &mcl_cfg);
+        let report = hipmcl::core::dist::cluster_distributed(&grid, &mut gpus, &graph, &mcl_cfg);
         (report, net.num_clusters)
     });
     let (report, planted) = &reports[0];
@@ -46,7 +45,10 @@ fn main() {
         "\nclusters found: {} (planted: {planted}), iterations: {}, converged: {}",
         report.num_clusters, report.iterations, report.converged
     );
-    println!("modeled wall time on {p} Summit nodes: {:.3} s", report.total_time);
+    println!(
+        "modeled wall time on {p} Summit nodes: {:.3} s",
+        report.total_time
+    );
     println!("\nstage breakdown (max over ranks, summed over iterations):");
     for (name, t) in &report.stage_times {
         println!("  {name:<16} {:>10.4} s", t);

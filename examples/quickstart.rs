@@ -64,9 +64,7 @@ fn main() {
     println!("serial and distributed clusterings agree ✓");
 
     // 5. Cluster size histogram (top ten).
-    let sizes = hipmcl::summa::components::cluster_size_histogram(
-        &serial.labels,
-        serial.num_clusters,
-    );
+    let sizes =
+        hipmcl::summa::components::cluster_size_histogram(&serial.labels, serial.num_clusters);
     println!("largest clusters: {:?}", &sizes[..sizes.len().min(10)]);
 }

@@ -10,7 +10,11 @@ fn main() {
     let dataset = Dataset::Isom100_1;
     // 35M / 20k = 1750 vertices: big enough for real per-rank work,
     // small enough for a fast demo (debug builds shrink further).
-    let scale: u64 = if cfg!(debug_assertions) { 100_000 } else { 20_000 };
+    let scale: u64 = if cfg!(debug_assertions) {
+        100_000
+    } else {
+        20_000
+    };
 
     let cfg = dataset.config(scale);
     println!(
@@ -24,7 +28,10 @@ fn main() {
     mcl_cfg.prune.select = 120;
     mcl_cfg.max_iters = 6; // fixed work per node count for a clean curve
 
-    println!("\n{:>7} {:>14} {:>10} {:>12}", "nodes", "time (s)", "speedup", "efficiency");
+    println!(
+        "\n{:>7} {:>14} {:>10} {:>12}",
+        "nodes", "time (s)", "speedup", "efficiency"
+    );
     let mut t1 = None;
     for p in [1usize, 4, 16, 36] {
         let reports = Universe::run(p, MachineModel::summit(), |comm| {
@@ -32,8 +39,7 @@ fn main() {
             let mut gpus = MultiGpu::summit_node(grid.world.model());
             let net = dataset.instance(scale);
             let graph = Csc::from_triples(&net.graph);
-            hipmcl::core::dist::cluster_distributed(&grid, &mut gpus, &graph, &mcl_cfg)
-                .total_time
+            hipmcl::core::dist::cluster_distributed(&grid, &mut gpus, &graph, &mcl_cfg).total_time
         });
         let t = reports[0];
         let base = *t1.get_or_insert(t);

@@ -53,8 +53,8 @@ pub use hipmcl_workloads as workloads;
 /// The most common imports in one place.
 pub mod prelude {
     pub use crate::comm::{MachineModel, ProcGrid, Universe};
-    pub use crate::core::{cluster_serial, MclConfig};
     pub use crate::core::dist::cluster_distributed;
+    pub use crate::core::{cluster_serial, MclConfig};
     pub use crate::gpu::multi::MultiGpu;
     pub use crate::sparse::{Csc, Triples};
     pub use crate::summa::DistMatrix;

@@ -67,12 +67,7 @@ fn chaos_trace_reaches_convergence_threshold() {
         let grid = ProcGrid::new(comm);
         let mut gpus = MultiGpu::summit_node(grid.world.model());
         let graph = net_graph(23, 140);
-        hipmcl::core::dist::cluster_distributed(
-            &grid,
-            &mut gpus,
-            &graph,
-            &MclConfig::testing(20),
-        )
+        hipmcl::core::dist::cluster_distributed(&grid, &mut gpus, &graph, &MclConfig::testing(20))
     });
     let r = &reports[0];
     assert!(r.converged);
@@ -99,7 +94,10 @@ fn instrumentation_is_internally_consistent() {
     for (name, t) in &r.stage_times {
         assert!(t.is_finite() && *t >= 0.0, "{name}: {t}");
     }
-    assert!(r.total_time >= get("expansion"), "total covers the SUMMA section");
+    assert!(
+        r.total_time >= get("expansion"),
+        "total covers the SUMMA section"
+    );
     assert!(r.cpu_idle >= 0.0 && r.gpu_idle >= 0.0);
     assert_eq!(r.merge_peaks.len(), r.iterations);
     assert_eq!(r.estimates.len(), r.iterations);
@@ -119,7 +117,11 @@ fn gpu_estimator_variant_runs_end_to_end() {
     });
     let r = &reports[0];
     assert!(r.converged);
-    assert!(r.estimates.iter().flatten().all(|e| e.scheme == "probabilistic-gpu"));
+    assert!(r
+        .estimates
+        .iter()
+        .flatten()
+        .all(|e| e.scheme == "probabilistic-gpu"));
 }
 
 #[test]

@@ -19,9 +19,7 @@ fn small_net(seed: u64) -> (Csc<f64>, Vec<u32>, usize) {
 
 fn same_partition(a: &[u32], b: &[u32]) -> bool {
     a.len() == b.len()
-        && (0..a.len()).all(|i| {
-            ((i + 1)..a.len()).all(|j| (a[i] == a[j]) == (b[i] == b[j]))
-        })
+        && (0..a.len()).all(|i| ((i + 1)..a.len()).all(|j| (a[i] == a[j]) == (b[i] == b[j])))
 }
 
 #[test]

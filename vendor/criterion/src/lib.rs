@@ -1,0 +1,180 @@
+//! Offline shim for `criterion`: a minimal wall-clock timing harness with
+//! the same API shape (groups, `bench_with_input`, `iter`/`iter_batched`).
+//! It reports mean/min per benchmark to stdout — no statistics, plots, or
+//! saved baselines. See `vendor/README.md`.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Opaque-to-the-optimizer identity, as in upstream.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// How `iter_batched` amortizes setup cost; the shim times per-iteration
+/// either way, so the variants only document intent.
+#[derive(Clone, Copy, Debug)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs (setup excluded from timing).
+    LargeInput,
+    /// Fresh setup every iteration.
+    PerIteration,
+}
+
+/// Identifies one benchmark within a group: `function_name/parameter`.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Builds `function_name/parameter`.
+    pub fn new<S: Into<String>, P: Display>(function_name: S, parameter: P) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+}
+
+/// Measures one routine; handed to the closure of `bench_with_input`.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `routine` over the configured iteration count.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+
+    /// Times `routine` on inputs built by `setup`, excluding setup time.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let mut total = Duration::ZERO;
+        for _ in 0..self.iters {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            total += start.elapsed();
+        }
+        self.elapsed = total;
+    }
+}
+
+/// A named set of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the iteration count per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Runs one benchmark with a borrowed input.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut bencher = Bencher {
+            iters: self.sample_size as u64,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut bencher, input);
+        let mean = bencher.elapsed.as_secs_f64() / bencher.iters.max(1) as f64;
+        println!(
+            "{}/{}: mean {:.3} ms ({} iters)",
+            self.name,
+            id.id,
+            mean * 1e3,
+            bencher.iters
+        );
+        self
+    }
+
+    /// Ends the group (upstream flushes reports here; the shim prints
+    /// eagerly, so this only consumes the group).
+    pub fn finish(self) {}
+}
+
+/// Entry point mirroring `criterion::Criterion`.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group<S: Into<String>>(&mut self, name: S) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: 100,
+            _criterion: self,
+        }
+    }
+}
+
+/// Bundles benchmark functions into one callable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Generates `main` running the given groups (for `harness = false`
+/// bench targets).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // Ignore harness-style CLI args (e.g. `--bench` from cargo).
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_and_times() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("shim");
+        group.sample_size(3);
+        let input = vec![1u64, 2, 3];
+        let mut runs = 0u64;
+        group.bench_with_input(BenchmarkId::new("sum", input.len()), &input, |b, v| {
+            b.iter(|| {
+                runs += 1;
+                v.iter().sum::<u64>()
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("batched", 0), &input, |b, v| {
+            b.iter_batched(|| v.clone(), |v| v.len(), BatchSize::LargeInput)
+        });
+        group.finish();
+        assert_eq!(runs, 3);
+    }
+}

@@ -1,0 +1,67 @@
+//! Offline shim for `crossbeam-channel`: the `unbounded` channel API this
+//! workspace uses, delegating to `std::sync::mpsc` (which has been backed
+//! by the crossbeam implementation — with a `Sync` `Sender` — since Rust
+//! 1.72). See `vendor/README.md`.
+
+pub use std::sync::mpsc::{RecvError, SendError, TryRecvError};
+
+/// Sending half of an unbounded channel.
+pub struct Sender<T>(std::sync::mpsc::Sender<T>);
+
+/// Receiving half of an unbounded channel.
+pub struct Receiver<T>(std::sync::mpsc::Receiver<T>);
+
+impl<T> Clone for Sender<T> {
+    fn clone(&self) -> Self {
+        Sender(self.0.clone())
+    }
+}
+
+impl<T> Sender<T> {
+    /// Sends, failing only if all receivers are gone.
+    pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+        self.0.send(value)
+    }
+}
+
+impl<T> Receiver<T> {
+    /// Blocks until a message arrives or all senders are gone.
+    pub fn recv(&self) -> Result<T, RecvError> {
+        self.0.recv()
+    }
+
+    /// Non-blocking receive.
+    pub fn try_recv(&self) -> Result<T, TryRecvError> {
+        self.0.try_recv()
+    }
+}
+
+/// Creates an unbounded channel.
+pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+    let (tx, rx) = std::sync::mpsc::channel();
+    (Sender(tx), Receiver(rx))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cross_thread_roundtrip() {
+        let (tx, rx) = unbounded::<u64>();
+        let tx2 = tx.clone();
+        std::thread::scope(|s| {
+            s.spawn(move || tx.send(1).unwrap());
+            s.spawn(move || tx2.send(2).unwrap());
+            let a = rx.recv().unwrap();
+            let b = rx.recv().unwrap();
+            assert_eq!(a + b, 3);
+        });
+    }
+
+    #[test]
+    fn sender_is_sync() {
+        fn assert_sync<T: Sync>() {}
+        assert_sync::<Sender<u64>>();
+    }
+}

@@ -1,0 +1,65 @@
+//! Offline shim for `rand_distr` 0.4: `Exp1` and `StandardNormal` via
+//! inverse-transform / Box–Muller sampling. See `vendor/README.md`.
+
+pub use rand::distributions::Distribution;
+use rand::{Rng, RngCore};
+
+/// The standard exponential distribution `Exp(1)`.
+#[derive(Clone, Copy, Debug)]
+pub struct Exp1;
+
+impl Distribution<f64> for Exp1 {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        // Inverse transform −ln U; clamping U away from zero keeps the
+        // log finite.
+        -rng.gen::<f64>().max(f64::MIN_POSITIVE).ln()
+    }
+}
+
+impl Distribution<f32> for Exp1 {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f32 {
+        <Exp1 as Distribution<f64>>::sample(self, rng) as f32
+    }
+}
+
+/// The standard normal distribution `N(0, 1)`.
+#[derive(Clone, Copy, Debug)]
+pub struct StandardNormal;
+
+impl Distribution<f64> for StandardNormal {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        // Box–Muller (one of the pair; simple and dependency-free).
+        let u1: f64 = (1.0 - rng.gen::<f64>()).max(f64::MIN_POSITIVE);
+        let u2: f64 = rng.gen::<f64>();
+        (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn exp1_mean_near_one() {
+        let mut rng = SmallRng::seed_from_u64(11);
+        let n = 20_000;
+        let mean: f64 = (0..n)
+            .map(|_| <Exp1 as Distribution<f64>>::sample(&Exp1, &mut rng))
+            .sum::<f64>()
+            / n as f64;
+        assert!((mean - 1.0).abs() < 0.05, "mean {mean}");
+    }
+
+    #[test]
+    fn normal_moments() {
+        let mut rng = SmallRng::seed_from_u64(12);
+        let n = 20_000;
+        let xs: Vec<f64> = (0..n).map(|_| StandardNormal.sample(&mut rng)).collect();
+        let mean = xs.iter().sum::<f64>() / n as f64;
+        let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.05, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.1, "var {var}");
+    }
+}

@@ -1,0 +1,391 @@
+//! Offline shim for `rayon`: the parallel-iterator subset used by this
+//! workspace, implemented **sequentially** behind the same trait names.
+//!
+//! The workspace only relies on rayon for correctness (the distributed
+//! algorithms' wall-clock figures come from virtual-time models, not from
+//! measured speedups), so a faithful sequential execution is a valid
+//! stand-in on machines without a crates.io mirror. See `vendor/README.md`.
+
+/// A "parallel" iterator: a thin wrapper over a sequential iterator.
+pub struct Par<I>(I);
+
+/// Core parallel-iterator operations (sequential here).
+pub trait ParallelIterator: Sized {
+    /// Element type.
+    type Item;
+    /// Underlying sequential iterator.
+    type Iter: Iterator<Item = Self::Item>;
+
+    /// Unwraps into the sequential iterator that drives everything.
+    fn into_seq(self) -> Self::Iter;
+
+    /// Maps each element.
+    fn map<R, F>(self, f: F) -> Par<std::iter::Map<Self::Iter, F>>
+    where
+        F: FnMut(Self::Item) -> R,
+    {
+        Par(self.into_seq().map(f))
+    }
+
+    /// Maps each element to a serial iterator and flattens.
+    fn flat_map_iter<U, F>(self, f: F) -> Par<std::iter::FlatMap<Self::Iter, U, F>>
+    where
+        U: IntoIterator,
+        F: FnMut(Self::Item) -> U,
+    {
+        Par(self.into_seq().flat_map(f))
+    }
+
+    /// Keeps elements satisfying the predicate.
+    fn filter<F>(self, f: F) -> Par<std::iter::Filter<Self::Iter, F>>
+    where
+        F: FnMut(&Self::Item) -> bool,
+    {
+        Par(self.into_seq().filter(f))
+    }
+
+    /// Maps and keeps only `Some` results.
+    fn filter_map<R, F>(self, f: F) -> Par<std::iter::FilterMap<Self::Iter, F>>
+    where
+        F: FnMut(Self::Item) -> Option<R>,
+    {
+        Par(self.into_seq().filter_map(f))
+    }
+
+    /// Maps with a per-worker scratch value (a single scratch here).
+    fn map_with<T, U, F>(self, init: T, f: F) -> Par<MapWithIter<Self::Iter, T, F>>
+    where
+        F: FnMut(&mut T, Self::Item) -> U,
+    {
+        Par(MapWithIter {
+            iter: self.into_seq(),
+            scratch: init,
+            f,
+        })
+    }
+
+    /// Runs `f` on every element.
+    fn for_each<F>(self, f: F)
+    where
+        F: FnMut(Self::Item),
+    {
+        self.into_seq().for_each(f)
+    }
+
+    /// [`ParallelIterator::for_each`] with a per-worker scratch value.
+    fn for_each_with<T, F>(self, init: T, mut f: F)
+    where
+        F: FnMut(&mut T, Self::Item),
+    {
+        let mut scratch = init;
+        self.into_seq().for_each(|item| f(&mut scratch, item));
+    }
+
+    /// Sums the elements.
+    fn sum<S>(self) -> S
+    where
+        S: std::iter::Sum<Self::Item>,
+    {
+        self.into_seq().sum()
+    }
+
+    /// Collects into any `FromIterator` container.
+    fn collect<C>(self) -> C
+    where
+        C: FromIterator<Self::Item>,
+    {
+        self.into_seq().collect()
+    }
+
+    /// Folds with an identity constructor (rayon's signature; sequential
+    /// here, so a single fold over one "split").
+    fn reduce<ID, OP>(self, identity: ID, op: OP) -> Self::Item
+    where
+        ID: Fn() -> Self::Item,
+        OP: Fn(Self::Item, Self::Item) -> Self::Item,
+    {
+        self.into_seq().fold(identity(), op)
+    }
+
+    /// Largest element.
+    fn max(self) -> Option<Self::Item>
+    where
+        Self::Item: Ord,
+    {
+        self.into_seq().max()
+    }
+
+    /// Number of elements.
+    fn count(self) -> usize {
+        self.into_seq().count()
+    }
+}
+
+/// Iterator behind [`ParallelIterator::map_with`].
+pub struct MapWithIter<I, T, F> {
+    iter: I,
+    scratch: T,
+    f: F,
+}
+
+impl<I: Iterator, T, U, F: FnMut(&mut T, I::Item) -> U> Iterator for MapWithIter<I, T, F> {
+    type Item = U;
+    fn next(&mut self) -> Option<U> {
+        let item = self.iter.next()?;
+        Some((self.f)(&mut self.scratch, item))
+    }
+}
+
+/// Marker + indexed operations; every shim iterator is "indexed".
+pub trait IndexedParallelIterator: ParallelIterator {
+    /// Zips with another parallel iterable (must be equal length upstream;
+    /// unchecked here, matching `zip`'s shortest-wins only when misused).
+    fn zip_eq<Z>(self, other: Z) -> Par<std::iter::Zip<Self::Iter, Z::Iter>>
+    where
+        Z: IntoParallelIterator,
+    {
+        Par(self.into_seq().zip(other.into_par_iter().into_seq()))
+    }
+
+    /// Zips with another parallel iterable.
+    fn zip<Z>(self, other: Z) -> Par<std::iter::Zip<Self::Iter, Z::Iter>>
+    where
+        Z: IntoParallelIterator,
+    {
+        Par(self.into_seq().zip(other.into_par_iter().into_seq()))
+    }
+
+    /// Pairs each element with its index.
+    fn enumerate(self) -> Par<std::iter::Enumerate<Self::Iter>> {
+        Par(self.into_seq().enumerate())
+    }
+
+    /// Hint accepted and ignored (sequential execution).
+    fn with_min_len(self, _min: usize) -> Self {
+        self
+    }
+}
+
+impl<I: Iterator> ParallelIterator for Par<I> {
+    type Item = I::Item;
+    type Iter = I;
+    fn into_seq(self) -> I {
+        self.0
+    }
+}
+
+impl<I: Iterator> IndexedParallelIterator for Par<I> {}
+
+/// Conversion into a parallel iterator (named impls rather than a blanket
+/// over `IntoIterator`, so `Par` itself can also implement it).
+pub trait IntoParallelIterator {
+    /// Element type.
+    type Item;
+    /// Sequential driver.
+    type Iter: Iterator<Item = Self::Item>;
+    /// Wraps into [`Par`].
+    fn into_par_iter(self) -> Par<Self::Iter>;
+}
+
+// Blanket over every parallel iterator (including opaque
+// `impl IndexedParallelIterator` returns). No overlap with the concrete
+// impls below: `ParallelIterator` is local, so no other crate can
+// implement it for `Range`/`Vec`/slices, and this crate does not.
+impl<T: ParallelIterator> IntoParallelIterator for T {
+    type Item = T::Item;
+    type Iter = T::Iter;
+    fn into_par_iter(self) -> Par<T::Iter> {
+        Par(self.into_seq())
+    }
+}
+
+macro_rules! impl_into_par_for_range {
+    ($($t:ty),*) => {$(
+        impl IntoParallelIterator for std::ops::Range<$t> {
+            type Item = $t;
+            type Iter = std::ops::Range<$t>;
+            fn into_par_iter(self) -> Par<Self::Iter> {
+                Par(self)
+            }
+        }
+        impl IntoParallelIterator for std::ops::RangeInclusive<$t> {
+            type Item = $t;
+            type Iter = std::ops::RangeInclusive<$t>;
+            fn into_par_iter(self) -> Par<Self::Iter> {
+                Par(self)
+            }
+        }
+    )*};
+}
+impl_into_par_for_range!(u8, u16, u32, u64, usize, i32, i64, isize);
+
+impl<T> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    type Iter = std::vec::IntoIter<T>;
+    fn into_par_iter(self) -> Par<Self::Iter> {
+        Par(self.into_iter())
+    }
+}
+
+impl<'a, T> IntoParallelIterator for &'a Vec<T> {
+    type Item = &'a T;
+    type Iter = std::slice::Iter<'a, T>;
+    fn into_par_iter(self) -> Par<Self::Iter> {
+        Par(self.iter())
+    }
+}
+
+impl<'a, T> IntoParallelIterator for &'a [T] {
+    type Item = &'a T;
+    type Iter = std::slice::Iter<'a, T>;
+    fn into_par_iter(self) -> Par<Self::Iter> {
+        Par(self.iter())
+    }
+}
+
+impl<'a, T> IntoParallelIterator for &'a mut Vec<T> {
+    type Item = &'a mut T;
+    type Iter = std::slice::IterMut<'a, T>;
+    fn into_par_iter(self) -> Par<Self::Iter> {
+        Par(self.iter_mut())
+    }
+}
+
+impl<'a, T> IntoParallelIterator for &'a mut [T] {
+    type Item = &'a mut T;
+    type Iter = std::slice::IterMut<'a, T>;
+    fn into_par_iter(self) -> Par<Self::Iter> {
+        Par(self.iter_mut())
+    }
+}
+
+/// `par_iter` by shared reference.
+pub trait IntoParallelRefIterator<'a> {
+    /// Element type.
+    type Item: 'a;
+    /// Sequential driver.
+    type Iter: Iterator<Item = Self::Item>;
+    /// Borrowing counterpart of [`IntoParallelIterator::into_par_iter`].
+    fn par_iter(&'a self) -> Par<Self::Iter>;
+}
+
+impl<'a, C: 'a + ?Sized> IntoParallelRefIterator<'a> for C
+where
+    &'a C: IntoParallelIterator,
+{
+    type Item = <&'a C as IntoParallelIterator>::Item;
+    type Iter = <&'a C as IntoParallelIterator>::Iter;
+    fn par_iter(&'a self) -> Par<Self::Iter> {
+        self.into_par_iter()
+    }
+}
+
+/// `par_iter_mut` by mutable reference.
+pub trait IntoParallelRefMutIterator<'a> {
+    /// Element type.
+    type Item: 'a;
+    /// Sequential driver.
+    type Iter: Iterator<Item = Self::Item>;
+    /// Borrowing counterpart of [`IntoParallelIterator::into_par_iter`].
+    fn par_iter_mut(&'a mut self) -> Par<Self::Iter>;
+}
+
+impl<'a, C: 'a + ?Sized> IntoParallelRefMutIterator<'a> for C
+where
+    &'a mut C: IntoParallelIterator,
+{
+    type Item = <&'a mut C as IntoParallelIterator>::Item;
+    type Iter = <&'a mut C as IntoParallelIterator>::Iter;
+    fn par_iter_mut(&'a mut self) -> Par<Self::Iter> {
+        self.into_par_iter()
+    }
+}
+
+/// Slice-specific "parallel" views.
+pub trait ParallelSlice<T> {
+    /// Overlapping windows of `size` elements.
+    fn par_windows(&self, size: usize) -> Par<std::slice::Windows<'_, T>>;
+    /// Non-overlapping chunks of at most `size` elements.
+    fn par_chunks(&self, size: usize) -> Par<std::slice::Chunks<'_, T>>;
+}
+
+impl<T> ParallelSlice<T> for [T] {
+    fn par_windows(&self, size: usize) -> Par<std::slice::Windows<'_, T>> {
+        Par(self.windows(size))
+    }
+    fn par_chunks(&self, size: usize) -> Par<std::slice::Chunks<'_, T>> {
+        Par(self.chunks(size))
+    }
+}
+
+/// Runs both closures (sequentially here) and returns both results.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA,
+    B: FnOnce() -> RB,
+{
+    (a(), b())
+}
+
+/// Number of worker threads (1: the shim executes sequentially).
+pub fn current_num_threads() -> usize {
+    1
+}
+
+/// Module mirror of `rayon::iter`.
+pub mod iter {
+    pub use crate::{
+        IndexedParallelIterator, IntoParallelIterator, IntoParallelRefIterator,
+        IntoParallelRefMutIterator, ParallelIterator,
+    };
+}
+
+/// Module mirror of `rayon::slice`.
+pub mod slice {
+    pub use crate::ParallelSlice;
+}
+
+/// Module mirror of `rayon::prelude`.
+pub mod prelude {
+    pub use crate::{
+        IndexedParallelIterator, IntoParallelIterator, IntoParallelRefIterator,
+        IntoParallelRefMutIterator, ParallelIterator, ParallelSlice,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_collect_sum() {
+        let v: Vec<u64> = (0u64..10).into_par_iter().map(|x| x * 2).collect();
+        assert_eq!(v[9], 18);
+        let s: u64 = v.par_iter().map(|&x| x).sum();
+        assert_eq!(s, 90);
+    }
+
+    #[test]
+    fn windows_zip_enumerate() {
+        let xs = [0usize, 2, 5];
+        let lens: Vec<usize> = xs
+            .par_windows(2)
+            .zip_eq((0..2usize).into_par_iter())
+            .enumerate()
+            .map(|(i, (w, j))| {
+                assert_eq!(i, j);
+                w[1] - w[0]
+            })
+            .collect();
+        assert_eq!(lens, vec![2, 3]);
+    }
+
+    #[test]
+    fn flat_map_iter_flattens() {
+        let v: Vec<usize> = (0usize..3)
+            .into_par_iter()
+            .flat_map_iter(|i| 0..i)
+            .collect();
+        assert_eq!(v, vec![0, 0, 1]);
+    }
+}
