@@ -10,11 +10,14 @@
 //! the paper's, but the *shape* — who wins, by what factor, where the
 //! crossovers sit — is.
 
+use hipmcl_comm::collectives::{allreduce, allreduce_sum_vec};
 use hipmcl_comm::ProcGrid;
-use hipmcl_core::dist::{cluster_distributed_from, DistMclReport};
+use hipmcl_core::dist::{cluster_distributed_from, dist_inflate_and_chaos, DistMclReport};
 use hipmcl_core::MclConfig;
 use hipmcl_gpu::multi::MultiGpu;
 use hipmcl_sparse::Csc;
+use hipmcl_summa::executor::{ExecutorKind, SplitPolicy};
+use hipmcl_summa::topk::prune_local_slab;
 use hipmcl_summa::DistMatrix;
 use hipmcl_workloads::Dataset;
 use std::io::Write;
@@ -107,6 +110,104 @@ pub fn run_scattered_on(comm: hipmcl_comm::Comm, d: Dataset, cfg: &MclConfig) ->
     // stage in the paper either.
     grid.world.reset_instrumentation();
     cluster_distributed_from(&grid, &mut gpus, a, cfg)
+}
+
+/// One split policy's outcome in the hybrid split ablation
+/// (`probe_hybrid_split`).
+#[derive(Clone, Debug)]
+pub struct SplitProbeReport {
+    /// Mean over ranks of host idle time, summed over iterations.
+    pub cpu_idle: f64,
+    /// Mean over ranks of device + worker-pool idle time (the unified
+    /// hybrid timelines), summed over iterations.
+    pub gpu_idle: f64,
+    /// Max over ranks of the final virtual clock.
+    pub total_time: f64,
+    /// Rank 0's realized GPU share per hybrid submission, in submission
+    /// order across all iterations.
+    pub fractions: Vec<f64>,
+    /// Iterations executed.
+    pub iterations: usize,
+}
+
+impl SplitProbeReport {
+    /// The quantity the ablation compares: CPU idle + GPU idle off the
+    /// unified timelines.
+    pub fn total_idle(&self) -> f64 {
+        self.cpu_idle + self.gpu_idle
+    }
+}
+
+/// Runs a multi-iteration distributed MCL expansion loop with the hybrid
+/// executor under the given split policy and reports idle times and the
+/// realized per-stage GPU shares. This is the MCL loop of
+/// `hipmcl_core::dist` run through [`hipmcl_summa::spgemm::summa_spgemm_with`]
+/// directly, so the per-submission `hybrid_fractions` stay observable —
+/// the stage mix (density and `cf` change every iteration as expansion
+/// and pruning fight) is exactly the heterogeneous sequence a static
+/// split handles badly.
+pub fn run_hybrid_split_probe(
+    p: usize,
+    d: Dataset,
+    split: SplitPolicy,
+    max_iters: usize,
+) -> SplitProbeReport {
+    let results =
+        hipmcl_comm::Universe::run(p, hipmcl_comm::MachineModel::summit_bench(), move |comm| {
+            let grid = ProcGrid::new(comm);
+            let mut gpus = MultiGpu::summit_node(grid.world.model());
+            let mut cfg = bench_mcl_config_for(d, MclConfig::optimized(4 << 30));
+            cfg.summa.executor = ExecutorKind::Hybrid { split };
+            cfg.max_iters = max_iters;
+            let global = (grid.world.rank() == 0).then(|| bench_graph(d, &cfg).to_triples());
+            let mut a = DistMatrix::scatter_from_root(&grid, global.as_ref());
+            grid.world.reset_instrumentation();
+
+            let mut cpu_idle = 0.0f64;
+            let mut gpu_idle = 0.0f64;
+            let mut fractions = Vec::new();
+            let mut iterations = 0usize;
+            for _ in 0..cfg.max_iters {
+                iterations += 1;
+                let prune_params = cfg.prune;
+                let out = {
+                    let col_comm = &grid.col_comm;
+                    hipmcl_summa::spgemm::summa_spgemm_with(
+                        &grid,
+                        &mut gpus,
+                        &a,
+                        &a,
+                        &cfg.summa,
+                        |_, slab| {
+                            let (pruned, _stats) = prune_local_slab(col_comm, &slab, &prune_params);
+                            col_comm.advance_clock(
+                                col_comm.model().elementwise_time(slab.nnz() as u64),
+                            );
+                            pruned
+                        },
+                    )
+                };
+                cpu_idle += out.cpu_idle;
+                gpu_idle += out.gpu_idle;
+                fractions.extend_from_slice(&out.hybrid_fractions);
+                a = out.c;
+                let chaos = dist_inflate_and_chaos(&grid, &mut a.local, cfg.inflation);
+                if chaos < cfg.chaos_epsilon {
+                    break;
+                }
+            }
+
+            let idle = allreduce_sum_vec(&grid.world, vec![cpu_idle, gpu_idle]);
+            let total_time = allreduce(&grid.world, grid.world.now(), f64::max);
+            SplitProbeReport {
+                cpu_idle: idle[0] / p as f64,
+                gpu_idle: idle[1] / p as f64,
+                total_time,
+                fractions,
+                iterations,
+            }
+        });
+    results.into_iter().next().unwrap()
 }
 
 /// Prints an aligned table: `headers` then rows of strings.
@@ -202,5 +303,27 @@ mod tests {
         let r = run_scattered(4, Dataset::Archaea, &cfg);
         assert!(r.total_time > 0.0);
         assert!(r.iterations <= 2);
+    }
+
+    #[test]
+    fn adaptive_split_idle_no_worse_than_fixed() {
+        // The probe_hybrid_split acceptance check: on a multi-iteration
+        // MCL run whose stage densities vary (expansion densifies, pruning
+        // thins), the adaptive policy's total hybrid idle time — CPU idle
+        // plus device+pool idle off the unified timelines — must not
+        // exceed the legacy fixed-0.85 split's.
+        let iters = 4;
+        let fixed = run_hybrid_split_probe(4, Dataset::Archaea, SplitPolicy::Fixed(0.85), iters);
+        let adaptive = run_hybrid_split_probe(4, Dataset::Archaea, SplitPolicy::Adaptive, iters);
+        assert!(!fixed.fractions.is_empty());
+        assert!(fixed.fractions.iter().all(|&f| (f - 0.85).abs() < 0.05));
+        assert!(!adaptive.fractions.is_empty());
+        assert!(adaptive.fractions.iter().all(|&f| (0.0..=1.0).contains(&f)));
+        assert!(
+            adaptive.total_idle() <= fixed.total_idle() * (1.0 + 1e-9),
+            "adaptive idle {} must be <= fixed-0.85 idle {}",
+            adaptive.total_idle(),
+            fixed.total_idle()
+        );
     }
 }

@@ -1,11 +1,19 @@
-//! Per-rank virtual clocks and communication statistics.
+//! Per-rank virtual clocks, asynchronous-resource timelines, and
+//! communication statistics.
 //!
 //! The reproduction separates *what happens* (real data movement, real
 //! kernels — correctness) from *how long it takes on Summit* (the virtual
-//! clock). Each rank advances its own clock: compute sections add modeled
-//! kernel durations, message receipt synchronizes with the sender's clock
-//! plus the α–β transfer cost. The per-stage timers that feed every paper
-//! table accumulate out of these clocks.
+//! clock). Each rank advances its own [`VClock`]: compute sections add
+//! modeled kernel durations, message receipt synchronizes with the
+//! sender's clock plus the α–β transfer cost. The per-stage timers
+//! ([`StageTimers`]) that feed every paper table accumulate out of these
+//! clocks.
+//!
+//! Asynchronous resources — GPU kernel queues, copy engines, the per-rank
+//! CPU worker pool — are modeled by the [`Timeline`]/[`Event`] pair: a
+//! FIFO queue in virtual time whose gaps between jobs are the idle times
+//! Table V reports. Whoever holds a returned [`Event`] decides what to
+//! overlap against it; the timeline itself never blocks anyone.
 
 /// A virtual clock, in seconds of modeled machine time.
 #[derive(Clone, Copy, Debug, Default, PartialEq)]
@@ -67,6 +75,22 @@ pub struct Event {
 /// executor in the pipeline — GPU kernel queues, copy engines, and the
 /// per-rank CPU worker pool all advance one of these — so idle-time
 /// accounting (Table V) reads identically off any of them.
+///
+/// ```
+/// use hipmcl_comm::Timeline;
+///
+/// let mut t = Timeline::new();
+/// let first = t.submit(0.0, 2.0); // ready at 0, takes 2s
+/// assert_eq!(first.at, 2.0);
+/// // Ready before the first job ends: queues FIFO, no gap.
+/// assert_eq!(t.submit(1.0, 1.0).at, 3.0);
+/// // Ready 2s after the queue drained: the gap is idle time.
+/// let third = t.submit(5.0, 1.0);
+/// assert_eq!(third.at, 6.0);
+/// assert_eq!(t.idle_time(), 2.0);
+/// assert_eq!(t.busy_until(), 6.0);
+/// assert_eq!(t.jobs(), 3);
+/// ```
 #[derive(Clone, Copy, Debug, Default, PartialEq)]
 pub struct Timeline {
     /// The resource is busy until this time.

@@ -3,7 +3,7 @@
 use hipmcl_gpu::select::SelectionPolicy;
 use hipmcl_sparse::colops::PruneParams;
 use hipmcl_summa::estimate::EstimatorKind;
-use hipmcl_summa::executor::ExecutorKind;
+use hipmcl_summa::executor::{ExecutorKind, InvalidSplit};
 use hipmcl_summa::merge::MergeStrategy;
 use hipmcl_summa::spgemm::{PhasePlan, SummaConfig};
 
@@ -122,6 +122,14 @@ impl MclConfig {
         self.summa.executor = executor;
         self
     }
+
+    /// Checks the configuration for values that would misbehave at run
+    /// time — today that is a fixed hybrid split fraction outside
+    /// `[0, 1]`, which is reported here (and by the drivers, which call
+    /// this on entry) rather than silently clamped.
+    pub fn validate(&self) -> Result<(), InvalidSplit> {
+        self.summa.validate()
+    }
 }
 
 #[cfg(test)]
@@ -165,6 +173,34 @@ mod tests {
         let c = MclConfig::testing(8).with_executor(ExecutorKind::hybrid());
         assert!(matches!(c.summa.executor, ExecutorKind::Hybrid { .. }));
         assert!(matches!(c.summa.phases, PhasePlan::Fixed(1)));
+    }
+
+    #[test]
+    fn hybrid_default_split_is_adaptive() {
+        use hipmcl_summa::executor::SplitPolicy;
+        assert_eq!(
+            ExecutorKind::hybrid(),
+            ExecutorKind::Hybrid {
+                split: SplitPolicy::Adaptive
+            }
+        );
+    }
+
+    #[test]
+    fn validate_rejects_out_of_range_fixed_split_at_both_bounds() {
+        use hipmcl_summa::executor::SplitPolicy;
+        let hybrid = |f| {
+            MclConfig::testing(8).with_executor(ExecutorKind::Hybrid {
+                split: SplitPolicy::Fixed(f),
+            })
+        };
+        assert!(hybrid(0.0).validate().is_ok(), "0.0 is a legal share");
+        assert!(hybrid(1.0).validate().is_ok(), "1.0 is a legal share");
+        let below = hybrid(-0.01).validate().unwrap_err();
+        assert_eq!(below.fraction, -0.01);
+        let above = hybrid(1.01).validate().unwrap_err();
+        assert_eq!(above.fraction, 1.01);
+        assert!(MclConfig::optimized(1 << 30).validate().is_ok());
     }
 
     #[test]

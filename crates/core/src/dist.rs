@@ -99,6 +99,8 @@ pub fn cluster_distributed_from(
     mut a: DistMatrix,
     cfg: &MclConfig,
 ) -> DistMclReport {
+    cfg.validate()
+        .unwrap_or_else(|e| panic!("invalid MclConfig: {e}"));
     let comm = &grid.world;
     let mut stage = hipmcl_comm::StageTimers::new();
     let mut merge_peaks = Vec::new();

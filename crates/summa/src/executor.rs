@@ -14,9 +14,14 @@
 //!   the real kernel) advancing its own [`Timeline`] like a device stream
 //!   does, which makes CPU kernels overlappable: "optimized HipMCL on
 //!   nodes without accelerators" gains the §III broadcast/merge overlap.
-//! * [`Hybrid`] — extends §III-A's multi-GPU column split to the CPU: the
-//!   trailing column slab of `B` is multiplied on the worker pool while
-//!   the GPUs take the rest, and the output is a trivial `hcat`.
+//! * [`Hybrid`] — extends §III-A's multi-GPU column split to the CPU: a
+//!   [`SplitPolicy`]-chosen fraction of `B`'s columns is multiplied on the
+//!   devices while the worker pool takes the trailing slab, and the output
+//!   is a trivial `hcat`. The split is either a fixed constant, derived
+//!   per stage from the machine model
+//!   ([`MachineModel::hybrid_gpu_fraction`]), or adapted online by a
+//!   damped [`SplitController`] reading the realized finish-time imbalance
+//!   off the two sides' timelines.
 //!
 //! All timestamps are virtual seconds on the owning rank's clock; the
 //! executors only read the clock value the scheduler passes in and never
@@ -27,6 +32,58 @@ use hipmcl_comm::{MachineModel, SpgemmKernel, Timeline};
 use hipmcl_gpu::multi::MultiGpu;
 use hipmcl_sparse::Csc;
 use hipmcl_spgemm::CpuAlgo;
+
+/// How the [`Hybrid`] executor chooses the GPU share of each column split.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum SplitPolicy {
+    /// The same fraction of `B`'s columns goes to the devices in every
+    /// stage (the legacy behaviour; must lie in `[0, 1]` — see
+    /// [`SplitPolicy::validate`]).
+    Fixed(f64),
+    /// Each stage's fraction comes from
+    /// [`MachineModel::hybrid_gpu_fraction`], evaluated at the stage's
+    /// exact `flops` and its estimated compression factor.
+    ModelDerived,
+    /// Model-derived initial fraction, then a damped online feedback
+    /// update per stage from the realized CPU/GPU finish-time imbalance
+    /// (see [`SplitController`]).
+    Adaptive,
+}
+
+/// Error returned by [`SplitPolicy::validate`] for a [`SplitPolicy::Fixed`]
+/// fraction outside `[0, 1]` (or not finite).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct InvalidSplit {
+    /// The offending fraction.
+    pub fraction: f64,
+}
+
+impl std::fmt::Display for InvalidSplit {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "hybrid gpu fraction must be a finite value in [0, 1], got {}",
+            self.fraction
+        )
+    }
+}
+
+impl std::error::Error for InvalidSplit {}
+
+impl SplitPolicy {
+    /// Checks that a [`SplitPolicy::Fixed`] fraction is a valid share.
+    /// Out-of-range values are a configuration error (surfaced by
+    /// `MclConfig`/[`SummaConfig`](crate::spgemm::SummaConfig) validation),
+    /// never silently clamped.
+    pub fn validate(self) -> Result<(), InvalidSplit> {
+        match self {
+            SplitPolicy::Fixed(f) if !f.is_finite() || !(0.0..=1.0).contains(&f) => {
+                Err(InvalidSplit { fraction: f })
+            }
+            _ => Ok(()),
+        }
+    }
+}
 
 /// Which executor a SUMMA run submits its local multiplications to.
 #[derive(Clone, Copy, Debug, PartialEq, Default)]
@@ -39,33 +96,67 @@ pub enum ExecutorKind {
     CpuPool,
     /// Column-split each multiplication across the GPUs and the pool.
     Hybrid {
-        /// Fraction of `B`'s columns sent to the GPUs (clamped to [0, 1]).
-        gpu_fraction: f64,
+        /// How the per-stage GPU share is chosen.
+        split: SplitPolicy,
     },
 }
 
-/// Default GPU share of the hybrid column split. Summit's six V100s
+/// GPU share of the legacy fixed hybrid column split. Summit's six V100s
 /// out-rate the host cores by a wide margin at high `cf` (Fig. 4), so the
-/// pool only takes a sliver; tuning the ratio per-instance is a ROADMAP
-/// open item.
+/// pool only takes a sliver; kept as the baseline the adaptive policies
+/// are measured against (`probe_hybrid_split`).
 pub const DEFAULT_GPU_FRACTION: f64 = 0.85;
 
 impl ExecutorKind {
-    /// Hybrid execution with the default GPU share.
+    /// Hybrid execution with the adaptive split (the recommended default:
+    /// model-derived start, online feedback thereafter).
     pub fn hybrid() -> Self {
         ExecutorKind::Hybrid {
-            gpu_fraction: DEFAULT_GPU_FRACTION,
+            split: SplitPolicy::Adaptive,
         }
     }
+
+    /// Hybrid execution with the legacy fixed split
+    /// ([`DEFAULT_GPU_FRACTION`]).
+    pub fn hybrid_fixed() -> Self {
+        ExecutorKind::Hybrid {
+            split: SplitPolicy::Fixed(DEFAULT_GPU_FRACTION),
+        }
+    }
+
+    /// Validates the executor choice (currently: a `Fixed` hybrid split
+    /// must lie in `[0, 1]`).
+    pub fn validate(self) -> Result<(), InvalidSplit> {
+        match self {
+            ExecutorKind::Hybrid { split } => split.validate(),
+            _ => Ok(()),
+        }
+    }
+}
+
+/// The scheduler-side description of one local multiplication, passed to
+/// [`Executor::submit`].
+#[derive(Clone, Copy, Debug)]
+pub struct LaunchSpec {
+    /// The pre-selected kernel.
+    pub kernel: SpgemmKernel,
+    /// Exact flop count the scheduler already derived for selection.
+    pub flops: u64,
+    /// Estimated compression factor `flops / nnz(C)` from the stage's
+    /// Cohen probe (already clamped so `cf_est ≥ 1`); executors use it to
+    /// evaluate the machine model's rate curves before the realized `cf`
+    /// is known.
+    pub cf_est: f64,
 }
 
 /// One asynchronous local multiplication, as seen by the scheduler.
 ///
 /// The product is real (verified against serial kernels); the timestamps
 /// are virtual. A pipelined scheduler resumes the host at
-/// `inputs_ready_at`; a bulk-synchronous one waits for `output_ready_at`
-/// and counts only `waited − host_compute` as idle (time the host spent
-/// computing inline is work, not waiting).
+/// [`inputs_ready_at`](Self::inputs_ready_at); a bulk-synchronous one
+/// waits for [`output_ready_at`](Self::output_ready_at) and counts only
+/// `waited − host_compute` as idle (time the host spent computing inline
+/// is work, not waiting).
 #[derive(Debug)]
 pub struct KernelLaunch {
     /// The (real) product `A · B`.
@@ -90,18 +181,16 @@ pub struct KernelLaunch {
 
 /// A target that local SpGEMM launches are submitted to.
 pub trait Executor {
-    /// Submits `C = A · B` with the pre-selected `kernel`, starting at
-    /// host virtual time `host_now`. `flops` is the exact flop count the
-    /// scheduler already derived for kernel selection. Must not advance
-    /// any rank clock — the scheduler decides what to wait on.
+    /// Submits `C = A · B` as described by `spec`, starting at host
+    /// virtual time `host_now`. Must not advance any rank clock — the
+    /// scheduler decides what to wait on.
     fn submit(
         &mut self,
         model: &MachineModel,
         host_now: f64,
         a: &Csc<f64>,
         b: &Csc<f64>,
-        kernel: SpgemmKernel,
-        flops: u64,
+        spec: LaunchSpec,
     ) -> KernelLaunch;
 
     /// GPUs visible to kernel selection (0 keeps selection CPU-only).
@@ -131,17 +220,16 @@ impl Executor for MultiGpu {
         host_now: f64,
         a: &Csc<f64>,
         b: &Csc<f64>,
-        kernel: SpgemmKernel,
-        flops: u64,
+        spec: LaunchSpec,
     ) -> KernelLaunch {
-        match kernel {
+        match spec.kernel {
             SpgemmKernel::Gpu(lib) => {
                 let r = self
                     .multiply(host_now, a, b, lib)
                     .expect("device OOM: increase phases or use CPU policy");
                 KernelLaunch {
                     c: r.c,
-                    kernel,
+                    kernel: spec.kernel,
                     inputs_ready_at: r.inputs_transferred_at,
                     output_ready_at: r.output_ready_at,
                     host_compute: 0.0,
@@ -154,8 +242,8 @@ impl Executor for MultiGpu {
                 // Inline on the host, as original HipMCL runs CPU kernels:
                 // the host is busy (not idle) for the whole duration and
                 // cannot issue the next broadcast meanwhile.
-                let (c, cf) = cpu_algo(cpu_kernel).multiply_measured(a, b, flops);
-                let dur = model.spgemm_time(cpu_kernel, flops, cf);
+                let (c, cf) = cpu_algo(cpu_kernel).multiply_measured(a, b, spec.flops);
+                let dur = model.spgemm_time(cpu_kernel, spec.flops, cf);
                 KernelLaunch {
                     c,
                     kernel: cpu_kernel,
@@ -163,7 +251,7 @@ impl Executor for MultiGpu {
                     output_ready_at: host_now + dur,
                     host_compute: dur,
                     kernel_time: dur,
-                    flops,
+                    flops: spec.flops,
                     cf,
                 }
             }
@@ -190,6 +278,37 @@ impl Executor for MultiGpu {
 /// whole-node CPU rate, queued FIFO on the pool's [`Timeline`]. Handing a
 /// job to the pool is free for the host — that is what makes a CPU-only
 /// configuration pipelinable.
+///
+/// # Example
+///
+/// Two launches submitted back-to-back queue FIFO; a launch that only
+/// becomes ready after the previous one finished leaves a measurable idle
+/// gap on the pool's timeline (the Table V "GPU idle" analogue for
+/// accelerator-less nodes):
+///
+/// ```
+/// use hipmcl_comm::{MachineModel, SpgemmKernel};
+/// use hipmcl_summa::executor::{CpuPool, Executor, LaunchSpec};
+/// use hipmcl_spgemm::testutil::random_csc;
+///
+/// let model = MachineModel::summit();
+/// let a = random_csc(20, 20, 120, 7);
+/// let spec = LaunchSpec {
+///     kernel: SpgemmKernel::CpuHash,
+///     flops: hipmcl_spgemm::flops(&a, &a),
+///     cf_est: 1.0,
+/// };
+///
+/// let mut pool = CpuPool::new();
+/// let l1 = pool.submit(&model, 0.0, &a, &a, spec);
+/// assert_eq!(l1.inputs_ready_at, 0.0, "handoff is free for the host");
+///
+/// // Ready 1 s after the first launch completed: the pool sat idle in
+/// // between, and the gap is exactly what `device_idle` reports.
+/// let l2 = pool.submit(&model, l1.output_ready_at + 1.0, &a, &a, spec);
+/// assert!(l2.output_ready_at > l1.output_ready_at);
+/// assert!((pool.device_idle() - 1.0).abs() < 1e-9);
+/// ```
 pub struct CpuPool {
     threads: usize,
     workers: Timeline,
@@ -228,17 +347,16 @@ impl Executor for CpuPool {
         host_now: f64,
         a: &Csc<f64>,
         b: &Csc<f64>,
-        kernel: SpgemmKernel,
-        flops: u64,
+        spec: LaunchSpec,
     ) -> KernelLaunch {
         // Selection never yields a GPU kernel here (`gpus_available` is
         // 0); a forced GPU request degrades to the hash kernel.
-        let cpu_kernel = match kernel {
+        let cpu_kernel = match spec.kernel {
             SpgemmKernel::Gpu(_) => SpgemmKernel::CpuHash,
             k => k,
         };
-        let (c, cf) = cpu_algo(cpu_kernel).multiply_measured(a, b, flops);
-        let dur = model.spgemm_time(cpu_kernel, flops, cf);
+        let (c, cf) = cpu_algo(cpu_kernel).multiply_measured(a, b, spec.flops);
+        let dur = model.spgemm_time(cpu_kernel, spec.flops, cf);
         let done = self.workers.submit(host_now, dur);
         KernelLaunch {
             c,
@@ -247,7 +365,7 @@ impl Executor for CpuPool {
             output_ready_at: done.at,
             host_compute: 0.0,
             kernel_time: dur,
-            flops,
+            flops: spec.flops,
             cf,
         }
     }
@@ -265,24 +383,143 @@ impl Executor for CpuPool {
     }
 }
 
+/// Interior clamp of the adaptive fraction: both sides always keep a
+/// sliver of work so the controller keeps receiving two-sided finish-time
+/// observations (a share pinned at 0 or 1 could never measure the silent
+/// side's rate again).
+pub const ADAPTIVE_MIN_FRACTION: f64 = 0.05;
+/// Upper interior clamp of the adaptive fraction (see
+/// [`ADAPTIVE_MIN_FRACTION`]).
+pub const ADAPTIVE_MAX_FRACTION: f64 = 0.95;
+/// Default damping gain `γ` of the [`SplitController`] update.
+pub const SPLIT_GAIN: f64 = 0.5;
+
+/// Damped online feedback controller for [`SplitPolicy::Adaptive`].
+///
+/// After a stage splits its work `f : (1 − f)` between the devices and
+/// the pool, the two sides' finish latencies `t_G` and `t_C` (virtual
+/// seconds from submission to each side's completion event) imply
+/// realized per-share rates `r_G = f / t_G` and `r_C = (1 − f) / t_C`.
+/// The fraction that would have balanced the stage is
+///
+/// ```text
+/// f* = r_G / (r_G + r_C)
+/// ```
+///
+/// and the controller nudges the next stage's fraction toward it with a
+/// damped, clamped update
+///
+/// ```text
+/// f ← clamp(f + γ·(f* − f), ADAPTIVE_MIN_FRACTION, ADAPTIVE_MAX_FRACTION)
+/// ```
+///
+/// With `γ ∈ (0, 1]` the fraction always stays in `[0, 1]`, and a
+/// constant imbalance (fixed underlying rates) drives it monotonically
+/// toward the balance point — the geometric convergence the property
+/// tests below pin down.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SplitController {
+    fraction: f64,
+    gain: f64,
+}
+
+impl SplitController {
+    /// A controller starting at `initial` (clamped into the interior
+    /// band) with damping gain `gain` (clamped into `(0, 1]`).
+    pub fn new(initial: f64, gain: f64) -> Self {
+        Self {
+            fraction: initial.clamp(ADAPTIVE_MIN_FRACTION, ADAPTIVE_MAX_FRACTION),
+            gain: gain.clamp(f64::MIN_POSITIVE, 1.0),
+        }
+    }
+
+    /// The fraction the next stage should use.
+    pub fn fraction(&self) -> f64 {
+        self.fraction
+    }
+
+    /// Feeds back one stage's finish latencies: `gpu_time` for the device
+    /// share, `cpu_time` for the pool share, both measured from the
+    /// submission instant. Non-positive latencies (a side with no work)
+    /// are skipped — there is no two-sided observation to learn from.
+    pub fn observe(&mut self, gpu_time: f64, cpu_time: f64) {
+        if !(gpu_time > 0.0 && cpu_time > 0.0) {
+            return;
+        }
+        let f = self.fraction;
+        let rg = f / gpu_time;
+        let rc = (1.0 - f) / cpu_time;
+        if rg + rc <= 0.0 || !(rg + rc).is_finite() {
+            return;
+        }
+        let target = rg / (rg + rc);
+        self.fraction =
+            (f + self.gain * (target - f)).clamp(ADAPTIVE_MIN_FRACTION, ADAPTIVE_MAX_FRACTION);
+    }
+}
+
 /// Joint CPU+GPU execution: each GPU-sized multiplication is column-split
 /// between the devices (leading columns) and the worker pool (trailing
 /// columns), extending §III-A's multi-GPU split by one more "device".
 /// CPU-selected (small) multiplications go to the pool whole.
+///
+/// The per-stage GPU share follows the configured [`SplitPolicy`]; every
+/// realized share is recorded (see [`Hybrid::fractions`]) so the split
+/// decision is an observable part of the pipeline, not a hidden constant.
 pub struct Hybrid<'g> {
     gpus: &'g mut MultiGpu,
     pool: CpuPool,
-    gpu_fraction: f64,
+    policy: SplitPolicy,
+    controller: Option<SplitController>,
+    fractions: Vec<f64>,
 }
 
 impl<'g> Hybrid<'g> {
-    /// Wraps the rank's devices; `gpu_fraction` of each `B`'s columns go
-    /// to the GPUs, the rest to the worker pool.
-    pub fn new(gpus: &'g mut MultiGpu, gpu_fraction: f64) -> Self {
+    /// Wraps the rank's devices with the given split policy.
+    ///
+    /// # Panics
+    ///
+    /// On a [`SplitPolicy::Fixed`] fraction outside `[0, 1]` — such values
+    /// are a configuration error that `MclConfig`/`SummaConfig` validation
+    /// reports before any executor is built; they are never clamped.
+    pub fn new(gpus: &'g mut MultiGpu, split: SplitPolicy) -> Self {
+        split
+            .validate()
+            .unwrap_or_else(|e| panic!("invalid hybrid split: {e}"));
         Self {
             gpus,
             pool: CpuPool::new(),
-            gpu_fraction: gpu_fraction.clamp(0.0, 1.0),
+            policy: split,
+            controller: None,
+            fractions: Vec::new(),
+        }
+    }
+
+    /// The realized GPU share of every submission so far, in order (0 for
+    /// multiplications that went to the pool whole).
+    pub fn fractions(&self) -> &[f64] {
+        &self.fractions
+    }
+
+    /// The GPU share the policy picks for this launch.
+    fn pick_fraction(
+        &mut self,
+        model: &MachineModel,
+        lib: hipmcl_comm::GpuLib,
+        spec: &LaunchSpec,
+    ) -> f64 {
+        match self.policy {
+            SplitPolicy::Fixed(f) => f,
+            SplitPolicy::ModelDerived => model.hybrid_gpu_fraction(lib, spec.flops, spec.cf_est),
+            SplitPolicy::Adaptive => self
+                .controller
+                .get_or_insert_with(|| {
+                    SplitController::new(
+                        model.hybrid_gpu_fraction(lib, spec.flops, spec.cf_est),
+                        SPLIT_GAIN,
+                    )
+                })
+                .fraction(),
         }
     }
 }
@@ -294,23 +531,23 @@ impl Executor for Hybrid<'_> {
         host_now: f64,
         a: &Csc<f64>,
         b: &Csc<f64>,
-        kernel: SpgemmKernel,
-        flops: u64,
+        spec: LaunchSpec,
     ) -> KernelLaunch {
         let n = b.ncols();
-        let gcols = match kernel {
-            SpgemmKernel::Gpu(_) if !self.gpus.is_empty() => {
-                ((n as f64 * self.gpu_fraction).round() as usize).min(n)
+        let lib = match spec.kernel {
+            SpgemmKernel::Gpu(lib) if !self.gpus.is_empty() => lib,
+            _ => {
+                self.fractions.push(0.0);
+                return self.pool.submit(model, host_now, a, b, spec);
             }
-            _ => 0,
         };
+        let frac = self.pick_fraction(model, lib, &spec);
+        let gcols = ((n as f64 * frac).round() as usize).min(n);
         if gcols == 0 {
-            return self.pool.submit(model, host_now, a, b, kernel, flops);
+            self.fractions.push(0.0);
+            return self.pool.submit(model, host_now, a, b, spec);
         }
-        let lib = match kernel {
-            SpgemmKernel::Gpu(lib) => lib,
-            _ => unreachable!("gcols > 0 only for GPU kernels"),
-        };
+        self.fractions.push(gcols as f64 / n.max(1) as f64);
 
         let b_gpu = b.column_slice(0..gcols);
         let r = self
@@ -330,11 +567,17 @@ impl Executor for Hybrid<'_> {
             output_ready_at = output_ready_at.max(done.at);
             total_flops += flops_cpu;
             total_nnz += c_cpu.nnz() as u64;
+            // Online feedback: the two sides' finish latencies from this
+            // submission instant are exactly the imbalance the adaptive
+            // policy drives to zero.
+            if let Some(ctl) = self.controller.as_mut() {
+                ctl.observe(r.output_ready_at - host_now, done.at - host_now);
+            }
             Csc::hcat(&[r.c, c_cpu])
         } else {
             r.c
         };
-        debug_assert_eq!(total_flops, flops, "split must cover all columns");
+        debug_assert_eq!(total_flops, spec.flops, "split must cover all columns");
 
         let cf = if total_nnz == 0 {
             1.0
@@ -343,7 +586,7 @@ impl Executor for Hybrid<'_> {
         };
         KernelLaunch {
             c,
-            kernel,
+            kernel: spec.kernel,
             // The host blocks on the GPU input transfers (the pool handoff
             // is free), exactly like the pure multi-GPU path.
             inputs_ready_at: r.inputs_transferred_at,
@@ -374,6 +617,7 @@ mod tests {
     use super::*;
     use hipmcl_comm::GpuLib;
     use hipmcl_spgemm::testutil::random_csc;
+    use proptest::prelude::*;
 
     fn model() -> MachineModel {
         MachineModel::summit()
@@ -383,18 +627,24 @@ mod tests {
         hipmcl_spgemm::hash::multiply(a, a)
     }
 
+    fn spec_for(a: &Csc<f64>, kernel: SpgemmKernel) -> LaunchSpec {
+        LaunchSpec {
+            kernel,
+            flops: hipmcl_spgemm::flops(a, a),
+            cf_est: 1.0,
+        }
+    }
+
     #[test]
     fn multigpu_executor_gpu_kernel_is_async() {
         let a = random_csc(30, 30, 260, 41);
-        let flops = hipmcl_spgemm::flops(&a, &a);
         let mut gpus = MultiGpu::new(model(), 2, 1 << 30);
         let l = gpus.submit(
             &model(),
             1.0,
             &a,
             &a,
-            SpgemmKernel::Gpu(GpuLib::Nsparse),
-            flops,
+            spec_for(&a, SpgemmKernel::Gpu(GpuLib::Nsparse)),
         );
         assert!(l.c.max_abs_diff(&want(&a)) < 1e-9);
         assert!(l.inputs_ready_at > 1.0);
@@ -409,9 +659,8 @@ mod tests {
     #[test]
     fn multigpu_executor_cpu_kernel_is_host_synchronous() {
         let a = random_csc(30, 30, 260, 42);
-        let flops = hipmcl_spgemm::flops(&a, &a);
         let mut gpus = MultiGpu::new(model(), 2, 1 << 30);
-        let l = gpus.submit(&model(), 1.0, &a, &a, SpgemmKernel::CpuHash, flops);
+        let l = gpus.submit(&model(), 1.0, &a, &a, spec_for(&a, SpgemmKernel::CpuHash));
         assert!(l.c.max_abs_diff(&want(&a)) < 1e-9);
         assert_eq!(
             l.inputs_ready_at, l.output_ready_at,
@@ -424,9 +673,8 @@ mod tests {
     #[test]
     fn cpu_pool_launches_are_async_and_fifo() {
         let a = random_csc(30, 30, 260, 43);
-        let flops = hipmcl_spgemm::flops(&a, &a);
         let mut pool = CpuPool::new();
-        let l1 = pool.submit(&model(), 1.0, &a, &a, SpgemmKernel::CpuHash, flops);
+        let l1 = pool.submit(&model(), 1.0, &a, &a, spec_for(&a, SpgemmKernel::CpuHash));
         assert!(l1.c.max_abs_diff(&want(&a)) < 1e-9);
         assert_eq!(
             l1.inputs_ready_at, 1.0,
@@ -435,7 +683,7 @@ mod tests {
         assert!(l1.output_ready_at > 1.0);
         assert_eq!(l1.host_compute, 0.0);
         // Second job ready immediately queues behind the first.
-        let l2 = pool.submit(&model(), 1.0, &a, &a, SpgemmKernel::CpuHeap, flops);
+        let l2 = pool.submit(&model(), 1.0, &a, &a, spec_for(&a, SpgemmKernel::CpuHeap));
         assert!(l2.output_ready_at > l1.output_ready_at);
         assert_eq!(pool.timeline().jobs(), 2);
         assert_eq!(pool.device_idle(), 0.0, "back-to-back jobs leave no gap");
@@ -445,15 +693,13 @@ mod tests {
     #[test]
     fn cpu_pool_degrades_gpu_requests_to_hash() {
         let a = random_csc(20, 20, 120, 44);
-        let flops = hipmcl_spgemm::flops(&a, &a);
         let mut pool = CpuPool::new();
         let l = pool.submit(
             &model(),
             0.0,
             &a,
             &a,
-            SpgemmKernel::Gpu(GpuLib::Nsparse),
-            flops,
+            spec_for(&a, SpgemmKernel::Gpu(GpuLib::Nsparse)),
         );
         assert_eq!(l.kernel, SpgemmKernel::CpuHash);
         assert!(l.c.max_abs_diff(&want(&a)) < 1e-9);
@@ -462,79 +708,238 @@ mod tests {
     #[test]
     fn hybrid_splits_and_matches_reference() {
         let a = random_csc(40, 40, 500, 45);
-        let flops = hipmcl_spgemm::flops(&a, &a);
         let w = want(&a);
-        for frac in [0.0, 0.3, 0.5, 0.85, 1.0] {
+        let policies = [
+            SplitPolicy::Fixed(0.0),
+            SplitPolicy::Fixed(0.3),
+            SplitPolicy::Fixed(0.5),
+            SplitPolicy::Fixed(0.85),
+            SplitPolicy::Fixed(1.0),
+            SplitPolicy::ModelDerived,
+            SplitPolicy::Adaptive,
+        ];
+        for policy in policies {
             let mut gpus = MultiGpu::new(model(), 3, 1 << 30);
-            let mut h = Hybrid::new(&mut gpus, frac);
+            let mut h = Hybrid::new(&mut gpus, policy);
             let l = h.submit(
                 &model(),
                 0.0,
                 &a,
                 &a,
-                SpgemmKernel::Gpu(GpuLib::Nsparse),
-                flops,
+                spec_for(&a, SpgemmKernel::Gpu(GpuLib::Nsparse)),
             );
-            assert!(l.c.max_abs_diff(&w) < 1e-9, "frac={frac}");
-            assert_eq!(l.c.nnz(), w.nnz(), "frac={frac}");
-            assert_eq!(l.flops, flops, "frac={frac}");
-            assert!(l.output_ready_at >= l.inputs_ready_at, "frac={frac}");
+            assert!(l.c.max_abs_diff(&w) < 1e-9, "{policy:?}");
+            assert_eq!(l.c.nnz(), w.nnz(), "{policy:?}");
+            assert_eq!(
+                l.flops,
+                spec_for(&a, SpgemmKernel::CpuHash).flops,
+                "{policy:?}"
+            );
+            assert!(l.output_ready_at >= l.inputs_ready_at, "{policy:?}");
+            assert_eq!(h.fractions().len(), 1, "{policy:?}");
+            let f = h.fractions()[0];
+            assert!((0.0..=1.0).contains(&f), "{policy:?}: {f}");
         }
     }
 
     #[test]
     fn hybrid_sends_cpu_kernels_to_the_pool() {
         let a = random_csc(25, 25, 180, 46);
-        let flops = hipmcl_spgemm::flops(&a, &a);
         let mut gpus = MultiGpu::new(model(), 2, 1 << 30);
-        let mut h = Hybrid::new(&mut gpus, 0.85);
-        let l = h.submit(&model(), 2.0, &a, &a, SpgemmKernel::CpuHeap, flops);
+        let mut h = Hybrid::new(&mut gpus, SplitPolicy::Fixed(0.85));
+        let l = h.submit(&model(), 2.0, &a, &a, spec_for(&a, SpgemmKernel::CpuHeap));
         assert!(l.c.max_abs_diff(&want(&a)) < 1e-9);
         assert_eq!(
             l.inputs_ready_at, 2.0,
             "pool handoff frees the host immediately"
         );
         assert_eq!(h.gpus_available(), 2);
+        assert_eq!(h.fractions(), &[0.0], "whole multiply on the pool");
     }
 
     #[test]
     fn hybrid_without_devices_runs_entirely_on_pool() {
         let a = random_csc(20, 20, 140, 47);
-        let flops = hipmcl_spgemm::flops(&a, &a);
         let mut gpus = MultiGpu::new(model(), 0, 1 << 30);
-        let mut h = Hybrid::new(&mut gpus, 0.85);
+        let mut h = Hybrid::new(&mut gpus, SplitPolicy::Adaptive);
         let l = h.submit(
             &model(),
             0.0,
             &a,
             &a,
-            SpgemmKernel::Gpu(GpuLib::Rmerge2),
-            flops,
+            spec_for(&a, SpgemmKernel::Gpu(GpuLib::Rmerge2)),
         );
         assert!(l.c.max_abs_diff(&want(&a)) < 1e-9);
         assert_eq!(l.kernel, SpgemmKernel::CpuHash);
     }
 
     #[test]
-    fn executor_kind_default_and_hybrid_preset() {
-        assert_eq!(ExecutorKind::default(), ExecutorKind::Gpus);
-        match ExecutorKind::hybrid() {
-            ExecutorKind::Hybrid { gpu_fraction } => {
-                assert_eq!(gpu_fraction, DEFAULT_GPU_FRACTION)
-            }
-            k => panic!("unexpected {k:?}"),
+    #[should_panic(expected = "invalid hybrid split")]
+    fn hybrid_rejects_fraction_above_one() {
+        let mut gpus = MultiGpu::new(model(), 2, 1 << 30);
+        let _ = Hybrid::new(&mut gpus, SplitPolicy::Fixed(1.5));
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid hybrid split")]
+    fn hybrid_rejects_negative_fraction() {
+        let mut gpus = MultiGpu::new(model(), 2, 1 << 30);
+        let _ = Hybrid::new(&mut gpus, SplitPolicy::Fixed(-0.1));
+    }
+
+    #[test]
+    fn split_policy_validation_accepts_bounds_rejects_outside() {
+        assert!(SplitPolicy::Fixed(0.0).validate().is_ok());
+        assert!(SplitPolicy::Fixed(1.0).validate().is_ok());
+        assert!(SplitPolicy::ModelDerived.validate().is_ok());
+        assert!(SplitPolicy::Adaptive.validate().is_ok());
+        let below = SplitPolicy::Fixed(-1e-9).validate().unwrap_err();
+        assert_eq!(below.fraction, -1e-9);
+        let above = SplitPolicy::Fixed(1.0 + 1e-9).validate().unwrap_err();
+        assert!(above.fraction > 1.0);
+        assert!(SplitPolicy::Fixed(f64::NAN).validate().is_err());
+        assert!(ExecutorKind::Hybrid {
+            split: SplitPolicy::Fixed(2.0)
         }
+        .validate()
+        .is_err());
+        assert!(ExecutorKind::Gpus.validate().is_ok());
+        // The error is displayable (surfaced by MclConfig validation).
+        let msg = format!("{}", above);
+        assert!(msg.contains("[0, 1]"), "{msg}");
+    }
+
+    #[test]
+    fn executor_kind_default_and_hybrid_presets() {
+        assert_eq!(ExecutorKind::default(), ExecutorKind::Gpus);
+        assert_eq!(
+            ExecutorKind::hybrid(),
+            ExecutorKind::Hybrid {
+                split: SplitPolicy::Adaptive
+            }
+        );
+        assert_eq!(
+            ExecutorKind::hybrid_fixed(),
+            ExecutorKind::Hybrid {
+                split: SplitPolicy::Fixed(DEFAULT_GPU_FRACTION)
+            }
+        );
+    }
+
+    #[test]
+    fn adaptive_converges_toward_balanced_finish_times() {
+        // Repeated identical multiplications from a deliberately bad
+        // initial fraction (the model seed already starts near balance):
+        // the controller must walk toward the point where devices and pool
+        // finish together, shrinking the finish-time gap.
+        // Big enough that split work dwarfs the fixed launch/transfer
+        // overheads — otherwise the gap floor is the overhead, not the
+        // imbalance.
+        let a = random_csc(300, 300, 24000, 49);
+        let spec = spec_for(&a, SpgemmKernel::Gpu(GpuLib::Nsparse));
+        let mut gpus = MultiGpu::new(model(), 6, 1 << 30);
+        let mut h = Hybrid::new(&mut gpus, SplitPolicy::Adaptive);
+        h.controller = Some(SplitController::new(0.2, SPLIT_GAIN));
+        let mut gaps = Vec::new();
+        let mut now = 0.0;
+        for _ in 0..12 {
+            let l = h.submit(&model(), now, &a, &a, spec);
+            now = l.output_ready_at;
+            let gpu_done = h
+                .gpus
+                .devices
+                .iter()
+                .map(|d| d.quiescent_at())
+                .fold(0.0, f64::max);
+            let pool_done = h.pool.timeline().busy_until();
+            gaps.push((gpu_done - pool_done).abs());
+        }
+        assert!(
+            gaps.last().unwrap() < &(0.5 * gaps[0]).max(1e-12),
+            "finish-time gap must shrink: {gaps:?}"
+        );
     }
 
     #[test]
     fn reset_timelines_clears_idle_accounting() {
         let a = random_csc(20, 20, 120, 48);
-        let flops = hipmcl_spgemm::flops(&a, &a);
         let mut pool = CpuPool::new();
-        pool.submit(&model(), 0.0, &a, &a, SpgemmKernel::CpuHash, flops);
-        pool.submit(&model(), 1e9, &a, &a, SpgemmKernel::CpuHash, flops);
+        pool.submit(&model(), 0.0, &a, &a, spec_for(&a, SpgemmKernel::CpuHash));
+        pool.submit(&model(), 1e9, &a, &a, spec_for(&a, SpgemmKernel::CpuHash));
         assert!(pool.device_idle() > 0.0);
         pool.reset_timelines();
         assert_eq!(pool.device_idle(), 0.0);
+    }
+
+    #[test]
+    fn controller_constant_rates_converge_monotonically() {
+        // Closed loop against fixed true rates: |f - f*| must never grow,
+        // and the fraction must land on the balance point.
+        let (rg, rc) = (3.0, 1.0);
+        let target = rg / (rg + rc);
+        let mut c = SplitController::new(0.1, 0.5);
+        let mut err = (c.fraction() - target).abs();
+        for _ in 0..64 {
+            let f = c.fraction();
+            c.observe(f / rg, (1.0 - f) / rc);
+            let e = (c.fraction() - target).abs();
+            assert!(e <= err + 1e-12, "error grew: {e} > {err}");
+            err = e;
+        }
+        assert!(err < 1e-6, "did not converge: {err}");
+    }
+
+    #[test]
+    fn controller_skips_one_sided_observations() {
+        let mut c = SplitController::new(0.5, 0.5);
+        c.observe(0.0, 1.0);
+        c.observe(1.0, 0.0);
+        c.observe(-1.0, 2.0);
+        assert_eq!(c.fraction(), 0.5, "no two-sided signal, no update");
+    }
+
+    proptest! {
+        /// Any sequence of stage imbalances keeps the fraction in [0, 1].
+        #[test]
+        fn controller_fraction_always_in_unit_interval(
+            initial in -1.0f64..2.0,
+            gain in 0.01f64..1.0,
+            times in proptest::collection::vec((1e-9f64..1e6, 1e-9f64..1e6), 1..40),
+        ) {
+            let mut c = SplitController::new(initial, gain);
+            prop_assert!((0.0..=1.0).contains(&c.fraction()));
+            for (tg, tc) in times {
+                c.observe(tg, tc);
+                prop_assert!(
+                    (0.0..=1.0).contains(&c.fraction()),
+                    "fraction escaped: {}", c.fraction()
+                );
+            }
+        }
+
+        /// A constant imbalance (fixed underlying rates) drives the
+        /// fraction monotonically toward the balance point.
+        #[test]
+        fn controller_constant_imbalance_is_monotone(
+            initial in 0.0f64..1.0,
+            gain in 0.01f64..1.0,
+            rg in 0.1f64..100.0,
+            rc in 0.1f64..100.0,
+        ) {
+            let target = (rg / (rg + rc))
+                .clamp(ADAPTIVE_MIN_FRACTION, ADAPTIVE_MAX_FRACTION);
+            let mut c = SplitController::new(initial, gain);
+            let mut prev = (c.fraction() - target).abs();
+            // Error contracts by (1 − gain) per step; 2000 steps suffice
+            // for even the smallest gain in range.
+            for _ in 0..2000 {
+                let f = c.fraction();
+                c.observe(f / rg, (1.0 - f) / rc);
+                let err = (c.fraction() - target).abs();
+                prop_assert!(err <= prev + 1e-12, "diverged: {err} > {prev}");
+                prev = err;
+            }
+            prop_assert!(prev < 1e-3, "not converged: {prev}");
+        }
     }
 }

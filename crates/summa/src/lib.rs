@@ -15,7 +15,9 @@
 //!   an asynchronous [`executor::KernelLaunch`] submitted to an
 //!   [`executor::Executor`] — the devices ([`hipmcl_gpu::multi::MultiGpu`]),
 //!   a per-rank CPU worker pool ([`executor::CpuPool`]), or a
-//!   column-splitting [`executor::Hybrid`] of both.
+//!   column-splitting [`executor::Hybrid`] of both whose per-stage GPU
+//!   share follows a [`executor::SplitPolicy`] (fixed, model-derived, or
+//!   adaptively controlled from the realized finish-time imbalance).
 //! * [`pipeline`] — the single stage scheduler of Pipelined Sparse SUMMA:
 //!   issues broadcasts, submits launches, and drives merging off the
 //!   launches' completion events.
@@ -42,6 +44,9 @@ pub mod topk;
 
 pub use distmat::DistMatrix;
 pub use estimate::{EstimatorKind, MemoryEstimate};
-pub use executor::{CpuPool, Executor, ExecutorKind, Hybrid, KernelLaunch};
+pub use executor::{
+    CpuPool, Executor, ExecutorKind, Hybrid, InvalidSplit, KernelLaunch, LaunchSpec,
+    SplitController, SplitPolicy,
+};
 pub use merge::{BinaryMerger, MergeStrategy};
 pub use spgemm::{summa_spgemm, SummaConfig, SummaOutput};

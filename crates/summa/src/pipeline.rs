@@ -16,7 +16,7 @@
 //! distinction is a property of this scheduler, not of the kernel.
 
 use crate::distmat::DistMatrix;
-use crate::executor::Executor;
+use crate::executor::{Executor, LaunchSpec};
 use crate::merge::{multiway_merge_timed, BinaryMerger, MergeStats, MergeStrategy};
 use crate::spgemm::SummaConfig;
 use hipmcl_comm::clock::StageTimers;
@@ -220,7 +220,15 @@ where
                 kernels_used.push(kernel);
 
                 // --- Submit to the executor; overlap off its events ----
-                let launch = exec.submit(comm.model(), comm.now(), &a_blk, &b_blk, kernel, flops);
+                // The probe's clamped cf estimate rides along so hybrid
+                // split policies can evaluate the machine model's rate
+                // curves before the realized cf exists.
+                let spec = LaunchSpec {
+                    kernel,
+                    flops,
+                    cf_est: flops as f64 / nnz_probe.max(1) as f64,
+                };
+                let launch = exec.submit(comm.model(), comm.now(), &a_blk, &b_blk, spec);
                 if cfg.pipelined {
                     // Host resumes as soon as the inputs are handed off.
                     comm.wait_clock_until(launch.inputs_ready_at);

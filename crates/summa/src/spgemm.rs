@@ -24,7 +24,7 @@
 
 use crate::distmat::DistMatrix;
 use crate::estimate::{estimate_memory, plan_phases, EstimatorKind, MemoryEstimate};
-use crate::executor::{CpuPool, Executor, ExecutorKind, Hybrid};
+use crate::executor::{CpuPool, Executor, ExecutorKind, Hybrid, InvalidSplit};
 use crate::merge::{MergeStats, MergeStrategy};
 use crate::pipeline::{self, PipelineOutcome};
 use hipmcl_comm::clock::StageTimers;
@@ -134,6 +134,14 @@ impl SummaConfig {
             ..Self::optimized(per_rank_budget)
         }
     }
+
+    /// Checks the configuration for values that would misbehave at run
+    /// time (currently: a fixed hybrid split outside `[0, 1]`). Entry
+    /// points call this and panic with the error's message; callers that
+    /// accept untrusted configuration should call it themselves first.
+    pub fn validate(&self) -> Result<(), InvalidSplit> {
+        self.executor.validate()
+    }
 }
 
 /// Result of a distributed multiplication on one rank.
@@ -158,6 +166,11 @@ pub struct SummaOutput {
     /// `phases × √P` entries (zero-flops stages record the selector's
     /// degenerate choice).
     pub kernels_used: Vec<SpgemmKernel>,
+    /// Realized GPU share of every hybrid submission, in submission order
+    /// (0 for multiplications that ran entirely on the worker pool; empty
+    /// for non-hybrid executors). The observable trace of the
+    /// [`SplitPolicy`](crate::executor::SplitPolicy) decisions.
+    pub hybrid_fractions: Vec<f64>,
 }
 
 /// Distributed `C = A·B` with the identity per-phase hook.
@@ -220,6 +233,8 @@ where
         a.ncols_global, b.nrows_global,
         "global inner dims must agree"
     );
+    cfg.validate()
+        .unwrap_or_else(|e| panic!("invalid SummaConfig: {e}"));
     let comm = &grid.world;
     let mut timers = StageTimers::new();
 
@@ -249,11 +264,14 @@ where
         }
     });
 
-    let (outcome, gpu_idle) = match cfg.executor {
-        ExecutorKind::Gpus => run_on(grid, gpus, a, b, cfg, phases, cf_hint, &mut timers, on_slab),
+    let (outcome, gpu_idle, hybrid_fractions) = match cfg.executor {
+        ExecutorKind::Gpus => {
+            let (o, idle) = run_on(grid, gpus, a, b, cfg, phases, cf_hint, &mut timers, on_slab);
+            (o, idle, Vec::new())
+        }
         ExecutorKind::CpuPool => {
             let mut pool = CpuPool::new();
-            run_on(
+            let (o, idle) = run_on(
                 grid,
                 &mut pool,
                 a,
@@ -263,11 +281,12 @@ where
                 cf_hint,
                 &mut timers,
                 on_slab,
-            )
+            );
+            (o, idle, Vec::new())
         }
-        ExecutorKind::Hybrid { gpu_fraction } => {
-            let mut hybrid = Hybrid::new(gpus, gpu_fraction);
-            run_on(
+        ExecutorKind::Hybrid { split } => {
+            let mut hybrid = Hybrid::new(gpus, split);
+            let (o, idle) = run_on(
                 grid,
                 &mut hybrid,
                 a,
@@ -277,7 +296,9 @@ where
                 cf_hint,
                 &mut timers,
                 on_slab,
-            )
+            );
+            let fractions = hybrid.fractions().to_vec();
+            (o, idle, fractions)
         }
     };
 
@@ -306,12 +327,14 @@ where
         estimate,
         phases,
         kernels_used,
+        hybrid_fractions,
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::executor::SplitPolicy;
     use hipmcl_comm::{MachineModel, Universe};
     use hipmcl_sparse::{Idx, Triples};
     use rand::{Rng, SeedableRng};
@@ -434,19 +457,92 @@ mod tests {
     #[test]
     fn hybrid_executor_matches() {
         let want = serial_product(28, 240, 11);
-        for gpu_fraction in [0.0, 0.5, 0.85, 1.0] {
+        let splits = [
+            SplitPolicy::Fixed(0.0),
+            SplitPolicy::Fixed(0.5),
+            SplitPolicy::Fixed(0.85),
+            SplitPolicy::Fixed(1.0),
+            SplitPolicy::ModelDerived,
+            SplitPolicy::Adaptive,
+        ];
+        for split in splits {
             let cfg = SummaConfig {
-                executor: ExecutorKind::Hybrid { gpu_fraction },
+                executor: ExecutorKind::Hybrid { split },
                 policy: SelectionPolicy::always_gpu(),
                 merge: MergeStrategy::Binary,
                 pipelined: true,
                 ..base_cfg()
             };
             let got = run_config(28, 240, 11, 4, cfg);
-            assert!(
-                got.max_abs_diff(&want) < 1e-9,
-                "gpu_fraction={gpu_fraction}"
-            );
+            assert!(got.max_abs_diff(&want) < 1e-9, "split={split:?}");
+        }
+    }
+
+    #[test]
+    fn hybrid_fractions_recorded_per_stage() {
+        for split in [SplitPolicy::Fixed(0.85), SplitPolicy::Adaptive] {
+            let results = Universe::run(4, MachineModel::summit(), move |comm| {
+                let grid = ProcGrid::new(comm);
+                let g = random_global(28, 300, 13);
+                let a = DistMatrix::from_global(&grid, &g);
+                let mut gpus = MultiGpu::summit_node(grid.world.model());
+                let cfg = SummaConfig {
+                    executor: ExecutorKind::Hybrid { split },
+                    policy: SelectionPolicy::always_gpu(),
+                    merge: MergeStrategy::Binary,
+                    pipelined: true,
+                    ..base_cfg()
+                };
+                let out = summa_spgemm(&grid, &mut gpus, &a, &a, &cfg);
+                (out.hybrid_fractions, out.kernels_used.len())
+            });
+            for (fracs, stages) in results {
+                assert!(
+                    fracs.len() <= stages,
+                    "at most one split per stage (zero-flops stages skip)"
+                );
+                assert!(!fracs.is_empty(), "split={split:?}");
+                assert!(
+                    fracs.iter().all(|f| (0.0..=1.0).contains(f)),
+                    "split={split:?}: {fracs:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn non_hybrid_runs_record_no_fractions() {
+        let results = Universe::run(1, MachineModel::summit(), |comm| {
+            let grid = ProcGrid::new(comm);
+            let g = random_global(20, 150, 14);
+            let a = DistMatrix::from_global(&grid, &g);
+            let mut gpus = MultiGpu::summit_node(grid.world.model());
+            let out = summa_spgemm(&grid, &mut gpus, &a, &a, &base_cfg());
+            out.hybrid_fractions.len()
+        });
+        assert_eq!(results, vec![0]);
+    }
+
+    #[test]
+    fn invalid_fixed_split_is_rejected_by_validation() {
+        for bad in [-0.25, 1.25, f64::NAN] {
+            let cfg = SummaConfig {
+                executor: ExecutorKind::Hybrid {
+                    split: SplitPolicy::Fixed(bad),
+                },
+                ..base_cfg()
+            };
+            assert!(cfg.validate().is_err(), "bad={bad}");
+        }
+        assert!(base_cfg().validate().is_ok());
+        for ok in [0.0, 1.0] {
+            let cfg = SummaConfig {
+                executor: ExecutorKind::Hybrid {
+                    split: SplitPolicy::Fixed(ok),
+                },
+                ..base_cfg()
+            };
+            assert!(cfg.validate().is_ok(), "ok={ok}");
         }
     }
 
@@ -597,7 +693,12 @@ mod tests {
         let execs = [
             ExecutorKind::Gpus,
             ExecutorKind::CpuPool,
-            ExecutorKind::Hybrid { gpu_fraction: 0.7 },
+            ExecutorKind::Hybrid {
+                split: SplitPolicy::Fixed(0.7),
+            },
+            ExecutorKind::Hybrid {
+                split: SplitPolicy::Adaptive,
+            },
         ];
         for exec in execs {
             for pipelined in [false, true] {
