@@ -1,15 +1,18 @@
 //! Criterion microbenchmark: multiway vs binary merging of SUMMA
-//! intermediate products (§IV).
+//! intermediate products (§IV), plus the three per-merge kernels
+//! (heap, pairwise, SpAdd-style hash) on one k-way merge.
 
 use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
-use hipmcl_comm::MachineModel;
+use hipmcl_comm::{MachineModel, MergeKernel};
 use hipmcl_sparse::Csc;
 use hipmcl_spgemm::testutil::random_csc;
-use hipmcl_summa::merge::{kway_merge, BinaryMerger};
+use hipmcl_summa::merge::{kway_merge, merge_algo, MergeKernelPolicy, StackMerger};
+
+const SHAPE: (usize, usize) = (2000, 2000);
 
 fn slabs(k: usize) -> Vec<Csc<f64>> {
     (0..k)
-        .map(|i| random_csc(2000, 2000, 40_000, i as u64))
+        .map(|i| random_csc(SHAPE.0, SHAPE.1, 40_000, i as u64))
         .collect()
 }
 
@@ -19,7 +22,7 @@ fn merging(c: &mut Criterion) {
     for k in [4usize, 8, 16] {
         let mats = slabs(k);
         group.bench_with_input(BenchmarkId::new("multiway", k), &mats, |b, mats| {
-            b.iter(|| kway_merge(mats))
+            b.iter(|| kway_merge(mats, SHAPE))
         });
         group.bench_with_input(BenchmarkId::new("binary", k), &mats, |b, mats| {
             // The merger consumes its inputs; clone them in setup so the
@@ -27,12 +30,12 @@ fn merging(c: &mut Criterion) {
             b.iter_batched(
                 || mats.to_vec(),
                 |mats| {
-                    let mut bm = BinaryMerger::new(MachineModel::summit());
-                    let mut now = 0.0;
+                    let mut bm =
+                        StackMerger::new(MachineModel::summit(), MergeKernelPolicy::Auto, SHAPE);
                     for m in mats {
-                        now = bm.push(m, 0.0, now);
+                        bm.push(m);
                     }
-                    bm.finish(now).0
+                    bm.finish()
                 },
                 BatchSize::LargeInput,
             )
@@ -41,5 +44,17 @@ fn merging(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, merging);
+fn kernels(c: &mut Criterion) {
+    let mut group = c.benchmark_group("merge_kernel");
+    group.sample_size(10);
+    let mats = slabs(8);
+    for kernel in MergeKernel::all() {
+        group.bench_with_input(BenchmarkId::new(kernel.name(), 8), &mats, |b, mats| {
+            b.iter(|| merge_algo(kernel).merge(mats, SHAPE))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, merging, kernels);
 criterion_main!(benches);

@@ -43,12 +43,15 @@ fn ablation_merge_strategies() {
         let multiway = k * n;
 
         // Binary (Algorithm 2): measured from the merger's stats.
-        let mut bm = hipmcl_summa::merge::BinaryMerger::new(MachineModel::summit());
-        let mut now = 0.0;
+        let mut bm = hipmcl_summa::merge::StackMerger::new(
+            MachineModel::summit(),
+            hipmcl_summa::merge::MergeKernelPolicy::Auto,
+            (500, 500),
+        );
         for s in &slabs {
-            now = bm.push(s.clone(), 0.0, now);
+            bm.push(s.clone());
         }
-        let _ = bm.finish(now);
+        let _ = bm.finish();
         let binary = bm.stats().total_merged_elems;
 
         // Immediate: merge each arrival with the running result. With

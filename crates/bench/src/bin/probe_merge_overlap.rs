@@ -1,0 +1,110 @@
+//! **Merge/phase-overlap ablation** — sweeps the per-merge kernel policy
+//! and the phase planner over a multi-iteration MCL run with a
+//! constrained per-rank memory budget, reporting the unified-timeline
+//! idle decomposition (host, device, merge lanes), the peak merge
+//! working set, and the phase counts the planner picked.
+//!
+//! The point of the sweep: merging is now an executor task on per-socket
+//! merge lanes, so its idle is observable on the same timelines as the
+//! kernels, and the overlap-aware planner can trade a little re-broadcast
+//! (more phases) for smaller, earlier merges — without ever dropping
+//! below the memory floor the budget dictates.
+
+use hipmcl_bench::*;
+use hipmcl_comm::MergeKernel;
+use hipmcl_summa::estimate::PhasePlanner;
+use hipmcl_summa::merge::MergeKernelPolicy;
+use hipmcl_workloads::Dataset;
+
+fn ranks() -> usize {
+    std::env::var("HIPMCL_MAX_RANKS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(4)
+}
+
+fn phase_span(phases: &[usize]) -> String {
+    let min = phases.iter().min().copied().unwrap_or(0);
+    let max = phases.iter().max().copied().unwrap_or(0);
+    if min == max {
+        min.to_string()
+    } else {
+        format!("{min}-{max}")
+    }
+}
+
+fn main() {
+    println!("Merge/phase-overlap ablation: idle decomposition per kernel x planner\n");
+    let kernels: [(&str, MergeKernelPolicy); 4] = [
+        ("heap", MergeKernelPolicy::Fixed(MergeKernel::Heap)),
+        ("pairwise", MergeKernelPolicy::Fixed(MergeKernel::Pairwise)),
+        ("hash", MergeKernelPolicy::Fixed(MergeKernel::Hash)),
+        ("auto", MergeKernelPolicy::Auto),
+    ];
+    let planners: [(&str, PhasePlanner); 2] = [
+        ("memory", PhasePlanner::MemoryOnly),
+        (
+            "overlap",
+            PhasePlanner::OverlapAware {
+                max_extra_phases: 4,
+            },
+        ),
+    ];
+    let p = ranks();
+    let iters = 3;
+    let budget = 3u64 << 20;
+
+    let headers = [
+        "network",
+        "kernel",
+        "planner",
+        "phases",
+        "merges",
+        "CPU idle",
+        "dev idle",
+        "lane idle",
+        "total idle",
+        "peak elems",
+        "total",
+    ];
+    let mut rows = Vec::new();
+    for d in [Dataset::Archaea, Dataset::Isom100_3] {
+        for (klabel, kernel) in kernels {
+            for (plabel, planner) in planners {
+                eprintln!(
+                    "running {} with kernel={} planner={} on {} ranks ...",
+                    d.name(),
+                    klabel,
+                    plabel,
+                    p
+                );
+                let r = run_merge_overlap_probe(p, d, kernel, planner, budget, iters);
+                rows.push(vec![
+                    d.name().to_string(),
+                    klabel.to_string(),
+                    plabel.to_string(),
+                    phase_span(&r.phases),
+                    r.merge_ops.to_string(),
+                    fmt_time(r.cpu_idle),
+                    fmt_time(r.gpu_idle),
+                    fmt_time(r.merge_lane_idle),
+                    fmt_time(r.total_idle()),
+                    r.peak_merge_elems.to_string(),
+                    fmt_time(r.total_time),
+                ]);
+            }
+        }
+    }
+
+    print_table(&headers, &rows);
+    let csv = write_csv("probe_merge_overlap", &headers, &rows);
+    println!("\ncsv: {}", csv.display());
+    print_paper_note(&[
+        "No direct paper table: this probes merging as an executor task",
+        "(§IV merge schedules x the cf-style kernel-selection rule) and",
+        "the bi-objective phase planner on top of §III's memory planning.",
+        "Expected shape: auto tracks the best fixed kernel per workload;",
+        "the overlap planner never drops below the memory floor, and where",
+        "it adds phases, total idle (host + device + merge lanes) falls.",
+    ]);
+}

@@ -31,8 +31,10 @@ fn main() {
         let mut gpus = MultiGpu::summit_node(grid.world.model());
         let cfg = SummaConfig {
             phases: PhasePlan::Fixed(1),
+            planner: hipmcl_summa::PhasePlanner::MemoryOnly,
             policy: SelectionPolicy::always_gpu(),
             merge: MergeStrategy::Binary,
+            merge_kernel: hipmcl_summa::MergeKernelPolicy::Auto,
             pipelined: true,
             executor: hipmcl_summa::ExecutorKind::Gpus,
             seed: 1,

@@ -16,7 +16,9 @@ use hipmcl_core::dist::{cluster_distributed_from, dist_inflate_and_chaos, DistMc
 use hipmcl_core::MclConfig;
 use hipmcl_gpu::multi::MultiGpu;
 use hipmcl_sparse::Csc;
+use hipmcl_summa::estimate::{PhaseDecision, PhasePlanner};
 use hipmcl_summa::executor::{ExecutorKind, SplitPolicy};
+use hipmcl_summa::merge::MergeKernelPolicy;
 use hipmcl_summa::topk::prune_local_slab;
 use hipmcl_summa::DistMatrix;
 use hipmcl_workloads::Dataset;
@@ -210,6 +212,129 @@ pub fn run_hybrid_split_probe(
     results.into_iter().next().unwrap()
 }
 
+/// One configuration's outcome in the merge/phase-overlap ablation
+/// (`probe_merge_overlap`).
+#[derive(Clone, Debug)]
+pub struct MergeProbeReport {
+    /// Mean over ranks of host idle time, summed over iterations.
+    pub cpu_idle: f64,
+    /// Mean over ranks of device/pool idle time, summed over iterations.
+    pub gpu_idle: f64,
+    /// Mean over ranks of merge-lane idle time, summed over iterations.
+    pub merge_lane_idle: f64,
+    /// Max over ranks of the peak merge working set (elements), over all
+    /// iterations — the Table III memory proxy.
+    pub peak_merge_elems: u64,
+    /// Phases executed per iteration (rank 0's view).
+    pub phases: Vec<usize>,
+    /// Merge operations submitted, summed over iterations (rank 0).
+    pub merge_ops: u64,
+    /// Planner decisions per iteration (rank 0), present only under the
+    /// overlap-aware planner.
+    pub decisions: Vec<PhaseDecision>,
+    /// Max over ranks of the final virtual clock.
+    pub total_time: f64,
+    /// Iterations executed.
+    pub iterations: usize,
+}
+
+impl MergeProbeReport {
+    /// The quantity the phase-planner gate compares: host idle plus
+    /// device idle plus merge-lane idle — total pipeline idle off the
+    /// unified timelines.
+    pub fn total_idle(&self) -> f64 {
+        self.cpu_idle + self.gpu_idle + self.merge_lane_idle
+    }
+}
+
+/// Runs a multi-iteration distributed MCL expansion loop under the given
+/// phase planner and merge-kernel policy, reporting the unified-timeline
+/// idle decomposition, the peak merge working set, and the planner's
+/// scored decisions. The per-rank memory budget is deliberately small so
+/// `plan_phases` lands above one phase and the overlap-aware planner has
+/// real headroom to search. Runs on the CPU-pipelined preset: with the
+/// worker pool's slower kernels the broadcasts hide under compute, which
+/// is the regime where trading re-broadcast for smaller merges pays.
+pub fn run_merge_overlap_probe(
+    p: usize,
+    d: Dataset,
+    kernel: MergeKernelPolicy,
+    planner: PhasePlanner,
+    per_rank_budget: u64,
+    max_iters: usize,
+) -> MergeProbeReport {
+    let results =
+        hipmcl_comm::Universe::run(p, hipmcl_comm::MachineModel::summit_bench(), move |comm| {
+            let grid = ProcGrid::new(comm);
+            let mut gpus = MultiGpu::summit_node(grid.world.model());
+            let mut cfg = bench_mcl_config_for(d, MclConfig::cpu_pipelined(per_rank_budget));
+            cfg.summa.merge_kernel = kernel;
+            cfg.summa.planner = planner;
+            cfg.max_iters = max_iters;
+            let global = (grid.world.rank() == 0).then(|| bench_graph(d, &cfg).to_triples());
+            let mut a = DistMatrix::scatter_from_root(&grid, global.as_ref());
+            grid.world.reset_instrumentation();
+
+            let mut cpu_idle = 0.0f64;
+            let mut gpu_idle = 0.0f64;
+            let mut lane_idle = 0.0f64;
+            let mut peak = 0u64;
+            let mut merge_ops = 0u64;
+            let mut phases = Vec::new();
+            let mut decisions = Vec::new();
+            let mut iterations = 0usize;
+            for _ in 0..cfg.max_iters {
+                iterations += 1;
+                let prune_params = cfg.prune;
+                let out = {
+                    let col_comm = &grid.col_comm;
+                    hipmcl_summa::spgemm::summa_spgemm_with(
+                        &grid,
+                        &mut gpus,
+                        &a,
+                        &a,
+                        &cfg.summa,
+                        |_, slab| {
+                            let (pruned, _stats) = prune_local_slab(col_comm, &slab, &prune_params);
+                            col_comm.advance_clock(
+                                col_comm.model().elementwise_time(slab.nnz() as u64),
+                            );
+                            pruned
+                        },
+                    )
+                };
+                cpu_idle += out.cpu_idle;
+                gpu_idle += out.gpu_idle;
+                lane_idle += out.merge_lane_idle;
+                peak = peak.max(out.merge_stats.peak_merge_elems as u64);
+                merge_ops += out.merge_stats.merge_ops as u64;
+                phases.push(out.phases);
+                decisions.extend(out.planner_decision.clone());
+                a = out.c;
+                let chaos = dist_inflate_and_chaos(&grid, &mut a.local, cfg.inflation);
+                if chaos < cfg.chaos_epsilon {
+                    break;
+                }
+            }
+
+            let idle = allreduce_sum_vec(&grid.world, vec![cpu_idle, gpu_idle, lane_idle]);
+            let peak = allreduce(&grid.world, peak as f64, f64::max) as u64;
+            let total_time = allreduce(&grid.world, grid.world.now(), f64::max);
+            MergeProbeReport {
+                cpu_idle: idle[0] / p as f64,
+                gpu_idle: idle[1] / p as f64,
+                merge_lane_idle: idle[2] / p as f64,
+                peak_merge_elems: peak,
+                phases,
+                merge_ops,
+                decisions,
+                total_time,
+                iterations,
+            }
+        });
+    results.into_iter().next().unwrap()
+}
+
 /// Prints an aligned table: `headers` then rows of strings.
 pub fn print_table(headers: &[&str], rows: &[Vec<String>]) {
     let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
@@ -303,6 +428,92 @@ mod tests {
         let r = run_scattered(4, Dataset::Archaea, &cfg);
         assert!(r.total_time > 0.0);
         assert!(r.iterations <= 2);
+    }
+
+    #[test]
+    fn overlap_planner_idle_no_worse_than_memory_only() {
+        // The probe_merge_overlap acceptance check: with a constrained
+        // per-rank budget (so the memory floor sits above one phase), the
+        // overlap-aware planner must (a) never pick fewer phases than the
+        // memory floor — same peak-memory guarantee — and (b) end the run
+        // with total pipeline idle (host + device + merge lanes) no worse
+        // than the memory-only plan on both reference workloads, strictly
+        // better in the planner's own objective where it deviates.
+        let budget = 3 << 20;
+        let iters = 3;
+        let mut deviated = false;
+        for d in [Dataset::Archaea, Dataset::Isom100_3] {
+            let mem = run_merge_overlap_probe(
+                4,
+                d,
+                MergeKernelPolicy::Auto,
+                PhasePlanner::MemoryOnly,
+                budget,
+                iters,
+            );
+            let ovl = run_merge_overlap_probe(
+                4,
+                d,
+                MergeKernelPolicy::Auto,
+                PhasePlanner::OverlapAware {
+                    max_extra_phases: 4,
+                },
+                budget,
+                iters,
+            );
+            assert_eq!(mem.iterations, ovl.iterations);
+            assert!(mem.decisions.is_empty(), "memory-only records no decision");
+            assert_eq!(ovl.decisions.len(), ovl.iterations);
+            for (dec, mem_phases) in ovl.decisions.iter().zip(&mem.phases) {
+                assert_eq!(dec.memory_floor, *mem_phases, "same floor both ways");
+                assert!(dec.phases >= dec.memory_floor, "never below the floor");
+                let score_of = |h: usize| {
+                    dec.scores
+                        .iter()
+                        .find(|(hh, _)| *hh == h)
+                        .map(|(_, s)| *s)
+                        .unwrap()
+                };
+                if dec.phases != dec.memory_floor {
+                    deviated = true;
+                    assert!(
+                        score_of(dec.phases) < score_of(dec.memory_floor),
+                        "deviating from the floor must strictly reduce modeled idle"
+                    );
+                }
+            }
+            assert!(
+                ovl.total_idle() <= mem.total_idle() * (1.0 + 1e-9),
+                "{}: overlap-aware idle {} must be <= memory-only idle {}",
+                d.name(),
+                ovl.total_idle(),
+                mem.total_idle()
+            );
+        }
+        assert!(
+            deviated,
+            "the budget should leave the planner real headroom on at least one workload"
+        );
+    }
+
+    #[test]
+    fn merge_kernel_choice_preserves_clusters() {
+        // Satellite of the merge-task refactor: the per-merge kernel is a
+        // performance choice only — all four policies must produce the
+        // same clustering on the archaea workload end-to-end.
+        use hipmcl_comm::MergeKernel;
+        let run = |kernel: MergeKernelPolicy| {
+            let mut cfg = bench_mcl_config(MclConfig::optimized(u64::MAX));
+            cfg.summa.merge_kernel = kernel;
+            cfg.max_iters = 3;
+            run_scattered(4, Dataset::Archaea, &cfg)
+        };
+        let auto = run(MergeKernelPolicy::Auto);
+        for kernel in MergeKernel::all() {
+            let fixed = run(MergeKernelPolicy::Fixed(kernel));
+            assert_eq!(auto.labels, fixed.labels, "{} diverged", kernel.name());
+            assert_eq!(auto.num_clusters, fixed.num_clusters);
+        }
     }
 
     #[test]

@@ -68,6 +68,57 @@ impl SpgemmKernel {
     }
 }
 
+/// Which algorithm a single k-way merge operation runs (the merge-side
+/// analogue of [`SpgemmKernel`]). Rates are modeled by
+/// [`MachineModel::merge_time_with`]; the per-merge selection rule lives
+/// in `hipmcl_summa::merge::select_merge_kernel`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum MergeKernel {
+    /// Cursor-based k-way heap merge (original HipMCL's accumulator):
+    /// `total · lg k` comparisons.
+    Heap,
+    /// Left-fold of two-way cursor merges. Cheaper constants than a heap
+    /// at fan-in 2 (no sift), but each fold re-scans the accumulator, so
+    /// work grows linearly with the fan-in.
+    Pairwise,
+    /// SpAdd-style hash accumulation (Hussain et al., arXiv:2112.10223;
+    /// Nagasaka et al., arXiv:1804.01698): per-column hash table, O(1)
+    /// per element regardless of fan-in, but a worse constant plus a
+    /// table-setup cost that small merges cannot amortize.
+    Hash,
+}
+
+impl MergeKernel {
+    /// Label used in probes and CSV output.
+    pub fn name(self) -> &'static str {
+        match self {
+            MergeKernel::Heap => "heap",
+            MergeKernel::Pairwise => "pairwise",
+            MergeKernel::Hash => "hash",
+        }
+    }
+
+    /// All kernels, in display order.
+    pub fn all() -> [MergeKernel; 3] {
+        [MergeKernel::Heap, MergeKernel::Pairwise, MergeKernel::Hash]
+    }
+}
+
+/// Per-element cost multiplier of [`MergeKernel::Pairwise`] relative to
+/// one heap comparison: a two-way cursor merge does no sifting, so at
+/// fan-in 2 it beats the heap (`0.8 < lg 2 = 1`); the left-fold re-scan
+/// makes its work `total · 0.8 · (k − 1)`, losing from fan-in 3 up.
+pub const PAIRWISE_MERGE_FACTOR: f64 = 0.8;
+/// Per-element cost multiplier of [`MergeKernel::Hash`]: fan-in
+/// independent, so it overtakes the heap's `lg k` once `lg k > 1.6`
+/// (fan-in ≥ 4) — the same crossover shape as the heap/hash SpGEMM
+/// selector (`hipmcl_spgemm::hybrid::HEAP_HASH_CF_CROSSOVER`).
+pub const HASH_MERGE_FACTOR: f64 = 1.6;
+/// Fixed table-setup cost of a hash merge, in merge-rate element-ops:
+/// below this many total elements the heap's cache-resident cursors win
+/// even at large fan-in.
+pub const HASH_MERGE_SETUP_OPS: f64 = 4096.0;
+
 /// Summit-like machine parameters. All times in seconds, rates in
 /// operations (or bytes) per second, per *rank* unless stated.
 #[derive(Clone, Debug)]
@@ -88,6 +139,14 @@ pub struct MachineModel {
     pub core_spgemm_rate: f64,
     /// CPU threads available to this rank.
     pub threads: usize,
+    /// CPU sockets this rank's threads span (Summit nodes carry two
+    /// Power9 sockets). Worker pools size one merge lane per socket;
+    /// `1` collapses the node to a flat pool.
+    pub sockets: usize,
+    /// Fractional slowdown of a merge whose inputs live on another
+    /// socket's workers (remote-NUMA traffic): a merge with every input
+    /// remote costs `1 + xsocket_penalty` times its local duration.
+    pub xsocket_penalty: f64,
     /// GPUs driven by this rank.
     pub gpus: usize,
     /// Aggregate GPU SpGEMM rate of a *full node* (all 6 GPUs) with
@@ -117,6 +176,8 @@ impl MachineModel {
             link_beta: 1.0 / 50.0e9,
             core_spgemm_rate: 7.5e7,
             threads: 40,
+            sockets: 2,
+            xsocket_penalty: 0.3,
             gpus: 6,
             gpu_node_rate: 7.8e9,
             thread_overhead: 0.007,
@@ -155,6 +216,8 @@ impl MachineModel {
             name: "summit-multirank",
             beta: base.beta * r as f64,
             threads: base.threads / r,
+            // Two or more ranks per node pin each rank to one socket.
+            sockets: (base.sockets / r).max(1),
             gpus: (base.gpus / r).max(1),
             gpu_node_rate: base.gpu_node_rate / r as f64,
             ..base
@@ -289,9 +352,51 @@ impl MachineModel {
 
     /// Merging `total` elements through a `ways`-way merge (heap of size
     /// `ways`): `total · lg(ways)` comparisons at the merge rate.
+    /// Equivalent to [`merge_time_with`](Self::merge_time_with) for
+    /// [`MergeKernel::Heap`] on the whole node.
     pub fn merge_time(&self, total: u64, ways: usize) -> f64 {
+        self.merge_time_with(MergeKernel::Heap, total, ways)
+    }
+
+    /// Element-ops of a `ways`-way merge of `total` elements under the
+    /// given kernel — the strategy dimension of the merge cost model:
+    ///
+    /// * `Heap` — `total · lg k` (cursor heap of size `k`);
+    /// * `Pairwise` — `total · PAIRWISE_MERGE_FACTOR · (k − 1)` (left
+    ///   fold of two-way merges; cheapest at `k = 2`, linear re-scan
+    ///   beyond);
+    /// * `Hash` — `total · HASH_MERGE_FACTOR + HASH_MERGE_SETUP_OPS`
+    ///   (fan-in independent accumulation plus table setup).
+    ///
+    /// The crossovers these formulas induce (pairwise at `k = 2`, heap at
+    /// `k = 3` or tiny merges, hash at `k ≥ 4` with enough elements) are
+    /// exactly what `select_merge_kernel` picks by evaluating this model.
+    fn merge_ops_with(&self, kernel: MergeKernel, total: u64, ways: usize) -> f64 {
         let lg = (ways.max(2) as f64).log2();
-        total as f64 * lg / (self.core_merge_rate * self.cpu_parallel_factor())
+        match kernel {
+            MergeKernel::Heap => total as f64 * lg,
+            MergeKernel::Pairwise => {
+                total as f64 * PAIRWISE_MERGE_FACTOR * (ways.max(2) - 1) as f64
+            }
+            MergeKernel::Hash => total as f64 * HASH_MERGE_FACTOR + HASH_MERGE_SETUP_OPS,
+        }
+    }
+
+    /// Virtual duration of a `ways`-way merge of `total` elements with
+    /// `kernel`, run on the whole node's threads.
+    pub fn merge_time_with(&self, kernel: MergeKernel, total: u64, ways: usize) -> f64 {
+        self.merge_ops_with(kernel, total, ways)
+            / (self.core_merge_rate * self.cpu_parallel_factor())
+    }
+
+    /// Virtual duration of the same merge run on a single socket's share
+    /// of the threads (`threads / sockets` cores, re-evaluating the
+    /// thread-scaling efficiency at the smaller count). This is what a
+    /// merge task occupying one lane of a NUMA-sized worker pool costs.
+    pub fn socket_merge_time_with(&self, kernel: MergeKernel, total: u64, ways: usize) -> f64 {
+        let threads = (self.threads / self.sockets.max(1)).max(1) as f64;
+        let factor = threads / (1.0 + self.thread_overhead * threads);
+        self.merge_ops_with(kernel, total, ways) / (self.core_merge_rate * factor)
     }
 
     /// Cohen estimation with `ops = r · (nnz A + nnz B)` key operations.
@@ -376,6 +481,54 @@ mod tests {
     fn merge_time_grows_with_ways() {
         let m = MachineModel::summit();
         assert!(m.merge_time(1000, 16) > m.merge_time(1000, 2));
+    }
+
+    #[test]
+    fn merge_kernel_crossovers_match_the_documented_rule() {
+        let m = MachineModel::summit();
+        let t = |k, total, ways| m.merge_time_with(k, total, ways);
+        // Fan-in 2: the two-way cursor merge beats both alternatives.
+        assert!(t(MergeKernel::Pairwise, 100_000, 2) < t(MergeKernel::Heap, 100_000, 2));
+        assert!(t(MergeKernel::Pairwise, 100_000, 2) < t(MergeKernel::Hash, 100_000, 2));
+        // Fan-in 3: the heap still edges out hash and pairwise.
+        assert!(t(MergeKernel::Heap, 100_000, 3) < t(MergeKernel::Hash, 100_000, 3));
+        assert!(t(MergeKernel::Heap, 100_000, 3) < t(MergeKernel::Pairwise, 100_000, 3));
+        // Fan-in ≥ 4 with enough elements: hash wins (lg k > 1.6).
+        assert!(t(MergeKernel::Hash, 100_000, 4) < t(MergeKernel::Heap, 100_000, 4));
+        assert!(t(MergeKernel::Hash, 100_000, 16) < t(MergeKernel::Heap, 100_000, 16));
+        // ...but a tiny merge cannot amortize the table setup.
+        assert!(t(MergeKernel::Heap, 100, 8) < t(MergeKernel::Hash, 100, 8));
+        // Back-compat: merge_time is the whole-node heap path.
+        assert_eq!(
+            m.merge_time(5000, 7),
+            m.merge_time_with(MergeKernel::Heap, 5000, 7)
+        );
+    }
+
+    #[test]
+    fn socket_merge_is_slower_than_whole_node_merge() {
+        let m = MachineModel::summit();
+        assert_eq!(m.sockets, 2);
+        let node = m.merge_time_with(MergeKernel::Heap, 1 << 20, 4);
+        let socket = m.socket_merge_time_with(MergeKernel::Heap, 1 << 20, 4);
+        assert!(socket > node, "half the cores must merge slower");
+        // Better per-thread efficiency on one socket: less than 2x slower.
+        assert!(socket < 2.0 * node, "socket {socket} vs node {node}");
+    }
+
+    #[test]
+    fn multirank_pins_ranks_to_one_socket() {
+        assert_eq!(MachineModel::summit_ranks_per_node(2).sockets, 1);
+        assert_eq!(MachineModel::summit_ranks_per_node(4).sockets, 1);
+        assert_eq!(MachineModel::summit().sockets, 2);
+    }
+
+    #[test]
+    fn merge_kernel_names() {
+        assert_eq!(MergeKernel::Heap.name(), "heap");
+        assert_eq!(MergeKernel::Pairwise.name(), "pairwise");
+        assert_eq!(MergeKernel::Hash.name(), "hash");
+        assert_eq!(MergeKernel::all().len(), 3);
     }
 
     #[test]

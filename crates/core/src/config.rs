@@ -2,10 +2,10 @@
 
 use hipmcl_gpu::select::SelectionPolicy;
 use hipmcl_sparse::colops::PruneParams;
-use hipmcl_summa::estimate::EstimatorKind;
-use hipmcl_summa::executor::{ExecutorKind, InvalidSplit};
-use hipmcl_summa::merge::MergeStrategy;
-use hipmcl_summa::spgemm::{PhasePlan, SummaConfig};
+use hipmcl_summa::estimate::{EstimatorKind, PhasePlanner};
+use hipmcl_summa::executor::ExecutorKind;
+use hipmcl_summa::merge::{MergeKernelPolicy, MergeStrategy};
+use hipmcl_summa::spgemm::{ConfigError, PhasePlan, SummaConfig};
 
 /// Complete configuration of an MCL run.
 #[derive(Clone, Copy, Debug)]
@@ -97,8 +97,10 @@ impl MclConfig {
             },
             summa: SummaConfig {
                 phases: PhasePlan::Fixed(1),
+                planner: PhasePlanner::MemoryOnly,
                 policy: SelectionPolicy::cpu_only(),
                 merge: MergeStrategy::Multiway,
+                merge_kernel: MergeKernelPolicy::Auto,
                 pipelined: false,
                 executor: ExecutorKind::Gpus,
                 seed: 42,
@@ -124,10 +126,11 @@ impl MclConfig {
     }
 
     /// Checks the configuration for values that would misbehave at run
-    /// time — today that is a fixed hybrid split fraction outside
-    /// `[0, 1]`, which is reported here (and by the drivers, which call
-    /// this on entry) rather than silently clamped.
-    pub fn validate(&self) -> Result<(), InvalidSplit> {
+    /// time — a fixed hybrid split fraction outside `[0, 1]` or a
+    /// degenerate overlap-planner headroom — which is reported here (and
+    /// by the drivers, which call this on entry) rather than silently
+    /// clamped.
+    pub fn validate(&self) -> Result<(), ConfigError> {
         self.summa.validate()
     }
 }
@@ -196,10 +199,14 @@ mod tests {
         };
         assert!(hybrid(0.0).validate().is_ok(), "0.0 is a legal share");
         assert!(hybrid(1.0).validate().is_ok(), "1.0 is a legal share");
-        let below = hybrid(-0.01).validate().unwrap_err();
-        assert_eq!(below.fraction, -0.01);
-        let above = hybrid(1.01).validate().unwrap_err();
-        assert_eq!(above.fraction, 1.01);
+        match hybrid(-0.01).validate().unwrap_err() {
+            ConfigError::Split(e) => assert_eq!(e.fraction, -0.01),
+            other => panic!("expected a split error, got {other:?}"),
+        }
+        match hybrid(1.01).validate().unwrap_err() {
+            ConfigError::Split(e) => assert_eq!(e.fraction, 1.01),
+            other => panic!("expected a split error, got {other:?}"),
+        }
         assert!(MclConfig::optimized(1 << 30).validate().is_ok());
     }
 

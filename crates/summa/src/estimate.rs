@@ -175,7 +175,7 @@ fn exact_symbolic(grid: &ProcGrid, a: &DistMatrix, b: &DistMatrix) -> MemoryEsti
     }
 
     // Union of stage patterns = exact local output structure.
-    let merged = crate::merge::kway_merge(&stage_patterns);
+    let merged = crate::merge::kway_merge(&stage_patterns, (a.local.nrows(), b.local.ncols()));
     let merged_elems: usize = stage_patterns.iter().map(|p| p.nnz()).sum();
     grid.world.advance_clock(
         grid.world
@@ -347,6 +347,189 @@ fn propagate_block(m: &Csc<f64>, row_keys: &[f32], out: &mut [f32], r: usize) {
 pub fn plan_phases(estimate: &MemoryEstimate, ranks: usize, per_rank_budget_bytes: u64) -> usize {
     let per_rank = estimate.bytes_estimate / ranks as u64;
     (per_rank.div_ceil(per_rank_budget_bytes.max(1)) as usize).max(1)
+}
+
+/// How `Auto` phase planning picks the phase count `h`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum PhasePlanner {
+    /// The memory floor alone: the smallest `h` whose unpruned output
+    /// slab fits each rank's budget ([`plan_phases`], §V — the original
+    /// HipMCL rule).
+    #[default]
+    MemoryOnly,
+    /// Bi-objective: memory first, then overlap. Every candidate
+    /// `h ∈ [h_min, h_min + max_extra_phases]` already satisfies the
+    /// memory budget (slabs only shrink as `h` grows); among them the
+    /// planner picks the one minimizing the *modeled pipeline idle* of a
+    /// mini-simulation of the phase's broadcast/kernel/merge event
+    /// structure ([`modeled_pipeline_idle`]).
+    OverlapAware {
+        /// How many phases past the memory floor the search may consider
+        /// (validated to `1..=64` by `SummaConfig::validate`).
+        max_extra_phases: usize,
+    },
+}
+
+/// What the phase planner decided, kept for observability in
+/// `SummaOutput`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct PhaseDecision {
+    /// The phase count the run uses.
+    pub phases: usize,
+    /// The memory floor `h_min` ([`plan_phases`]); `phases ≥ memory_floor`
+    /// always, so the chosen plan never exceeds the memory-only plan's
+    /// per-rank budget.
+    pub memory_floor: usize,
+    /// `(candidate h, modeled pipeline idle)` for every candidate scored
+    /// (empty for [`PhasePlanner::MemoryOnly`]).
+    pub scores: Vec<(usize, f64)>,
+}
+
+/// Per-rank workload shape fed to the overlap model, extracted from the
+/// operands by the SUMMA driver before phases are fixed.
+#[derive(Clone, Copy, Debug)]
+pub struct OverlapInputs {
+    /// Grid side `√P`.
+    pub side: usize,
+    /// This multiplication's flops per rank.
+    pub flops_per_rank: u64,
+    /// Wire bytes of the local `A` block (re-broadcast every phase).
+    pub bytes_a: usize,
+    /// Wire bytes of the local `B` block (split across phases).
+    pub bytes_b: usize,
+    /// Estimated compression factor of the product.
+    pub cf: f64,
+    /// The kernel the selector is expected to pick for the stages.
+    pub kernel: SpgemmKernel,
+    /// Whether the scheduler runs pipelined: if so, each phase's closing
+    /// merge drains one phase late (its tail overlaps the next phase's
+    /// broadcasts); bulk synchronous blocks the host at every phase end.
+    pub pipelined: bool,
+}
+
+/// Models one rank's pipeline idle for a candidate phase count `h`: a
+/// mini-simulation replaying the event structure of `pipeline::run` —
+/// the host issues the per-stage `A`/`B` broadcasts (a `⌈lg √P⌉`-hop
+/// tree each), the device timeline takes the kernels, and the merge lane
+/// runs Algorithm 2's merge cadence with the model-selected kernel per
+/// merge; the host blocks on each phase's final merge — one phase late
+/// when pipelined, mirroring the scheduler's deferred drain. Returns the
+/// summed idle of the three actors against the makespan — the quantity
+/// [`PhasePlanner::OverlapAware`] minimizes.
+///
+/// The tension: more phases re-broadcast `A` once per phase (host busy
+/// grows `∝ h`, and with it the makespan once broadcasts stop hiding
+/// under kernels), but under the pipelined drain only the *last* phase's
+/// closing merge stalls the end of the run, and that tail shrinks
+/// `∝ 1/h` — so in kernel-bound regimes the modeled idle falls with `h`
+/// before the broadcast cost catches up, and the minimum is genuinely
+/// interior.
+pub fn modeled_pipeline_idle(
+    model: &hipmcl_comm::MachineModel,
+    inputs: &OverlapInputs,
+    h: usize,
+) -> f64 {
+    use crate::merge::{algorithm2_merge_count, select_merge_kernel};
+    use hipmcl_comm::Timeline;
+
+    let side = inputs.side.max(1);
+    let hops = (side as f64).log2().ceil();
+    let t_bcast_a = hops * model.p2p_time(inputs.bytes_a);
+    let t_bcast_b = hops * model.p2p_time(inputs.bytes_b / h.max(1));
+    let stage_flops = inputs.flops_per_rank / (h.max(1) as u64 * side as u64);
+    let cf = inputs.cf.max(1.0);
+    let dur_kernel = model.spgemm_time(inputs.kernel, stage_flops, cf);
+    let slab_elems = ((stage_flops as f64 / cf) as u64).max(1);
+    let merge_rate = |kernel, elems, ways| {
+        if model.sockets > 1 {
+            model.socket_merge_time_with(kernel, elems, ways)
+        } else {
+            model.merge_time_with(kernel, elems, ways)
+        }
+    };
+
+    let mut host = 0.0f64;
+    let mut host_busy = 0.0f64;
+    let mut device = Timeline::new();
+    let mut device_busy = 0.0f64;
+    let mut lane = Timeline::new();
+    let mut lane_busy = 0.0f64;
+    let mut sealed_ready: Option<f64> = None;
+
+    for _ in 0..h {
+        let mut stack: Vec<(u64, f64)> = Vec::new();
+        let merge_all = |stack: &mut Vec<(u64, f64)>, count: usize, lane: &mut Timeline| {
+            let tail: Vec<(u64, f64)> = stack.split_off(stack.len() - count);
+            let elems: u64 = tail.iter().map(|&(e, _)| e).sum();
+            let ready = tail.iter().map(|&(_, r)| r).fold(0.0, f64::max);
+            let kernel = select_merge_kernel(model, elems, count);
+            let dur = merge_rate(kernel, elems, count);
+            let done = lane.submit(ready, dur);
+            stack.push((elems, done.at));
+            dur
+        };
+        for k in 0..side {
+            host += t_bcast_a + t_bcast_b;
+            host_busy += t_bcast_a + t_bcast_b;
+            let done = device.submit(host, dur_kernel);
+            device_busy += dur_kernel;
+            stack.push((slab_elems, done.at));
+            let count = algorithm2_merge_count(k + 1);
+            if count > 0 {
+                lane_busy += merge_all(&mut stack, count, &mut lane);
+            }
+        }
+        if stack.len() > 1 {
+            let count = stack.len();
+            lane_busy += merge_all(&mut stack, count, &mut lane);
+        }
+        // The host needs the phase's merged slab — right away when bulk
+        // synchronous, one phase late (after the next phase's issue work)
+        // when pipelined.
+        let ready = stack.last().map_or(host, |&(_, r)| r);
+        if inputs.pipelined {
+            if let Some(prev) = sealed_ready.replace(ready) {
+                host = host.max(prev);
+            }
+        } else {
+            host = host.max(ready);
+        }
+    }
+    if let Some(prev) = sealed_ready {
+        host = host.max(prev);
+    }
+
+    let makespan = host.max(device.busy_until()).max(lane.busy_until());
+    (makespan - host_busy) + (makespan - device_busy) + (makespan - lane_busy)
+}
+
+/// Bi-objective phase planning: starts from the memory floor
+/// ([`plan_phases`]) and searches `h ∈ [h_min, h_min + max_extra]` for
+/// the candidate with the lowest [`modeled_pipeline_idle`]. Since slab
+/// memory shrinks monotonically in `h`, every candidate satisfies the
+/// memory budget the floor satisfies; ties go to the smallest `h`.
+pub fn plan_phases_overlap(
+    estimate: &MemoryEstimate,
+    ranks: usize,
+    per_rank_budget_bytes: u64,
+    model: &hipmcl_comm::MachineModel,
+    inputs: &OverlapInputs,
+    max_extra: usize,
+) -> PhaseDecision {
+    let memory_floor = plan_phases(estimate, ranks, per_rank_budget_bytes);
+    let scores: Vec<(usize, f64)> = (memory_floor..=memory_floor + max_extra)
+        .map(|h| (h, modeled_pipeline_idle(model, inputs, h)))
+        .collect();
+    let phases = scores
+        .iter()
+        .min_by(|a, b| a.1.partial_cmp(&b.1).expect("modeled idle is finite"))
+        .map(|&(h, _)| h)
+        .unwrap_or(memory_floor);
+    PhaseDecision {
+        phases,
+        memory_floor,
+        scores,
+    }
 }
 
 #[cfg(test)]
@@ -545,6 +728,78 @@ mod tests {
         assert_eq!(plan_phases(&est, 4, 100), 3);
         assert_eq!(plan_phases(&est, 1, 100), 10);
         assert_eq!(plan_phases(&est, 1, u64::MAX), 1);
+    }
+
+    fn workload() -> (MemoryEstimate, OverlapInputs) {
+        let est = MemoryEstimate {
+            nnz_estimate: 4e6,
+            bytes_estimate: 64 << 20,
+            flops: 40_000_000,
+            time: 0.0,
+            scheme: "x",
+        };
+        let inputs = OverlapInputs {
+            side: 4,
+            flops_per_rank: est.flops / 16,
+            bytes_a: 2 << 20,
+            bytes_b: 2 << 20,
+            cf: 4.0,
+            kernel: SpgemmKernel::CpuHash,
+            pipelined: true,
+        };
+        (est, inputs)
+    }
+
+    #[test]
+    fn overlap_planner_never_goes_below_the_memory_floor() {
+        let (est, inputs) = workload();
+        let model = MachineModel::summit();
+        for budget in [1u64 << 20, 4 << 20, 1 << 30] {
+            let floor = plan_phases(&est, 16, budget);
+            let d = plan_phases_overlap(&est, 16, budget, &model, &inputs, 6);
+            assert_eq!(d.memory_floor, floor);
+            assert!(
+                d.phases >= floor,
+                "chosen h {} under floor {floor}",
+                d.phases
+            );
+            assert_eq!(d.scores.len(), 7, "floor..=floor+6 all scored");
+            // The chosen candidate has the minimal modeled idle.
+            let best = d
+                .scores
+                .iter()
+                .map(|&(_, s)| s)
+                .fold(f64::INFINITY, f64::min);
+            let chosen = d.scores.iter().find(|&&(hh, _)| hh == d.phases).unwrap().1;
+            assert_eq!(chosen, best);
+        }
+    }
+
+    #[test]
+    fn overlap_planner_with_no_headroom_is_the_memory_plan() {
+        let (est, inputs) = workload();
+        let model = MachineModel::summit();
+        let d = plan_phases_overlap(&est, 16, 4 << 20, &model, &inputs, 0);
+        assert_eq!(d.phases, d.memory_floor);
+        assert_eq!(d.phases, plan_phases(&est, 16, 4 << 20));
+        assert_eq!(d.scores.len(), 1);
+    }
+
+    #[test]
+    fn modeled_idle_is_finite_and_nonnegative_across_phase_counts() {
+        let (_, inputs) = workload();
+        let model = MachineModel::summit();
+        let idles: Vec<f64> = (1..=12)
+            .map(|h| modeled_pipeline_idle(&model, &inputs, h))
+            .collect();
+        for (h, idle) in idles.iter().enumerate() {
+            assert!(idle.is_finite() && *idle >= -1e-9, "h={}: {idle}", h + 1);
+        }
+    }
+
+    #[test]
+    fn planner_default_is_memory_only() {
+        assert_eq!(PhasePlanner::default(), PhasePlanner::MemoryOnly);
     }
 
     #[test]

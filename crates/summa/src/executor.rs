@@ -23,12 +23,25 @@
 //!   damped [`SplitController`] reading the realized finish-time imbalance
 //!   off the two sides' timelines.
 //!
+//! Merging is a first-class executor task, not a side activity: the
+//! pipeline submits every merge operation as a [`MergeTask`] through
+//! [`Executor::submit_merge`], and the executor queues it on a host-side
+//! **merge lane** — one [`Timeline`] per socket of the machine model, so
+//! a NUMA node merges at its per-socket rate and inputs produced on the
+//! other socket pay the model's cross-socket penalty. On [`CpuPool`] (and
+//! the pool half of [`Hybrid`]) the merge lanes *are* the worker
+//! timelines, so merges genuinely contend with CPU-side SpGEMM for the
+//! same cores; on [`GpuExecutor`] the lanes are dedicated host-side
+//! timelines next to the device streams. Either way a merge's cost shows
+//! up only as a [`MergeLaunch`] span on a lane — there is no private
+//! merge clock anywhere.
+//!
 //! All timestamps are virtual seconds on the owning rank's clock; the
 //! executors only read the clock value the scheduler passes in and never
 //! advance it themselves — waiting (and therefore idle accounting) is the
 //! scheduler's job.
 
-use hipmcl_comm::{MachineModel, SpgemmKernel, Timeline};
+use hipmcl_comm::{Event, MachineModel, MergeKernel, SpgemmKernel, Timeline};
 use hipmcl_gpu::multi::MultiGpu;
 use hipmcl_sparse::Csc;
 use hipmcl_spgemm::CpuAlgo;
@@ -179,7 +192,94 @@ pub struct KernelLaunch {
     pub cf: f64,
 }
 
-/// A target that local SpGEMM launches are submitted to.
+/// The scheduler-side description of one merge operation, passed to
+/// [`Executor::submit_merge`]. The pipeline has already chosen the kernel
+/// (see `merge::select_merge_kernel`); the executor only decides *where*
+/// and *when* it runs.
+#[derive(Clone, Debug)]
+pub struct MergeTask {
+    /// The pre-selected merge kernel.
+    pub kernel: MergeKernel,
+    /// Per input list: its element count and, if it was produced by an
+    /// earlier merge, the lane (socket) that produced it — `None` for
+    /// kernel products and anything else with no socket affinity. Inputs
+    /// homed on a different socket than the lane the merge lands on are
+    /// charged the model's cross-socket penalty.
+    pub inputs: Vec<(u64, Option<usize>)>,
+}
+
+impl MergeTask {
+    /// Fan-in of the merge.
+    pub fn ways(&self) -> usize {
+        self.inputs.len()
+    }
+
+    /// Total elements passing through the merge.
+    pub fn total_elems(&self) -> u64 {
+        self.inputs.iter().map(|&(e, _)| e).sum()
+    }
+}
+
+/// One merge operation as scheduled on an executor merge lane — the
+/// merge-side analogue of [`KernelLaunch`]. The real merging work is the
+/// pipeline's (`merge::merge_algo`); this records only the span.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct MergeLaunch {
+    /// Virtual time the merge began executing on its lane (≥ the
+    /// submission `ready_at`; later if the lane was still busy).
+    pub started_at: f64,
+    /// Virtual time the merged slab is available.
+    pub output_ready_at: f64,
+    /// Modeled duration, cross-socket penalty included.
+    pub duration: f64,
+    /// Index of the lane (socket) the merge occupied.
+    pub lane: usize,
+}
+
+/// Queues `task` on the least-busy of `lanes` and returns the span. With
+/// more than one lane the node is multi-socket, so the merge runs at the
+/// per-socket rate and remote-homed inputs pay the cross-socket penalty.
+fn submit_merge_on(
+    lanes: &mut [Timeline],
+    model: &MachineModel,
+    ready_at: f64,
+    task: &MergeTask,
+) -> MergeLaunch {
+    let lane = lanes
+        .iter()
+        .enumerate()
+        .min_by(|(_, a), (_, b)| a.busy_until().partial_cmp(&b.busy_until()).unwrap())
+        .map(|(i, _)| i)
+        .expect("executors always have at least one merge lane");
+    let total = task.total_elems();
+    let base = if lanes.len() > 1 {
+        model.socket_merge_time_with(task.kernel, total, task.ways())
+    } else {
+        model.merge_time_with(task.kernel, total, task.ways())
+    };
+    let remote: u64 = task
+        .inputs
+        .iter()
+        .filter(|&&(_, home)| home.is_some_and(|s| s != lane))
+        .map(|&(e, _)| e)
+        .sum();
+    let dur = base * (1.0 + model.xsocket_penalty * remote as f64 / total.max(1) as f64);
+    let done = lanes[lane].submit(ready_at, dur);
+    MergeLaunch {
+        started_at: done.at - dur,
+        output_ready_at: done.at,
+        duration: dur,
+        lane,
+    }
+}
+
+/// Sums the internal idle gaps of a set of lanes.
+fn lanes_idle(lanes: &[Timeline]) -> f64 {
+    lanes.iter().map(Timeline::idle_time).sum()
+}
+
+/// A target that local SpGEMM launches and merge operations are submitted
+/// to.
 pub trait Executor {
     /// Submits `C = A · B` as described by `spec`, starting at host
     /// virtual time `host_now`. Must not advance any rank clock — the
@@ -193,12 +293,28 @@ pub trait Executor {
         spec: LaunchSpec,
     ) -> KernelLaunch;
 
+    /// Submits one merge operation, ready at virtual time `ready_at`
+    /// (when its last input slab exists), onto a host-side merge lane.
+    /// Like [`submit`](Self::submit), never advances a rank clock.
+    fn submit_merge(
+        &mut self,
+        model: &MachineModel,
+        ready_at: f64,
+        task: &MergeTask,
+    ) -> MergeLaunch;
+
     /// GPUs visible to kernel selection (0 keeps selection CPU-only).
     fn gpus_available(&self) -> usize;
 
     /// Accumulated device/worker idle time — the Table V "GPU idle"
     /// column, read uniformly off the executor's timelines.
     fn device_idle(&self) -> f64;
+
+    /// Accumulated idle on the merge lanes. For [`GpuExecutor`] the lanes
+    /// are dedicated (disjoint from [`device_idle`](Self::device_idle));
+    /// for [`CpuPool`]-backed executors the lanes are the shared worker
+    /// timelines, so this overlaps the pool's share of `device_idle`.
+    fn merge_lane_idle(&self) -> f64;
 
     /// Resets all internal timelines (between pipeline sections).
     fn reset_timelines(&mut self);
@@ -213,7 +329,33 @@ fn cpu_algo(kernel: SpgemmKernel) -> CpuAlgo {
     }
 }
 
-impl Executor for MultiGpu {
+/// The paper's configuration (§III-A) behind the [`Executor`] contract:
+/// GPU kernels run asynchronously on the wrapped devices, CPU-selected
+/// kernels run inline on the host, and merges queue on dedicated
+/// host-side merge lanes — one [`Timeline`] per socket of the machine
+/// model, disjoint from the device streams, so
+/// [`merge_lane_idle`](Executor::merge_lane_idle) reconciles exactly with
+/// the gaps between the recorded merge spans.
+pub struct GpuExecutor<'g> {
+    gpus: &'g mut MultiGpu,
+    lanes: Vec<Timeline>,
+}
+
+impl<'g> GpuExecutor<'g> {
+    /// Wraps the rank's devices; merge lanes are sized to the model's
+    /// socket count.
+    pub fn new(gpus: &'g mut MultiGpu, model: &MachineModel) -> Self {
+        let lanes = (0..model.sockets.max(1)).map(|_| Timeline::new()).collect();
+        Self { gpus, lanes }
+    }
+
+    /// The host-side merge lanes (one per socket).
+    pub fn merge_lanes(&self) -> &[Timeline] {
+        &self.lanes
+    }
+}
+
+impl Executor for GpuExecutor<'_> {
     fn submit(
         &mut self,
         model: &MachineModel,
@@ -225,6 +367,7 @@ impl Executor for MultiGpu {
         match spec.kernel {
             SpgemmKernel::Gpu(lib) => {
                 let r = self
+                    .gpus
                     .multiply(host_now, a, b, lib)
                     .expect("device OOM: increase phases or use CPU policy");
                 KernelLaunch {
@@ -258,16 +401,32 @@ impl Executor for MultiGpu {
         }
     }
 
+    fn submit_merge(
+        &mut self,
+        model: &MachineModel,
+        ready_at: f64,
+        task: &MergeTask,
+    ) -> MergeLaunch {
+        submit_merge_on(&mut self.lanes, model, ready_at, task)
+    }
+
     fn gpus_available(&self) -> usize {
-        self.len()
+        self.gpus.len()
     }
 
     fn device_idle(&self) -> f64 {
-        self.total_idle()
+        self.gpus.total_idle()
+    }
+
+    fn merge_lane_idle(&self) -> f64 {
+        lanes_idle(&self.lanes)
     }
 
     fn reset_timelines(&mut self) {
-        MultiGpu::reset_timelines(self);
+        self.gpus.reset_timelines();
+        for lane in &mut self.lanes {
+            lane.reset();
+        }
     }
 }
 
@@ -309,9 +468,20 @@ impl Executor for MultiGpu {
 /// assert!(l2.output_ready_at > l1.output_ready_at);
 /// assert!((pool.device_idle() - 1.0).abs() < 1e-9);
 /// ```
+///
+/// # NUMA lanes
+///
+/// [`CpuPool::for_model`] sizes the pool from the machine model's node
+/// topology — one lane (a [`Timeline`]) per socket, `model.threads`
+/// workers overall — instead of a flat process-wide constant. A
+/// whole-node SpGEMM occupies **every** lane (the kernels are
+/// row-parallel across all cores); a merge occupies **one** lane at the
+/// per-socket rate, so merges genuinely contend with SpGEMM for the same
+/// cores and two merges can run socket-parallel. Merge inputs homed on
+/// the other socket pay the model's cross-socket penalty.
 pub struct CpuPool {
     threads: usize,
-    workers: Timeline,
+    lanes: Vec<Timeline>,
 }
 
 impl Default for CpuPool {
@@ -321,11 +491,21 @@ impl Default for CpuPool {
 }
 
 impl CpuPool {
-    /// A pool sized to the rayon thread pool of this process.
+    /// A single-lane pool sized to the rayon thread pool of this process
+    /// (no NUMA structure — the legacy shape, kept for direct use).
     pub fn new() -> Self {
         Self {
             threads: rayon::current_num_threads().max(1),
-            workers: Timeline::new(),
+            lanes: vec![Timeline::new()],
+        }
+    }
+
+    /// A pool sized from the machine model's node topology: one lane per
+    /// socket, `model.threads` workers.
+    pub fn for_model(model: &MachineModel) -> Self {
+        Self {
+            threads: model.threads.max(1),
+            lanes: (0..model.sockets.max(1)).map(|_| Timeline::new()).collect(),
         }
     }
 
@@ -334,9 +514,26 @@ impl CpuPool {
         self.threads
     }
 
-    /// The pool's timeline (jobs queued, idle gaps).
+    /// The pool's first lane (jobs queued, idle gaps) — the whole pool
+    /// for a single-lane [`CpuPool::new`].
     pub fn timeline(&self) -> &Timeline {
-        &self.workers
+        &self.lanes[0]
+    }
+
+    /// All worker lanes (one per socket).
+    pub fn lanes(&self) -> &[Timeline] {
+        &self.lanes
+    }
+
+    /// Queues a whole-node job (all lanes busy for `dur`, the machine
+    /// model's whole-node rate already being baked into `dur`); returns
+    /// the completion event, which is the slowest lane's.
+    fn node_job(&mut self, ready: f64, dur: f64) -> Event {
+        self.lanes
+            .iter_mut()
+            .map(|lane| lane.submit(ready, dur))
+            .max_by(|a, b| a.at.partial_cmp(&b.at).unwrap())
+            .expect("pool always has at least one lane")
     }
 }
 
@@ -357,7 +554,7 @@ impl Executor for CpuPool {
         };
         let (c, cf) = cpu_algo(cpu_kernel).multiply_measured(a, b, spec.flops);
         let dur = model.spgemm_time(cpu_kernel, spec.flops, cf);
-        let done = self.workers.submit(host_now, dur);
+        let done = self.node_job(host_now, dur);
         KernelLaunch {
             c,
             kernel: cpu_kernel,
@@ -370,16 +567,32 @@ impl Executor for CpuPool {
         }
     }
 
+    fn submit_merge(
+        &mut self,
+        model: &MachineModel,
+        ready_at: f64,
+        task: &MergeTask,
+    ) -> MergeLaunch {
+        submit_merge_on(&mut self.lanes, model, ready_at, task)
+    }
+
     fn gpus_available(&self) -> usize {
         0
     }
 
     fn device_idle(&self) -> f64 {
-        self.workers.idle_time()
+        lanes_idle(&self.lanes)
+    }
+
+    fn merge_lane_idle(&self) -> f64 {
+        // The merge lanes are the shared worker timelines.
+        self.device_idle()
     }
 
     fn reset_timelines(&mut self) {
-        self.workers.reset();
+        for lane in &mut self.lanes {
+            lane.reset();
+        }
     }
 }
 
@@ -495,6 +708,19 @@ impl<'g> Hybrid<'g> {
         }
     }
 
+    /// Like [`Hybrid::new`], but the pool side is sized from the machine
+    /// model's node topology ([`CpuPool::for_model`]): NUMA merge lanes
+    /// shared with the CPU slab of every column split.
+    ///
+    /// # Panics
+    ///
+    /// As [`Hybrid::new`], on an invalid [`SplitPolicy::Fixed`] fraction.
+    pub fn for_model(gpus: &'g mut MultiGpu, split: SplitPolicy, model: &MachineModel) -> Self {
+        let mut h = Self::new(gpus, split);
+        h.pool = CpuPool::for_model(model);
+        h
+    }
+
     /// The realized GPU share of every submission so far, in order (0 for
     /// multiplications that went to the pool whole).
     pub fn fractions(&self) -> &[f64] {
@@ -563,7 +789,7 @@ impl Executor for Hybrid<'_> {
             let flops_cpu = hipmcl_spgemm::flops(a, &b_cpu);
             let (c_cpu, cf_cpu) = CpuAlgo::Hash.multiply_measured(a, &b_cpu, flops_cpu);
             let dur = model.spgemm_time(SpgemmKernel::CpuHash, flops_cpu, cf_cpu);
-            let done = self.pool.workers.submit(host_now, dur);
+            let done = self.pool.node_job(host_now, dur);
             output_ready_at = output_ready_at.max(done.at);
             total_flops += flops_cpu;
             total_nnz += c_cpu.nnz() as u64;
@@ -598,17 +824,32 @@ impl Executor for Hybrid<'_> {
         }
     }
 
+    fn submit_merge(
+        &mut self,
+        model: &MachineModel,
+        ready_at: f64,
+        task: &MergeTask,
+    ) -> MergeLaunch {
+        // Merges land on the pool's worker lanes, contending with the
+        // CPU slabs of the column splits for the same cores.
+        self.pool.submit_merge(model, ready_at, task)
+    }
+
     fn gpus_available(&self) -> usize {
         self.gpus.len()
     }
 
     fn device_idle(&self) -> f64 {
-        self.gpus.total_idle() + self.pool.workers.idle_time()
+        self.gpus.total_idle() + self.pool.device_idle()
+    }
+
+    fn merge_lane_idle(&self) -> f64 {
+        self.pool.merge_lane_idle()
     }
 
     fn reset_timelines(&mut self) {
         self.gpus.reset_timelines();
-        self.pool.workers.reset();
+        self.pool.reset_timelines();
     }
 }
 
@@ -639,7 +880,8 @@ mod tests {
     fn multigpu_executor_gpu_kernel_is_async() {
         let a = random_csc(30, 30, 260, 41);
         let mut gpus = MultiGpu::new(model(), 2, 1 << 30);
-        let l = gpus.submit(
+        let mut exec = GpuExecutor::new(&mut gpus, &model());
+        let l = exec.submit(
             &model(),
             1.0,
             &a,
@@ -660,7 +902,8 @@ mod tests {
     fn multigpu_executor_cpu_kernel_is_host_synchronous() {
         let a = random_csc(30, 30, 260, 42);
         let mut gpus = MultiGpu::new(model(), 2, 1 << 30);
-        let l = gpus.submit(&model(), 1.0, &a, &a, spec_for(&a, SpgemmKernel::CpuHash));
+        let mut exec = GpuExecutor::new(&mut gpus, &model());
+        let l = exec.submit(&model(), 1.0, &a, &a, spec_for(&a, SpgemmKernel::CpuHash));
         assert!(l.c.max_abs_diff(&want(&a)) < 1e-9);
         assert_eq!(
             l.inputs_ready_at, l.output_ready_at,
@@ -858,6 +1101,115 @@ mod tests {
             gaps.last().unwrap() < &(0.5 * gaps[0]).max(1e-12),
             "finish-time gap must shrink: {gaps:?}"
         );
+    }
+
+    fn merge_task(kernel: MergeKernel, inputs: Vec<(u64, Option<usize>)>) -> MergeTask {
+        MergeTask { kernel, inputs }
+    }
+
+    #[test]
+    fn merge_tasks_spread_across_socket_lanes() {
+        // Summit's model has two sockets → two merge lanes; two merges
+        // ready at the same instant run socket-parallel, not queued.
+        let mut gpus = MultiGpu::new(model(), 2, 1 << 30);
+        let mut exec = GpuExecutor::new(&mut gpus, &model());
+        assert_eq!(exec.merge_lanes().len(), 2);
+        let t = merge_task(MergeKernel::Heap, vec![(50_000, None), (50_000, None)]);
+        let l1 = exec.submit_merge(&model(), 0.0, &t);
+        let l2 = exec.submit_merge(&model(), 0.0, &t);
+        assert_ne!(l1.lane, l2.lane, "second merge takes the free lane");
+        assert_eq!(l1.started_at, 0.0);
+        assert_eq!(l2.started_at, 0.0);
+        assert!((l1.output_ready_at - l1.duration).abs() < 1e-12);
+        // A third merge must queue behind one of them.
+        let l3 = exec.submit_merge(&model(), 0.0, &t);
+        assert!(l3.started_at >= l1.output_ready_at.min(l2.output_ready_at) - 1e-12);
+    }
+
+    #[test]
+    fn merge_lane_idle_reconciles_with_span_gaps() {
+        // One rank per socket (4 ranks/node) → a single merge lane, so
+        // the gap between two spans is exactly the reported lane idle.
+        let m = MachineModel::summit_ranks_per_node(4);
+        assert_eq!(m.sockets, 1);
+        let mut gpus = MultiGpu::new(m.clone(), 2, 1 << 30);
+        let mut exec = GpuExecutor::new(&mut gpus, &m);
+        let t = merge_task(MergeKernel::Hash, vec![(10_000, None); 4]);
+        let l1 = exec.submit_merge(&m, 0.0, &t);
+        let l2 = exec.submit_merge(&m, l1.output_ready_at + 0.25, &t);
+        assert!((l2.started_at - (l1.output_ready_at + 0.25)).abs() < 1e-12);
+        assert!((exec.merge_lane_idle() - 0.25).abs() < 1e-12);
+        assert_eq!(exec.device_idle(), 0.0, "device streams saw no merges");
+        exec.reset_timelines();
+        assert_eq!(exec.merge_lane_idle(), 0.0);
+    }
+
+    #[test]
+    fn remote_socket_inputs_pay_the_crossing_penalty() {
+        let m = model();
+        let mut gpus = MultiGpu::new(m.clone(), 2, 1 << 30);
+        let mut exec = GpuExecutor::new(&mut gpus, &m);
+        // Fresh lanes tie on busy_until → lane 0 wins; inputs homed on
+        // socket 1 are all remote.
+        let local = merge_task(
+            MergeKernel::Heap,
+            vec![(40_000, Some(0)), (40_000, Some(0))],
+        );
+        let remote = merge_task(
+            MergeKernel::Heap,
+            vec![(40_000, Some(1)), (40_000, Some(1))],
+        );
+        let ll = exec.submit_merge(&m, 0.0, &local);
+        assert_eq!(ll.lane, 0);
+        let mut gpus2 = MultiGpu::new(m.clone(), 2, 1 << 30);
+        let mut exec2 = GpuExecutor::new(&mut gpus2, &m);
+        let lr = exec2.submit_merge(&m, 0.0, &remote);
+        assert_eq!(lr.lane, 0);
+        let ratio = lr.duration / ll.duration;
+        assert!(
+            (ratio - (1.0 + m.xsocket_penalty)).abs() < 1e-9,
+            "all-remote inputs scale the merge by 1 + penalty, got {ratio}"
+        );
+    }
+
+    #[test]
+    fn cpu_pool_sizes_from_model_topology() {
+        let m = model();
+        let pool = CpuPool::for_model(&m);
+        assert_eq!(pool.threads(), m.threads, "workers = sockets × cores");
+        assert_eq!(pool.lanes().len(), m.sockets);
+        assert_eq!(CpuPool::new().lanes().len(), 1, "legacy pool is flat");
+    }
+
+    #[test]
+    fn pool_merges_contend_with_spgemm_for_the_lanes() {
+        let m = model();
+        let a = random_csc(30, 30, 260, 50);
+        let mut pool = CpuPool::for_model(&m);
+        let k = pool.submit(&m, 0.0, &a, &a, spec_for(&a, SpgemmKernel::CpuHash));
+        // The whole-node kernel holds every lane; a merge ready at 0 can
+        // only start once a lane frees up.
+        let t = merge_task(MergeKernel::Pairwise, vec![(1000, None), (1000, None)]);
+        let l = pool.submit_merge(&m, 0.0, &t);
+        assert!(
+            (l.started_at - k.output_ready_at).abs() < 1e-12,
+            "merge waited for the SpGEMM to release its lane"
+        );
+        assert_eq!(
+            pool.merge_lane_idle(),
+            pool.device_idle(),
+            "shared lanes: merge-lane idle is the pool idle"
+        );
+    }
+
+    #[test]
+    fn merge_task_accessors() {
+        let t = merge_task(
+            MergeKernel::Hash,
+            vec![(3, Some(0)), (4, None), (5, Some(1))],
+        );
+        assert_eq!(t.ways(), 3);
+        assert_eq!(t.total_elems(), 12);
     }
 
     #[test]

@@ -3,10 +3,12 @@
 //!
 //! * [`distmat`] — 2D block-distributed matrices on the
 //!   [`hipmcl_comm::ProcGrid`] (CombBLAS-style layout, DCSC-aware sizing).
-//! * [`merge`] — the two schemes for summing the per-stage intermediate
-//!   products: classic multiway (heap) merge, and the paper's **binary
-//!   merge** (§IV, Algorithm 2) that merges incrementally on even stages,
-//!   enabling overlap with GPU work and cutting peak memory 15–25 %.
+//! * [`merge`] — merging the per-stage intermediate products: the
+//!   multiway and **binary** (§IV, Algorithm 2) schedules, and three
+//!   bit-identical per-merge kernels (heap, pairwise, SpAdd-style hash)
+//!   selected by a machine-model cost rule
+//!   ([`merge::select_merge_kernel`]). Merges themselves execute as
+//!   executor tasks ([`executor::MergeTask`]) on per-socket merge lanes.
 //! * [`estimate`] — distributed memory-requirement estimation: the exact
 //!   symbolic SUMMA of original HipMCL and the paper's **probabilistic**
 //!   Cohen-sketch estimator (§V), plus the hybrid rule (exact when `cf` is
@@ -43,10 +45,10 @@ pub mod spgemm;
 pub mod topk;
 
 pub use distmat::DistMatrix;
-pub use estimate::{EstimatorKind, MemoryEstimate};
+pub use estimate::{EstimatorKind, MemoryEstimate, OverlapInputs, PhaseDecision, PhasePlanner};
 pub use executor::{
-    CpuPool, Executor, ExecutorKind, Hybrid, InvalidSplit, KernelLaunch, LaunchSpec,
-    SplitController, SplitPolicy,
+    CpuPool, Executor, ExecutorKind, GpuExecutor, Hybrid, InvalidSplit, KernelLaunch, LaunchSpec,
+    MergeLaunch, MergeTask, SplitController, SplitPolicy,
 };
-pub use merge::{BinaryMerger, MergeStrategy};
-pub use spgemm::{summa_spgemm, SummaConfig, SummaOutput};
+pub use merge::{MergeKernelPolicy, MergeSpan, MergeStrategy, StackMerger};
+pub use spgemm::{summa_spgemm, ConfigError, SummaConfig, SummaOutput};

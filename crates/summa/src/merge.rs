@@ -2,29 +2,42 @@
 //!
 //! Each SUMMA stage `k` produces an intermediate `A_ik · B_kj` for the
 //! local output block; the block's final value is their elementwise sum.
-//! Two schemes are implemented:
+//! Two *schedules* decide when merge operations happen:
 //!
 //! * **Multiway merge** (original HipMCL): hold all `k = √P` lists until
-//!   the stages finish, then one `k`-way heap merge — `O(kn lg k)` work,
-//!   but every intermediate stays resident and nothing can overlap.
+//!   the stages finish, then one `k`-way merge — every intermediate stays
+//!   resident and nothing can overlap.
 //! * **Binary merge** (§IV, Algorithm 2): push lists as they arrive and
 //!   merge on even-numbered stages with a stack whose shape mirrors merge
-//!   sort. Work is `O(kn lg k · lg lg k)` — a `lg lg k` factor worse — but
-//!   merges happen *while the GPU computes the next stage*, and because
-//!   early merges compress duplicates, the largest single merge holds
-//!   fewer elements than the multiway merge's all-at-once set (the
-//!   15–25 % peak-memory win of Table III).
+//!   sort ([`algorithm2_merge_count`]). Work is a `lg lg k` factor worse,
+//!   but merges happen *while the next stage computes*, and because early
+//!   merges compress duplicates, the largest single merge holds fewer
+//!   elements than the multiway merge's all-at-once set (the 15–25 %
+//!   peak-memory win of Table III).
 //!
-//! [`BinaryMerger`] also owns the virtual-time accounting: each merge
-//! waits for its inputs' ready events (GPU D2H completions) and charges
-//! [`hipmcl_comm::MachineModel::merge_time`].
+//! Orthogonally, each individual merge *operation* runs one of three
+//! [`MergeAlgo`] kernels — [`HeapMerge`], [`PairwiseMerge`],
+//! [`HashMerge`] — selected per merge by [`select_merge_kernel`], which
+//! evaluates [`MachineModel::merge_time_with`] for the merge's fan-in and
+//! element count (the merge-side analogue of the `cf`-based SpGEMM kernel
+//! selector). All three produce **bit-identical** output: they accumulate
+//! coincident entries strictly in list order and drop entries whose final
+//! value is exactly `0.0`, so kernel choice can never change an MCL
+//! result (property-tested below).
+//!
+//! Virtual-time accounting does **not** live here: a merge is an
+//! [`Executor`](crate::executor::Executor) task, submitted by the pipeline
+//! through `Executor::submit_merge` and timed on the executor's worker
+//! timelines like any kernel launch. This module only provides the real
+//! merging work, the Algorithm 2 schedule, and the [`MergeSpan`] record
+//! type the pipeline surfaces per merge.
 
-use hipmcl_comm::MachineModel;
+use hipmcl_comm::{MachineModel, MergeKernel};
 use hipmcl_sparse::csc::counts_to_colptr;
 use hipmcl_sparse::{Csc, Idx};
 use rayon::prelude::*;
 
-/// Which merging scheme a SUMMA run uses.
+/// Which merging schedule a SUMMA run uses.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum MergeStrategy {
     /// Defer everything, one k-way merge at the end (original HipMCL).
@@ -33,25 +46,113 @@ pub enum MergeStrategy {
     Binary,
 }
 
-/// K-way merges equally-shaped CSC matrices by summing coincident entries.
-/// Column-parallel; each column runs a cursor-based heap merge. Entries
-/// that cancel to exactly zero are dropped.
-pub fn kway_merge(mats: &[Csc<f64>]) -> Csc<f64> {
-    assert!(!mats.is_empty(), "nothing to merge");
-    let (m, n) = (mats[0].nrows(), mats[0].ncols());
+/// How the kernel of each individual merge operation is chosen.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum MergeKernelPolicy {
+    /// Per merge, pick the kernel the machine model rates cheapest for
+    /// the merge's fan-in and element count ([`select_merge_kernel`]).
+    #[default]
+    Auto,
+    /// Force one kernel for every merge (ablations and baselines).
+    Fixed(MergeKernel),
+}
+
+/// Picks the cheapest merge kernel for a `ways`-way merge of
+/// `total_elems` elements by evaluating the machine model's cost curves
+/// ([`MachineModel::merge_time_with`]) — the documented selection rule:
+///
+/// * fan-in 2 → [`MergeKernel::Pairwise`] (a two-way cursor merge beats a
+///   heap with no sift and a hash with no table);
+/// * fan-in 3, or too few elements to amortize the hash table setup →
+///   [`MergeKernel::Heap`];
+/// * fan-in ≥ 4 with enough elements → [`MergeKernel::Hash`]
+///   (fan-in-independent accumulation once `lg k` exceeds the hash's
+///   per-element constant, mirroring the SpGEMM heap/hash crossover).
+///
+/// Ties resolve toward the heap (the listed order).
+pub fn select_merge_kernel(model: &MachineModel, total_elems: u64, ways: usize) -> MergeKernel {
+    MergeKernel::all()
+        .into_iter()
+        .min_by(|a, b| {
+            model
+                .merge_time_with(*a, total_elems, ways)
+                .partial_cmp(&model.merge_time_with(*b, total_elems, ways))
+                .expect("merge times are finite")
+        })
+        .expect("at least one kernel")
+}
+
+/// One merge operation as it ran on an executor worker timeline — the
+/// per-merge observability record surfaced in `SummaOutput::merge_spans`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct MergeSpan {
+    /// Virtual time the merge started executing on its lane.
+    pub start: f64,
+    /// Virtual time the merged slab became available.
+    pub end: f64,
+    /// The kernel that ran it.
+    pub kernel: MergeKernel,
+    /// Fan-in (number of lists merged).
+    pub ways: usize,
+    /// Total input elements passing through the merge.
+    pub elems: u64,
+    /// Index of the worker lane (socket) it occupied.
+    pub lane: usize,
+}
+
+impl MergeSpan {
+    /// Seconds the merge occupied its lane.
+    pub fn duration(&self) -> f64 {
+        self.end - self.start
+    }
+}
+
+/// A single k-way merge kernel: sums equally-shaped CSC matrices. All
+/// implementations accumulate coincident entries in list order and drop
+/// entries whose final value is exactly `0.0`, making their outputs
+/// bit-identical (see the module docs).
+pub trait MergeAlgo {
+    /// Which kernel this is (for spans and model lookup).
+    fn kind(&self) -> MergeKernel;
+    /// Merges `mats` (all of shape `shape`); an empty slice yields an
+    /// empty matrix of that shape.
+    fn merge(&self, mats: &[Csc<f64>], shape: (usize, usize)) -> Csc<f64>;
+}
+
+/// Cursor-based k-way heap merge (original HipMCL's accumulator).
+pub struct HeapMerge;
+/// Left-fold of two-way cursor merges.
+pub struct PairwiseMerge;
+/// SpAdd-style per-column hash accumulation.
+pub struct HashMerge;
+
+/// The implementation behind a [`MergeKernel`] tag.
+pub fn merge_algo(kernel: MergeKernel) -> &'static dyn MergeAlgo {
+    match kernel {
+        MergeKernel::Heap => &HeapMerge,
+        MergeKernel::Pairwise => &PairwiseMerge,
+        MergeKernel::Hash => &HashMerge,
+    }
+}
+
+/// Checks shapes and handles the 0- and 1-input fast paths shared by all
+/// kernels; returns `None` when a real merge is needed.
+fn merge_trivial(mats: &[Csc<f64>], shape: (usize, usize)) -> Option<Csc<f64>> {
     for mat in mats {
-        assert_eq!((mat.nrows(), mat.ncols()), (m, n), "merge shape mismatch");
+        assert_eq!((mat.nrows(), mat.ncols()), shape, "merge shape mismatch");
     }
-    if mats.len() == 1 {
-        return mats[0].clone();
+    match mats.len() {
+        // A zero-flops phase produces nothing to merge; the configured
+        // output shape keeps the pipeline alive instead of panicking.
+        0 => Some(Csc::zero(shape.0, shape.1)),
+        1 => Some(mats[0].clone()),
+        _ => None,
     }
+}
 
-    // Per-column merged outputs.
-    let cols: Vec<(Vec<Idx>, Vec<f64>)> = (0..n)
-        .into_par_iter()
-        .map(|j| merge_column(mats, j))
-        .collect();
-
+/// Assembles per-column `(rows, vals)` outputs into a CSC matrix.
+fn assemble(shape: (usize, usize), cols: Vec<(Vec<Idx>, Vec<f64>)>) -> Csc<f64> {
+    let (m, n) = shape;
     let counts: Vec<usize> = cols.iter().map(|(r, _)| r.len()).collect();
     let colptr = counts_to_colptr(&counts);
     let nnz = colptr[n];
@@ -62,6 +163,67 @@ pub fn kway_merge(mats: &[Csc<f64>]) -> Csc<f64> {
         vals.extend_from_slice(&v);
     }
     Csc::from_parts(m, n, colptr, rowidx, vals)
+}
+
+impl MergeAlgo for HeapMerge {
+    fn kind(&self) -> MergeKernel {
+        MergeKernel::Heap
+    }
+
+    fn merge(&self, mats: &[Csc<f64>], shape: (usize, usize)) -> Csc<f64> {
+        if let Some(t) = merge_trivial(mats, shape) {
+            return t;
+        }
+        let cols: Vec<(Vec<Idx>, Vec<f64>)> = (0..shape.1)
+            .into_par_iter()
+            .map(|j| merge_column(mats, j))
+            .collect();
+        assemble(shape, cols)
+    }
+}
+
+impl MergeAlgo for PairwiseMerge {
+    fn kind(&self) -> MergeKernel {
+        MergeKernel::Pairwise
+    }
+
+    fn merge(&self, mats: &[Csc<f64>], shape: (usize, usize)) -> Csc<f64> {
+        if let Some(t) = merge_trivial(mats, shape) {
+            return t;
+        }
+        // Left fold keeps the accumulation order identical to the heap's
+        // list-order tie-breaking: after i folds the accumulator holds
+        // `v_0 + v_1 + … + v_i` exactly as the heap would have summed it.
+        let mut acc = two_way_merge(&mats[0], &mats[1], shape);
+        for m in &mats[2..] {
+            acc = two_way_merge(&acc, m, shape);
+        }
+        acc
+    }
+}
+
+impl MergeAlgo for HashMerge {
+    fn kind(&self) -> MergeKernel {
+        MergeKernel::Hash
+    }
+
+    fn merge(&self, mats: &[Csc<f64>], shape: (usize, usize)) -> Csc<f64> {
+        if let Some(t) = merge_trivial(mats, shape) {
+            return t;
+        }
+        let cols: Vec<(Vec<Idx>, Vec<f64>)> = (0..shape.1)
+            .into_par_iter()
+            .map(|j| hash_column(mats, j))
+            .collect();
+        assemble(shape, cols)
+    }
+}
+
+/// K-way merges equally-shaped CSC matrices with the heap kernel (kept as
+/// a named entry point: the exact symbolic estimator and the benches call
+/// it directly). An empty slice returns an empty matrix of `shape`.
+pub fn kway_merge(mats: &[Csc<f64>], shape: (usize, usize)) -> Csc<f64> {
+    HeapMerge.merge(mats, shape)
 }
 
 /// Heap-merges column `j` across all matrices.
@@ -108,6 +270,76 @@ fn merge_column(mats: &[Csc<f64>], j: usize) -> (Vec<Idx>, Vec<f64>) {
     (rows, vals)
 }
 
+/// Two-way cursor merge with the shared zero-drop rule.
+fn two_way_merge(a: &Csc<f64>, b: &Csc<f64>, shape: (usize, usize)) -> Csc<f64> {
+    let cols: Vec<(Vec<Idx>, Vec<f64>)> = (0..shape.1)
+        .into_par_iter()
+        .map(|j| {
+            let (ar, av) = (a.col_rows(j), a.col_vals(j));
+            let (br, bv) = (b.col_rows(j), b.col_vals(j));
+            let mut rows = Vec::with_capacity(ar.len() + br.len());
+            let mut vals = Vec::with_capacity(ar.len() + br.len());
+            let (mut i, mut k) = (0, 0);
+            let mut push = |r: Idx, v: f64| {
+                if v != 0.0 {
+                    rows.push(r);
+                    vals.push(v);
+                }
+            };
+            while i < ar.len() && k < br.len() {
+                match ar[i].cmp(&br[k]) {
+                    std::cmp::Ordering::Less => {
+                        push(ar[i], av[i]);
+                        i += 1;
+                    }
+                    std::cmp::Ordering::Greater => {
+                        push(br[k], bv[k]);
+                        k += 1;
+                    }
+                    std::cmp::Ordering::Equal => {
+                        push(ar[i], av[i] + bv[k]);
+                        i += 1;
+                        k += 1;
+                    }
+                }
+            }
+            while i < ar.len() {
+                push(ar[i], av[i]);
+                i += 1;
+            }
+            while k < br.len() {
+                push(br[k], bv[k]);
+                k += 1;
+            }
+            (rows, vals)
+        })
+        .collect();
+    assemble(shape, cols)
+}
+
+/// Hash-accumulates column `j` across all matrices, strictly in list
+/// order, then sorts by row and drops exact zeros.
+fn hash_column(mats: &[Csc<f64>], j: usize) -> (Vec<Idx>, Vec<f64>) {
+    use std::collections::HashMap;
+    let cap: usize = mats.iter().map(|m| m.col_nnz(j)).sum();
+    let mut slot: HashMap<Idx, usize> = HashMap::with_capacity(cap);
+    let mut entries: Vec<(Idx, f64)> = Vec::with_capacity(cap);
+    for mat in mats {
+        for (&r, &v) in mat.col_rows(j).iter().zip(mat.col_vals(j)) {
+            match slot.entry(r) {
+                std::collections::hash_map::Entry::Occupied(e) => entries[*e.get()].1 += v,
+                std::collections::hash_map::Entry::Vacant(e) => {
+                    e.insert(entries.len());
+                    entries.push((r, v));
+                }
+            }
+        }
+    }
+    entries.sort_unstable_by_key(|&(r, _)| r);
+    entries.retain(|&(_, v)| v != 0.0);
+    entries.into_iter().unzip()
+}
+
 /// Statistics of a merging run, feeding Table III and the §VII-C text.
 #[derive(Clone, Copy, Debug, Default, PartialEq)]
 pub struct MergeStats {
@@ -118,9 +350,10 @@ pub struct MergeStats {
     pub total_merged_elems: u64,
     /// Number of merge operations performed.
     pub merge_ops: usize,
-    /// Virtual seconds spent merging.
+    /// Virtual seconds of merge-lane occupancy (the sum of the merge
+    /// spans' durations — merges no longer run on a private clock).
     pub merge_time: f64,
-    /// Virtual seconds the host waited for inputs (CPU idle).
+    /// Virtual seconds the host blocked on merge completion events.
     pub wait_time: f64,
 }
 
@@ -136,90 +369,89 @@ impl MergeStats {
     }
 }
 
-/// Incremental stack merger implementing Algorithm 2 of the paper, with
-/// virtual-time accounting.
-pub struct BinaryMerger {
+/// Algorithm 2's merge trigger: after the `pushed`-th push (1-indexed),
+/// how many top-of-stack entries merge. Zero on odd pushes; on even
+/// pushes one more than the number of trailing doublings (`pushed = 2^a·b`
+/// with `b` odd merges `a + 1` entries), so the stack mirrors merge sort.
+pub fn algorithm2_merge_count(pushed: usize) -> usize {
+    let mut n = 0usize;
+    let mut j = pushed;
+    while j != 0 && j.is_multiple_of(2) {
+        n += 1;
+        j /= 2;
+    }
+    if n == 0 {
+        0
+    } else {
+        n + 1
+    }
+}
+
+/// Clock-free Algorithm 2 stack merger: real merging work and element
+/// statistics (`peak_merge_elems`, `total_merged_elems`, `merge_ops`)
+/// with **no** time accounting — timing belongs to the executor layer.
+/// Used by the ablation/bench harnesses; the pipeline drives the same
+/// schedule through `Executor::submit_merge` instead.
+pub struct StackMerger {
     model: MachineModel,
-    /// `(slab, ready_at)` — ready is when the slab landed on the host.
-    stack: Vec<(Csc<f64>, f64)>,
+    policy: MergeKernelPolicy,
+    shape: (usize, usize),
+    stack: Vec<Csc<f64>>,
     pushed: usize,
     stats: MergeStats,
 }
 
-impl BinaryMerger {
-    /// New merger under the given machine model.
-    pub fn new(model: MachineModel) -> Self {
+impl StackMerger {
+    /// New merger for slabs of the given shape. The model only feeds the
+    /// `Auto` kernel selection rule; no durations are charged.
+    pub fn new(model: MachineModel, policy: MergeKernelPolicy, shape: (usize, usize)) -> Self {
         Self {
             model,
+            policy,
+            shape,
             stack: Vec::new(),
             pushed: 0,
             stats: MergeStats::default(),
         }
     }
 
-    /// Pushes the stage-`i` intermediate (1-indexed pushes). `ready_at` is
-    /// the virtual time the slab became available on the host (its D2H
-    /// completion, or the CPU kernel's finish). `host_now` is the host
-    /// clock; the returned value is the host clock after any merging this
-    /// push triggers (Algorithm 2, lines 5–15).
-    pub fn push(&mut self, slab: Csc<f64>, ready_at: f64, host_now: f64) -> f64 {
+    /// Pushes the next stage's slab, running any merges Algorithm 2
+    /// triggers.
+    pub fn push(&mut self, slab: Csc<f64>) {
+        self.stack.push(slab);
         self.pushed += 1;
-        self.stack.push((slab, ready_at));
-        let mut nmerges = 0usize;
-        let mut j = self.pushed;
-        while j != 0 && j.is_multiple_of(2) {
-            nmerges += 1;
-            j /= 2;
+        let count = algorithm2_merge_count(self.pushed);
+        if count > 0 {
+            self.merge_top(count);
         }
-        if nmerges == 0 {
-            return host_now;
-        }
-        self.merge_top(nmerges + 1, host_now)
     }
 
-    /// Final merge of whatever remains on the stack (Algorithm 2, line 16
-    /// generalized to non-power-of-two stage counts). Returns the merged
-    /// block and the updated host clock.
-    pub fn finish(&mut self, host_now: f64) -> (Csc<f64>, f64) {
-        assert!(!self.stack.is_empty(), "finish on empty merger");
-        let now = if self.stack.len() > 1 {
-            self.merge_top(self.stack.len(), host_now)
-        } else {
-            // Single slab: still must wait for it to be resident.
-            let ready = self.stack[0].1;
-            let idle = (ready - host_now).max(0.0);
-            self.stats.wait_time += idle;
-            host_now.max(ready)
-        };
-        let (slab, _) = self.stack.pop().unwrap();
-        (slab, now)
+    /// Final merge of whatever remains; empty input yields an empty
+    /// matrix of the configured shape.
+    pub fn finish(&mut self) -> Csc<f64> {
+        if self.stack.len() > 1 {
+            self.merge_top(self.stack.len());
+        }
+        self.stack
+            .pop()
+            .unwrap_or_else(|| Csc::zero(self.shape.0, self.shape.1))
     }
 
-    /// Merges the top `count` stack entries with a heap (the paper found
-    /// successive two-way merges inefficient in practice, §IV).
-    fn merge_top(&mut self, count: usize, host_now: f64) -> f64 {
+    fn merge_top(&mut self, count: usize) {
         let at = self.stack.len() - count;
-        let tail: Vec<(Csc<f64>, f64)> = self.stack.split_off(at);
-        let elems: usize = tail.iter().map(|(m, _)| m.nnz()).sum();
-        let inputs_ready = tail.iter().map(|(_, r)| *r).fold(0.0f64, f64::max);
-
-        let start = host_now.max(inputs_ready);
-        self.stats.wait_time += (inputs_ready - host_now).max(0.0);
-        let dur = self.model.merge_time(elems as u64, count);
-        let done = start + dur;
-
+        let tail: Vec<Csc<f64>> = self.stack.split_off(at);
+        let elems: usize = tail.iter().map(Csc::nnz).sum();
+        let kernel = match self.policy {
+            MergeKernelPolicy::Fixed(k) => k,
+            MergeKernelPolicy::Auto => select_merge_kernel(&self.model, elems as u64, count),
+        };
         self.stats.peak_merge_elems = self.stats.peak_merge_elems.max(elems);
         self.stats.total_merged_elems += elems as u64;
         self.stats.merge_ops += 1;
-        self.stats.merge_time += dur;
-
-        let mats: Vec<Csc<f64>> = tail.into_iter().map(|(m, _)| m).collect();
-        let merged = kway_merge(&mats);
-        self.stack.push((merged, done));
-        done
+        self.stack.push(merge_algo(kernel).merge(&tail, self.shape));
     }
 
-    /// Accumulated statistics.
+    /// Accumulated element statistics (time fields stay zero).
     pub fn stats(&self) -> MergeStats {
         self.stats
     }
@@ -230,39 +462,11 @@ impl BinaryMerger {
     }
 }
 
-/// Runs a whole merging sequence through the *multiway* scheme: waits for
-/// every slab, then a single k-way merge. Returns `(merged, new_host_now,
-/// stats)`.
-pub fn multiway_merge_timed(
-    model: &MachineModel,
-    slabs: Vec<(Csc<f64>, f64)>,
-    host_now: f64,
-) -> (Csc<f64>, f64, MergeStats) {
-    assert!(!slabs.is_empty());
-    let elems: usize = slabs.iter().map(|(m, _)| m.nnz()).sum();
-    let ready = slabs.iter().map(|(_, r)| *r).fold(0.0f64, f64::max);
-    let ways = slabs.len();
-    let start = host_now.max(ready);
-    let dur = if ways > 1 {
-        model.merge_time(elems as u64, ways)
-    } else {
-        0.0
-    };
-    let stats = MergeStats {
-        peak_merge_elems: elems,
-        total_merged_elems: elems as u64,
-        merge_ops: 1,
-        merge_time: dur,
-        wait_time: (ready - host_now).max(0.0),
-    };
-    let mats: Vec<Csc<f64>> = slabs.into_iter().map(|(m, _)| m).collect();
-    (kway_merge(&mats), start + dur, stats)
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
     use hipmcl_spgemm::testutil::random_csc;
+    use proptest::prelude::*;
 
     #[test]
     fn merge_stats_absorb_maxes_peak_and_sums_rest() {
@@ -310,12 +514,20 @@ mod tests {
     fn kway_merge_matches_elementwise_sum() {
         for k in [1usize, 2, 3, 4, 7, 8] {
             let mats = slabs(12, k);
-            let got = kway_merge(&mats);
+            let got = kway_merge(&mats, (12, 12));
             got.assert_valid();
             let want = reference_sum(&mats);
             assert!(got.max_abs_diff(&want) < 1e-9, "k={k}");
             assert_eq!(got.nnz(), want.nnz(), "k={k}");
         }
+    }
+
+    #[test]
+    fn kway_merge_empty_slice_returns_empty_of_shape() {
+        let merged = kway_merge(&[], (7, 9));
+        merged.assert_valid();
+        assert_eq!((merged.nrows(), merged.ncols()), (7, 9));
+        assert_eq!(merged.nnz(), 0);
     }
 
     #[test]
@@ -325,44 +537,71 @@ mod tests {
         for v in &mut b.vals {
             *v = -*v;
         }
-        let merged = kway_merge(&[a, b]);
+        let merged = kway_merge(&[a, b], (8, 8));
         assert_eq!(merged.nnz(), 0, "exact cancellation drops all entries");
     }
 
     #[test]
-    fn binary_merger_matches_multiway_result() {
+    fn all_kernels_match_elementwise_sum() {
+        for k in [2usize, 3, 5, 8] {
+            let mats = slabs(10, k);
+            let want = reference_sum(&mats);
+            for kernel in hipmcl_comm::MergeKernel::all() {
+                let got = merge_algo(kernel).merge(&mats, (10, 10));
+                got.assert_valid();
+                assert!(got.max_abs_diff(&want) < 1e-9, "{kernel:?} k={k}");
+                assert_eq!(got.nnz(), want.nnz(), "{kernel:?} k={k}");
+            }
+        }
+    }
+
+    #[test]
+    fn selection_rule_follows_model_crossovers() {
+        let m = MachineModel::summit();
+        assert_eq!(select_merge_kernel(&m, 100_000, 2), MergeKernel::Pairwise);
+        assert_eq!(select_merge_kernel(&m, 100_000, 3), MergeKernel::Heap);
+        assert_eq!(select_merge_kernel(&m, 100_000, 4), MergeKernel::Hash);
+        assert_eq!(select_merge_kernel(&m, 100_000, 16), MergeKernel::Hash);
+        // A tiny merge cannot amortize the hash table setup.
+        assert_eq!(select_merge_kernel(&m, 100, 8), MergeKernel::Heap);
+    }
+
+    #[test]
+    fn algorithm2_schedule_matches_paper() {
+        // Pushes 2,4,6,8 trigger merges of 2,3,2,4 lists respectively.
+        let counts: Vec<usize> = (1..=8).map(algorithm2_merge_count).collect();
+        assert_eq!(counts, vec![0, 2, 0, 3, 0, 2, 0, 4]);
+    }
+
+    #[test]
+    fn stack_merger_follows_algorithm2_and_matches_sum() {
         for k in [1usize, 2, 3, 4, 5, 8] {
             let mats = slabs(10, k);
             let want = reference_sum(&mats);
-
-            let mut bm = BinaryMerger::new(MachineModel::summit());
-            let mut now = 0.0;
+            let mut sm =
+                StackMerger::new(MachineModel::summit(), MergeKernelPolicy::Auto, (10, 10));
+            let mut ops = Vec::new();
             for m in &mats {
-                now = bm.push(m.clone(), 0.0, now);
+                let before = sm.stats().merge_ops;
+                sm.push(m.clone());
+                if sm.stats().merge_ops > before {
+                    ops.push(sm.pushed);
+                }
             }
-            let (got, _) = bm.finish(now);
+            if k == 8 {
+                assert_eq!(ops, vec![2, 4, 6, 8]);
+                assert_eq!(sm.stack_len(), 1, "8 = 2^3 collapses to one slab");
+            }
+            let got = sm.finish();
             assert!(got.max_abs_diff(&want) < 1e-9, "k={k}");
         }
     }
 
     #[test]
-    fn binary_merge_schedule_follows_algorithm2() {
-        // Pushing 8 slabs must trigger merges at pushes 2,4,6,8 with
-        // 2,3,2,4 lists respectively (stack mirrors merge sort).
-        let mats = slabs(6, 8);
-        let mut bm = BinaryMerger::new(MachineModel::summit());
-        let mut ops = Vec::new();
-        let mut now = 0.0;
-        for m in &mats {
-            let before = bm.stats().merge_ops;
-            now = bm.push(m.clone(), 0.0, now);
-            if bm.stats().merge_ops > before {
-                ops.push(bm.pushed);
-            }
-        }
-        assert_eq!(ops, vec![2, 4, 6, 8]);
-        assert_eq!(bm.stack_len(), 1, "8 = 2^3 collapses to one slab");
-        let (_, _) = bm.finish(now);
+    fn stack_merger_empty_finish_returns_zero_shape() {
+        let mut sm = StackMerger::new(MachineModel::summit(), MergeKernelPolicy::Auto, (5, 6));
+        let out = sm.finish();
+        assert_eq!((out.nrows(), out.ncols(), out.nnz()), (5, 6, 0));
     }
 
     #[test]
@@ -380,59 +619,64 @@ mod tests {
             })
             .collect();
 
-        let model = MachineModel::summit();
-        let timed: Vec<(Csc<f64>, f64)> = mats.iter().map(|m| (m.clone(), 0.0)).collect();
-        let (_, _, mstats) = multiway_merge_timed(&model, timed, 0.0);
-
-        let mut bm = BinaryMerger::new(model);
-        let mut now = 0.0;
+        let multiway_peak: usize = mats.iter().map(Csc::nnz).sum();
+        let mut sm = StackMerger::new(MachineModel::summit(), MergeKernelPolicy::Auto, (40, 40));
         for m in &mats {
-            now = bm.push(m.clone(), 0.0, now);
+            sm.push(m.clone());
         }
-        let _ = bm.finish(now);
-        let bstats = bm.stats();
-
+        let _ = sm.finish();
         assert!(
-            bstats.peak_merge_elems < mstats.peak_merge_elems,
+            sm.stats().peak_merge_elems < multiway_peak,
             "binary {} vs multiway {}",
-            bstats.peak_merge_elems,
-            mstats.peak_merge_elems
+            sm.stats().peak_merge_elems,
+            multiway_peak
         );
     }
 
-    #[test]
-    fn binary_merger_waits_for_late_slabs() {
-        let mats = slabs(6, 2);
-        let mut bm = BinaryMerger::new(MachineModel::summit());
-        let now = bm.push(mats[0].clone(), 0.0, 0.0);
-        // Second slab lands at t=5 (e.g. GPU D2H): merge starts then.
-        let now = bm.push(mats[1].clone(), 5.0, now);
-        assert!(now >= 5.0);
-        assert!(bm.stats().wait_time >= 5.0 - 1e-9);
+    /// Random stage-product sets with deliberate cancellation: a base set
+    /// of random slabs, optionally including the exact negation of one of
+    /// them so entries cancel to exact zero mid-accumulation.
+    fn product_set(n: usize, k: usize, seed: u64, with_cancel: bool) -> Vec<Csc<f64>> {
+        let mut mats = slabs(n, k);
+        for (i, m) in mats.iter_mut().enumerate() {
+            for v in &mut m.vals {
+                // Mixed signs so partial sums can hit exact zero.
+                if (i + 1) % 2 == 0 {
+                    *v = -*v;
+                }
+            }
+        }
+        if with_cancel {
+            let mut neg = random_csc(n, n, n * 3, 100 + (seed % k as u64));
+            for v in &mut neg.vals {
+                *v = -*v;
+            }
+            mats.push(neg);
+        }
+        mats
     }
 
-    #[test]
-    fn multiway_merge_timed_waits_for_slowest() {
-        let mats = slabs(6, 3);
-        let timed: Vec<(Csc<f64>, f64)> = mats
-            .iter()
-            .enumerate()
-            .map(|(i, m)| (m.clone(), i as f64))
-            .collect();
-        let (merged, now, stats) = multiway_merge_timed(&MachineModel::summit(), timed, 0.0);
-        merged.assert_valid();
-        assert!(now >= 2.0, "must wait for the slab ready at t=2");
-        assert!((stats.wait_time - 2.0).abs() < 1e-9);
-    }
-
-    #[test]
-    fn finish_single_slab_waits() {
-        let mats = slabs(4, 1);
-        let mut bm = BinaryMerger::new(MachineModel::summit());
-        let now = bm.push(mats[0].clone(), 3.0, 0.0);
-        assert_eq!(now, 0.0, "no merge on first push");
-        let (out, now) = bm.finish(now);
-        assert_eq!(out, mats[0]);
-        assert!(now >= 3.0);
+    proptest! {
+        /// All three merge kernels produce bit-identical CSC outputs —
+        /// values AND sparsity structure, including entries removed by
+        /// exact-zero cancellation.
+        #[test]
+        fn merge_kernels_are_bit_identical(
+            n in 4usize..24,
+            k in 2usize..9,
+            seed in 0u64..32,
+            with_cancel in proptest::prelude::any::<bool>(),
+        ) {
+            let mats = product_set(n, k, seed, with_cancel);
+            let shape = (n, n);
+            let heap = merge_algo(MergeKernel::Heap).merge(&mats, shape);
+            let pairwise = merge_algo(MergeKernel::Pairwise).merge(&mats, shape);
+            let hash = merge_algo(MergeKernel::Hash).merge(&mats, shape);
+            heap.assert_valid();
+            // `Csc: PartialEq` compares colptr, rowidx and vals exactly —
+            // bitwise equality of both structure and floats.
+            prop_assert_eq!(&heap, &pairwise);
+            prop_assert_eq!(&heap, &hash);
+        }
     }
 }

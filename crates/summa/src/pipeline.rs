@@ -7,7 +7,9 @@
 //!
 //! * **pipelined** — the host resumes at `inputs_ready_at`, so the next
 //!   stage's broadcasts (and the one-stage-late binary merge) overlap the
-//!   kernel, whether it runs on the devices or the CPU worker pool;
+//!   kernel, whether it runs on the devices or the CPU worker pool; the
+//!   phase's closing merge is likewise drained one *phase* late, so its
+//!   tail overlaps the next phase's broadcasts and launches;
 //! * **bulk synchronous** — the host waits for `output_ready_at`, and the
 //!   wait minus any inline host compute is charged as CPU idle (Table V).
 //!
@@ -16,8 +18,11 @@
 //! distinction is a property of this scheduler, not of the kernel.
 
 use crate::distmat::DistMatrix;
-use crate::executor::{Executor, LaunchSpec};
-use crate::merge::{multiway_merge_timed, BinaryMerger, MergeStats, MergeStrategy};
+use crate::executor::{Executor, LaunchSpec, MergeTask};
+use crate::merge::{
+    algorithm2_merge_count, merge_algo, select_merge_kernel, MergeKernelPolicy, MergeSpan,
+    MergeStats, MergeStrategy,
+};
 use crate::spgemm::SummaConfig;
 use hipmcl_comm::clock::StageTimers;
 use hipmcl_comm::collectives::bcast;
@@ -54,96 +59,171 @@ pub(crate) struct PipelineOutcome {
     pub slabs: Vec<Csc<f64>>,
     /// Accumulated merge statistics.
     pub merge_stats: MergeStats,
+    /// Every merge operation's timeline span, in submission order.
+    pub merge_spans: Vec<MergeSpan>,
     /// Host idle time waiting on launch/merge events.
     pub cpu_idle: f64,
     /// Kernel recorded for every (phase, stage), `phases × √P` entries.
     pub kernels_used: Vec<SpgemmKernel>,
 }
 
-/// Sinks stage products into the configured merge scheme, driven by the
-/// slabs' completion events. Binary merging under pipelining holds each
-/// slab back one stage so its merge overlaps the next launch.
-enum MergeDriver {
-    Multiway {
-        slabs: Vec<(Csc<f64>, f64)>,
-    },
-    Binary {
-        merger: Box<BinaryMerger>,
-        pending: Option<(Csc<f64>, f64)>,
-        pipelined: bool,
-    },
+/// A stage product waiting on the merge stack: the real matrix, the
+/// virtual time it exists from, and the merge lane that produced it
+/// (`None` for kernel products, which have no socket affinity).
+struct Slab {
+    m: Csc<f64>,
+    ready: f64,
+    home: Option<usize>,
 }
 
-impl MergeDriver {
-    fn new(comm: &Comm, cfg: &SummaConfig) -> Self {
-        match cfg.merge {
-            MergeStrategy::Multiway => MergeDriver::Multiway { slabs: Vec::new() },
-            MergeStrategy::Binary => MergeDriver::Binary {
-                merger: Box::new(BinaryMerger::new(comm.model().clone())),
-                pending: None,
-                pipelined: cfg.pipelined,
-            },
+/// Sinks stage products into the configured merge scheme. Every merge
+/// operation is a [`MergeTask`] submitted through the executor, so its
+/// cost lands on a merge-lane [`Timeline`](hipmcl_comm::Timeline) — the
+/// engine holds no clock of its own. Binary merging under pipelining
+/// holds each slab back one stage so its merge (which Algorithm 2 may
+/// trigger) overlaps the next launch; because the merge is an async task
+/// the host never blocks on it mid-phase.
+struct MergeEngine {
+    strategy: MergeStrategy,
+    policy: MergeKernelPolicy,
+    pipelined: bool,
+    shape: (usize, usize),
+    stack: Vec<Slab>,
+    pushed: usize,
+    pending: Option<Slab>,
+    spans: Vec<MergeSpan>,
+    stats: MergeStats,
+}
+
+impl MergeEngine {
+    fn new(cfg: &SummaConfig, shape: (usize, usize)) -> Self {
+        Self {
+            strategy: cfg.merge,
+            policy: cfg.merge_kernel,
+            pipelined: cfg.pipelined,
+            shape,
+            stack: Vec::new(),
+            pushed: 0,
+            pending: None,
+            spans: Vec::new(),
+            stats: MergeStats::default(),
+        }
+    }
+
+    /// Merges the top `count` stack entries as one executor task: the
+    /// task is ready when its last input is, the chosen kernel does the
+    /// real work, and the result re-enters the stack homed on the lane
+    /// that produced it.
+    fn do_merge(&mut self, comm: &Comm, exec: &mut dyn Executor, count: usize) {
+        let tail: Vec<Slab> = self.stack.split_off(self.stack.len() - count);
+        let inputs: Vec<(u64, Option<usize>)> =
+            tail.iter().map(|s| (s.m.nnz() as u64, s.home)).collect();
+        let ready = tail.iter().map(|s| s.ready).fold(0.0, f64::max);
+        let total: u64 = inputs.iter().map(|&(e, _)| e).sum();
+        let kernel = match self.policy {
+            MergeKernelPolicy::Fixed(k) => k,
+            MergeKernelPolicy::Auto => select_merge_kernel(comm.model(), total, count),
+        };
+        let task = MergeTask { kernel, inputs };
+        let launch = exec.submit_merge(comm.model(), ready, &task);
+        let mats: Vec<Csc<f64>> = tail.into_iter().map(|s| s.m).collect();
+        let merged = merge_algo(kernel).merge(&mats, self.shape);
+        self.spans.push(MergeSpan {
+            start: launch.started_at,
+            end: launch.output_ready_at,
+            kernel,
+            ways: count,
+            elems: total,
+            lane: launch.lane,
+        });
+        self.stats.peak_merge_elems = self.stats.peak_merge_elems.max(total as usize);
+        self.stats.total_merged_elems += total;
+        self.stats.merge_ops += 1;
+        self.stats.merge_time += launch.duration;
+        self.stack.push(Slab {
+            m: merged,
+            ready: launch.output_ready_at,
+            home: Some(launch.lane),
+        });
+    }
+
+    /// Stacks a slab and runs whatever merge Algorithm 2 triggers.
+    fn push_binary(&mut self, comm: &Comm, exec: &mut dyn Executor, slab: Slab) {
+        self.stack.push(slab);
+        self.pushed += 1;
+        let count = algorithm2_merge_count(self.pushed);
+        if count > 0 {
+            self.do_merge(comm, exec, count);
         }
     }
 
     /// Accepts a stage product that is mergeable from `ready_at`.
-    fn accept(&mut self, comm: &Comm, slab: Csc<f64>, ready_at: f64) {
-        match self {
-            MergeDriver::Multiway { slabs } => slabs.push((slab, ready_at)),
-            MergeDriver::Binary {
-                merger,
-                pending,
-                pipelined,
-            } => {
-                if *pipelined {
+    fn accept(&mut self, comm: &Comm, exec: &mut dyn Executor, slab: Csc<f64>, ready_at: f64) {
+        let slab = Slab {
+            m: slab,
+            ready: ready_at,
+            home: None,
+        };
+        match self.strategy {
+            MergeStrategy::Multiway => self.stack.push(slab),
+            MergeStrategy::Binary => {
+                if self.pipelined {
                     // Push the *previous* stage's slab: its merge (if
                     // Algorithm 2 triggers one) overlaps this stage's
-                    // kernel.
-                    if let Some((prev, prev_ready)) = pending.take() {
-                        let now = merger.push(prev, prev_ready, comm.now());
-                        comm.wait_clock_until(now);
+                    // kernel on the merge lane.
+                    if let Some(prev) = self.pending.take() {
+                        self.push_binary(comm, exec, prev);
                     }
-                    *pending = Some((slab, ready_at));
+                    self.pending = Some(slab);
                 } else {
-                    let now = merger.push(slab, ready_at, comm.now());
-                    comm.wait_clock_until(now);
+                    // Bulk synchronous: the host blocks until the merge
+                    // (still a lane task) completes; the block is wait
+                    // time, since the host does none of the merging.
+                    self.push_binary(comm, exec, slab);
+                    let ready = self.stack.last().map_or(comm.now(), |s| s.ready);
+                    self.stats.wait_time += comm.wait_clock_until(ready);
                 }
             }
         }
     }
 
-    /// Completes the phase's merge; folds timing into the accumulators.
-    fn finish(
-        self,
+    /// Submits the phase's closing merge work: the flushed pending slab
+    /// and the final collapse (Multiway's single deferred k-way merge, or
+    /// Algorithm 2's `finish` collapse of the remaining stack). All of it
+    /// is async lane work — the host does not wait here; that is
+    /// [`drain`](Self::drain)'s job, which pipelining defers one phase.
+    fn seal(&mut self, comm: &Comm, exec: &mut dyn Executor) {
+        if let Some(prev) = self.pending.take() {
+            self.push_binary(comm, exec, prev);
+        }
+        if self.stack.len() > 1 {
+            let count = self.stack.len();
+            self.do_merge(comm, exec, count);
+        }
+    }
+
+    /// Waits for the sealed phase's merged slab and folds timing into the
+    /// accumulators. Under pipelining the scheduler calls this only after
+    /// the *next* phase's broadcasts and launches are issued, so the
+    /// closing merge's tail overlaps them instead of stalling the grid.
+    fn drain(
+        mut self,
         comm: &Comm,
         timers: &mut StageTimers,
         merge_stats: &mut MergeStats,
+        merge_spans: &mut Vec<MergeSpan>,
         cpu_idle: &mut f64,
     ) -> Csc<f64> {
-        let (m, stats) = match self {
-            MergeDriver::Multiway { slabs } => {
-                let (m, now, stats) = multiway_merge_timed(comm.model(), slabs, comm.now());
-                comm.wait_clock_until(now);
-                (m, stats)
-            }
-            MergeDriver::Binary {
-                mut merger,
-                pending,
-                ..
-            } => {
-                if let Some((prev, prev_ready)) = pending {
-                    let now = merger.push(prev, prev_ready, comm.now());
-                    comm.wait_clock_until(now);
-                }
-                let (m, now) = merger.finish(comm.now());
-                comm.wait_clock_until(now);
-                (m, merger.stats())
-            }
-        };
-        timers.add("merge", stats.merge_time);
-        *cpu_idle += stats.wait_time;
-        merge_stats.absorb(&stats);
-        m
+        let ready = self.stack.last().map_or(comm.now(), |s| s.ready);
+        self.stats.wait_time += comm.wait_clock_until(ready);
+
+        timers.add("merge", self.stats.merge_time);
+        *cpu_idle += self.stats.wait_time;
+        merge_stats.absorb(&self.stats);
+        merge_spans.append(&mut self.spans);
+        self.stack
+            .pop()
+            .map_or_else(|| Csc::zero(self.shape.0, self.shape.1), |s| s.m)
     }
 }
 
@@ -170,14 +250,21 @@ where
     let probe = CohenEstimator::new(4, cfg.seed ^ 0xABCD);
     let mut kernels_used = Vec::with_capacity(phases * side);
     let mut merge_stats = MergeStats::default();
+    let mut merge_spans: Vec<MergeSpan> = Vec::new();
     let mut cpu_idle = 0.0f64;
     let local_cols = b.local.ncols();
     let mut slabs: Vec<Csc<f64>> = Vec::with_capacity(phases);
+    // Under pipelining the previous phase's sealed engine drains only
+    // after this phase's stage loop, so its closing merge overlaps the
+    // next round of broadcasts and launches (phases sliced from `B` are
+    // independent; only the per-phase hook needs the merged slab).
+    let mut sealed: Option<(usize, MergeEngine)> = None;
 
     for ph in 0..phases {
         let cols = even_chunk(local_cols, phases, ph);
         let b_phase = b.local.column_slice(cols);
-        let mut merge = MergeDriver::new(comm, cfg);
+        // Every stage product this phase has the same block shape.
+        let mut merge = MergeEngine::new(cfg, (a.local.nrows(), b_phase.ncols()));
 
         for k in 0..side {
             // --- SUMMA broadcasts -------------------------------------
@@ -242,17 +329,42 @@ where
                 (launch.c, launch.output_ready_at)
             };
 
-            merge.accept(comm, slab, ready_at);
+            merge.accept(comm, exec, slab, ready_at);
         }
 
-        // --- Phase wrap-up: final merge --------------------------------
-        let merged = merge.finish(comm, timers, &mut merge_stats, &mut cpu_idle);
-        slabs.push(on_slab(ph, merged));
+        // --- Phase wrap-up: submit the closing merge ------------------
+        merge.seal(comm, exec);
+        let drain_now = if cfg.pipelined {
+            sealed.replace((ph, merge))
+        } else {
+            Some((ph, merge))
+        };
+        if let Some((pph, eng)) = drain_now {
+            let merged = eng.drain(
+                comm,
+                timers,
+                &mut merge_stats,
+                &mut merge_spans,
+                &mut cpu_idle,
+            );
+            slabs.push(on_slab(pph, merged));
+        }
+    }
+    if let Some((pph, eng)) = sealed.take() {
+        let merged = eng.drain(
+            comm,
+            timers,
+            &mut merge_stats,
+            &mut merge_spans,
+            &mut cpu_idle,
+        );
+        slabs.push(on_slab(pph, merged));
     }
 
     PipelineOutcome {
         slabs,
         merge_stats,
+        merge_spans,
         cpu_idle,
         kernels_used,
     }

@@ -23,15 +23,18 @@
 //! idle times come from the virtual clocks and executor timelines.
 
 use crate::distmat::DistMatrix;
-use crate::estimate::{estimate_memory, plan_phases, EstimatorKind, MemoryEstimate};
-use crate::executor::{CpuPool, Executor, ExecutorKind, Hybrid, InvalidSplit};
-use crate::merge::{MergeStats, MergeStrategy};
+use crate::estimate::{
+    estimate_memory, plan_phases, plan_phases_overlap, EstimatorKind, MemoryEstimate,
+    OverlapInputs, PhaseDecision, PhasePlanner,
+};
+use crate::executor::{CpuPool, Executor, ExecutorKind, GpuExecutor, Hybrid, InvalidSplit};
+use crate::merge::{MergeKernelPolicy, MergeSpan, MergeStats, MergeStrategy};
 use crate::pipeline::{self, PipelineOutcome};
 use hipmcl_comm::clock::StageTimers;
-use hipmcl_comm::{ProcGrid, SpgemmKernel};
+use hipmcl_comm::{GpuLib, MergeKernel, ProcGrid, SpgemmKernel};
 use hipmcl_gpu::multi::MultiGpu;
 use hipmcl_gpu::select::SelectionPolicy;
-use hipmcl_sparse::Csc;
+use hipmcl_sparse::{Csc, Dcsc};
 
 /// How the number of SUMMA phases is chosen.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -53,10 +56,16 @@ pub enum PhasePlan {
 pub struct SummaConfig {
     /// Phase selection.
     pub phases: PhasePlan,
+    /// How `Auto` phase planning picks within the memory-feasible phase
+    /// counts (memory floor only, or overlap-aware search above it).
+    pub planner: PhasePlanner,
     /// CPU/GPU kernel selection thresholds.
     pub policy: SelectionPolicy,
     /// Merging scheme for the stage intermediates.
     pub merge: MergeStrategy,
+    /// How each individual merge operation's kernel is chosen (the
+    /// model-cost `Auto` rule, or a fixed kernel for ablations).
+    pub merge_kernel: MergeKernelPolicy,
     /// Overlap local multiplications with broadcasts and merging (§III).
     /// Without it the host waits for every kernel's output (bulk
     /// synchronous, like original HipMCL even when kernels run on GPU).
@@ -77,8 +86,10 @@ impl SummaConfig {
                 estimator: EstimatorKind::ExactSymbolic,
                 per_rank_budget,
             },
+            planner: PhasePlanner::MemoryOnly,
             policy: SelectionPolicy::original_heap(),
             merge: MergeStrategy::Multiway,
+            merge_kernel: MergeKernelPolicy::Fixed(MergeKernel::Heap),
             pipelined: false,
             executor: ExecutorKind::Gpus,
             seed: 0,
@@ -97,8 +108,10 @@ impl SummaConfig {
                 },
                 per_rank_budget,
             },
+            planner: PhasePlanner::MemoryOnly,
             policy: SelectionPolicy::always_gpu(),
             merge: MergeStrategy::Multiway,
+            merge_kernel: MergeKernelPolicy::Fixed(MergeKernel::Heap),
             pipelined: false,
             executor: ExecutorKind::Gpus,
             seed: 0,
@@ -116,8 +129,10 @@ impl SummaConfig {
                 },
                 per_rank_budget,
             },
+            planner: PhasePlanner::MemoryOnly,
             policy: SelectionPolicy::always_gpu(),
             merge: MergeStrategy::Binary,
+            merge_kernel: MergeKernelPolicy::Auto,
             pipelined: true,
             executor: ExecutorKind::Gpus,
             seed: 0,
@@ -136,11 +151,52 @@ impl SummaConfig {
     }
 
     /// Checks the configuration for values that would misbehave at run
-    /// time (currently: a fixed hybrid split outside `[0, 1]`). Entry
-    /// points call this and panic with the error's message; callers that
-    /// accept untrusted configuration should call it themselves first.
-    pub fn validate(&self) -> Result<(), InvalidSplit> {
-        self.executor.validate()
+    /// time: a fixed hybrid split outside `[0, 1]`, or an overlap-aware
+    /// planner with a degenerate search headroom. Entry points call this
+    /// and panic with the error's message; callers that accept untrusted
+    /// configuration should call it themselves first.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        self.executor.validate()?;
+        if let PhasePlanner::OverlapAware { max_extra_phases } = self.planner {
+            if max_extra_phases == 0 || max_extra_phases > 64 {
+                return Err(ConfigError::Planner { max_extra_phases });
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Error returned by [`SummaConfig::validate`] (and `MclConfig`'s, which
+/// delegates here).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum ConfigError {
+    /// A fixed hybrid split fraction outside `[0, 1]`.
+    Split(InvalidSplit),
+    /// An overlap-aware planner whose search headroom is useless (0) or
+    /// unreasonably wide (> 64 phases past the memory floor).
+    Planner {
+        /// The offending headroom.
+        max_extra_phases: usize,
+    },
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ConfigError::Split(e) => e.fmt(f),
+            ConfigError::Planner { max_extra_phases } => write!(
+                f,
+                "overlap-aware planner headroom must lie in 1..=64 phases, got {max_extra_phases}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+impl From<InvalidSplit> for ConfigError {
+    fn from(e: InvalidSplit) -> Self {
+        ConfigError::Split(e)
     }
 }
 
@@ -153,11 +209,24 @@ pub struct SummaOutput {
     pub timers: StageTimers,
     /// Merge statistics (peak elements feed Table III).
     pub merge_stats: MergeStats,
+    /// Every merge operation's timeline span — start/end on its merge
+    /// lane, chosen kernel, fan-in, elements — in submission order. The
+    /// merge-side counterpart of
+    /// [`hybrid_fractions`](Self::hybrid_fractions).
+    pub merge_spans: Vec<MergeSpan>,
     /// Host idle time spent waiting on launch events (Table V, CPU).
     pub cpu_idle: f64,
     /// Device/worker idle time off the executor's timelines (Table V,
     /// GPU column; the pool's idle for CPU-only executors).
     pub gpu_idle: f64,
+    /// Idle accumulated on the executor's merge lanes. Dedicated lanes
+    /// (GPU executor) are disjoint from [`gpu_idle`](Self::gpu_idle);
+    /// pool-backed executors share worker timelines with SpGEMM, so this
+    /// overlaps the pool's share of `gpu_idle`.
+    pub merge_lane_idle: f64,
+    /// What the phase planner decided (candidates scored, memory floor),
+    /// when `PhasePlan::Auto` ran with the overlap-aware planner.
+    pub planner_decision: Option<PhaseDecision>,
     /// The memory estimate, when `PhasePlan::Auto` ran.
     pub estimate: Option<MemoryEstimate>,
     /// Number of phases executed.
@@ -200,15 +269,17 @@ fn run_on<F>(
     cf_hint: Option<f64>,
     timers: &mut StageTimers,
     on_slab: F,
-) -> (PipelineOutcome, f64)
+) -> (PipelineOutcome, f64, f64)
 where
     F: FnMut(usize, Csc<f64>) -> Csc<f64>,
 {
     exec.reset_timelines();
     let idle0 = exec.device_idle();
+    let lane_idle0 = exec.merge_lane_idle();
     let outcome = pipeline::run(grid, exec, a, b, cfg, phases, cf_hint, timers, on_slab);
     let device_idle = exec.device_idle() - idle0;
-    (outcome, device_idle)
+    let merge_lane_idle = exec.merge_lane_idle() - lane_idle0;
+    (outcome, device_idle, merge_lane_idle)
 }
 
 /// Distributed `C = A·B` with a per-phase output hook.
@@ -238,9 +309,9 @@ where
     let comm = &grid.world;
     let mut timers = StageTimers::new();
 
-    // Phase planning (memory estimation).
-    let (phases, estimate) = match cfg.phases {
-        PhasePlan::Fixed(h) => (h.max(1), None),
+    // Phase planning (memory estimation + optional overlap search).
+    let (phases, estimate, planner_decision) = match cfg.phases {
+        PhasePlan::Fixed(h) => (h.max(1), None, None),
         PhasePlan::Auto {
             estimator,
             per_rank_budget,
@@ -248,7 +319,49 @@ where
             let t0 = comm.now();
             let est = estimate_memory(grid, a, b, estimator, cfg.seed);
             timers.add("mem_estimation", comm.now() - t0);
-            (plan_phases(&est, grid.size(), per_rank_budget), Some(est))
+            match cfg.planner {
+                PhasePlanner::MemoryOnly => (
+                    plan_phases(&est, grid.size(), per_rank_budget),
+                    Some(est),
+                    None,
+                ),
+                PhasePlanner::OverlapAware { max_extra_phases } => {
+                    // Feed the overlap model the workload's shape: wire
+                    // bytes of the blocks this rank re-broadcasts, its
+                    // flop share, the estimator's cf, and the kernel the
+                    // selector is expected to pick.
+                    let cf = if est.nnz_estimate > 0.0 {
+                        (est.flops as f64 / est.nnz_estimate).max(1.0)
+                    } else {
+                        1.0
+                    };
+                    let gpu_capable = !gpus.is_empty()
+                        && cfg.policy.gpu_flops_threshold < u64::MAX
+                        && cfg.executor != ExecutorKind::CpuPool;
+                    let inputs = OverlapInputs {
+                        side: grid.side,
+                        flops_per_rank: est.flops / grid.size().max(1) as u64,
+                        bytes_a: Dcsc::from_csc(&a.local).bytes(),
+                        bytes_b: Dcsc::from_csc(&b.local).bytes(),
+                        cf,
+                        kernel: if gpu_capable {
+                            SpgemmKernel::Gpu(GpuLib::Nsparse)
+                        } else {
+                            SpgemmKernel::CpuHash
+                        },
+                        pipelined: cfg.pipelined,
+                    };
+                    let decision = plan_phases_overlap(
+                        &est,
+                        grid.size(),
+                        per_rank_budget,
+                        comm.model(),
+                        &inputs,
+                        max_extra_phases,
+                    );
+                    (decision.phases, Some(est), Some(decision))
+                }
+            }
         }
     };
 
@@ -264,14 +377,25 @@ where
         }
     });
 
-    let (outcome, gpu_idle, hybrid_fractions) = match cfg.executor {
+    let (outcome, gpu_idle, merge_lane_idle, hybrid_fractions) = match cfg.executor {
         ExecutorKind::Gpus => {
-            let (o, idle) = run_on(grid, gpus, a, b, cfg, phases, cf_hint, &mut timers, on_slab);
-            (o, idle, Vec::new())
+            let mut exec = GpuExecutor::new(gpus, comm.model());
+            let (o, idle, lane_idle) = run_on(
+                grid,
+                &mut exec,
+                a,
+                b,
+                cfg,
+                phases,
+                cf_hint,
+                &mut timers,
+                on_slab,
+            );
+            (o, idle, lane_idle, Vec::new())
         }
         ExecutorKind::CpuPool => {
-            let mut pool = CpuPool::new();
-            let (o, idle) = run_on(
+            let mut pool = CpuPool::for_model(comm.model());
+            let (o, idle, lane_idle) = run_on(
                 grid,
                 &mut pool,
                 a,
@@ -282,11 +406,11 @@ where
                 &mut timers,
                 on_slab,
             );
-            (o, idle, Vec::new())
+            (o, idle, lane_idle, Vec::new())
         }
         ExecutorKind::Hybrid { split } => {
-            let mut hybrid = Hybrid::new(gpus, split);
-            let (o, idle) = run_on(
+            let mut hybrid = Hybrid::for_model(gpus, split, comm.model());
+            let (o, idle, lane_idle) = run_on(
                 grid,
                 &mut hybrid,
                 a,
@@ -298,13 +422,14 @@ where
                 on_slab,
             );
             let fractions = hybrid.fractions().to_vec();
-            (o, idle, fractions)
+            (o, idle, lane_idle, fractions)
         }
     };
 
     let PipelineOutcome {
         mut slabs,
         merge_stats,
+        merge_spans,
         cpu_idle,
         kernels_used,
     } = outcome;
@@ -322,8 +447,11 @@ where
         },
         timers,
         merge_stats,
+        merge_spans,
         cpu_idle,
         gpu_idle,
+        merge_lane_idle,
+        planner_decision,
         estimate,
         phases,
         kernels_used,
@@ -373,8 +501,10 @@ mod tests {
     fn base_cfg() -> SummaConfig {
         SummaConfig {
             phases: PhasePlan::Fixed(1),
+            planner: PhasePlanner::MemoryOnly,
             policy: SelectionPolicy::cpu_only(),
             merge: MergeStrategy::Multiway,
+            merge_kernel: MergeKernelPolicy::Auto,
             pipelined: false,
             executor: ExecutorKind::Gpus,
             seed: 7,
@@ -560,9 +690,8 @@ mod tests {
                 },
                 policy: SelectionPolicy::cpu_only(),
                 merge: MergeStrategy::Multiway,
-                pipelined: false,
-                executor: ExecutorKind::Gpus,
                 seed: 1,
+                ..base_cfg()
             };
             let out = summa_spgemm(&grid, &mut gpus, &a, &a, &cfg);
             (
@@ -625,8 +754,8 @@ mod tests {
                 policy: SelectionPolicy::always_gpu(),
                 merge: MergeStrategy::Binary,
                 pipelined,
-                executor: ExecutorKind::Gpus,
                 seed: 2,
+                ..base_cfg()
             };
             elapsed(120, 7000, 8, cfg)
         };
@@ -651,6 +780,7 @@ mod tests {
                 pipelined,
                 executor: ExecutorKind::CpuPool,
                 seed: 2,
+                ..base_cfg()
             };
             elapsed(120, 7000, 8, cfg)
         };
@@ -725,6 +855,165 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn merge_kernel_policy_never_changes_the_product() {
+        let want = serial_product(26, 220, 15);
+        let policies = [
+            MergeKernelPolicy::Auto,
+            MergeKernelPolicy::Fixed(MergeKernel::Heap),
+            MergeKernelPolicy::Fixed(MergeKernel::Pairwise),
+            MergeKernelPolicy::Fixed(MergeKernel::Hash),
+        ];
+        for merge_kernel in policies {
+            for merge in [MergeStrategy::Multiway, MergeStrategy::Binary] {
+                let cfg = SummaConfig {
+                    merge,
+                    merge_kernel,
+                    pipelined: true,
+                    ..base_cfg()
+                };
+                let got = run_config(26, 220, 15, 9, cfg);
+                assert!(got.max_abs_diff(&want) < 1e-9, "{merge_kernel:?} {merge:?}");
+                assert_eq!(got.nnz(), want.nnz(), "{merge_kernel:?} {merge:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn merge_spans_reconcile_with_lane_timelines() {
+        // The acceptance property: no merge charges time outside the
+        // unified timelines. Per rank, the spans' durations must sum to
+        // the recorded merge time, the span count must equal merge_ops,
+        // the peak must be the largest span, and the per-lane gaps
+        // reconstructed from the spans must equal the executor's reported
+        // merge-lane idle (Timeline semantics: leading gap excluded).
+        let results = Universe::run(4, MachineModel::summit(), |comm| {
+            let grid = ProcGrid::new(comm);
+            let g = random_global(40, 600, 16);
+            let a = DistMatrix::from_global(&grid, &g);
+            let mut gpus = MultiGpu::summit_node(grid.world.model());
+            let cfg = SummaConfig {
+                phases: PhasePlan::Fixed(2),
+                policy: SelectionPolicy::always_gpu(),
+                merge: MergeStrategy::Binary,
+                pipelined: true,
+                ..base_cfg()
+            };
+            let out = summa_spgemm(&grid, &mut gpus, &a, &a, &cfg);
+            (
+                out.merge_spans,
+                out.merge_stats,
+                out.merge_lane_idle,
+                grid.world.model().sockets,
+            )
+        });
+        for (spans, stats, lane_idle, sockets) in results {
+            assert!(!spans.is_empty());
+            assert_eq!(spans.len(), stats.merge_ops);
+            let dur_sum: f64 = spans.iter().map(|s| s.duration()).sum();
+            assert!(
+                (dur_sum - stats.merge_time).abs() < 1e-9,
+                "span durations {dur_sum} vs merge_time {}",
+                stats.merge_time
+            );
+            let peak = spans.iter().map(|s| s.elems).max().unwrap();
+            assert_eq!(peak as usize, stats.peak_merge_elems);
+            // Rebuild each lane's idle from its spans alone.
+            let mut rebuilt = 0.0;
+            for lane in 0..sockets {
+                let mut on_lane: Vec<_> = spans.iter().filter(|s| s.lane == lane).collect();
+                on_lane.sort_by(|x, y| x.start.partial_cmp(&y.start).unwrap());
+                for pair in on_lane.windows(2) {
+                    rebuilt += (pair[1].start - pair[0].end).max(0.0);
+                }
+            }
+            assert!(
+                (rebuilt - lane_idle).abs() < 1e-9,
+                "lane gaps {rebuilt} vs reported idle {lane_idle}"
+            );
+        }
+    }
+
+    #[test]
+    fn overlap_planner_runs_and_respects_the_memory_floor() {
+        let results = Universe::run(4, MachineModel::summit(), |comm| {
+            let grid = ProcGrid::new(comm);
+            let g = random_global(30, 400, 6);
+            let a = DistMatrix::from_global(&grid, &g);
+            let mut gpus = MultiGpu::summit_node(grid.world.model());
+            let cfg = SummaConfig {
+                phases: PhasePlan::Auto {
+                    estimator: EstimatorKind::Probabilistic { r: 5 },
+                    per_rank_budget: 500,
+                },
+                planner: PhasePlanner::OverlapAware {
+                    max_extra_phases: 4,
+                },
+                merge: MergeStrategy::Binary,
+                pipelined: true,
+                seed: 1,
+                ..base_cfg()
+            };
+            let out = summa_spgemm(&grid, &mut gpus, &a, &a, &cfg);
+            (out.phases, out.planner_decision)
+        });
+        for (phases, decision) in results {
+            let d = decision.expect("overlap planner records its decision");
+            assert_eq!(d.phases, phases);
+            assert!(d.phases >= d.memory_floor);
+            assert_eq!(d.scores.len(), 5, "floor..=floor+4 scored");
+        }
+    }
+
+    #[test]
+    fn memory_only_planner_records_no_decision() {
+        let results = Universe::run(1, MachineModel::summit(), |comm| {
+            let grid = ProcGrid::new(comm);
+            let g = random_global(20, 150, 14);
+            let a = DistMatrix::from_global(&grid, &g);
+            let mut gpus = MultiGpu::summit_node(grid.world.model());
+            let cfg = SummaConfig {
+                phases: PhasePlan::Auto {
+                    estimator: EstimatorKind::Probabilistic { r: 5 },
+                    per_rank_budget: 1 << 30,
+                },
+                ..base_cfg()
+            };
+            let out = summa_spgemm(&grid, &mut gpus, &a, &a, &cfg);
+            (out.planner_decision.is_none(), out.merge_lane_idle >= 0.0)
+        });
+        for (no_decision, lane_ok) in results {
+            assert!(no_decision && lane_ok);
+        }
+    }
+
+    #[test]
+    fn validate_rejects_degenerate_planner_headroom() {
+        for bad in [0usize, 65] {
+            let cfg = SummaConfig {
+                planner: PhasePlanner::OverlapAware {
+                    max_extra_phases: bad,
+                },
+                ..base_cfg()
+            };
+            let err = cfg.validate().unwrap_err();
+            assert_eq!(
+                err,
+                ConfigError::Planner {
+                    max_extra_phases: bad
+                }
+            );
+            assert!(format!("{err}").contains("1..=64"));
+        }
+        let ok = SummaConfig {
+            planner: PhasePlanner::OverlapAware {
+                max_extra_phases: 64,
+            },
+            ..base_cfg()
+        };
+        assert!(ok.validate().is_ok());
     }
 
     #[test]
