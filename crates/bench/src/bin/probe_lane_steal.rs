@@ -1,0 +1,88 @@
+//! **Merge-lane steal ablation** — sweeps the lane steal policy over
+//! multi-iteration MCL runs on the two reference networks plus a
+//! synthetic skewed stack, reporting the unified-timeline idle
+//! decomposition and how many merges actually moved off their pinned
+//! lane.
+//!
+//! The point of the sweep: merges land on per-socket lanes, and the
+//! legacy placement (`StealPolicy::Off`) pins each to the least-busy
+//! lane at submission — blind to where its inputs live and to the idle
+//! gap it opens. `CostAware` placement charges the cross-socket penalty
+//! for remote inputs explicitly and takes a steal only when the modeled
+//! steal-time beats waiting, so lane idle can only shrink. Results are
+//! bit-identical either way — stealing moves *when and where* a merge
+//! runs on the virtual clock, never its operands.
+
+use hipmcl_bench::*;
+use hipmcl_summa::executor::StealPolicy;
+use hipmcl_summa::merge::MergeKernelPolicy;
+use hipmcl_workloads::Dataset;
+
+fn ranks() -> usize {
+    // 9 ranks (a 3x3 grid) by default: three stages per phase give the
+    // binary merge cadence accumulated merges with lane-homed inputs,
+    // which is where the two policies can disagree.
+    std::env::var("HIPMCL_MAX_RANKS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(9)
+}
+
+fn main() {
+    println!("Merge-lane steal ablation: idle decomposition per workload x steal policy\n");
+    let p = ranks();
+    let iters = 3;
+    let budget = 3u64 << 20;
+
+    let headers = [
+        "network",
+        "steal",
+        "merges",
+        "stolen",
+        "CPU idle",
+        "dev idle",
+        "lane idle",
+        "total idle",
+        "total",
+    ];
+    let mut rows = Vec::new();
+    for w in [
+        LaneWorkload::Net(Dataset::Archaea),
+        LaneWorkload::Net(Dataset::Isom100_3),
+        LaneWorkload::SkewedStack,
+    ] {
+        for steal in StealPolicy::all() {
+            eprintln!(
+                "running {} with steal={} on {} ranks ...",
+                w.name(),
+                steal.name(),
+                p
+            );
+            let r = run_lane_steal_probe(p, w, MergeKernelPolicy::Auto, steal, budget, iters);
+            rows.push(vec![
+                w.name().to_string(),
+                steal.name().to_string(),
+                r.merge_ops.to_string(),
+                r.stolen_merges.to_string(),
+                fmt_time(r.cpu_idle),
+                fmt_time(r.gpu_idle),
+                fmt_time(r.merge_lane_idle),
+                fmt_time(r.total_idle()),
+                fmt_time(r.total_time),
+            ]);
+        }
+    }
+
+    print_table(&headers, &rows);
+    let csv = write_csv("probe_lane_steal", &headers, &rows);
+    println!("\ncsv: {}", csv.display());
+    print_paper_note(&[
+        "No direct paper table: this probes work-stealing across the",
+        "per-socket merge lanes that §IV's merge-as-a-task refactor",
+        "introduced, priced with the machine model's cross-socket",
+        "penalty. Expected shape: cost-aware stealing never increases",
+        "merge-lane idle, strictly reduces it on the skewed stack, and",
+        "cluster labels are bit-identical across policies (the",
+        "cluster-equality gates in hipmcl-bench prove this).",
+    ]);
+}

@@ -37,6 +37,7 @@ fn main() {
             merge_kernel: hipmcl_summa::MergeKernelPolicy::Auto,
             pipelined: true,
             executor: hipmcl_summa::ExecutorKind::Gpus,
+            steal: hipmcl_summa::executor::StealPolicy::default(),
             seed: 1,
         };
         let t0 = grid.world.now();

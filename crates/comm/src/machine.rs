@@ -399,6 +399,33 @@ impl MachineModel {
         self.merge_ops_with(kernel, total, ways) / (self.core_merge_rate * factor)
     }
 
+    /// Virtual duration of a merge task as placed on one of `lanes` merge
+    /// lanes, with `remote_elems` of its `total` input elements homed on a
+    /// different socket than the chosen lane — the steal-cost model the
+    /// lane scheduler evaluates per candidate lane. A multi-lane node runs
+    /// the merge at the per-socket rate
+    /// ([`socket_merge_time_with`](Self::socket_merge_time_with)); a
+    /// single-lane node at the whole-node rate
+    /// ([`merge_time_with`](Self::merge_time_with)). Remote-homed input
+    /// elements scale the duration by up to `1 + xsocket_penalty` (all
+    /// inputs remote), so a steal onto the "wrong" socket is only taken
+    /// when the modeled end time still beats waiting for the home lane.
+    pub fn merge_lane_time_with(
+        &self,
+        kernel: MergeKernel,
+        total: u64,
+        ways: usize,
+        remote_elems: u64,
+        lanes: usize,
+    ) -> f64 {
+        let base = if lanes > 1 {
+            self.socket_merge_time_with(kernel, total, ways)
+        } else {
+            self.merge_time_with(kernel, total, ways)
+        };
+        base * (1.0 + self.xsocket_penalty * remote_elems as f64 / total.max(1) as f64)
+    }
+
     /// Cohen estimation with `ops = r · (nnz A + nnz B)` key operations.
     pub fn estimate_time(&self, ops: u64) -> f64 {
         ops as f64 / (self.core_estimate_rate * self.cpu_parallel_factor())
@@ -514,6 +541,29 @@ mod tests {
         assert!(socket > node, "half the cores must merge slower");
         // Better per-thread efficiency on one socket: less than 2x slower.
         assert!(socket < 2.0 * node, "socket {socket} vs node {node}");
+    }
+
+    #[test]
+    fn merge_lane_time_prices_remote_inputs_and_lane_count() {
+        let m = MachineModel::summit();
+        let t = |remote, lanes| m.merge_lane_time_with(MergeKernel::Heap, 80_000, 4, remote, lanes);
+        // No remote inputs on a multi-lane node: exactly the socket rate.
+        assert_eq!(
+            t(0, 2),
+            m.socket_merge_time_with(MergeKernel::Heap, 80_000, 4)
+        );
+        // All inputs remote: scaled by 1 + xsocket_penalty.
+        let ratio = t(80_000, 2) / t(0, 2);
+        assert!((ratio - (1.0 + m.xsocket_penalty)).abs() < 1e-12);
+        // Half remote: half the penalty.
+        let half = t(40_000, 2) / t(0, 2);
+        assert!((half - (1.0 + 0.5 * m.xsocket_penalty)).abs() < 1e-12);
+        // A single-lane node merges at the whole-node rate.
+        assert_eq!(t(0, 1), m.merge_time_with(MergeKernel::Heap, 80_000, 4));
+        // Degenerate empty merge stays finite.
+        assert!(m
+            .merge_lane_time_with(MergeKernel::Heap, 0, 2, 0, 2)
+            .is_finite());
     }
 
     #[test]

@@ -53,13 +53,17 @@ pub struct MultAnalysis {
 }
 
 impl MultAnalysis {
-    /// Compression factor `flops / nnz(C)`; 1.0 when the output is empty
-    /// (no accumulation happened, by convention).
+    /// Compression factor `flops / nnz(C)`. Two empty-output cases are
+    /// distinguished: zero flops means nothing happened (cf = 1, by
+    /// convention), while positive flops with an empty output means every
+    /// partial product cancelled — compression is infinite, and the
+    /// dispatch comparison must see it on the high-cf (hash) side rather
+    /// than defaulting into the heap regime.
     pub fn cf(&self) -> f64 {
-        if self.nnz_out == 0 {
-            1.0
-        } else {
-            self.flops as f64 / self.nnz_out as f64
+        match (self.nnz_out, self.flops) {
+            (0, 0) => 1.0,
+            (0, _) => f64::INFINITY,
+            (nnz, f) => f as f64 / nnz as f64,
         }
     }
 }
@@ -119,6 +123,17 @@ mod tests {
             }
             .cf(),
             1.0
+        );
+        // Positive flops, empty output: all products cancelled, so the
+        // compression factor is infinite (not 1.0 — the old convention
+        // misrouted Auto dispatch toward the heap).
+        assert_eq!(
+            MultAnalysis {
+                flops: 12,
+                nnz_out: 0
+            }
+            .cf(),
+            f64::INFINITY
         );
     }
 

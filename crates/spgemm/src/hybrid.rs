@@ -44,15 +44,20 @@ impl CpuAlgo {
     }
 
     /// Runs the kernel and reports the realized compression factor
-    /// `flops / nnz(C)` (1 when the product is empty) — the quantity the
-    /// cost models price the launch with. Async executors wrap this to
-    /// turn a CPU kernel into a timed launch without re-deriving `cf`.
+    /// `flops / nnz(C)` — the quantity the cost models price the launch
+    /// with. Async executors wrap this to turn a CPU kernel into a timed
+    /// launch without re-deriving `cf`. An empty product with zero flops
+    /// reports 1 (nothing happened, by convention); an empty product with
+    /// `flops > 0` means *every* partial product cancelled — compression
+    /// is effectively infinite, reported as `flops` itself (the largest
+    /// finite value the ratio could have taken at `nnz = 1`) so the value
+    /// stays usable in the rate models' denominators.
     pub fn multiply_measured<T: Scalar>(self, a: &Csc<T>, b: &Csc<T>, flops: u64) -> (Csc<T>, f64) {
         let c = self.multiply(a, b);
-        let cf = if c.nnz() == 0 {
-            1.0
-        } else {
-            flops as f64 / c.nnz() as f64
+        let cf = match (c.nnz(), flops) {
+            (0, 0) => 1.0,
+            (0, f) => f as f64,
+            (nnz, f) => f as f64 / nnz as f64,
         };
         (c, cf)
     }
@@ -134,11 +139,31 @@ mod tests {
         let (c, cf) = CpuAlgo::Hash.multiply_measured(&a, &a, flops);
         assert!(c.max_abs_diff(&CpuAlgo::Heap.multiply(&a, &a)) < 1e-9);
         assert!((cf - flops as f64 / c.nnz() as f64).abs() < 1e-12);
-        // Empty product: cf defaults to 1.
+        // Empty product with zero flops: cf defaults to 1.
         let z = Csc::<f64>::zero(4, 4);
         let (c0, cf0) = CpuAlgo::Heap.multiply_measured(&z, &z, 0);
         assert_eq!(c0.nnz(), 0);
         assert_eq!(cf0, 1.0);
+        // Empty product with positive flops (every partial product
+        // cancelled): compression is effectively infinite — reported as
+        // the finite stand-in `flops`, never 1.0 (the old bug, which
+        // polluted realized-cf stats toward the heap regime).
+        let (c7, cf7) = CpuAlgo::Heap.multiply_measured(&z, &z, 7);
+        assert_eq!(c7.nnz(), 0);
+        assert_eq!(cf7, 7.0);
+    }
+
+    #[test]
+    fn fully_cancelled_product_routes_auto_dispatch_to_hash() {
+        // flops > 0 with an empty output means infinite compression; the
+        // dispatch comparison must land on the high-cf side (hash), not
+        // default to the heap as the old cf = 1.0 convention did.
+        let a = MultAnalysis {
+            flops: 10,
+            nnz_out: 0,
+        };
+        assert!(a.cf().is_infinite());
+        assert_eq!(select_cpu(&a), CpuAlgo::Hash);
     }
 
     #[test]

@@ -75,6 +75,19 @@ pub struct MemoryEstimate {
 /// global column counts of `A`, obtained with one allreduce, then counts
 /// locally against its `B` block.
 pub fn distributed_flops(grid: &ProcGrid, a: &DistMatrix, b: &DistMatrix) -> u64 {
+    distributed_flops_with_counts(grid, a, b).0
+}
+
+/// [`distributed_flops`] plus the replicated global per-column nnz vector
+/// of `A` it is computed from (indexed by global column id). The counts
+/// double as the raw material for the sketch clamp's per-column output
+/// bounds, so the probabilistic estimator reuses them instead of paying
+/// the allreduce twice.
+pub fn distributed_flops_with_counts(
+    grid: &ProcGrid,
+    a: &DistMatrix,
+    b: &DistMatrix,
+) -> (u64, Vec<f64>) {
     // Global nnz per column of A: local counts summed down process columns
     // then shared along rows. We allreduce the full-length vector for
     // simplicity (cost charged through the collective's real bytes).
@@ -93,7 +106,8 @@ pub fn distributed_flops(grid: &ProcGrid, a: &DistMatrix, b: &DistMatrix) -> u64
             local_flops += counts[row_range.start + k as usize] as u64;
         }
     }
-    allreduce(&grid.world, local_flops, |x, y| x + y)
+    let flops = allreduce(&grid.world, local_flops, |x, y| x + y);
+    (flops, counts)
 }
 
 /// Runs the requested estimator. Collective over the grid. Returns an
@@ -210,6 +224,17 @@ fn bcast_pattern(comm: &Comm, root: usize, local: &Csc<f64>, is_root: bool) -> C
 /// Distributed Cohen estimation. Requires square operands distributed on
 /// the same grid with `nrows_global == ncols_global` (the MCL case), so
 /// that row and column ranges coincide for the transpose exchange.
+///
+/// Every per-column estimate is clamped into its provable bracket
+/// `[max_k nnz(A_{*k}), Σ_k nnz(A_{*k})]` over `k ∈ B_{*j}` — the output
+/// column is a union of those A-columns, so it has at least as many rows
+/// as the largest and at most as many as their disjoint sum (= the
+/// column's flops). A pathological key draw can otherwise report an
+/// estimate above the exact flops or below the largest contributing
+/// column, and with `r = 1` the raw formula degenerates to 0 everywhere;
+/// the clamp keeps both inside the bracket (at `r = 1` the estimator *is*
+/// the per-column lower bound). The bounds are global quantities, so
+/// clamping preserves grid-invariance.
 fn probabilistic(
     grid: &ProcGrid,
     a: &DistMatrix,
@@ -218,13 +243,13 @@ fn probabilistic(
     seed: u64,
     on_gpu: bool,
 ) -> MemoryEstimate {
-    assert!(r >= 2, "need at least two keys");
+    assert!(r >= 1, "need at least one key");
     assert_eq!(
         a.nrows_global, a.ncols_global,
         "distributed Cohen estimation assumes square operands (MCL matrices)"
     );
     let t0 = grid.world.now();
-    let flops = distributed_flops(grid, a, b);
+    let (flops, a_col_nnz) = distributed_flops_with_counts(grid, a, b);
 
     // Layer 1: keys for this block's global rows, drawn deterministically
     // from (seed, global row id) — identical across ranks, zero comm.
@@ -275,20 +300,49 @@ fn probabilistic(
         grid.world.advance_clock(model.estimate_time(ops));
     }
 
-    // Per-column estimates for this rank's slab; identical across the
-    // process column, so divide the global sum by `side`.
+    // Provable per-column bracket for `nnz(C_{*j})`: the column is the
+    // union of the A-columns selected by `B_{*j}`, so it holds at least
+    // `max_k nnz(A_{*k})` rows and at most `Σ_k nnz(A_{*k})` (= the
+    // column's exact flops). Partials over this rank's B rows combine
+    // along the process column exactly like the key propagation; the
+    // resulting bounds are global, so the clamp below cannot break
+    // grid-invariance. `a_col_nnz` holds integer counts, so the sums are
+    // exact and `lo ≤ hi` holds without float slack.
+    let b_rows = b.row_range(grid);
+    let mut lo_partial = vec![0.0f64; out_range.len()];
+    let mut hi_partial = vec![0.0f64; out_range.len()];
+    for j in 0..b.local.ncols() {
+        for &k in b.local.col_rows(j) {
+            let c = a_col_nnz[b_rows.start + k as usize];
+            lo_partial[j] = lo_partial[j].max(c);
+            hi_partial[j] += c;
+        }
+    }
+    let hi = hipmcl_comm::collectives::allreduce_sum_vec(&grid.col_comm, hi_partial);
+    let lo = allreduce(&grid.col_comm, lo_partial, |mut x, y| {
+        for (l, other) in x.iter_mut().zip(&y) {
+            *l = l.max(*other);
+        }
+        x
+    });
+
+    // Per-column estimates for this rank's slab, clamped into the bracket;
+    // identical across the process column, so divide the global sum by
+    // `side`.
     let slab_total: f64 = (0..out_range.len())
         .map(|j| {
             let keys = &out_keys[j * r..(j + 1) * r];
-            if keys.iter().any(|k| k.is_infinite()) {
-                return 0.0;
-            }
-            let sum: f64 = keys.iter().map(|&k| k as f64).sum();
-            if sum <= 0.0 {
+            let raw = if keys.iter().any(|k| k.is_infinite()) {
                 0.0
             } else {
-                (r as f64 - 1.0) / sum
-            }
+                let sum: f64 = keys.iter().map(|&k| k as f64).sum();
+                if sum <= 0.0 {
+                    0.0
+                } else {
+                    (r as f64 - 1.0) / sum
+                }
+            };
+            raw.clamp(lo[j], hi[j])
         })
         .sum();
     let total = allreduce(&grid.world, slab_total, |x, y| x + y) / grid.side as f64;
@@ -637,6 +691,113 @@ mod tests {
             estimates[0],
             want_nnz
         );
+    }
+
+    /// Serial reference for the clamp bracket: `Σ_j max_k nnz(A_{*k})`
+    /// over `k ∈ B_{*j}` (lower) and `flops(A·B)` (upper).
+    fn serial_bracket(g: &Csc<f64>) -> (f64, f64) {
+        let lo: f64 = (0..g.ncols())
+            .map(|j| {
+                g.col_rows(j)
+                    .iter()
+                    .map(|&k| g.col_nnz(k as usize) as f64)
+                    .fold(0.0f64, f64::max)
+            })
+            .sum();
+        (lo, hipmcl_spgemm::flops(g, g) as f64)
+    }
+
+    #[test]
+    fn sketch_estimate_is_clamped_to_its_provable_bracket() {
+        let g = Csc::from_triples(&random_global(40, 600, 13));
+        let (lo_sum, hi_sum) = serial_bracket(&g);
+        // r = 2 is the noisiest admissible sketch the old assert allowed;
+        // sweep seeds so pathological draws (the ones the clamp exists
+        // for) get a chance to occur.
+        for r in [2usize, 3] {
+            let results = Universe::run(4, MachineModel::summit(), |comm| {
+                let grid = ProcGrid::new(comm);
+                let a = DistMatrix::from_global(&grid, &random_global(40, 600, 13));
+                (0..8)
+                    .map(|s| {
+                        estimate_memory(&grid, &a, &a, EstimatorKind::Probabilistic { r }, s)
+                            .nnz_estimate
+                    })
+                    .collect::<Vec<f64>>()
+            });
+            for est in &results[0] {
+                assert!(
+                    (lo_sum..=hi_sum).contains(est),
+                    "r={r}: estimate {est} outside bracket [{lo_sum}, {hi_sum}]"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn pathological_single_key_sketch_degenerates_to_the_lower_bound() {
+        // With r = 1 the raw estimator `(r-1)/Σkeys` is 0 for every
+        // column (the old code asserted this case away); the clamp turns
+        // it into the per-column lower bound — still grid-invariant and
+        // never above the exact output size.
+        let g = Csc::from_triples(&random_global(30, 300, 14));
+        let (lo_sum, _) = serial_bracket(&g);
+        let exact = hipmcl_spgemm::symbolic::output_nnz(&g, &g) as f64;
+        assert!(lo_sum > 0.0 && lo_sum <= exact);
+        for p in [1usize, 4, 9] {
+            let results = Universe::run(p, MachineModel::summit(), |comm| {
+                let grid = ProcGrid::new(comm);
+                let a = DistMatrix::from_global(&grid, &random_global(30, 300, 14));
+                estimate_memory(&grid, &a, &a, EstimatorKind::Probabilistic { r: 1 }, 5)
+            });
+            for e in &results {
+                assert_eq!(e.nnz_estimate, lo_sum, "p={p}");
+            }
+        }
+    }
+
+    #[test]
+    fn hybrid_fallback_judges_cf_with_the_clamped_estimate() {
+        // The threshold comparison must run against the *clamped* value.
+        // An r = 1 sketch reports the per-column lower bound, so the
+        // implied cf is exactly flops / lower-bound: a threshold just
+        // below that keeps the probabilistic scheme, one just above
+        // flips to exact — pinning the fallback decision to the bracket
+        // (the raw estimate of 0 would have flipped both to exact via
+        // the cf = 1 empty-estimate convention).
+        let g = Csc::from_triples(&random_global(30, 300, 14));
+        let (lo_sum, _) = serial_bracket(&g);
+        let flops = hipmcl_spgemm::flops(&g, &g) as f64;
+        let cf_clamped = flops / lo_sum;
+        let results = Universe::run(4, MachineModel::summit(), |comm| {
+            let grid = ProcGrid::new(comm);
+            let a = DistMatrix::from_global(&grid, &random_global(30, 300, 14));
+            let keep = estimate_memory(
+                &grid,
+                &a,
+                &a,
+                EstimatorKind::Hybrid {
+                    r: 1,
+                    cf_threshold: cf_clamped - 0.01,
+                },
+                5,
+            );
+            let flip = estimate_memory(
+                &grid,
+                &a,
+                &a,
+                EstimatorKind::Hybrid {
+                    r: 1,
+                    cf_threshold: cf_clamped + 0.01,
+                },
+                5,
+            );
+            (keep.scheme, flip.scheme)
+        });
+        for (keep, flip) in results {
+            assert_eq!(keep, "probabilistic");
+            assert_eq!(flip, "exact-symbolic");
+        }
     }
 
     #[test]

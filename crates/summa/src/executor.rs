@@ -98,6 +98,56 @@ impl SplitPolicy {
     }
 }
 
+/// Whether an idle merge lane may steal a task pinned to another lane.
+///
+/// Under [`StealPolicy::Off`] every merge task pins to the least-busy lane
+/// at submission time (the PR-3 behaviour): the pick looks only at lane
+/// backlogs, so a task whose inputs are homed elsewhere — or one that
+/// arrives after a short lane just freed up — can open an idle gap on one
+/// socket while the other queues. [`StealPolicy::CostAware`] lets any lane
+/// win the task, but only by the model's arithmetic: each candidate lane
+/// is priced with [`MachineModel::merge_lane_time_with`] (which charges
+/// `xsocket_penalty` for input elements homed on another socket), and the
+/// task goes to the lane with the earliest modeled completion — so a steal
+/// is taken exactly when paying the cross-socket penalty still beats
+/// waiting for the home lane, and refused otherwise. Ties prefer the lane
+/// that opens the smallest idle gap, then the lowest index, keeping the
+/// schedule deterministic.
+///
+/// Stealing only moves *when and where* a task runs on the virtual clock —
+/// never its operands — so results stay bit-identical across policies.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum StealPolicy {
+    /// Submission-time pinning to the least-busy lane (legacy).
+    Off,
+    /// Cost-aware stealing: any lane may take the task if its modeled
+    /// completion (cross-socket penalty included) is earliest.
+    #[default]
+    CostAware,
+}
+
+impl StealPolicy {
+    /// Validates the policy. Both variants are currently always valid;
+    /// the hook exists so `MclConfig`/`SummaConfig` validation covers the
+    /// steal dimension like every other scheduling knob.
+    pub fn validate(self) -> Result<(), InvalidSplit> {
+        Ok(())
+    }
+
+    /// Label used in probes and CSV output.
+    pub fn name(self) -> &'static str {
+        match self {
+            StealPolicy::Off => "off",
+            StealPolicy::CostAware => "cost-aware",
+        }
+    }
+
+    /// Both policies, in display order.
+    pub fn all() -> [StealPolicy; 2] {
+        [StealPolicy::Off, StealPolicy::CostAware]
+    }
+}
+
 /// Which executor a SUMMA run submits its local multiplications to.
 #[derive(Clone, Copy, Debug, PartialEq, Default)]
 pub enum ExecutorKind {
@@ -234,42 +284,93 @@ pub struct MergeLaunch {
     pub duration: f64,
     /// Index of the lane (socket) the merge occupied.
     pub lane: usize,
+    /// The lane submission-time pinning ([`StealPolicy::Off`]) would have
+    /// chosen — the task's origin queue.
+    pub origin: usize,
+    /// Whether another lane stole the task from its origin queue
+    /// (`lane != origin`; only under [`StealPolicy::CostAware`]).
+    pub stolen: bool,
 }
 
-/// Queues `task` on the least-busy of `lanes` and returns the span. With
-/// more than one lane the node is multi-socket, so the merge runs at the
-/// per-socket rate and remote-homed inputs pay the cross-socket penalty.
+/// Remote-homed input elements of `task` if it runs on `lane`.
+fn remote_elems(task: &MergeTask, lane: usize) -> u64 {
+    task.inputs
+        .iter()
+        .filter(|&&(_, home)| home.is_some_and(|s| s != lane))
+        .map(|&(e, _)| e)
+        .sum()
+}
+
+/// Places `task` on one of `lanes` per `policy` and returns the span.
+///
+/// The task conceptually lands in the queue of its *origin* lane — the
+/// least-busy lane, which is where submission-time pinning would leave it.
+/// Under [`StealPolicy::CostAware`] every lane then competes for the task:
+/// lane `l` would finish it at `max(ready_at, busy_until(l)) + duration(l)`
+/// where the duration prices remote-homed inputs at the model's
+/// cross-socket penalty ([`MachineModel::merge_lane_time_with`]), and the
+/// earliest modeled completion wins. A lane other than the origin winning
+/// is a *steal*: it only happens when the thief's penalty-inclusive time
+/// beats waiting in the origin's queue. Ties break toward the lane that
+/// opens the smallest idle gap (`ready_at − busy_until`, zero for a lane
+/// with no jobs yet, whose leading gap is not accounted idle), then the
+/// lowest index — fully deterministic, like every other scheduling rule in
+/// the simulator.
 fn submit_merge_on(
     lanes: &mut [Timeline],
     model: &MachineModel,
+    policy: StealPolicy,
     ready_at: f64,
     task: &MergeTask,
 ) -> MergeLaunch {
-    let lane = lanes
+    let n = lanes.len();
+    let dur_on = |lane: usize| {
+        model.merge_lane_time_with(
+            task.kernel,
+            task.total_elems(),
+            task.ways(),
+            remote_elems(task, lane),
+            n,
+        )
+    };
+    let origin = lanes
         .iter()
         .enumerate()
         .min_by(|(_, a), (_, b)| a.busy_until().partial_cmp(&b.busy_until()).unwrap())
         .map(|(i, _)| i)
         .expect("executors always have at least one merge lane");
-    let total = task.total_elems();
-    let base = if lanes.len() > 1 {
-        model.socket_merge_time_with(task.kernel, total, task.ways())
-    } else {
-        model.merge_time_with(task.kernel, total, task.ways())
+    let lane = match policy {
+        StealPolicy::Off => origin,
+        StealPolicy::CostAware => {
+            let cost = |l: usize| {
+                let end = lanes[l].busy_until().max(ready_at) + dur_on(l);
+                let gap = if lanes[l].jobs() > 0 {
+                    (ready_at - lanes[l].busy_until()).max(0.0)
+                } else {
+                    0.0
+                };
+                (end, gap)
+            };
+            (0..n)
+                .min_by(|&i, &j| {
+                    let (ei, gi) = cost(i);
+                    let (ej, gj) = cost(j);
+                    ei.partial_cmp(&ej)
+                        .unwrap()
+                        .then(gi.partial_cmp(&gj).unwrap())
+                })
+                .expect("executors always have at least one merge lane")
+        }
     };
-    let remote: u64 = task
-        .inputs
-        .iter()
-        .filter(|&&(_, home)| home.is_some_and(|s| s != lane))
-        .map(|&(e, _)| e)
-        .sum();
-    let dur = base * (1.0 + model.xsocket_penalty * remote as f64 / total.max(1) as f64);
+    let dur = dur_on(lane);
     let done = lanes[lane].submit(ready_at, dur);
     MergeLaunch {
         started_at: done.at - dur,
         output_ready_at: done.at,
         duration: dur,
         lane,
+        origin,
+        stolen: lane != origin,
     }
 }
 
@@ -339,6 +440,7 @@ fn cpu_algo(kernel: SpgemmKernel) -> CpuAlgo {
 pub struct GpuExecutor<'g> {
     gpus: &'g mut MultiGpu,
     lanes: Vec<Timeline>,
+    steal: StealPolicy,
 }
 
 impl<'g> GpuExecutor<'g> {
@@ -346,7 +448,18 @@ impl<'g> GpuExecutor<'g> {
     /// socket count.
     pub fn new(gpus: &'g mut MultiGpu, model: &MachineModel) -> Self {
         let lanes = (0..model.sockets.max(1)).map(|_| Timeline::new()).collect();
-        Self { gpus, lanes }
+        Self {
+            gpus,
+            lanes,
+            steal: StealPolicy::default(),
+        }
+    }
+
+    /// Sets the merge-lane steal policy (default
+    /// [`StealPolicy::CostAware`]).
+    pub fn with_steal(mut self, steal: StealPolicy) -> Self {
+        self.steal = steal;
+        self
     }
 
     /// The host-side merge lanes (one per socket).
@@ -407,7 +520,7 @@ impl Executor for GpuExecutor<'_> {
         ready_at: f64,
         task: &MergeTask,
     ) -> MergeLaunch {
-        submit_merge_on(&mut self.lanes, model, ready_at, task)
+        submit_merge_on(&mut self.lanes, model, self.steal, ready_at, task)
     }
 
     fn gpus_available(&self) -> usize {
@@ -482,6 +595,7 @@ impl Executor for GpuExecutor<'_> {
 pub struct CpuPool {
     threads: usize,
     lanes: Vec<Timeline>,
+    steal: StealPolicy,
 }
 
 impl Default for CpuPool {
@@ -497,6 +611,7 @@ impl CpuPool {
         Self {
             threads: rayon::current_num_threads().max(1),
             lanes: vec![Timeline::new()],
+            steal: StealPolicy::default(),
         }
     }
 
@@ -506,7 +621,15 @@ impl CpuPool {
         Self {
             threads: model.threads.max(1),
             lanes: (0..model.sockets.max(1)).map(|_| Timeline::new()).collect(),
+            steal: StealPolicy::default(),
         }
+    }
+
+    /// Sets the merge-lane steal policy (default
+    /// [`StealPolicy::CostAware`]).
+    pub fn with_steal(mut self, steal: StealPolicy) -> Self {
+        self.steal = steal;
+        self
     }
 
     /// Worker threads backing the pool.
@@ -573,7 +696,7 @@ impl Executor for CpuPool {
         ready_at: f64,
         task: &MergeTask,
     ) -> MergeLaunch {
-        submit_merge_on(&mut self.lanes, model, ready_at, task)
+        submit_merge_on(&mut self.lanes, model, self.steal, ready_at, task)
     }
 
     fn gpus_available(&self) -> usize {
@@ -719,6 +842,13 @@ impl<'g> Hybrid<'g> {
         let mut h = Self::new(gpus, split);
         h.pool = CpuPool::for_model(model);
         h
+    }
+
+    /// Sets the merge-lane steal policy of the pool side (default
+    /// [`StealPolicy::CostAware`]); merges delegate to the pool's lanes.
+    pub fn with_steal(mut self, steal: StealPolicy) -> Self {
+        self.pool.steal = steal;
+        self
     }
 
     /// The realized GPU share of every submission so far, in order (0 for
@@ -1146,9 +1276,11 @@ mod tests {
 
     #[test]
     fn remote_socket_inputs_pay_the_crossing_penalty() {
+        // Pin the legacy policy: under cost-aware stealing the scheduler
+        // would route the all-remote task to its home lane and never pay.
         let m = model();
         let mut gpus = MultiGpu::new(m.clone(), 2, 1 << 30);
-        let mut exec = GpuExecutor::new(&mut gpus, &m);
+        let mut exec = GpuExecutor::new(&mut gpus, &m).with_steal(StealPolicy::Off);
         // Fresh lanes tie on busy_until → lane 0 wins; inputs homed on
         // socket 1 are all remote.
         let local = merge_task(
@@ -1161,8 +1293,9 @@ mod tests {
         );
         let ll = exec.submit_merge(&m, 0.0, &local);
         assert_eq!(ll.lane, 0);
+        assert!(!ll.stolen);
         let mut gpus2 = MultiGpu::new(m.clone(), 2, 1 << 30);
-        let mut exec2 = GpuExecutor::new(&mut gpus2, &m);
+        let mut exec2 = GpuExecutor::new(&mut gpus2, &m).with_steal(StealPolicy::Off);
         let lr = exec2.submit_merge(&m, 0.0, &remote);
         assert_eq!(lr.lane, 0);
         let ratio = lr.duration / ll.duration;
@@ -1170,6 +1303,124 @@ mod tests {
             (ratio - (1.0 + m.xsocket_penalty)).abs() < 1e-9,
             "all-remote inputs scale the merge by 1 + penalty, got {ratio}"
         );
+    }
+
+    #[test]
+    fn cost_aware_steal_avoids_the_crossing_penalty_on_free_lanes() {
+        // Same all-remote task as above, but under the default CostAware
+        // policy: lane 1 (the inputs' home) finishes it sooner than the
+        // origin pick (lane 0, which would pay the penalty), so lane 1
+        // steals it and the span records the steal.
+        let m = model();
+        let mut gpus = MultiGpu::new(m.clone(), 2, 1 << 30);
+        let mut exec = GpuExecutor::new(&mut gpus, &m);
+        let remote = merge_task(
+            MergeKernel::Heap,
+            vec![(40_000, Some(1)), (40_000, Some(1))],
+        );
+        let l = exec.submit_merge(&m, 0.0, &remote);
+        assert_eq!(l.lane, 1, "home lane wins the task");
+        assert_eq!(l.origin, 0, "pinning would have picked lane 0");
+        assert!(l.stolen);
+        let unpenalized = m.merge_lane_time_with(MergeKernel::Heap, 80_000, 2, 0, 2);
+        assert!(
+            (l.duration - unpenalized).abs() < 1e-12,
+            "the steal pays no cross-socket penalty: {} vs {unpenalized}",
+            l.duration
+        );
+    }
+
+    #[test]
+    fn cost_aware_refuses_a_steal_that_loses_to_waiting() {
+        // Lane 1 (the inputs' home) is deeply backlogged; lane 0 is free.
+        // Paying the penalty on lane 0 now beats waiting for lane 1, so
+        // the task stays on its origin lane — stealing is cost-gated, not
+        // affinity-greedy.
+        let m = model();
+        let mut gpus = MultiGpu::new(m.clone(), 2, 1 << 30);
+        let mut exec = GpuExecutor::new(&mut gpus, &m);
+        // Backlog lane 1 with a huge merge homed there.
+        let big = merge_task(MergeKernel::Heap, vec![(50_000_000, Some(1)); 2]);
+        let lb = exec.submit_merge(&m, 0.0, &big);
+        assert_eq!(lb.lane, 1);
+        let small = merge_task(MergeKernel::Heap, vec![(40_000, Some(1)); 2]);
+        let ls = exec.submit_merge(&m, 0.0, &small);
+        assert_eq!(ls.lane, 0, "waiting behind the backlog would lose");
+        assert_eq!(ls.origin, 0);
+        assert!(!ls.stolen);
+        let penalized = m.merge_lane_time_with(MergeKernel::Heap, 80_000, 2, 80_000, 2);
+        assert!((ls.duration - penalized).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cost_aware_tie_breaks_toward_the_smallest_idle_gap() {
+        // Both lanes hold jobs; the task becomes ready exactly when the
+        // longer lane frees up. Off pins to the shorter backlog (opening
+        // an idle gap there); CostAware sees equal completion times and
+        // prefers the lane that opens no gap.
+        let m = model();
+        let t_short = merge_task(MergeKernel::Heap, vec![(10_000, None); 2]);
+        let t_long = merge_task(MergeKernel::Heap, vec![(80_000, None); 2]);
+        let probe = merge_task(MergeKernel::Heap, vec![(20_000, None); 2]);
+        let run = |policy: StealPolicy| {
+            let mut gpus = MultiGpu::new(m.clone(), 2, 1 << 30);
+            let mut exec = GpuExecutor::new(&mut gpus, &m).with_steal(policy);
+            let a = exec.submit_merge(&m, 0.0, &t_long); // lane 0
+            let b = exec.submit_merge(&m, 0.0, &t_short); // lane 1
+            assert_ne!(a.lane, b.lane);
+            let l = exec.submit_merge(&m, a.output_ready_at, &probe);
+            (l, exec.merge_lane_idle())
+        };
+        let (l_off, idle_off) = run(StealPolicy::Off);
+        assert_eq!(l_off.lane, 1, "pinning chases the shorter backlog");
+        assert!(idle_off > 0.0, "and opens an idle gap there");
+        let (l_ca, idle_ca) = run(StealPolicy::CostAware);
+        assert_eq!(l_ca.lane, 0, "equal finish → prefer the gapless lane");
+        assert!(l_ca.stolen);
+        assert_eq!(idle_ca, 0.0);
+        assert_eq!(
+            l_ca.output_ready_at, l_off.output_ready_at,
+            "the steal was free: same completion, less idle"
+        );
+    }
+
+    #[test]
+    fn starved_lane_reconciliation_counts_no_phantom_idle() {
+        // Every merge is homed on (and won by) lane 0: lane 1 receives
+        // zero tasks, and its empty Timeline must contribute exactly zero
+        // to merge_lane_idle — neither under- nor double-counted.
+        let m = model();
+        let mut gpus = MultiGpu::new(m.clone(), 2, 1 << 30);
+        let mut exec = GpuExecutor::new(&mut gpus, &m);
+        let t = merge_task(MergeKernel::Heap, vec![(30_000, Some(0)); 2]);
+        let mut ready = 0.0;
+        let mut spans = Vec::new();
+        for _ in 0..4 {
+            let l = exec.submit_merge(&m, ready, &t);
+            assert_eq!(l.lane, 0, "home lane always wins: lane 1 starves");
+            spans.push(l);
+            ready = l.output_ready_at + 0.125; // open a real gap each time
+        }
+        assert_eq!(exec.merge_lanes()[1].jobs(), 0, "lane 1 saw nothing");
+        let gaps: f64 = spans
+            .windows(2)
+            .map(|w| (w[1].started_at - w[0].output_ready_at).max(0.0))
+            .sum();
+        assert!(
+            (exec.merge_lane_idle() - gaps).abs() < 1e-12,
+            "idle {} must equal the span gaps {gaps} on the busy lane alone",
+            exec.merge_lane_idle()
+        );
+    }
+
+    #[test]
+    fn steal_policy_default_validation_and_names() {
+        assert_eq!(StealPolicy::default(), StealPolicy::CostAware);
+        for p in StealPolicy::all() {
+            assert!(p.validate().is_ok());
+        }
+        assert_eq!(StealPolicy::Off.name(), "off");
+        assert_eq!(StealPolicy::CostAware.name(), "cost-aware");
     }
 
     #[test]

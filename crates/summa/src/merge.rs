@@ -98,6 +98,12 @@ pub struct MergeSpan {
     pub elems: u64,
     /// Index of the worker lane (socket) it occupied.
     pub lane: usize,
+    /// The lane submission-time pinning would have chosen (the task's
+    /// origin queue; equals `lane` unless the merge was stolen).
+    pub origin: usize,
+    /// Whether the occupying lane stole the task from its origin queue
+    /// (only under `StealPolicy::CostAware`).
+    pub stolen: bool,
 }
 
 impl MergeSpan {

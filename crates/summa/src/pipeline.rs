@@ -135,6 +135,8 @@ impl MergeEngine {
             ways: count,
             elems: total,
             lane: launch.lane,
+            origin: launch.origin,
+            stolen: launch.stolen,
         });
         self.stats.peak_merge_elems = self.stats.peak_merge_elems.max(total as usize);
         self.stats.total_merged_elems += total;

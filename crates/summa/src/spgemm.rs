@@ -27,7 +27,9 @@ use crate::estimate::{
     estimate_memory, plan_phases, plan_phases_overlap, EstimatorKind, MemoryEstimate,
     OverlapInputs, PhaseDecision, PhasePlanner,
 };
-use crate::executor::{CpuPool, Executor, ExecutorKind, GpuExecutor, Hybrid, InvalidSplit};
+use crate::executor::{
+    CpuPool, Executor, ExecutorKind, GpuExecutor, Hybrid, InvalidSplit, StealPolicy,
+};
 use crate::merge::{MergeKernelPolicy, MergeSpan, MergeStats, MergeStrategy};
 use crate::pipeline::{self, PipelineOutcome};
 use hipmcl_comm::clock::StageTimers;
@@ -73,6 +75,10 @@ pub struct SummaConfig {
     /// Where local multiplications execute (devices, CPU worker pool, or
     /// a hybrid column split across both).
     pub executor: ExecutorKind,
+    /// Whether an idle merge lane may steal a task pinned to another lane
+    /// when the modeled steal-time (cross-socket penalty included) beats
+    /// waiting. Never changes results, only the virtual schedule.
+    pub steal: StealPolicy,
     /// Seed for the per-stage Cohen probes driving kernel selection.
     pub seed: u64,
 }
@@ -92,6 +98,7 @@ impl SummaConfig {
             merge_kernel: MergeKernelPolicy::Fixed(MergeKernel::Heap),
             pipelined: false,
             executor: ExecutorKind::Gpus,
+            steal: StealPolicy::Off,
             seed: 0,
         }
     }
@@ -114,6 +121,7 @@ impl SummaConfig {
             merge_kernel: MergeKernelPolicy::Fixed(MergeKernel::Heap),
             pipelined: false,
             executor: ExecutorKind::Gpus,
+            steal: StealPolicy::Off,
             seed: 0,
         }
     }
@@ -135,6 +143,7 @@ impl SummaConfig {
             merge_kernel: MergeKernelPolicy::Auto,
             pipelined: true,
             executor: ExecutorKind::Gpus,
+            steal: StealPolicy::CostAware,
             seed: 0,
         }
     }
@@ -157,6 +166,7 @@ impl SummaConfig {
     /// configuration should call it themselves first.
     pub fn validate(&self) -> Result<(), ConfigError> {
         self.executor.validate()?;
+        self.steal.validate()?;
         if let PhasePlanner::OverlapAware { max_extra_phases } = self.planner {
             if max_extra_phases == 0 || max_extra_phases > 64 {
                 return Err(ConfigError::Planner { max_extra_phases });
@@ -379,7 +389,7 @@ where
 
     let (outcome, gpu_idle, merge_lane_idle, hybrid_fractions) = match cfg.executor {
         ExecutorKind::Gpus => {
-            let mut exec = GpuExecutor::new(gpus, comm.model());
+            let mut exec = GpuExecutor::new(gpus, comm.model()).with_steal(cfg.steal);
             let (o, idle, lane_idle) = run_on(
                 grid,
                 &mut exec,
@@ -394,7 +404,7 @@ where
             (o, idle, lane_idle, Vec::new())
         }
         ExecutorKind::CpuPool => {
-            let mut pool = CpuPool::for_model(comm.model());
+            let mut pool = CpuPool::for_model(comm.model()).with_steal(cfg.steal);
             let (o, idle, lane_idle) = run_on(
                 grid,
                 &mut pool,
@@ -409,7 +419,7 @@ where
             (o, idle, lane_idle, Vec::new())
         }
         ExecutorKind::Hybrid { split } => {
-            let mut hybrid = Hybrid::for_model(gpus, split, comm.model());
+            let mut hybrid = Hybrid::for_model(gpus, split, comm.model()).with_steal(cfg.steal);
             let (o, idle, lane_idle) = run_on(
                 grid,
                 &mut hybrid,
@@ -507,6 +517,7 @@ mod tests {
             merge_kernel: MergeKernelPolicy::Auto,
             pipelined: false,
             executor: ExecutorKind::Gpus,
+            steal: StealPolicy::default(),
             seed: 7,
         }
     }
@@ -881,58 +892,122 @@ mod tests {
         }
     }
 
+    /// A global matrix whose mass is concentrated in a few dense columns:
+    /// the per-stage slabs (and hence the Algorithm 2 merge stack) are
+    /// heavily skewed, so under pinning one merge lane backlogs while the
+    /// other starves — the workload of the ISSUE's lane-starvation audit.
+    fn skewed_global(n: usize, seed: u64) -> Triples<f64> {
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(seed);
+        let mut t = Triples::new(n, n);
+        for j in 0..n {
+            // Columns 0..4 are nearly dense; the rest carry two entries.
+            let entries = if j < 4 { n - 2 } else { 2 };
+            for _ in 0..entries {
+                t.push(
+                    rng.gen_range(0..n) as Idx,
+                    j as Idx,
+                    rng.gen_range(0.5..1.5),
+                );
+            }
+        }
+        t.sum_duplicates();
+        t
+    }
+
     #[test]
     fn merge_spans_reconcile_with_lane_timelines() {
         // The acceptance property: no merge charges time outside the
-        // unified timelines. Per rank, the spans' durations must sum to
-        // the recorded merge time, the span count must equal merge_ops,
-        // the peak must be the largest span, and the per-lane gaps
-        // reconstructed from the spans must equal the executor's reported
-        // merge-lane idle (Timeline semantics: leading gap excluded).
-        let results = Universe::run(4, MachineModel::summit(), |comm| {
-            let grid = ProcGrid::new(comm);
-            let g = random_global(40, 600, 16);
-            let a = DistMatrix::from_global(&grid, &g);
-            let mut gpus = MultiGpu::summit_node(grid.world.model());
-            let cfg = SummaConfig {
-                phases: PhasePlan::Fixed(2),
-                policy: SelectionPolicy::always_gpu(),
-                merge: MergeStrategy::Binary,
-                pipelined: true,
-                ..base_cfg()
-            };
-            let out = summa_spgemm(&grid, &mut gpus, &a, &a, &cfg);
-            (
-                out.merge_spans,
-                out.merge_stats,
-                out.merge_lane_idle,
-                grid.world.model().sockets,
-            )
-        });
-        for (spans, stats, lane_idle, sockets) in results {
-            assert!(!spans.is_empty());
-            assert_eq!(spans.len(), stats.merge_ops);
-            let dur_sum: f64 = spans.iter().map(|s| s.duration()).sum();
-            assert!(
-                (dur_sum - stats.merge_time).abs() < 1e-9,
-                "span durations {dur_sum} vs merge_time {}",
-                stats.merge_time
-            );
-            let peak = spans.iter().map(|s| s.elems).max().unwrap();
-            assert_eq!(peak as usize, stats.peak_merge_elems);
-            // Rebuild each lane's idle from its spans alone.
-            let mut rebuilt = 0.0;
-            for lane in 0..sockets {
-                let mut on_lane: Vec<_> = spans.iter().filter(|s| s.lane == lane).collect();
-                on_lane.sort_by(|x, y| x.start.partial_cmp(&y.start).unwrap());
-                for pair in on_lane.windows(2) {
-                    rebuilt += (pair[1].start - pair[0].end).max(0.0);
+        // unified timelines, under either steal policy and on both a
+        // balanced and a lane-starved skewed workload. Per rank, the
+        // spans' durations must sum to the recorded merge time, the span
+        // count must equal merge_ops, the peak must be the largest span,
+        // and the per-lane gaps reconstructed from the spans must equal
+        // the executor's reported merge-lane idle (Timeline semantics:
+        // a leading gap — and a lane with zero tasks — counts as zero, so
+        // starved lanes add no phantom idle and steals none double).
+        for steal in StealPolicy::all() {
+            for skewed in [false, true] {
+                let results = Universe::run(4, MachineModel::summit(), move |comm| {
+                    let grid = ProcGrid::new(comm);
+                    let g = if skewed {
+                        skewed_global(40, 16)
+                    } else {
+                        random_global(40, 600, 16)
+                    };
+                    let a = DistMatrix::from_global(&grid, &g);
+                    let mut gpus = MultiGpu::summit_node(grid.world.model());
+                    let cfg = SummaConfig {
+                        phases: PhasePlan::Fixed(2),
+                        policy: SelectionPolicy::always_gpu(),
+                        merge: MergeStrategy::Binary,
+                        pipelined: true,
+                        steal,
+                        ..base_cfg()
+                    };
+                    let out = summa_spgemm(&grid, &mut gpus, &a, &a, &cfg);
+                    (
+                        out.merge_spans,
+                        out.merge_stats,
+                        out.merge_lane_idle,
+                        grid.world.model().sockets,
+                    )
+                });
+                for (spans, stats, lane_idle, sockets) in results {
+                    assert!(!spans.is_empty());
+                    assert_eq!(spans.len(), stats.merge_ops);
+                    let dur_sum: f64 = spans.iter().map(|s| s.duration()).sum();
+                    assert!(
+                        (dur_sum - stats.merge_time).abs() < 1e-9,
+                        "span durations {dur_sum} vs merge_time {}",
+                        stats.merge_time
+                    );
+                    let peak = spans.iter().map(|s| s.elems).max().unwrap();
+                    assert_eq!(peak as usize, stats.peak_merge_elems);
+                    for s in &spans {
+                        assert_eq!(
+                            s.stolen,
+                            s.lane != s.origin,
+                            "stolen flag must match lane vs origin"
+                        );
+                        if steal == StealPolicy::Off {
+                            assert!(!s.stolen, "pinning never steals");
+                        }
+                    }
+                    // Rebuild each lane's idle from its spans alone.
+                    let mut rebuilt = 0.0;
+                    for lane in 0..sockets {
+                        let mut on_lane: Vec<_> = spans.iter().filter(|s| s.lane == lane).collect();
+                        on_lane.sort_by(|x, y| x.start.partial_cmp(&y.start).unwrap());
+                        for pair in on_lane.windows(2) {
+                            rebuilt += (pair[1].start - pair[0].end).max(0.0);
+                        }
+                    }
+                    assert!(
+                        (rebuilt - lane_idle).abs() < 1e-9,
+                        "steal={steal:?} skewed={skewed}: lane gaps {rebuilt} \
+                         vs reported idle {lane_idle}"
+                    );
                 }
             }
-            assert!(
-                (rebuilt - lane_idle).abs() < 1e-9,
-                "lane gaps {rebuilt} vs reported idle {lane_idle}"
-            );
+        }
+    }
+
+    #[test]
+    fn steal_policy_never_changes_the_product() {
+        // The tentpole's bit-identity gate at the SUMMA level: stealing
+        // moves merges between lanes on the virtual clock but never
+        // touches operands, so the distributed product is unchanged.
+        let want = serial_product(26, 220, 17);
+        for steal in StealPolicy::all() {
+            let cfg = SummaConfig {
+                merge: MergeStrategy::Binary,
+                pipelined: true,
+                steal,
+                ..base_cfg()
+            };
+            let got = run_config(26, 220, 17, 9, cfg);
+            assert!(got.max_abs_diff(&want) < 1e-9, "{steal:?}");
+            assert_eq!(got.nnz(), want.nnz(), "{steal:?}");
         }
     }
 

@@ -449,6 +449,74 @@ mod tests {
         assert_eq!(total_recovered as u64, fat - lean);
     }
 
+    mod grid_invariance {
+        use super::*;
+        use proptest::prelude::*;
+
+        /// Gathers the distributed prune result on a `p`-rank grid.
+        fn prune_on_grid(p: usize, t: &Triples<f64>, params: PruneParams) -> Csc<f64> {
+            let results = Universe::run(p, MachineModel::summit(), |comm| {
+                let grid = ProcGrid::new(comm);
+                let c = DistMatrix::from_global(&grid, t);
+                let (pruned, _) = distributed_prune(&grid, &c, &params);
+                pruned.gather_to_root(&grid)
+            });
+            results.into_iter().next().unwrap().unwrap()
+        }
+
+        proptest! {
+            // Each case spins up two universes; keep the count modest.
+            #![proptest_config(ProptestConfig::with_cases(8))]
+
+            /// Top-k selection with threshold-straddling duplicate values
+            /// must keep the *identical* (row, value) entry set on a 1×1
+            /// and a 2×2 grid — not merely equal counts or value
+            /// multisets. Values are drawn from a four-element set, so
+            /// with a small `select` the selection threshold lands on a
+            /// duplicated value in most columns and the tie-grant path
+            /// decides who survives; grid-row-order grants walk global
+            /// rows in ascending order exactly like the serial scan, so
+            /// distribution must not change the outcome.
+            #[test]
+            fn threshold_straddling_ties_keep_identical_entries_across_grids(
+                entries in proptest::collection::vec(
+                    (0..12usize, 0..12usize, 0..4u8),
+                    30..90,
+                ),
+                select in 1..4usize,
+            ) {
+                let mut t = Triples::new(12, 12);
+                for &(i, j, v) in &entries {
+                    // {0.2, 0.4, 0.6, 0.8}: heavy duplicates, all above
+                    // the cutoff so selection (not cutoff) does the work.
+                    t.push(i as Idx, j as Idx, 0.2 + 0.2 * v as f64);
+                }
+                t.sum_duplicates();
+                let params = PruneParams {
+                    cutoff: 0.1,
+                    select,
+                    recover_num: 0,
+                    recover_pct: 0.0,
+                };
+                let serial = prune_on_grid(1, &t, params);
+                let dist = prune_on_grid(4, &t, params);
+                prop_assert_eq!(serial.nnz(), dist.nnz());
+                for j in 0..serial.ncols() {
+                    prop_assert_eq!(
+                        serial.col_rows(j),
+                        dist.col_rows(j),
+                        "col {} rows", j
+                    );
+                    prop_assert_eq!(
+                        serial.col_vals(j),
+                        dist.col_vals(j),
+                        "col {} values", j
+                    );
+                }
+            }
+        }
+    }
+
     #[test]
     fn stats_are_reported() {
         let results = Universe::run(4, MachineModel::summit(), |comm| {
