@@ -38,6 +38,7 @@ fn main() {
             pipelined: true,
             executor: hipmcl_summa::ExecutorKind::Gpus,
             steal: hipmcl_summa::executor::StealPolicy::default(),
+            comm: CommPolicy::Hybrid,
             seed: 1,
         };
         let t0 = grid.world.now();

@@ -19,6 +19,7 @@ use hipmcl_sparse::Csc;
 use hipmcl_summa::estimate::{PhaseDecision, PhasePlanner};
 use hipmcl_summa::executor::{ExecutorKind, SplitPolicy, StealPolicy};
 use hipmcl_summa::merge::MergeKernelPolicy;
+use hipmcl_summa::spgemm::CommPolicy;
 use hipmcl_summa::topk::prune_local_slab;
 use hipmcl_summa::DistMatrix;
 use hipmcl_workloads::Dataset;
@@ -332,6 +333,117 @@ pub fn run_merge_overlap_probe(
                 iterations,
             }
         });
+    results.into_iter().next().unwrap()
+}
+
+/// One comm policy's outcome in the broadcast/gather ablation
+/// (`probe_comm_policy`).
+#[derive(Clone, Debug)]
+pub struct CommPolicyReport {
+    /// Sum over ranks and iterations of the modeled comm time of the
+    /// panels as actually moved (each panel priced at its chosen mode).
+    pub modeled_comm: f64,
+    /// Same panels, all priced as tree broadcasts — the
+    /// [`CommPolicy::Broadcast`] baseline.
+    pub modeled_comm_broadcast: f64,
+    /// Stage panels that went out as flat point-to-point sends, summed
+    /// over ranks and iterations (0 under `Broadcast`).
+    pub gather_panels: u64,
+    /// Stage panels moved in total, summed over ranks and iterations.
+    pub total_panels: u64,
+    /// Max over ranks of the final virtual clock.
+    pub total_time: f64,
+    /// Iterations executed.
+    pub iterations: usize,
+}
+
+/// Runs a multi-iteration distributed MCL expansion loop under the given
+/// comm policy, reporting the modeled per-panel communication costs and
+/// how many panels crossed to flat sends. Same loop shape as the other
+/// probes; only how stage panels travel varies with `policy` — payloads
+/// never change, so the product (and the clustering) is identical under
+/// both policies.
+///
+/// Unlike the other probes this one runs on the *unscaled* Summit model:
+/// `summit_bench` shrinks `α` by four orders of magnitude to match the
+/// shrunken instances, which erases the latency term the broadcast/gather
+/// trade-off is about. With the real `α/β` the shrunken panels sit in the
+/// latency-dominated regime — exactly where hypersparse stage panels land
+/// at the paper's rank counts.
+pub fn run_comm_policy_probe(
+    p: usize,
+    d: Dataset,
+    policy: CommPolicy,
+    max_iters: usize,
+) -> CommPolicyReport {
+    let results = hipmcl_comm::Universe::run(p, hipmcl_comm::MachineModel::summit(), move |comm| {
+        let grid = ProcGrid::new(comm);
+        let mut gpus = MultiGpu::summit_node(grid.world.model());
+        let mut cfg = bench_mcl_config_for(d, MclConfig::optimized(4 << 30));
+        cfg.summa.comm = policy;
+        cfg.max_iters = max_iters;
+        let global = (grid.world.rank() == 0).then(|| bench_graph(d, &cfg).to_triples());
+        let mut a = DistMatrix::scatter_from_root(&grid, global.as_ref());
+        grid.world.reset_instrumentation();
+
+        let mut modeled = 0.0f64;
+        let mut modeled_bcast = 0.0f64;
+        let mut gather_panels = 0u64;
+        let mut total_panels = 0u64;
+        let mut iterations = 0usize;
+        for _ in 0..cfg.max_iters {
+            iterations += 1;
+            let prune_params = cfg.prune;
+            let out = {
+                let col_comm = &grid.col_comm;
+                hipmcl_summa::spgemm::summa_spgemm_with(
+                    &grid,
+                    &mut gpus,
+                    &a,
+                    &a,
+                    &cfg.summa,
+                    |_, slab| {
+                        let (pruned, _stats) = prune_local_slab(col_comm, &slab, &prune_params);
+                        col_comm
+                            .advance_clock(col_comm.model().elementwise_time(slab.nnz() as u64));
+                        pruned
+                    },
+                )
+            };
+            modeled += out.modeled_comm_time();
+            modeled_bcast += out.modeled_comm_time_broadcast();
+            gather_panels += out
+                .comm_choices
+                .iter()
+                .filter(|c| c.mode == hipmcl_comm::CommMode::Gather)
+                .count() as u64;
+            total_panels += out.comm_choices.len() as u64;
+            a = out.c;
+            let chaos = dist_inflate_and_chaos(&grid, &mut a.local, cfg.inflation);
+            if chaos < cfg.chaos_epsilon {
+                break;
+            }
+        }
+
+        let sums = allreduce_sum_vec(
+            &grid.world,
+            vec![
+                modeled,
+                modeled_bcast,
+                gather_panels as f64,
+                total_panels as f64,
+            ],
+        );
+        let total_time = allreduce(&grid.world, grid.world.now(), f64::max);
+        CommPolicyReport {
+            modeled_comm: sums[0],
+            modeled_comm_broadcast: sums[1],
+            gather_panels: sums[2] as u64,
+            total_panels: sums[3] as u64,
+            total_time,
+            iterations,
+        }
+    });
     results.into_iter().next().unwrap()
 }
 
@@ -772,6 +884,64 @@ mod tests {
                 assert_eq!(reference.num_clusters, r.num_clusters);
             }
         }
+    }
+
+    #[test]
+    fn hybrid_comm_modeled_time_no_worse_than_broadcast() {
+        // The probe_comm_policy acceptance check: on both reference
+        // workloads, the Hybrid policy's modeled comm time must not
+        // exceed the all-broadcast baseline — per panel it takes the
+        // model's argmin, so the sum can only tie or win — and on a 3×3
+        // grid (α + 2βb flat vs 2α + 2βb tree) it must actually move
+        // panels to flat sends and strictly win. Payloads are unchanged,
+        // so both policies moved exactly the same panels.
+        let iters = 3;
+        for d in [Dataset::Archaea, Dataset::Isom100_3] {
+            let bcast = run_comm_policy_probe(9, d, CommPolicy::Broadcast, iters);
+            let hybrid = run_comm_policy_probe(9, d, CommPolicy::Hybrid, iters);
+            assert_eq!(bcast.iterations, hybrid.iterations, "{}", d.name());
+            assert_eq!(bcast.total_panels, hybrid.total_panels, "{}", d.name());
+            assert_eq!(bcast.gather_panels, 0, "broadcast never sends flat");
+            // Identical panels → identical all-tree baseline.
+            assert!(
+                (bcast.modeled_comm - hybrid.modeled_comm_broadcast).abs()
+                    < 1e-9 * bcast.modeled_comm.max(1.0),
+                "{}: baselines diverged {} vs {}",
+                d.name(),
+                bcast.modeled_comm,
+                hybrid.modeled_comm_broadcast
+            );
+            assert!(
+                hybrid.modeled_comm <= bcast.modeled_comm * (1.0 + 1e-9),
+                "{}: hybrid modeled comm {} must be <= broadcast {}",
+                d.name(),
+                hybrid.modeled_comm,
+                bcast.modeled_comm
+            );
+            assert!(hybrid.gather_panels > 0, "{}", d.name());
+            assert!(
+                hybrid.modeled_comm < bcast.modeled_comm,
+                "{}: with panels on flat sends the win must be strict",
+                d.name()
+            );
+        }
+    }
+
+    #[test]
+    fn comm_policy_preserves_clusters() {
+        // How a panel travels never changes what arrives: cluster labels
+        // must be bit-identical under both comm policies.
+        let run = |policy: CommPolicy| {
+            let mut cfg = bench_mcl_config(MclConfig::optimized(u64::MAX));
+            cfg.summa.comm = policy;
+            cfg.max_iters = 3;
+            run_scattered(4, Dataset::Archaea, &cfg)
+        };
+        let bcast = run(CommPolicy::Broadcast);
+        let hybrid = run(CommPolicy::Hybrid);
+        assert_eq!(bcast.labels, hybrid.labels);
+        assert_eq!(bcast.num_clusters, hybrid.num_clusters);
+        assert_eq!(bcast.iterations, hybrid.iterations);
     }
 
     #[test]

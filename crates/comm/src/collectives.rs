@@ -68,6 +68,42 @@ where
     val
 }
 
+/// Broadcast from `root` by root-sequential point-to-point sends — the
+/// "gather-style" exchange of the hybrid comm policy ([`crate::machine::
+/// CommMode::Gather`]). The root's NIC serializes the `p − 1` payloads:
+/// each send advances the root's clock by the bandwidth term before the
+/// next one departs, so the last receiver lands at `α + (p − 1) · βb`
+/// past the root — matching
+/// [`MachineModel::flat_bcast_time`](crate::machine::MachineModel::flat_bcast_time).
+/// Cheaper than the binomial tree for small payloads or small `p`, where
+/// the tree's `⌈lg p⌉` α-hops dominate.
+pub fn flat_bcast<T>(comm: &Comm, root: usize, value: Option<T>) -> T
+where
+    T: Any + Send + Clone + WireSize,
+{
+    let p = comm.size();
+    let tag = coll_tag(comm);
+    if p == 1 {
+        return value.expect("root must supply a value");
+    }
+    if comm.rank() == root {
+        let val = value.expect("root must supply a value");
+        let bytes = val.wire_bytes();
+        for dst in 0..p {
+            if dst == root {
+                continue;
+            }
+            comm.send(dst, tag, val.clone());
+            // NIC occupancy: the next send cannot start until this
+            // payload has left the root.
+            comm.advance_clock(bytes as f64 * comm.model().beta);
+        }
+        val
+    } else {
+        comm.recv::<T>(root, tag)
+    }
+}
+
 /// Reduction to `root` with operator `op` (must be associative and, for
 /// determinism, commutative). Returns `Some(result)` on the root.
 pub fn reduce<T, F>(comm: &Comm, root: usize, value: T, op: F) -> Option<T>
@@ -219,6 +255,84 @@ mod tests {
         let t16 = time_for(16);
         // lg(16)/lg(2) = 4: tree depth quadruples the critical path.
         assert!((t16 / t2 - 4.0).abs() < 0.5, "t2={t2} t16={t16}");
+    }
+
+    #[test]
+    fn flat_bcast_from_every_root() {
+        for p in [1usize, 2, 3, 4, 5, 8] {
+            for root in 0..p {
+                let results = Universe::run(p, MachineModel::summit(), |comm| {
+                    let v = if comm.rank() == root {
+                        Some(7u64 + root as u64)
+                    } else {
+                        None
+                    };
+                    flat_bcast(&comm, root, v)
+                });
+                assert!(
+                    results.iter().all(|&v| v == 7 + root as u64),
+                    "p={p} root={root}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn flat_bcast_cost_matches_model() {
+        // The slowest receiver of a flat broadcast lands at the model's
+        // closed form α + (p − 1)βb past the root's start.
+        let p = 6;
+        let payload = 1usize << 20;
+        let m = MachineModel::summit();
+        let want = m.flat_bcast_time(p, payload + 8); // Vec<u8> wire = len + 8
+        let results = Universe::run(p, m, |comm| {
+            let v = if comm.rank() == 0 {
+                Some(vec![0u8; payload])
+            } else {
+                None
+            };
+            let _ = flat_bcast(&comm, 0, v);
+            comm.now()
+        });
+        let t = results.into_iter().fold(0.0f64, f64::max);
+        assert!(
+            (t - want).abs() / want < 0.05,
+            "flat bcast t={t} model={want}"
+        );
+    }
+
+    #[test]
+    fn flat_beats_tree_below_crossover_and_loses_above() {
+        // Virtual-time confirmation of the machine-model crossover: at
+        // p = 4 the modes swap winners around b* = α/β (≈ 69 KB on
+        // Summit). Run both collectives on payloads a decade either side
+        // and compare the realized critical paths.
+        let time_of = |payload: usize, flat: bool| {
+            let results = Universe::run(4, MachineModel::summit(), |comm| {
+                let v = if comm.rank() == 0 {
+                    Some(vec![0u8; payload])
+                } else {
+                    None
+                };
+                if flat {
+                    let _ = flat_bcast(&comm, 0, v);
+                } else {
+                    let _ = bcast(&comm, 0, v);
+                }
+                comm.now()
+            });
+            results.into_iter().fold(0.0f64, f64::max)
+        };
+        let small = 4 << 10; // 4 KB << b*
+        let large = 4 << 20; // 4 MB >> b*
+        assert!(
+            time_of(small, true) < time_of(small, false),
+            "flat must win below the crossover"
+        );
+        assert!(
+            time_of(large, false) < time_of(large, true),
+            "tree must win above the crossover"
+        );
     }
 
     #[test]

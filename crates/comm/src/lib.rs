@@ -34,7 +34,7 @@ pub mod universe;
 pub use clock::{CommStats, Event, StageTimers, Timeline, VClock};
 pub use comm::Comm;
 pub use grid::ProcGrid;
-pub use machine::{GpuLib, MachineModel, MergeKernel, SpgemmKernel};
+pub use machine::{CommMode, GpuLib, MachineModel, MergeKernel, SpgemmKernel};
 pub use packet::WireSize;
 pub use universe::Universe;
 

@@ -104,6 +104,30 @@ impl MergeKernel {
     }
 }
 
+/// How a SUMMA stage moves an operand panel from its owner to the other
+/// ranks of a row/column communicator (§V's communication dimension).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum CommMode {
+    /// Binomial-tree broadcast: `⌈lg p⌉` hops, each forwarding the full
+    /// payload — asymptotically right for large panels.
+    Broadcast,
+    /// Root-sequential point-to-point sends ("gather-style" exchange):
+    /// one α, `p − 1` bandwidth terms serialized at the root — cheaper
+    /// for small panels and small communicators where the tree's
+    /// repeated latency dominates.
+    Gather,
+}
+
+impl CommMode {
+    /// Label used in probes and CSV output.
+    pub fn name(self) -> &'static str {
+        match self {
+            CommMode::Broadcast => "broadcast",
+            CommMode::Gather => "gather",
+        }
+    }
+}
+
 /// Per-element cost multiplier of [`MergeKernel::Pairwise`] relative to
 /// one heap comparison: a two-way cursor merge does no sifting, so at
 /// fan-in 2 it beats the heap (`0.8 < lg 2 = 1`); the left-fold re-scan
@@ -340,6 +364,41 @@ impl MachineModel {
         self.alpha + bytes as f64 * self.beta
     }
 
+    /// Modeled critical-path time of a binomial-tree broadcast of `bytes`
+    /// over `p` ranks: `⌈lg p⌉ · (α + βb)`. Every tree level forwards the
+    /// whole payload, so large panels pay the bandwidth term `lg p` times.
+    pub fn tree_bcast_time(&self, p: usize, bytes: usize) -> f64 {
+        if p <= 1 {
+            return 0.0;
+        }
+        let depth = (usize::BITS - (p - 1).leading_zeros()) as f64;
+        depth * self.p2p_time(bytes)
+    }
+
+    /// Modeled time of a flat (root-sequential point-to-point) broadcast
+    /// of `bytes` over `p` ranks: the root serializes `p − 1` sends onto
+    /// its NIC, so the last receiver waits `α + (p − 1) · βb`. One α, one
+    /// bandwidth term per peer — the small-message / small-`p` winner.
+    pub fn flat_bcast_time(&self, p: usize, bytes: usize) -> f64 {
+        if p <= 1 {
+            return 0.0;
+        }
+        self.alpha + (p - 1) as f64 * bytes as f64 * self.beta
+    }
+
+    /// Picks the cheaper broadcast algorithm for a `bytes`-sized panel
+    /// over `p` ranks under this model. The crossover sits where
+    /// `⌈lg p⌉(α + βb) = α + (p−1)βb`; for `p = 4` that is
+    /// `b* = α / (2β)` — payloads below it prefer [`CommMode::Gather`]
+    /// (point-to-point), above it [`CommMode::Broadcast`].
+    pub fn choose_comm_mode(&self, p: usize, bytes: usize) -> CommMode {
+        if self.flat_bcast_time(p, bytes) <= self.tree_bcast_time(p, bytes) {
+            CommMode::Gather
+        } else {
+            CommMode::Broadcast
+        }
+    }
+
     /// Host→device (or device→host) transfer time for `bytes`.
     pub fn link_time(&self, bytes: usize) -> f64 {
         self.link_alpha + bytes as f64 * self.link_beta
@@ -435,6 +494,55 @@ impl MachineModel {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn bcast_costs_match_closed_forms() {
+        let m = MachineModel::summit();
+        let b = 1 << 20;
+        // Tree over 8 ranks: depth 3.
+        let want_tree = 3.0 * (m.alpha + b as f64 * m.beta);
+        assert!((m.tree_bcast_time(8, b) - want_tree).abs() < 1e-15);
+        // Flat over 8 ranks: one α, 7 bandwidth terms.
+        let want_flat = m.alpha + 7.0 * b as f64 * m.beta;
+        assert!((m.flat_bcast_time(8, b) - want_flat).abs() < 1e-15);
+        // Degenerate communicators are free.
+        assert_eq!(m.tree_bcast_time(1, b), 0.0);
+        assert_eq!(m.flat_bcast_time(1, b), 0.0);
+    }
+
+    #[test]
+    fn comm_mode_crossover_pinned_at_p4() {
+        // At p = 4 (tree depth 2): 2(α + βb) vs α + 3βb, equal at
+        // b* = α / β. For Summit that is 3.0e-6 · 23e9 = 69 000 bytes.
+        let m = MachineModel::summit();
+        let bstar = (m.alpha / m.beta).round() as usize;
+        assert_eq!(bstar, 69_000, "summit crossover point moved");
+        assert_eq!(m.choose_comm_mode(4, bstar / 2), CommMode::Gather);
+        assert_eq!(m.choose_comm_mode(4, bstar * 2), CommMode::Broadcast);
+        // Exactly at the crossover the tie breaks toward Gather (≤).
+        assert_eq!(m.choose_comm_mode(4, bstar), CommMode::Gather);
+    }
+
+    #[test]
+    fn comm_mode_limits() {
+        let m = MachineModel::summit();
+        // Tiny payloads: latency dominates, point-to-point wins at any p.
+        for p in [2usize, 4, 16, 64] {
+            assert_eq!(m.choose_comm_mode(p, 8), CommMode::Gather, "p={p}");
+        }
+        // Huge payloads at large p: the tree's lg p bandwidth terms beat
+        // the flat root's p − 1 serialized sends.
+        for p in [8usize, 16, 64] {
+            assert_eq!(
+                m.choose_comm_mode(p, 64 << 20),
+                CommMode::Broadcast,
+                "p={p}"
+            );
+        }
+        // p = 2 is always Gather: both cost α + βb, tie goes to the
+        // cheaper machinery.
+        assert_eq!(m.choose_comm_mode(2, 64 << 20), CommMode::Gather);
+    }
 
     #[test]
     fn heap_beats_hash_at_low_cf_only() {

@@ -77,19 +77,19 @@ impl<T: WireSize> WireSize for std::sync::Arc<T> {
     }
 }
 
-impl<T: hipmcl_sparse::Scalar> WireSize for hipmcl_sparse::Csc<T> {
+impl<T: hipmcl_sparse::Value> WireSize for hipmcl_sparse::Csc<T> {
     fn wire_bytes(&self) -> usize {
         self.bytes()
     }
 }
 
-impl<T: hipmcl_sparse::Scalar> WireSize for hipmcl_sparse::Triples<T> {
+impl<T: hipmcl_sparse::Value> WireSize for hipmcl_sparse::Triples<T> {
     fn wire_bytes(&self) -> usize {
         self.bytes()
     }
 }
 
-impl<T: hipmcl_sparse::Scalar> WireSize for hipmcl_sparse::Dcsc<T> {
+impl<T: hipmcl_sparse::Value> WireSize for hipmcl_sparse::Dcsc<T> {
     fn wire_bytes(&self) -> usize {
         self.bytes()
     }

@@ -5,7 +5,7 @@ use hipmcl_sparse::colops::PruneParams;
 use hipmcl_summa::estimate::{EstimatorKind, PhasePlanner};
 use hipmcl_summa::executor::{ExecutorKind, StealPolicy};
 use hipmcl_summa::merge::{MergeKernelPolicy, MergeStrategy};
-use hipmcl_summa::spgemm::{ConfigError, PhasePlan, SummaConfig};
+use hipmcl_summa::spgemm::{CommPolicy, ConfigError, PhasePlan, SummaConfig};
 
 /// Complete configuration of an MCL run.
 #[derive(Clone, Copy, Debug)]
@@ -104,6 +104,7 @@ impl MclConfig {
                 pipelined: false,
                 executor: ExecutorKind::Gpus,
                 steal: StealPolicy::default(),
+                comm: CommPolicy::Hybrid,
                 seed: 42,
             },
             ..Self::original_hipmcl(u64::MAX)

@@ -12,23 +12,38 @@
 //! matching its mid-pack showing in the paper's Fig. 4.
 
 use super::{build_csr_from_rows, RowOut};
-use hipmcl_sparse::{Csr, Idx};
+use hipmcl_sparse::{Csr, Idx, PlusTimes, Semiring, Value};
 use rayon::prelude::*;
 
-/// Multiplies `C = A · B` (CSR) with expand–sort–compress rows.
-pub fn multiply(a: &Csr<f64>, b: &Csr<f64>) -> Csr<f64> {
-    let rows: Vec<RowOut> = (0..a.nrows())
+/// Multiplies `C = A · B` (CSR) with expand–sort–compress rows, in the
+/// given semiring.
+pub fn multiply_in<S: Semiring>(s: S, a: &Csr<S::Elem>, b: &Csr<S::Elem>) -> Csr<S::Elem> {
+    let rows: Vec<RowOut<S::Elem>> = (0..a.nrows())
         .into_par_iter()
-        .map_with(Vec::<(Idx, f64)>::new(), |expand_buf, i| {
-            expand_row(a, b, i, expand_buf);
-            sort_compress(expand_buf)
+        .map_with(Vec::<(Idx, S::Elem)>::new(), |expand_buf, i| {
+            expand_row(s, a, b, i, expand_buf);
+            sort_compress(s, expand_buf)
         })
         .collect();
     build_csr_from_rows(a.nrows(), b.ncols(), rows)
 }
 
+/// [`multiply_in`] with the plus-times semiring.
+pub fn multiply<T: Value>(a: &Csr<T>, b: &Csr<T>) -> Csr<T>
+where
+    PlusTimes<T>: Semiring<Elem = T>,
+{
+    multiply_in(PlusTimes::new(), a, b)
+}
+
 /// Expansion: materializes all products contributing to output row `i`.
-fn expand_row(a: &Csr<f64>, b: &Csr<f64>, i: usize, buf: &mut Vec<(Idx, f64)>) {
+fn expand_row<S: Semiring>(
+    _s: S,
+    a: &Csr<S::Elem>,
+    b: &Csr<S::Elem>,
+    i: usize,
+    buf: &mut Vec<(Idx, S::Elem)>,
+) {
     buf.clear();
     let (acols, avals) = (a.row_cols(i), a.row_vals(i));
     for (idx, &k) in acols.iter().enumerate() {
@@ -36,19 +51,21 @@ fn expand_row(a: &Csr<f64>, b: &Csr<f64>, i: usize, buf: &mut Vec<(Idx, f64)>) {
         let k = k as usize;
         let (bcols, bvals) = (b.row_cols(k), b.row_vals(k));
         for (bi, &c) in bcols.iter().enumerate() {
-            buf.push((c, av * bvals[bi]));
+            buf.push((c, S::mul(av, bvals[bi])));
         }
     }
 }
 
-/// Sort + compress: orders products by column and sums duplicate runs.
-fn sort_compress(buf: &mut [(Idx, f64)]) -> RowOut {
+/// Sort + compress: orders products by column and combines duplicate runs
+/// with the semiring's addition.
+fn sort_compress<S: Semiring>(_s: S, buf: &mut [(Idx, S::Elem)]) -> RowOut<S::Elem> {
     buf.sort_unstable_by_key(|&(c, _)| c);
-    let mut cols = Vec::new();
-    let mut vals = Vec::new();
+    let mut cols: Vec<Idx> = Vec::new();
+    let mut vals: Vec<S::Elem> = Vec::new();
     for &(c, v) in buf.iter() {
         if cols.last() == Some(&c) {
-            *vals.last_mut().unwrap() += v;
+            let last = vals.last_mut().unwrap();
+            *last = S::add(*last, v);
         } else {
             cols.push(c);
             vals.push(v);
@@ -59,10 +76,10 @@ fn sort_compress(buf: &mut [(Idx, f64)]) -> RowOut {
 
 /// Peak expansion memory of the multiplication: the largest per-row flops
 /// times the entry size — what bhsparse must stage per workgroup.
-pub fn expansion_bytes(a: &Csr<f64>, b: &Csr<f64>) -> usize {
+pub fn expansion_bytes<T: Value>(a: &Csr<T>, b: &Csr<T>) -> usize {
     super::row_flops(a, b)
         .iter()
-        .map(|&f| f as usize * std::mem::size_of::<(Idx, f64)>())
+        .map(|&f| f as usize * std::mem::size_of::<(Idx, T)>())
         .max()
         .unwrap_or(0)
 }
@@ -75,14 +92,15 @@ mod tests {
     #[test]
     fn sort_compress_sums_runs() {
         let mut buf = vec![(3u32, 1.0), (1, 2.0), (3, 0.5), (1, 1.0)];
-        let (cols, vals) = sort_compress(&mut buf);
+        let (cols, vals) = sort_compress(PlusTimes::<f64>::new(), &mut buf);
         assert_eq!(cols, vec![1, 3]);
         assert_eq!(vals, vec![3.0, 1.5]);
     }
 
     #[test]
     fn sort_compress_empty() {
-        let (cols, vals) = sort_compress(&mut []);
+        let mut buf: Vec<(Idx, f64)> = Vec::new();
+        let (cols, vals) = sort_compress(PlusTimes::<f64>::new(), &mut buf);
         assert!(cols.is_empty() && vals.is_empty());
     }
 
@@ -91,7 +109,7 @@ mod tests {
         let a = random_csr(8, 8, 24, 1);
         let mut buf = Vec::new();
         for i in 0..8 {
-            expand_row(&a, &a, i, &mut buf);
+            expand_row(PlusTimes::<f64>::new(), &a, &a, i, &mut buf);
             let flops: usize = a.row_cols(i).iter().map(|&k| a.row_nnz(k as usize)).sum();
             assert_eq!(buf.len(), flops, "row {i}");
         }

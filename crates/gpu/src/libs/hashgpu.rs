@@ -11,38 +11,39 @@
 //! accumulate — which is why nsparse dominates Fig. 4 at MCL densities.
 
 use super::{build_csr_from_rows, row_flops, RowOut};
-use hipmcl_sparse::{Csr, Idx};
+use hipmcl_sparse::{Csr, Idx, PlusTimes, Semiring, Value};
 use rayon::prelude::*;
 
 const EMPTY: Idx = Idx::MAX;
 
 /// Open-addressing table sized per bin, reused across a worker's rows.
 #[derive(Clone)]
-struct RowTable {
+struct RowTable<T> {
     keys: Vec<Idx>,
-    vals: Vec<f64>,
+    vals: Vec<T>,
     touched: Vec<u32>,
     mask: usize,
 }
 
-impl RowTable {
+impl<T: Value> RowTable<T> {
     fn with_capacity(n: usize) -> Self {
         let size = (2 * n.max(1)).next_power_of_two();
         Self {
             keys: vec![EMPTY; size],
-            vals: vec![0.0; size],
+            // Placeholder: slots are written before first read.
+            vals: vec![T::default(); size],
             touched: Vec::new(),
             mask: size - 1,
         }
     }
 
     #[inline]
-    fn upsert(&mut self, key: Idx, val: f64) {
+    fn upsert<S: Semiring<Elem = T>>(&mut self, _sr: S, key: Idx, val: T) {
         let mut s = ((key as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 32) as usize & self.mask;
         loop {
             let k = self.keys[s];
             if k == key {
-                self.vals[s] += val;
+                self.vals[s] = S::add(self.vals[s], val);
                 return;
             }
             if k == EMPTY {
@@ -55,8 +56,8 @@ impl RowTable {
         }
     }
 
-    fn drain_sorted(&mut self) -> RowOut {
-        let mut pairs: Vec<(Idx, f64)> = self
+    fn drain_sorted(&mut self) -> RowOut<T> {
+        let mut pairs: Vec<(Idx, T)> = self
             .touched
             .iter()
             .map(|&s| (self.keys[s as usize], self.vals[s as usize]))
@@ -91,18 +92,19 @@ pub(crate) fn bin_rows(flops: &[u64]) -> Vec<Vec<u32>> {
     bins
 }
 
-/// Multiplies `C = A · B` (CSR) with binned hash accumulation.
-pub fn multiply(a: &Csr<f64>, b: &Csr<f64>) -> Csr<f64> {
+/// Multiplies `C = A · B` (CSR) with binned hash accumulation, in the
+/// given semiring.
+pub fn multiply_in<S: Semiring>(sr: S, a: &Csr<S::Elem>, b: &Csr<S::Elem>) -> Csr<S::Elem> {
     let flops = row_flops(a, b);
     let bins = bin_rows(&flops);
 
-    let mut rows: Vec<RowOut> = vec![(Vec::new(), Vec::new()); a.nrows()];
+    let mut rows: Vec<RowOut<S::Elem>> = vec![(Vec::new(), Vec::new()); a.nrows()];
     for (bin_id, bin) in bins.iter().enumerate() {
         if bin.is_empty() {
             continue;
         }
         let cap = 1usize << bin_id; // flops upper bound for the bin
-        let outputs: Vec<(u32, RowOut)> = bin
+        let outputs: Vec<(u32, RowOut<S::Elem>)> = bin
             .par_iter()
             .map_with(RowTable::with_capacity(cap), |table, &i| {
                 let i = i as usize;
@@ -112,7 +114,7 @@ pub fn multiply(a: &Csr<f64>, b: &Csr<f64>) -> Csr<f64> {
                     let k = k as usize;
                     let (bcols, bvals) = (b.row_cols(k), b.row_vals(k));
                     for (bi, &c) in bcols.iter().enumerate() {
-                        table.upsert(c, av * bvals[bi]);
+                        table.upsert(sr, c, S::mul(av, bvals[bi]));
                     }
                 }
                 (i as u32, table.drain_sorted())
@@ -123,6 +125,14 @@ pub fn multiply(a: &Csr<f64>, b: &Csr<f64>) -> Csr<f64> {
         }
     }
     build_csr_from_rows(a.nrows(), b.ncols(), rows)
+}
+
+/// [`multiply_in`] with the plus-times semiring.
+pub fn multiply<T: Value>(a: &Csr<T>, b: &Csr<T>) -> Csr<T>
+where
+    PlusTimes<T>: Semiring<Elem = T>,
+{
+    multiply_in(PlusTimes::new(), a, b)
 }
 
 #[cfg(test)]
@@ -142,15 +152,16 @@ mod tests {
 
     #[test]
     fn row_table_accumulates_and_sorts() {
+        let pt = PlusTimes::<f64>::new();
         let mut t = RowTable::with_capacity(4);
-        t.upsert(9, 1.0);
-        t.upsert(2, 3.0);
-        t.upsert(9, 1.5);
+        t.upsert(pt, 9, 1.0);
+        t.upsert(pt, 2, 3.0);
+        t.upsert(pt, 9, 1.5);
         let (cols, vals) = t.drain_sorted();
         assert_eq!(cols, vec![2, 9]);
         assert_eq!(vals, vec![3.0, 2.5]);
         // Reusable after drain.
-        t.upsert(5, 1.0);
+        t.upsert(pt, 5, 1.0);
         let (cols2, _) = t.drain_sorted();
         assert_eq!(cols2, vec![5]);
     }

@@ -16,13 +16,17 @@ pub mod rowmerge;
 
 use hipmcl_comm::GpuLib;
 use hipmcl_sparse::csc::counts_to_colptr;
-use hipmcl_sparse::{Csc, Csr, Idx};
+use hipmcl_sparse::{Csc, Csr, Idx, PlusTimes, Semiring, Value};
 
 /// A materialized output row: `(cols, vals)`, sorted by column.
-pub(crate) type RowOut = (Vec<Idx>, Vec<f64>);
+pub(crate) type RowOut<T> = (Vec<Idx>, Vec<T>);
 
 /// Assembles per-row outputs into a CSR matrix.
-pub(crate) fn build_csr_from_rows(nrows: usize, ncols: usize, rows: Vec<RowOut>) -> Csr<f64> {
+pub(crate) fn build_csr_from_rows<T: Value>(
+    nrows: usize,
+    ncols: usize,
+    rows: Vec<RowOut<T>>,
+) -> Csr<T> {
     debug_assert_eq!(rows.len(), nrows);
     let counts: Vec<usize> = rows.iter().map(|(c, _)| c.len()).collect();
     let rowptr = counts_to_colptr(&counts);
@@ -38,7 +42,7 @@ pub(crate) fn build_csr_from_rows(nrows: usize, ncols: usize, rows: Vec<RowOut>)
 
 /// Per-row flops of `A·B` in CSR orientation:
 /// `flops(i) = Σ_{k ∈ A_{i*}} nnz(B_{k*})`.
-pub(crate) fn row_flops(a: &Csr<f64>, b: &Csr<f64>) -> Vec<u64> {
+pub(crate) fn row_flops<T: Value>(a: &Csr<T>, b: &Csr<T>) -> Vec<u64> {
     use rayon::prelude::*;
     (0..a.nrows())
         .into_par_iter()
@@ -51,24 +55,51 @@ pub(crate) fn row_flops(a: &Csr<f64>, b: &Csr<f64>) -> Vec<u64> {
         .collect()
 }
 
-/// Multiplies CSR matrices with the chosen library analogue.
-pub fn multiply_csr(a: &Csr<f64>, b: &Csr<f64>, lib: GpuLib) -> Csr<f64> {
+/// Multiplies CSR matrices with the chosen library analogue, in the given
+/// semiring.
+pub fn multiply_csr_in<S: Semiring>(
+    s: S,
+    a: &Csr<S::Elem>,
+    b: &Csr<S::Elem>,
+    lib: GpuLib,
+) -> Csr<S::Elem> {
     assert_eq!(a.ncols(), b.nrows(), "inner dimensions must agree");
     match lib {
-        GpuLib::Bhsparse => esc::multiply(a, b),
-        GpuLib::Nsparse => hashgpu::multiply(a, b),
-        GpuLib::Rmerge2 => rowmerge::multiply(a, b),
+        GpuLib::Bhsparse => esc::multiply_in(s, a, b),
+        GpuLib::Nsparse => hashgpu::multiply_in(s, a, b),
+        GpuLib::Rmerge2 => rowmerge::multiply_in(s, a, b),
     }
+}
+
+/// [`multiply_csr_in`] with the plus-times semiring.
+pub fn multiply_csr<T: Value>(a: &Csr<T>, b: &Csr<T>, lib: GpuLib) -> Csr<T>
+where
+    PlusTimes<T>: Semiring<Elem = T>,
+{
+    multiply_csr_in(PlusTimes::new(), a, b, lib)
 }
 
 /// Multiplies CSC matrices on a "GPU" kernel without format conversion:
 /// a CSC matrix *is* its transpose in CSR, so `C = A·B` (all CSC) is
 /// computed as `Cᵀ = Bᵀ·Aᵀ` (all CSR) and reinterpreted back (§III-B).
-pub fn multiply_csc(a: &Csc<f64>, b: &Csc<f64>, lib: GpuLib) -> Csc<f64> {
+pub fn multiply_csc_in<S: Semiring>(
+    s: S,
+    a: &Csc<S::Elem>,
+    b: &Csc<S::Elem>,
+    lib: GpuLib,
+) -> Csc<S::Elem> {
     let at = Csr::from_csc_transpose(a.clone()); // Aᵀ in CSR, zero work
     let bt = Csr::from_csc_transpose(b.clone()); // Bᵀ in CSR
-    let ct = multiply_csr(&bt, &at, lib); // Cᵀ = Bᵀ·Aᵀ
+    let ct = multiply_csr_in(s, &bt, &at, lib); // Cᵀ = Bᵀ·Aᵀ
     ct.into_csc_transpose()
+}
+
+/// [`multiply_csc_in`] with the plus-times semiring.
+pub fn multiply_csc<T: Value>(a: &Csc<T>, b: &Csc<T>, lib: GpuLib) -> Csc<T>
+where
+    PlusTimes<T>: Semiring<Elem = T>,
+{
+    multiply_csc_in(PlusTimes::new(), a, b, lib)
 }
 
 #[cfg(test)]

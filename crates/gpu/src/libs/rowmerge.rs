@@ -10,32 +10,41 @@
 //! among the GPU libraries only at small `cf`.
 
 use super::{build_csr_from_rows, RowOut};
-use hipmcl_sparse::Csr;
+use hipmcl_sparse::{Csr, PlusTimes, Semiring, Value};
 use rayon::prelude::*;
 
-/// Multiplies `C = A · B` (CSR) by per-row binary merge trees.
-pub fn multiply(a: &Csr<f64>, b: &Csr<f64>) -> Csr<f64> {
-    let rows: Vec<RowOut> = (0..a.nrows())
+/// Multiplies `C = A · B` (CSR) by per-row binary merge trees, in the
+/// given semiring.
+pub fn multiply_in<S: Semiring>(s: S, a: &Csr<S::Elem>, b: &Csr<S::Elem>) -> Csr<S::Elem> {
+    let rows: Vec<RowOut<S::Elem>> = (0..a.nrows())
         .into_par_iter()
-        .map(|i| merge_row(a, b, i))
+        .map(|i| merge_row(s, a, b, i))
         .collect();
     build_csr_from_rows(a.nrows(), b.ncols(), rows)
 }
 
+/// [`multiply_in`] with the plus-times semiring.
+pub fn multiply<T: Value>(a: &Csr<T>, b: &Csr<T>) -> Csr<T>
+where
+    PlusTimes<T>: Semiring<Elem = T>,
+{
+    multiply_in(PlusTimes::new(), a, b)
+}
+
 /// Builds output row `i` by a balanced tree of two-way merges.
-fn merge_row(a: &Csr<f64>, b: &Csr<f64>, i: usize) -> RowOut {
+fn merge_row<S: Semiring>(s: S, a: &Csr<S::Elem>, b: &Csr<S::Elem>, i: usize) -> RowOut<S::Elem> {
     let (acols, avals) = (a.row_cols(i), a.row_vals(i));
     // Leaves: the selected B rows, scaled by the A entry.
-    let mut lists: Vec<RowOut> = acols
+    let mut lists: Vec<RowOut<S::Elem>> = acols
         .iter()
         .zip(avals)
         .map(|(&k, &av)| {
             let k = k as usize;
             let cols = b.row_cols(k).to_vec();
-            let vals = b.row_vals(k).iter().map(|&v| v * av).collect();
+            let vals = b.row_vals(k).iter().map(|&v| S::mul(av, v)).collect();
             (cols, vals)
         })
-        .filter(|(c, _)| !c.is_empty())
+        .filter(|(c, _): &RowOut<S::Elem>| !c.is_empty())
         .collect();
 
     // Balanced reduction: merge adjacent pairs until one list remains.
@@ -44,7 +53,7 @@ fn merge_row(a: &Csr<f64>, b: &Csr<f64>, i: usize) -> RowOut {
         let mut it = lists.into_iter();
         while let Some(first) = it.next() {
             match it.next() {
-                Some(second) => next.push(merge_two(&first, &second)),
+                Some(second) => next.push(merge_two(s, &first, &second)),
                 None => next.push(first),
             }
         }
@@ -53,8 +62,13 @@ fn merge_row(a: &Csr<f64>, b: &Csr<f64>, i: usize) -> RowOut {
     lists.pop().unwrap_or_default()
 }
 
-/// Two-way merge of sorted `(cols, vals)` runs, summing equal columns.
-pub(crate) fn merge_two(x: &RowOut, y: &RowOut) -> RowOut {
+/// Two-way merge of sorted `(cols, vals)` runs, combining equal columns
+/// with the semiring's addition.
+pub(crate) fn merge_two<S: Semiring>(
+    _s: S,
+    x: &RowOut<S::Elem>,
+    y: &RowOut<S::Elem>,
+) -> RowOut<S::Elem> {
     let (xc, xv) = x;
     let (yc, yv) = y;
     let mut cols = Vec::with_capacity(xc.len() + yc.len());
@@ -65,7 +79,7 @@ pub(crate) fn merge_two(x: &RowOut, y: &RowOut) -> RowOut {
         let take_both = i < xc.len() && j < yc.len() && xc[i] == yc[j];
         if take_both {
             cols.push(xc[i]);
-            vals.push(xv[i] + yv[j]);
+            vals.push(S::add(xv[i], yv[j]));
             i += 1;
             j += 1;
         } else if take_x {
@@ -83,7 +97,7 @@ pub(crate) fn merge_two(x: &RowOut, y: &RowOut) -> RowOut {
 
 /// Total number of element visits across the merge trees — the quantity
 /// that explains rmerge2's `lg` overhead relative to hash accumulation.
-pub fn merge_work(a: &Csr<f64>, b: &Csr<f64>) -> u64 {
+pub fn merge_work<T: Value>(a: &Csr<T>, b: &Csr<T>) -> u64 {
     (0..a.nrows())
         .into_par_iter()
         .map(|i| {
@@ -102,13 +116,13 @@ pub fn merge_work(a: &Csr<f64>, b: &Csr<f64>) -> u64 {
 mod tests {
     use super::super::testutil::{random_csr, reference_csr};
     use super::*;
-    type R = RowOut;
+    type R = RowOut<f64>;
 
     #[test]
     fn merge_two_disjoint() {
         let x: R = (vec![1, 5], vec![1.0, 2.0]);
         let y: R = (vec![2, 9], vec![3.0, 4.0]);
-        let (c, v) = merge_two(&x, &y);
+        let (c, v) = merge_two(PlusTimes::<f64>::new(), &x, &y);
         assert_eq!(c, vec![1, 2, 5, 9]);
         assert_eq!(v, vec![1.0, 3.0, 2.0, 4.0]);
     }
@@ -117,7 +131,7 @@ mod tests {
     fn merge_two_overlapping_sums() {
         let x: R = (vec![1, 3], vec![1.0, 1.0]);
         let y: R = (vec![1, 3], vec![0.5, 0.25]);
-        let (c, v) = merge_two(&x, &y);
+        let (c, v) = merge_two(PlusTimes::<f64>::new(), &x, &y);
         assert_eq!(c, vec![1, 3]);
         assert_eq!(v, vec![1.5, 1.25]);
     }
@@ -126,7 +140,10 @@ mod tests {
     fn merge_two_with_empty() {
         let x: R = (vec![], vec![]);
         let y: R = (vec![7], vec![1.0]);
-        assert_eq!(merge_two(&x, &y), (vec![7], vec![1.0]));
+        assert_eq!(
+            merge_two(PlusTimes::<f64>::new(), &x, &y),
+            (vec![7], vec![1.0])
+        );
     }
 
     #[test]

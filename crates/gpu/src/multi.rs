@@ -14,7 +14,7 @@
 use crate::device::{Device, DeviceError};
 use hipmcl_comm::{GpuLib, MachineModel};
 use hipmcl_sparse::util::even_chunk;
-use hipmcl_sparse::Csc;
+use hipmcl_sparse::{Csc, PlusTimes, Semiring, Value};
 
 /// The set of devices owned by one rank.
 pub struct MultiGpu {
@@ -24,9 +24,9 @@ pub struct MultiGpu {
 
 /// Outcome of one multi-GPU local multiplication.
 #[derive(Debug)]
-pub struct LaunchResult {
+pub struct LaunchResult<T: Value = f64> {
     /// The (real, verified) product `A · B`.
-    pub c: Csc<f64>,
+    pub c: Csc<T>,
     /// Virtual time at which all input transfers completed — the host may
     /// proceed (to the next SUMMA broadcast) from this moment.
     pub inputs_transferred_at: f64,
@@ -77,23 +77,25 @@ impl MultiGpu {
     }
 
     /// Runs `C = A · B` split across all devices, starting at host virtual
-    /// time `host_now`. See module docs for the timeline semantics.
+    /// time `host_now`, in the given semiring. See module docs for the
+    /// timeline semantics.
     ///
     /// Fails with [`DeviceError::OutOfMemory`] if any device cannot hold
     /// its inputs plus its output slab — callers fall back to the CPU
     /// kernel or to more SUMMA phases.
-    pub fn multiply(
+    pub fn multiply_in<S: Semiring>(
         &mut self,
+        s: S,
         host_now: f64,
-        a: &Csc<f64>,
-        b: &Csc<f64>,
+        a: &Csc<S::Elem>,
+        b: &Csc<S::Elem>,
         lib: GpuLib,
-    ) -> Result<LaunchResult, DeviceError> {
+    ) -> Result<LaunchResult<S::Elem>, DeviceError> {
         assert!(!self.is_empty(), "no devices on this rank");
         let g = self.devices.len();
         let n = b.ncols();
 
-        let mut slabs: Vec<Csc<f64>> = Vec::with_capacity(g);
+        let mut slabs: Vec<Csc<S::Elem>> = Vec::with_capacity(g);
         let mut inputs_done = host_now;
         let mut outputs_done = host_now;
         let mut total_flops = 0u64;
@@ -111,7 +113,7 @@ impl MultiGpu {
             inputs_done = inputs_done.max(t_in);
 
             // Real kernel execution (host-side, verified), modeled duration.
-            let c_slab = crate::libs::multiply_csc(a, &b_slab, lib);
+            let c_slab = crate::libs::multiply_csc_in(s, a, &b_slab, lib);
             let cf = if c_slab.nnz() == 0 {
                 1.0
             } else {
@@ -145,6 +147,20 @@ impl MultiGpu {
             flops: total_flops,
             cf,
         })
+    }
+
+    /// [`MultiGpu::multiply_in`] with the plus-times semiring.
+    pub fn multiply<T: Value>(
+        &mut self,
+        host_now: f64,
+        a: &Csc<T>,
+        b: &Csc<T>,
+        lib: GpuLib,
+    ) -> Result<LaunchResult<T>, DeviceError>
+    where
+        PlusTimes<T>: Semiring<Elem = T>,
+    {
+        self.multiply_in(PlusTimes::new(), host_now, a, b, lib)
     }
 }
 

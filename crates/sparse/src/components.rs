@@ -7,7 +7,7 @@
 //! distributes over ranks lives in `hipmcl-summa::components`.
 
 use crate::csc::Csc;
-use crate::scalar::Scalar;
+use crate::semiring::Value;
 
 /// Disjoint-set forest with union by rank and path halving.
 #[derive(Clone, Debug)]
@@ -85,7 +85,7 @@ impl UnionFind {
 /// Connected components of the undirected graph underlying `m` (the pattern
 /// of `m ∨ mᵀ`). Returns `(labels, number_of_components)` with labels dense
 /// in `0..k`.
-pub fn connected_components<T: Scalar>(m: &Csc<T>) -> (Vec<u32>, usize) {
+pub fn connected_components<T: Value>(m: &Csc<T>) -> (Vec<u32>, usize) {
     assert_eq!(m.nrows(), m.ncols(), "components need a square matrix");
     let mut uf = UnionFind::new(m.ncols());
     for j in 0..m.ncols() {

@@ -7,14 +7,14 @@
 //! *local* indices.
 
 use crate::csc::Csc;
-use crate::scalar::Scalar;
+use crate::semiring::Value;
 use crate::triples::Triples;
 use crate::util::even_chunk;
 use crate::Idx;
 
 /// Splits a global matrix into `pr × pc` blocks (row-major block order)
 /// with local indices. Inverse of [`gather_2d`].
-pub fn split_2d<T: Scalar>(global: &Triples<T>, pr: usize, pc: usize) -> Vec<Triples<T>> {
+pub fn split_2d<T: Value>(global: &Triples<T>, pr: usize, pc: usize) -> Vec<Triples<T>> {
     let m = global.nrows();
     let n = global.ncols();
     let row_ranges: Vec<_> = (0..pr).map(|i| even_chunk(m, pr, i)).collect();
@@ -35,7 +35,7 @@ pub fn split_2d<T: Scalar>(global: &Triples<T>, pr: usize, pc: usize) -> Vec<Tri
 
 /// Reassembles a global matrix from `pr × pc` local blocks (row-major block
 /// order). Inverse of [`split_2d`].
-pub fn gather_2d<T: Scalar>(
+pub fn gather_2d<T: Value>(
     blocks: &[Triples<T>],
     m: usize,
     n: usize,
@@ -79,15 +79,15 @@ pub fn block_of(n: usize, parts: usize, idx: usize) -> usize {
 
 /// Splits a CSC matrix into `pr × pc` CSC blocks (row-major block order).
 /// Convenience wrapper over [`split_2d`].
-pub fn split_2d_csc<T: Scalar>(global: &Csc<T>, pr: usize, pc: usize) -> Vec<Csc<T>> {
+pub fn split_2d_csc<T: Value>(global: &Csc<T>, pr: usize, pc: usize) -> Vec<Csc<T>> {
     split_2d(&global.to_triples(), pr, pc)
         .iter()
-        .map(Csc::from_triples)
+        .map(Csc::from_nodup_triples)
         .collect()
 }
 
 /// Reassembles a global CSC matrix from CSC blocks.
-pub fn gather_2d_csc<T: Scalar>(
+pub fn gather_2d_csc<T: Value>(
     blocks: &[Csc<T>],
     m: usize,
     n: usize,
@@ -95,7 +95,7 @@ pub fn gather_2d_csc<T: Scalar>(
     pc: usize,
 ) -> Csc<T> {
     let t: Vec<Triples<T>> = blocks.iter().map(|b| b.to_triples()).collect();
-    Csc::from_triples(&gather_2d(&t, m, n, pr, pc))
+    Csc::from_nodup_triples(&gather_2d(&t, m, n, pr, pc))
 }
 
 #[cfg(test)]

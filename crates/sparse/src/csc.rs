@@ -6,7 +6,7 @@
 //! are kept sorted by row index — several kernels (heap SpGEMM, two-way
 //! merges) rely on that invariant, and [`Csc::assert_valid`] checks it.
 
-use crate::scalar::Scalar;
+use crate::semiring::{PlusTimes, Semiring, Value};
 use crate::triples::Triples;
 use crate::util::is_strictly_increasing;
 use crate::Idx;
@@ -30,7 +30,7 @@ pub struct Csc<T> {
     pub vals: Vec<T>,
 }
 
-impl<T: Scalar> Csc<T> {
+impl<T: Value> Csc<T> {
     /// Creates an empty `nrows × ncols` matrix.
     pub fn zero(nrows: usize, ncols: usize) -> Self {
         Self {
@@ -42,14 +42,30 @@ impl<T: Scalar> Csc<T> {
         }
     }
 
-    /// Identity matrix of size `n`.
-    pub fn identity(n: usize) -> Self {
+    /// Same structure, values mapped through `f` — how a matrix moves
+    /// between semiring element types (e.g. weights → reachability bits).
+    /// Stored entries are preserved even if `f` maps them to the target
+    /// semiring's annihilator; follow with a merge or rebuild to drop
+    /// them.
+    pub fn map_values<U: Value>(&self, f: impl Fn(T) -> U) -> Csc<U> {
+        Csc {
+            nrows: self.nrows,
+            ncols: self.ncols,
+            colptr: self.colptr.clone(),
+            rowidx: self.rowidx.clone(),
+            vals: self.vals.iter().map(|&v| f(v)).collect(),
+        }
+    }
+
+    /// Identity matrix of size `n` in the given semiring: diagonal of
+    /// `S::ONE`, everything else absent (the annihilator).
+    pub fn identity_in<S: Semiring<Elem = T>>(_s: S, n: usize) -> Self {
         Self {
             nrows: n,
             ncols: n,
             colptr: (0..=n).collect(),
             rowidx: (0..n as Idx).collect(),
-            vals: vec![T::ONE; n],
+            vals: vec![S::ONE; n],
         }
     }
 
@@ -72,17 +88,27 @@ impl<T: Scalar> Csc<T> {
         m
     }
 
-    /// Converts from COO, collapsing duplicate entries with semiring
-    /// addition. `O(nnz + nrows + ncols)`.
-    pub fn from_triples(t: &Triples<T>) -> Self {
+    /// Converts from COO, collapsing duplicate entries with the given
+    /// semiring's addition. `O(nnz + nrows + ncols)`.
+    pub fn from_triples_in<S: Semiring<Elem = T>>(s: S, t: &Triples<T>) -> Self {
         let mut t = t.clone();
-        t.sum_duplicates();
+        t.sum_duplicates_in(s);
+        Self::from_sorted_dedup_triples(&t)
+    }
+
+    /// Converts from COO known to hold no duplicate coordinates (e.g.
+    /// re-blocked entries of an already-valid matrix). Sorts column-major
+    /// and builds structurally — no semiring needed since nothing can
+    /// collapse.
+    pub fn from_nodup_triples(t: &Triples<T>) -> Self {
+        let mut t = t.clone();
+        t.sort_column_major();
         Self::from_sorted_dedup_triples(&t)
     }
 
     /// Converts from COO that is already column-major sorted with no
     /// duplicate coordinates (e.g. the output of
-    /// [`Triples::sum_duplicates`]). Avoids the extra sort.
+    /// [`Triples::sum_duplicates_in`]). Avoids the extra sort.
     pub fn from_sorted_dedup_triples(t: &Triples<T>) -> Self {
         let mut colptr = vec![0usize; t.ncols() + 1];
         for &c in &t.cols {
@@ -185,7 +211,7 @@ impl<T: Scalar> Csc<T> {
         }
         let mut cursor = colptr.clone();
         let mut rowidx = vec![0 as Idx; self.nnz()];
-        let mut vals = vec![T::ZERO; self.nnz()];
+        let mut vals = vec![T::default(); self.nnz()];
         for j in 0..self.ncols {
             for k in self.colptr[j]..self.colptr[j + 1] {
                 let r = self.rowidx[k] as usize;
@@ -250,13 +276,13 @@ impl<T: Scalar> Csc<T> {
         }
     }
 
-    /// Removes stored entries equal to the additive identity.
-    pub fn drop_zeros(&mut self) {
+    /// Removes stored entries equal to the semiring's annihilator.
+    pub fn drop_zeros_in<S: Semiring<Elem = T>>(&mut self, _s: S) {
         let mut w = 0usize;
         let mut new_colptr = vec![0usize; self.ncols + 1];
         for j in 0..self.ncols {
             for k in self.colptr[j]..self.colptr[j + 1] {
-                if !self.vals[k].is_zero() {
+                if !S::is_annihilator(self.vals[k]) {
                     self.rowidx[w] = self.rowidx[k];
                     self.vals[w] = self.vals[k];
                     w += 1;
@@ -299,9 +325,9 @@ impl<T: Scalar> Csc<T> {
         }
     }
 
-    /// Elementwise (Hadamard) product restricted to the intersection of the
-    /// two nonzero patterns.
-    pub fn hadamard(&self, other: &Self) -> Self {
+    /// Elementwise (Hadamard) product in the given semiring, restricted to
+    /// the intersection of the two nonzero patterns.
+    pub fn hadamard_in<S: Semiring<Elem = T>>(&self, _s: S, other: &Self) -> Self {
         assert_eq!(self.nrows, other.nrows);
         assert_eq!(self.ncols, other.ncols);
         let mut t = Triples::new(self.nrows, self.ncols);
@@ -314,8 +340,8 @@ impl<T: Scalar> Csc<T> {
                     std::cmp::Ordering::Less => a += 1,
                     std::cmp::Ordering::Greater => b += 1,
                     std::cmp::Ordering::Equal => {
-                        let v = va[a].mul(vb[b]);
-                        if !v.is_zero() {
+                        let v = S::mul(va[a], vb[b]);
+                        if !S::is_annihilator(v) {
                             t.push(ra[a], j as Idx, v);
                         }
                         a += 1;
@@ -327,8 +353,8 @@ impl<T: Scalar> Csc<T> {
         Self::from_sorted_dedup_triples(&t)
     }
 
-    /// Elementwise sum over the union of the two nonzero patterns.
-    pub fn add_elementwise(&self, other: &Self) -> Self {
+    /// Elementwise semiring sum over the union of the two nonzero patterns.
+    pub fn add_elementwise_in<S: Semiring<Elem = T>>(&self, _s: S, other: &Self) -> Self {
         assert_eq!(self.nrows, other.nrows);
         assert_eq!(self.ncols, other.ncols);
         let mut t = Triples::with_capacity(self.nrows, self.ncols, self.nnz() + other.nnz());
@@ -340,8 +366,8 @@ impl<T: Scalar> Csc<T> {
                 let take_a = b >= rb.len() || (a < ra.len() && ra[a] < rb[b]);
                 let take_both = a < ra.len() && b < rb.len() && ra[a] == rb[b];
                 if take_both {
-                    let v = va[a].add(vb[b]);
-                    if !v.is_zero() {
+                    let v = S::add(va[a], vb[b]);
+                    if !S::is_annihilator(v) {
                         t.push(ra[a], j as Idx, v);
                     }
                     a += 1;
@@ -387,6 +413,38 @@ impl<T: Scalar> Csc<T> {
             }
         }
         worst
+    }
+}
+
+/// Plus-times shorthands for numeric element types — the MCL default.
+/// Each forwards to its `*_in` counterpart with [`PlusTimes`].
+impl<T: Value> Csc<T>
+where
+    PlusTimes<T>: Semiring<Elem = T>,
+{
+    /// Numeric identity matrix of size `n` (ones on the diagonal).
+    pub fn identity(n: usize) -> Self {
+        Self::identity_in(PlusTimes::new(), n)
+    }
+
+    /// Converts from COO, collapsing duplicates with numeric `+`.
+    pub fn from_triples(t: &Triples<T>) -> Self {
+        Self::from_triples_in(PlusTimes::new(), t)
+    }
+
+    /// Removes stored entries equal to numeric zero.
+    pub fn drop_zeros(&mut self) {
+        self.drop_zeros_in(PlusTimes::new());
+    }
+
+    /// Elementwise numeric product over the pattern intersection.
+    pub fn hadamard(&self, other: &Self) -> Self {
+        self.hadamard_in(PlusTimes::new(), other)
+    }
+
+    /// Elementwise numeric sum over the pattern union.
+    pub fn add_elementwise(&self, other: &Self) -> Self {
+        self.add_elementwise_in(PlusTimes::new(), other)
     }
 }
 

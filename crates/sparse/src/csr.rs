@@ -8,7 +8,7 @@
 //! kernels yields `C` in CSC with no conversion work.
 
 use crate::csc::Csc;
-use crate::scalar::Scalar;
+use crate::semiring::Value;
 use crate::util::is_strictly_increasing;
 use crate::Idx;
 
@@ -26,7 +26,7 @@ pub struct Csr<T> {
     pub vals: Vec<T>,
 }
 
-impl<T: Scalar> Csr<T> {
+impl<T: Value> Csr<T> {
     /// Creates an empty `nrows × ncols` matrix.
     pub fn zero(nrows: usize, ncols: usize) -> Self {
         Self {

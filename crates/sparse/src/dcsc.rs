@@ -13,7 +13,7 @@
 //! exactly that decompression/compression.
 
 use crate::csc::Csc;
-use crate::scalar::Scalar;
+use crate::semiring::Value;
 use crate::Idx;
 
 /// Sparse matrix in doubly compressed sparse column form.
@@ -37,7 +37,7 @@ pub struct Dcsc<T> {
     pub num: Vec<T>,
 }
 
-impl<T: Scalar> Dcsc<T> {
+impl<T: Value> Dcsc<T> {
     /// Empty matrix of the given dimensions.
     pub fn zero(nrows: usize, ncols: usize) -> Self {
         Self {

@@ -33,14 +33,14 @@ pub mod csr;
 pub mod dcsc;
 pub mod io;
 pub mod labels;
-pub mod scalar;
+pub mod semiring;
 pub mod triples;
 pub mod util;
 
 pub use csc::Csc;
 pub use csr::Csr;
 pub use dcsc::Dcsc;
-pub use scalar::Scalar;
+pub use semiring::{Boolean, MaxMin, MinPlus, PlusTimes, Semiring, Value};
 pub use triples::Triples;
 
 /// Row/column index type used by all sparse formats.

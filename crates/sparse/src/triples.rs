@@ -5,15 +5,16 @@
 //! products as lists of triples. Stored struct-of-arrays for cache-friendly
 //! bulk operations.
 
-use crate::scalar::Scalar;
+use crate::semiring::{PlusTimes, Semiring, Value};
 use crate::util::exclusive_prefix_sum;
 use crate::Idx;
 
 /// A sparse matrix in coordinate form: parallel arrays of `(row, col, val)`.
 ///
-/// Duplicates are allowed; [`Triples::sum_duplicates`] collapses them with
-/// semiring addition. Most consumers convert to [`crate::Csc`] via
-/// [`crate::Csc::from_triples`], which also tolerates duplicates.
+/// Duplicates are allowed; [`Triples::sum_duplicates_in`] collapses them
+/// with the given semiring's addition (the [`Triples::sum_duplicates`]
+/// shorthand picks plus-times). Most consumers convert to [`crate::Csc`]
+/// via [`crate::Csc::from_triples`], which also tolerates duplicates.
 #[derive(Clone, Debug, Default, PartialEq)]
 pub struct Triples<T> {
     nrows: usize,
@@ -26,7 +27,7 @@ pub struct Triples<T> {
     pub vals: Vec<T>,
 }
 
-impl<T: Scalar> Triples<T> {
+impl<T: Value> Triples<T> {
     /// Creates an empty matrix of the given dimensions.
     pub fn new(nrows: usize, ncols: usize) -> Self {
         Self {
@@ -123,10 +124,10 @@ impl<T: Scalar> Triples<T> {
         apply_perm(&by_col, &mut self.rows, &mut self.cols, &mut self.vals);
     }
 
-    /// Collapses duplicate `(row, col)` entries with semiring addition and
-    /// drops entries that accumulate to zero. Leaves the matrix sorted
-    /// column-major.
-    pub fn sum_duplicates(&mut self) {
+    /// Collapses duplicate `(row, col)` entries with the semiring's
+    /// addition and drops entries that accumulate to the annihilator.
+    /// Leaves the matrix sorted column-major.
+    pub fn sum_duplicates_in<S: Semiring<Elem = T>>(&mut self, _s: S) {
         self.sort_column_major();
         let n = self.nnz();
         if n == 0 {
@@ -135,7 +136,7 @@ impl<T: Scalar> Triples<T> {
         let mut w = 0usize; // write cursor
         for r in 0..n {
             if w > 0 && self.rows[w - 1] == self.rows[r] && self.cols[w - 1] == self.cols[r] {
-                self.vals[w - 1] = self.vals[w - 1].add(self.vals[r]);
+                self.vals[w - 1] = S::add(self.vals[w - 1], self.vals[r]);
             } else {
                 self.rows[w] = self.rows[r];
                 self.cols[w] = self.cols[r];
@@ -143,10 +144,10 @@ impl<T: Scalar> Triples<T> {
                 w += 1;
             }
         }
-        // Drop explicit zeros produced by cancellation.
+        // Drop explicit annihilators produced by cancellation.
         let mut k = 0usize;
         for i in 0..w {
-            if !self.vals[i].is_zero() {
+            if !S::is_annihilator(self.vals[i]) {
                 self.rows[k] = self.rows[i];
                 self.cols[k] = self.cols[i];
                 self.vals[k] = self.vals[i];
@@ -185,6 +186,17 @@ impl<T: Scalar> Triples<T> {
     /// Approximate heap footprint in bytes of the stored entries.
     pub fn bytes(&self) -> usize {
         self.nnz() * (2 * std::mem::size_of::<Idx>() + std::mem::size_of::<T>())
+    }
+}
+
+impl<T: Value> Triples<T>
+where
+    PlusTimes<T>: Semiring<Elem = T>,
+{
+    /// Shorthand for [`Triples::sum_duplicates_in`] with the numeric
+    /// plus-times semiring — the MCL default.
+    pub fn sum_duplicates(&mut self) {
+        self.sum_duplicates_in(PlusTimes::new());
     }
 }
 
@@ -258,6 +270,30 @@ mod tests {
         t.sum_duplicates();
         assert_eq!(t.nnz(), 1);
         assert_eq!(t.iter().next().unwrap(), (0, 0, 3.0));
+    }
+
+    #[test]
+    fn sum_duplicates_in_min_plus_takes_minimum() {
+        use crate::semiring::MinPlus;
+        let mut t = Triples::new(2, 2);
+        t.push(0, 0, 3.0);
+        t.push(0, 0, 1.5);
+        t.push(1, 0, f64::INFINITY); // explicit annihilator is dropped
+        t.sum_duplicates_in(MinPlus);
+        assert_eq!(t.nnz(), 1);
+        assert_eq!(t.iter().next().unwrap(), (0, 0, 1.5));
+    }
+
+    #[test]
+    fn sum_duplicates_in_boolean_ors() {
+        use crate::semiring::Boolean;
+        let mut t = Triples::new(2, 2);
+        t.push(0, 1, true);
+        t.push(0, 1, false);
+        t.push(1, 1, false);
+        t.sum_duplicates_in(Boolean);
+        assert_eq!(t.nnz(), 1);
+        assert_eq!(t.iter().next().unwrap(), (0, 1, true));
     }
 
     #[test]

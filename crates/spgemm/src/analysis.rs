@@ -5,7 +5,7 @@
 //! nnz(A_{*i})` counts the nontrivial multiply-adds; `cf` measures how much
 //! accumulation collapses them into output entries.
 
-use hipmcl_sparse::{Csc, Scalar};
+use hipmcl_sparse::{Csc, Value};
 use rayon::prelude::*;
 
 /// Number of nontrivial scalar multiplications in `A · B`.
@@ -13,7 +13,7 @@ use rayon::prelude::*;
 /// This is the exact arithmetic work of any Gustavson-style SpGEMM and is
 /// `O(nnz(B))` to compute — cheap enough to evaluate before every local
 /// multiplication for kernel selection.
-pub fn flops<T: Scalar, U: Scalar>(a: &Csc<T>, b: &Csc<U>) -> u64 {
+pub fn flops<T: Value, U: Value>(a: &Csc<T>, b: &Csc<U>) -> u64 {
     assert_eq!(a.ncols(), b.nrows(), "inner dimensions must agree");
     let col_nnz_a: Vec<u64> = (0..a.ncols()).map(|k| a.col_nnz(k) as u64).collect();
     (0..b.ncols())
@@ -28,7 +28,7 @@ pub fn flops<T: Scalar, U: Scalar>(a: &Csc<T>, b: &Csc<U>) -> u64 {
 }
 
 /// Per-output-column `flops`, used to size hash tables and to split phases.
-pub fn flops_per_column<T: Scalar, U: Scalar>(a: &Csc<T>, b: &Csc<U>) -> Vec<u64> {
+pub fn flops_per_column<T: Value, U: Value>(a: &Csc<T>, b: &Csc<U>) -> Vec<u64> {
     assert_eq!(a.ncols(), b.nrows(), "inner dimensions must agree");
     let col_nnz_a: Vec<u64> = (0..a.ncols()).map(|k| a.col_nnz(k) as u64).collect();
     (0..b.ncols())
@@ -70,7 +70,7 @@ impl MultAnalysis {
 
 /// Upper bound on `nnz(A·B)`: `min(flops, nrows(A) · ncols(B))`. Used when
 /// neither an exact symbolic pass nor a probabilistic estimate is available.
-pub fn nnz_upper_bound<T: Scalar, U: Scalar>(a: &Csc<T>, b: &Csc<U>) -> u64 {
+pub fn nnz_upper_bound<T: Value, U: Value>(a: &Csc<T>, b: &Csc<U>) -> u64 {
     let f = flops(a, b);
     f.min(a.nrows() as u64 * b.ncols() as u64)
 }

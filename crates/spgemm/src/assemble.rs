@@ -6,7 +6,7 @@
 //! allocation or copying.
 
 use hipmcl_sparse::csc::counts_to_colptr;
-use hipmcl_sparse::{Csc, Idx, Scalar};
+use hipmcl_sparse::{Csc, Idx, Value};
 use rayon::prelude::*;
 
 /// Builds a CSC matrix by filling each column's slice in parallel.
@@ -16,14 +16,14 @@ use rayon::prelude::*;
 /// `counts[j]`) and must write all of them, with strictly increasing rows.
 pub fn build_csc_parallel<T, F>(nrows: usize, ncols: usize, counts: &[usize], fill: F) -> Csc<T>
 where
-    T: Scalar,
+    T: Value,
     F: Fn(usize, &mut [Idx], &mut [T]) + Sync,
 {
     debug_assert_eq!(counts.len(), ncols);
     let colptr = counts_to_colptr(counts);
     let nnz = colptr[ncols];
     let mut rowidx = vec![0 as Idx; nnz];
-    let mut vals = vec![T::ZERO; nnz];
+    let mut vals = vec![T::default(); nnz];
 
     // Split the flat arrays into disjoint per-column chunks. `split_at_mut`
     // in a fold keeps this entirely safe.
@@ -51,7 +51,7 @@ pub fn build_csc_parallel_scratch<T, S, F>(
     fill: F,
 ) -> Csc<T>
 where
-    T: Scalar,
+    T: Value,
     S: Clone + Send,
     F: Fn(&mut S, usize, &mut [Idx], &mut [T]) + Sync + Send,
 {
@@ -59,7 +59,7 @@ where
     let colptr = counts_to_colptr(counts);
     let nnz = colptr[ncols];
     let mut rowidx = vec![0 as Idx; nnz];
-    let mut vals = vec![T::ZERO; nnz];
+    let mut vals = vec![T::default(); nnz];
 
     let row_chunks = split_by_colptr(&mut rowidx, &colptr);
     let val_chunks = split_by_colptr(&mut vals, &colptr);

@@ -15,7 +15,7 @@
 //! Both propagation steps are column-parallel; per-vertex key blocks are
 //! contiguous so the inner min-loops vectorize.
 
-use hipmcl_sparse::{Csc, Scalar};
+use hipmcl_sparse::{Csc, Value};
 use rand::SeedableRng;
 use rand_distr::{Distribution, Exp1};
 use rayon::prelude::*;
@@ -62,7 +62,7 @@ impl CohenEstimator {
     /// (`r` per row), produces keys on the columns of `m`
     /// (`key_col[j][t] = min over rows i ∈ m_{*j} of key_row[i][t]`).
     /// Columns with no nonzeros get `+∞` keys (empty reachability).
-    pub fn propagate<T: Scalar>(&self, m: &Csc<T>, row_keys: &[f32]) -> Vec<f32> {
+    pub fn propagate<T: Value>(&self, m: &Csc<T>, row_keys: &[f32]) -> Vec<f32> {
         assert_eq!(row_keys.len(), m.nrows() * self.r);
         let r = self.r;
         (0..m.ncols())
@@ -108,7 +108,7 @@ impl CohenEstimator {
     /// Estimates `nnz(A·B)` per output column. The full pipeline:
     /// draw keys on rows of `A` → propagate through `A` → propagate
     /// through `B` → estimate.
-    pub fn estimate_columns<T: Scalar>(&self, a: &Csc<T>, b: &Csc<T>) -> Vec<f64> {
+    pub fn estimate_columns<T: Value>(&self, a: &Csc<T>, b: &Csc<T>) -> Vec<f64> {
         assert_eq!(a.ncols(), b.nrows(), "inner dimensions must agree");
         let row_keys = self.draw_keys(a.nrows());
         let mid_keys = self.propagate(a, &row_keys);
@@ -117,13 +117,13 @@ impl CohenEstimator {
     }
 
     /// Estimates total `nnz(A·B)`.
-    pub fn estimate_total<T: Scalar>(&self, a: &Csc<T>, b: &Csc<T>) -> f64 {
+    pub fn estimate_total<T: Value>(&self, a: &Csc<T>, b: &Csc<T>) -> f64 {
         self.estimate_columns(a, b).iter().sum()
     }
 
     /// Number of scalar operations the estimator performs — the paper's
     /// `O(r · (nnz A + nnz B))` cost used by the machine model.
-    pub fn op_count<T: Scalar>(&self, a: &Csc<T>, b: &Csc<T>) -> u64 {
+    pub fn op_count<T: Value>(&self, a: &Csc<T>, b: &Csc<T>) -> u64 {
         self.r as u64 * (a.nnz() as u64 + b.nnz() as u64)
     }
 }

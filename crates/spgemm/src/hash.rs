@@ -12,7 +12,7 @@
 
 use crate::analysis::flops_per_column;
 use crate::assemble::build_csc_parallel_scratch;
-use hipmcl_sparse::{Csc, Idx, Scalar};
+use hipmcl_sparse::{Csc, Idx, PlusTimes, Semiring, Value};
 use rayon::prelude::*;
 
 const EMPTY: Idx = Idx::MAX;
@@ -27,7 +27,7 @@ pub(crate) struct HashScratch<T> {
     mask: usize,
 }
 
-impl<T: Scalar> HashScratch<T> {
+impl<T: Value> HashScratch<T> {
     pub(crate) fn new() -> Self {
         Self {
             keys: Vec::new(),
@@ -42,7 +42,9 @@ impl<T: Scalar> HashScratch<T> {
         let want = (2 * n.max(1)).next_power_of_two();
         if self.keys.len() < want {
             self.keys = vec![EMPTY; want];
-            self.vals = vec![T::ZERO; want];
+            // Placeholder only: every slot's value is overwritten on first
+            // touch, so no semiring identity is needed here.
+            self.vals = vec![T::default(); want];
             self.mask = want - 1;
         }
     }
@@ -53,14 +55,15 @@ impl<T: Scalar> HashScratch<T> {
         ((key as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 32) as usize & self.mask
     }
 
-    /// Accumulates `val` into `key`'s slot, inserting on first touch.
+    /// Accumulates `val` into `key`'s slot with the semiring's addition,
+    /// inserting on first touch.
     #[inline]
-    pub(crate) fn upsert(&mut self, key: Idx, val: T) {
+    pub(crate) fn upsert<S: Semiring<Elem = T>>(&mut self, _sr: S, key: Idx, val: T) {
         let mut s = self.slot_of(key);
         loop {
             let k = self.keys[s];
             if k == key {
-                self.vals[s] = self.vals[s].add(val);
+                self.vals[s] = S::add(self.vals[s], val);
                 return;
             }
             if k == EMPTY {
@@ -122,23 +125,37 @@ impl<T: Scalar> HashScratch<T> {
     }
 }
 
-/// Multiplies `C = A · B` with hash accumulation (two-phase: symbolic
-/// column counts, then numeric fill with per-worker reused tables).
-pub fn multiply<T: Scalar>(a: &Csc<T>, b: &Csc<T>) -> Csc<T> {
+/// Multiplies `C = A · B` with hash accumulation in the given semiring
+/// (two-phase: symbolic column counts, then numeric fill with per-worker
+/// reused tables).
+pub fn multiply_in<S: Semiring>(s: S, a: &Csc<S::Elem>, b: &Csc<S::Elem>) -> Csc<S::Elem> {
     let fpc = flops_per_column(a, b);
-    multiply_with_flops(a, b, &fpc)
+    multiply_with_flops_in(s, a, b, &fpc)
 }
 
-/// [`multiply`] when the per-column flops are already known (the SUMMA
+/// [`multiply_in`] with the numeric plus-times semiring — MCL's default.
+pub fn multiply<T: Value>(a: &Csc<T>, b: &Csc<T>) -> Csc<T>
+where
+    PlusTimes<T>: Semiring<Elem = T>,
+{
+    multiply_in(PlusTimes::new(), a, b)
+}
+
+/// [`multiply_in`] when the per-column flops are already known (the SUMMA
 /// layer computes them once for estimation and reuses them here).
-pub fn multiply_with_flops<T: Scalar>(a: &Csc<T>, b: &Csc<T>, fpc: &[u64]) -> Csc<T> {
+pub fn multiply_with_flops_in<S: Semiring>(
+    sr: S,
+    a: &Csc<S::Elem>,
+    b: &Csc<S::Elem>,
+    fpc: &[u64],
+) -> Csc<S::Elem> {
     assert_eq!(a.ncols(), b.nrows(), "inner dimensions must agree");
     assert_eq!(fpc.len(), b.ncols());
 
     // Symbolic: exact output count per column.
     let counts: Vec<usize> = (0..b.ncols())
         .into_par_iter()
-        .map_with(HashScratch::<T>::new(), |scratch, j| {
+        .map_with(HashScratch::<S::Elem>::new(), |scratch, j| {
             symbolic_column(a, b, j, fpc[j] as usize, scratch)
         })
         .collect();
@@ -147,7 +164,7 @@ pub fn multiply_with_flops<T: Scalar>(a: &Csc<T>, b: &Csc<T>, fpc: &[u64]) -> Cs
         a.nrows(),
         b.ncols(),
         &counts,
-        HashScratch::<T>::new(),
+        HashScratch::<S::Elem>::new(),
         |scratch, j, rows_out, vals_out| {
             scratch.reserve(fpc[j] as usize);
             for (l, &k) in b.col_rows(j).iter().enumerate() {
@@ -155,7 +172,7 @@ pub fn multiply_with_flops<T: Scalar>(a: &Csc<T>, b: &Csc<T>, fpc: &[u64]) -> Cs
                 let k = k as usize;
                 let (ar, av) = (a.col_rows(k), a.col_vals(k));
                 for (idx, &r) in ar.iter().enumerate() {
-                    scratch.upsert(r, av[idx].mul(bv));
+                    scratch.upsert(sr, r, S::mul(av[idx], bv));
                 }
             }
             scratch.drain_sorted_into(rows_out, vals_out);
@@ -163,8 +180,16 @@ pub fn multiply_with_flops<T: Scalar>(a: &Csc<T>, b: &Csc<T>, fpc: &[u64]) -> Cs
     )
 }
 
+/// [`multiply_with_flops_in`] with the plus-times semiring.
+pub fn multiply_with_flops<T: Value>(a: &Csc<T>, b: &Csc<T>, fpc: &[u64]) -> Csc<T>
+where
+    PlusTimes<T>: Semiring<Elem = T>,
+{
+    multiply_with_flops_in(PlusTimes::new(), a, b, fpc)
+}
+
 /// Exact `nnz(C_{*j})` via key insertion; leaves the scratch reset.
-fn symbolic_column<T: Scalar>(
+fn symbolic_column<T: Value>(
     a: &Csc<T>,
     b: &Csc<T>,
     j: usize,
@@ -184,7 +209,7 @@ fn symbolic_column<T: Scalar>(
 
 /// Exact per-column output counts (the "symbolic SpGEMM" of the paper's
 /// exact memory estimator). Shares the kernel with [`multiply`].
-pub fn symbolic_counts<T: Scalar>(a: &Csc<T>, b: &Csc<T>) -> Vec<usize> {
+pub fn symbolic_counts<T: Value>(a: &Csc<T>, b: &Csc<T>) -> Vec<usize> {
     assert_eq!(a.ncols(), b.nrows(), "inner dimensions must agree");
     let fpc = flops_per_column(a, b);
     (0..b.ncols())
@@ -204,9 +229,9 @@ mod tests {
     fn scratch_upsert_accumulates() {
         let mut s = HashScratch::<f64>::new();
         s.reserve(4);
-        s.upsert(7, 1.0);
-        s.upsert(3, 2.0);
-        s.upsert(7, 0.5);
+        s.upsert(PlusTimes::<f64>::new(), 7, 1.0);
+        s.upsert(PlusTimes::<f64>::new(), 3, 2.0);
+        s.upsert(PlusTimes::<f64>::new(), 7, 0.5);
         assert_eq!(s.len(), 2);
         let mut rows = vec![0; 2];
         let mut vals = vec![0.0; 2];
@@ -231,7 +256,7 @@ mod tests {
         let mut s = HashScratch::<f64>::new();
         s.reserve(2); // tiny table, forced probing
         for k in 0..4u32 {
-            s.upsert(k, k as f64);
+            s.upsert(PlusTimes::<f64>::new(), k, k as f64);
         }
         assert_eq!(s.len(), 4);
     }

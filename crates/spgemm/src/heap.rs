@@ -10,7 +10,7 @@
 //! which is what §VI replaces with hash accumulation.
 
 use crate::assemble::build_csc_parallel;
-use hipmcl_sparse::{Csc, Idx, Scalar};
+use hipmcl_sparse::{Csc, Idx, PlusTimes, Semiring, Value};
 use rayon::prelude::*;
 
 /// One merge cursor: the current head of a scaled column of `A`.
@@ -34,8 +34,9 @@ impl PartialOrd for Cursor {
     }
 }
 
-/// Multiplies `C = A · B` with heap accumulation, column-parallel.
-pub fn multiply<T: Scalar>(a: &Csc<T>, b: &Csc<T>) -> Csc<T> {
+/// Multiplies `C = A · B` with heap accumulation in the given semiring,
+/// column-parallel.
+pub fn multiply_in<S: Semiring>(s: S, a: &Csc<S::Elem>, b: &Csc<S::Elem>) -> Csc<S::Elem> {
     assert_eq!(a.ncols(), b.nrows(), "inner dimensions must agree");
 
     // Pass 1: exact per-column output sizes via a structure-only merge.
@@ -44,12 +45,12 @@ pub fn multiply<T: Scalar>(a: &Csc<T>, b: &Csc<T>) -> Csc<T> {
     // matching what CombBLAS does for its local multiply.)
     let counts: Vec<usize> = (0..b.ncols())
         .into_par_iter()
-        .map(|j| merge_column(a, b, j, |_r, _v: T| {}))
+        .map(|j| merge_column(s, a, b, j, |_r, _v| {}))
         .collect();
 
     build_csc_parallel(a.nrows(), b.ncols(), &counts, |j, rows_out, vals_out| {
         let mut w = 0usize;
-        merge_column(a, b, j, |r, v| {
+        merge_column(s, a, b, j, |r, v| {
             rows_out[w] = r;
             vals_out[w] = v;
             w += 1;
@@ -58,14 +59,23 @@ pub fn multiply<T: Scalar>(a: &Csc<T>, b: &Csc<T>) -> Csc<T> {
     })
 }
 
+/// [`multiply_in`] with the numeric plus-times semiring — MCL's default.
+pub fn multiply<T: Value>(a: &Csc<T>, b: &Csc<T>) -> Csc<T>
+where
+    PlusTimes<T>: Semiring<Elem = T>,
+{
+    multiply_in(PlusTimes::new(), a, b)
+}
+
 /// Heap-merges the scaled A-columns selected by `B_{*j}`, invoking `emit`
 /// once per distinct output row (in increasing row order) with the
 /// accumulated value. Returns the number of emitted entries.
-fn merge_column<T: Scalar>(
-    a: &Csc<T>,
-    b: &Csc<T>,
+fn merge_column<S: Semiring>(
+    _s: S,
+    a: &Csc<S::Elem>,
+    b: &Csc<S::Elem>,
     j: usize,
-    mut emit: impl FnMut(Idx, T),
+    mut emit: impl FnMut(Idx, S::Elem),
 ) -> usize {
     let bk = b.col_rows(j);
     let bv = b.col_vals(j);
@@ -88,14 +98,14 @@ fn merge_column<T: Scalar>(
 
     let mut count = 0usize;
     let mut cur_row: Option<Idx> = None;
-    let mut acc = T::ZERO;
+    let mut acc = S::ZERO;
     while let Some(Cursor { row, list }) = heap.pop() {
         let l = list as usize;
         let k = bk[l] as usize;
         let pos = positions[l];
-        let contrib = a.col_vals(k)[pos].mul(bv[l]);
+        let contrib = S::mul(a.col_vals(k)[pos], bv[l]);
         match cur_row {
-            Some(r) if r == row => acc = acc.add(contrib),
+            Some(r) if r == row => acc = S::add(acc, contrib),
             Some(r) => {
                 emit(r, acc);
                 count += 1;

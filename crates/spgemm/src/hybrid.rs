@@ -11,7 +11,7 @@
 //! `hipmcl-gpu::select`, layered on top of this.
 
 use crate::analysis::MultAnalysis;
-use hipmcl_sparse::{Csc, Scalar};
+use hipmcl_sparse::{Csc, PlusTimes, Semiring, Value};
 
 /// CPU-side SpGEMM kernels available to the selector.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -34,13 +34,26 @@ impl CpuAlgo {
         }
     }
 
-    /// Runs the selected kernel.
-    pub fn multiply<T: Scalar>(self, a: &Csc<T>, b: &Csc<T>) -> Csc<T> {
+    /// Runs the selected kernel in the given semiring.
+    pub fn multiply_in<S: Semiring>(
+        self,
+        s: S,
+        a: &Csc<S::Elem>,
+        b: &Csc<S::Elem>,
+    ) -> Csc<S::Elem> {
         match self {
-            CpuAlgo::Heap => crate::heap::multiply(a, b),
-            CpuAlgo::Hash => crate::hash::multiply(a, b),
-            CpuAlgo::Spa => crate::spa::multiply(a, b),
+            CpuAlgo::Heap => crate::heap::multiply_in(s, a, b),
+            CpuAlgo::Hash => crate::hash::multiply_in(s, a, b),
+            CpuAlgo::Spa => crate::spa::multiply_in(s, a, b),
         }
+    }
+
+    /// Runs the selected kernel with the plus-times semiring.
+    pub fn multiply<T: Value>(self, a: &Csc<T>, b: &Csc<T>) -> Csc<T>
+    where
+        PlusTimes<T>: Semiring<Elem = T>,
+    {
+        self.multiply_in(PlusTimes::new(), a, b)
     }
 
     /// Runs the kernel and reports the realized compression factor
@@ -52,8 +65,22 @@ impl CpuAlgo {
     /// is effectively infinite, reported as `flops` itself (the largest
     /// finite value the ratio could have taken at `nnz = 1`) so the value
     /// stays usable in the rate models' denominators.
-    pub fn multiply_measured<T: Scalar>(self, a: &Csc<T>, b: &Csc<T>, flops: u64) -> (Csc<T>, f64) {
-        let c = self.multiply(a, b);
+    pub fn multiply_measured<T: Value>(self, a: &Csc<T>, b: &Csc<T>, flops: u64) -> (Csc<T>, f64)
+    where
+        PlusTimes<T>: Semiring<Elem = T>,
+    {
+        self.multiply_measured_in(PlusTimes::new(), a, b, flops)
+    }
+
+    /// [`CpuAlgo::multiply_measured`] in an arbitrary semiring.
+    pub fn multiply_measured_in<S: Semiring>(
+        self,
+        s: S,
+        a: &Csc<S::Elem>,
+        b: &Csc<S::Elem>,
+        flops: u64,
+    ) -> (Csc<S::Elem>, f64) {
+        let c = self.multiply_in(s, a, b);
         let cf = match (c.nnz(), flops) {
             (0, 0) => 1.0,
             (0, f) => f as f64,
@@ -82,13 +109,26 @@ pub fn select_cpu(analysis: &MultAnalysis) -> CpuAlgo {
 }
 
 /// Analyses `A·B` (exact symbolic count) and multiplies with the selected
-/// kernel. Returns the product and the analysis for instrumentation.
-pub fn multiply_auto<T: Scalar>(a: &Csc<T>, b: &Csc<T>) -> (Csc<T>, MultAnalysis, CpuAlgo) {
+/// kernel in the given semiring. Returns the product and the analysis for
+/// instrumentation.
+pub fn multiply_auto_in<S: Semiring>(
+    s: S,
+    a: &Csc<S::Elem>,
+    b: &Csc<S::Elem>,
+) -> (Csc<S::Elem>, MultAnalysis, CpuAlgo) {
     let flops = crate::analysis::flops(a, b);
     let nnz_out = crate::symbolic::output_nnz(a, b);
     let analysis = MultAnalysis { flops, nnz_out };
     let algo = select_cpu(&analysis);
-    (algo.multiply(a, b), analysis, algo)
+    (algo.multiply_in(s, a, b), analysis, algo)
+}
+
+/// [`multiply_auto_in`] with the plus-times semiring.
+pub fn multiply_auto<T: Value>(a: &Csc<T>, b: &Csc<T>) -> (Csc<T>, MultAnalysis, CpuAlgo)
+where
+    PlusTimes<T>: Semiring<Elem = T>,
+{
+    multiply_auto_in(PlusTimes::new(), a, b)
 }
 
 #[cfg(test)]

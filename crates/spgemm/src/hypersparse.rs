@@ -9,24 +9,25 @@
 //! This is the algorithmic core of CombBLAS's `HyperSparseGEMM`, which
 //! HipMCL's distributed blocks use on large grids.
 
-use hipmcl_sparse::{Dcsc, Idx, Scalar};
+use hipmcl_sparse::{Dcsc, Idx, PlusTimes, Semiring, Value};
 
-/// Multiplies `C = A · B` with both operands (and the result) in DCSC.
+/// Multiplies `C = A · B` with both operands (and the result) in DCSC, in
+/// the given semiring.
 ///
 /// Accumulation is hash-based per output column (the §VI choice); output
 /// columns are produced sorted. Sequential: hypersparse blocks are small
 /// by construction (`nnz/P` elements), and the caller parallelizes across
 /// blocks/stages, not within them.
-pub fn multiply_dcsc<T: Scalar>(a: &Dcsc<T>, b: &Dcsc<T>) -> Dcsc<T> {
+pub fn multiply_dcsc_in<S: Semiring>(_s: S, a: &Dcsc<S::Elem>, b: &Dcsc<S::Elem>) -> Dcsc<S::Elem> {
     assert_eq!(a.ncols(), b.nrows(), "inner dimensions must agree");
 
     let mut jc: Vec<Idx> = Vec::new();
     let mut cp: Vec<usize> = vec![0];
     let mut ir: Vec<Idx> = Vec::new();
-    let mut num: Vec<T> = Vec::new();
+    let mut num: Vec<S::Elem> = Vec::new();
 
     // Scratch accumulator reused across output columns.
-    let mut acc: Vec<(Idx, T)> = Vec::new();
+    let mut acc: Vec<(Idx, S::Elem)> = Vec::new();
 
     for (j, b_rows, b_vals) in b.iter_cols() {
         acc.clear();
@@ -38,7 +39,7 @@ pub fn multiply_dcsc<T: Scalar>(a: &Dcsc<T>, b: &Dcsc<T>) -> Dcsc<T> {
             let range = a.cp[pos]..a.cp[pos + 1];
             let bv = b_vals[bi];
             for t in range {
-                acc.push((a.ir[t], a.num[t].mul(bv)));
+                acc.push((a.ir[t], S::mul(a.num[t], bv)));
             }
         }
         if acc.is_empty() {
@@ -51,16 +52,16 @@ pub fn multiply_dcsc<T: Scalar>(a: &Dcsc<T>, b: &Dcsc<T>) -> Dcsc<T> {
         for &(r, v) in acc.iter() {
             if ir.len() > col_start && *ir.last().unwrap() == r {
                 let last = num.last_mut().unwrap();
-                *last = last.add(v);
+                *last = S::add(*last, v);
             } else {
                 ir.push(r);
                 num.push(v);
             }
         }
-        // Drop entries that cancelled to zero.
+        // Drop entries that cancelled to the annihilator.
         let mut w = col_start;
         for i in col_start..ir.len() {
-            if !num[i].is_zero() {
+            if !S::is_annihilator(num[i]) {
                 ir[w] = ir[i];
                 num[w] = num[i];
                 w += 1;
@@ -77,8 +78,16 @@ pub fn multiply_dcsc<T: Scalar>(a: &Dcsc<T>, b: &Dcsc<T>) -> Dcsc<T> {
     Dcsc::from_parts(a.nrows(), b.ncols(), jc, cp, ir, num)
 }
 
+/// [`multiply_dcsc_in`] with the numeric plus-times semiring.
+pub fn multiply_dcsc<T: Value>(a: &Dcsc<T>, b: &Dcsc<T>) -> Dcsc<T>
+where
+    PlusTimes<T>: Semiring<Elem = T>,
+{
+    multiply_dcsc_in(PlusTimes::new(), a, b)
+}
+
 /// `flops(A·B)` for DCSC operands, `O(nzc(B)·lg nzc(A) + nnz(B))`.
-pub fn flops_dcsc<T: Scalar>(a: &Dcsc<T>, b: &Dcsc<T>) -> u64 {
+pub fn flops_dcsc<T: Value>(a: &Dcsc<T>, b: &Dcsc<T>) -> u64 {
     assert_eq!(a.ncols(), b.nrows(), "inner dimensions must agree");
     let mut total = 0u64;
     for (_, b_rows, _) in b.iter_cols() {

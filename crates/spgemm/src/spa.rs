@@ -10,7 +10,7 @@
 //! the third candidate accumulator for the selection benchmarks.
 
 use crate::assemble::build_csc_parallel_scratch;
-use hipmcl_sparse::{Csc, Idx, Scalar};
+use hipmcl_sparse::{Csc, Idx, PlusTimes, Semiring, Value};
 use rayon::prelude::*;
 
 /// Dense accumulator with generation marking, reused across columns.
@@ -22,10 +22,11 @@ struct SpaScratch<T> {
     rows: Vec<Idx>,
 }
 
-impl<T: Scalar> SpaScratch<T> {
+impl<T: Value> SpaScratch<T> {
     fn new(nrows: usize) -> Self {
         Self {
-            vals: vec![T::ZERO; nrows],
+            // Placeholder only: slots are written before first read.
+            vals: vec![T::default(); nrows],
             stamp: vec![0; nrows],
             gen: 0,
             rows: Vec::new(),
@@ -44,10 +45,10 @@ impl<T: Scalar> SpaScratch<T> {
     }
 
     #[inline]
-    fn accumulate(&mut self, r: Idx, v: T) {
+    fn accumulate<S: Semiring<Elem = T>>(&mut self, _s: S, r: Idx, v: T) {
         let ri = r as usize;
         if self.stamp[ri] == self.gen {
-            self.vals[ri] = self.vals[ri].add(v);
+            self.vals[ri] = S::add(self.vals[ri], v);
         } else {
             self.stamp[ri] = self.gen;
             self.vals[ri] = v;
@@ -56,14 +57,15 @@ impl<T: Scalar> SpaScratch<T> {
     }
 }
 
-/// Multiplies `C = A · B` with a dense sparse accumulator per worker.
-pub fn multiply<T: Scalar>(a: &Csc<T>, b: &Csc<T>) -> Csc<T> {
+/// Multiplies `C = A · B` with a dense sparse accumulator per worker, in
+/// the given semiring.
+pub fn multiply_in<S: Semiring>(sr: S, a: &Csc<S::Elem>, b: &Csc<S::Elem>) -> Csc<S::Elem> {
     assert_eq!(a.ncols(), b.nrows(), "inner dimensions must agree");
 
     // Symbolic pass: count distinct rows per output column.
     let counts: Vec<usize> = (0..b.ncols())
         .into_par_iter()
-        .map_with(SpaScratch::<T>::new(a.nrows()), |s, j| {
+        .map_with(SpaScratch::<S::Elem>::new(a.nrows()), |s, j| {
             s.begin_column();
             for &k in b.col_rows(j) {
                 for &r in a.col_rows(k as usize) {
@@ -81,7 +83,7 @@ pub fn multiply<T: Scalar>(a: &Csc<T>, b: &Csc<T>) -> Csc<T> {
         a.nrows(),
         b.ncols(),
         &counts,
-        SpaScratch::<T>::new(a.nrows()),
+        SpaScratch::<S::Elem>::new(a.nrows()),
         |s, j, rows_out, vals_out| {
             s.begin_column();
             for (l, &k) in b.col_rows(j).iter().enumerate() {
@@ -89,7 +91,7 @@ pub fn multiply<T: Scalar>(a: &Csc<T>, b: &Csc<T>) -> Csc<T> {
                 let k = k as usize;
                 let (ar, av) = (a.col_rows(k), a.col_vals(k));
                 for (idx, &r) in ar.iter().enumerate() {
-                    s.accumulate(r, av[idx].mul(bv));
+                    s.accumulate(sr, r, S::mul(av[idx], bv));
                 }
             }
             s.rows.sort_unstable();
@@ -99,6 +101,14 @@ pub fn multiply<T: Scalar>(a: &Csc<T>, b: &Csc<T>) -> Csc<T> {
             }
         },
     )
+}
+
+/// [`multiply_in`] with the numeric plus-times semiring — MCL's default.
+pub fn multiply<T: Value>(a: &Csc<T>, b: &Csc<T>) -> Csc<T>
+where
+    PlusTimes<T>: Semiring<Elem = T>,
+{
+    multiply_in(PlusTimes::new(), a, b)
 }
 
 #[cfg(test)]
@@ -135,11 +145,11 @@ mod tests {
         let mut s = SpaScratch::<f64>::new(4);
         s.gen = u32::MAX - 1;
         s.begin_column(); // gen = MAX
-        s.accumulate(2, 1.0);
+        s.accumulate(PlusTimes::<f64>::new(), 2, 1.0);
         assert_eq!(s.rows, vec![2]);
         s.begin_column(); // wraps to 1 after clearing stamps
         assert_eq!(s.gen, 1);
-        s.accumulate(2, 5.0);
+        s.accumulate(PlusTimes::<f64>::new(), 2, 5.0);
         assert_eq!(s.vals[2], 5.0, "stale stamp must not leak");
     }
 

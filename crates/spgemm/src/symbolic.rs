@@ -6,21 +6,21 @@
 //! work — which is why the paper replaces it with Cohen's probabilistic
 //! estimator for high-`cf` iterations and keeps it only when `cf` is small.
 
-use hipmcl_sparse::{Csc, Scalar};
+use hipmcl_sparse::{Csc, Value};
 
 /// Exact `nnz(A·B)` per output column. Hash-based, `O(flops)` total.
-pub fn output_counts<T: Scalar>(a: &Csc<T>, b: &Csc<T>) -> Vec<usize> {
+pub fn output_counts<T: Value>(a: &Csc<T>, b: &Csc<T>) -> Vec<usize> {
     crate::hash::symbolic_counts(a, b)
 }
 
 /// Exact `nnz(A·B)`.
-pub fn output_nnz<T: Scalar>(a: &Csc<T>, b: &Csc<T>) -> u64 {
+pub fn output_nnz<T: Value>(a: &Csc<T>, b: &Csc<T>) -> u64 {
     output_counts(a, b).iter().map(|&c| c as u64).sum()
 }
 
 /// Bytes needed to hold `A·B` in CSC with `f64` values — the quantity the
 /// phase planner compares against per-process available memory.
-pub fn output_bytes<T: Scalar>(a: &Csc<T>, b: &Csc<T>) -> u64 {
+pub fn output_bytes<T: Value>(a: &Csc<T>, b: &Csc<T>) -> u64 {
     let nnz = output_nnz(a, b);
     csc_bytes(nnz, b.ncols() as u64)
 }

@@ -11,36 +11,48 @@ use hipmcl_comm::collectives::{allreduce, gather};
 use hipmcl_comm::ProcGrid;
 use hipmcl_sparse::convert::{gather_2d, split_2d};
 use hipmcl_sparse::util::even_chunk;
-use hipmcl_sparse::{Csc, Dcsc, Triples};
+use hipmcl_sparse::{Csc, Dcsc, PlusTimes, Semiring, Triples, Value};
 
 /// One rank's block of a 2D-distributed sparse matrix.
+///
+/// Generic over the element type; `DistMatrix` with no parameter remains
+/// the plus-times `f64` matrix the MCL driver works with.
 #[derive(Clone, Debug, PartialEq)]
-pub struct DistMatrix {
+pub struct DistMatrix<T: Value = f64> {
     /// The local block, in local indices.
-    pub local: Csc<f64>,
+    pub local: Csc<T>,
     /// Global row count.
     pub nrows_global: usize,
     /// Global column count.
     pub ncols_global: usize,
 }
 
-impl DistMatrix {
+impl<T: Value> DistMatrix<T> {
     /// Builds this rank's block from a globally replicated matrix. Every
     /// rank calls this with the *same* `global` (e.g. generated from a
-    /// shared seed); no communication happens.
-    pub fn from_global(grid: &ProcGrid, global: &Triples<f64>) -> Self {
+    /// shared seed); no communication happens. Duplicate triples are
+    /// combined with the semiring's `⊕`.
+    pub fn from_global_in<S: Semiring<Elem = T>>(
+        s: S,
+        grid: &ProcGrid,
+        global: &Triples<T>,
+    ) -> Self {
         let blocks = split_2d(global, grid.side, grid.side);
         let mine = &blocks[grid.row * grid.side + grid.col];
         Self {
-            local: Csc::from_triples(mine),
+            local: Csc::from_triples_in(s, mine),
             nrows_global: global.nrows(),
             ncols_global: global.ncols(),
         }
     }
 
     /// Scatter-based construction: rank 0 holds the global matrix and
-    /// sends each rank its block (collective).
-    pub fn scatter_from_root(grid: &ProcGrid, global: Option<&Triples<f64>>) -> Self {
+    /// sends each rank its block (collective). Duplicates combine with `⊕`.
+    pub fn scatter_from_root_in<S: Semiring<Elem = T>>(
+        s: S,
+        grid: &ProcGrid,
+        global: Option<&Triples<T>>,
+    ) -> Self {
         let comm = &grid.world;
         const TAG: u64 = 0x5CA7;
         if comm.rank() == 0 {
@@ -50,14 +62,14 @@ impl DistMatrix {
                 comm.send(r, TAG, (blocks[r].clone(), g.nrows(), g.ncols()));
             }
             Self {
-                local: Csc::from_triples(&blocks[0]),
+                local: Csc::from_triples_in(s, &blocks[0]),
                 nrows_global: g.nrows(),
                 ncols_global: g.ncols(),
             }
         } else {
-            let (block, m, n): (Triples<f64>, usize, usize) = comm.recv(0, TAG);
+            let (block, m, n): (Triples<T>, usize, usize) = comm.recv(0, TAG);
             Self {
-                local: Csc::from_triples(&block),
+                local: Csc::from_triples_in(s, &block),
                 nrows_global: m,
                 ncols_global: n,
             }
@@ -65,7 +77,13 @@ impl DistMatrix {
     }
 
     /// Gathers the matrix to rank 0 (others get `None`). Collective.
-    pub fn gather_to_root(&self, grid: &ProcGrid) -> Option<Csc<f64>> {
+    /// Blocks live in disjoint index ranges, so `⊕` only resolves
+    /// duplicates that already coexisted within one block.
+    pub fn gather_to_root_in<S: Semiring<Elem = T>>(
+        &self,
+        s: S,
+        grid: &ProcGrid,
+    ) -> Option<Csc<T>> {
         let blocks = gather(&grid.world, 0, self.local.to_triples());
         blocks.map(|blocks| {
             let t = gather_2d(
@@ -75,7 +93,7 @@ impl DistMatrix {
                 grid.side,
                 grid.side,
             );
-            Csc::from_triples(&t)
+            Csc::from_triples_in(s, &t)
         })
     }
 
@@ -107,6 +125,27 @@ impl DistMatrix {
             nrows_global: self.nrows_global,
             ncols_global: self.ncols_global,
         }
+    }
+}
+
+/// Plus-times convenience constructors — the historical f64 API.
+impl<T: Value> DistMatrix<T>
+where
+    PlusTimes<T>: Semiring<Elem = T>,
+{
+    /// [`DistMatrix::from_global_in`] under plus-times.
+    pub fn from_global(grid: &ProcGrid, global: &Triples<T>) -> Self {
+        Self::from_global_in(PlusTimes::new(), grid, global)
+    }
+
+    /// [`DistMatrix::scatter_from_root_in`] under plus-times.
+    pub fn scatter_from_root(grid: &ProcGrid, global: Option<&Triples<T>>) -> Self {
+        Self::scatter_from_root_in(PlusTimes::new(), grid, global)
+    }
+
+    /// [`DistMatrix::gather_to_root_in`] under plus-times.
+    pub fn gather_to_root(&self, grid: &ProcGrid) -> Option<Csc<T>> {
+        self.gather_to_root_in(PlusTimes::new(), grid)
     }
 }
 

@@ -24,7 +24,7 @@
 use crate::distmat::DistMatrix;
 use hipmcl_comm::collectives::{allreduce, allreduce_min_vec_f32};
 use hipmcl_comm::{Comm, ProcGrid, SpgemmKernel, WireSize};
-use hipmcl_sparse::Csc;
+use hipmcl_sparse::{Csc, PlusTimes, Semiring, Value};
 use rand::SeedableRng;
 use rand_distr::Distribution;
 
@@ -73,8 +73,9 @@ pub struct MemoryEstimate {
 
 /// Exact `flops(A·B)` for 2D-distributed operands: each rank needs the
 /// global column counts of `A`, obtained with one allreduce, then counts
-/// locally against its `B` block.
-pub fn distributed_flops(grid: &ProcGrid, a: &DistMatrix, b: &DistMatrix) -> u64 {
+/// locally against its `B` block. Purely structural, so it holds in any
+/// semiring.
+pub fn distributed_flops<T: Value>(grid: &ProcGrid, a: &DistMatrix<T>, b: &DistMatrix<T>) -> u64 {
     distributed_flops_with_counts(grid, a, b).0
 }
 
@@ -83,10 +84,10 @@ pub fn distributed_flops(grid: &ProcGrid, a: &DistMatrix, b: &DistMatrix) -> u64
 /// double as the raw material for the sketch clamp's per-column output
 /// bounds, so the probabilistic estimator reuses them instead of paying
 /// the allreduce twice.
-pub fn distributed_flops_with_counts(
+pub fn distributed_flops_with_counts<T: Value>(
     grid: &ProcGrid,
-    a: &DistMatrix,
-    b: &DistMatrix,
+    a: &DistMatrix<T>,
+    b: &DistMatrix<T>,
 ) -> (u64, Vec<f64>) {
     // Global nnz per column of A: local counts summed down process columns
     // then shared along rows. We allreduce the full-length vector for
@@ -110,8 +111,8 @@ pub fn distributed_flops_with_counts(
     (flops, counts)
 }
 
-/// Runs the requested estimator. Collective over the grid. Returns an
-/// identical estimate on every rank.
+/// Runs the requested estimator under plus-times `f64` (the MCL path).
+/// Collective over the grid. Returns an identical estimate on every rank.
 pub fn estimate_memory(
     grid: &ProcGrid,
     a: &DistMatrix,
@@ -119,8 +120,23 @@ pub fn estimate_memory(
     kind: EstimatorKind,
     seed: u64,
 ) -> MemoryEstimate {
+    estimate_memory_in(PlusTimes::<f64>::new(), grid, a, b, kind, seed)
+}
+
+/// Runs the requested estimator for operands in semiring `s`. The
+/// estimators are structural — the sketch never touches values, and the
+/// exact scheme multiplies in `s` only to discover the output pattern —
+/// so the same schemes price min-plus or boolean SUMMA phases too.
+pub fn estimate_memory_in<S: Semiring>(
+    s: S,
+    grid: &ProcGrid,
+    a: &DistMatrix<S::Elem>,
+    b: &DistMatrix<S::Elem>,
+    kind: EstimatorKind,
+    seed: u64,
+) -> MemoryEstimate {
     match kind {
-        EstimatorKind::ExactSymbolic => exact_symbolic(grid, a, b),
+        EstimatorKind::ExactSymbolic => exact_symbolic_in(s, grid, a, b),
         EstimatorKind::Probabilistic { r } => probabilistic(grid, a, b, r, seed, false),
         EstimatorKind::ProbabilisticGpu { r } => probabilistic(grid, a, b, r, seed, true),
         EstimatorKind::Hybrid { r, cf_threshold } => {
@@ -131,7 +147,7 @@ pub fn estimate_memory(
                 1.0
             };
             if cf_est < cf_threshold {
-                let mut exact = exact_symbolic(grid, a, b);
+                let mut exact = exact_symbolic_in(s, grid, a, b);
                 exact.time += prob.time; // the probabilistic probe was paid too
                 exact
             } else {
@@ -144,9 +160,9 @@ pub fn estimate_memory(
 /// Pattern-only broadcast payload: structure bytes, no values (what a
 /// symbolic SUMMA actually moves).
 #[derive(Clone)]
-struct PatternBlock(std::sync::Arc<Csc<f64>>);
+struct PatternBlock<T: Value>(std::sync::Arc<Csc<T>>);
 
-impl WireSize for PatternBlock {
+impl<T: Value> WireSize for PatternBlock<T> {
     fn wire_bytes(&self) -> usize {
         self.0.rowidx.len() * std::mem::size_of::<hipmcl_sparse::Idx>()
             + self.0.colptr.len() * std::mem::size_of::<usize>()
@@ -156,7 +172,12 @@ impl WireSize for PatternBlock {
 /// Exact symbolic SUMMA: replays the stage loop, broadcasting block
 /// *structures* and computing per-stage symbolic products, then merges the
 /// patterns to the exact output nnz.
-fn exact_symbolic(grid: &ProcGrid, a: &DistMatrix, b: &DistMatrix) -> MemoryEstimate {
+fn exact_symbolic_in<S: Semiring>(
+    s: S,
+    grid: &ProcGrid,
+    a: &DistMatrix<S::Elem>,
+    b: &DistMatrix<S::Elem>,
+) -> MemoryEstimate {
     let t0 = grid.world.now();
     let side = grid.side;
     let mut stage_patterns: Vec<Csc<f64>> = Vec::with_capacity(side);
@@ -170,11 +191,8 @@ fn exact_symbolic(grid: &ProcGrid, a: &DistMatrix, b: &DistMatrix) -> MemoryEsti
         let flops = hipmcl_spgemm::flops(&a_blk, &b_blk);
         flops_total += flops;
         // Real symbolic pass; pattern materialized (values=1) so stage
-        // patterns can be union-merged exactly.
-        let mut pattern = hipmcl_spgemm::hash::multiply(&a_blk, &b_blk);
-        for v in &mut pattern.vals {
-            *v = 1.0;
-        }
+        // patterns can be union-merged exactly whatever the semiring.
+        let pattern = hipmcl_spgemm::hash::multiply_in(s, &a_blk, &b_blk).map_values(|_| 1.0f64);
         let cf = if pattern.nnz() == 0 {
             1.0
         } else {
@@ -211,7 +229,7 @@ fn exact_symbolic(grid: &ProcGrid, a: &DistMatrix, b: &DistMatrix) -> MemoryEsti
 
 /// Broadcasts a block's pattern within `comm` from `root`; `is_root` says
 /// whether this rank supplies `local`.
-fn bcast_pattern(comm: &Comm, root: usize, local: &Csc<f64>, is_root: bool) -> Csc<f64> {
+fn bcast_pattern<T: Value>(comm: &Comm, root: usize, local: &Csc<T>, is_root: bool) -> Csc<T> {
     let payload = if is_root {
         Some(PatternBlock(std::sync::Arc::new(local.clone())))
     } else {
@@ -235,10 +253,10 @@ fn bcast_pattern(comm: &Comm, root: usize, local: &Csc<f64>, is_root: bool) -> C
 /// the clamp keeps both inside the bracket (at `r = 1` the estimator *is*
 /// the per-column lower bound). The bounds are global quantities, so
 /// clamping preserves grid-invariance.
-fn probabilistic(
+fn probabilistic<T: Value>(
     grid: &ProcGrid,
-    a: &DistMatrix,
-    b: &DistMatrix,
+    a: &DistMatrix<T>,
+    b: &DistMatrix<T>,
     r: usize,
     seed: u64,
     on_gpu: bool,
@@ -380,7 +398,7 @@ fn draw_keys_range(range: std::ops::Range<usize>, r: usize, seed: u64) -> Vec<f3
 }
 
 /// `out[j·r + t] = min(out[j·r + t], min over rows i of col j of keys[i·r + t])`.
-fn propagate_block(m: &Csc<f64>, row_keys: &[f32], out: &mut [f32], r: usize) {
+fn propagate_block<T: Value>(m: &Csc<T>, row_keys: &[f32], out: &mut [f32], r: usize) {
     debug_assert_eq!(row_keys.len(), m.nrows() * r);
     debug_assert_eq!(out.len(), m.ncols() * r);
     for j in 0..m.ncols() {

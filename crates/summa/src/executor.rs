@@ -43,7 +43,7 @@
 
 use hipmcl_comm::{Event, MachineModel, MergeKernel, SpgemmKernel, Timeline};
 use hipmcl_gpu::multi::MultiGpu;
-use hipmcl_sparse::Csc;
+use hipmcl_sparse::{Csc, PlusTimes, Semiring, Value};
 use hipmcl_spgemm::CpuAlgo;
 
 /// How the [`Hybrid`] executor chooses the GPU share of each column split.
@@ -221,9 +221,9 @@ pub struct LaunchSpec {
 /// `waited − host_compute` as idle (time the host spent computing inline
 /// is work, not waiting).
 #[derive(Debug)]
-pub struct KernelLaunch {
-    /// The (real) product `A · B`.
-    pub c: Csc<f64>,
+pub struct KernelLaunch<T: Value = f64> {
+    /// The (real) product `A ⊗ B` in the submitted semiring.
+    pub c: Csc<T>,
     /// The kernel that produced it.
     pub kernel: SpgemmKernel,
     /// Virtual time from which the host may issue the next stage's
@@ -381,18 +381,26 @@ fn lanes_idle(lanes: &[Timeline]) -> f64 {
 
 /// A target that local SpGEMM launches and merge operations are submitted
 /// to.
-pub trait Executor {
-    /// Submits `C = A · B` as described by `spec`, starting at host
-    /// virtual time `host_now`. Must not advance any rank clock — the
-    /// scheduler decides what to wait on.
+///
+/// The trait is generic over the [`Semiring`] the multiplications run in;
+/// the default parameter keeps `dyn Executor` meaning the plus-times
+/// `f64` executor the MCL driver uses. Every concrete executor implements
+/// the trait for *all* semirings — scheduling (timelines, merge lanes,
+/// split policies) is element-type-free, so the same scheduler instance
+/// works for shortest paths exactly as it does for MCL.
+pub trait Executor<S: Semiring = PlusTimes<f64>> {
+    /// Submits `C = A ⊗ B` in semiring `s` as described by `spec`,
+    /// starting at host virtual time `host_now`. Must not advance any
+    /// rank clock — the scheduler decides what to wait on.
     fn submit(
         &mut self,
+        s: S,
         model: &MachineModel,
         host_now: f64,
-        a: &Csc<f64>,
-        b: &Csc<f64>,
+        a: &Csc<S::Elem>,
+        b: &Csc<S::Elem>,
         spec: LaunchSpec,
-    ) -> KernelLaunch;
+    ) -> KernelLaunch<S::Elem>;
 
     /// Submits one merge operation, ready at virtual time `ready_at`
     /// (when its last input slab exists), onto a host-side merge lane.
@@ -466,22 +474,58 @@ impl<'g> GpuExecutor<'g> {
     pub fn merge_lanes(&self) -> &[Timeline] {
         &self.lanes
     }
-}
 
-impl Executor for GpuExecutor<'_> {
-    fn submit(
+    /// Places a merge on a host-side lane (see [`Executor::submit_merge`]).
+    /// Inherent so callers with a concrete executor need not name a
+    /// semiring — merge scheduling is element-type-free.
+    pub fn submit_merge(
         &mut self,
         model: &MachineModel,
+        ready_at: f64,
+        task: &MergeTask,
+    ) -> MergeLaunch {
+        submit_merge_on(&mut self.lanes, model, self.steal, ready_at, task)
+    }
+
+    /// GPUs visible to kernel selection (see [`Executor::gpus_available`]).
+    pub fn gpus_available(&self) -> usize {
+        self.gpus.len()
+    }
+
+    /// Accumulated device idle (see [`Executor::device_idle`]).
+    pub fn device_idle(&self) -> f64 {
+        self.gpus.total_idle()
+    }
+
+    /// Accumulated merge-lane idle (see [`Executor::merge_lane_idle`]).
+    pub fn merge_lane_idle(&self) -> f64 {
+        lanes_idle(&self.lanes)
+    }
+
+    /// Resets all internal timelines (see [`Executor::reset_timelines`]).
+    pub fn reset_timelines(&mut self) {
+        self.gpus.reset_timelines();
+        for lane in &mut self.lanes {
+            lane.reset();
+        }
+    }
+}
+
+impl<S: Semiring> Executor<S> for GpuExecutor<'_> {
+    fn submit(
+        &mut self,
+        s: S,
+        model: &MachineModel,
         host_now: f64,
-        a: &Csc<f64>,
-        b: &Csc<f64>,
+        a: &Csc<S::Elem>,
+        b: &Csc<S::Elem>,
         spec: LaunchSpec,
-    ) -> KernelLaunch {
+    ) -> KernelLaunch<S::Elem> {
         match spec.kernel {
             SpgemmKernel::Gpu(lib) => {
                 let r = self
                     .gpus
-                    .multiply(host_now, a, b, lib)
+                    .multiply_in(s, host_now, a, b, lib)
                     .expect("device OOM: increase phases or use CPU policy");
                 KernelLaunch {
                     c: r.c,
@@ -498,7 +542,7 @@ impl Executor for GpuExecutor<'_> {
                 // Inline on the host, as original HipMCL runs CPU kernels:
                 // the host is busy (not idle) for the whole duration and
                 // cannot issue the next broadcast meanwhile.
-                let (c, cf) = cpu_algo(cpu_kernel).multiply_measured(a, b, spec.flops);
+                let (c, cf) = cpu_algo(cpu_kernel).multiply_measured_in(s, a, b, spec.flops);
                 let dur = model.spgemm_time(cpu_kernel, spec.flops, cf);
                 KernelLaunch {
                     c,
@@ -520,26 +564,23 @@ impl Executor for GpuExecutor<'_> {
         ready_at: f64,
         task: &MergeTask,
     ) -> MergeLaunch {
-        submit_merge_on(&mut self.lanes, model, self.steal, ready_at, task)
+        GpuExecutor::submit_merge(self, model, ready_at, task)
     }
 
     fn gpus_available(&self) -> usize {
-        self.gpus.len()
+        GpuExecutor::gpus_available(self)
     }
 
     fn device_idle(&self) -> f64 {
-        self.gpus.total_idle()
+        GpuExecutor::device_idle(self)
     }
 
     fn merge_lane_idle(&self) -> f64 {
-        lanes_idle(&self.lanes)
+        GpuExecutor::merge_lane_idle(self)
     }
 
     fn reset_timelines(&mut self) {
-        self.gpus.reset_timelines();
-        for lane in &mut self.lanes {
-            lane.reset();
-        }
+        GpuExecutor::reset_timelines(self)
     }
 }
 
@@ -560,6 +601,7 @@ impl Executor for GpuExecutor<'_> {
 ///
 /// ```
 /// use hipmcl_comm::{MachineModel, SpgemmKernel};
+/// use hipmcl_sparse::PlusTimes;
 /// use hipmcl_summa::executor::{CpuPool, Executor, LaunchSpec};
 /// use hipmcl_spgemm::testutil::random_csc;
 ///
@@ -572,12 +614,13 @@ impl Executor for GpuExecutor<'_> {
 /// };
 ///
 /// let mut pool = CpuPool::new();
-/// let l1 = pool.submit(&model, 0.0, &a, &a, spec);
+/// let pt = PlusTimes::<f64>::new();
+/// let l1 = pool.submit(pt, &model, 0.0, &a, &a, spec);
 /// assert_eq!(l1.inputs_ready_at, 0.0, "handoff is free for the host");
 ///
 /// // Ready 1 s after the first launch completed: the pool sat idle in
 /// // between, and the gap is exactly what `device_idle` reports.
-/// let l2 = pool.submit(&model, l1.output_ready_at + 1.0, &a, &a, spec);
+/// let l2 = pool.submit(pt, &model, l1.output_ready_at + 1.0, &a, &a, spec);
 /// assert!(l2.output_ready_at > l1.output_ready_at);
 /// assert!((pool.device_idle() - 1.0).abs() < 1e-9);
 /// ```
@@ -658,24 +701,59 @@ impl CpuPool {
             .max_by(|a, b| a.at.partial_cmp(&b.at).unwrap())
             .expect("pool always has at least one lane")
     }
-}
 
-impl Executor for CpuPool {
-    fn submit(
+    /// Places a merge on a worker lane (see [`Executor::submit_merge`]).
+    /// Inherent so callers with a concrete pool need not name a semiring.
+    pub fn submit_merge(
         &mut self,
         model: &MachineModel,
+        ready_at: f64,
+        task: &MergeTask,
+    ) -> MergeLaunch {
+        submit_merge_on(&mut self.lanes, model, self.steal, ready_at, task)
+    }
+
+    /// GPUs visible to kernel selection — always 0 for a pure pool.
+    pub fn gpus_available(&self) -> usize {
+        0
+    }
+
+    /// Accumulated worker idle (see [`Executor::device_idle`]).
+    pub fn device_idle(&self) -> f64 {
+        lanes_idle(&self.lanes)
+    }
+
+    /// Accumulated merge-lane idle — the merge lanes *are* the shared
+    /// worker timelines, so this equals [`CpuPool::device_idle`].
+    pub fn merge_lane_idle(&self) -> f64 {
+        self.device_idle()
+    }
+
+    /// Resets all worker timelines (see [`Executor::reset_timelines`]).
+    pub fn reset_timelines(&mut self) {
+        for lane in &mut self.lanes {
+            lane.reset();
+        }
+    }
+}
+
+impl<S: Semiring> Executor<S> for CpuPool {
+    fn submit(
+        &mut self,
+        s: S,
+        model: &MachineModel,
         host_now: f64,
-        a: &Csc<f64>,
-        b: &Csc<f64>,
+        a: &Csc<S::Elem>,
+        b: &Csc<S::Elem>,
         spec: LaunchSpec,
-    ) -> KernelLaunch {
+    ) -> KernelLaunch<S::Elem> {
         // Selection never yields a GPU kernel here (`gpus_available` is
         // 0); a forced GPU request degrades to the hash kernel.
         let cpu_kernel = match spec.kernel {
             SpgemmKernel::Gpu(_) => SpgemmKernel::CpuHash,
             k => k,
         };
-        let (c, cf) = cpu_algo(cpu_kernel).multiply_measured(a, b, spec.flops);
+        let (c, cf) = cpu_algo(cpu_kernel).multiply_measured_in(s, a, b, spec.flops);
         let dur = model.spgemm_time(cpu_kernel, spec.flops, cf);
         let done = self.node_job(host_now, dur);
         KernelLaunch {
@@ -696,26 +774,24 @@ impl Executor for CpuPool {
         ready_at: f64,
         task: &MergeTask,
     ) -> MergeLaunch {
-        submit_merge_on(&mut self.lanes, model, self.steal, ready_at, task)
+        CpuPool::submit_merge(self, model, ready_at, task)
     }
 
     fn gpus_available(&self) -> usize {
-        0
+        CpuPool::gpus_available(self)
     }
 
     fn device_idle(&self) -> f64 {
-        lanes_idle(&self.lanes)
+        CpuPool::device_idle(self)
     }
 
     fn merge_lane_idle(&self) -> f64 {
         // The merge lanes are the shared worker timelines.
-        self.device_idle()
+        CpuPool::merge_lane_idle(self)
     }
 
     fn reset_timelines(&mut self) {
-        for lane in &mut self.lanes {
-            lane.reset();
-        }
+        CpuPool::reset_timelines(self)
     }
 }
 
@@ -878,37 +954,73 @@ impl<'g> Hybrid<'g> {
                 .fraction(),
         }
     }
-}
 
-impl Executor for Hybrid<'_> {
-    fn submit(
+    /// Places a merge on the pool's worker lanes (see
+    /// [`Executor::submit_merge`]). Inherent so callers with a concrete
+    /// executor need not name a semiring.
+    pub fn submit_merge(
         &mut self,
         model: &MachineModel,
+        ready_at: f64,
+        task: &MergeTask,
+    ) -> MergeLaunch {
+        // Merges land on the pool's worker lanes, contending with the
+        // CPU slabs of the column splits for the same cores.
+        self.pool.submit_merge(model, ready_at, task)
+    }
+
+    /// GPUs visible to kernel selection (see [`Executor::gpus_available`]).
+    pub fn gpus_available(&self) -> usize {
+        self.gpus.len()
+    }
+
+    /// Accumulated device + worker idle (see [`Executor::device_idle`]).
+    pub fn device_idle(&self) -> f64 {
+        self.gpus.total_idle() + self.pool.device_idle()
+    }
+
+    /// Accumulated merge-lane idle (see [`Executor::merge_lane_idle`]).
+    pub fn merge_lane_idle(&self) -> f64 {
+        self.pool.merge_lane_idle()
+    }
+
+    /// Resets all internal timelines (see [`Executor::reset_timelines`]).
+    pub fn reset_timelines(&mut self) {
+        self.gpus.reset_timelines();
+        self.pool.reset_timelines();
+    }
+}
+
+impl<S: Semiring> Executor<S> for Hybrid<'_> {
+    fn submit(
+        &mut self,
+        s: S,
+        model: &MachineModel,
         host_now: f64,
-        a: &Csc<f64>,
-        b: &Csc<f64>,
+        a: &Csc<S::Elem>,
+        b: &Csc<S::Elem>,
         spec: LaunchSpec,
-    ) -> KernelLaunch {
+    ) -> KernelLaunch<S::Elem> {
         let n = b.ncols();
         let lib = match spec.kernel {
             SpgemmKernel::Gpu(lib) if !self.gpus.is_empty() => lib,
             _ => {
                 self.fractions.push(0.0);
-                return self.pool.submit(model, host_now, a, b, spec);
+                return self.pool.submit(s, model, host_now, a, b, spec);
             }
         };
         let frac = self.pick_fraction(model, lib, &spec);
         let gcols = ((n as f64 * frac).round() as usize).min(n);
         if gcols == 0 {
             self.fractions.push(0.0);
-            return self.pool.submit(model, host_now, a, b, spec);
+            return self.pool.submit(s, model, host_now, a, b, spec);
         }
         self.fractions.push(gcols as f64 / n.max(1) as f64);
 
         let b_gpu = b.column_slice(0..gcols);
         let r = self
             .gpus
-            .multiply(host_now, a, &b_gpu, lib)
+            .multiply_in(s, host_now, a, &b_gpu, lib)
             .expect("device OOM: increase phases or use CPU policy");
 
         let mut output_ready_at = r.output_ready_at;
@@ -917,7 +1029,7 @@ impl Executor for Hybrid<'_> {
         let c = if gcols < n {
             let b_cpu = b.column_slice(gcols..n);
             let flops_cpu = hipmcl_spgemm::flops(a, &b_cpu);
-            let (c_cpu, cf_cpu) = CpuAlgo::Hash.multiply_measured(a, &b_cpu, flops_cpu);
+            let (c_cpu, cf_cpu) = CpuAlgo::Hash.multiply_measured_in(s, a, &b_cpu, flops_cpu);
             let dur = model.spgemm_time(SpgemmKernel::CpuHash, flops_cpu, cf_cpu);
             let done = self.pool.node_job(host_now, dur);
             output_ready_at = output_ready_at.max(done.at);
@@ -960,26 +1072,23 @@ impl Executor for Hybrid<'_> {
         ready_at: f64,
         task: &MergeTask,
     ) -> MergeLaunch {
-        // Merges land on the pool's worker lanes, contending with the
-        // CPU slabs of the column splits for the same cores.
-        self.pool.submit_merge(model, ready_at, task)
+        Hybrid::submit_merge(self, model, ready_at, task)
     }
 
     fn gpus_available(&self) -> usize {
-        self.gpus.len()
+        Hybrid::gpus_available(self)
     }
 
     fn device_idle(&self) -> f64 {
-        self.gpus.total_idle() + self.pool.device_idle()
+        Hybrid::device_idle(self)
     }
 
     fn merge_lane_idle(&self) -> f64 {
-        self.pool.merge_lane_idle()
+        Hybrid::merge_lane_idle(self)
     }
 
     fn reset_timelines(&mut self) {
-        self.gpus.reset_timelines();
-        self.pool.reset_timelines();
+        Hybrid::reset_timelines(self)
     }
 }
 
@@ -992,6 +1101,10 @@ mod tests {
 
     fn model() -> MachineModel {
         MachineModel::summit()
+    }
+
+    fn pt() -> PlusTimes<f64> {
+        PlusTimes::new()
     }
 
     fn want(a: &Csc<f64>) -> Csc<f64> {
@@ -1012,6 +1125,7 @@ mod tests {
         let mut gpus = MultiGpu::new(model(), 2, 1 << 30);
         let mut exec = GpuExecutor::new(&mut gpus, &model());
         let l = exec.submit(
+            pt(),
             &model(),
             1.0,
             &a,
@@ -1033,7 +1147,14 @@ mod tests {
         let a = random_csc(30, 30, 260, 42);
         let mut gpus = MultiGpu::new(model(), 2, 1 << 30);
         let mut exec = GpuExecutor::new(&mut gpus, &model());
-        let l = exec.submit(&model(), 1.0, &a, &a, spec_for(&a, SpgemmKernel::CpuHash));
+        let l = exec.submit(
+            pt(),
+            &model(),
+            1.0,
+            &a,
+            &a,
+            spec_for(&a, SpgemmKernel::CpuHash),
+        );
         assert!(l.c.max_abs_diff(&want(&a)) < 1e-9);
         assert_eq!(
             l.inputs_ready_at, l.output_ready_at,
@@ -1047,7 +1168,14 @@ mod tests {
     fn cpu_pool_launches_are_async_and_fifo() {
         let a = random_csc(30, 30, 260, 43);
         let mut pool = CpuPool::new();
-        let l1 = pool.submit(&model(), 1.0, &a, &a, spec_for(&a, SpgemmKernel::CpuHash));
+        let l1 = pool.submit(
+            pt(),
+            &model(),
+            1.0,
+            &a,
+            &a,
+            spec_for(&a, SpgemmKernel::CpuHash),
+        );
         assert!(l1.c.max_abs_diff(&want(&a)) < 1e-9);
         assert_eq!(
             l1.inputs_ready_at, 1.0,
@@ -1056,7 +1184,14 @@ mod tests {
         assert!(l1.output_ready_at > 1.0);
         assert_eq!(l1.host_compute, 0.0);
         // Second job ready immediately queues behind the first.
-        let l2 = pool.submit(&model(), 1.0, &a, &a, spec_for(&a, SpgemmKernel::CpuHeap));
+        let l2 = pool.submit(
+            pt(),
+            &model(),
+            1.0,
+            &a,
+            &a,
+            spec_for(&a, SpgemmKernel::CpuHeap),
+        );
         assert!(l2.output_ready_at > l1.output_ready_at);
         assert_eq!(pool.timeline().jobs(), 2);
         assert_eq!(pool.device_idle(), 0.0, "back-to-back jobs leave no gap");
@@ -1068,6 +1203,7 @@ mod tests {
         let a = random_csc(20, 20, 120, 44);
         let mut pool = CpuPool::new();
         let l = pool.submit(
+            pt(),
             &model(),
             0.0,
             &a,
@@ -1095,6 +1231,7 @@ mod tests {
             let mut gpus = MultiGpu::new(model(), 3, 1 << 30);
             let mut h = Hybrid::new(&mut gpus, policy);
             let l = h.submit(
+                pt(),
                 &model(),
                 0.0,
                 &a,
@@ -1120,7 +1257,14 @@ mod tests {
         let a = random_csc(25, 25, 180, 46);
         let mut gpus = MultiGpu::new(model(), 2, 1 << 30);
         let mut h = Hybrid::new(&mut gpus, SplitPolicy::Fixed(0.85));
-        let l = h.submit(&model(), 2.0, &a, &a, spec_for(&a, SpgemmKernel::CpuHeap));
+        let l = h.submit(
+            pt(),
+            &model(),
+            2.0,
+            &a,
+            &a,
+            spec_for(&a, SpgemmKernel::CpuHeap),
+        );
         assert!(l.c.max_abs_diff(&want(&a)) < 1e-9);
         assert_eq!(
             l.inputs_ready_at, 2.0,
@@ -1136,6 +1280,7 @@ mod tests {
         let mut gpus = MultiGpu::new(model(), 0, 1 << 30);
         let mut h = Hybrid::new(&mut gpus, SplitPolicy::Adaptive);
         let l = h.submit(
+            pt(),
             &model(),
             0.0,
             &a,
@@ -1216,7 +1361,7 @@ mod tests {
         let mut gaps = Vec::new();
         let mut now = 0.0;
         for _ in 0..12 {
-            let l = h.submit(&model(), now, &a, &a, spec);
+            let l = h.submit(pt(), &model(), now, &a, &a, spec);
             now = l.output_ready_at;
             let gpu_done = h
                 .gpus
@@ -1437,7 +1582,7 @@ mod tests {
         let m = model();
         let a = random_csc(30, 30, 260, 50);
         let mut pool = CpuPool::for_model(&m);
-        let k = pool.submit(&m, 0.0, &a, &a, spec_for(&a, SpgemmKernel::CpuHash));
+        let k = pool.submit(pt(), &m, 0.0, &a, &a, spec_for(&a, SpgemmKernel::CpuHash));
         // The whole-node kernel holds every lane; a merge ready at 0 can
         // only start once a lane frees up.
         let t = merge_task(MergeKernel::Pairwise, vec![(1000, None), (1000, None)]);
@@ -1467,8 +1612,22 @@ mod tests {
     fn reset_timelines_clears_idle_accounting() {
         let a = random_csc(20, 20, 120, 48);
         let mut pool = CpuPool::new();
-        pool.submit(&model(), 0.0, &a, &a, spec_for(&a, SpgemmKernel::CpuHash));
-        pool.submit(&model(), 1e9, &a, &a, spec_for(&a, SpgemmKernel::CpuHash));
+        pool.submit(
+            pt(),
+            &model(),
+            0.0,
+            &a,
+            &a,
+            spec_for(&a, SpgemmKernel::CpuHash),
+        );
+        pool.submit(
+            pt(),
+            &model(),
+            1e9,
+            &a,
+            &a,
+            spec_for(&a, SpgemmKernel::CpuHash),
+        );
         assert!(pool.device_idle() > 0.0);
         pool.reset_timelines();
         assert_eq!(pool.device_idle(), 0.0);

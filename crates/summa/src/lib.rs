@@ -50,5 +50,8 @@ pub use executor::{
     CpuPool, Executor, ExecutorKind, GpuExecutor, Hybrid, InvalidSplit, KernelLaunch, LaunchSpec,
     MergeLaunch, MergeTask, SplitController, SplitPolicy,
 };
-pub use merge::{MergeKernelPolicy, MergeSpan, MergeStrategy, StackMerger};
-pub use spgemm::{summa_spgemm, ConfigError, SummaConfig, SummaOutput};
+pub use merge::{merge_with, MergeKernelPolicy, MergeSpan, MergeStrategy, StackMerger};
+pub use spgemm::{
+    summa_spgemm, summa_spgemm_in, summa_spgemm_with, summa_spgemm_with_in, CommChoice, CommPolicy,
+    ConfigError, SummaConfig, SummaOutput,
+};

@@ -21,9 +21,11 @@
 //! evaluates [`MachineModel::merge_time_with`] for the merge's fan-in and
 //! element count (the merge-side analogue of the `cf`-based SpGEMM kernel
 //! selector). All three produce **bit-identical** output: they accumulate
-//! coincident entries strictly in list order and drop entries whose final
-//! value is exactly `0.0`, so kernel choice can never change an MCL
-//! result (property-tested below).
+//! coincident entries strictly in list order with the semiring's `⊕` and
+//! drop entries whose final value is the semiring's annihilator (exactly
+//! `0.0` for plus-times, `+∞` for min-plus, `false` for boolean), so
+//! kernel choice can never change a result — in any semiring
+//! (property-tested below for plus-times, min-plus and boolean).
 //!
 //! Virtual-time accounting does **not** live here: a merge is an
 //! [`Executor`](crate::executor::Executor) task, submitted by the pipeline
@@ -34,7 +36,7 @@
 
 use hipmcl_comm::{MachineModel, MergeKernel};
 use hipmcl_sparse::csc::counts_to_colptr;
-use hipmcl_sparse::{Csc, Idx};
+use hipmcl_sparse::{Csc, Idx, PlusTimes, Semiring, Value};
 use rayon::prelude::*;
 
 /// Which merging schedule a SUMMA run uses.
@@ -115,8 +117,11 @@ impl MergeSpan {
 
 /// A single k-way merge kernel: sums equally-shaped CSC matrices. All
 /// implementations accumulate coincident entries in list order and drop
-/// entries whose final value is exactly `0.0`, making their outputs
-/// bit-identical (see the module docs).
+/// entries whose final value is the semiring's annihilator, making their
+/// outputs bit-identical (see the module docs). The trait is the
+/// `f64`/plus-times face kept for the benches and the exact symbolic
+/// estimator; the pipeline dispatches statically through [`merge_with`]
+/// so any [`Semiring`] can drive the same three kernels.
 pub trait MergeAlgo {
     /// Which kernel this is (for spans and model lookup).
     fn kind(&self) -> MergeKernel;
@@ -141,9 +146,30 @@ pub fn merge_algo(kernel: MergeKernel) -> &'static dyn MergeAlgo {
     }
 }
 
+/// Runs the selected merge kernel in the given semiring — the statically
+/// dispatched generic entry the pipeline uses (a `dyn MergeAlgo` cannot
+/// carry a semiring type parameter). All three kernels accumulate
+/// coincident entries strictly in list order with [`Semiring::add`] and
+/// drop entries whose final value is the annihilator
+/// ([`Semiring::is_annihilator`]), so for any semiring the kernel choice
+/// never changes the result — the bit-identity property the plus-times
+/// path has always had, extended verbatim.
+pub fn merge_with<S: Semiring>(
+    s: S,
+    kernel: MergeKernel,
+    mats: &[Csc<S::Elem>],
+    shape: (usize, usize),
+) -> Csc<S::Elem> {
+    match kernel {
+        MergeKernel::Heap => kway_merge_in(s, mats, shape),
+        MergeKernel::Pairwise => pairwise_merge_in(s, mats, shape),
+        MergeKernel::Hash => hash_merge_in(s, mats, shape),
+    }
+}
+
 /// Checks shapes and handles the 0- and 1-input fast paths shared by all
 /// kernels; returns `None` when a real merge is needed.
-fn merge_trivial(mats: &[Csc<f64>], shape: (usize, usize)) -> Option<Csc<f64>> {
+fn merge_trivial<T: Value>(mats: &[Csc<T>], shape: (usize, usize)) -> Option<Csc<T>> {
     for mat in mats {
         assert_eq!((mat.nrows(), mat.ncols()), shape, "merge shape mismatch");
     }
@@ -157,7 +183,7 @@ fn merge_trivial(mats: &[Csc<f64>], shape: (usize, usize)) -> Option<Csc<f64>> {
 }
 
 /// Assembles per-column `(rows, vals)` outputs into a CSC matrix.
-fn assemble(shape: (usize, usize), cols: Vec<(Vec<Idx>, Vec<f64>)>) -> Csc<f64> {
+fn assemble<T: Value>(shape: (usize, usize), cols: Vec<(Vec<Idx>, Vec<T>)>) -> Csc<T> {
     let (m, n) = shape;
     let counts: Vec<usize> = cols.iter().map(|(r, _)| r.len()).collect();
     let colptr = counts_to_colptr(&counts);
@@ -177,14 +203,7 @@ impl MergeAlgo for HeapMerge {
     }
 
     fn merge(&self, mats: &[Csc<f64>], shape: (usize, usize)) -> Csc<f64> {
-        if let Some(t) = merge_trivial(mats, shape) {
-            return t;
-        }
-        let cols: Vec<(Vec<Idx>, Vec<f64>)> = (0..shape.1)
-            .into_par_iter()
-            .map(|j| merge_column(mats, j))
-            .collect();
-        assemble(shape, cols)
+        kway_merge_in(PlusTimes::<f64>::new(), mats, shape)
     }
 }
 
@@ -194,17 +213,7 @@ impl MergeAlgo for PairwiseMerge {
     }
 
     fn merge(&self, mats: &[Csc<f64>], shape: (usize, usize)) -> Csc<f64> {
-        if let Some(t) = merge_trivial(mats, shape) {
-            return t;
-        }
-        // Left fold keeps the accumulation order identical to the heap's
-        // list-order tie-breaking: after i folds the accumulator holds
-        // `v_0 + v_1 + … + v_i` exactly as the heap would have summed it.
-        let mut acc = two_way_merge(&mats[0], &mats[1], shape);
-        for m in &mats[2..] {
-            acc = two_way_merge(&acc, m, shape);
-        }
-        acc
+        pairwise_merge_in(PlusTimes::<f64>::new(), mats, shape)
     }
 }
 
@@ -214,14 +223,7 @@ impl MergeAlgo for HashMerge {
     }
 
     fn merge(&self, mats: &[Csc<f64>], shape: (usize, usize)) -> Csc<f64> {
-        if let Some(t) = merge_trivial(mats, shape) {
-            return t;
-        }
-        let cols: Vec<(Vec<Idx>, Vec<f64>)> = (0..shape.1)
-            .into_par_iter()
-            .map(|j| hash_column(mats, j))
-            .collect();
-        assemble(shape, cols)
+        hash_merge_in(PlusTimes::<f64>::new(), mats, shape)
     }
 }
 
@@ -229,11 +231,62 @@ impl MergeAlgo for HashMerge {
 /// a named entry point: the exact symbolic estimator and the benches call
 /// it directly). An empty slice returns an empty matrix of `shape`.
 pub fn kway_merge(mats: &[Csc<f64>], shape: (usize, usize)) -> Csc<f64> {
-    HeapMerge.merge(mats, shape)
+    kway_merge_in(PlusTimes::<f64>::new(), mats, shape)
+}
+
+/// [`kway_merge`] in an arbitrary semiring (the heap kernel).
+pub fn kway_merge_in<S: Semiring>(
+    s: S,
+    mats: &[Csc<S::Elem>],
+    shape: (usize, usize),
+) -> Csc<S::Elem> {
+    if let Some(t) = merge_trivial(mats, shape) {
+        return t;
+    }
+    let cols: Vec<(Vec<Idx>, Vec<S::Elem>)> = (0..shape.1)
+        .into_par_iter()
+        .map(|j| merge_column(s, mats, j))
+        .collect();
+    assemble(shape, cols)
+}
+
+/// Left-fold of two-way cursor merges in an arbitrary semiring. The left
+/// fold keeps the accumulation order identical to the heap's list-order
+/// tie-breaking: after i folds the accumulator holds
+/// `v_0 ⊕ v_1 ⊕ … ⊕ v_i` exactly as the heap would have combined it.
+pub fn pairwise_merge_in<S: Semiring>(
+    s: S,
+    mats: &[Csc<S::Elem>],
+    shape: (usize, usize),
+) -> Csc<S::Elem> {
+    if let Some(t) = merge_trivial(mats, shape) {
+        return t;
+    }
+    let mut acc = two_way_merge(s, &mats[0], &mats[1], shape);
+    for m in &mats[2..] {
+        acc = two_way_merge(s, &acc, m, shape);
+    }
+    acc
+}
+
+/// Per-column hash accumulation in an arbitrary semiring.
+pub fn hash_merge_in<S: Semiring>(
+    s: S,
+    mats: &[Csc<S::Elem>],
+    shape: (usize, usize),
+) -> Csc<S::Elem> {
+    if let Some(t) = merge_trivial(mats, shape) {
+        return t;
+    }
+    let cols: Vec<(Vec<Idx>, Vec<S::Elem>)> = (0..shape.1)
+        .into_par_iter()
+        .map(|j| hash_column(s, mats, j))
+        .collect();
+    assemble(shape, cols)
 }
 
 /// Heap-merges column `j` across all matrices.
-fn merge_column(mats: &[Csc<f64>], j: usize) -> (Vec<Idx>, Vec<f64>) {
+fn merge_column<S: Semiring>(_s: S, mats: &[Csc<S::Elem>], j: usize) -> (Vec<Idx>, Vec<S::Elem>) {
     use std::cmp::Reverse;
     use std::collections::BinaryHeap;
 
@@ -245,15 +298,17 @@ fn merge_column(mats: &[Csc<f64>], j: usize) -> (Vec<Idx>, Vec<f64>) {
         }
     }
     let mut rows = Vec::new();
-    let mut vals: Vec<f64> = Vec::new();
+    let mut vals: Vec<S::Elem> = Vec::new();
     while let Some(Reverse((r, l))) = heap.pop() {
         let v = mats[l].col_vals(j)[pos[l]];
         if rows.last() == Some(&r) {
-            *vals.last_mut().unwrap() += v;
+            let acc = vals.last_mut().unwrap();
+            *acc = S::add(*acc, v);
         } else {
-            // Drop a just-finished entry if it cancelled to zero.
+            // Drop a just-finished entry if it accumulated to the
+            // annihilator (plus-times: cancelled to zero).
             if let Some(&last_v) = vals.last() {
-                if last_v == 0.0 {
+                if S::is_annihilator(last_v) {
                     rows.pop();
                     vals.pop();
                 }
@@ -268,7 +323,7 @@ fn merge_column(mats: &[Csc<f64>], j: usize) -> (Vec<Idx>, Vec<f64>) {
         }
     }
     if let Some(&last_v) = vals.last() {
-        if last_v == 0.0 {
+        if S::is_annihilator(last_v) {
             rows.pop();
             vals.pop();
         }
@@ -276,9 +331,14 @@ fn merge_column(mats: &[Csc<f64>], j: usize) -> (Vec<Idx>, Vec<f64>) {
     (rows, vals)
 }
 
-/// Two-way cursor merge with the shared zero-drop rule.
-fn two_way_merge(a: &Csc<f64>, b: &Csc<f64>, shape: (usize, usize)) -> Csc<f64> {
-    let cols: Vec<(Vec<Idx>, Vec<f64>)> = (0..shape.1)
+/// Two-way cursor merge with the shared annihilator-drop rule.
+fn two_way_merge<S: Semiring>(
+    _s: S,
+    a: &Csc<S::Elem>,
+    b: &Csc<S::Elem>,
+    shape: (usize, usize),
+) -> Csc<S::Elem> {
+    let cols: Vec<(Vec<Idx>, Vec<S::Elem>)> = (0..shape.1)
         .into_par_iter()
         .map(|j| {
             let (ar, av) = (a.col_rows(j), a.col_vals(j));
@@ -286,8 +346,8 @@ fn two_way_merge(a: &Csc<f64>, b: &Csc<f64>, shape: (usize, usize)) -> Csc<f64> 
             let mut rows = Vec::with_capacity(ar.len() + br.len());
             let mut vals = Vec::with_capacity(ar.len() + br.len());
             let (mut i, mut k) = (0, 0);
-            let mut push = |r: Idx, v: f64| {
-                if v != 0.0 {
+            let mut push = |r: Idx, v: S::Elem| {
+                if !S::is_annihilator(v) {
                     rows.push(r);
                     vals.push(v);
                 }
@@ -303,7 +363,7 @@ fn two_way_merge(a: &Csc<f64>, b: &Csc<f64>, shape: (usize, usize)) -> Csc<f64> 
                         k += 1;
                     }
                     std::cmp::Ordering::Equal => {
-                        push(ar[i], av[i] + bv[k]);
+                        push(ar[i], S::add(av[i], bv[k]));
                         i += 1;
                         k += 1;
                     }
@@ -324,16 +384,19 @@ fn two_way_merge(a: &Csc<f64>, b: &Csc<f64>, shape: (usize, usize)) -> Csc<f64> 
 }
 
 /// Hash-accumulates column `j` across all matrices, strictly in list
-/// order, then sorts by row and drops exact zeros.
-fn hash_column(mats: &[Csc<f64>], j: usize) -> (Vec<Idx>, Vec<f64>) {
+/// order, then sorts by row and drops annihilator entries.
+fn hash_column<S: Semiring>(_s: S, mats: &[Csc<S::Elem>], j: usize) -> (Vec<Idx>, Vec<S::Elem>) {
     use std::collections::HashMap;
     let cap: usize = mats.iter().map(|m| m.col_nnz(j)).sum();
     let mut slot: HashMap<Idx, usize> = HashMap::with_capacity(cap);
-    let mut entries: Vec<(Idx, f64)> = Vec::with_capacity(cap);
+    let mut entries: Vec<(Idx, S::Elem)> = Vec::with_capacity(cap);
     for mat in mats {
         for (&r, &v) in mat.col_rows(j).iter().zip(mat.col_vals(j)) {
             match slot.entry(r) {
-                std::collections::hash_map::Entry::Occupied(e) => entries[*e.get()].1 += v,
+                std::collections::hash_map::Entry::Occupied(e) => {
+                    let at = *e.get();
+                    entries[at].1 = S::add(entries[at].1, v);
+                }
                 std::collections::hash_map::Entry::Vacant(e) => {
                     e.insert(entries.len());
                     entries.push((r, v));
@@ -342,7 +405,7 @@ fn hash_column(mats: &[Csc<f64>], j: usize) -> (Vec<Idx>, Vec<f64>) {
         }
     }
     entries.sort_unstable_by_key(|&(r, _)| r);
-    entries.retain(|&(_, v)| v != 0.0);
+    entries.retain(|&(_, v)| !S::is_annihilator(v));
     entries.into_iter().unzip()
 }
 
@@ -471,6 +534,7 @@ impl StackMerger {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use hipmcl_sparse::{Boolean, MinPlus};
     use hipmcl_spgemm::testutil::random_csc;
     use proptest::prelude::*;
 
@@ -683,6 +747,75 @@ mod tests {
             // bitwise equality of both structure and floats.
             prop_assert_eq!(&heap, &pairwise);
             prop_assert_eq!(&heap, &hash);
+        }
+
+        /// Min-plus: the same three kernels stay bit-identical when ⊕ is
+        /// `min` and the annihilator is `+∞`. One slab carries explicit
+        /// `+∞` entries: positions where *every* contribution is `+∞`
+        /// must be dropped by all kernels alike (exact-annihilator
+        /// cancellation), while positions that also receive a finite
+        /// value must keep the finite minimum.
+        #[test]
+        fn merge_kernels_bit_identical_under_min_plus(
+            n in 4usize..24,
+            k in 2usize..9,
+            seed in 0u64..32,
+            with_cancel in proptest::prelude::any::<bool>(),
+        ) {
+            let s = MinPlus;
+            let mut mats = slabs(n, k);
+            if with_cancel {
+                // Annihilator slab: all entries are +∞ ("no path").
+                let mut inf = random_csc(n, n, n * 3, 500 + seed);
+                for v in &mut inf.vals {
+                    *v = f64::INFINITY;
+                }
+                mats.push(inf);
+            }
+            let shape = (n, n);
+            let heap = merge_with(s, MergeKernel::Heap, &mats, shape);
+            let pairwise = merge_with(s, MergeKernel::Pairwise, &mats, shape);
+            let hash = merge_with(s, MergeKernel::Hash, &mats, shape);
+            heap.assert_valid();
+            prop_assert_eq!(&heap, &pairwise);
+            prop_assert_eq!(&heap, &hash);
+            prop_assert!(
+                heap.vals.iter().all(|v| v.is_finite()),
+                "accumulated +∞ entries must be dropped, not stored"
+            );
+        }
+
+        /// Boolean: bit-identity when ⊕ is `∨` and the annihilator is
+        /// `false`, including explicit stored `false` entries that must
+        /// vanish unless some list contributes `true` at that position.
+        #[test]
+        fn merge_kernels_bit_identical_under_boolean(
+            n in 4usize..24,
+            k in 2usize..9,
+            seed in 0u64..32,
+            with_cancel in proptest::prelude::any::<bool>(),
+        ) {
+            let s = Boolean;
+            let mut mats: Vec<Csc<bool>> = slabs(n, k)
+                .iter()
+                .map(|m| m.map_values(|v| v > 1.0))
+                .collect();
+            if with_cancel {
+                // Annihilator slab: every stored entry is `false`.
+                let f = random_csc(n, n, n * 3, 700 + seed).map_values(|_| false);
+                mats.push(f);
+            }
+            let shape = (n, n);
+            let heap = merge_with(s, MergeKernel::Heap, &mats, shape);
+            let pairwise = merge_with(s, MergeKernel::Pairwise, &mats, shape);
+            let hash = merge_with(s, MergeKernel::Hash, &mats, shape);
+            heap.assert_valid();
+            prop_assert_eq!(&heap, &pairwise);
+            prop_assert_eq!(&heap, &hash);
+            prop_assert!(
+                heap.vals.iter().all(|&v| v),
+                "an OR-accumulation can only store true entries"
+            );
         }
     }
 }

@@ -1,7 +1,7 @@
 //! The Pipelined Sparse SUMMA stage scheduler (§III).
 //!
 //! One code path drives every configuration: for each phase and each of
-//! the `√P` stages the scheduler broadcasts the `A` and `B` blocks,
+//! the `√P` stages the scheduler exchanges the `A` and `B` blocks,
 //! selects a kernel, submits it to the [`Executor`], and decides what to
 //! overlap purely from the launch's completion events:
 //!
@@ -16,20 +16,35 @@
 //! There is deliberately no `match` on CPU-vs-GPU here: where a kernel
 //! runs is the executor's business, and the pipelined/bulk-sync
 //! distinction is a property of this scheduler, not of the kernel.
+//!
+//! # Per-stage communication selection
+//!
+//! Under [`CommPolicy::Hybrid`] each stage operand panel is moved by
+//! whichever collective the machine model prices cheaper for its byte
+//! count: the `⌈lg p⌉`-hop binomial tree, or flat root-sequential
+//! point-to-point sends whose single α wins for small panels
+//! ([`MachineModel::choose_comm_mode`](hipmcl_comm::MachineModel::choose_comm_mode)).
+//! Mode agreement is reached by first tree-broadcasting the panel's byte
+//! count (one 8-byte header) and letting every rank evaluate the same
+//! model — no voting round. [`CommPolicy::Broadcast`] skips the header
+//! and always takes the tree: the exact legacy path. Either way the
+//! choice made for every `(phase, stage, operand)` is recorded as a
+//! [`CommChoice`] in the output, so the policy is observable, not a
+//! hidden constant.
 
 use crate::distmat::DistMatrix;
 use crate::executor::{Executor, LaunchSpec, MergeTask};
 use crate::merge::{
-    algorithm2_merge_count, merge_algo, select_merge_kernel, MergeKernelPolicy, MergeSpan,
+    algorithm2_merge_count, merge_with, select_merge_kernel, MergeKernelPolicy, MergeSpan,
     MergeStats, MergeStrategy,
 };
-use crate::spgemm::SummaConfig;
+use crate::spgemm::{CommChoice, CommPolicy, SummaConfig};
 use hipmcl_comm::clock::StageTimers;
-use hipmcl_comm::collectives::bcast;
-use hipmcl_comm::{Comm, ProcGrid, SpgemmKernel, WireSize};
+use hipmcl_comm::collectives::{bcast, flat_bcast};
+use hipmcl_comm::{Comm, CommMode, ProcGrid, SpgemmKernel, WireSize};
 use hipmcl_gpu::select::select_kernel;
 use hipmcl_sparse::util::even_chunk;
-use hipmcl_sparse::{Csc, Dcsc};
+use hipmcl_sparse::{Csc, Dcsc, Semiring, Value};
 use hipmcl_spgemm::{CohenEstimator, MultAnalysis};
 use std::sync::Arc;
 
@@ -37,26 +52,56 @@ use std::sync::Arc;
 /// HipMCL broadcasts DCSC; an `Arc` keeps the in-process copy free while
 /// the virtual cost reflects the real payload (§III-B).
 #[derive(Clone)]
-struct BlockMsg(Arc<Csc<f64>>, usize);
+struct BlockMsg<T: Value>(Arc<Csc<T>>, usize);
 
-impl WireSize for BlockMsg {
+impl<T: Value> WireSize for BlockMsg<T> {
     fn wire_bytes(&self) -> usize {
         self.1
     }
 }
 
-fn bcast_block(comm: &Comm, root: usize, local: Option<&Csc<f64>>) -> Arc<Csc<f64>> {
-    let payload = local.map(|m| {
-        let bytes = Dcsc::from_csc(m).bytes();
-        BlockMsg(Arc::new(m.clone()), bytes)
-    });
-    bcast(comm, root, payload).0
+/// Moves one stage operand panel from `root` to every rank of `comm`,
+/// returning the block, its wire bytes, and the collective that moved it.
+///
+/// [`CommPolicy::Broadcast`] is the legacy tree, bit-for-bit (no header).
+/// [`CommPolicy::Hybrid`] first tree-broadcasts the byte count so all
+/// ranks agree, then takes the model's cheaper mode for the payload.
+fn exchange_block<T: Value>(
+    comm: &Comm,
+    policy: CommPolicy,
+    root: usize,
+    local: Option<&Csc<T>>,
+) -> (Arc<Csc<T>>, usize, CommMode) {
+    match policy {
+        CommPolicy::Broadcast => {
+            let payload = local.map(|m| {
+                let bytes = Dcsc::from_csc(m).bytes();
+                BlockMsg(Arc::new(m.clone()), bytes)
+            });
+            let msg = bcast(comm, root, payload);
+            (msg.0, msg.1, CommMode::Broadcast)
+        }
+        CommPolicy::Hybrid => {
+            let sized = local.map(|m| (Dcsc::from_csc(m).bytes(), m));
+            // Header round: every rank learns the payload size over the
+            // tree (8 bytes), then evaluates the same machine model — so
+            // the mode decision is agreed without any extra exchange.
+            let bytes = bcast(comm, root, sized.map(|(b, _)| b as u64)) as usize;
+            let mode = comm.model().choose_comm_mode(comm.size(), bytes);
+            let payload = sized.map(|(b, m)| BlockMsg(Arc::new(m.clone()), b));
+            let msg = match mode {
+                CommMode::Broadcast => bcast(comm, root, payload),
+                CommMode::Gather => flat_bcast(comm, root, payload),
+            };
+            (msg.0, msg.1, mode)
+        }
+    }
 }
 
 /// What one pipeline run produced, besides the stage timers it filled in.
-pub(crate) struct PipelineOutcome {
+pub(crate) struct PipelineOutcome<T: Value = f64> {
     /// Per-phase merged output slabs (post `on_slab` hook).
-    pub slabs: Vec<Csc<f64>>,
+    pub slabs: Vec<Csc<T>>,
     /// Accumulated merge statistics.
     pub merge_stats: MergeStats,
     /// Every merge operation's timeline span, in submission order.
@@ -65,13 +110,16 @@ pub(crate) struct PipelineOutcome {
     pub cpu_idle: f64,
     /// Kernel recorded for every (phase, stage), `phases × √P` entries.
     pub kernels_used: Vec<SpgemmKernel>,
+    /// Communication mode chosen for every (phase, stage, operand) panel,
+    /// `2 × phases × √P` entries in issue order.
+    pub comm_choices: Vec<CommChoice>,
 }
 
 /// A stage product waiting on the merge stack: the real matrix, the
 /// virtual time it exists from, and the merge lane that produced it
 /// (`None` for kernel products, which have no socket affinity).
-struct Slab {
-    m: Csc<f64>,
+struct Slab<T: Value> {
+    m: Csc<T>,
     ready: f64,
     home: Option<usize>,
 }
@@ -83,21 +131,23 @@ struct Slab {
 /// holds each slab back one stage so its merge (which Algorithm 2 may
 /// trigger) overlaps the next launch; because the merge is an async task
 /// the host never blocks on it mid-phase.
-struct MergeEngine {
+struct MergeEngine<S: Semiring> {
+    sr: S,
     strategy: MergeStrategy,
     policy: MergeKernelPolicy,
     pipelined: bool,
     shape: (usize, usize),
-    stack: Vec<Slab>,
+    stack: Vec<Slab<S::Elem>>,
     pushed: usize,
-    pending: Option<Slab>,
+    pending: Option<Slab<S::Elem>>,
     spans: Vec<MergeSpan>,
     stats: MergeStats,
 }
 
-impl MergeEngine {
-    fn new(cfg: &SummaConfig, shape: (usize, usize)) -> Self {
+impl<S: Semiring> MergeEngine<S> {
+    fn new(sr: S, cfg: &SummaConfig, shape: (usize, usize)) -> Self {
         Self {
+            sr,
             strategy: cfg.merge,
             policy: cfg.merge_kernel,
             pipelined: cfg.pipelined,
@@ -114,8 +164,8 @@ impl MergeEngine {
     /// task is ready when its last input is, the chosen kernel does the
     /// real work, and the result re-enters the stack homed on the lane
     /// that produced it.
-    fn do_merge(&mut self, comm: &Comm, exec: &mut dyn Executor, count: usize) {
-        let tail: Vec<Slab> = self.stack.split_off(self.stack.len() - count);
+    fn do_merge(&mut self, comm: &Comm, exec: &mut dyn Executor<S>, count: usize) {
+        let tail: Vec<Slab<S::Elem>> = self.stack.split_off(self.stack.len() - count);
         let inputs: Vec<(u64, Option<usize>)> =
             tail.iter().map(|s| (s.m.nnz() as u64, s.home)).collect();
         let ready = tail.iter().map(|s| s.ready).fold(0.0, f64::max);
@@ -126,8 +176,8 @@ impl MergeEngine {
         };
         let task = MergeTask { kernel, inputs };
         let launch = exec.submit_merge(comm.model(), ready, &task);
-        let mats: Vec<Csc<f64>> = tail.into_iter().map(|s| s.m).collect();
-        let merged = merge_algo(kernel).merge(&mats, self.shape);
+        let mats: Vec<Csc<S::Elem>> = tail.into_iter().map(|s| s.m).collect();
+        let merged = merge_with(self.sr, kernel, &mats, self.shape);
         self.spans.push(MergeSpan {
             start: launch.started_at,
             end: launch.output_ready_at,
@@ -150,7 +200,7 @@ impl MergeEngine {
     }
 
     /// Stacks a slab and runs whatever merge Algorithm 2 triggers.
-    fn push_binary(&mut self, comm: &Comm, exec: &mut dyn Executor, slab: Slab) {
+    fn push_binary(&mut self, comm: &Comm, exec: &mut dyn Executor<S>, slab: Slab<S::Elem>) {
         self.stack.push(slab);
         self.pushed += 1;
         let count = algorithm2_merge_count(self.pushed);
@@ -160,7 +210,13 @@ impl MergeEngine {
     }
 
     /// Accepts a stage product that is mergeable from `ready_at`.
-    fn accept(&mut self, comm: &Comm, exec: &mut dyn Executor, slab: Csc<f64>, ready_at: f64) {
+    fn accept(
+        &mut self,
+        comm: &Comm,
+        exec: &mut dyn Executor<S>,
+        slab: Csc<S::Elem>,
+        ready_at: f64,
+    ) {
         let slab = Slab {
             m: slab,
             ready: ready_at,
@@ -194,7 +250,7 @@ impl MergeEngine {
     /// Algorithm 2's `finish` collapse of the remaining stack). All of it
     /// is async lane work — the host does not wait here; that is
     /// [`drain`](Self::drain)'s job, which pipelining defers one phase.
-    fn seal(&mut self, comm: &Comm, exec: &mut dyn Executor) {
+    fn seal(&mut self, comm: &Comm, exec: &mut dyn Executor<S>) {
         if let Some(prev) = self.pending.take() {
             self.push_binary(comm, exec, prev);
         }
@@ -215,7 +271,7 @@ impl MergeEngine {
         merge_stats: &mut MergeStats,
         merge_spans: &mut Vec<MergeSpan>,
         cpu_idle: &mut f64,
-    ) -> Csc<f64> {
+    ) -> Csc<S::Elem> {
         let ready = self.stack.last().map_or(comm.now(), |s| s.ready);
         self.stats.wait_time += comm.wait_clock_until(ready);
 
@@ -230,50 +286,75 @@ impl MergeEngine {
 }
 
 /// Runs all phases and stages of one distributed multiplication through
-/// `exec`. Fills `timers`; returns the per-phase output slabs and the
-/// idle/instrumentation accumulators. Collective over the grid.
+/// `exec`, in semiring `s`. Fills `timers`; returns the per-phase output
+/// slabs and the idle/instrumentation accumulators. Collective over the
+/// grid.
 #[allow(clippy::too_many_arguments)]
-pub(crate) fn run<F>(
+pub(crate) fn run<S, F>(
+    s: S,
     grid: &ProcGrid,
-    exec: &mut dyn Executor,
-    a: &DistMatrix,
-    b: &DistMatrix,
+    exec: &mut dyn Executor<S>,
+    a: &DistMatrix<S::Elem>,
+    b: &DistMatrix<S::Elem>,
     cfg: &SummaConfig,
     phases: usize,
     cf_hint: Option<f64>,
     timers: &mut StageTimers,
     mut on_slab: F,
-) -> PipelineOutcome
+) -> PipelineOutcome<S::Elem>
 where
-    F: FnMut(usize, Csc<f64>) -> Csc<f64>,
+    S: Semiring,
+    F: FnMut(usize, Csc<S::Elem>) -> Csc<S::Elem>,
 {
     let comm = &grid.world;
     let side = grid.side;
     let probe = CohenEstimator::new(4, cfg.seed ^ 0xABCD);
     let mut kernels_used = Vec::with_capacity(phases * side);
+    let mut comm_choices: Vec<CommChoice> = Vec::with_capacity(2 * phases * side);
     let mut merge_stats = MergeStats::default();
     let mut merge_spans: Vec<MergeSpan> = Vec::new();
     let mut cpu_idle = 0.0f64;
     let local_cols = b.local.ncols();
-    let mut slabs: Vec<Csc<f64>> = Vec::with_capacity(phases);
+    let mut slabs: Vec<Csc<S::Elem>> = Vec::with_capacity(phases);
     // Under pipelining the previous phase's sealed engine drains only
     // after this phase's stage loop, so its closing merge overlaps the
     // next round of broadcasts and launches (phases sliced from `B` are
     // independent; only the per-phase hook needs the merged slab).
-    let mut sealed: Option<(usize, MergeEngine)> = None;
+    let mut sealed: Option<(usize, MergeEngine<S>)> = None;
 
     for ph in 0..phases {
         let cols = even_chunk(local_cols, phases, ph);
         let b_phase = b.local.column_slice(cols);
         // Every stage product this phase has the same block shape.
-        let mut merge = MergeEngine::new(cfg, (a.local.nrows(), b_phase.ncols()));
+        let mut merge = MergeEngine::new(s, cfg, (a.local.nrows(), b_phase.ncols()));
 
         for k in 0..side {
-            // --- SUMMA broadcasts -------------------------------------
+            // --- SUMMA exchanges (mode per panel, §III-B) -------------
             let t0 = comm.now();
-            let a_blk = bcast_block(&grid.row_comm, k, (grid.col == k).then_some(&a.local));
-            let b_blk = bcast_block(&grid.col_comm, k, (grid.row == k).then_some(&b_phase));
+            let (a_blk, a_bytes, a_mode) = exchange_block(
+                &grid.row_comm,
+                cfg.comm,
+                k,
+                (grid.col == k).then_some(&a.local),
+            );
+            let (b_blk, b_bytes, b_mode) = exchange_block(
+                &grid.col_comm,
+                cfg.comm,
+                k,
+                (grid.row == k).then_some(&b_phase),
+            );
             timers.add("summa_bcast", comm.now() - t0);
+            for (operand, bytes, mode) in [('A', a_bytes, a_mode), ('B', b_bytes, b_mode)] {
+                comm_choices.push(CommChoice {
+                    phase: ph,
+                    stage: k,
+                    operand,
+                    bytes,
+                    mode,
+                    t_tree: comm.model().tree_bcast_time(side, bytes),
+                    t_flat: comm.model().flat_bcast_time(side, bytes),
+                });
+            }
 
             // --- Kernel selection (flops + Cohen cf probe, §III/VI) ----
             let flops = hipmcl_spgemm::flops(&a_blk, &b_blk);
@@ -317,7 +398,7 @@ where
                     flops,
                     cf_est: flops as f64 / nnz_probe.max(1) as f64,
                 };
-                let launch = exec.submit(comm.model(), comm.now(), &a_blk, &b_blk, spec);
+                let launch = exec.submit(s, comm.model(), comm.now(), &a_blk, &b_blk, spec);
                 if cfg.pipelined {
                     // Host resumes as soon as the inputs are handed off.
                     comm.wait_clock_until(launch.inputs_ready_at);
@@ -369,5 +450,6 @@ where
         merge_spans,
         cpu_idle,
         kernels_used,
+        comm_choices,
     }
 }

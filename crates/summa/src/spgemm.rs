@@ -24,7 +24,7 @@
 
 use crate::distmat::DistMatrix;
 use crate::estimate::{
-    estimate_memory, plan_phases, plan_phases_overlap, EstimatorKind, MemoryEstimate,
+    estimate_memory_in, plan_phases, plan_phases_overlap, EstimatorKind, MemoryEstimate,
     OverlapInputs, PhaseDecision, PhasePlanner,
 };
 use crate::executor::{
@@ -33,10 +33,10 @@ use crate::executor::{
 use crate::merge::{MergeKernelPolicy, MergeSpan, MergeStats, MergeStrategy};
 use crate::pipeline::{self, PipelineOutcome};
 use hipmcl_comm::clock::StageTimers;
-use hipmcl_comm::{GpuLib, MergeKernel, ProcGrid, SpgemmKernel};
+use hipmcl_comm::{CommMode, GpuLib, MergeKernel, ProcGrid, SpgemmKernel};
 use hipmcl_gpu::multi::MultiGpu;
 use hipmcl_gpu::select::SelectionPolicy;
-use hipmcl_sparse::{Csc, Dcsc};
+use hipmcl_sparse::{Csc, Dcsc, PlusTimes, Semiring, Value};
 
 /// How the number of SUMMA phases is chosen.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -51,6 +51,72 @@ pub enum PhasePlan {
         /// Unpruned-output bytes each rank may hold at once.
         per_rank_budget: u64,
     },
+}
+
+/// How each SUMMA stage's operand panels are communicated (§III-B).
+///
+/// The classical collective is a binomial-tree broadcast: `⌈lg √P⌉`
+/// rounds, each moving the whole panel. For small panels the `⌈lg √P⌉·α`
+/// latency term dominates and the root sending `√P − 1` flat
+/// point-to-point copies (one `α`, serialized bandwidth) is cheaper; the
+/// crossover sits at `b* = α·(⌈lg p⌉ − 1) / (β·(p − 1 − ⌈lg p⌉))` —
+/// `α/β` at `p = 4` — wherever [`flat_bcast_time`] undercuts
+/// [`tree_bcast_time`].
+///
+/// [`flat_bcast_time`]: hipmcl_comm::MachineModel::flat_bcast_time
+/// [`tree_bcast_time`]: hipmcl_comm::MachineModel::tree_bcast_time
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum CommPolicy {
+    /// Always the binomial-tree broadcast — original HipMCL's collective.
+    /// Bit-exact on the virtual clock with the pre-refactor pipeline.
+    Broadcast,
+    /// Price tree-broadcast vs flat point-to-point per stage panel and
+    /// take the cheaper. An 8-byte panel-size header is tree-broadcast
+    /// first so every rank evaluates the model on the same byte count and
+    /// agrees on the mode without extra negotiation.
+    #[default]
+    Hybrid,
+}
+
+impl CommPolicy {
+    /// Short lowercase name for logs and benchmark tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            CommPolicy::Broadcast => "broadcast",
+            CommPolicy::Hybrid => "hybrid",
+        }
+    }
+}
+
+/// The communication record of one stage operand panel: what was moved,
+/// which mode the policy chose, and what the model priced both modes at.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct CommChoice {
+    /// SUMMA phase the stage belongs to.
+    pub phase: usize,
+    /// Stage index within the phase (`0..√P`).
+    pub stage: usize,
+    /// `'A'` for the row-panel broadcast, `'B'` for the column panel.
+    pub operand: char,
+    /// Wire bytes of the panel (DCSC representation).
+    pub bytes: usize,
+    /// The mode actually used ([`CommMode::Broadcast`] = tree,
+    /// [`CommMode::Gather`] = flat point-to-point).
+    pub mode: CommMode,
+    /// Modeled tree-broadcast time for this panel.
+    pub t_tree: f64,
+    /// Modeled flat point-to-point time for this panel.
+    pub t_flat: f64,
+}
+
+impl CommChoice {
+    /// Modeled time of the mode that was chosen.
+    pub fn chosen_time(&self) -> f64 {
+        match self.mode {
+            CommMode::Broadcast => self.t_tree,
+            CommMode::Gather => self.t_flat,
+        }
+    }
 }
 
 /// Configuration of one distributed multiplication.
@@ -79,6 +145,10 @@ pub struct SummaConfig {
     /// when the modeled steal-time (cross-socket penalty included) beats
     /// waiting. Never changes results, only the virtual schedule.
     pub steal: StealPolicy,
+    /// How stage operand panels are communicated (tree broadcast always,
+    /// or the per-stage modeled broadcast/gather choice). Never changes
+    /// numeric results, only the virtual comm schedule.
+    pub comm: CommPolicy,
     /// Seed for the per-stage Cohen probes driving kernel selection.
     pub seed: u64,
 }
@@ -99,6 +169,7 @@ impl SummaConfig {
             pipelined: false,
             executor: ExecutorKind::Gpus,
             steal: StealPolicy::Off,
+            comm: CommPolicy::Broadcast,
             seed: 0,
         }
     }
@@ -122,6 +193,7 @@ impl SummaConfig {
             pipelined: false,
             executor: ExecutorKind::Gpus,
             steal: StealPolicy::Off,
+            comm: CommPolicy::Hybrid,
             seed: 0,
         }
     }
@@ -144,6 +216,7 @@ impl SummaConfig {
             pipelined: true,
             executor: ExecutorKind::Gpus,
             steal: StealPolicy::CostAware,
+            comm: CommPolicy::Hybrid,
             seed: 0,
         }
     }
@@ -211,9 +284,12 @@ impl From<InvalidSplit> for ConfigError {
 }
 
 /// Result of a distributed multiplication on one rank.
-pub struct SummaOutput {
+///
+/// Generic over the element type; `SummaOutput` with no parameter is the
+/// plus-times `f64` output the MCL driver consumes.
+pub struct SummaOutput<T: Value = f64> {
     /// This rank's block of `C` (post any per-phase hook).
-    pub c: DistMatrix,
+    pub c: DistMatrix<T>,
     /// Virtual-time stage breakdown (`local_spgemm`, `summa_bcast`,
     /// `merge`, `mem_estimation`, `other`).
     pub timers: StageTimers,
@@ -250,6 +326,27 @@ pub struct SummaOutput {
     /// for non-hybrid executors). The observable trace of the
     /// [`SplitPolicy`](crate::executor::SplitPolicy) decisions.
     pub hybrid_fractions: Vec<f64>,
+    /// Per-stage communication record: two entries per executed stage
+    /// (operand `A` then `B`), with the panel bytes, chosen mode and the
+    /// model's price for both modes. Under [`CommPolicy::Broadcast`]
+    /// every entry's mode is `Broadcast`.
+    pub comm_choices: Vec<CommChoice>,
+}
+
+impl<T: Value> SummaOutput<T> {
+    /// Modeled communication time of the stage panels as actually moved —
+    /// the sum of each [`CommChoice`]'s chosen-mode price.
+    pub fn modeled_comm_time(&self) -> f64 {
+        self.comm_choices.iter().map(|c| c.chosen_time()).sum()
+    }
+
+    /// Modeled communication time had every panel used the tree
+    /// broadcast — the [`CommPolicy::Broadcast`] baseline over the same
+    /// panels. `modeled_comm_time() <= modeled_comm_time_broadcast()`
+    /// whenever the per-panel choice is the model's argmin.
+    pub fn modeled_comm_time_broadcast(&self) -> f64 {
+        self.comm_choices.iter().map(|c| c.t_tree).sum()
+    }
 }
 
 /// Distributed `C = A·B` with the identity per-phase hook.
@@ -263,30 +360,49 @@ pub fn summa_spgemm(
     summa_spgemm_with(grid, gpus, a, b, cfg, |_, c| c)
 }
 
+/// Distributed `C = A ⊕.⊗ B` over an arbitrary semiring, identity hook.
+///
+/// The semiring-generic twin of [`summa_spgemm`]: the same Pipelined
+/// Sparse SUMMA machinery (phase planning, executor scheduling, merge
+/// engine, per-stage comm selection) instantiated at `S` — min-plus for
+/// shortest paths, boolean for reachability, plus-times for MCL.
+pub fn summa_spgemm_in<S: Semiring>(
+    s: S,
+    grid: &ProcGrid,
+    gpus: &mut MultiGpu,
+    a: &DistMatrix<S::Elem>,
+    b: &DistMatrix<S::Elem>,
+    cfg: &SummaConfig,
+) -> SummaOutput<S::Elem> {
+    summa_spgemm_with_in(s, grid, gpus, a, b, cfg, |_, c| c)
+}
+
 /// Runs the pipeline with idle accounting bracketed around it: timelines
 /// reset first (the gap between the previous expansion's last kernel and
 /// this one's first is not pipeline idle — Table V measures idleness
 /// *within* the Pipelined Sparse SUMMA), device idle read as a delta
 /// after.
 #[allow(clippy::too_many_arguments)]
-fn run_on<F>(
+fn run_on<S, F>(
+    s: S,
     grid: &ProcGrid,
-    exec: &mut dyn Executor,
-    a: &DistMatrix,
-    b: &DistMatrix,
+    exec: &mut dyn Executor<S>,
+    a: &DistMatrix<S::Elem>,
+    b: &DistMatrix<S::Elem>,
     cfg: &SummaConfig,
     phases: usize,
     cf_hint: Option<f64>,
     timers: &mut StageTimers,
     on_slab: F,
-) -> (PipelineOutcome, f64, f64)
+) -> (PipelineOutcome<S::Elem>, f64, f64)
 where
-    F: FnMut(usize, Csc<f64>) -> Csc<f64>,
+    S: Semiring,
+    F: FnMut(usize, Csc<S::Elem>) -> Csc<S::Elem>,
 {
     exec.reset_timelines();
     let idle0 = exec.device_idle();
     let lane_idle0 = exec.merge_lane_idle();
-    let outcome = pipeline::run(grid, exec, a, b, cfg, phases, cf_hint, timers, on_slab);
+    let outcome = pipeline::run(s, grid, exec, a, b, cfg, phases, cf_hint, timers, on_slab);
     let device_idle = exec.device_idle() - idle0;
     let merge_lane_idle = exec.merge_lane_idle() - lane_idle0;
     (outcome, device_idle, merge_lane_idle)
@@ -310,6 +426,24 @@ pub fn summa_spgemm_with<F>(
 where
     F: FnMut(usize, Csc<f64>) -> Csc<f64>,
 {
+    summa_spgemm_with_in(PlusTimes::<f64>::new(), grid, gpus, a, b, cfg, on_slab)
+}
+
+/// Distributed `C = A ⊕.⊗ B` over an arbitrary semiring with a per-phase
+/// output hook — the generic engine behind every other entry point.
+pub fn summa_spgemm_with_in<S, F>(
+    s: S,
+    grid: &ProcGrid,
+    gpus: &mut MultiGpu,
+    a: &DistMatrix<S::Elem>,
+    b: &DistMatrix<S::Elem>,
+    cfg: &SummaConfig,
+    on_slab: F,
+) -> SummaOutput<S::Elem>
+where
+    S: Semiring,
+    F: FnMut(usize, Csc<S::Elem>) -> Csc<S::Elem>,
+{
     assert_eq!(
         a.ncols_global, b.nrows_global,
         "global inner dims must agree"
@@ -327,7 +461,7 @@ where
             per_rank_budget,
         } => {
             let t0 = comm.now();
-            let est = estimate_memory(grid, a, b, estimator, cfg.seed);
+            let est = estimate_memory_in(s, grid, a, b, estimator, cfg.seed);
             timers.add("mem_estimation", comm.now() - t0);
             match cfg.planner {
                 PhasePlanner::MemoryOnly => (
@@ -391,6 +525,7 @@ where
         ExecutorKind::Gpus => {
             let mut exec = GpuExecutor::new(gpus, comm.model()).with_steal(cfg.steal);
             let (o, idle, lane_idle) = run_on(
+                s,
                 grid,
                 &mut exec,
                 a,
@@ -406,6 +541,7 @@ where
         ExecutorKind::CpuPool => {
             let mut pool = CpuPool::for_model(comm.model()).with_steal(cfg.steal);
             let (o, idle, lane_idle) = run_on(
+                s,
                 grid,
                 &mut pool,
                 a,
@@ -421,6 +557,7 @@ where
         ExecutorKind::Hybrid { split } => {
             let mut hybrid = Hybrid::for_model(gpus, split, comm.model()).with_steal(cfg.steal);
             let (o, idle, lane_idle) = run_on(
+                s,
                 grid,
                 &mut hybrid,
                 a,
@@ -442,6 +579,7 @@ where
         merge_spans,
         cpu_idle,
         kernels_used,
+        comm_choices,
     } = outcome;
     let local = if slabs.len() == 1 {
         slabs.pop().unwrap()
@@ -466,6 +604,7 @@ where
         phases,
         kernels_used,
         hybrid_fractions,
+        comm_choices,
     }
 }
 
@@ -518,6 +657,7 @@ mod tests {
             pipelined: false,
             executor: ExecutorKind::Gpus,
             steal: StealPolicy::default(),
+            comm: CommPolicy::Hybrid,
             seed: 7,
         }
     }
@@ -1089,6 +1229,146 @@ mod tests {
             ..base_cfg()
         };
         assert!(ok.validate().is_ok());
+    }
+
+    #[test]
+    fn comm_policy_never_changes_the_product() {
+        let want = serial_product(26, 220, 19);
+        for comm in [CommPolicy::Broadcast, CommPolicy::Hybrid] {
+            for p in [4usize, 9] {
+                let cfg = SummaConfig {
+                    merge: MergeStrategy::Binary,
+                    pipelined: true,
+                    comm,
+                    ..base_cfg()
+                };
+                let got = run_config(26, 220, 19, p, cfg);
+                assert!(got.max_abs_diff(&want) < 1e-9, "{comm:?} p={p}");
+                assert_eq!(got.nnz(), want.nnz(), "{comm:?} p={p}");
+            }
+        }
+    }
+
+    #[test]
+    fn comm_choices_record_every_stage_panel() {
+        for comm in [CommPolicy::Broadcast, CommPolicy::Hybrid] {
+            let results = Universe::run(4, MachineModel::summit(), move |comm_| {
+                let grid = ProcGrid::new(comm_);
+                let g = random_global(28, 300, 20);
+                let a = DistMatrix::from_global(&grid, &g);
+                let mut gpus = MultiGpu::summit_node(grid.world.model());
+                let cfg = SummaConfig {
+                    phases: PhasePlan::Fixed(2),
+                    comm,
+                    ..base_cfg()
+                };
+                let out = summa_spgemm(&grid, &mut gpus, &a, &a, &cfg);
+                (out.comm_choices, out.phases, grid.side)
+            });
+            for (choices, phases, side) in results {
+                // Two operand panels per executed stage.
+                assert_eq!(choices.len(), 2 * phases * side, "{comm:?}");
+                for c in &choices {
+                    assert!(c.phase < phases && c.stage < side);
+                    assert!(c.operand == 'A' || c.operand == 'B');
+                    assert!(c.t_tree > 0.0 && c.t_flat > 0.0);
+                    if comm == CommPolicy::Broadcast {
+                        assert_eq!(c.mode, CommMode::Broadcast, "{c:?}");
+                    } else {
+                        // Hybrid takes the model's argmin for each panel.
+                        let want = if c.t_flat <= c.t_tree {
+                            CommMode::Gather
+                        } else {
+                            CommMode::Broadcast
+                        };
+                        assert_eq!(c.mode, want, "{c:?}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn hybrid_modeled_comm_never_exceeds_broadcast() {
+        // The per-panel argmin makes the chosen-mode sum a lower bound on
+        // the all-broadcast sum over the same panels. On a 4×4 grid the
+        // row/col communicators have 4 ranks, where the flat/tree
+        // crossover sits at b* = α/β ≈ 69 kB on Summit; this workload's
+        // panels are far below it, so Hybrid picks flat sends and
+        // strictly wins. (On a 2×2 grid both modes cost the same — one
+        // round, one copy — so 16 ranks are needed to see a difference.)
+        let results = Universe::run(16, MachineModel::summit(), |comm| {
+            let grid = ProcGrid::new(comm);
+            let g = random_global(40, 400, 21);
+            let a = DistMatrix::from_global(&grid, &g);
+            let mut gpus = MultiGpu::summit_node(grid.world.model());
+            let cfg = SummaConfig {
+                phases: PhasePlan::Fixed(2),
+                ..base_cfg()
+            };
+            let out = summa_spgemm(&grid, &mut gpus, &a, &a, &cfg);
+            (
+                out.modeled_comm_time(),
+                out.modeled_comm_time_broadcast(),
+                out.comm_choices.iter().any(|c| c.mode == CommMode::Gather),
+            )
+        });
+        for (hybrid, bcast, any_gather) in results {
+            assert!(hybrid <= bcast, "hybrid {hybrid} vs broadcast {bcast}");
+            assert!(any_gather, "small panels must cross to flat sends");
+            assert!(hybrid < bcast, "sub-crossover panels must strictly win");
+        }
+    }
+
+    #[test]
+    fn min_plus_summa_matches_serial_reference() {
+        use hipmcl_sparse::MinPlus;
+        let g = random_global(22, 160, 22);
+        let gc = Csc::from_triples_in(MinPlus, &g);
+        let want = hipmcl_spgemm::hash::multiply_in(MinPlus, &gc, &gc);
+        let results = Universe::run(4, MachineModel::summit(), |comm| {
+            let grid = ProcGrid::new(comm);
+            let g = random_global(22, 160, 22);
+            let a = DistMatrix::from_global_in(MinPlus, &grid, &g);
+            let mut gpus = MultiGpu::summit_node(grid.world.model());
+            let cfg = SummaConfig {
+                merge: MergeStrategy::Binary,
+                pipelined: true,
+                ..base_cfg()
+            };
+            let out = summa_spgemm_in(MinPlus, &grid, &mut gpus, &a, &a, &cfg);
+            out.c.gather_to_root_in(MinPlus, &grid)
+        });
+        let got = results.into_iter().next().unwrap().unwrap();
+        assert_eq!(got, want, "min-plus SUMMA must be bit-identical");
+    }
+
+    fn random_bool_global(n: usize, nnz: usize, seed: u64) -> Triples<bool> {
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(seed);
+        let mut t = Triples::new(n, n);
+        for _ in 0..nnz {
+            t.push(rng.gen_range(0..n) as Idx, rng.gen_range(0..n) as Idx, true);
+        }
+        t.sum_duplicates_in(hipmcl_sparse::Boolean);
+        t
+    }
+
+    #[test]
+    fn boolean_summa_matches_serial_reference() {
+        use hipmcl_sparse::Boolean;
+        let g = random_bool_global(24, 180, 23);
+        let gc = Csc::from_triples_in(Boolean, &g);
+        let want = hipmcl_spgemm::hash::multiply_in(Boolean, &gc, &gc);
+        let results = Universe::run(9, MachineModel::summit(), |comm| {
+            let grid = ProcGrid::new(comm);
+            let g = random_bool_global(24, 180, 23);
+            let a = DistMatrix::from_global_in(Boolean, &grid, &g);
+            let mut gpus = MultiGpu::summit_node(grid.world.model());
+            let out = summa_spgemm_in(Boolean, &grid, &mut gpus, &a, &a, &base_cfg());
+            out.c.gather_to_root_in(Boolean, &grid)
+        });
+        let got = results.into_iter().next().unwrap().unwrap();
+        assert_eq!(got, want, "boolean SUMMA must be bit-identical");
     }
 
     #[test]

@@ -1,0 +1,155 @@
+//! Weighted-digraph generator and serial all-pairs shortest-path
+//! reference for the min-plus SUMMA workload.
+//!
+//! The distributed computation squares the adjacency matrix under the
+//! min-plus semiring: with `D_0 = A` (diagonal 0, edge weights off the
+//! diagonal, `+∞` implicit elsewhere), `D_{k+1} = D_k ⊗.min D_k` doubles
+//! the hop horizon, so `⌈lg n⌉` squarings converge to the all-pairs
+//! distance matrix. The reference here is plain per-source Bellman–Ford.
+//!
+//! Weights are small *integers stored as `f64`*, so every path sum is
+//! exact in floating point regardless of association order — hop-doubling
+//! groups additions differently from edge-by-edge relaxation, and the two
+//! must still agree bit for bit.
+
+use hipmcl_sparse::{Csc, Idx, MinPlus, Triples};
+use rand::{Rng, SeedableRng};
+
+/// Generates a weighted digraph for shortest paths: `m` random arcs with
+/// integer weights in `1..=9` (stored as `f64`), plus an explicit `0.0`
+/// diagonal (distance zero to self — required for hop-doubling, since the
+/// min-plus implicit zero is `+∞`). Duplicate arcs keep the minimum
+/// weight. Deterministic in `seed`.
+pub fn generate_apsp_digraph(n: usize, m: usize, seed: u64) -> Triples<f64> {
+    let mut rng = rand::rngs::SmallRng::seed_from_u64(seed);
+    let mut t = Triples::with_capacity(n, n, m + n);
+    for _ in 0..m {
+        let r = rng.gen_range(0..n);
+        let c = rng.gen_range(0..n);
+        if r != c {
+            t.push(r as Idx, c as Idx, rng.gen_range(1..=9) as f64);
+        }
+    }
+    for i in 0..n {
+        t.push(i as Idx, i as Idx, 0.0);
+    }
+    t.sum_duplicates_in(MinPlus);
+    t
+}
+
+/// Serial all-pairs shortest paths by per-source Bellman–Ford relaxation.
+/// Returns the distance matrix as min-plus CSC: finite distances only
+/// (`+∞` — unreachable — is the semiring's implicit zero and is absent),
+/// including the explicit `0.0` self-distances.
+pub fn bellman_ford_apsp(g: &Triples<f64>) -> Csc<f64> {
+    let n = g.nrows();
+    assert_eq!(n, g.ncols(), "APSP needs a square adjacency matrix");
+    let arcs: Vec<(usize, usize, f64)> = g
+        .iter()
+        .map(|(r, c, w)| (r as usize, c as usize, w))
+        .collect();
+    let mut dist = Triples::new(n, n);
+    for src in 0..n {
+        let mut d = vec![f64::INFINITY; n];
+        d[src] = 0.0;
+        // At most n−1 relaxation rounds; stop early once stable.
+        for _ in 1..n.max(2) {
+            let mut changed = false;
+            for &(u, v, w) in &arcs {
+                let cand = d[u] + w;
+                if cand < d[v] {
+                    d[v] = cand;
+                    changed = true;
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+        for (v, &dv) in d.iter().enumerate() {
+            if dv.is_finite() {
+                dist.push(src as Idx, v as Idx, dv);
+            }
+        }
+    }
+    Csc::from_triples_in(MinPlus, &dist)
+}
+
+/// Serial hop-doubling reference: squares the matrix under min-plus until
+/// a fixed point, mirroring what the distributed pipeline does. Converges
+/// in at most `⌈lg n⌉` squarings.
+pub fn min_plus_closure(g: &Triples<f64>) -> Csc<f64> {
+    let mut d = Csc::from_triples_in(MinPlus, g);
+    let mut hops = 1usize;
+    while hops < g.nrows().max(1) {
+        let next = hipmcl_spgemm::hash::multiply_in(MinPlus, &d, &d);
+        if next == d {
+            break;
+        }
+        d = next;
+        hops *= 2;
+    }
+    d
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generator_is_deterministic_with_zero_diagonal() {
+        let a = generate_apsp_digraph(50, 200, 1);
+        assert_eq!(a, generate_apsp_digraph(50, 200, 1));
+        let m = Csc::from_triples_in(MinPlus, &a);
+        for i in 0..50 {
+            assert_eq!(m.get(i, i), Some(0.0), "diagonal must be explicit 0");
+        }
+    }
+
+    #[test]
+    fn duplicate_arcs_keep_the_minimum() {
+        let mut t = Triples::new(3, 3);
+        t.push(0, 1, 7.0);
+        t.push(0, 1, 3.0);
+        t.sum_duplicates_in(MinPlus);
+        assert_eq!(t.iter().next().unwrap(), (0, 1, 3.0));
+    }
+
+    #[test]
+    fn bellman_ford_on_a_line_graph() {
+        // 0 →(2) 1 →(3) 2, so d(0,2) = 5 and nothing reaches 0.
+        let mut t = Triples::new(3, 3);
+        t.push(0, 1, 2.0);
+        t.push(1, 2, 3.0);
+        for i in 0..3 {
+            t.push(i, i, 0.0);
+        }
+        let d = bellman_ford_apsp(&t);
+        assert_eq!(d.get(0, 1), Some(2.0));
+        assert_eq!(d.get(0, 2), Some(5.0));
+        assert_eq!(d.get(2, 0), None, "2 must not reach 0");
+        assert_eq!(d.get(1, 1), Some(0.0));
+    }
+
+    #[test]
+    fn hop_doubling_matches_bellman_ford_bit_for_bit() {
+        for seed in [1u64, 5, 11] {
+            let g = generate_apsp_digraph(40, 160, seed);
+            assert_eq!(min_plus_closure(&g), bellman_ford_apsp(&g), "seed={seed}");
+        }
+    }
+
+    #[test]
+    fn shorter_two_hop_path_beats_direct_arc() {
+        // Direct 0→2 costs 9; via 1 costs 2+3=5.
+        let mut t = Triples::new(3, 3);
+        t.push(0, 2, 9.0);
+        t.push(0, 1, 2.0);
+        t.push(1, 2, 3.0);
+        for i in 0..3 {
+            t.push(i, i, 0.0);
+        }
+        let d = bellman_ford_apsp(&t);
+        assert_eq!(d.get(0, 2), Some(5.0));
+    }
+}

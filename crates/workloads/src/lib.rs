@@ -17,14 +17,23 @@
 //! * [`registry`] — the paper's six networks (Table I) mapped to scaled
 //!   synthetic instances with matched average degree, one constructor per
 //!   network, so benches can say `Dataset::Archaea.instance(scale)`.
+//! * [`apsp`] — weighted digraphs plus a Bellman–Ford all-pairs
+//!   shortest-path reference for the **min-plus** SUMMA workload.
+//! * [`reach`] — digraphs plus a BFS transitive-closure reference for the
+//!   **boolean** SUMMA workload.
 //!
-//! All generators are deterministic in their seed and rayon-parallel.
+//! All generators are deterministic in their seed; the matrix-market
+//! generators are rayon-parallel.
 
+pub mod apsp;
 pub mod er;
 pub mod protein;
+pub mod reach;
 pub mod registry;
 pub mod rmat;
 pub mod stats;
 
+pub use apsp::{bellman_ford_apsp, generate_apsp_digraph};
 pub use protein::{generate_protein_net, ProteinNetConfig};
+pub use reach::{bfs_closure, generate_reach_digraph};
 pub use registry::Dataset;

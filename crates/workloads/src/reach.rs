@@ -1,0 +1,117 @@
+//! Digraph generator and serial transitive-closure reference for the
+//! boolean SUMMA workload.
+//!
+//! The distributed computation squares the reflexive adjacency matrix
+//! under the boolean semiring (`⊕` = or, `⊗` = and): with `R_0 = A ∨ I`,
+//! `R_{k+1} = R_k ∧.∨ R_k` doubles the reachable hop horizon, so
+//! `⌈lg n⌉` squarings converge to the transitive closure. The reference
+//! here is a plain breadth-first search from every vertex.
+
+use hipmcl_sparse::{Boolean, Csc, Idx, Triples};
+use rand::{Rng, SeedableRng};
+use std::collections::VecDeque;
+
+/// Generates a random digraph for reachability: `m` random arcs plus the
+/// full diagonal (reflexivity — required for hop-doubling, which otherwise
+/// loses short paths when squaring). Deterministic in `seed`.
+pub fn generate_reach_digraph(n: usize, m: usize, seed: u64) -> Triples<bool> {
+    let mut rng = rand::rngs::SmallRng::seed_from_u64(seed);
+    let mut t = Triples::with_capacity(n, n, m + n);
+    for _ in 0..m {
+        let r = rng.gen_range(0..n);
+        let c = rng.gen_range(0..n);
+        if r != c {
+            t.push(r as Idx, c as Idx, true);
+        }
+    }
+    for i in 0..n {
+        t.push(i as Idx, i as Idx, true);
+    }
+    t.sum_duplicates_in(Boolean);
+    t
+}
+
+/// Serial transitive closure by BFS from every source. Returns the
+/// closure as boolean CSC: `(i, j)` present iff `j` is reachable from `i`
+/// (every vertex reaches itself through the reflexive diagonal).
+pub fn bfs_closure(g: &Triples<bool>) -> Csc<bool> {
+    let n = g.nrows();
+    assert_eq!(n, g.ncols(), "closure needs a square adjacency matrix");
+    let mut adj = vec![Vec::new(); n];
+    for (r, c, v) in g.iter() {
+        if v {
+            adj[r as usize].push(c as usize);
+        }
+    }
+    let mut closure = Triples::new(n, n);
+    let mut seen = vec![usize::MAX; n]; // seen[v] == src marks this BFS
+    let mut queue = VecDeque::new();
+    for src in 0..n {
+        seen[src] = src;
+        queue.push_back(src);
+        while let Some(u) = queue.pop_front() {
+            closure.push(src as Idx, u as Idx, true);
+            for &v in &adj[u] {
+                if seen[v] != src {
+                    seen[v] = src;
+                    queue.push_back(v);
+                }
+            }
+        }
+    }
+    Csc::from_triples_in(Boolean, &closure)
+}
+
+/// Serial hop-doubling reference: squares the matrix under the boolean
+/// semiring until a fixed point, mirroring the distributed pipeline.
+pub fn boolean_closure(g: &Triples<bool>) -> Csc<bool> {
+    let mut r = Csc::from_triples_in(Boolean, g);
+    let mut hops = 1usize;
+    while hops < g.nrows().max(1) {
+        let next = hipmcl_spgemm::hash::multiply_in(Boolean, &r, &r);
+        if next == r {
+            break;
+        }
+        r = next;
+        hops *= 2;
+    }
+    r
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generator_is_deterministic_and_reflexive() {
+        let a = generate_reach_digraph(60, 200, 1);
+        assert_eq!(a, generate_reach_digraph(60, 200, 1));
+        let m = Csc::from_triples_in(Boolean, &a);
+        for i in 0..60 {
+            assert_eq!(m.get(i, i), Some(true));
+        }
+    }
+
+    #[test]
+    fn bfs_closure_on_a_line_graph() {
+        // 0 → 1 → 2: row 0 reaches everything, row 2 only itself.
+        let mut t = Triples::new(3, 3);
+        t.push(0, 1, true);
+        t.push(1, 2, true);
+        for i in 0..3 {
+            t.push(i, i, true);
+        }
+        let c = bfs_closure(&t);
+        assert_eq!(c.get(0, 2), Some(true));
+        assert_eq!(c.get(2, 0), None);
+        assert_eq!(c.nnz(), 6); // 3 + 2 + 1
+    }
+
+    #[test]
+    fn hop_doubling_matches_bfs_closure() {
+        for seed in [2u64, 7, 13] {
+            let g = generate_reach_digraph(45, 140, seed);
+            assert_eq!(boolean_closure(&g), bfs_closure(&g), "seed={seed}");
+        }
+    }
+}

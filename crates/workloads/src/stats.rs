@@ -1,6 +1,6 @@
 //! Graph statistics used by the benches' workload descriptions.
 
-use hipmcl_sparse::{Csc, Scalar};
+use hipmcl_sparse::{Csc, Value};
 
 /// Summary statistics of a graph / sparse matrix.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -18,7 +18,7 @@ pub struct GraphStats {
 }
 
 /// Computes [`GraphStats`] for a CSC matrix.
-pub fn graph_stats<T: Scalar>(m: &Csc<T>) -> GraphStats {
+pub fn graph_stats<T: Value>(m: &Csc<T>) -> GraphStats {
     let n = m.ncols();
     let mut max_degree = 0usize;
     let mut empty = 0usize;
@@ -44,7 +44,7 @@ pub fn graph_stats<T: Scalar>(m: &Csc<T>) -> GraphStats {
 
 /// Degree histogram in powers of two: `hist[k]` counts columns with
 /// degree in `[2^k, 2^(k+1))`; `hist[0]` includes degree 0 and 1.
-pub fn degree_histogram<T: Scalar>(m: &Csc<T>) -> Vec<usize> {
+pub fn degree_histogram<T: Value>(m: &Csc<T>) -> Vec<usize> {
     let mut hist = Vec::new();
     for j in 0..m.ncols() {
         let d = m.col_nnz(j);
