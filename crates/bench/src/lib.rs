@@ -615,6 +615,208 @@ pub fn run_lane_steal_probe(
     results.into_iter().next().unwrap()
 }
 
+/// One (network, fan-in) row of the merge-gap ablation
+/// (`probe_merge_gap`): **real wall-clock** times, not virtual-clock
+/// model times. This is the one probe that measures the merge kernels as
+/// host code — the gap it tracks is the host-side accumulator gap the
+/// BRMerge/SpAdd rewrite closes, which the Summit model cannot observe.
+#[derive(Clone, Debug)]
+pub struct MergeGapReport {
+    /// Stage fan-in: how many overlapping SUMMA stage products merge.
+    pub k: usize,
+    /// Total input elements across the `k` stage products.
+    pub total_in_elems: u64,
+    /// Output nonzeros — identical across every configuration: kernels
+    /// are bit-identical within a schedule, and the two schedules agree
+    /// on sparsity structure exactly (asserted inside the probe).
+    pub out_nnz: u64,
+    /// Best-of-reps wall time of one k-way heap merge (original HipMCL's
+    /// accumulator — the pre-PR `kway_merge` baseline).
+    pub t_kway_heap: f64,
+    /// Best-of-reps wall time of one k-way Hussain-style SpAdd merge
+    /// through a persistent [`MergeArena`](hipmcl_summa::merge::MergeArena)
+    /// (what `Auto` now picks at this fan-in).
+    pub t_kway_spadd: f64,
+    /// Best-of-reps wall time of the binary (Algorithm 2) stack under
+    /// `Fixed(Pairwise)` — the pre-arena behavior, where every two-way
+    /// merge allocated and materialized a fresh CSC block.
+    pub t_binary_legacy: f64,
+    /// Best-of-reps wall time of the binary stack under `Auto` — BRMerge
+    /// folds into recycled arena slack (the merger persists across reps,
+    /// modeling the pipeline's [`hipmcl_summa::merge::ArenaPool`] living
+    /// across phases).
+    pub t_binary_arena: f64,
+    /// Elements of slab capacity the persistent arena retained at the
+    /// end — bounded by twice its peak request (the no-leak invariant).
+    pub arena_capacity_elems: usize,
+    /// Largest single buffer request the arena ever served.
+    pub arena_peak_request: usize,
+}
+
+impl MergeGapReport {
+    /// The k-way baseline the engine actually runs: the faster of the
+    /// heap and SpAdd k-way merges.
+    pub fn t_kway(&self) -> f64 {
+        self.t_kway_heap.min(self.t_kway_spadd)
+    }
+
+    /// Binary-vs-k-way gap before this PR: pairwise rematerializing
+    /// stack over the k-way baseline (the ~1.6× EXPERIMENTS.md cites).
+    pub fn legacy_ratio(&self) -> f64 {
+        self.t_binary_legacy / self.t_kway()
+    }
+
+    /// Binary-vs-k-way gap after: arena-backed BRMerge stack over the
+    /// same k-way baseline. The acceptance bar is ≤ 1.2.
+    pub fn arena_ratio(&self) -> f64 {
+        self.t_binary_arena / self.t_kway()
+    }
+}
+
+/// Builds `k` genuine overlapping stage products of the scaled network's
+/// expansion, exactly as Sparse SUMMA produces them: stage `i`
+/// contributes `A(:, J_i) · A(J_i, :)`, so the products share output
+/// support and sum to `A²`. Returned with the common output shape.
+pub fn merge_gap_stage_products(d: Dataset, k: usize) -> (Vec<Csc<f64>>, (usize, usize)) {
+    let cfg = bench_mcl_config_for(d, MclConfig::cpu_pipelined(3 << 20));
+    let a = bench_graph(d, &cfg);
+    let n = a.ncols();
+    let at = a.transposed();
+    let slabs = (0..k)
+        .map(|i| {
+            let cols = n * i / k..n * (i + 1) / k;
+            let a_stage = a.column_slice(cols.clone());
+            let b_stage = at.column_slice(cols).transposed();
+            hipmcl_spgemm::hash::multiply(&a_stage, &b_stage)
+        })
+        .collect();
+    (slabs, (n, n))
+}
+
+/// Asserts two merged results have identical sparsity structure and
+/// values equal up to f64 roundoff — the cross-schedule guarantee (the
+/// binary tree associates sums differently than one k-way pass; within
+/// a schedule, kernels are bit-identical and checked with `==`).
+fn assert_pattern_eq_values_close(a: &Csc<f64>, b: &Csc<f64>) {
+    assert_eq!(a.colptr, b.colptr, "cross-schedule sparsity diverged");
+    assert_eq!(a.rowidx, b.rowidx, "cross-schedule sparsity diverged");
+    for (x, y) in a.vals.iter().zip(&b.vals) {
+        let tol = 1e-12 * x.abs().max(y.abs()).max(1.0);
+        assert!(
+            (x - y).abs() <= tol,
+            "cross-schedule value {x} vs {y} beyond roundoff"
+        );
+    }
+}
+
+/// Measures the real-time merge gap on one network at one fan-in: k-way
+/// heap and k-way arena SpAdd against the binary stack in its legacy
+/// (pairwise, rematerializing) and arena (`Auto`, BRMerge-into-slack)
+/// forms. Each configuration merges the *same* stage products; the probe
+/// asserts outputs are bit-identical within each schedule and
+/// pattern-identical (values equal to roundoff) across schedules before
+/// reporting times (best of `reps`).
+pub fn run_merge_gap_probe(d: Dataset, k: usize, reps: usize) -> MergeGapReport {
+    use hipmcl_comm::{MachineModel, MergeKernel};
+    use hipmcl_sparse::PlusTimes;
+    use hipmcl_summa::merge::{merge_algo, spadd_into, ColsRef, MergeArena, StackMerger};
+
+    let (slabs, shape) = merge_gap_stage_products(d, k);
+    let total_in_elems: u64 = slabs.iter().map(|m| m.nnz() as u64).sum();
+    let reps = reps.max(1);
+
+    let best_of = |mut f: Box<dyn FnMut() -> Csc<f64> + '_>| {
+        let mut best = f64::INFINITY;
+        let mut out = None;
+        for _ in 0..reps {
+            let t0 = std::time::Instant::now();
+            let c = f();
+            best = best.min(t0.elapsed().as_secs_f64());
+            out = Some(c);
+        }
+        (best, out.unwrap())
+    };
+
+    let (t_kway_heap, c_heap) = best_of(Box::new(|| {
+        merge_algo(MergeKernel::Heap).merge(&slabs, shape)
+    }));
+
+    // k-way SpAdd through a persistent arena: after the first rep the
+    // epoch-stamped SPAs and the output slab come back from the free
+    // list, which is exactly how the pipeline runs it across phases.
+    let refs: Vec<ColsRef<'_, f64>> = slabs.iter().map(ColsRef::of).collect();
+    let mut arena: MergeArena<f64> = MergeArena::new();
+    let (t_kway_spadd, c_spadd) = best_of(Box::new(|| {
+        let buf = spadd_into(PlusTimes::<f64>::new(), &refs, shape, &mut arena);
+        let c = buf.to_csc();
+        arena.release(buf);
+        c
+    }));
+
+    // Binary stacks: pushes consume their inputs, so clone outside the
+    // timed region. The legacy form rebuilds the merger every rep (it
+    // kept no reusable state); the arena form keeps one merger alive so
+    // its arena stays warm, as the pipeline's per-lane pool does. The
+    // two forms' reps are interleaved so that, when the probe runs
+    // inside a parallel test harness, CPU contention windows hit both
+    // sides of the comparison instead of skewing one.
+    let mut bm = StackMerger::new(MachineModel::summit(), MergeKernelPolicy::Auto, shape);
+    let mut t_binary_legacy = f64::INFINITY;
+    let mut t_binary_arena = f64::INFINITY;
+    let mut c_legacy = None;
+    let mut c_arena = None;
+    for _ in 0..reps {
+        let mats = slabs.clone();
+        let mut lm = StackMerger::new(
+            MachineModel::summit(),
+            MergeKernelPolicy::Fixed(MergeKernel::Pairwise),
+            shape,
+        );
+        let t0 = std::time::Instant::now();
+        for m in mats {
+            lm.push(m);
+        }
+        let c = lm.finish();
+        t_binary_legacy = t_binary_legacy.min(t0.elapsed().as_secs_f64());
+        c_legacy = Some(c);
+
+        let mats = slabs.clone();
+        let t0 = std::time::Instant::now();
+        for m in mats {
+            bm.push(m);
+        }
+        let c = bm.finish();
+        t_binary_arena = t_binary_arena.min(t0.elapsed().as_secs_f64());
+        c_arena = Some(c);
+    }
+    bm.arena().assert_no_capacity_leak();
+
+    let (c_legacy, c_arena) = (c_legacy.unwrap(), c_arena.unwrap());
+    // Bit-identity is a *kernel* contract: on the same merge inputs any
+    // kernel produces the same bits. Across the two schedules the merge
+    // *tree* differs (Algorithm 2 folds e.g. (s1..4 + s5..6) + s7 + s8),
+    // so coincident f64 sums associate differently — pattern-identical,
+    // equal to roundoff.
+    assert_eq!(c_heap, c_spadd, "k-way SpAdd diverged from k-way heap");
+    assert_eq!(
+        c_legacy, c_arena,
+        "binary arena kernels diverged from binary pairwise"
+    );
+    assert_pattern_eq_values_close(&c_heap, &c_legacy);
+
+    MergeGapReport {
+        k,
+        total_in_elems,
+        out_nnz: c_heap.nnz() as u64,
+        t_kway_heap,
+        t_kway_spadd,
+        t_binary_legacy,
+        t_binary_arena,
+        arena_capacity_elems: bm.arena().capacity_elems(),
+        arena_peak_request: bm.arena().peak_request(),
+    }
+}
+
 /// Prints an aligned table: `headers` then rows of strings.
 pub fn print_table(headers: &[&str], rows: &[Vec<String>]) {
     let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
@@ -964,5 +1166,65 @@ mod tests {
             adaptive.total_idle(),
             fixed.total_idle()
         );
+    }
+
+    #[test]
+    fn merge_gap_arena_stack_not_slower_than_legacy() {
+        // The probe_merge_gap acceptance check, in its robust in-test
+        // form: the arena-backed binary stack (Auto → BRMerge into
+        // recycled slack) must not lose to the legacy rematerializing
+        // pairwise stack on the same stage products. The committed CSV
+        // additionally holds the absolute arena_ratio ≤ 1.2 bar; here we
+        // gate on the relative comparison, which is stable across hosts.
+        // Bit-identity of all four configurations is asserted inside
+        // run_merge_gap_probe itself.
+        let r = run_merge_gap_probe(Dataset::Archaea, 4, 5);
+        assert!(r.out_nnz > 0);
+        assert!(r.total_in_elems >= r.out_nnz);
+        // Standalone the arena stack measures ~0.85× legacy here; the
+        // 15% allowance absorbs scheduler noise from the parallel test
+        // harness on small hosts (reps are interleaved inside the probe
+        // for the same reason).
+        assert!(
+            r.t_binary_arena <= r.t_binary_legacy * 1.15,
+            "arena binary stack {}s must not exceed legacy binary stack {}s by >15%",
+            r.t_binary_arena,
+            r.t_binary_legacy
+        );
+        // The persistent arena obeys the no-leak bound: retained slab
+        // capacity stays within twice its peak request.
+        assert!(r.arena_peak_request > 0);
+        assert!(r.arena_capacity_elems <= 2 * r.arena_peak_request);
+    }
+
+    #[test]
+    fn merge_peak_elems_is_schedule_not_kernel_determined() {
+        // The peak merge working set is a property of the binary
+        // *schedule* (how many slabs coexist), not of which accumulator
+        // runs each merge — so Auto (BRMerge/SpAdd arena kernels) must
+        // report exactly the peak that the heap kernel does on the same
+        // run. Guards against the arena staging buffers ever leaking
+        // into the memory accounting.
+        let planner = PhasePlanner::MemoryOnly;
+        let budget = 3u64 << 20;
+        let heap = run_merge_overlap_probe(
+            4,
+            Dataset::Archaea,
+            MergeKernelPolicy::Fixed(hipmcl_comm::MergeKernel::Heap),
+            planner,
+            budget,
+            2,
+        );
+        let auto = run_merge_overlap_probe(
+            4,
+            Dataset::Archaea,
+            MergeKernelPolicy::Auto,
+            planner,
+            budget,
+            2,
+        );
+        assert_eq!(heap.peak_merge_elems, auto.peak_merge_elems);
+        assert_eq!(heap.merge_ops, auto.merge_ops);
+        assert_eq!(heap.phases, auto.phases);
     }
 }

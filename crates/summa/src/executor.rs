@@ -425,6 +425,13 @@ pub trait Executor<S: Semiring = PlusTimes<f64>> {
     /// timelines, so this overlaps the pool's share of `device_idle`.
     fn merge_lane_idle(&self) -> f64;
 
+    /// Number of merge lanes (per-socket [`Timeline`]s) merges can be
+    /// placed on. The pipeline sizes its per-lane
+    /// [`ArenaPool`](crate::merge::ArenaPool) from this, so every lane's
+    /// merges recycle buffers out of a lane-homed
+    /// [`MergeArena`](crate::merge::MergeArena).
+    fn merge_lane_count(&self) -> usize;
+
     /// Resets all internal timelines (between pipeline sections).
     fn reset_timelines(&mut self);
 }
@@ -502,6 +509,12 @@ impl<'g> GpuExecutor<'g> {
         lanes_idle(&self.lanes)
     }
 
+    /// Number of dedicated merge lanes (see
+    /// [`Executor::merge_lane_count`]).
+    pub fn merge_lane_count(&self) -> usize {
+        self.lanes.len()
+    }
+
     /// Resets all internal timelines (see [`Executor::reset_timelines`]).
     pub fn reset_timelines(&mut self) {
         self.gpus.reset_timelines();
@@ -577,6 +590,10 @@ impl<S: Semiring> Executor<S> for GpuExecutor<'_> {
 
     fn merge_lane_idle(&self) -> f64 {
         GpuExecutor::merge_lane_idle(self)
+    }
+
+    fn merge_lane_count(&self) -> usize {
+        GpuExecutor::merge_lane_count(self)
     }
 
     fn reset_timelines(&mut self) {
@@ -729,6 +746,12 @@ impl CpuPool {
         self.device_idle()
     }
 
+    /// Number of worker lanes merges can occupy (see
+    /// [`Executor::merge_lane_count`]).
+    pub fn merge_lane_count(&self) -> usize {
+        self.lanes.len()
+    }
+
     /// Resets all worker timelines (see [`Executor::reset_timelines`]).
     pub fn reset_timelines(&mut self) {
         for lane in &mut self.lanes {
@@ -788,6 +811,10 @@ impl<S: Semiring> Executor<S> for CpuPool {
     fn merge_lane_idle(&self) -> f64 {
         // The merge lanes are the shared worker timelines.
         CpuPool::merge_lane_idle(self)
+    }
+
+    fn merge_lane_count(&self) -> usize {
+        CpuPool::merge_lane_count(self)
     }
 
     fn reset_timelines(&mut self) {
@@ -984,6 +1011,12 @@ impl<'g> Hybrid<'g> {
         self.pool.merge_lane_idle()
     }
 
+    /// Number of worker lanes merges can occupy (see
+    /// [`Executor::merge_lane_count`]) — the delegated pool's.
+    pub fn merge_lane_count(&self) -> usize {
+        self.pool.merge_lane_count()
+    }
+
     /// Resets all internal timelines (see [`Executor::reset_timelines`]).
     pub fn reset_timelines(&mut self) {
         self.gpus.reset_timelines();
@@ -1085,6 +1118,10 @@ impl<S: Semiring> Executor<S> for Hybrid<'_> {
 
     fn merge_lane_idle(&self) -> f64 {
         Hybrid::merge_lane_idle(self)
+    }
+
+    fn merge_lane_count(&self) -> usize {
+        Hybrid::merge_lane_count(self)
     }
 
     fn reset_timelines(&mut self) {

@@ -50,7 +50,10 @@ pub use executor::{
     CpuPool, Executor, ExecutorKind, GpuExecutor, Hybrid, InvalidSplit, KernelLaunch, LaunchSpec,
     MergeLaunch, MergeTask, SplitController, SplitPolicy,
 };
-pub use merge::{merge_with, MergeKernelPolicy, MergeSpan, MergeStrategy, StackMerger};
+pub use merge::{
+    merge_with, ArenaPool, ColsRef, MergeArena, MergeKernelPolicy, MergeSlab, MergeSpan,
+    MergeStrategy, SlabBuf, StackMerger,
+};
 pub use spgemm::{
     summa_spgemm, summa_spgemm_in, summa_spgemm_with, summa_spgemm_with_in, CommChoice, CommPolicy,
     ConfigError, SummaConfig, SummaOutput,

@@ -15,17 +15,57 @@
 //!   elements than the multiway merge's all-at-once set (the 15–25 %
 //!   peak-memory win of Table III).
 //!
-//! Orthogonally, each individual merge *operation* runs one of three
-//! [`MergeAlgo`] kernels — [`HeapMerge`], [`PairwiseMerge`],
-//! [`HashMerge`] — selected per merge by [`select_merge_kernel`], which
+//! Orthogonally, each individual merge *operation* runs one of five
+//! kernels, selected per merge by [`select_merge_kernel`], which
 //! evaluates [`MachineModel::merge_time_with`] for the merge's fan-in and
 //! element count (the merge-side analogue of the `cf`-based SpGEMM kernel
-//! selector). All three produce **bit-identical** output: they accumulate
-//! coincident entries strictly in list order with the semiring's `⊕` and
-//! drop entries whose final value is the semiring's annihilator (exactly
-//! `0.0` for plus-times, `+∞` for min-plus, `false` for boolean), so
-//! kernel choice can never change a result — in any semiring
-//! (property-tested below for plus-times, min-plus and boolean).
+//! selector):
+//!
+//! * [`MergeKernel::Heap`] / [`MergeKernel::Pairwise`] /
+//!   [`MergeKernel::Hash`] — the original trio, each materializing a
+//!   fresh [`Csc`] per merge op (kept as ablation baselines);
+//! * [`MergeKernel::BrMerge`] — BRMerge-style single-pass k-cursor
+//!   merge (arXiv:2206.06611) appending into a reusable [`SlabBuf`]
+//!   checked out of a [`MergeArena`]: per-column upper bounds are
+//!   prefix-summed to carve disjoint per-thread regions, columns merge
+//!   in parallel (two cursors at fan-in 2, a register-resident min-scan
+//!   over k cursor heads above) writing compactly at each region's
+//!   cursor, and the result stays staged until materialization — no
+//!   per-op allocation or compaction pass;
+//! * [`MergeKernel::SpAdd`] — Hussain-style parallel SpAdd
+//!   (arXiv:2112.10223): contiguous per-thread column partitions, each
+//!   thread accumulating through an epoch-stamped dense sparse
+//!   accumulator (`SpaScratch`) sized from the column-nnz upper bracket,
+//!   also writing into arena slack.
+//!
+//! All five produce **bit-identical** output: they accumulate coincident
+//! entries strictly in list order with the semiring's `⊕` and drop
+//! entries whose final value is the semiring's annihilator (exactly `0.0`
+//! for plus-times, `+∞` for min-plus, `false` for boolean), so kernel
+//! choice can never change a result — in any semiring (property-tested
+//! below for plus-times, min-plus and boolean):
+//!
+//! ```
+//! use hipmcl_comm::MergeKernel;
+//! use hipmcl_sparse::{Csc, PlusTimes};
+//! use hipmcl_summa::merge::merge_with;
+//!
+//! let s = PlusTimes::<f64>::new();
+//! let a = Csc::from_parts(2, 2, vec![0, 1, 2], vec![0, 1], vec![1.0, 2.0]);
+//! let b = Csc::from_parts(2, 2, vec![0, 2, 2], vec![0, 1], vec![3.0, 4.0]);
+//! let want = merge_with(s, MergeKernel::Heap, &[a.clone(), b.clone()], (2, 2));
+//! for kernel in MergeKernel::all() {
+//!     assert_eq!(merge_with(s, kernel, &[a.clone(), b.clone()], (2, 2)), want);
+//! }
+//! ```
+//!
+//! The arena lifecycle: [`MergeArena`] owns a free list of [`SlabBuf`]s
+//! plus the shared prefix/count/SPA scratch; every merge within a phase
+//! checks buffers out ([`MergeArena::acquire`]) and returns consumed
+//! inputs ([`MergeArena::release`]), so steady state allocates nothing.
+//! The pipeline holds one arena per merge lane in an [`ArenaPool`]
+//! (created once per SUMMA run, sized by `Executor::merge_lane_count`)
+//! and only materializes a real [`Csc`] once per phase at drain time.
 //!
 //! Virtual-time accounting does **not** live here: a merge is an
 //! [`Executor`](crate::executor::Executor) task, submitted by the pipeline
@@ -63,14 +103,21 @@ pub enum MergeKernelPolicy {
 /// `total_elems` elements by evaluating the machine model's cost curves
 /// ([`MachineModel::merge_time_with`]) — the documented selection rule:
 ///
-/// * fan-in 2 → [`MergeKernel::Pairwise`] (a two-way cursor merge beats a
-///   heap with no sift and a hash with no table);
-/// * fan-in 3, or too few elements to amortize the hash table setup →
-///   [`MergeKernel::Heap`];
-/// * fan-in ≥ 4 with enough elements → [`MergeKernel::Hash`]
-///   (fan-in-independent accumulation once `lg k` exceeds the hash's
-///   per-element constant, mirroring the SpGEMM heap/hash crossover).
+/// * fan-in 2–5 → [`MergeKernel::BrMerge`] (the arena-backed
+///   single-pass k-cursor merge's `0.3 · (k − 1)` beats every
+///   alternative until the linear min-scan over the cursor heads
+///   catches up);
+/// * fan-in ≥ 6 with enough elements → [`MergeKernel::SpAdd`]
+///   (fan-in-independent accumulation once `lg k` exceeds the SPA's
+///   per-element constant, mirroring the SpGEMM heap/hash crossover);
+/// * fan-in ≥ 6 with too few elements to amortize the SPA setup →
+///   [`MergeKernel::BrMerge`] while its min-scan stays under the heap's
+///   `lg k` (through fan-in ~13), [`MergeKernel::Heap`] beyond
+///   (cache-resident cursors, no setup).
 ///
+/// [`MergeKernel::Pairwise`] and [`MergeKernel::Hash`] are dominated by
+/// their arena-backed successors at every `(total, ways)` point and are
+/// never auto-selected — they survive as `Fixed(...)` ablation baselines.
 /// Ties resolve toward the heap (the listed order).
 pub fn select_merge_kernel(model: &MachineModel, total_elems: u64, ways: usize) -> MergeKernel {
     MergeKernel::all()
@@ -115,13 +162,466 @@ impl MergeSpan {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Column views and arena buffers
+// ---------------------------------------------------------------------------
+
+/// A borrowed CSC-shaped column view — the common input face of every
+/// merge kernel, constructible from both an owned [`Csc`] and an
+/// arena-resident [`SlabBuf`], so one kernel implementation serves the
+/// materialized and the arena paths alike.
+#[derive(Clone, Copy)]
+pub struct ColsRef<'a, T: Value> {
+    nrows: usize,
+    ncols: usize,
+    nnz: usize,
+    /// Compact layout: column `j` spans `colptr[j]..colptr[j + 1]`.
+    /// Empty for staged views.
+    colptr: &'a [usize],
+    /// Ragged (staged) layout: column `j` spans
+    /// `start[j]..start[j] + cnt[j]`, with slack between runs. Empty for
+    /// compact views; exactly one of the two layouts is populated.
+    start: &'a [usize],
+    cnt: &'a [usize],
+    rowidx: &'a [Idx],
+    vals: &'a [T],
+}
+
+impl<'a, T: Value> ColsRef<'a, T> {
+    /// Views an owned CSC matrix.
+    pub fn of(m: &'a Csc<T>) -> Self {
+        Self {
+            nrows: m.nrows(),
+            ncols: m.ncols(),
+            nnz: m.nnz(),
+            colptr: &m.colptr,
+            start: &[],
+            cnt: &[],
+            rowidx: &m.rowidx,
+            vals: &m.vals,
+        }
+    }
+
+    /// Number of rows.
+    pub fn nrows(&self) -> usize {
+        self.nrows
+    }
+
+    /// Number of columns.
+    pub fn ncols(&self) -> usize {
+        self.ncols
+    }
+
+    /// Stored entries.
+    pub fn nnz(&self) -> usize {
+        self.nnz
+    }
+
+    /// Where column `j`'s entries live in `rowidx`/`vals`.
+    #[inline]
+    fn col_span(&self, j: usize) -> (usize, usize) {
+        if self.cnt.is_empty() {
+            (self.colptr[j], self.colptr[j + 1])
+        } else {
+            (self.start[j], self.start[j] + self.cnt[j])
+        }
+    }
+
+    /// Stored entries in column `j`.
+    pub fn col_nnz(&self, j: usize) -> usize {
+        let (lo, hi) = self.col_span(j);
+        hi - lo
+    }
+
+    /// Row indices of column `j`.
+    pub fn col_rows(&self, j: usize) -> &'a [Idx] {
+        let (lo, hi) = self.col_span(j);
+        &self.rowidx[lo..hi]
+    }
+
+    /// Values of column `j`.
+    pub fn col_vals(&self, j: usize) -> &'a [T] {
+        let (lo, hi) = self.col_span(j);
+        &self.vals[lo..hi]
+    }
+
+    /// Materializes the view as an owned (compact) CSC matrix.
+    pub fn to_csc(&self) -> Csc<T> {
+        if self.cnt.is_empty() {
+            return Csc::from_parts(
+                self.nrows,
+                self.ncols,
+                self.colptr.to_vec(),
+                self.rowidx.to_vec(),
+                self.vals.to_vec(),
+            );
+        }
+        let mut colptr = Vec::with_capacity(self.ncols + 1);
+        colptr.push(0);
+        let mut rowidx = Vec::with_capacity(self.nnz);
+        let mut vals = Vec::with_capacity(self.nnz);
+        for j in 0..self.ncols {
+            rowidx.extend_from_slice(self.col_rows(j));
+            vals.extend_from_slice(self.col_vals(j));
+            colptr.push(rowidx.len());
+        }
+        Csc::from_parts(self.nrows, self.ncols, colptr, rowidx, vals)
+    }
+}
+
+/// A **staged** CSC-shaped buffer owned by a [`MergeArena`]: the output
+/// of an arena-backed merge. Each column is sorted, deduplicated and
+/// annihilator-free like a [`Csc`] column, but lives at an explicit
+/// offset (`start[j]`, run length `cnt[j]`) rather than at a prefix-sum
+/// position: merge kernels write each parallel chunk's columns
+/// compactly from the chunk's base, leaving gaps only *between* chunks
+/// (none at all single-threaded). A merge never pays a compaction pass
+/// just so the next merge can read it — downstream kernels consume the
+/// staged layout directly through [`SlabBuf::as_cols`], and the single
+/// compaction happens at materialization ([`SlabBuf::into_csc`]). The
+/// vectors keep their length and capacity between merges (grow-only raw
+/// storage; stale tails are unreachable because `start`/`cnt` are
+/// re-recorded per merge): the whole point of the arena path is that
+/// these are reused, not reallocated or re-zeroed, across every merge
+/// op of a phase.
+#[derive(Debug, Default)]
+pub struct SlabBuf<T: Value> {
+    nrows: usize,
+    ncols: usize,
+    nnz: usize,
+    start: Vec<usize>,
+    cnt: Vec<usize>,
+    rowidx: Vec<Idx>,
+    vals: Vec<T>,
+}
+
+impl<T: Value> SlabBuf<T> {
+    /// Stored entries (excluding staging slack).
+    pub fn nnz(&self) -> usize {
+        self.nnz
+    }
+
+    /// Views the buffer's columns (the merge-kernel input face).
+    pub fn as_cols(&self) -> ColsRef<'_, T> {
+        ColsRef {
+            nrows: self.nrows,
+            ncols: self.ncols,
+            nnz: self.nnz,
+            colptr: &[],
+            start: &self.start,
+            cnt: &self.cnt,
+            rowidx: &self.rowidx,
+            vals: &self.vals,
+        }
+    }
+
+    /// Records the staged layout after a merge: column `j`'s run of
+    /// `counts[j]` entries sits at offset `ub[j]`. Copies the slices —
+    /// they are arena scratch the next merge is free to clobber.
+    fn set_staged(&mut self, ub: &[usize], counts: &[usize]) {
+        self.start.clear();
+        self.start.extend_from_slice(ub);
+        self.cnt.clear();
+        self.cnt.extend_from_slice(counts);
+        self.nnz = counts.iter().sum();
+    }
+
+    /// Copies the contents out as an owned, exactly-sized CSC matrix,
+    /// leaving the buffer (and its capacity) intact for reuse. This is
+    /// the once-per-phase materialization the pipeline performs at drain
+    /// time before releasing the buffer back to its arena.
+    pub fn to_csc(&self) -> Csc<T> {
+        self.as_cols().to_csc()
+    }
+
+    /// Consumes the buffer into a CSC matrix, compacting the staged runs
+    /// in place (safe left-to-right: the write cursor never passes a
+    /// run's staged start, since `Σ cnt[<j] ≤ start[j]`). The vectors
+    /// keep their slack capacity. Used where no arena outlives the
+    /// merge.
+    pub fn into_csc(mut self) -> Csc<T> {
+        let mut colptr = Vec::with_capacity(self.ncols + 1);
+        colptr.push(0);
+        let mut w = 0usize;
+        for j in 0..self.ncols {
+            let (s, c) = (self.start[j], self.cnt[j]);
+            if s != w && c > 0 {
+                self.rowidx.copy_within(s..s + c, w);
+                self.vals.copy_within(s..s + c, w);
+            }
+            w += c;
+            colptr.push(w);
+        }
+        self.rowidx.truncate(w);
+        self.vals.truncate(w);
+        Csc::from_parts(self.nrows, self.ncols, colptr, self.rowidx, self.vals)
+    }
+}
+
+/// Per-thread scratch of the parallel SpAdd kernel: an epoch-stamped
+/// dense sparse accumulator (SPA). `stamp[r] == epoch` marks row `r` as
+/// live in the current column with its entry at `pairs[slot[r]]`;
+/// bumping `epoch` clears the whole SPA in O(1). All three vectors are
+/// reused across columns, merges and phases.
+#[derive(Debug, Default)]
+struct SpaScratch<T: Value> {
+    stamp: Vec<u32>,
+    slot: Vec<u32>,
+    epoch: u32,
+    pairs: Vec<(Idx, T)>,
+}
+
+impl<T: Value> SpaScratch<T> {
+    /// Grows the dense arrays to cover `nrows` rows (never shrinks).
+    fn ensure_rows(&mut self, nrows: usize) {
+        if self.stamp.len() < nrows {
+            self.stamp.resize(nrows, 0);
+            self.slot.resize(nrows, 0);
+        }
+    }
+
+    /// Opens a new column: O(1) clear via epoch bump, with a full reset
+    /// at the (astronomically rare) wraparound.
+    fn begin_column(&mut self) {
+        if self.epoch == u32::MAX {
+            self.stamp.iter_mut().for_each(|s| *s = 0);
+            self.epoch = 0;
+        }
+        self.epoch += 1;
+        self.pairs.clear();
+    }
+}
+
+/// Reusable merge scratch for one merge lane: a free list of
+/// [`SlabBuf`]s plus the shared per-merge scratch (column upper-bound
+/// prefix, per-column counts, per-thread SPAs). Acquire/release is LIFO;
+/// nothing ever shrinks, so after the first merge of a phase the hot
+/// loop performs no allocation — and nothing ever grows past twice the
+/// largest single merge either ([`MergeArena::assert_no_capacity_leak`],
+/// debug-asserted on every release).
+///
+/// ```
+/// use hipmcl_summa::merge::MergeArena;
+///
+/// let mut arena: MergeArena<f64> = MergeArena::new();
+/// let a = arena.acquire((4, 4));
+/// arena.release(a);
+/// // The released buffer is recycled, not reallocated.
+/// assert_eq!(arena.free_bufs(), 1);
+/// let _b = arena.acquire((4, 4));
+/// assert_eq!(arena.free_bufs(), 0);
+/// ```
+#[derive(Debug, Default)]
+pub struct MergeArena<T: Value> {
+    free: Vec<SlabBuf<T>>,
+    ub: Vec<usize>,
+    starts: Vec<usize>,
+    counts: Vec<usize>,
+    spa: Vec<SpaScratch<T>>,
+    peak_request: usize,
+}
+
+impl<T: Value> MergeArena<T> {
+    /// An empty arena; everything is grown lazily by the first merges.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Checks a buffer out of the free list (or creates an empty one),
+    /// shaped for a `shape` output. The buffer's vectors keep whatever
+    /// capacity previous merges grew them to — `rowidx`/`vals` also keep
+    /// their *length*: they are raw storage the kernels grow-only-resize
+    /// and overwrite per run, so steady state never pays a zero-fill
+    /// (stale content is unreachable — reads go through `start`/`cnt`,
+    /// which are reset here).
+    pub fn acquire(&mut self, shape: (usize, usize)) -> SlabBuf<T> {
+        let mut buf = self.free.pop().unwrap_or_default();
+        buf.nrows = shape.0;
+        buf.ncols = shape.1;
+        buf.nnz = 0;
+        buf.start.clear();
+        buf.cnt.clear();
+        buf
+    }
+
+    /// Returns a consumed buffer to the free list for reuse. In debug
+    /// builds this asserts the no-capacity-leak invariant: amortized
+    /// `Vec` growth bounds every buffer by twice the largest single
+    /// merge request this arena ever served.
+    pub fn release(&mut self, buf: SlabBuf<T>) {
+        debug_assert!(
+            buf.rowidx.capacity() <= self.capacity_bound(),
+            "arena buffer capacity {} leaked past the 2×peak bound {}",
+            buf.rowidx.capacity(),
+            self.capacity_bound(),
+        );
+        self.free.push(buf);
+    }
+
+    /// Largest upper-bound element count any single merge requested from
+    /// this arena — the capacity high-water mark the no-leak invariant
+    /// is phrased against.
+    pub fn peak_request(&self) -> usize {
+        self.peak_request
+    }
+
+    /// Number of buffers currently parked in the free list.
+    pub fn free_bufs(&self) -> usize {
+        self.free.len()
+    }
+
+    /// Largest element capacity held by any parked buffer.
+    pub fn capacity_elems(&self) -> usize {
+        self.free
+            .iter()
+            .map(|b| b.rowidx.capacity())
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// The bound the no-leak invariant allows: amortized doubling means
+    /// a `Vec` grown only by requests `≤ peak` stays `< 2 · peak` (with
+    /// a small floor for tiny arenas).
+    fn capacity_bound(&self) -> usize {
+        2 * self.peak_request.max(32)
+    }
+
+    /// Asserts (in all build profiles) that no parked buffer or scratch
+    /// vector outgrew the 2×-peak bound — reuse across phases must not
+    /// ratchet capacity. The pipeline debug-asserts this after every
+    /// phase drain; tests call it directly.
+    pub fn assert_no_capacity_leak(&self) {
+        let bound = self.capacity_bound();
+        for b in &self.free {
+            assert!(
+                b.rowidx.capacity() <= bound && b.vals.capacity() <= bound,
+                "parked buffer capacity {} exceeds 2×peak bound {}",
+                b.rowidx.capacity().max(b.vals.capacity()),
+                bound
+            );
+        }
+        for s in &self.spa {
+            assert!(
+                s.pairs.capacity() <= bound,
+                "SPA pair capacity {} exceeds 2×peak bound {}",
+                s.pairs.capacity(),
+                bound
+            );
+        }
+    }
+}
+
+/// One [`MergeArena`] per merge lane (socket): the pipeline creates a
+/// pool sized by `Executor::merge_lane_count` once per SUMMA run, and
+/// every merge op borrows the arena of the lane the scheduler placed it
+/// on — stolen merges included, since the output buffer lives wherever
+/// the merge actually ran.
+#[derive(Debug, Default)]
+pub struct ArenaPool<T: Value> {
+    lanes: Vec<MergeArena<T>>,
+}
+
+impl<T: Value> ArenaPool<T> {
+    /// A pool with one arena per merge lane.
+    pub fn with_lanes(n: usize) -> Self {
+        let mut lanes = Vec::with_capacity(n);
+        lanes.resize_with(n.max(1), MergeArena::new);
+        Self { lanes }
+    }
+
+    /// Number of lane arenas.
+    pub fn lanes(&self) -> usize {
+        self.lanes.len()
+    }
+
+    /// The arena of lane `lane`, growing the pool if an executor reports
+    /// more lanes than the pool was sized for.
+    pub fn lane_mut(&mut self, lane: usize) -> &mut MergeArena<T> {
+        if lane >= self.lanes.len() {
+            self.lanes.resize_with(lane + 1, MergeArena::new);
+        }
+        &mut self.lanes[lane]
+    }
+
+    /// Largest single-merge request over all lanes.
+    pub fn peak_request(&self) -> usize {
+        self.lanes
+            .iter()
+            .map(MergeArena::peak_request)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// [`MergeArena::assert_no_capacity_leak`] over every lane.
+    pub fn assert_no_capacity_leak(&self) {
+        for lane in &self.lanes {
+            lane.assert_no_capacity_leak();
+        }
+    }
+}
+
+/// A slab on a merge stack: either a stage product still in its
+/// materialized [`Csc`] form (as produced by the SpGEMM kernels) or an
+/// arena-resident [`SlabBuf`] written by a previous arena-backed merge.
+/// Both expose the same [`ColsRef`] face to the kernels.
+#[derive(Debug)]
+pub enum MergeSlab<T: Value> {
+    /// An owned, exactly-sized CSC matrix.
+    Mat(Csc<T>),
+    /// An arena buffer with slack capacity, to be released after use.
+    Buf(SlabBuf<T>),
+}
+
+impl<T: Value> MergeSlab<T> {
+    /// Stored entries.
+    pub fn nnz(&self) -> usize {
+        match self {
+            MergeSlab::Mat(m) => m.nnz(),
+            MergeSlab::Buf(b) => b.nnz(),
+        }
+    }
+
+    /// The kernels' input view.
+    pub fn as_cols(&self) -> ColsRef<'_, T> {
+        match self {
+            MergeSlab::Mat(m) => ColsRef::of(m),
+            MergeSlab::Buf(b) => b.as_cols(),
+        }
+    }
+
+    /// Materializes into an owned CSC, releasing an arena buffer back to
+    /// `arena` (the once-per-phase drain step).
+    pub fn into_csc(self, arena: &mut MergeArena<T>) -> Csc<T> {
+        match self {
+            MergeSlab::Mat(m) => m,
+            MergeSlab::Buf(b) => {
+                let out = b.to_csc();
+                arena.release(b);
+                out
+            }
+        }
+    }
+
+    /// Releases an arena-resident slab back to `arena`; materialized
+    /// slabs just drop.
+    pub fn recycle(self, arena: &mut MergeArena<T>) {
+        if let MergeSlab::Buf(b) = self {
+            arena.release(b);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Kernels
+// ---------------------------------------------------------------------------
+
 /// A single k-way merge kernel: sums equally-shaped CSC matrices. All
 /// implementations accumulate coincident entries in list order and drop
 /// entries whose final value is the semiring's annihilator, making their
 /// outputs bit-identical (see the module docs). The trait is the
 /// `f64`/plus-times face kept for the benches and the exact symbolic
 /// estimator; the pipeline dispatches statically through [`merge_with`]
-/// so any [`Semiring`] can drive the same three kernels.
+/// so any [`Semiring`] can drive the same five kernels.
 pub trait MergeAlgo {
     /// Which kernel this is (for spans and model lookup).
     fn kind(&self) -> MergeKernel;
@@ -136,6 +636,12 @@ pub struct HeapMerge;
 pub struct PairwiseMerge;
 /// SpAdd-style per-column hash accumulation.
 pub struct HashMerge;
+/// BRMerge-style single-pass k-cursor merge into arena slack
+/// (arXiv:2206.06611).
+pub struct BrMergeAccum;
+/// Hussain-style parallel SpAdd through epoch-stamped SPAs
+/// (arXiv:2112.10223).
+pub struct SpAddMerge;
 
 /// The implementation behind a [`MergeKernel`] tag.
 pub fn merge_algo(kernel: MergeKernel) -> &'static dyn MergeAlgo {
@@ -143,33 +649,81 @@ pub fn merge_algo(kernel: MergeKernel) -> &'static dyn MergeAlgo {
         MergeKernel::Heap => &HeapMerge,
         MergeKernel::Pairwise => &PairwiseMerge,
         MergeKernel::Hash => &HashMerge,
+        MergeKernel::BrMerge => &BrMergeAccum,
+        MergeKernel::SpAdd => &SpAddMerge,
     }
 }
 
 /// Runs the selected merge kernel in the given semiring — the statically
 /// dispatched generic entry the pipeline uses (a `dyn MergeAlgo` cannot
-/// carry a semiring type parameter). All three kernels accumulate
+/// carry a semiring type parameter). All five kernels accumulate
 /// coincident entries strictly in list order with [`Semiring::add`] and
 /// drop entries whose final value is the annihilator
 /// ([`Semiring::is_annihilator`]), so for any semiring the kernel choice
 /// never changes the result — the bit-identity property the plus-times
-/// path has always had, extended verbatim.
+/// path has always had, extended verbatim. The arena kernels run against
+/// a throwaway arena here; the pipeline and [`StackMerger`] instead call
+/// [`brmerge_into`] / [`spadd_into`] with a persistent one.
 pub fn merge_with<S: Semiring>(
     s: S,
     kernel: MergeKernel,
     mats: &[Csc<S::Elem>],
     shape: (usize, usize),
 ) -> Csc<S::Elem> {
+    for mat in mats {
+        assert_eq!((mat.nrows(), mat.ncols()), shape, "merge shape mismatch");
+    }
+    let refs: Vec<ColsRef<'_, S::Elem>> = mats.iter().map(ColsRef::of).collect();
+    merge_refs_with(s, kernel, &refs, shape)
+}
+
+/// [`merge_with`] over borrowed column views — the form the arena paths
+/// use, since a [`SlabBuf`] has no `Csc` to lend.
+pub fn merge_refs_with<S: Semiring>(
+    s: S,
+    kernel: MergeKernel,
+    mats: &[ColsRef<'_, S::Elem>],
+    shape: (usize, usize),
+) -> Csc<S::Elem> {
+    if let Some(t) = merge_refs_trivial(mats, shape) {
+        return t;
+    }
     match kernel {
-        MergeKernel::Heap => kway_merge_in(s, mats, shape),
-        MergeKernel::Pairwise => pairwise_merge_in(s, mats, shape),
-        MergeKernel::Hash => hash_merge_in(s, mats, shape),
+        MergeKernel::Heap => assemble(
+            shape,
+            (0..shape.1)
+                .into_par_iter()
+                .map(|j| merge_column(s, mats, j))
+                .collect(),
+        ),
+        MergeKernel::Pairwise => {
+            let mut acc = two_way_merge(s, mats[0], mats[1], shape);
+            for m in &mats[2..] {
+                acc = two_way_merge(s, ColsRef::of(&acc), *m, shape);
+            }
+            acc
+        }
+        MergeKernel::Hash => assemble(
+            shape,
+            (0..shape.1)
+                .into_par_iter()
+                .map(|j| hash_column(s, mats, j))
+                .collect(),
+        ),
+        MergeKernel::BrMerge => {
+            let mut arena = MergeArena::new();
+            brmerge_into(s, mats, shape, &mut arena).into_csc()
+        }
+        MergeKernel::SpAdd => {
+            let mut arena = MergeArena::new();
+            spadd_into(s, mats, shape, &mut arena).into_csc()
+        }
     }
 }
 
 /// Checks shapes and handles the 0- and 1-input fast paths shared by all
 /// kernels; returns `None` when a real merge is needed.
-fn merge_trivial<T: Value>(mats: &[Csc<T>], shape: (usize, usize)) -> Option<Csc<T>> {
+fn merge_refs_trivial<T: Value>(mats: &[ColsRef<'_, T>], shape: (usize, usize)) -> Option<Csc<T>> {
     for mat in mats {
         assert_eq!((mat.nrows(), mat.ncols()), shape, "merge shape mismatch");
     }
@@ -177,7 +731,7 @@ fn merge_trivial<T: Value>(mats: &[Csc<T>], shape: (usize, usize)) -> Option<Csc
         // A zero-flops phase produces nothing to merge; the configured
         // output shape keeps the pipeline alive instead of panicking.
         0 => Some(Csc::zero(shape.0, shape.1)),
-        1 => Some(mats[0].clone()),
+        1 => Some(mats[0].to_csc()),
         _ => None,
     }
 }
@@ -203,7 +757,7 @@ impl MergeAlgo for HeapMerge {
     }
 
     fn merge(&self, mats: &[Csc<f64>], shape: (usize, usize)) -> Csc<f64> {
-        kway_merge_in(PlusTimes::<f64>::new(), mats, shape)
+        merge_with(PlusTimes::<f64>::new(), MergeKernel::Heap, mats, shape)
     }
 }
 
@@ -213,7 +767,7 @@ impl MergeAlgo for PairwiseMerge {
     }
 
     fn merge(&self, mats: &[Csc<f64>], shape: (usize, usize)) -> Csc<f64> {
-        pairwise_merge_in(PlusTimes::<f64>::new(), mats, shape)
+        merge_with(PlusTimes::<f64>::new(), MergeKernel::Pairwise, mats, shape)
     }
 }
 
@@ -223,7 +777,27 @@ impl MergeAlgo for HashMerge {
     }
 
     fn merge(&self, mats: &[Csc<f64>], shape: (usize, usize)) -> Csc<f64> {
-        hash_merge_in(PlusTimes::<f64>::new(), mats, shape)
+        merge_with(PlusTimes::<f64>::new(), MergeKernel::Hash, mats, shape)
+    }
+}
+
+impl MergeAlgo for BrMergeAccum {
+    fn kind(&self) -> MergeKernel {
+        MergeKernel::BrMerge
+    }
+
+    fn merge(&self, mats: &[Csc<f64>], shape: (usize, usize)) -> Csc<f64> {
+        merge_with(PlusTimes::<f64>::new(), MergeKernel::BrMerge, mats, shape)
+    }
+}
+
+impl MergeAlgo for SpAddMerge {
+    fn kind(&self) -> MergeKernel {
+        MergeKernel::SpAdd
+    }
+
+    fn merge(&self, mats: &[Csc<f64>], shape: (usize, usize)) -> Csc<f64> {
+        merge_with(PlusTimes::<f64>::new(), MergeKernel::SpAdd, mats, shape)
     }
 }
 
@@ -240,14 +814,7 @@ pub fn kway_merge_in<S: Semiring>(
     mats: &[Csc<S::Elem>],
     shape: (usize, usize),
 ) -> Csc<S::Elem> {
-    if let Some(t) = merge_trivial(mats, shape) {
-        return t;
-    }
-    let cols: Vec<(Vec<Idx>, Vec<S::Elem>)> = (0..shape.1)
-        .into_par_iter()
-        .map(|j| merge_column(s, mats, j))
-        .collect();
-    assemble(shape, cols)
+    merge_with(s, MergeKernel::Heap, mats, shape)
 }
 
 /// Left-fold of two-way cursor merges in an arbitrary semiring. The left
@@ -259,14 +826,7 @@ pub fn pairwise_merge_in<S: Semiring>(
     mats: &[Csc<S::Elem>],
     shape: (usize, usize),
 ) -> Csc<S::Elem> {
-    if let Some(t) = merge_trivial(mats, shape) {
-        return t;
-    }
-    let mut acc = two_way_merge(s, &mats[0], &mats[1], shape);
-    for m in &mats[2..] {
-        acc = two_way_merge(s, &acc, m, shape);
-    }
-    acc
+    merge_with(s, MergeKernel::Pairwise, mats, shape)
 }
 
 /// Per-column hash accumulation in an arbitrary semiring.
@@ -275,18 +835,15 @@ pub fn hash_merge_in<S: Semiring>(
     mats: &[Csc<S::Elem>],
     shape: (usize, usize),
 ) -> Csc<S::Elem> {
-    if let Some(t) = merge_trivial(mats, shape) {
-        return t;
-    }
-    let cols: Vec<(Vec<Idx>, Vec<S::Elem>)> = (0..shape.1)
-        .into_par_iter()
-        .map(|j| hash_column(s, mats, j))
-        .collect();
-    assemble(shape, cols)
+    merge_with(s, MergeKernel::Hash, mats, shape)
 }
 
 /// Heap-merges column `j` across all matrices.
-fn merge_column<S: Semiring>(_s: S, mats: &[Csc<S::Elem>], j: usize) -> (Vec<Idx>, Vec<S::Elem>) {
+fn merge_column<S: Semiring>(
+    _s: S,
+    mats: &[ColsRef<'_, S::Elem>],
+    j: usize,
+) -> (Vec<Idx>, Vec<S::Elem>) {
     use std::cmp::Reverse;
     use std::collections::BinaryHeap;
 
@@ -331,11 +888,12 @@ fn merge_column<S: Semiring>(_s: S, mats: &[Csc<S::Elem>], j: usize) -> (Vec<Idx
     (rows, vals)
 }
 
-/// Two-way cursor merge with the shared annihilator-drop rule.
+/// Two-way cursor merge with the shared annihilator-drop rule,
+/// materializing a fresh CSC (the legacy pairwise building block).
 fn two_way_merge<S: Semiring>(
     _s: S,
-    a: &Csc<S::Elem>,
-    b: &Csc<S::Elem>,
+    a: ColsRef<'_, S::Elem>,
+    b: ColsRef<'_, S::Elem>,
     shape: (usize, usize),
 ) -> Csc<S::Elem> {
     let cols: Vec<(Vec<Idx>, Vec<S::Elem>)> = (0..shape.1)
@@ -345,13 +903,13 @@ fn two_way_merge<S: Semiring>(
             let (br, bv) = (b.col_rows(j), b.col_vals(j));
             let mut rows = Vec::with_capacity(ar.len() + br.len());
             let mut vals = Vec::with_capacity(ar.len() + br.len());
-            let (mut i, mut k) = (0, 0);
             let mut push = |r: Idx, v: S::Elem| {
                 if !S::is_annihilator(v) {
                     rows.push(r);
                     vals.push(v);
                 }
             };
+            let (mut i, mut k) = (0, 0);
             while i < ar.len() && k < br.len() {
                 match ar[i].cmp(&br[k]) {
                     std::cmp::Ordering::Less => {
@@ -385,7 +943,11 @@ fn two_way_merge<S: Semiring>(
 
 /// Hash-accumulates column `j` across all matrices, strictly in list
 /// order, then sorts by row and drops annihilator entries.
-fn hash_column<S: Semiring>(_s: S, mats: &[Csc<S::Elem>], j: usize) -> (Vec<Idx>, Vec<S::Elem>) {
+fn hash_column<S: Semiring>(
+    _s: S,
+    mats: &[ColsRef<'_, S::Elem>],
+    j: usize,
+) -> (Vec<Idx>, Vec<S::Elem>) {
     use std::collections::HashMap;
     let cap: usize = mats.iter().map(|m| m.col_nnz(j)).sum();
     let mut slot: HashMap<Idx, usize> = HashMap::with_capacity(cap);
@@ -408,6 +970,456 @@ fn hash_column<S: Semiring>(_s: S, mats: &[Csc<S::Elem>], j: usize) -> (Vec<Idx>
     entries.retain(|&(_, v)| !S::is_annihilator(v));
     entries.into_iter().unzip()
 }
+
+// ---------------------------------------------------------------------------
+// Arena-backed kernels (BRMerge + parallel SpAdd)
+// ---------------------------------------------------------------------------
+
+/// One thread's contiguous slice of the upper-bound staging area: columns
+/// `cols`, whose elements occupy `rows`/`vals` (offset by `base` in the
+/// global upper-bound layout). Within its slice a chunk writes columns
+/// **compactly** from offset 0 — the upper bound only sizes the slice —
+/// recording each column's produced start offset (global) in `starts`
+/// and its size in `counts`. Compact-within-chunk staging means the
+/// write traffic of a merge is its actual output, not the upper bound,
+/// and a single-chunk merge comes out fully compact.
+struct ColChunk<'s, T> {
+    cols: std::ops::Range<usize>,
+    base: usize,
+    rows: &'s mut [Idx],
+    vals: &'s mut [T],
+    starts: &'s mut [usize],
+    counts: &'s mut [usize],
+}
+
+/// Carves the staging buffers into per-thread chunks along column
+/// boundaries of the upper-bound prefix `ub`.
+fn carve_chunks<'s, T>(
+    ncols: usize,
+    nchunks: usize,
+    ub: &[usize],
+    mut rows: &'s mut [Idx],
+    mut vals: &'s mut [T],
+    mut starts: &'s mut [usize],
+    mut counts: &'s mut [usize],
+) -> Vec<ColChunk<'s, T>> {
+    let mut out = Vec::with_capacity(nchunks);
+    let mut c0 = 0;
+    for w in 0..nchunks {
+        let c1 = ((w + 1) * ncols) / nchunks;
+        let elems = ub[c1] - ub[c0];
+        let (r, rr) = rows.split_at_mut(elems);
+        let (v, vr) = vals.split_at_mut(elems);
+        let (s, sr) = starts.split_at_mut(c1 - c0);
+        let (c, cr) = counts.split_at_mut(c1 - c0);
+        out.push(ColChunk {
+            cols: c0..c1,
+            base: ub[c0],
+            rows: r,
+            vals: v,
+            starts: s,
+            counts: c,
+        });
+        rows = rr;
+        vals = vr;
+        starts = sr;
+        counts = cr;
+        c0 = c1;
+    }
+    out
+}
+
+/// Number of column partitions for the parallel arena kernels: one per
+/// rayon worker, never more than there are columns.
+fn partition_count(ncols: usize) -> usize {
+    rayon::current_num_threads().max(1).min(ncols.max(1))
+}
+
+/// Appends `(r, v)` at write cursor `w` unless `v` is the annihilator —
+/// the shared drop rule, applied to staged arena writes.
+#[inline]
+fn put_staged<S: Semiring>(
+    rows: &mut [Idx],
+    vals: &mut [S::Elem],
+    w: &mut usize,
+    r: Idx,
+    v: S::Elem,
+) {
+    if !S::is_annihilator(v) {
+        rows[*w] = r;
+        vals[*w] = v;
+        *w += 1;
+    }
+}
+
+/// Two-cursor column merge into staged output — the fan-in-2 fast path
+/// of [`brmerge_into`].
+#[inline]
+fn merge_two_cursors<S: Semiring>(
+    (ar, av): (&[Idx], &[S::Elem]),
+    (br, bv): (&[Idx], &[S::Elem]),
+    rows: &mut [Idx],
+    vals: &mut [S::Elem],
+) -> usize {
+    // Length equalities let the compiler collapse the paired row/val
+    // bounds checks in the scan loops below.
+    assert_eq!(ar.len(), av.len());
+    assert_eq!(br.len(), bv.len());
+    assert_eq!(rows.len(), vals.len());
+    let mut w = 0usize;
+    let (mut i, mut k) = (0, 0);
+    // On a strict inequality the leading cursor's whole run below the
+    // other head is emitted by a fused linear scan-and-copy: the
+    // compare that detects the run end is the compare the copy loop
+    // would do anyway, and the stream stays prefetch-friendly (a
+    // binary search for the run end adds serially-dependent loads for
+    // no saved work, since every element is touched by the copy).
+    // Each element still passes the annihilator drop rule, preserving
+    // bit-identity with the heap kernel.
+    while i < ar.len() && k < br.len() {
+        match ar[i].cmp(&br[k]) {
+            std::cmp::Ordering::Less => {
+                let b = br[k];
+                while i < ar.len() && ar[i] < b {
+                    put_staged::<S>(rows, vals, &mut w, ar[i], av[i]);
+                    i += 1;
+                }
+            }
+            std::cmp::Ordering::Greater => {
+                let a = ar[i];
+                while k < br.len() && br[k] < a {
+                    put_staged::<S>(rows, vals, &mut w, br[k], bv[k]);
+                    k += 1;
+                }
+            }
+            std::cmp::Ordering::Equal => {
+                put_staged::<S>(rows, vals, &mut w, ar[i], S::add(av[i], bv[k]));
+                i += 1;
+                k += 1;
+            }
+        }
+    }
+    while i < ar.len() {
+        put_staged::<S>(rows, vals, &mut w, ar[i], av[i]);
+        i += 1;
+    }
+    while k < br.len() {
+        put_staged::<S>(rows, vals, &mut w, br[k], bv[k]);
+        k += 1;
+    }
+    w
+}
+
+/// k-cursor column merge into staged output: one linear scan over the
+/// cursor heads per step (cheaper than a heap for the small fan-ins this
+/// kernel is selected at), accumulating coincident rows in list order.
+/// `head[i]` caches cursor i's current row — `Idx::MAX` when exhausted
+/// (a safe sentinel: row indices are < nrows < `Idx::MAX`) — so the scan
+/// is a tight compare loop over a small array. The scan also tracks the
+/// runner-up row: when a single cursor owns the minimum, its whole run
+/// of rows below the runner-up is emitted without re-scanning the heads
+/// (the BRMerge run-copy idea), which collapses the per-element cost to
+/// one compare on low-overlap inputs. Each emitted element still passes
+/// the annihilator drop rule, so the output stays bit-identical to the
+/// heap kernel even for inputs carrying explicit annihilators.
+#[inline]
+fn merge_k_cursors<S: Semiring>(
+    cur: &[(&[Idx], &[S::Elem])],
+    pos: &mut [usize],
+    head: &mut [Idx],
+    rows: &mut [Idx],
+    vals: &mut [S::Elem],
+) -> usize {
+    let k = cur.len();
+    assert_eq!(rows.len(), vals.len());
+    for i in 0..k {
+        assert_eq!(cur[i].0.len(), cur[i].1.len());
+        pos[i] = 0;
+        head[i] = cur[i].0.first().copied().unwrap_or(Idx::MAX);
+    }
+    merge_k_cursors_body::<S>(cur, pos, head, rows, vals, k)
+}
+
+/// Fixed-fan-in front end of [`merge_k_cursors`]: `pos`/`head` are
+/// const-sized arrays the compiler keeps in registers and the min-scan
+/// fully unrolls, which is worth ~10% on the stack merger's dominant
+/// 3- and 4-way merges. Same algorithm, bit-identical output.
+#[inline]
+fn merge_k_cursors_fixed<S: Semiring, const K: usize>(
+    cur: &[(&[Idx], &[S::Elem])],
+    rows: &mut [Idx],
+    vals: &mut [S::Elem],
+) -> usize {
+    assert_eq!(cur.len(), K);
+    assert_eq!(rows.len(), vals.len());
+    let mut pos = [0usize; K];
+    let mut head = [Idx::MAX; K];
+    for i in 0..K {
+        assert_eq!(cur[i].0.len(), cur[i].1.len());
+        head[i] = cur[i].0.first().copied().unwrap_or(Idx::MAX);
+    }
+    merge_k_cursors_body::<S>(cur, &mut pos, &mut head, rows, vals, K)
+}
+
+#[inline(always)]
+fn merge_k_cursors_body<S: Semiring>(
+    cur: &[(&[Idx], &[S::Elem])],
+    pos: &mut [usize],
+    head: &mut [Idx],
+    rows: &mut [Idx],
+    vals: &mut [S::Elem],
+    k: usize,
+) -> usize {
+    let mut w = 0usize;
+    loop {
+        // One pass: minimum, its owner, and the runner-up row. A tie for
+        // the minimum leaves `min2 == min`, flagging coincident heads.
+        let mut min = head[0];
+        let mut arg = 0usize;
+        let mut min2 = Idx::MAX;
+        for (i, &h) in head.iter().enumerate().take(k).skip(1) {
+            if h < min {
+                min2 = min;
+                min = h;
+                arg = i;
+            } else if h < min2 {
+                min2 = h;
+            }
+        }
+        if min == Idx::MAX {
+            break;
+        }
+        if min < min2 {
+            // Unique owner: every row of cursor `arg` below `min2` is
+            // absent from all other lists — emit the run with a fused
+            // linear scan-and-copy (the run-end compare doubles as the
+            // copy-loop condition; no binary search).
+            let (r, v) = cur[arg];
+            let mut p = pos[arg];
+            while p < r.len() && r[p] < min2 {
+                put_staged::<S>(rows, vals, &mut w, r[p], v[p]);
+                p += 1;
+            }
+            pos[arg] = p;
+            head[arg] = r.get(p).copied().unwrap_or(Idx::MAX);
+        } else {
+            // Coincident heads: accumulate in list order.
+            let mut acc: Option<S::Elem> = None;
+            for i in 0..k {
+                if head[i] == min {
+                    let (r, v) = cur[i];
+                    let x = v[pos[i]];
+                    acc = Some(match acc {
+                        None => x,
+                        Some(a) => S::add(a, x),
+                    });
+                    pos[i] += 1;
+                    head[i] = r.get(pos[i]).copied().unwrap_or(Idx::MAX);
+                }
+            }
+            put_staged::<S>(rows, vals, &mut w, min, acc.unwrap());
+        }
+    }
+    w
+}
+
+/// BRMerge-style merge of `mats` (fan-in ≥ 2) into an arena buffer, in
+/// **one pass**: prefix-sums per-column upper bounds
+/// (`ub_j = Σ_l nnz_l(j)`) to carve disjoint per-thread regions, then
+/// cursor-merges each column's sorted runs — a two-cursor merge at
+/// fan-in 2, a linear min-scan over k cursors above that. Each chunk
+/// writes its columns compactly from its region base, so write traffic
+/// is the actual output, not the upper bound. Coincident rows
+/// accumulate strictly in list order, so the result is bit-identical to
+/// the heap/pairwise kernels. The output stays staged (no compaction
+/// pass — downstream merges read the runs directly; only
+/// materialization compacts the inter-chunk gaps), and all scratch
+/// comes from `arena`, so the hot loop never allocates. The returned
+/// buffer belongs to `arena`; release or materialize it when done.
+pub fn brmerge_into<S: Semiring>(
+    _s: S,
+    mats: &[ColsRef<'_, S::Elem>],
+    shape: (usize, usize),
+    arena: &mut MergeArena<S::Elem>,
+) -> SlabBuf<S::Elem> {
+    let k = mats.len();
+    assert!(k >= 2, "brmerge needs fan-in >= 2");
+    let n = shape.1;
+    let mut out = arena.acquire(shape);
+    let MergeArena {
+        ub,
+        starts,
+        counts,
+        peak_request,
+        ..
+    } = arena;
+    ub.clear();
+    ub.reserve(n + 1);
+    ub.push(0);
+    let mut run = 0usize;
+    for j in 0..n {
+        run += mats.iter().map(|m| m.col_nnz(j)).sum::<usize>();
+        ub.push(run);
+    }
+    *peak_request = (*peak_request).max(run);
+    // Grow-only: the vectors are raw storage, overwritten per run — no
+    // zero-fill of the upper-bound span in steady state.
+    if out.rowidx.len() < run {
+        out.rowidx.resize(run, Idx::default());
+        out.vals.resize(run, S::Elem::default());
+    }
+    starts.clear();
+    starts.resize(n, 0);
+    counts.clear();
+    counts.resize(n, 0);
+
+    let nchunks = partition_count(n);
+    let chunks = carve_chunks(
+        n,
+        nchunks,
+        ub,
+        &mut out.rowidx,
+        &mut out.vals,
+        starts,
+        counts,
+    );
+    debug_assert!((shape.0 as u64) < Idx::MAX as u64, "Idx::MAX sentinel");
+    let ub = &*ub;
+    chunks.into_par_iter().for_each(|ch| {
+        let mut cur: Vec<(&[Idx], &[S::Elem])> = Vec::with_capacity(k);
+        let mut pos = vec![0usize; k];
+        let mut head = vec![0 as Idx; k];
+        let mut cursor = 0usize;
+        for j in ch.cols.clone() {
+            let width = ub[j + 1] - ub[j];
+            let rows = &mut ch.rows[cursor..cursor + width];
+            let vals = &mut ch.vals[cursor..cursor + width];
+            let w = if k == 2 {
+                merge_two_cursors::<S>(
+                    (mats[0].col_rows(j), mats[0].col_vals(j)),
+                    (mats[1].col_rows(j), mats[1].col_vals(j)),
+                    rows,
+                    vals,
+                )
+            } else {
+                cur.clear();
+                cur.extend(mats.iter().map(|m| (m.col_rows(j), m.col_vals(j))));
+                // Auto only selects this kernel at fan-in <= 5, so the
+                // register-resident fixed variants cover the hot path;
+                // the slice-backed loop serves Fixed(BrMerge) beyond.
+                match k {
+                    3 => merge_k_cursors_fixed::<S, 3>(&cur, rows, vals),
+                    4 => merge_k_cursors_fixed::<S, 4>(&cur, rows, vals),
+                    5 => merge_k_cursors_fixed::<S, 5>(&cur, rows, vals),
+                    _ => merge_k_cursors::<S>(&cur, &mut pos, &mut head, rows, vals),
+                }
+            };
+            ch.starts[j - ch.cols.start] = ch.base + cursor;
+            ch.counts[j - ch.cols.start] = w;
+            cursor += w;
+        }
+    });
+    out.set_staged(starts, counts);
+    out
+}
+
+/// Hussain-style parallel SpAdd of `mats` (fan-in ≥ 2) into an arena
+/// buffer: columns are split into contiguous per-thread partitions; each
+/// thread accumulates its columns through an epoch-stamped dense SPA
+/// sized from the column-nnz upper bracket (`ub_j = Σ_l nnz_l(j)`, the
+/// same bracket the Cohen estimator clamps against), strictly in list
+/// order, then sorts each column by row, drops annihilators, and writes
+/// the column compactly at its chunk's write cursor; the result stays
+/// staged (inter-chunk gaps only) until materialization.
+pub fn spadd_into<S: Semiring>(
+    _s: S,
+    mats: &[ColsRef<'_, S::Elem>],
+    shape: (usize, usize),
+    arena: &mut MergeArena<S::Elem>,
+) -> SlabBuf<S::Elem> {
+    assert!(mats.len() >= 2, "spadd needs fan-in >= 2");
+    let (nrows, n) = shape;
+    let mut out = arena.acquire(shape);
+    let MergeArena {
+        ub,
+        starts,
+        counts,
+        spa,
+        peak_request,
+        ..
+    } = arena;
+    ub.clear();
+    ub.reserve(n + 1);
+    ub.push(0);
+    let mut run = 0usize;
+    for j in 0..n {
+        run += mats.iter().map(|m| m.col_nnz(j)).sum::<usize>();
+        ub.push(run);
+    }
+    *peak_request = (*peak_request).max(run);
+    // Grow-only raw storage — see `brmerge_into`.
+    if out.rowidx.len() < run {
+        out.rowidx.resize(run, Idx::default());
+        out.vals.resize(run, S::Elem::default());
+    }
+    starts.clear();
+    starts.resize(n, 0);
+    counts.clear();
+    counts.resize(n, 0);
+
+    let nchunks = partition_count(n);
+    if spa.len() < nchunks {
+        spa.resize_with(nchunks, SpaScratch::default);
+    }
+    let chunks = carve_chunks(
+        n,
+        nchunks,
+        ub,
+        &mut out.rowidx,
+        &mut out.vals,
+        starts,
+        counts,
+    );
+    chunks
+        .into_par_iter()
+        .zip(spa[..nchunks].par_iter_mut())
+        .for_each(|(ch, spa)| {
+            spa.ensure_rows(nrows);
+            let mut cursor = 0usize;
+            for j in ch.cols.clone() {
+                spa.begin_column();
+                for mat in mats {
+                    for (&r, &v) in mat.col_rows(j).iter().zip(mat.col_vals(j)) {
+                        let ri = r as usize;
+                        if spa.stamp[ri] == spa.epoch {
+                            let at = spa.slot[ri] as usize;
+                            spa.pairs[at].1 = S::add(spa.pairs[at].1, v);
+                        } else {
+                            spa.stamp[ri] = spa.epoch;
+                            spa.slot[ri] = spa.pairs.len() as u32;
+                            spa.pairs.push((r, v));
+                        }
+                    }
+                }
+                spa.pairs.sort_unstable_by_key(|&(r, _)| r);
+                let rows = &mut ch.rows[cursor..cursor + spa.pairs.len()];
+                let vals = &mut ch.vals[cursor..cursor + spa.pairs.len()];
+                let mut w = 0usize;
+                for &(r, v) in &spa.pairs {
+                    put_staged::<S>(rows, vals, &mut w, r, v);
+                }
+                ch.starts[j - ch.cols.start] = ch.base + cursor;
+                ch.counts[j - ch.cols.start] = w;
+                cursor += w;
+            }
+        });
+    out.set_staged(starts, counts);
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Statistics, Algorithm 2 schedule and the stack merger
+// ---------------------------------------------------------------------------
 
 /// Statistics of a merging run, feeding Table III and the §VII-C text.
 #[derive(Clone, Copy, Debug, Default, PartialEq)]
@@ -460,12 +1472,16 @@ pub fn algorithm2_merge_count(pushed: usize) -> usize {
 /// statistics (`peak_merge_elems`, `total_merged_elems`, `merge_ops`)
 /// with **no** time accounting — timing belongs to the executor layer.
 /// Used by the ablation/bench harnesses; the pipeline drives the same
-/// schedule through `Executor::submit_merge` instead.
+/// schedule through `Executor::submit_merge` instead. The merger owns a
+/// [`MergeArena`], so under the default `Auto` policy its intermediate
+/// merges stay arena-resident ([`MergeSlab::Buf`]) and only
+/// [`StackMerger::finish`] materializes a `Csc`.
 pub struct StackMerger {
     model: MachineModel,
     policy: MergeKernelPolicy,
     shape: (usize, usize),
-    stack: Vec<Csc<f64>>,
+    stack: Vec<MergeSlab<f64>>,
+    arena: MergeArena<f64>,
     pushed: usize,
     stats: MergeStats,
 }
@@ -479,6 +1495,7 @@ impl StackMerger {
             policy,
             shape,
             stack: Vec::new(),
+            arena: MergeArena::new(),
             pushed: 0,
             stats: MergeStats::default(),
         }
@@ -487,7 +1504,7 @@ impl StackMerger {
     /// Pushes the next stage's slab, running any merges Algorithm 2
     /// triggers.
     pub fn push(&mut self, slab: Csc<f64>) {
-        self.stack.push(slab);
+        self.stack.push(MergeSlab::Mat(slab));
         self.pushed += 1;
         let count = algorithm2_merge_count(self.pushed);
         if count > 0 {
@@ -496,20 +1513,26 @@ impl StackMerger {
     }
 
     /// Final merge of whatever remains; empty input yields an empty
-    /// matrix of the configured shape.
+    /// matrix of the configured shape. The single materialization of the
+    /// arena path happens here. Also resets the Algorithm 2 push
+    /// counter, so the merger — and its now-warm arena — can be reused
+    /// for the next phase's stack.
     pub fn finish(&mut self) -> Csc<f64> {
         if self.stack.len() > 1 {
             self.merge_top(self.stack.len());
         }
-        self.stack
-            .pop()
-            .unwrap_or_else(|| Csc::zero(self.shape.0, self.shape.1))
+        self.pushed = 0;
+        match self.stack.pop() {
+            Some(slab) => slab.into_csc(&mut self.arena),
+            None => Csc::zero(self.shape.0, self.shape.1),
+        }
     }
 
     fn merge_top(&mut self, count: usize) {
+        let s = PlusTimes::<f64>::new();
         let at = self.stack.len() - count;
-        let tail: Vec<Csc<f64>> = self.stack.split_off(at);
-        let elems: usize = tail.iter().map(Csc::nnz).sum();
+        let tail: Vec<MergeSlab<f64>> = self.stack.split_off(at);
+        let elems: usize = tail.iter().map(MergeSlab::nnz).sum();
         let kernel = match self.policy {
             MergeKernelPolicy::Fixed(k) => k,
             MergeKernelPolicy::Auto => select_merge_kernel(&self.model, elems as u64, count),
@@ -517,7 +1540,22 @@ impl StackMerger {
         self.stats.peak_merge_elems = self.stats.peak_merge_elems.max(elems);
         self.stats.total_merged_elems += elems as u64;
         self.stats.merge_ops += 1;
-        self.stack.push(merge_algo(kernel).merge(&tail, self.shape));
+        let merged = {
+            let refs: Vec<ColsRef<'_, f64>> = tail.iter().map(MergeSlab::as_cols).collect();
+            match kernel {
+                MergeKernel::BrMerge => {
+                    MergeSlab::Buf(brmerge_into(s, &refs, self.shape, &mut self.arena))
+                }
+                MergeKernel::SpAdd => {
+                    MergeSlab::Buf(spadd_into(s, &refs, self.shape, &mut self.arena))
+                }
+                k => MergeSlab::Mat(merge_refs_with(s, k, &refs, self.shape)),
+            }
+        };
+        for slab in tail {
+            slab.recycle(&mut self.arena);
+        }
+        self.stack.push(merged);
     }
 
     /// Accumulated element statistics (time fields stay zero).
@@ -528,6 +1566,11 @@ impl StackMerger {
     /// Number of slabs currently on the stack.
     pub fn stack_len(&self) -> usize {
         self.stack.len()
+    }
+
+    /// The merger's arena (peak/capacity observability for the probes).
+    pub fn arena(&self) -> &MergeArena<f64> {
+        &self.arena
     }
 }
 
@@ -601,6 +1644,16 @@ mod tests {
     }
 
     #[test]
+    fn every_kernel_empty_slice_returns_empty_of_shape() {
+        for kernel in MergeKernel::all() {
+            let merged = merge_with(PlusTimes::<f64>::new(), kernel, &[], (7, 9));
+            merged.assert_valid();
+            assert_eq!((merged.nrows(), merged.ncols()), (7, 9), "{kernel:?}");
+            assert_eq!(merged.nnz(), 0, "{kernel:?}");
+        }
+    }
+
+    #[test]
     fn kway_merge_drops_cancellation() {
         let a = random_csc(8, 8, 20, 1);
         let mut b = a.clone();
@@ -628,12 +1681,74 @@ mod tests {
     #[test]
     fn selection_rule_follows_model_crossovers() {
         let m = MachineModel::summit();
-        assert_eq!(select_merge_kernel(&m, 100_000, 2), MergeKernel::Pairwise);
-        assert_eq!(select_merge_kernel(&m, 100_000, 3), MergeKernel::Heap);
-        assert_eq!(select_merge_kernel(&m, 100_000, 4), MergeKernel::Hash);
-        assert_eq!(select_merge_kernel(&m, 100_000, 16), MergeKernel::Hash);
-        // A tiny merge cannot amortize the hash table setup.
-        assert_eq!(select_merge_kernel(&m, 100, 8), MergeKernel::Heap);
+        // Fan-in 2–5: the arena-backed single-pass k-cursor merge.
+        for ways in [2usize, 3, 4, 5] {
+            assert_eq!(select_merge_kernel(&m, 100_000, ways), MergeKernel::BrMerge);
+        }
+        // Fan-in ≥ 6 with enough elements: the parallel SpAdd.
+        assert_eq!(select_merge_kernel(&m, 100_000, 6), MergeKernel::SpAdd);
+        assert_eq!(select_merge_kernel(&m, 100_000, 16), MergeKernel::SpAdd);
+        // A tiny merge cannot amortize the SPA setup: the setup-free
+        // cursor kernels take over — brmerge while its min-scan stays
+        // under lg k, the heap at very high fan-in.
+        assert_eq!(select_merge_kernel(&m, 100, 8), MergeKernel::BrMerge);
+        assert_eq!(select_merge_kernel(&m, 100, 16), MergeKernel::Heap);
+        // The legacy pairwise/hash baselines are never auto-selected.
+        for total in [100u64, 10_000, 1_000_000] {
+            for ways in [2usize, 3, 4, 8, 16] {
+                let k = select_merge_kernel(&m, total, ways);
+                assert!(
+                    k != MergeKernel::Pairwise && k != MergeKernel::Hash,
+                    "dominated kernel {k:?} selected at total={total} ways={ways}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn arena_reuses_buffers_without_capacity_leak() {
+        let s = PlusTimes::<f64>::new();
+        let mut arena = MergeArena::new();
+        // Many merges of varying size through one arena: capacity must
+        // stay bounded by twice the largest single request.
+        for round in 0..20 {
+            let k = 2 + round % 4;
+            let mats = slabs(16, k);
+            let refs: Vec<ColsRef<'_, f64>> = mats.iter().map(ColsRef::of).collect();
+            let buf = if k == 2 || k == 3 {
+                brmerge_into(s, &refs, (16, 16), &mut arena)
+            } else {
+                spadd_into(s, &refs, (16, 16), &mut arena)
+            };
+            let want = reference_sum(&mats);
+            assert!(buf.to_csc().max_abs_diff(&want) < 1e-9, "round={round}");
+            arena.release(buf);
+        }
+        assert!(arena.peak_request() > 0);
+        arena.assert_no_capacity_leak();
+        assert!(
+            arena.capacity_elems() <= 2 * arena.peak_request().max(32),
+            "steady-state capacity {} vs peak request {}",
+            arena.capacity_elems(),
+            arena.peak_request()
+        );
+    }
+
+    #[test]
+    fn arena_outputs_match_materialized_kernels_exactly() {
+        let s = PlusTimes::<f64>::new();
+        let mut arena = MergeArena::new();
+        for k in [2usize, 3, 5, 8] {
+            let mats = slabs(10, k);
+            let refs: Vec<ColsRef<'_, f64>> = mats.iter().map(ColsRef::of).collect();
+            let want = merge_refs_with(s, MergeKernel::Heap, &refs, (10, 10));
+            let br = brmerge_into(s, &refs, (10, 10), &mut arena);
+            assert_eq!(br.to_csc(), want, "brmerge k={k}");
+            arena.release(br);
+            let sp = spadd_into(s, &refs, (10, 10), &mut arena);
+            assert_eq!(sp.to_csc(), want, "spadd k={k}");
+            arena.release(sp);
+        }
     }
 
     #[test]
@@ -665,6 +1780,40 @@ mod tests {
             let got = sm.finish();
             assert!(got.max_abs_diff(&want) < 1e-9, "k={k}");
         }
+    }
+
+    #[test]
+    fn stack_merger_result_is_policy_invariant() {
+        // The arena-backed Auto path must produce the exact CSC the
+        // legacy fixed kernels produce — schedule and accumulation order
+        // are kernel-independent.
+        let mats = slabs(14, 8);
+        let run = |policy| {
+            let mut sm = StackMerger::new(MachineModel::summit(), policy, (14, 14));
+            for m in &mats {
+                sm.push(m.clone());
+            }
+            sm.finish()
+        };
+        let auto = run(MergeKernelPolicy::Auto);
+        for kernel in MergeKernel::all() {
+            assert_eq!(
+                run(MergeKernelPolicy::Fixed(kernel)),
+                auto,
+                "{kernel:?} diverged from Auto"
+            );
+        }
+    }
+
+    #[test]
+    fn stack_merger_arena_stays_bounded() {
+        let mut sm = StackMerger::new(MachineModel::summit(), MergeKernelPolicy::Auto, (20, 20));
+        for m in slabs(20, 16) {
+            sm.push(m);
+        }
+        let _ = sm.finish();
+        assert!(sm.arena().peak_request() > 0, "auto path used the arena");
+        sm.arena().assert_no_capacity_leak();
     }
 
     #[test]
@@ -727,7 +1876,7 @@ mod tests {
     }
 
     proptest! {
-        /// All three merge kernels produce bit-identical CSC outputs —
+        /// All five merge kernels produce bit-identical CSC outputs —
         /// values AND sparsity structure, including entries removed by
         /// exact-zero cancellation.
         #[test]
@@ -740,16 +1889,16 @@ mod tests {
             let mats = product_set(n, k, seed, with_cancel);
             let shape = (n, n);
             let heap = merge_algo(MergeKernel::Heap).merge(&mats, shape);
-            let pairwise = merge_algo(MergeKernel::Pairwise).merge(&mats, shape);
-            let hash = merge_algo(MergeKernel::Hash).merge(&mats, shape);
             heap.assert_valid();
-            // `Csc: PartialEq` compares colptr, rowidx and vals exactly —
-            // bitwise equality of both structure and floats.
-            prop_assert_eq!(&heap, &pairwise);
-            prop_assert_eq!(&heap, &hash);
+            for kernel in MergeKernel::all() {
+                let got = merge_algo(kernel).merge(&mats, shape);
+                // `Csc: PartialEq` compares colptr, rowidx and vals
+                // exactly — bitwise equality of structure and floats.
+                prop_assert_eq!(&heap, &got, "{:?}", kernel);
+            }
         }
 
-        /// Min-plus: the same three kernels stay bit-identical when ⊕ is
+        /// Min-plus: the same five kernels stay bit-identical when ⊕ is
         /// `min` and the annihilator is `+∞`. One slab carries explicit
         /// `+∞` entries: positions where *every* contribution is `+∞`
         /// must be dropped by all kernels alike (exact-annihilator
@@ -774,11 +1923,11 @@ mod tests {
             }
             let shape = (n, n);
             let heap = merge_with(s, MergeKernel::Heap, &mats, shape);
-            let pairwise = merge_with(s, MergeKernel::Pairwise, &mats, shape);
-            let hash = merge_with(s, MergeKernel::Hash, &mats, shape);
             heap.assert_valid();
-            prop_assert_eq!(&heap, &pairwise);
-            prop_assert_eq!(&heap, &hash);
+            for kernel in MergeKernel::all() {
+                let got = merge_with(s, kernel, &mats, shape);
+                prop_assert_eq!(&heap, &got, "{:?}", kernel);
+            }
             prop_assert!(
                 heap.vals.iter().all(|v| v.is_finite()),
                 "accumulated +∞ entries must be dropped, not stored"
@@ -807,11 +1956,11 @@ mod tests {
             }
             let shape = (n, n);
             let heap = merge_with(s, MergeKernel::Heap, &mats, shape);
-            let pairwise = merge_with(s, MergeKernel::Pairwise, &mats, shape);
-            let hash = merge_with(s, MergeKernel::Hash, &mats, shape);
             heap.assert_valid();
-            prop_assert_eq!(&heap, &pairwise);
-            prop_assert_eq!(&heap, &hash);
+            for kernel in MergeKernel::all() {
+                let got = merge_with(s, kernel, &mats, shape);
+                prop_assert_eq!(&heap, &got, "{:?}", kernel);
+            }
             prop_assert!(
                 heap.vals.iter().all(|&v| v),
                 "an OR-accumulation can only store true entries"

@@ -35,13 +35,13 @@
 use crate::distmat::DistMatrix;
 use crate::executor::{Executor, LaunchSpec, MergeTask};
 use crate::merge::{
-    algorithm2_merge_count, merge_with, select_merge_kernel, MergeKernelPolicy, MergeSpan,
-    MergeStats, MergeStrategy,
+    algorithm2_merge_count, brmerge_into, merge_refs_with, select_merge_kernel, spadd_into,
+    ArenaPool, ColsRef, MergeKernelPolicy, MergeSlab, MergeSpan, MergeStats, MergeStrategy,
 };
 use crate::spgemm::{CommChoice, CommPolicy, SummaConfig};
 use hipmcl_comm::clock::StageTimers;
 use hipmcl_comm::collectives::{bcast, flat_bcast};
-use hipmcl_comm::{Comm, CommMode, ProcGrid, SpgemmKernel, WireSize};
+use hipmcl_comm::{Comm, CommMode, MergeKernel, ProcGrid, SpgemmKernel, WireSize};
 use hipmcl_gpu::select::select_kernel;
 use hipmcl_sparse::util::even_chunk;
 use hipmcl_sparse::{Csc, Dcsc, Semiring, Value};
@@ -115,11 +115,14 @@ pub(crate) struct PipelineOutcome<T: Value = f64> {
     pub comm_choices: Vec<CommChoice>,
 }
 
-/// A stage product waiting on the merge stack: the real matrix, the
-/// virtual time it exists from, and the merge lane that produced it
-/// (`None` for kernel products, which have no socket affinity).
+/// A stage product waiting on the merge stack: the real matrix (a
+/// materialized kernel product or an arena buffer written by a previous
+/// merge), the virtual time it exists from, and the merge lane that
+/// produced it (`None` for kernel products, which have no socket
+/// affinity; arena buffers are always homed on the lane whose
+/// [`MergeArena`](crate::merge::MergeArena) owns them).
 struct Slab<T: Value> {
-    m: Csc<T>,
+    m: MergeSlab<T>,
     ready: f64,
     home: Option<usize>,
 }
@@ -163,8 +166,17 @@ impl<S: Semiring> MergeEngine<S> {
     /// Merges the top `count` stack entries as one executor task: the
     /// task is ready when its last input is, the chosen kernel does the
     /// real work, and the result re-enters the stack homed on the lane
-    /// that produced it.
-    fn do_merge(&mut self, comm: &Comm, exec: &mut dyn Executor<S>, count: usize) {
+    /// that produced it. Arena kernels write into the placed lane's
+    /// [`MergeArena`](crate::merge::MergeArena) from `pool`; consumed
+    /// arena inputs are released back to their home lanes, so within a
+    /// phase the hot loop recycles buffers instead of allocating.
+    fn do_merge(
+        &mut self,
+        comm: &Comm,
+        exec: &mut dyn Executor<S>,
+        pool: &mut ArenaPool<S::Elem>,
+        count: usize,
+    ) {
         let tail: Vec<Slab<S::Elem>> = self.stack.split_off(self.stack.len() - count);
         let inputs: Vec<(u64, Option<usize>)> =
             tail.iter().map(|s| (s.m.nnz() as u64, s.home)).collect();
@@ -176,8 +188,21 @@ impl<S: Semiring> MergeEngine<S> {
         };
         let task = MergeTask { kernel, inputs };
         let launch = exec.submit_merge(comm.model(), ready, &task);
-        let mats: Vec<Csc<S::Elem>> = tail.into_iter().map(|s| s.m).collect();
-        let merged = merge_with(self.sr, kernel, &mats, self.shape);
+        let merged = {
+            let refs: Vec<ColsRef<'_, S::Elem>> = tail.iter().map(|s| s.m.as_cols()).collect();
+            let arena = pool.lane_mut(launch.lane);
+            match kernel {
+                MergeKernel::BrMerge => {
+                    MergeSlab::Buf(brmerge_into(self.sr, &refs, self.shape, arena))
+                }
+                MergeKernel::SpAdd => MergeSlab::Buf(spadd_into(self.sr, &refs, self.shape, arena)),
+                k => MergeSlab::Mat(merge_refs_with(self.sr, k, &refs, self.shape)),
+            }
+        };
+        for s in tail {
+            let home = s.home.unwrap_or(launch.lane);
+            s.m.recycle(pool.lane_mut(home));
+        }
         self.spans.push(MergeSpan {
             start: launch.started_at,
             end: launch.output_ready_at,
@@ -200,12 +225,18 @@ impl<S: Semiring> MergeEngine<S> {
     }
 
     /// Stacks a slab and runs whatever merge Algorithm 2 triggers.
-    fn push_binary(&mut self, comm: &Comm, exec: &mut dyn Executor<S>, slab: Slab<S::Elem>) {
+    fn push_binary(
+        &mut self,
+        comm: &Comm,
+        exec: &mut dyn Executor<S>,
+        pool: &mut ArenaPool<S::Elem>,
+        slab: Slab<S::Elem>,
+    ) {
         self.stack.push(slab);
         self.pushed += 1;
         let count = algorithm2_merge_count(self.pushed);
         if count > 0 {
-            self.do_merge(comm, exec, count);
+            self.do_merge(comm, exec, pool, count);
         }
     }
 
@@ -214,11 +245,12 @@ impl<S: Semiring> MergeEngine<S> {
         &mut self,
         comm: &Comm,
         exec: &mut dyn Executor<S>,
+        pool: &mut ArenaPool<S::Elem>,
         slab: Csc<S::Elem>,
         ready_at: f64,
     ) {
         let slab = Slab {
-            m: slab,
+            m: MergeSlab::Mat(slab),
             ready: ready_at,
             home: None,
         };
@@ -230,14 +262,14 @@ impl<S: Semiring> MergeEngine<S> {
                     // Algorithm 2 triggers one) overlaps this stage's
                     // kernel on the merge lane.
                     if let Some(prev) = self.pending.take() {
-                        self.push_binary(comm, exec, prev);
+                        self.push_binary(comm, exec, pool, prev);
                     }
                     self.pending = Some(slab);
                 } else {
                     // Bulk synchronous: the host blocks until the merge
                     // (still a lane task) completes; the block is wait
                     // time, since the host does none of the merging.
-                    self.push_binary(comm, exec, slab);
+                    self.push_binary(comm, exec, pool, slab);
                     let ready = self.stack.last().map_or(comm.now(), |s| s.ready);
                     self.stats.wait_time += comm.wait_clock_until(ready);
                 }
@@ -250,13 +282,13 @@ impl<S: Semiring> MergeEngine<S> {
     /// Algorithm 2's `finish` collapse of the remaining stack). All of it
     /// is async lane work — the host does not wait here; that is
     /// [`drain`](Self::drain)'s job, which pipelining defers one phase.
-    fn seal(&mut self, comm: &Comm, exec: &mut dyn Executor<S>) {
+    fn seal(&mut self, comm: &Comm, exec: &mut dyn Executor<S>, pool: &mut ArenaPool<S::Elem>) {
         if let Some(prev) = self.pending.take() {
-            self.push_binary(comm, exec, prev);
+            self.push_binary(comm, exec, pool, prev);
         }
         if self.stack.len() > 1 {
             let count = self.stack.len();
-            self.do_merge(comm, exec, count);
+            self.do_merge(comm, exec, pool, count);
         }
     }
 
@@ -267,6 +299,7 @@ impl<S: Semiring> MergeEngine<S> {
     fn drain(
         mut self,
         comm: &Comm,
+        pool: &mut ArenaPool<S::Elem>,
         timers: &mut StageTimers,
         merge_stats: &mut MergeStats,
         merge_spans: &mut Vec<MergeSpan>,
@@ -279,9 +312,21 @@ impl<S: Semiring> MergeEngine<S> {
         *cpu_idle += self.stats.wait_time;
         merge_stats.absorb(&self.stats);
         merge_spans.append(&mut self.spans);
-        self.stack
-            .pop()
-            .map_or_else(|| Csc::zero(self.shape.0, self.shape.1), |s| s.m)
+        // The once-per-phase materialization: an arena-resident result is
+        // copied out and its buffer recycled for the next phase. Reuse
+        // must never ratchet capacity across phases — debug-checked here,
+        // at the phase boundary.
+        let out = self.stack.pop().map_or_else(
+            || Csc::zero(self.shape.0, self.shape.1),
+            |s| {
+                let home = s.home.unwrap_or(0);
+                s.m.into_csc(pool.lane_mut(home))
+            },
+        );
+        if cfg!(debug_assertions) {
+            pool.assert_no_capacity_leak();
+        }
+        out
     }
 }
 
@@ -316,6 +361,10 @@ where
     let mut cpu_idle = 0.0f64;
     let local_cols = b.local.ncols();
     let mut slabs: Vec<Csc<S::Elem>> = Vec::with_capacity(phases);
+    // One merge arena per executor merge lane, living across *all*
+    // phases: merges write into (and recycle) lane-homed slab buffers,
+    // so after warm-up the merge hot loop stops allocating.
+    let mut pool: ArenaPool<S::Elem> = ArenaPool::with_lanes(exec.merge_lane_count());
     // Under pipelining the previous phase's sealed engine drains only
     // after this phase's stage loop, so its closing merge overlaps the
     // next round of broadcasts and launches (phases sliced from `B` are
@@ -412,11 +461,11 @@ where
                 (launch.c, launch.output_ready_at)
             };
 
-            merge.accept(comm, exec, slab, ready_at);
+            merge.accept(comm, exec, &mut pool, slab, ready_at);
         }
 
         // --- Phase wrap-up: submit the closing merge ------------------
-        merge.seal(comm, exec);
+        merge.seal(comm, exec, &mut pool);
         let drain_now = if cfg.pipelined {
             sealed.replace((ph, merge))
         } else {
@@ -425,6 +474,7 @@ where
         if let Some((pph, eng)) = drain_now {
             let merged = eng.drain(
                 comm,
+                &mut pool,
                 timers,
                 &mut merge_stats,
                 &mut merge_spans,
@@ -436,6 +486,7 @@ where
     if let Some((pph, eng)) = sealed.take() {
         let merged = eng.drain(
             comm,
+            &mut pool,
             timers,
             &mut merge_stats,
             &mut merge_spans,
