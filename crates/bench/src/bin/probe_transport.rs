@@ -1,0 +1,153 @@
+//! **Transport ablation** — runs the identical Archaea MCL workload over
+//! every (transport × time model) arm and proves the tentpole claim of
+//! the transport/time split: *what* the pipeline computes is a property
+//! of the algorithm, not of how frames move or how time is charged.
+//!
+//! Checks, per rank count (4 and 9, capped by `HIPMCL_MAX_RANKS`):
+//!
+//! * cluster labels are **bit-identical** across `InProcess` and
+//!   `ProcessShm` (the feature-gated OS-process/shared-memory-ring
+//!   backend) and across `Modeled`/`Measured` time;
+//! * the modeled total time and iteration count are exactly equal on
+//!   every arm (the modeled clock stays authoritative under `Measured`);
+//! * under `Measured`, the report carries a non-trivial wall-clock
+//!   stage breakdown next to the modeled one, which is printed as a
+//!   modeled-vs-measured table per stage.
+//!
+//! The `ProcessShm` arms exist only when the crate is built with
+//! `--features process-shm`; without it the probe runs the in-process
+//! arms and says so. Results land in `results/probe_transport.csv`.
+
+use hipmcl_bench::*;
+use hipmcl_comm::{MachineModel, TimeModel, TransportKind, Universe, UniverseConfig};
+use hipmcl_core::dist::DistMclReport;
+use hipmcl_core::MclConfig;
+use hipmcl_workloads::Dataset;
+
+fn max_ranks() -> usize {
+    std::env::var("HIPMCL_MAX_RANKS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(usize::MAX)
+        .max(1)
+}
+
+/// One (transport, time) arm of the ablation. The universe config is the
+/// only thing that varies — the rank body is byte-for-byte the same.
+fn run_arm(p: usize, transport: TransportKind, time: TimeModel, cfg: &MclConfig) -> DistMclReport {
+    let cfg = *cfg;
+    let ucfg = UniverseConfig::new(p, MachineModel::summit_bench())
+        .with_transport(transport)
+        .with_time(time);
+    let reports = Universe::run_with(ucfg, move |comm| {
+        run_scattered_on(comm, Dataset::Archaea, &cfg)
+    });
+    reports.into_iter().next().unwrap()
+}
+
+fn main() {
+    println!("Transport ablation: archaea MCL across (transport x time) arms\n");
+    let shm_built = cfg!(feature = "process-shm");
+    if !shm_built {
+        println!("note: built without --features process-shm; ProcessShm arms skipped\n");
+    }
+    let mut arms: Vec<(TransportKind, TimeModel)> = vec![
+        (TransportKind::InProcess, TimeModel::Modeled),
+        (TransportKind::InProcess, TimeModel::Measured),
+    ];
+    if shm_built {
+        arms.push((TransportKind::ProcessShm, TimeModel::Modeled));
+        arms.push((TransportKind::ProcessShm, TimeModel::Measured));
+    }
+
+    let headers = [
+        "ranks",
+        "transport",
+        "time",
+        "clusters",
+        "iters",
+        "modeled_total_s",
+        "measured_stage_s",
+        "labels_match",
+    ];
+    let mut rows: Vec<Vec<String>> = Vec::new();
+
+    for p in [4usize, 9].into_iter().filter(|&p| p <= max_ranks()) {
+        let cfg = bench_mcl_config_for(Dataset::Archaea, MclConfig::optimized(4 << 30));
+        println!("== {p} ranks");
+        let mut baseline: Option<DistMclReport> = None;
+        for &(transport, time) in &arms {
+            let r = run_arm(p, transport, time, &cfg);
+            let measured_total: f64 = r.stage_times_measured.iter().map(|(_, t)| t).sum();
+            let labels_match = match &baseline {
+                None => {
+                    baseline = Some(r.clone());
+                    true
+                }
+                Some(b) => {
+                    // The tentpole guarantee: transports and time models
+                    // change observability, never results. Labels must be
+                    // bit-identical and the modeled clock untouched.
+                    assert_eq!(
+                        b.labels,
+                        r.labels,
+                        "{p} ranks: labels diverged on ({}, {})",
+                        transport.name(),
+                        time.name()
+                    );
+                    assert_eq!(
+                        b.iterations,
+                        r.iterations,
+                        "{p} ranks: iteration count diverged on ({}, {})",
+                        transport.name(),
+                        time.name()
+                    );
+                    assert_eq!(
+                        b.total_time.to_bits(),
+                        r.total_time.to_bits(),
+                        "{p} ranks: modeled total time diverged on ({}, {})",
+                        transport.name(),
+                        time.name()
+                    );
+                    true
+                }
+            };
+            println!(
+                "   {:<12} {:<9} clusters {:<6} iters {:<3} modeled {:>10} measured {:>10}",
+                transport.name(),
+                time.name(),
+                r.num_clusters,
+                r.iterations,
+                fmt_time(r.total_time),
+                fmt_time(measured_total),
+            );
+            if time.is_measured() {
+                println!("      {:<16} {:>12} {:>12}", "stage", "modeled", "measured");
+                for ((name, modeled), (_, measured)) in
+                    r.stage_times.iter().zip(&r.stage_times_measured)
+                {
+                    println!(
+                        "      {:<16} {:>12} {:>12}",
+                        name,
+                        fmt_time(*modeled),
+                        fmt_time(*measured)
+                    );
+                }
+            }
+            rows.push(vec![
+                p.to_string(),
+                transport.name().to_string(),
+                time.name().to_string(),
+                r.num_clusters.to_string(),
+                r.iterations.to_string(),
+                format!("{:.6}", r.total_time),
+                format!("{measured_total:.6}"),
+                labels_match.to_string(),
+            ]);
+        }
+        println!();
+    }
+
+    let csv = write_csv("probe_transport", &headers, &rows);
+    println!("all arms bit-identical; wrote {}", csv.display());
+}

@@ -88,13 +88,16 @@ pub fn bench_mcl_config(mut base: MclConfig) -> MclConfig {
 
 /// Runs distributed MCL with rank-0-only workload generation (the graph
 /// is scattered, not replicated — essential when simulating hundreds of
-/// ranks on one host).
+/// ranks on one host). Dispatches through [`hipmcl_comm::Universe::run_dist`],
+/// so `HIPMCL_TRANSPORT` / `HIPMCL_TIME` select the transport and time
+/// model without code changes.
 pub fn run_scattered(p: usize, d: Dataset, cfg: &MclConfig) -> DistMclReport {
     let cfg = *cfg;
-    let reports =
-        hipmcl_comm::Universe::run(p, hipmcl_comm::MachineModel::summit_bench(), move |comm| {
-            run_scattered_on(comm, d, &cfg)
-        });
+    let reports = hipmcl_comm::Universe::run_dist(
+        p,
+        hipmcl_comm::MachineModel::summit_bench(),
+        move |comm| run_scattered_on(comm, d, &cfg),
+    );
     reports.into_iter().next().unwrap()
 }
 

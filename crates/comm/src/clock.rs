@@ -15,6 +15,121 @@
 //! Table V reports. Whoever holds a returned [`Event`] decides what to
 //! overlap against it; the timeline itself never blocks anyone.
 
+/// How a rank experiences time. Orthogonal to the transport
+/// ([`crate::transport::TransportKind`]): any transport composes with
+/// either model.
+///
+/// The *modeled* clock is always maintained and always authoritative for
+/// scheduling (`Comm::now`, timeline submission, collective charging) —
+/// that is what keeps results bit-identical and runs reproducible across
+/// transports. `Measured` does not replace it; it *additionally* samples
+/// the monotonic wall clock around communication and kernel sections, so
+/// a single run reports modeled and measured durations side by side.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum TimeModel {
+    /// Charge α–β and kernel-model durations on the virtual clock only
+    /// (the default; fully deterministic).
+    #[default]
+    Modeled,
+    /// Also read the monotonic wall clock: comm waits and kernel
+    /// launches record measured seconds next to their modeled ones.
+    Measured,
+}
+
+impl TimeModel {
+    /// Parses `HIPMCL_TIME`-style names.
+    pub fn parse(s: &str) -> Option<Self> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "" | "modeled" | "model" | "virtual" => Some(Self::Modeled),
+            "measured" | "wall" | "real" => Some(Self::Measured),
+            _ => None,
+        }
+    }
+
+    /// Canonical name (the one `parse` round-trips).
+    pub fn name(self) -> &'static str {
+        match self {
+            Self::Modeled => "modeled",
+            Self::Measured => "measured",
+        }
+    }
+
+    /// `true` under [`TimeModel::Measured`].
+    #[inline]
+    pub fn is_measured(self) -> bool {
+        self == Self::Measured
+    }
+}
+
+impl std::fmt::Display for TimeModel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A rank's clock pair: the modeled [`VClock`] plus, under
+/// [`TimeModel::Measured`], a monotonic wall-clock origin.
+#[derive(Clone, Copy, Debug)]
+pub struct RankClock {
+    time: TimeModel,
+    vclock: VClock,
+    origin: std::time::Instant,
+}
+
+impl RankClock {
+    /// A fresh clock pair at virtual zero / wall now.
+    pub fn new(time: TimeModel) -> Self {
+        Self {
+            time,
+            vclock: VClock::new(),
+            origin: std::time::Instant::now(),
+        }
+    }
+
+    /// The time model in force.
+    #[inline]
+    pub fn time_model(&self) -> TimeModel {
+        self.time
+    }
+
+    /// Current *modeled* time — authoritative for all scheduling.
+    #[inline]
+    pub fn now(&self) -> f64 {
+        self.vclock.now()
+    }
+
+    /// Advances the modeled clock by `dt` seconds.
+    #[inline]
+    pub fn advance(&mut self, dt: f64) {
+        self.vclock.advance(dt);
+    }
+
+    /// Jumps the modeled clock to `t` if later; returns modeled idle.
+    #[inline]
+    pub fn wait_until(&mut self, t: f64) -> f64 {
+        self.vclock.wait_until(t)
+    }
+
+    /// Wall seconds since this rank started, or `0.0` under
+    /// [`TimeModel::Modeled`] (so Modeled runs never read the host
+    /// clock and stay bit-for-bit reproducible in their instrumentation
+    /// too).
+    #[inline]
+    pub fn measured_now(&self) -> f64 {
+        if self.time.is_measured() {
+            self.origin.elapsed().as_secs_f64()
+        } else {
+            0.0
+        }
+    }
+
+    /// Resets modeled time to zero and re-anchors the wall origin.
+    pub fn reset(&mut self) {
+        self.vclock.reset();
+        self.origin = std::time::Instant::now();
+    }
+}
+
 /// A virtual clock, in seconds of modeled machine time.
 #[derive(Clone, Copy, Debug, Default, PartialEq)]
 pub struct VClock {
@@ -148,7 +263,8 @@ impl Timeline {
     }
 }
 
-/// Message and byte counters for one rank.
+/// Message and byte counters for one rank, plus the modeled-vs-measured
+/// receive-wait rollup.
 #[derive(Clone, Copy, Debug, Default, PartialEq)]
 pub struct CommStats {
     /// Point-to-point messages sent.
@@ -159,6 +275,14 @@ pub struct CommStats {
     pub msgs_recv: usize,
     /// Bytes received.
     pub bytes_recv: u64,
+    /// Modeled seconds this rank's clock jumped forward waiting in
+    /// `recv` (the α–β arrival charge). Accumulated under both time
+    /// models.
+    pub modeled_comm_s: f64,
+    /// Wall seconds spent blocked in `recv` (matching + transfer +
+    /// decode). Only accumulated under [`TimeModel::Measured`]; exactly
+    /// `0.0` under Modeled.
+    pub measured_comm_s: f64,
 }
 
 impl CommStats {
@@ -168,6 +292,21 @@ impl CommStats {
         self.bytes_sent += other.bytes_sent;
         self.msgs_recv += other.msgs_recv;
         self.bytes_recv += other.bytes_recv;
+        self.modeled_comm_s += other.modeled_comm_s;
+        self.measured_comm_s += other.measured_comm_s;
+    }
+
+    /// The counter delta `self − earlier` (for per-section rollups:
+    /// snapshot before, subtract after).
+    pub fn delta_since(&self, earlier: &CommStats) -> CommStats {
+        CommStats {
+            msgs_sent: self.msgs_sent - earlier.msgs_sent,
+            bytes_sent: self.bytes_sent - earlier.bytes_sent,
+            msgs_recv: self.msgs_recv - earlier.msgs_recv,
+            bytes_recv: self.bytes_recv - earlier.bytes_recv,
+            modeled_comm_s: self.modeled_comm_s - earlier.modeled_comm_s,
+            measured_comm_s: self.measured_comm_s - earlier.measured_comm_s,
+        }
     }
 }
 
@@ -231,6 +370,62 @@ impl StageTimers {
         for (name, t) in other.iter() {
             self.add(name, t);
         }
+    }
+}
+
+use hipmcl_sparse::wire::{WireDecode, WireEncode, WireError, WireReader};
+
+impl crate::packet::WireSize for CommStats {
+    fn wire_bytes(&self) -> usize {
+        48 // six 8-byte words
+    }
+}
+
+impl crate::packet::WireSize for StageTimers {
+    fn wire_bytes(&self) -> usize {
+        8 + self
+            .entries
+            .iter()
+            .map(|(n, _)| 8 + n.len() + 8)
+            .sum::<usize>()
+    }
+}
+
+impl WireEncode for CommStats {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.msgs_sent.encode(out);
+        self.bytes_sent.encode(out);
+        self.msgs_recv.encode(out);
+        self.bytes_recv.encode(out);
+        self.modeled_comm_s.encode(out);
+        self.measured_comm_s.encode(out);
+    }
+}
+
+impl WireDecode for CommStats {
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        Ok(CommStats {
+            msgs_sent: usize::decode(r)?,
+            bytes_sent: u64::decode(r)?,
+            msgs_recv: usize::decode(r)?,
+            bytes_recv: u64::decode(r)?,
+            modeled_comm_s: f64::decode(r)?,
+            measured_comm_s: f64::decode(r)?,
+        })
+    }
+}
+
+impl WireEncode for StageTimers {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.entries.encode(out);
+    }
+}
+
+impl WireDecode for StageTimers {
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        Ok(StageTimers {
+            entries: Vec::<(String, f64)>::decode(r)?,
+        })
     }
 }
 
@@ -300,16 +495,56 @@ mod tests {
             bytes_sent: 10,
             msgs_recv: 2,
             bytes_recv: 20,
+            modeled_comm_s: 0.5,
+            measured_comm_s: 0.0,
         };
         let b = CommStats {
             msgs_sent: 3,
             bytes_sent: 30,
             msgs_recv: 4,
             bytes_recv: 40,
+            modeled_comm_s: 1.5,
+            measured_comm_s: 0.25,
         };
         a.merge(&b);
         assert_eq!(a.msgs_sent, 4);
         assert_eq!(a.bytes_recv, 60);
+        assert_eq!(a.modeled_comm_s, 2.0);
+        let d = a.delta_since(&b);
+        assert_eq!(d.msgs_sent, 1);
+        assert_eq!(d.bytes_sent, 10);
+        assert_eq!(d.modeled_comm_s, 0.5);
+    }
+
+    #[test]
+    fn time_model_parse_and_default() {
+        assert_eq!(TimeModel::parse("measured"), Some(TimeModel::Measured));
+        assert_eq!(TimeModel::parse("wall"), Some(TimeModel::Measured));
+        assert_eq!(TimeModel::parse("modeled"), Some(TimeModel::Modeled));
+        assert_eq!(TimeModel::parse("bogus"), None);
+        assert_eq!(TimeModel::default(), TimeModel::Modeled);
+        assert!(!TimeModel::Modeled.is_measured());
+    }
+
+    #[test]
+    fn rank_clock_modeled_never_reads_wall() {
+        let mut c = RankClock::new(TimeModel::Modeled);
+        c.advance(1.0);
+        assert_eq!(c.now(), 1.0);
+        assert_eq!(c.measured_now(), 0.0, "Modeled must not sample wall time");
+        assert_eq!(c.wait_until(3.0), 2.0);
+        c.reset();
+        assert_eq!(c.now(), 0.0);
+    }
+
+    #[test]
+    fn rank_clock_measured_tracks_wall_alongside_model() {
+        let mut c = RankClock::new(TimeModel::Measured);
+        c.advance(5.0);
+        assert_eq!(c.now(), 5.0, "modeled clock stays authoritative");
+        let w0 = c.measured_now();
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        assert!(c.measured_now() > w0, "wall clock advances on its own");
     }
 
     #[test]

@@ -5,8 +5,7 @@
 //! `≈ ⌈lg p⌉ · (α + βb)` in virtual time without any analytic shortcut.
 
 use crate::comm::Comm;
-use crate::packet::WireSize;
-use std::any::Any;
+use crate::packet::WirePayload;
 
 /// Tag namespace for collectives (high bit set; user tags must stay below).
 const COLL_BIT: u64 = 1 << 63;
@@ -19,7 +18,7 @@ fn coll_tag(comm: &Comm) -> u64 {
 /// their received value through, so `value` is consumed and returned.
 pub fn bcast<T>(comm: &Comm, root: usize, value: Option<T>) -> T
 where
-    T: Any + Send + Clone + WireSize,
+    T: WirePayload + Clone,
 {
     let p = comm.size();
     let tag = coll_tag(comm);
@@ -79,7 +78,7 @@ where
 /// the tree's `⌈lg p⌉` α-hops dominate.
 pub fn flat_bcast<T>(comm: &Comm, root: usize, value: Option<T>) -> T
 where
-    T: Any + Send + Clone + WireSize,
+    T: WirePayload + Clone,
 {
     let p = comm.size();
     let tag = coll_tag(comm);
@@ -108,7 +107,7 @@ where
 /// determinism, commutative). Returns `Some(result)` on the root.
 pub fn reduce<T, F>(comm: &Comm, root: usize, value: T, op: F) -> Option<T>
 where
-    T: Any + Send + Clone + WireSize,
+    T: WirePayload + Clone,
     F: Fn(T, T) -> T,
 {
     let p = comm.size();
@@ -141,7 +140,7 @@ where
 /// All-reduce: reduce to rank 0, then broadcast back.
 pub fn allreduce<T, F>(comm: &Comm, value: T, op: F) -> T
 where
-    T: Any + Send + Clone + WireSize,
+    T: WirePayload + Clone,
     F: Fn(T, T) -> T,
 {
     let reduced = reduce(comm, 0, value, op);
@@ -153,7 +152,7 @@ where
 /// `MPI_Gather` behaviour and keeps ordering trivial.
 pub fn gather<T>(comm: &Comm, root: usize, value: T) -> Option<Vec<T>>
 where
-    T: Any + Send + Clone + WireSize,
+    T: WirePayload + Clone,
 {
     let p = comm.size();
     let tag = coll_tag(comm);
@@ -175,7 +174,7 @@ where
 /// All-gather: every rank returns the vector of all ranks' values.
 pub fn allgather<T>(comm: &Comm, value: T) -> Vec<T>
 where
-    T: Any + Send + Clone + WireSize,
+    T: WirePayload + Clone,
 {
     let gathered = gather(comm, 0, value);
     bcast(comm, 0, gathered)

@@ -1,33 +1,44 @@
-//! The communicator: point-to-point messaging with virtual-clock charging,
-//! and communicator splitting (`MPI_Comm_split` analogue).
+//! The communicator: matched point-to-point messaging with virtual-clock
+//! charging, receive deadlines, and communicator splitting
+//! (`MPI_Comm_split` analogue).
+//!
+//! `Comm` is transport-agnostic: it owns tag matching, out-of-order
+//! buffering, α–β charging and split bookkeeping, and delegates the
+//! actual movement of frames to an [`Endpoint`]
+//! (see [`crate::transport`]). Under a byte-oriented endpoint payloads
+//! are wire-encoded on send and decoded on recv; under the in-process
+//! endpoint they move as boxed values — either way the caller sees the
+//! same typed API and bit-identical values.
 
-use crate::clock::{CommStats, VClock};
+use crate::clock::{CommStats, RankClock, TimeModel};
 use crate::machine::MachineModel;
-use crate::packet::{Packet, WireSize};
-use crossbeam_channel::{Receiver, Sender};
-use std::any::Any;
+use crate::packet::WirePayload;
+use crate::transport::{Endpoint, Frame, FrameHeader, FramePayload, RecvError, TransportKind};
 use std::cell::RefCell;
 use std::rc::Rc;
 use std::sync::Arc;
+use std::time::Duration;
 
-/// Per-rank mailbox: the world receive channel plus a buffer for packets
+/// Per-rank mailbox: the transport endpoint plus a buffer for frames
 /// that arrived before anyone asked for them (out-of-order matching).
 pub(crate) struct Mailbox {
-    rx: Receiver<Packet>,
-    pending: RefCell<Vec<Packet>>,
+    endpoint: Box<dyn Endpoint>,
+    pending: RefCell<Vec<Frame>>,
 }
 
-/// State shared by all ranks of a universe.
+/// Universe-wide configuration shared by all communicators of a rank.
 pub(crate) struct Shared {
-    pub(crate) senders: Vec<Sender<Packet>>,
     pub(crate) model: MachineModel,
+    pub(crate) time: TimeModel,
+    /// `None` disables the receive deadline (hang forever, as MPI would).
+    pub(crate) recv_deadline: Option<Duration>,
 }
 
 /// A communicator handle owned by one rank.
 ///
 /// The world communicator is created by [`crate::Universe::run`]; grid
 /// row/column communicators come from [`Comm::split`]. All communicators
-/// of a rank share the rank's mailbox and virtual clock.
+/// of a rank share the rank's mailbox and clock pair.
 pub struct Comm {
     /// Context id separating traffic of different communicators.
     ctx: u64,
@@ -42,7 +53,7 @@ pub struct Comm {
     coll_seq: std::cell::Cell<u64>,
     shared: Arc<Shared>,
     mailbox: Rc<Mailbox>,
-    clock: Rc<RefCell<VClock>>,
+    clock: Rc<RefCell<RankClock>>,
     stats: Rc<RefCell<CommStats>>,
 }
 
@@ -51,8 +62,9 @@ impl Comm {
         rank: usize,
         size: usize,
         shared: Arc<Shared>,
-        rx: Receiver<Packet>,
+        endpoint: Box<dyn Endpoint>,
     ) -> Self {
+        let time = shared.time;
         Self {
             ctx: 0,
             rank,
@@ -61,10 +73,10 @@ impl Comm {
             coll_seq: std::cell::Cell::new(0),
             shared,
             mailbox: Rc::new(Mailbox {
-                rx,
+                endpoint,
                 pending: RefCell::new(Vec::new()),
             }),
-            clock: Rc::new(RefCell::new(VClock::new())),
+            clock: Rc::new(RefCell::new(RankClock::new(time))),
             stats: Rc::new(RefCell::new(CommStats::default())),
         }
     }
@@ -89,9 +101,32 @@ impl Comm {
         &self.shared.model
     }
 
-    /// Current virtual time of this rank.
+    /// The time model in force.
+    pub fn time_model(&self) -> TimeModel {
+        self.shared.time
+    }
+
+    /// The transport this universe runs on.
+    pub fn transport(&self) -> TransportKind {
+        self.mailbox.endpoint.kind()
+    }
+
+    /// The receive deadline in force (`None` = wait forever).
+    pub fn recv_deadline(&self) -> Option<Duration> {
+        self.shared.recv_deadline
+    }
+
+    /// Current virtual time of this rank (authoritative for scheduling
+    /// under both time models).
     pub fn now(&self) -> f64 {
         self.clock.borrow().now()
+    }
+
+    /// Wall seconds since this rank started, or `0.0` under
+    /// [`TimeModel::Modeled`]. Sample before/after a section to get its
+    /// measured duration.
+    pub fn measured_now(&self) -> f64 {
+        self.clock.borrow().measured_now()
     }
 
     /// Advances this rank's virtual clock by `dt` seconds of compute.
@@ -130,74 +165,136 @@ impl Comm {
     /// Non-blocking in virtual time: the send itself charges nothing; the
     /// α–β cost is charged at the receiver against the sender's clock, the
     /// usual LogP-style accounting.
-    pub fn send<T: Any + Send + WireSize>(&self, dst: usize, tag: u64, value: T) {
+    pub fn send<T: WirePayload>(&self, dst: usize, tag: u64, value: T) {
         let bytes = value.wire_bytes();
         self.send_with_bytes(dst, tag, value, bytes)
     }
 
     /// [`Comm::send`] with an explicit wire size (for payloads whose
     /// modeled size differs from their in-memory size).
-    pub fn send_with_bytes<T: Any + Send>(&self, dst: usize, tag: u64, value: T, bytes: usize) {
+    pub fn send_with_bytes<T: WirePayload>(&self, dst: usize, tag: u64, value: T, bytes: usize) {
         let world_dst = self.world_ranks[dst];
-        let pkt = Packet {
-            src_world: self.world_ranks[self.rank],
-            ctx: self.ctx,
-            tag,
-            send_clock: self.now(),
-            bytes,
-            payload: Box::new(value),
+        let payload = if self.mailbox.endpoint.byte_oriented() {
+            FramePayload::Bytes(value.encoded())
+        } else {
+            FramePayload::Typed(Box::new(value))
+        };
+        let frame = Frame {
+            header: FrameHeader {
+                src_world: self.world_ranks[self.rank],
+                ctx: self.ctx,
+                tag,
+                send_clock: self.now(),
+                bytes,
+            },
+            payload,
         };
         {
             let mut st = self.stats.borrow_mut();
             st.msgs_sent += 1;
             st.bytes_sent += bytes as u64;
         }
-        self.shared.senders[world_dst]
-            .send(pkt)
-            .expect("peer rank hung up (panicked?)");
+        self.mailbox.endpoint.send_frame(world_dst, frame);
     }
 
     /// Receives the message `(src, tag)` (communicator ranks), blocking
-    /// until it arrives. Charges `max(own_clock, sender_clock + α + βb)`.
-    pub fn recv<T: Any + Send>(&self, src: usize, tag: u64) -> T {
+    /// until it arrives. Charges `max(own_clock, sender_clock + α + βb)`
+    /// on the modeled clock; under [`TimeModel::Measured`] additionally
+    /// accumulates the wall seconds spent blocked (match + decode) into
+    /// [`CommStats::measured_comm_s`].
+    ///
+    /// If a receive deadline is configured (see
+    /// [`crate::UniverseConfig::recv_deadline`]) and no matching frame
+    /// arrives in time, panics with rank/src/tag diagnostics instead of
+    /// deadlocking the run.
+    pub fn recv<T: WirePayload>(&self, src: usize, tag: u64) -> T {
+        let measured = self.shared.time.is_measured();
+        let wall0 = if measured {
+            Some(std::time::Instant::now())
+        } else {
+            None
+        };
         let world_src = self.world_ranks[src];
-        let pkt = self.match_packet(world_src, tag);
+        let frame = self.match_frame(world_src, src, tag);
+        let arrival = frame.header.send_clock + self.shared.model.p2p_time(frame.header.bytes);
+        let idle = self.clock.borrow_mut().wait_until(arrival);
+        let value = match frame.payload {
+            FramePayload::Typed(b) => *b
+                .downcast::<T>()
+                .unwrap_or_else(|_| panic!("type mismatch receiving tag {tag} from {src}")),
+            FramePayload::Bytes(buf) => T::decode_all(&buf).unwrap_or_else(|e| {
+                panic!("wire decode failed receiving tag {tag} from {src}: {e}")
+            }),
+        };
         {
             let mut st = self.stats.borrow_mut();
             st.msgs_recv += 1;
-            st.bytes_recv += pkt.bytes as u64;
+            st.bytes_recv += frame.header.bytes as u64;
+            st.modeled_comm_s += idle;
+            if let Some(t0) = wall0 {
+                st.measured_comm_s += t0.elapsed().as_secs_f64();
+            }
         }
-        let arrival = pkt.send_clock + self.shared.model.p2p_time(pkt.bytes);
-        self.clock.borrow_mut().wait_until(arrival);
-        *pkt.payload
-            .downcast::<T>()
-            .unwrap_or_else(|_| panic!("type mismatch receiving tag {tag} from {src}"))
+        value
     }
 
-    /// Pulls the first packet matching `(world_src, ctx, tag)`, buffering
-    /// everything else.
-    fn match_packet(&self, world_src: usize, tag: u64) -> Packet {
+    /// Pulls the first frame matching `(world_src, ctx, tag)`, buffering
+    /// everything else. Enforces the configured receive deadline.
+    fn match_frame(&self, world_src: usize, src: usize, tag: u64) -> Frame {
         // Check the pending buffer first.
         {
             let mut pending = self.mailbox.pending.borrow_mut();
-            if let Some(pos) = pending
-                .iter()
-                .position(|p| p.src_world == world_src && p.ctx == self.ctx && p.tag == tag)
-            {
+            if let Some(pos) = pending.iter().position(|f| {
+                f.header.src_world == world_src && f.header.ctx == self.ctx && f.header.tag == tag
+            }) {
                 return pending.swap_remove(pos);
             }
         }
+        let deadline = self.shared.recv_deadline;
+        let started = deadline.map(|_| std::time::Instant::now());
         loop {
-            let pkt = self
-                .mailbox
-                .rx
-                .recv()
-                .expect("universe torn down while receiving");
-            if pkt.src_world == world_src && pkt.ctx == self.ctx && pkt.tag == tag {
-                return pkt;
+            let remaining = match (deadline, started) {
+                (Some(d), Some(t0)) => match d.checked_sub(t0.elapsed()) {
+                    Some(left) => Some(left),
+                    None => self.recv_deadline_panic(world_src, src, tag, d),
+                },
+                _ => None,
+            };
+            let frame = match self.mailbox.endpoint.recv_frame(remaining) {
+                Ok(f) => f,
+                Err(RecvError::Timeout) => {
+                    self.recv_deadline_panic(world_src, src, tag, deadline.unwrap())
+                }
+                Err(RecvError::Disconnected) => panic!("universe torn down while receiving"),
+            };
+            if frame.header.src_world == world_src
+                && frame.header.ctx == self.ctx
+                && frame.header.tag == tag
+            {
+                return frame;
             }
-            self.mailbox.pending.borrow_mut().push(pkt);
+            self.mailbox.pending.borrow_mut().push(frame);
         }
+    }
+
+    #[allow(clippy::panic)]
+    fn recv_deadline_panic(&self, world_src: usize, src: usize, tag: u64, after: Duration) -> ! {
+        let pending = self.mailbox.pending.borrow();
+        panic!(
+            "recv deadline exceeded after {:.1?}: rank {} (world {}) waiting for tag {:#x} \
+             from src {} (world {}) on ctx {:#x}; {} unmatched frame(s) buffered \
+             [transport {}, time {}]",
+            after,
+            self.rank,
+            self.world_ranks[self.rank],
+            tag,
+            src,
+            world_src,
+            self.ctx,
+            pending.len(),
+            self.transport(),
+            self.shared.time,
+        );
     }
 
     /// Splits the communicator like `MPI_Comm_split`: ranks with the same
@@ -255,7 +352,7 @@ fn fxhash3(a: u64, b: u64, c: u64) -> u64 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::universe::Universe;
+    use crate::universe::{Universe, UniverseConfig};
 
     #[test]
     fn fxhash3_is_deterministic_and_nonzero() {
@@ -349,5 +446,68 @@ mod tests {
         assert_eq!(results[0].msgs_sent, 2);
         assert_eq!(results[1].msgs_recv, 2);
         assert_eq!(results[0].bytes_sent, 16);
+    }
+
+    #[test]
+    fn modeled_runs_never_sample_wall_time() {
+        let results = Universe::run(2, MachineModel::summit(), |comm| {
+            if comm.rank() == 0 {
+                comm.send(1, 0, vec![0u8; 100_000]);
+            } else {
+                let _: Vec<u8> = comm.recv(0, 0);
+            }
+            (comm.stats(), comm.measured_now())
+        });
+        assert_eq!(results[1].0.measured_comm_s, 0.0);
+        assert_eq!(results[1].1, 0.0);
+        assert!(results[1].0.modeled_comm_s > 0.0, "α–β wait was charged");
+    }
+
+    #[test]
+    fn measured_runs_report_both_rollups() {
+        let cfg = UniverseConfig::new(2, MachineModel::summit()).with_time(TimeModel::Measured);
+        let results = Universe::run_with(cfg, |comm| {
+            if comm.rank() == 0 {
+                // Make the receiver actually block on the wall clock.
+                std::thread::sleep(Duration::from_millis(5));
+                comm.send(1, 0, vec![1u64; 1000]);
+            } else {
+                let _: Vec<u64> = comm.recv(0, 0);
+            }
+            comm.stats()
+        });
+        let st = results[1];
+        assert!(st.modeled_comm_s > 0.0, "modeled charge still accumulates");
+        assert!(
+            st.measured_comm_s >= 0.004,
+            "wall blocking time recorded, got {}",
+            st.measured_comm_s
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "recv deadline exceeded")]
+    fn recv_on_silent_tag_panics_with_deadline() {
+        let cfg = UniverseConfig::new(2, MachineModel::summit())
+            .with_recv_deadline(Some(Duration::from_millis(20)));
+        let _ = Universe::run_with(cfg, |comm| {
+            if comm.rank() == 1 {
+                // Nobody ever sends tag 99.
+                let _: u64 = comm.recv(0, 99);
+            }
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "recv deadline exceeded")]
+    fn measured_time_defaults_deadline_on() {
+        let cfg = UniverseConfig::new(2, MachineModel::summit()).with_time(TimeModel::Measured);
+        assert!(cfg.resolved_recv_deadline().is_some());
+        let short = cfg.with_recv_deadline(Some(Duration::from_millis(20)));
+        let _ = Universe::run_with(short, |comm| {
+            if comm.rank() == 1 {
+                let _: u64 = comm.recv(0, 99);
+            }
+        });
     }
 }

@@ -138,7 +138,7 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "rank panicked")]
+    #[should_panic(expected = "perfect-square rank count")]
     fn non_square_rank_count_rejected() {
         let _ = Universe::run(3, MachineModel::summit(), |comm| {
             let _ = ProcGrid::new(comm);

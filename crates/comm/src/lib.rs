@@ -1,27 +1,53 @@
 //! Simulated-MPI communication substrate for `hipmcl-rs`.
 //!
 //! HipMCL is an MPI + OpenMP code; this reproduction has no MPI cluster, so
-//! the distributed algorithms run on an in-process message-passing runtime
-//! instead (see DESIGN.md, substitution table). The design goals, in order:
+//! the distributed algorithms run on a message-passing runtime instead (see
+//! DESIGN.md, substitution table). The substrate is built from two
+//! *orthogonal* axes, chosen per universe and invisible to algorithm code:
 //!
-//! 1. **Real semantics** — ranks are OS threads; data really moves through
-//!    typed channels; collectives are built from point-to-point sends over
-//!    binomial trees exactly as a small MPI would build them. Results are
-//!    bit-identical to a serial execution, so every distributed algorithm
-//!    in the upper crates is tested for *correctness*, not merely mimed.
-//! 2. **Modeled time** — every rank carries a virtual clock ([`clock`]).
-//!    Message receipt charges an α–β (latency + bytes/bandwidth) cost from
-//!    the [`machine::MachineModel`]; compute sections charge kernel-model
-//!    durations. Tree collectives accumulate these along their critical
-//!    path, so `lg p` factors, load imbalance, and idle time emerge rather
-//!    than being hand-computed. This is what lets a laptop reproduce the
-//!    *shape* of 100–1024-node Summit results.
-//! 3. **Subcommunicators** — Sparse SUMMA lives on a `√P × √P` grid with
-//!    per-row and per-column broadcast domains ([`grid`]), created by
-//!    `Comm::split` like `MPI_Comm_split`.
+//! **Transport** ([`transport::Endpoint`], [`TransportKind`]) — how frames
+//! physically move between ranks. Every message is a length-prefixed frame
+//! (`[FrameHeader][payload]`); collectives (broadcast, reduce, gather,
+//! barrier, split) are built from matched point-to-point sends over
+//! binomial trees exactly as a small MPI would build them, *above* the
+//! transport, so every backend inherits them unchanged.
 //!
-//! Entry point: [`universe::Universe::run`] spawns `P` ranks and hands each
-//! a [`comm::Comm`].
+//! * [`TransportKind::InProcess`] (default): ranks are OS threads, frames
+//!   ride typed in-memory channels — fast, deterministic, zero-copy for
+//!   large slabs (`Arc` payloads).
+//! * [`TransportKind::ProcessShm`] (`--features process-shm`, `shm` module):
+//!   ranks are OS processes; frames are byte-encoded ([`WirePayload`]'s
+//!   explicit little-endian wire format) and move through shared-memory
+//!   SPSC rings. Real serialization, real cross-address-space movement.
+//!
+//! **Time model** ([`TimeModel`], [`clock`]) — how time is charged.
+//!
+//! * [`TimeModel::Modeled`] (default): every rank carries a virtual clock;
+//!   message receipt charges an α–β (latency + bytes/bandwidth) cost from
+//!   the [`machine::MachineModel`]; compute sections charge kernel-model
+//!   durations. Tree collectives accumulate these along their critical
+//!   path, so `lg p` factors, load imbalance, and idle time emerge rather
+//!   than being hand-computed. This is what lets a laptop reproduce the
+//!   *shape* of 100–1024-node Summit results. Modeled mode never reads the
+//!   host clock.
+//! * [`TimeModel::Measured`]: the modeled clock still runs (and stays
+//!   authoritative — schedules, stats, and results are bit-identical to
+//!   Modeled), but ranks *additionally* sample the monotonic host clock,
+//!   so reports carry a real wall-time breakdown next to the modeled one,
+//!   and blocking receives gain a deadline that panics with rank/tag/src
+//!   diagnostics instead of hanging.
+//!
+//! The invariant tying the axes together: **what is computed is a property
+//! of the algorithm alone**. Cluster labels, modeled times, and comm
+//! schedules are bit-identical across all transport × time combinations
+//! (`probe_transport` asserts this end-to-end on the Archaea workload).
+//!
+//! Entry point: [`universe::Universe::run`] spawns `P` ranks and hands
+//! each a [`comm::Comm`]; [`universe::Universe::run_with`] takes a
+//! [`UniverseConfig`] selecting transport and time model, and
+//! [`universe::Universe::run_dist`] reads them from `HIPMCL_TRANSPORT` /
+//! `HIPMCL_TIME` so tests and benches can be re-run under any combination
+//! without code changes.
 
 pub mod clock;
 pub mod collectives;
@@ -29,14 +55,19 @@ pub mod comm;
 pub mod grid;
 pub mod machine;
 pub mod packet;
+#[cfg(feature = "process-shm")]
+pub mod shm;
+pub mod transport;
 pub mod universe;
 
-pub use clock::{CommStats, Event, StageTimers, Timeline, VClock};
+pub use clock::{CommStats, Event, RankClock, StageTimers, TimeModel, Timeline, VClock};
 pub use comm::Comm;
 pub use grid::ProcGrid;
+pub use hipmcl_sparse::wire::{WireDecode, WireEncode, WireError, WireReader};
 pub use machine::{CommMode, GpuLib, MachineModel, MergeKernel, SpgemmKernel};
-pub use packet::WireSize;
-pub use universe::Universe;
+pub use packet::{WirePayload, WireSize};
+pub use transport::{Endpoint, Frame, FrameHeader, FramePayload, RecvError, TransportKind};
+pub use universe::{Universe, UniverseConfig};
 
 #[cfg(test)]
 mod proptests;

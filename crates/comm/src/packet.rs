@@ -1,10 +1,22 @@
-//! Wire-level pieces of the simulated MPI: packets and payload sizing.
+//! Payload contracts of the simulated MPI: modeled sizing and the
+//! combined bound every message type satisfies.
 //!
-//! Payloads move between ranks as `Box<dyn Any>` — no serialization is
-//! performed (the "network" is shared memory), but every payload reports a
-//! wire size so the virtual clock can charge realistic transfer costs.
+//! On the in-process transport payloads move as `Box<dyn Any>` — no
+//! serialization — but every payload reports a [`WireSize`] so the
+//! virtual clock can charge realistic transfer costs, and every payload
+//! is [`WireEncode`]/[`WireDecode`] so the same call sites run unchanged
+//! over byte-oriented transports (see [`crate::transport`]).
 
+use hipmcl_sparse::wire::{WireDecode, WireEncode};
 use std::any::Any;
+
+/// Everything a message payload must satisfy: typed movement
+/// (`Any + Send`), modeled sizing ([`WireSize`]) and byte movement
+/// ([`WireEncode`] + [`WireDecode`]). Blanket-implemented — implement
+/// the three component traits and this comes for free.
+pub trait WirePayload: Any + Send + WireSize + WireEncode + WireDecode {}
+
+impl<T: Any + Send + WireSize + WireEncode + WireDecode> WirePayload for T {}
 
 /// Reports how many bytes a value would occupy on a real interconnect.
 ///
@@ -53,6 +65,12 @@ impl<T: WireSize> WireSize for Vec<T> {
     }
 }
 
+impl WireSize for String {
+    fn wire_bytes(&self) -> usize {
+        8 + self.len()
+    }
+}
+
 impl<T: WireSize> WireSize for Option<T> {
     fn wire_bytes(&self) -> usize {
         1 + self.as_ref().map_or(0, WireSize::wire_bytes)
@@ -93,23 +111,6 @@ impl<T: hipmcl_sparse::Value> WireSize for hipmcl_sparse::Dcsc<T> {
     fn wire_bytes(&self) -> usize {
         self.bytes()
     }
-}
-
-/// One in-flight message.
-pub(crate) struct Packet {
-    /// World rank of the sender.
-    pub src_world: usize,
-    /// Communicator context the message belongs to (world = 0; splits get
-    /// derived ids), preventing cross-communicator tag collisions.
-    pub ctx: u64,
-    /// User or collective tag.
-    pub tag: u64,
-    /// Sender's virtual clock at send time.
-    pub send_clock: f64,
-    /// Modeled wire size.
-    pub bytes: usize,
-    /// The payload itself.
-    pub payload: Box<dyn Any + Send>,
 }
 
 #[cfg(test)]

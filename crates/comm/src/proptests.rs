@@ -81,6 +81,40 @@ proptest! {
     }
 
     #[test]
+    fn split_reassignment_matches_reference(p in 2usize..10,
+                                            colors in proptest::collection::vec(0u64..4, 10),
+                                            keys in proptest::collection::vec(0u64..6, 10)) {
+        // Arbitrary color/key reassignment must agree with the pure
+        // reference model of MPI_Comm_split: group = ranks with my
+        // color, ordered by (key, parent rank). The reference is
+        // transport-independent — the deterministic cross-transport
+        // equality of the actual implementation is pinned by
+        // `shm::tests::split_ordering_identical_across_transports`.
+        let (c, k) = (colors.clone(), keys.clone());
+        let results = Universe::run(p, MachineModel::summit(), move |comm| {
+            let r = comm.rank();
+            let mut comm = comm;
+            let sub = comm.split(c[r], k[r]);
+            let members: Vec<u64> = allgather(&sub, comm.rank() as u64);
+            (sub.rank(), sub.size(), members)
+        });
+        for (world_rank, (sub_rank, sub_size, members)) in results.iter().enumerate() {
+            let mut expect: Vec<(u64, usize)> = (0..p)
+                .filter(|&r| colors[r] == colors[world_rank])
+                .map(|r| (keys[r], r))
+                .collect();
+            expect.sort();
+            let expect_ranks: Vec<u64> = expect.iter().map(|&(_, r)| r as u64).collect();
+            prop_assert_eq!(*sub_size, expect_ranks.len());
+            prop_assert_eq!(members, &expect_ranks, "membership ordered by (key, parent)");
+            prop_assert_eq!(
+                expect_ranks[*sub_rank], world_rank as u64,
+                "each rank lands at its reference position"
+            );
+        }
+    }
+
+    #[test]
     fn split_groups_are_self_consistent(p in 2usize..10, modulo in 2usize..4) {
         let m = modulo;
         let results = Universe::run(p, MachineModel::summit(), move |comm| {

@@ -1,0 +1,672 @@
+//! The `process-shm` transport: ranks as OS processes exchanging
+//! wire-encoded frames over shared-memory rings. Pure `std` (unix).
+//!
+//! # How a universe becomes processes
+//!
+//! [`Universe::run_with`](crate::Universe::run_with) cannot ship a
+//! closure to another process, so this backend re-executes the current
+//! binary, `mpirun`-style: the parent creates a session directory of
+//! ring files under `/dev/shm` (tmpfs — file pages *are* shared
+//! memory), then spawns `P` copies of `current_exe()` with
+//! `HIPMCL_SHM_{DIR,RANK,RANKS,UNIVERSE}` set. Each child runs the same
+//! program from the top; when it reaches the `run_with` call identified
+//! by its `UNIVERSE` ordinal it becomes rank `RANK` over a
+//! [`ShmEndpoint`], runs the rank closure, wire-encodes its result into
+//! `result_<rank>.bin`, and exits. The parent collects and decodes the
+//! per-rank results, so the caller sees exactly the `Vec<R>` the
+//! in-process transport would return.
+//!
+//! Earlier `process-shm` universes in the same program are *replayed*
+//! in-process by the child to reach the target call site with identical
+//! state — which is sound precisely because results are bit-identical
+//! across transports. The consequence is a determinism contract: code
+//! executed before a `process-shm` universe must be deterministic
+//! (no RNG without fixed seeds, no branching on wall-clock or
+//! process-id values). Under `cargo test`, the test thread's name is
+//! the test's own path, which is how a child re-runs just the right
+//! test (`<name> --exact --test-threads=1`).
+//!
+//! # The rings
+//!
+//! One single-producer/single-consumer byte ring per ordered rank pair.
+//! File layout: `head` and `tail` are free-running byte counters, each
+//! stored twice (`primary`, `secondary`) so a reader can detect torn
+//! reads — the writer updates the secondary copy first, then the
+//! primary, and a reader retries until both copies agree. Data lives at
+//! offset 64, indexed modulo the capacity. Frames are
+//! `[total_len u64][header 40 B][payload]`. A sender blocked on a full
+//! ring keeps draining its own incoming rings meanwhile, so cyclic
+//! exchanges larger than the ring capacity cannot deadlock.
+
+use crate::comm::Comm;
+use crate::packet::WirePayload;
+use crate::transport::{
+    Endpoint, Frame, FrameHeader, FramePayload, RecvError, TransportKind, FRAME_HEADER_BYTES,
+};
+use crate::universe::{run_threads, UniverseConfig};
+use hipmcl_sparse::wire::{WireDecode, WireEncode};
+use std::cell::{Cell, RefCell};
+use std::collections::VecDeque;
+use std::fs::{File, OpenOptions};
+use std::os::unix::fs::FileExt;
+use std::path::{Path, PathBuf};
+use std::time::{Duration, Instant};
+
+const ENV_DIR: &str = "HIPMCL_SHM_DIR";
+const ENV_RANK: &str = "HIPMCL_SHM_RANK";
+const ENV_RANKS: &str = "HIPMCL_SHM_RANKS";
+const ENV_UNIVERSE: &str = "HIPMCL_SHM_UNIVERSE";
+
+/// Offset of the duplicated head counter (writer-owned).
+const HEAD_OFF: u64 = 0;
+/// Offset of the duplicated tail counter (reader-owned).
+const TAIL_OFF: u64 = 16;
+/// Start of ring data.
+const DATA_OFF: u64 = 64;
+/// Sleep between polls while a ring is empty/full.
+const POLL: Duration = Duration::from_micros(50);
+
+thread_local! {
+    /// Ordinal of the next `process-shm` universe requested on this
+    /// thread. Parent and child bump it at the same call sites, which
+    /// is what lets a child recognize "its" universe.
+    static SHM_ORDINAL: Cell<u64> = const { Cell::new(0) };
+}
+
+fn next_ordinal() -> u64 {
+    SHM_ORDINAL.with(|c| {
+        let v = c.get();
+        c.set(v + 1);
+        v
+    })
+}
+
+/// Process-unique suffix for session directories (two tests running
+/// `process-shm` universes concurrently in one binary must not collide).
+fn unique_session_id() -> u64 {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static NEXT: AtomicU64 = AtomicU64::new(0);
+    NEXT.fetch_add(1, Ordering::Relaxed)
+}
+
+fn session_root() -> PathBuf {
+    let shm = Path::new("/dev/shm");
+    if shm.is_dir() {
+        shm.to_path_buf()
+    } else {
+        std::env::temp_dir()
+    }
+}
+
+fn ring_path(dir: &Path, src: usize, dst: usize) -> PathBuf {
+    dir.join(format!("ring_{src}_{dst}.bin"))
+}
+
+fn result_path(dir: &Path, rank: usize) -> PathBuf {
+    dir.join(format!("result_{rank}.bin"))
+}
+
+/// One mapped ring file (either end).
+struct Ring {
+    file: File,
+    cap: u64,
+}
+
+impl Ring {
+    fn open(path: &Path, cap: u64) -> Self {
+        let file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .open(path)
+            .unwrap_or_else(|e| panic!("open ring {}: {e}", path.display()));
+        Self { file, cap }
+    }
+
+    /// Reads a duplicated counter, retrying until both copies agree.
+    fn counter(&self, off: u64) -> u64 {
+        loop {
+            let mut a = [0u8; 8];
+            let mut b = [0u8; 8];
+            self.file.read_exact_at(&mut a, off).expect("ring read");
+            self.file.read_exact_at(&mut b, off + 8).expect("ring read");
+            if a == b {
+                return u64::from_le_bytes(a);
+            }
+            std::hint::spin_loop();
+        }
+    }
+
+    /// Publishes a duplicated counter: secondary first, then primary, so
+    /// a concurrent reader only accepts the value once both landed.
+    fn publish(&self, off: u64, v: u64) {
+        let b = v.to_le_bytes();
+        self.file.write_all_at(&b, off + 8).expect("ring write");
+        self.file.write_all_at(&b, off).expect("ring write");
+    }
+
+    /// Copies `buf` into the data area at ring position `pos % cap`,
+    /// wrapping once if needed.
+    fn write_data(&self, pos: u64, buf: &[u8]) {
+        let at = pos % self.cap;
+        let first = ((self.cap - at) as usize).min(buf.len());
+        self.file
+            .write_all_at(&buf[..first], DATA_OFF + at)
+            .expect("ring write");
+        if first < buf.len() {
+            self.file
+                .write_all_at(&buf[first..], DATA_OFF)
+                .expect("ring write");
+        }
+    }
+
+    /// Copies `buf.len()` bytes out of the data area at `pos % cap`.
+    fn read_data(&self, pos: u64, buf: &mut [u8]) {
+        let at = pos % self.cap;
+        let first = ((self.cap - at) as usize).min(buf.len());
+        self.file
+            .read_exact_at(&mut buf[..first], DATA_OFF + at)
+            .expect("ring read");
+        if first < buf.len() {
+            self.file
+                .read_exact_at(&mut buf[first..], DATA_OFF)
+                .expect("ring read");
+        }
+    }
+}
+
+/// The producing end: owns the head counter.
+struct RingWriter {
+    ring: Ring,
+    head: u64,
+}
+
+impl RingWriter {
+    /// Writes as much of `buf` as currently fits; returns bytes consumed
+    /// (possibly 0 — the caller polls and retries).
+    fn push(&mut self, buf: &[u8]) -> usize {
+        let tail = self.ring.counter(TAIL_OFF);
+        let free = self.ring.cap - (self.head - tail);
+        let n = (free as usize).min(buf.len());
+        if n == 0 {
+            return 0;
+        }
+        self.ring.write_data(self.head, &buf[..n]);
+        self.head += n as u64;
+        self.ring.publish(HEAD_OFF, self.head);
+        n
+    }
+}
+
+/// The consuming end: owns the tail counter and reassembles frames.
+struct RingReader {
+    ring: Ring,
+    tail: u64,
+    staging: Vec<u8>,
+}
+
+impl RingReader {
+    /// Drains everything currently in the ring into the staging buffer;
+    /// returns `true` if any bytes arrived.
+    fn pull(&mut self) -> bool {
+        let head = self.ring.counter(HEAD_OFF);
+        if head == self.tail {
+            return false;
+        }
+        let n = (head - self.tail) as usize;
+        let start = self.staging.len();
+        self.staging.resize(start + n, 0);
+        self.ring.read_data(self.tail, &mut self.staging[start..]);
+        self.tail = head;
+        self.ring.publish(TAIL_OFF, self.tail);
+        true
+    }
+
+    /// Extracts the next complete frame from the staging buffer, if any.
+    fn next_frame(&mut self) -> Option<Frame> {
+        if self.staging.len() < 8 {
+            return None;
+        }
+        let len = u64::from_le_bytes(self.staging[..8].try_into().unwrap()) as usize;
+        debug_assert!(len >= FRAME_HEADER_BYTES, "runt frame ({len} B)");
+        if self.staging.len() < 8 + len {
+            return None;
+        }
+        let header = FrameHeader::decode(
+            &self.staging[8..8 + FRAME_HEADER_BYTES]
+                .try_into()
+                .expect("fixed-width header"),
+        );
+        let payload = self.staging[8 + FRAME_HEADER_BYTES..8 + len].to_vec();
+        self.staging.drain(..8 + len);
+        Some(Frame {
+            header,
+            payload: FramePayload::Bytes(payload),
+        })
+    }
+}
+
+/// A rank's endpoint over the session's ring files.
+pub struct ShmEndpoint {
+    writers: RefCell<Vec<Option<RingWriter>>>,
+    readers: RefCell<Vec<Option<RingReader>>>,
+    inbox: RefCell<VecDeque<Frame>>,
+}
+
+impl ShmEndpoint {
+    /// Opens all rings touching `rank` in an existing session directory.
+    pub fn open(dir: &Path, rank: usize, p: usize, ring_bytes: usize) -> Self {
+        let cap = ring_bytes as u64;
+        let writers = (0..p)
+            .map(|dst| {
+                (dst != rank).then(|| RingWriter {
+                    ring: Ring::open(&ring_path(dir, rank, dst), cap),
+                    head: 0,
+                })
+            })
+            .collect();
+        let readers = (0..p)
+            .map(|src| {
+                (src != rank).then(|| RingReader {
+                    ring: Ring::open(&ring_path(dir, src, rank), cap),
+                    tail: 0,
+                    staging: Vec::new(),
+                })
+            })
+            .collect();
+        Self {
+            writers: RefCell::new(writers),
+            readers: RefCell::new(readers),
+            inbox: RefCell::new(VecDeque::new()),
+        }
+    }
+
+    /// Moves every complete frame from every ring into the inbox;
+    /// returns how many frames arrived.
+    fn drain_incoming(&self) -> usize {
+        let mut got = 0;
+        let mut readers = self.readers.borrow_mut();
+        let mut inbox = self.inbox.borrow_mut();
+        for r in readers.iter_mut().flatten() {
+            r.pull();
+            while let Some(f) = r.next_frame() {
+                inbox.push_back(f);
+                got += 1;
+            }
+        }
+        got
+    }
+}
+
+impl Endpoint for ShmEndpoint {
+    fn kind(&self) -> TransportKind {
+        TransportKind::ProcessShm
+    }
+
+    fn byte_oriented(&self) -> bool {
+        true
+    }
+
+    fn send_frame(&self, dst_world: usize, frame: Frame) {
+        let payload = match frame.payload {
+            FramePayload::Bytes(b) => b,
+            FramePayload::Typed(_) => {
+                unreachable!("typed payload on a byte-oriented transport")
+            }
+        };
+        let mut buf = Vec::with_capacity(8 + FRAME_HEADER_BYTES + payload.len());
+        buf.extend_from_slice(&((FRAME_HEADER_BYTES + payload.len()) as u64).to_le_bytes());
+        frame.header.encode(&mut buf);
+        buf.extend_from_slice(&payload);
+
+        let mut written = 0;
+        while written < buf.len() {
+            let n = {
+                let mut writers = self.writers.borrow_mut();
+                writers[dst_world]
+                    .as_mut()
+                    .expect("send to self goes through the mailbox, not the ring")
+                    .push(&buf[written..])
+            };
+            written += n;
+            if written < buf.len() && n == 0 {
+                // Ring full: keep consuming our own traffic so a cyclic
+                // exchange larger than the ring capacity cannot deadlock.
+                if self.drain_incoming() == 0 {
+                    std::thread::sleep(POLL);
+                }
+            }
+        }
+    }
+
+    fn recv_frame(&self, timeout: Option<Duration>) -> Result<Frame, RecvError> {
+        let start = Instant::now();
+        loop {
+            if let Some(f) = self.inbox.borrow_mut().pop_front() {
+                return Ok(f);
+            }
+            if self.drain_incoming() == 0 {
+                if let Some(t) = timeout {
+                    if start.elapsed() >= t {
+                        return Err(RecvError::Timeout);
+                    }
+                }
+                std::thread::sleep(POLL);
+            }
+        }
+    }
+}
+
+/// Removes the session directory when the parent is done (or panics).
+struct SessionGuard(PathBuf);
+
+impl Drop for SessionGuard {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+/// Arguments that make a re-executed child reach this exact call site.
+fn child_args() -> Vec<String> {
+    match std::thread::current().name() {
+        // Under `cargo test`, libtest names each test thread after the
+        // test's full path — rerun exactly that test, serially.
+        Some(name) if name != "main" => vec![
+            name.to_string(),
+            "--exact".into(),
+            "--test-threads=1".into(),
+            "--nocapture".into(),
+        ],
+        // A normal binary: replay its own command line.
+        _ => std::env::args().skip(1).collect(),
+    }
+}
+
+/// Dispatcher for a `process-shm` universe: parent orchestration or
+/// child rank execution, decided by the environment.
+pub(crate) fn run_processes<R, F>(cfg: &UniverseConfig, f: &F) -> Vec<R>
+where
+    R: WirePayload,
+    F: Fn(Comm) -> R + Sync,
+{
+    assert!(cfg.ranks > 0, "need at least one rank");
+    let ordinal = next_ordinal();
+    match std::env::var(ENV_RANK) {
+        Ok(rank_s) => {
+            let target: u64 = std::env::var(ENV_UNIVERSE)
+                .expect("HIPMCL_SHM_UNIVERSE must accompany HIPMCL_SHM_RANK")
+                .parse()
+                .expect("HIPMCL_SHM_UNIVERSE: not a number");
+            if ordinal != target {
+                // An earlier universe on the way to ours: replay it
+                // in-process — bit-identical by construction — so
+                // program state evolves exactly as in the parent.
+                return run_threads(cfg, f);
+            }
+            let rank: usize = rank_s.parse().expect("HIPMCL_SHM_RANK: not a number");
+            child_rank(cfg, f, rank, ordinal);
+        }
+        Err(_) => parent(cfg, f, ordinal),
+    }
+}
+
+/// The parent side: session setup, spawn, result collection.
+fn parent<R, F>(cfg: &UniverseConfig, _f: &F, ordinal: u64) -> Vec<R>
+where
+    R: WirePayload,
+    F: Fn(Comm) -> R + Sync,
+{
+    let p = cfg.ranks;
+    let dir = session_root().join(format!(
+        "hipmcl-shm-{}-{}",
+        std::process::id(),
+        unique_session_id()
+    ));
+    std::fs::create_dir_all(&dir).expect("create shm session dir");
+    let _guard = SessionGuard(dir.clone());
+
+    // Ring files, zero-initialized counters, data area left sparse.
+    for s in 0..p {
+        for d in 0..p {
+            if s != d {
+                let f = File::create(ring_path(&dir, s, d)).expect("create ring");
+                f.set_len(DATA_OFF + cfg.shm_ring_bytes as u64)
+                    .expect("size ring");
+            }
+        }
+    }
+    // Session metadata lets children detect divergent replays early.
+    {
+        let mut meta = Vec::new();
+        (p as u64).encode(&mut meta);
+        (cfg.shm_ring_bytes as u64).encode(&mut meta);
+        std::fs::write(dir.join("meta.bin"), meta).expect("write meta");
+    }
+
+    let exe = std::env::current_exe().expect("current_exe for rank spawn");
+    let args = child_args();
+    let children: Vec<_> = (0..p)
+        .map(|rank| {
+            std::process::Command::new(&exe)
+                .args(&args)
+                .env(ENV_DIR, &dir)
+                .env(ENV_RANK, rank.to_string())
+                .env(ENV_RANKS, p.to_string())
+                .env(ENV_UNIVERSE, ordinal.to_string())
+                .stdout(std::process::Stdio::null())
+                .spawn()
+                .unwrap_or_else(|e| panic!("spawn rank {rank}: {e}"))
+        })
+        .collect();
+
+    let mut failures = Vec::new();
+    for (rank, child) in children.into_iter().enumerate() {
+        let mut child = child;
+        let status = child.wait().expect("wait for rank");
+        if !status.success() {
+            failures.push(format!("rank {rank} exited with {status}"));
+        }
+    }
+    assert!(
+        failures.is_empty(),
+        "process-shm universe {ordinal} failed: {}",
+        failures.join("; ")
+    );
+
+    (0..p)
+        .map(|rank| {
+            let path = result_path(&dir, rank);
+            let bytes =
+                std::fs::read(&path).unwrap_or_else(|e| panic!("read result of rank {rank}: {e}"));
+            R::decode_all(&bytes).unwrap_or_else(|e| panic!("decode result of rank {rank}: {e}"))
+        })
+        .collect()
+}
+
+/// The child side: become rank `rank`, run the closure, persist the
+/// result, exit without returning.
+fn child_rank<R, F>(cfg: &UniverseConfig, f: &F, rank: usize, ordinal: u64) -> !
+where
+    R: WirePayload,
+    F: Fn(Comm) -> R + Sync,
+{
+    let dir = PathBuf::from(std::env::var(ENV_DIR).expect("HIPMCL_SHM_DIR"));
+    let p: usize = std::env::var(ENV_RANKS)
+        .expect("HIPMCL_SHM_RANKS")
+        .parse()
+        .expect("HIPMCL_SHM_RANKS: not a number");
+    // Replay-divergence tripwire: the child's config at the target call
+    // site must match what the parent set up.
+    let meta = std::fs::read(dir.join("meta.bin")).expect("read session meta");
+    let (meta_p, meta_ring) = <(u64, u64)>::decode_all(&meta).expect("decode session meta");
+    assert!(
+        p == cfg.ranks && meta_p as usize == cfg.ranks && meta_ring as usize == cfg.shm_ring_bytes,
+        "universe {ordinal} diverged between parent and child replay \
+         (parent: {meta_p} ranks / {meta_ring} B rings; child: {} ranks / {} B rings). \
+         Code before a process-shm universe must be deterministic.",
+        cfg.ranks,
+        cfg.shm_ring_bytes,
+    );
+
+    let endpoint = ShmEndpoint::open(&dir, rank, p, cfg.shm_ring_bytes);
+    let comm = Comm::new_world(rank, p, cfg.shared(), Box::new(endpoint));
+    let result = f(comm);
+
+    let tmp = dir.join(format!("result_{rank}.tmp"));
+    std::fs::write(&tmp, result.encoded()).expect("write result");
+    std::fs::rename(&tmp, result_path(&dir, rank)).expect("publish result");
+    std::process::exit(0);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clock::TimeModel;
+    use crate::collectives::{allgather, allreduce, barrier};
+    use crate::machine::MachineModel;
+    use crate::universe::Universe;
+
+    fn shm_cfg(p: usize) -> UniverseConfig {
+        UniverseConfig::new(p, MachineModel::summit())
+            .with_transport(TransportKind::ProcessShm)
+            .with_recv_deadline(Some(Duration::from_secs(60)))
+    }
+
+    #[test]
+    fn ring_transfers_bytes_across_threads() {
+        let dir = session_root().join(format!(
+            "hipmcl-ringtest-{}-{}",
+            std::process::id(),
+            unique_session_id()
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        let _guard = SessionGuard(dir.clone());
+        let path = ring_path(&dir, 0, 1);
+        let cap = 4096u64; // small, to force wrapping and backpressure
+        let f = File::create(&path).unwrap();
+        f.set_len(DATA_OFF + cap).unwrap();
+
+        // A pseudo-random but deterministic byte stream much larger
+        // than the ring.
+        let data: Vec<u8> = (0..100_000u64)
+            .map(|i| (i.wrapping_mul(2654435761) >> 7) as u8)
+            .collect();
+        let expect = data.clone();
+        std::thread::scope(|s| {
+            let pw = path.clone();
+            let writer = s.spawn(move || {
+                let mut w = RingWriter {
+                    ring: Ring::open(&pw, cap),
+                    head: 0,
+                };
+                let mut written = 0;
+                while written < data.len() {
+                    let n = w.push(&data[written..]);
+                    written += n;
+                    if n == 0 {
+                        std::thread::sleep(POLL);
+                    }
+                }
+            });
+            let mut r = RingReader {
+                ring: Ring::open(&path, cap),
+                tail: 0,
+                staging: Vec::new(),
+            };
+            while r.staging.len() < expect.len() {
+                if !r.pull() {
+                    std::thread::sleep(POLL);
+                }
+            }
+            assert_eq!(r.staging, expect);
+            writer.join().unwrap();
+        });
+    }
+
+    #[test]
+    fn shm_p2p_roundtrip() {
+        let results = Universe::run_with(shm_cfg(2), |comm| {
+            if comm.rank() == 0 {
+                comm.send(1, 7, vec![1.5f64, 2.5, -0.0]);
+                0.0
+            } else {
+                let v: Vec<f64> = comm.recv(0, 7);
+                assert_eq!(v[2].to_bits(), (-0.0f64).to_bits(), "bits survive the wire");
+                v.iter().sum()
+            }
+        });
+        assert_eq!(results, vec![0.0, 4.0]);
+    }
+
+    #[test]
+    fn shm_collectives_and_clocks_match_in_process() {
+        let body = |comm: Comm| {
+            let mut comm = comm;
+            comm.advance_clock(comm.rank() as f64 * 1e-3);
+            let sum = allreduce(&comm, comm.rank() as u64, |a, b| a + b);
+            let all: Vec<u64> = allgather(&comm, sum + comm.rank() as u64);
+            barrier(&comm);
+            let sub = comm.split((comm.rank() % 2) as u64, comm.rank() as u64);
+            let subs: Vec<u64> = allgather(&sub, comm.rank() as u64);
+            (all, subs, comm.now())
+        };
+        let shm = Universe::run_with(shm_cfg(4), body);
+        let inp = Universe::run_with(UniverseConfig::new(4, MachineModel::summit()), body);
+        assert_eq!(
+            shm, inp,
+            "results and modeled clocks identical across transports"
+        );
+    }
+
+    #[test]
+    fn split_ordering_identical_across_transports() {
+        // Satellite: deterministic color/key reassignment tables must
+        // produce the same subcommunicator ranks on both transports.
+        // (The proptest against the pure reference model lives in
+        // `crate::proptests`; shm universes must stay deterministic, so
+        // this arm pins fixed tables.)
+        let colors = [2u64, 0, 1, 0, 2, 1, 0, 2, 1];
+        let keys = [4u64, 0, 3, 3, 1, 1, 0, 2, 2];
+        let body = move |comm: Comm| {
+            let r = comm.rank();
+            let mut comm = comm;
+            let sub = comm.split(colors[r], keys[r]);
+            let members: Vec<u64> = allgather(&sub, comm.rank() as u64);
+            (sub.rank(), sub.size(), members)
+        };
+        let shm = Universe::run_with(shm_cfg(9), body);
+        let inp = Universe::run_with(UniverseConfig::new(9, MachineModel::summit()), body);
+        assert_eq!(shm, inp);
+    }
+
+    #[test]
+    fn shm_measured_time_reports_wall_seconds() {
+        let cfg = shm_cfg(2).with_time(TimeModel::Measured);
+        let results = Universe::run_with(cfg, |comm| {
+            if comm.rank() == 0 {
+                std::thread::sleep(Duration::from_millis(5));
+                comm.send(1, 0, vec![0u8; 1 << 16]);
+            } else {
+                let _: Vec<u8> = comm.recv(0, 0);
+            }
+            comm.stats()
+        });
+        assert!(results[1].modeled_comm_s > 0.0);
+        assert!(
+            results[1].measured_comm_s >= 0.004,
+            "receiver measurably blocked, got {}",
+            results[1].measured_comm_s
+        );
+    }
+
+    #[test]
+    fn sequential_shm_universes_replay_correctly() {
+        // Two shm universes in one test: the child serving universe 1
+        // must replay universe 0 in-process to get here.
+        let a = Universe::run_with(shm_cfg(2), |comm| comm.rank() as u64 + 1);
+        assert_eq!(a, vec![1, 2]);
+        let b = Universe::run_with(shm_cfg(2), |comm| {
+            allreduce(&comm, comm.rank() as u64, |x, y| x + y)
+        });
+        assert_eq!(b, vec![1, 1]);
+    }
+}

@@ -1,18 +1,139 @@
-//! The universe: spawns `P` rank threads and hands each a world
-//! communicator, like `mpirun`.
+//! The universe: spawns `P` ranks and hands each a world communicator,
+//! like `mpirun`.
+//!
+//! A universe is configured by transport × time model
+//! ([`UniverseConfig`]): any [`TransportKind`] composes with any
+//! [`TimeModel`]. [`Universe::run`] is the legacy deterministic entry
+//! point (in-process threads, modeled time, bit-identical to the
+//! pre-transport-split runtime); [`Universe::run_with`] takes an
+//! explicit config; [`Universe::run_dist`] reads the config from the
+//! environment (`HIPMCL_TRANSPORT`, `HIPMCL_TIME`,
+//! `HIPMCL_RECV_DEADLINE_MS`) so one binary serves every mode.
 
+use crate::clock::TimeModel;
 use crate::comm::{Comm, Shared};
 use crate::machine::MachineModel;
-use crate::packet::Packet;
-use crossbeam_channel::unbounded;
+use crate::packet::WirePayload;
+use crate::transport::{InProcessEndpoint, TransportKind};
 use std::sync::Arc;
+use std::time::Duration;
+
+/// Default receive deadline under [`TimeModel::Measured`]: long enough
+/// for any honest workload step, short enough to fail a hung test run.
+pub const DEFAULT_MEASURED_RECV_DEADLINE: Duration = Duration::from_secs(30);
+
+/// Full configuration of a universe: rank count, machine model,
+/// transport, time model, receive-deadline policy.
+#[derive(Clone, Debug)]
+pub struct UniverseConfig {
+    /// Number of ranks.
+    pub ranks: usize,
+    /// The α–β/kernel cost model charged on the modeled clock.
+    pub model: MachineModel,
+    /// How bytes move between ranks.
+    pub transport: TransportKind,
+    /// How time is charged.
+    pub time: TimeModel,
+    /// Receive-deadline override: `Some(None)` forces deadlines off,
+    /// `Some(Some(d))` forces `d`, `None` uses the policy default
+    /// (off under Modeled, [`DEFAULT_MEASURED_RECV_DEADLINE`] under
+    /// Measured).
+    pub recv_deadline: Option<Option<Duration>>,
+    /// Per-directed-pair ring capacity for the `process-shm` transport.
+    pub shm_ring_bytes: usize,
+}
+
+impl UniverseConfig {
+    /// The deterministic default: in-process transport, modeled time,
+    /// no deadline.
+    pub fn new(ranks: usize, model: MachineModel) -> Self {
+        Self {
+            ranks,
+            model,
+            transport: TransportKind::default(),
+            time: TimeModel::default(),
+            recv_deadline: None,
+            shm_ring_bytes: 16 << 20,
+        }
+    }
+
+    /// Reads transport/time/deadline overrides from the environment:
+    /// `HIPMCL_TRANSPORT` (`in-process` | `process-shm`), `HIPMCL_TIME`
+    /// (`modeled` | `measured`), `HIPMCL_RECV_DEADLINE_MS` (`0` = off),
+    /// `HIPMCL_SHM_RING_BYTES`. Unset variables keep the defaults.
+    pub fn from_env(ranks: usize, model: MachineModel) -> Self {
+        let mut cfg = Self::new(ranks, model);
+        if let Ok(s) = std::env::var("HIPMCL_TRANSPORT") {
+            cfg.transport = TransportKind::parse(&s)
+                .unwrap_or_else(|| panic!("HIPMCL_TRANSPORT: unknown transport {s:?}"));
+        }
+        if let Ok(s) = std::env::var("HIPMCL_TIME") {
+            cfg.time = TimeModel::parse(&s)
+                .unwrap_or_else(|| panic!("HIPMCL_TIME: unknown time model {s:?}"));
+        }
+        if let Ok(s) = std::env::var("HIPMCL_RECV_DEADLINE_MS") {
+            let ms: u64 = s
+                .parse()
+                .unwrap_or_else(|_| panic!("HIPMCL_RECV_DEADLINE_MS: not a number: {s:?}"));
+            cfg.recv_deadline = Some((ms > 0).then(|| Duration::from_millis(ms)));
+        }
+        if let Ok(s) = std::env::var("HIPMCL_SHM_RING_BYTES") {
+            cfg.shm_ring_bytes = s
+                .parse()
+                .unwrap_or_else(|_| panic!("HIPMCL_SHM_RING_BYTES: not a number: {s:?}"));
+        }
+        cfg
+    }
+
+    /// Replaces the transport.
+    pub fn with_transport(mut self, t: TransportKind) -> Self {
+        self.transport = t;
+        self
+    }
+
+    /// Replaces the time model.
+    pub fn with_time(mut self, t: TimeModel) -> Self {
+        self.time = t;
+        self
+    }
+
+    /// Overrides the receive deadline (`None` = deadlines off).
+    pub fn with_recv_deadline(mut self, d: Option<Duration>) -> Self {
+        self.recv_deadline = Some(d);
+        self
+    }
+
+    /// The deadline actually in force after applying the policy default:
+    /// off under Modeled (deterministic runs may legitimately idle at a
+    /// blocking recv while a peer grinds), on under Measured (a silent
+    /// tag would otherwise hang a wall-clock run forever).
+    pub fn resolved_recv_deadline(&self) -> Option<Duration> {
+        match self.recv_deadline {
+            Some(explicit) => explicit,
+            None => match self.time {
+                TimeModel::Modeled => None,
+                TimeModel::Measured => Some(DEFAULT_MEASURED_RECV_DEADLINE),
+            },
+        }
+    }
+
+    pub(crate) fn shared(&self) -> Arc<Shared> {
+        Arc::new(Shared {
+            model: self.model.clone(),
+            time: self.time,
+            recv_deadline: self.resolved_recv_deadline(),
+        })
+    }
+}
 
 /// Entry point of the simulated-MPI runtime.
 pub struct Universe;
 
 impl Universe {
     /// Runs `f` on `p` ranks (one OS thread each) under the given machine
-    /// model and returns the per-rank results, indexed by rank.
+    /// model and returns the per-rank results, indexed by rank. Always
+    /// the deterministic default mode: in-process transport, modeled
+    /// time.
     ///
     /// Rank bodies may use rayon internally for intra-rank threading (the
     /// OpenMP analogue); the global rayon pool is shared by all ranks,
@@ -26,26 +147,78 @@ impl Universe {
         R: Send,
         F: Fn(Comm) -> R + Sync,
     {
-        assert!(p > 0, "need at least one rank");
-        let (senders, receivers): (Vec<_>, Vec<_>) = (0..p).map(|_| unbounded::<Packet>()).unzip();
-        let shared = Arc::new(Shared { senders, model });
-
-        std::thread::scope(|scope| {
-            let handles: Vec<_> = receivers
-                .into_iter()
-                .enumerate()
-                .map(|(rank, rx)| {
-                    let shared = Arc::clone(&shared);
-                    let f = &f;
-                    scope.spawn(move || f(Comm::new_world(rank, p, shared, rx)))
-                })
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("rank panicked"))
-                .collect()
-        })
+        run_threads(&UniverseConfig::new(p, model), &f)
     }
+
+    /// Runs `f` under an explicit [`UniverseConfig`] — any transport,
+    /// any time model. Results must be wire-encodable because the
+    /// `process-shm` transport ships them back from child processes as
+    /// bytes.
+    pub fn run_with<R, F>(cfg: UniverseConfig, f: F) -> Vec<R>
+    where
+        R: WirePayload,
+        F: Fn(Comm) -> R + Sync,
+    {
+        match cfg.transport {
+            TransportKind::InProcess => run_threads(&cfg, &f),
+            #[cfg(feature = "process-shm")]
+            TransportKind::ProcessShm => crate::shm::run_processes(&cfg, &f),
+            #[cfg(not(feature = "process-shm"))]
+            TransportKind::ProcessShm => panic!(
+                "transport process-shm requested but the `process-shm` cargo feature \
+                 is not enabled; rebuild with --features process-shm"
+            ),
+        }
+    }
+
+    /// [`Universe::run_with`] with the config read from the environment
+    /// ([`UniverseConfig::from_env`]) — the dispatch point probes and
+    /// workload tests use so `HIPMCL_TRANSPORT=process-shm cargo test`
+    /// exercises the real byte-moving backend with zero code changes.
+    pub fn run_dist<R, F>(p: usize, model: MachineModel, f: F) -> Vec<R>
+    where
+        R: WirePayload,
+        F: Fn(Comm) -> R + Sync,
+    {
+        Self::run_with(UniverseConfig::from_env(p, model), f)
+    }
+}
+
+/// The in-process engine: one scoped thread per rank over typed
+/// channels. Used directly by [`Universe::run`] and for the
+/// `InProcess` arm of [`Universe::run_with`]; the shm backend also
+/// reuses it to deterministically replay earlier universes inside child
+/// processes.
+pub(crate) fn run_threads<R, F>(cfg: &UniverseConfig, f: &F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(Comm) -> R + Sync,
+{
+    let p = cfg.ranks;
+    assert!(p > 0, "need at least one rank");
+    let shared = cfg.shared();
+    let endpoints = InProcessEndpoint::universe(p);
+
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = endpoints
+            .into_iter()
+            .enumerate()
+            .map(|(rank, ep)| {
+                let shared = Arc::clone(&shared);
+                scope.spawn(move || f(Comm::new_world(rank, p, shared, Box::new(ep))))
+            })
+            .collect();
+        // Join everyone before propagating, so a panicking rank cannot
+        // leave peers running against torn-down channels; then re-raise
+        // the first rank's original payload (keeps `should_panic`
+        // expectations pointed at the real message, not a generic
+        // "rank panicked").
+        let results: Vec<_> = handles.into_iter().map(|h| h.join()).collect();
+        results
+            .into_iter()
+            .map(|r| r.unwrap_or_else(|e| std::panic::resume_unwind(e)))
+            .collect()
+    })
 }
 
 #[cfg(test)]
@@ -89,5 +262,58 @@ mod tests {
     #[should_panic(expected = "at least one rank")]
     fn zero_ranks_rejected() {
         let _ = Universe::run(0, MachineModel::summit(), |_| ());
+    }
+
+    #[test]
+    fn rank_panics_propagate_with_original_message() {
+        let caught = std::panic::catch_unwind(|| {
+            let _ = Universe::run(2, MachineModel::summit(), |comm| {
+                if comm.rank() == 1 {
+                    panic!("deliberate rank failure");
+                }
+            });
+        })
+        .unwrap_err();
+        let msg = caught
+            .downcast_ref::<&str>()
+            .copied()
+            .map(String::from)
+            .or_else(|| caught.downcast_ref::<String>().cloned())
+            .unwrap_or_default();
+        assert!(msg.contains("deliberate rank failure"), "got {msg:?}");
+    }
+
+    #[test]
+    fn config_deadline_policy_defaults() {
+        let m = MachineModel::summit;
+        assert_eq!(UniverseConfig::new(2, m()).resolved_recv_deadline(), None);
+        assert_eq!(
+            UniverseConfig::new(2, m())
+                .with_time(TimeModel::Measured)
+                .resolved_recv_deadline(),
+            Some(DEFAULT_MEASURED_RECV_DEADLINE)
+        );
+        assert_eq!(
+            UniverseConfig::new(2, m())
+                .with_time(TimeModel::Measured)
+                .with_recv_deadline(None)
+                .resolved_recv_deadline(),
+            None,
+            "explicit off beats the Measured default"
+        );
+        assert_eq!(
+            UniverseConfig::new(2, m())
+                .with_recv_deadline(Some(Duration::from_millis(5)))
+                .resolved_recv_deadline(),
+            Some(Duration::from_millis(5))
+        );
+    }
+
+    #[test]
+    fn run_with_in_process_matches_run() {
+        let cfg = UniverseConfig::new(3, MachineModel::summit());
+        let a = Universe::run_with(cfg, |comm| comm.rank() as u64 * 7);
+        let b = Universe::run(3, MachineModel::summit(), |comm| comm.rank() as u64 * 7);
+        assert_eq!(a, b);
     }
 }

@@ -19,7 +19,7 @@
 use crate::config::MclConfig;
 use crate::serial::IterTrace;
 use hipmcl_comm::collectives::{allreduce, allreduce_sum_vec};
-use hipmcl_comm::{Comm, ProcGrid};
+use hipmcl_comm::{Comm, ProcGrid, WireDecode, WireEncode, WireError, WireReader};
 use hipmcl_gpu::multi::MultiGpu;
 use hipmcl_sparse::Csc;
 use hipmcl_summa::estimate::MemoryEstimate;
@@ -60,6 +60,12 @@ pub struct DistMclReport {
     /// the straggler, so per-rank maxima over-count; means keep the
     /// stages additive, matching how stage breakdowns are reported.)
     pub stage_times: Vec<(String, f64)>,
+    /// Wall-clock counterpart of [`stage_times`](Self::stage_times):
+    /// real host seconds per stage, mean over ranks, ordered as
+    /// [`STAGES`]. Filled only when the universe runs under
+    /// `TimeModel::Measured`; all durations are `0.0` under `Modeled`,
+    /// which never reads the host clock.
+    pub stage_times_measured: Vec<(String, f64)>,
     /// Mean over ranks of host idle time waiting on launch events
     /// (Table V).
     pub cpu_idle: f64,
@@ -74,6 +80,51 @@ pub struct DistMclReport {
     pub estimates: Vec<Option<MemoryEstimate>>,
     /// Per-iteration algorithmic trace (global quantities).
     pub trace: Vec<IterTrace>,
+}
+
+// The report is what a `process-shm` rank ships back to the parent, so
+// it must be a full wire payload (the size hook just prices the encoded
+// form — the report never travels through the modeled α–β collectives).
+impl hipmcl_comm::WireSize for DistMclReport {
+    fn wire_bytes(&self) -> usize {
+        self.encoded().len()
+    }
+}
+
+impl WireEncode for DistMclReport {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.labels.encode(out);
+        self.num_clusters.encode(out);
+        self.iterations.encode(out);
+        self.converged.encode(out);
+        self.total_time.encode(out);
+        self.stage_times.encode(out);
+        self.stage_times_measured.encode(out);
+        self.cpu_idle.encode(out);
+        self.gpu_idle.encode(out);
+        self.merge_peaks.encode(out);
+        self.estimates.encode(out);
+        self.trace.encode(out);
+    }
+}
+
+impl WireDecode for DistMclReport {
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        Ok(DistMclReport {
+            labels: Vec::<u32>::decode(r)?,
+            num_clusters: usize::decode(r)?,
+            iterations: usize::decode(r)?,
+            converged: bool::decode(r)?,
+            total_time: f64::decode(r)?,
+            stage_times: Vec::<(String, f64)>::decode(r)?,
+            stage_times_measured: Vec::<(String, f64)>::decode(r)?,
+            cpu_idle: f64::decode(r)?,
+            gpu_idle: f64::decode(r)?,
+            merge_peaks: Vec::<u64>::decode(r)?,
+            estimates: Vec::<Option<MemoryEstimate>>::decode(r)?,
+            trace: Vec::<IterTrace>::decode(r)?,
+        })
+    }
 }
 
 /// Runs distributed MCL on an input replicated at every rank (each rank
@@ -103,6 +154,7 @@ pub fn cluster_distributed_from(
         .unwrap_or_else(|e| panic!("invalid MclConfig: {e}"));
     let comm = &grid.world;
     let mut stage = hipmcl_comm::StageTimers::new();
+    let mut stage_measured = hipmcl_comm::StageTimers::new();
     let mut merge_peaks = Vec::new();
     let mut estimates = Vec::new();
     let mut trace = Vec::new();
@@ -116,24 +168,36 @@ pub fn cluster_distributed_from(
 
         // Expansion with fused per-phase pruning.
         let mut prune_time = 0.0f64;
+        let mut prune_measured = 0.0f64;
         let prune_params = cfg.prune;
         let t_expand = comm.now();
+        let w_expand = comm.measured_now();
         let out = {
             let col_comm = &grid.col_comm;
             summa_spgemm_with(grid, gpus, &a, &a, &cfg.summa, |_ph, slab| {
                 let t0 = col_comm.now();
+                let w0 = col_comm.measured_now();
                 let (pruned, _stats) = prune_local_slab(col_comm, &slab, &prune_params);
                 // Charge the columnwise scan + selection work.
                 col_comm.advance_clock(col_comm.model().elementwise_time(slab.nnz() as u64));
                 prune_time += col_comm.now() - t0;
+                prune_measured += col_comm.measured_now() - w0;
                 pruned
             })
         };
         for (name, t) in out.timers.iter() {
             stage.add(name, t);
         }
+        for (name, t) in out.timers_measured.iter() {
+            stage_measured.add(name, t);
+        }
         stage.add("pruning", prune_time);
         stage.add("expansion", comm.now() - t_expand - prune_time);
+        stage_measured.add("pruning", prune_measured);
+        stage_measured.add(
+            "expansion",
+            (comm.measured_now() - w_expand - prune_measured).max(0.0),
+        );
         cpu_idle += out.cpu_idle;
         gpu_idle += out.gpu_idle;
         merge_peaks.push(out.merge_stats.peak_merge_elems as u64);
@@ -148,8 +212,10 @@ pub fn cluster_distributed_from(
 
         // Inflation + chaos (distributed).
         let t0 = comm.now();
+        let w0 = comm.measured_now();
         let chaos = dist_inflate_and_chaos(grid, &mut a.local, cfg.inflation);
         stage.add("other", comm.now() - t0);
+        stage_measured.add("other", comm.measured_now() - w0);
 
         trace.push(IterTrace {
             flops,
@@ -179,6 +245,13 @@ pub fn cluster_distributed_from(
         .zip(&mean_stage)
         .map(|(s, &t)| (s.to_string(), t / grid.size() as f64))
         .collect();
+    let my_measured_vec: Vec<f64> = STAGES.iter().map(|s| stage_measured.get(s)).collect();
+    let mean_measured = allreduce_sum_vec(&grid.world, my_measured_vec);
+    let stage_times_measured: Vec<(String, f64)> = STAGES
+        .iter()
+        .zip(&mean_measured)
+        .map(|(s, &t)| (s.to_string(), t / grid.size() as f64))
+        .collect();
     let total_time = allreduce(&grid.world, comm.now(), f64::max);
     let p = grid.size() as f64;
     let idle = allreduce_sum_vec(&grid.world, vec![cpu_idle, gpu_idle]);
@@ -200,6 +273,7 @@ pub fn cluster_distributed_from(
         converged,
         total_time,
         stage_times,
+        stage_times_measured,
         cpu_idle: idle[0] / p,
         gpu_idle: idle[1] / p,
         merge_peaks,

@@ -8,6 +8,7 @@
 use crate::config::MclConfig;
 use hipmcl_sparse::colops;
 use hipmcl_sparse::components::{clusters_from_labels, connected_components};
+use hipmcl_sparse::wire::{WireDecode, WireEncode, WireError, WireReader};
 use hipmcl_sparse::Csc;
 
 /// Per-iteration trace entry of a serial run.
@@ -23,6 +24,28 @@ pub struct IterTrace {
     pub cf: f64,
     /// Chaos after inflation.
     pub chaos: f64,
+}
+
+impl WireEncode for IterTrace {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.flops.encode(out);
+        self.nnz_expanded.encode(out);
+        self.nnz_pruned.encode(out);
+        self.cf.encode(out);
+        self.chaos.encode(out);
+    }
+}
+
+impl WireDecode for IterTrace {
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        Ok(IterTrace {
+            flops: u64::decode(r)?,
+            nnz_expanded: u64::decode(r)?,
+            nnz_pruned: u64::decode(r)?,
+            cf: f64::decode(r)?,
+            chaos: f64::decode(r)?,
+        })
+    }
 }
 
 /// Result of a serial MCL run.

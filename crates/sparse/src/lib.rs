@@ -36,12 +36,14 @@ pub mod labels;
 pub mod semiring;
 pub mod triples;
 pub mod util;
+pub mod wire;
 
 pub use csc::Csc;
 pub use csr::Csr;
 pub use dcsc::Dcsc;
 pub use semiring::{Boolean, MaxMin, MinPlus, PlusTimes, Semiring, Value};
 pub use triples::Triples;
+pub use wire::{WireDecode, WireEncode, WireError, WireReader};
 
 /// Row/column index type used by all sparse formats.
 pub type Idx = u32;

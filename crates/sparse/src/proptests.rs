@@ -7,8 +7,54 @@ use crate::csc::Csc;
 use crate::csr::Csr;
 use crate::dcsc::Dcsc;
 use crate::triples::Triples;
+use crate::wire::{WireDecode, WireEncode};
 use crate::Idx;
 use proptest::prelude::*;
+
+/// Strategy: an f64 drawn from the full bit space plus the adversarial
+/// corner values the wire format must carry bit-exactly — signed zeros
+/// (exact-zero cancellation leaves `-0.0` behind), infinities (min-plus /
+/// max-min identities) and NaNs with payload bits.
+fn arb_wire_f64() -> impl Strategy<Value = f64> {
+    (any::<u64>(), 0usize..4).prop_map(|(bits, sel)| match sel {
+        // Full bit space: subnormals, NaN payloads, everything.
+        0 => f64::from_bits(bits),
+        // The named corner values.
+        1 => [
+            0.0,
+            -0.0,
+            f64::INFINITY,
+            f64::NEG_INFINITY,
+            f64::NAN,
+            f64::from_bits(0x7ff8_0000_dead_beef),
+        ][(bits % 6) as usize],
+        // NaNs with arbitrary payload bits.
+        2 => f64::from_bits(0x7ff8_0000_0000_0000 | (bits >> 12)),
+        // Ordinary finite values.
+        _ => (bits as i64) as f64 / 1024.0,
+    })
+}
+
+/// Strategy: a CSC with arbitrary bit-pattern values (including explicit
+/// zeros, which `from_triples` keeps when the value compares equal but
+/// the caller pushed it — here we build via `from_parts`-safe triples).
+fn arb_wire_csc(max_dim: usize, max_nnz: usize) -> impl Strategy<Value = Csc<f64>> {
+    (1..=max_dim, 1..=max_dim).prop_flat_map(move |(m, n)| {
+        proptest::collection::vec((0..m as Idx, 0..n as Idx, arb_wire_f64()), 0..=max_nnz).prop_map(
+            move |entries| {
+                let mut t = Triples::new(m, n);
+                for (r, c, v) in entries {
+                    t.push(r, c, v);
+                }
+                Csc::from_triples(&t)
+            },
+        )
+    })
+}
+
+fn bits_eq(a: &[f64], b: &[f64]) -> bool {
+    a.len() == b.len() && a.iter().zip(b).all(|(x, y)| x.to_bits() == y.to_bits())
+}
 
 /// Strategy: a random matrix as (nrows, ncols, entries).
 fn arb_triples(max_dim: usize, max_nnz: usize) -> impl Strategy<Value = Triples<f64>> {
@@ -186,6 +232,75 @@ proptest! {
         };
         let (x, y) = (embed(&a), embed(&b));
         prop_assert_eq!(x.add_elementwise(&y), y.add_elementwise(&x));
+    }
+
+    #[test]
+    fn wire_scalars_roundtrip_bit_identical(bits in any::<u64>(), x in arb_wire_f64(),
+                                            u in any::<u32>(), i in any::<i64>(), b in any::<bool>()) {
+        let raw = f64::from_bits(bits);
+        prop_assert_eq!(f64::decode_all(&raw.encoded()).unwrap().to_bits(), bits);
+        prop_assert_eq!(f64::decode_all(&x.encoded()).unwrap().to_bits(), x.to_bits());
+        let f = (bits as f32).to_bits();
+        let f32v = f32::from_bits(f);
+        prop_assert_eq!(f32::decode_all(&f32v.encoded()).unwrap().to_bits(), f);
+        prop_assert_eq!(u32::decode_all(&u.encoded()).unwrap(), u);
+        prop_assert_eq!(i64::decode_all(&i.encoded()).unwrap(), i);
+        prop_assert_eq!(bool::decode_all(&b.encoded()).unwrap(), b);
+    }
+
+    #[test]
+    fn wire_csc_roundtrips_bit_identical(m in arb_wire_csc(20, 100)) {
+        let back = Csc::<f64>::decode_all(&m.encoded()).unwrap();
+        prop_assert_eq!(back.nrows(), m.nrows());
+        prop_assert_eq!(back.ncols(), m.ncols());
+        prop_assert_eq!(&back.colptr, &m.colptr);
+        prop_assert_eq!(&back.rowidx, &m.rowidx);
+        prop_assert!(bits_eq(&back.vals, &m.vals));
+    }
+
+    #[test]
+    fn wire_dcsc_roundtrips_bit_identical(m in arb_wire_csc(30, 60)) {
+        let d = Dcsc::from_csc(&m);
+        let back = Dcsc::<f64>::decode_all(&d.encoded()).unwrap();
+        prop_assert_eq!(back.nrows(), d.nrows());
+        prop_assert_eq!(back.ncols(), d.ncols());
+        prop_assert_eq!(&back.jc, &d.jc);
+        prop_assert_eq!(&back.cp, &d.cp);
+        prop_assert_eq!(&back.ir, &d.ir);
+        prop_assert!(bits_eq(&back.num, &d.num));
+    }
+
+    #[test]
+    fn wire_keeps_cancellation_artifacts(n in 1usize..16, sels in proptest::collection::vec(0usize..4, 1..16)) {
+        let vals: Vec<f64> = sels
+            .iter()
+            .map(|&s| [-0.0f64, 0.0, f64::NAN, f64::INFINITY][s])
+            .collect();
+        // Exact-zero cancellation leaves `-0.0`/NaN entries behind; build a
+        // slab that stores them verbatim (no summing path) and check the
+        // wire carries every bit. One column, rows 0..len.
+        let rows: Vec<Idx> = (0..vals.len().min(n.max(vals.len())) as Idx).collect();
+        let mut t = Triples::new(rows.len(), 1);
+        for (r, v) in rows.iter().zip(&vals) {
+            t.push(*r, 0, *v);
+        }
+        let m = Csc::from_nodup_triples(&t);
+        let back = Csc::<f64>::decode_all(&m.encoded()).unwrap();
+        prop_assert!(bits_eq(&back.vals, &m.vals));
+        let d = Dcsc::from_csc(&m);
+        let dback = Dcsc::<f64>::decode_all(&d.encoded()).unwrap();
+        prop_assert!(bits_eq(&dback.num, &d.num));
+    }
+
+    #[test]
+    fn wire_empty_slabs_roundtrip(m in 1usize..40, n in 1usize..40) {
+        let e = Csc::<f64>::zero(m, n);
+        prop_assert_eq!(Csc::<f64>::decode_all(&e.encoded()).unwrap(), e);
+        let d = Dcsc::<f64>::zero(m, n);
+        let back = Dcsc::<f64>::decode_all(&d.encoded()).unwrap();
+        prop_assert_eq!(back.nnz(), 0);
+        prop_assert_eq!(back.nrows(), m);
+        prop_assert_eq!(back.ncols(), n);
     }
 
     #[test]

@@ -26,9 +26,20 @@ use std::marker::PhantomData;
 /// Deliberately arithmetic-free: a `Value` can be stored, copied across
 /// threads, compared, defaulted (for scratch buffers and placeholder
 /// slots) and lossily inspected as `f64` by instrumentation. All
-/// arithmetic goes through a [`Semiring`].
+/// arithmetic goes through a [`Semiring`]. Values must also be wire
+/// encodable/decodable ([`crate::wire`]) so any matrix built over any
+/// semiring can cross a byte-oriented transport.
 pub trait Value:
-    Copy + Send + Sync + PartialEq + PartialOrd + Default + std::fmt::Debug + 'static
+    Copy
+    + Send
+    + Sync
+    + PartialEq
+    + PartialOrd
+    + Default
+    + std::fmt::Debug
+    + crate::wire::WireEncode
+    + crate::wire::WireDecode
+    + 'static
 {
     /// Lossy conversion to `f64`, used by instrumentation and statistics.
     fn to_f64(self) -> f64;

@@ -1,0 +1,499 @@
+//! The explicit wire format: serde-free, little-endian, length-prefixed.
+//!
+//! The in-process transport of `hipmcl-comm` moves payloads as boxed
+//! values — no bytes are ever produced — but any *real* transport (the
+//! feature-gated shared-memory process backend, sockets later) has to
+//! move serialized frames. These two traits are that layer:
+//!
+//! * [`WireEncode`] — append the value's canonical byte form to a buffer.
+//! * [`WireDecode`] — reconstruct the value from a [`WireReader`].
+//!
+//! The format is deliberately boring and fully specified here, so two
+//! builds of this crate (or two processes of different binaries) agree:
+//!
+//! | type            | encoding                                         |
+//! |-----------------|--------------------------------------------------|
+//! | fixed-width int | little-endian, natural width                     |
+//! | `usize`         | `u64`, little-endian                             |
+//! | `f64`/`f32`     | IEEE-754 bits, little-endian (bit-exact, `-0.0` and NaN payloads included) |
+//! | `bool`          | one byte, `0`/`1`                                |
+//! | `()`            | zero bytes                                       |
+//! | `Vec<T>`        | `u64` length, then each element                  |
+//! | `String`        | `u64` length, then UTF-8 bytes                   |
+//! | `Option<T>`     | one tag byte (`0`/`1`), then the value if `1`    |
+//! | tuples          | fields in order, no framing                      |
+//! | `Arc<T>`        | encodes as `T`; decodes to a fresh allocation    |
+//! | [`Csc`]/[`Dcsc`]/[`Triples`] | dims as `u64`s, then each array as a `Vec` |
+//!
+//! Decoding is checked (truncation, tag corruption and length overruns
+//! return [`WireError`], not UB), and round-trips are bit-identical:
+//! floats travel as raw bits, so exact-zero cancellation artifacts like
+//! `-0.0` survive. The matrix decoders rebuild through the validating
+//! constructors, so a corrupt frame that *parses* still cannot produce a
+//! structurally invalid matrix.
+//!
+//! Scalar types of every shipped semiring (`f64`, `f32`, `u32`, `u64`,
+//! `i64`, `bool`) implement both traits; [`crate::Value`] requires them,
+//! so any matrix any kernel can produce is transportable by construction.
+
+use crate::csc::Csc;
+use crate::dcsc::Dcsc;
+use crate::semiring::Value;
+use crate::triples::Triples;
+use crate::Idx;
+use std::sync::Arc;
+
+/// Error produced by [`WireDecode`] on malformed input.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct WireError {
+    /// What the decoder was reading when it failed.
+    pub what: &'static str,
+    /// Byte offset in the buffer at the point of failure.
+    pub pos: usize,
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "wire decode error: {} at byte {}", self.what, self.pos)
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// Cursor over a received byte buffer.
+pub struct WireReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> WireReader<'a> {
+    /// A reader over the whole buffer.
+    pub fn new(buf: &'a [u8]) -> Self {
+        Self { buf, pos: 0 }
+    }
+
+    /// Current byte offset.
+    pub fn pos(&self) -> usize {
+        self.pos
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Takes the next `n` bytes.
+    pub fn take(&mut self, n: usize, what: &'static str) -> Result<&'a [u8], WireError> {
+        if self.remaining() < n {
+            return Err(WireError {
+                what,
+                pos: self.pos,
+            });
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn array<const N: usize>(&mut self, what: &'static str) -> Result<[u8; N], WireError> {
+        Ok(self.take(N, what)?.try_into().expect("length checked"))
+    }
+}
+
+/// Appends the value's canonical little-endian byte form to `out`.
+pub trait WireEncode {
+    /// Serializes `self` onto the end of `out`.
+    fn encode(&self, out: &mut Vec<u8>);
+
+    /// Convenience: serializes into a fresh buffer.
+    fn encoded(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        self.encode(&mut out);
+        out
+    }
+}
+
+/// Reconstructs a value from its canonical byte form.
+pub trait WireDecode: Sized {
+    /// Deserializes one value, advancing the reader.
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError>;
+
+    /// Decodes a buffer that must contain exactly one value.
+    fn decode_all(buf: &[u8]) -> Result<Self, WireError> {
+        let mut r = WireReader::new(buf);
+        let v = Self::decode(&mut r)?;
+        if r.remaining() != 0 {
+            return Err(WireError {
+                what: "trailing bytes after value",
+                pos: r.pos(),
+            });
+        }
+        Ok(v)
+    }
+}
+
+macro_rules! impl_wire_int {
+    ($($t:ty),*) => {$(
+        impl WireEncode for $t {
+            #[inline]
+            fn encode(&self, out: &mut Vec<u8>) {
+                out.extend_from_slice(&self.to_le_bytes());
+            }
+        }
+        impl WireDecode for $t {
+            #[inline]
+            fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+                Ok(<$t>::from_le_bytes(r.array(stringify!($t))?))
+            }
+        }
+    )*};
+}
+
+impl_wire_int!(u8, u16, u32, u64, i8, i16, i32, i64);
+
+impl WireEncode for usize {
+    #[inline]
+    fn encode(&self, out: &mut Vec<u8>) {
+        (*self as u64).encode(out);
+    }
+}
+impl WireDecode for usize {
+    #[inline]
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        let v = u64::decode(r)?;
+        usize::try_from(v).map_err(|_| WireError {
+            what: "usize overflow",
+            pos: r.pos(),
+        })
+    }
+}
+
+impl WireEncode for isize {
+    #[inline]
+    fn encode(&self, out: &mut Vec<u8>) {
+        (*self as i64).encode(out);
+    }
+}
+impl WireDecode for isize {
+    #[inline]
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        let v = i64::decode(r)?;
+        isize::try_from(v).map_err(|_| WireError {
+            what: "isize overflow",
+            pos: r.pos(),
+        })
+    }
+}
+
+impl WireEncode for f64 {
+    #[inline]
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.to_bits().encode(out);
+    }
+}
+impl WireDecode for f64 {
+    #[inline]
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        Ok(f64::from_bits(u64::decode(r)?))
+    }
+}
+
+impl WireEncode for f32 {
+    #[inline]
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.to_bits().encode(out);
+    }
+}
+impl WireDecode for f32 {
+    #[inline]
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        Ok(f32::from_bits(u32::decode(r)?))
+    }
+}
+
+impl WireEncode for bool {
+    #[inline]
+    fn encode(&self, out: &mut Vec<u8>) {
+        out.push(u8::from(*self));
+    }
+}
+impl WireDecode for bool {
+    #[inline]
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        match u8::decode(r)? {
+            0 => Ok(false),
+            1 => Ok(true),
+            _ => Err(WireError {
+                what: "bool tag",
+                pos: r.pos(),
+            }),
+        }
+    }
+}
+
+impl WireEncode for () {
+    #[inline]
+    fn encode(&self, _out: &mut Vec<u8>) {}
+}
+impl WireDecode for () {
+    #[inline]
+    fn decode(_r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        Ok(())
+    }
+}
+
+impl<T: WireEncode> WireEncode for Vec<T> {
+    fn encode(&self, out: &mut Vec<u8>) {
+        (self.len() as u64).encode(out);
+        for v in self {
+            v.encode(out);
+        }
+    }
+}
+impl<T: WireDecode> WireDecode for Vec<T> {
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        let n = usize::decode(r)?;
+        // A corrupt length cannot force an allocation larger than the
+        // remaining buffer could possibly fill (each element is ≥1 byte
+        // except `()`, for which reserving nothing is fine).
+        let mut v = Vec::with_capacity(n.min(r.remaining()));
+        for _ in 0..n {
+            v.push(T::decode(r)?);
+        }
+        Ok(v)
+    }
+}
+
+impl WireEncode for String {
+    fn encode(&self, out: &mut Vec<u8>) {
+        (self.len() as u64).encode(out);
+        out.extend_from_slice(self.as_bytes());
+    }
+}
+impl WireDecode for String {
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        let n = usize::decode(r)?;
+        let pos = r.pos();
+        let bytes = r.take(n, "string bytes")?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| WireError {
+            what: "invalid utf-8",
+            pos,
+        })
+    }
+}
+
+impl WireEncode for &str {
+    fn encode(&self, out: &mut Vec<u8>) {
+        (self.len() as u64).encode(out);
+        out.extend_from_slice(self.as_bytes());
+    }
+}
+
+impl<T: WireEncode> WireEncode for Option<T> {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            None => out.push(0),
+            Some(v) => {
+                out.push(1);
+                v.encode(out);
+            }
+        }
+    }
+}
+impl<T: WireDecode> WireDecode for Option<T> {
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        match u8::decode(r)? {
+            0 => Ok(None),
+            1 => Ok(Some(T::decode(r)?)),
+            _ => Err(WireError {
+                what: "option tag",
+                pos: r.pos(),
+            }),
+        }
+    }
+}
+
+impl<A: WireEncode, B: WireEncode> WireEncode for (A, B) {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.0.encode(out);
+        self.1.encode(out);
+    }
+}
+impl<A: WireDecode, B: WireDecode> WireDecode for (A, B) {
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        Ok((A::decode(r)?, B::decode(r)?))
+    }
+}
+
+impl<A: WireEncode, B: WireEncode, C: WireEncode> WireEncode for (A, B, C) {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.0.encode(out);
+        self.1.encode(out);
+        self.2.encode(out);
+    }
+}
+impl<A: WireDecode, B: WireDecode, C: WireDecode> WireDecode for (A, B, C) {
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        Ok((A::decode(r)?, B::decode(r)?, C::decode(r)?))
+    }
+}
+
+impl<T: WireEncode> WireEncode for Arc<T> {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.as_ref().encode(out);
+    }
+}
+impl<T: WireDecode> WireDecode for Arc<T> {
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        Ok(Arc::new(T::decode(r)?))
+    }
+}
+
+impl<T: Value> WireEncode for Csc<T> {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.nrows().encode(out);
+        self.ncols().encode(out);
+        self.colptr.encode(out);
+        self.rowidx.encode(out);
+        self.vals.encode(out);
+    }
+}
+impl<T: Value> WireDecode for Csc<T> {
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        let nrows = usize::decode(r)?;
+        let ncols = usize::decode(r)?;
+        let colptr: Vec<usize> = Vec::decode(r)?;
+        let rowidx: Vec<Idx> = Vec::decode(r)?;
+        let vals: Vec<T> = Vec::decode(r)?;
+        // `from_parts` re-validates the CSC invariants, so even a frame
+        // that decodes cleanly cannot smuggle in a malformed matrix.
+        Ok(Csc::from_parts(nrows, ncols, colptr, rowidx, vals))
+    }
+}
+
+impl<T: Value> WireEncode for Dcsc<T> {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.nrows().encode(out);
+        self.ncols().encode(out);
+        self.jc.encode(out);
+        self.cp.encode(out);
+        self.ir.encode(out);
+        self.num.encode(out);
+    }
+}
+impl<T: Value> WireDecode for Dcsc<T> {
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        let nrows = usize::decode(r)?;
+        let ncols = usize::decode(r)?;
+        let jc: Vec<Idx> = Vec::decode(r)?;
+        let cp: Vec<usize> = Vec::decode(r)?;
+        let ir: Vec<Idx> = Vec::decode(r)?;
+        let num: Vec<T> = Vec::decode(r)?;
+        Ok(Dcsc::from_parts(nrows, ncols, jc, cp, ir, num))
+    }
+}
+
+impl<T: Value> WireEncode for Triples<T> {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.nrows().encode(out);
+        self.ncols().encode(out);
+        self.rows.encode(out);
+        self.cols.encode(out);
+        self.vals.encode(out);
+    }
+}
+impl<T: Value> WireDecode for Triples<T> {
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        let nrows = usize::decode(r)?;
+        let ncols = usize::decode(r)?;
+        let rows: Vec<Idx> = Vec::decode(r)?;
+        let cols: Vec<Idx> = Vec::decode(r)?;
+        let vals: Vec<T> = Vec::decode(r)?;
+        Ok(Triples::from_arrays(nrows, ncols, rows, cols, vals))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip<T: WireEncode + WireDecode>(v: &T) -> T {
+        T::decode_all(&v.encoded()).expect("roundtrip decode")
+    }
+
+    #[test]
+    fn primitives_roundtrip() {
+        assert_eq!(roundtrip(&42u64), 42);
+        assert_eq!(roundtrip(&-7i64), -7);
+        assert_eq!(roundtrip(&3.5f64), 3.5);
+        assert!(roundtrip(&true));
+        assert_eq!(roundtrip(&usize::MAX), usize::MAX);
+        roundtrip(&());
+    }
+
+    #[test]
+    fn floats_are_bit_exact() {
+        for v in [-0.0f64, f64::INFINITY, f64::NEG_INFINITY, f64::MIN_POSITIVE] {
+            assert_eq!(roundtrip(&v).to_bits(), v.to_bits());
+        }
+        let nan = f64::from_bits(0x7ff8_dead_beef_0001);
+        assert_eq!(roundtrip(&nan).to_bits(), nan.to_bits());
+        assert_eq!(roundtrip(&(-0.0f32)).to_bits(), (-0.0f32).to_bits());
+    }
+
+    #[test]
+    fn containers_roundtrip() {
+        assert_eq!(roundtrip(&vec![1u32, 2, 3]), vec![1, 2, 3]);
+        assert_eq!(roundtrip(&Vec::<f64>::new()), Vec::<f64>::new());
+        assert_eq!(roundtrip(&Some(9u16)), Some(9));
+        assert_eq!(roundtrip(&None::<u16>), None);
+        assert_eq!(roundtrip(&(1u8, 2u64)), (1, 2));
+        assert_eq!(roundtrip(&(1u8, 2u64, 3.0f64)), (1, 2, 3.0));
+        assert_eq!(roundtrip(&"hej".to_string()), "hej");
+        assert_eq!(*roundtrip(&Arc::new(5u64)), 5);
+        assert_eq!(
+            roundtrip(&vec![vec![vec![1.0f64]], vec![]]),
+            vec![vec![vec![1.0f64]], vec![]]
+        );
+    }
+
+    #[test]
+    fn matrices_roundtrip() {
+        let m = Csc::<f64>::identity(5);
+        assert_eq!(roundtrip(&m), m);
+        let e = Csc::<f64>::zero(3, 4);
+        assert_eq!(roundtrip(&e), e);
+        let d = Dcsc::from_csc(&m);
+        assert_eq!(roundtrip(&d), d);
+        let t = m.to_triples();
+        assert_eq!(roundtrip(&t), t);
+    }
+
+    #[test]
+    fn truncated_buffers_error_cleanly() {
+        let buf = 1234u64.encoded();
+        assert!(u64::decode_all(&buf[..7]).is_err());
+        let v = vec![1u32, 2, 3].encoded();
+        assert!(Vec::<u32>::decode_all(&v[..v.len() - 1]).is_err());
+    }
+
+    #[test]
+    fn corrupt_length_does_not_overallocate() {
+        let mut buf = Vec::new();
+        u64::MAX.encode(&mut buf); // absurd element count, empty body
+        assert!(Vec::<u8>::decode_all(&buf).is_err());
+    }
+
+    #[test]
+    fn trailing_bytes_rejected() {
+        let mut buf = 7u32.encoded();
+        buf.push(0);
+        assert!(u32::decode_all(&buf).is_err());
+    }
+
+    #[test]
+    fn bad_tags_rejected() {
+        assert!(bool::decode_all(&[2]).is_err());
+        assert!(Option::<u8>::decode_all(&[9, 0]).is_err());
+    }
+}

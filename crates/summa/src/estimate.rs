@@ -23,7 +23,9 @@
 
 use crate::distmat::DistMatrix;
 use hipmcl_comm::collectives::{allreduce, allreduce_min_vec_f32};
-use hipmcl_comm::{Comm, ProcGrid, SpgemmKernel, WireSize};
+use hipmcl_comm::{
+    Comm, ProcGrid, SpgemmKernel, WireDecode, WireEncode, WireError, WireReader, WireSize,
+};
 use hipmcl_sparse::{Csc, PlusTimes, Semiring, Value};
 use rand::SeedableRng;
 use rand_distr::Distribution;
@@ -69,6 +71,51 @@ pub struct MemoryEstimate {
     pub time: f64,
     /// Name of the scheme that produced the estimate.
     pub scheme: &'static str,
+}
+
+/// Every scheme name a [`MemoryEstimate`] can carry — the decode side
+/// interns against this list so `scheme` stays `&'static str` across a
+/// process boundary.
+const SCHEME_NAMES: [&str; 4] = [
+    "exact-symbolic",
+    "probabilistic",
+    "probabilistic-gpu",
+    "x", // test fixtures
+];
+
+impl WireEncode for MemoryEstimate {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.nnz_estimate.encode(out);
+        self.bytes_estimate.encode(out);
+        self.flops.encode(out);
+        self.time.encode(out);
+        self.scheme.encode(out);
+    }
+}
+
+impl WireDecode for MemoryEstimate {
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        let nnz_estimate = f64::decode(r)?;
+        let bytes_estimate = u64::decode(r)?;
+        let flops = u64::decode(r)?;
+        let time = f64::decode(r)?;
+        let name = String::decode(r)?;
+        let scheme = SCHEME_NAMES
+            .iter()
+            .copied()
+            .find(|s| *s == name)
+            .ok_or(WireError {
+                what: "unknown MemoryEstimate scheme name",
+                pos: r.pos(),
+            })?;
+        Ok(MemoryEstimate {
+            nnz_estimate,
+            bytes_estimate,
+            flops,
+            time,
+            scheme,
+        })
+    }
 }
 
 /// Exact `flops(A·B)` for 2D-distributed operands: each rank needs the
@@ -166,6 +213,23 @@ impl<T: Value> WireSize for PatternBlock<T> {
     fn wire_bytes(&self) -> usize {
         self.0.rowidx.len() * std::mem::size_of::<hipmcl_sparse::Idx>()
             + self.0.colptr.len() * std::mem::size_of::<usize>()
+    }
+}
+
+// The byte transport ships the full block (values included): the stage's
+// symbolic product runs through the semiring, so dropping values could
+// change exact-zero cancellation and break bit-identity across
+// transports. The *modeled* cost above stays structure-only — that is
+// what a dedicated symbolic SUMMA would move.
+impl<T: Value> WireEncode for PatternBlock<T> {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.0.encode(out);
+    }
+}
+
+impl<T: Value> WireDecode for PatternBlock<T> {
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        Ok(PatternBlock(std::sync::Arc::new(Csc::decode(r)?)))
     }
 }
 

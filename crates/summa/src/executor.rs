@@ -41,7 +41,7 @@
 //! advance it themselves — waiting (and therefore idle accounting) is the
 //! scheduler's job.
 
-use hipmcl_comm::{Event, MachineModel, MergeKernel, SpgemmKernel, Timeline};
+use hipmcl_comm::{Event, MachineModel, MergeKernel, SpgemmKernel, TimeModel, Timeline};
 use hipmcl_gpu::multi::MultiGpu;
 use hipmcl_sparse::{Csc, PlusTimes, Semiring, Value};
 use hipmcl_spgemm::CpuAlgo;
@@ -210,6 +210,24 @@ pub struct LaunchSpec {
     /// evaluate the machine model's rate curves before the realized `cf`
     /// is known.
     pub cf_est: f64,
+    /// The universe's time model. Executors key their timelines off the
+    /// modeled clock either way; under [`TimeModel::Measured`] they
+    /// additionally stamp each launch's real host compute with wall
+    /// seconds ([`KernelLaunch::measured_s`]). Under
+    /// [`TimeModel::Modeled`] the host clock is never read.
+    pub time: TimeModel,
+}
+
+/// Starts a wall-clock sample iff `spec` was submitted under
+/// [`TimeModel::Measured`] — the modeled path must never touch the host
+/// clock, so the sample is the executor's only `Instant` read.
+fn wall_start(spec: &LaunchSpec) -> Option<std::time::Instant> {
+    spec.time.is_measured().then(std::time::Instant::now)
+}
+
+/// Seconds since a [`wall_start`] sample (`0.0` when none was taken).
+fn wall_elapsed(w0: Option<std::time::Instant>) -> f64 {
+    w0.map_or(0.0, |t| t.elapsed().as_secs_f64())
 }
 
 /// One asynchronous local multiplication, as seen by the scheduler.
@@ -240,6 +258,11 @@ pub struct KernelLaunch<T: Value = f64> {
     pub flops: u64,
     /// Realized compression factor.
     pub cf: f64,
+    /// Wall seconds the real kernel compute took on the host, sampled
+    /// only when the launch was submitted under
+    /// [`TimeModel::Measured`]; `0.0` under [`TimeModel::Modeled`],
+    /// which never reads the host clock.
+    pub measured_s: f64,
 }
 
 /// The scheduler-side description of one merge operation, passed to
@@ -534,6 +557,7 @@ impl<S: Semiring> Executor<S> for GpuExecutor<'_> {
         b: &Csc<S::Elem>,
         spec: LaunchSpec,
     ) -> KernelLaunch<S::Elem> {
+        let w0 = wall_start(&spec);
         match spec.kernel {
             SpgemmKernel::Gpu(lib) => {
                 let r = self
@@ -549,6 +573,7 @@ impl<S: Semiring> Executor<S> for GpuExecutor<'_> {
                     kernel_time: r.output_ready_at - r.inputs_transferred_at,
                     flops: r.flops,
                     cf: r.cf,
+                    measured_s: wall_elapsed(w0),
                 }
             }
             cpu_kernel => {
@@ -566,6 +591,7 @@ impl<S: Semiring> Executor<S> for GpuExecutor<'_> {
                     kernel_time: dur,
                     flops: spec.flops,
                     cf,
+                    measured_s: wall_elapsed(w0),
                 }
             }
         }
@@ -617,7 +643,7 @@ impl<S: Semiring> Executor<S> for GpuExecutor<'_> {
 /// accelerator-less nodes):
 ///
 /// ```
-/// use hipmcl_comm::{MachineModel, SpgemmKernel};
+/// use hipmcl_comm::{MachineModel, SpgemmKernel, TimeModel};
 /// use hipmcl_sparse::PlusTimes;
 /// use hipmcl_summa::executor::{CpuPool, Executor, LaunchSpec};
 /// use hipmcl_spgemm::testutil::random_csc;
@@ -628,6 +654,7 @@ impl<S: Semiring> Executor<S> for GpuExecutor<'_> {
 ///     kernel: SpgemmKernel::CpuHash,
 ///     flops: hipmcl_spgemm::flops(&a, &a),
 ///     cf_est: 1.0,
+///     time: TimeModel::Modeled,
 /// };
 ///
 /// let mut pool = CpuPool::new();
@@ -776,6 +803,7 @@ impl<S: Semiring> Executor<S> for CpuPool {
             SpgemmKernel::Gpu(_) => SpgemmKernel::CpuHash,
             k => k,
         };
+        let w0 = wall_start(&spec);
         let (c, cf) = cpu_algo(cpu_kernel).multiply_measured_in(s, a, b, spec.flops);
         let dur = model.spgemm_time(cpu_kernel, spec.flops, cf);
         let done = self.node_job(host_now, dur);
@@ -788,6 +816,7 @@ impl<S: Semiring> Executor<S> for CpuPool {
             kernel_time: dur,
             flops: spec.flops,
             cf,
+            measured_s: wall_elapsed(w0),
         }
     }
 
@@ -1050,6 +1079,7 @@ impl<S: Semiring> Executor<S> for Hybrid<'_> {
         }
         self.fractions.push(gcols as f64 / n.max(1) as f64);
 
+        let w0 = wall_start(&spec);
         let b_gpu = b.column_slice(0..gcols);
         let r = self
             .gpus
@@ -1096,6 +1126,7 @@ impl<S: Semiring> Executor<S> for Hybrid<'_> {
             kernel_time: output_ready_at - r.inputs_transferred_at,
             flops: total_flops,
             cf,
+            measured_s: wall_elapsed(w0),
         }
     }
 
@@ -1153,6 +1184,7 @@ mod tests {
             kernel,
             flops: hipmcl_spgemm::flops(a, a),
             cf_est: 1.0,
+            time: TimeModel::Modeled,
         }
     }
 

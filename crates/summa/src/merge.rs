@@ -153,6 +153,11 @@ pub struct MergeSpan {
     /// Whether the occupying lane stole the task from its origin queue
     /// (only under `StealPolicy::CostAware`).
     pub stolen: bool,
+    /// Wall seconds the real merge compute took on the host, sampled
+    /// only under `TimeModel::Measured` (`0.0` under `Modeled`, which
+    /// never reads the host clock). Independent of the modeled
+    /// [`duration`](Self::duration) on the lane.
+    pub measured_s: f64,
 }
 
 impl MergeSpan {
@@ -1436,6 +1441,9 @@ pub struct MergeStats {
     pub merge_time: f64,
     /// Virtual seconds the host blocked on merge completion events.
     pub wait_time: f64,
+    /// Wall seconds of real merge compute, summed over the spans'
+    /// `measured_s` (zero under `TimeModel::Modeled`).
+    pub measured_merge_s: f64,
 }
 
 impl MergeStats {
@@ -1447,6 +1455,7 @@ impl MergeStats {
         self.merge_ops += other.merge_ops;
         self.merge_time += other.merge_time;
         self.wait_time += other.wait_time;
+        self.measured_merge_s += other.measured_merge_s;
     }
 }
 
@@ -1589,6 +1598,7 @@ mod tests {
             merge_ops: 3,
             merge_time: 1.0,
             wait_time: 0.5,
+            measured_merge_s: 0.125,
         };
         let b = MergeStats {
             peak_merge_elems: 7,
@@ -1596,6 +1606,7 @@ mod tests {
             merge_ops: 2,
             merge_time: 0.25,
             wait_time: 1.5,
+            measured_merge_s: 0.375,
         };
         a.absorb(&b);
         assert_eq!(a.peak_merge_elems, 10, "peak takes the max");
@@ -1603,6 +1614,7 @@ mod tests {
         assert_eq!(a.merge_ops, 5);
         assert_eq!(a.merge_time, 1.25);
         assert_eq!(a.wait_time, 2.0);
+        assert_eq!(a.measured_merge_s, 0.5);
         // Larger incoming peak wins.
         a.absorb(&MergeStats {
             peak_merge_elems: 99,

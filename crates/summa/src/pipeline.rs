@@ -41,7 +41,10 @@ use crate::merge::{
 use crate::spgemm::{CommChoice, CommPolicy, SummaConfig};
 use hipmcl_comm::clock::StageTimers;
 use hipmcl_comm::collectives::{bcast, flat_bcast};
-use hipmcl_comm::{Comm, CommMode, MergeKernel, ProcGrid, SpgemmKernel, WireSize};
+use hipmcl_comm::{
+    Comm, CommMode, MergeKernel, ProcGrid, SpgemmKernel, WireDecode, WireEncode, WireError,
+    WireReader, WireSize,
+};
 use hipmcl_gpu::select::select_kernel;
 use hipmcl_sparse::util::even_chunk;
 use hipmcl_sparse::{Csc, Dcsc, Semiring, Value};
@@ -57,6 +60,23 @@ struct BlockMsg<T: Value>(Arc<Csc<T>>, usize);
 impl<T: Value> WireSize for BlockMsg<T> {
     fn wire_bytes(&self) -> usize {
         self.1
+    }
+}
+
+// On a byte-moving transport the panel really travels as its hypersparse
+// DCSC encoding — the same representation whose byte count the α–β model
+// charges — and is re-densified to CSC on arrival.
+impl<T: Value> WireEncode for BlockMsg<T> {
+    fn encode(&self, out: &mut Vec<u8>) {
+        Dcsc::from_csc(&self.0).encode(out);
+    }
+}
+
+impl<T: Value> WireDecode for BlockMsg<T> {
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        let dcsc = Dcsc::<T>::decode(r)?;
+        let bytes = dcsc.bytes();
+        Ok(BlockMsg(Arc::new(dcsc.to_csc()), bytes))
     }
 }
 
@@ -113,6 +133,10 @@ pub(crate) struct PipelineOutcome<T: Value = f64> {
     /// Communication mode chosen for every (phase, stage, operand) panel,
     /// `2 × phases × √P` entries in issue order.
     pub comm_choices: Vec<CommChoice>,
+    /// Wall-clock counterpart of the virtual stage timers, filled only
+    /// under `TimeModel::Measured` (all-zero durations under `Modeled`,
+    /// which never reads the host clock).
+    pub timers_measured: StageTimers,
 }
 
 /// A stage product waiting on the merge stack: the real matrix (a
@@ -188,6 +212,10 @@ impl<S: Semiring> MergeEngine<S> {
         };
         let task = MergeTask { kernel, inputs };
         let launch = exec.submit_merge(comm.model(), ready, &task);
+        // Wall sample of the real merge compute below; `measured_now`
+        // is pinned to 0 under `Modeled`, so the delta costs nothing
+        // there and the host clock stays untouched.
+        let w0 = comm.measured_now();
         let merged = {
             let refs: Vec<ColsRef<'_, S::Elem>> = tail.iter().map(|s| s.m.as_cols()).collect();
             let arena = pool.lane_mut(launch.lane);
@@ -199,6 +227,7 @@ impl<S: Semiring> MergeEngine<S> {
                 k => MergeSlab::Mat(merge_refs_with(self.sr, k, &refs, self.shape)),
             }
         };
+        let measured_s = comm.measured_now() - w0;
         for s in tail {
             let home = s.home.unwrap_or(launch.lane);
             s.m.recycle(pool.lane_mut(home));
@@ -212,11 +241,13 @@ impl<S: Semiring> MergeEngine<S> {
             lane: launch.lane,
             origin: launch.origin,
             stolen: launch.stolen,
+            measured_s,
         });
         self.stats.peak_merge_elems = self.stats.peak_merge_elems.max(total as usize);
         self.stats.total_merged_elems += total;
         self.stats.merge_ops += 1;
         self.stats.merge_time += launch.duration;
+        self.stats.measured_merge_s += measured_s;
         self.stack.push(Slab {
             m: merged,
             ready: launch.output_ready_at,
@@ -296,11 +327,13 @@ impl<S: Semiring> MergeEngine<S> {
     /// accumulators. Under pipelining the scheduler calls this only after
     /// the *next* phase's broadcasts and launches are issued, so the
     /// closing merge's tail overlaps them instead of stalling the grid.
+    #[allow(clippy::too_many_arguments)]
     fn drain(
         mut self,
         comm: &Comm,
         pool: &mut ArenaPool<S::Elem>,
         timers: &mut StageTimers,
+        timers_measured: &mut StageTimers,
         merge_stats: &mut MergeStats,
         merge_spans: &mut Vec<MergeSpan>,
         cpu_idle: &mut f64,
@@ -309,6 +342,7 @@ impl<S: Semiring> MergeEngine<S> {
         self.stats.wait_time += comm.wait_clock_until(ready);
 
         timers.add("merge", self.stats.merge_time);
+        timers_measured.add("merge", self.stats.measured_merge_s);
         *cpu_idle += self.stats.wait_time;
         merge_stats.absorb(&self.stats);
         merge_spans.append(&mut self.spans);
@@ -356,6 +390,7 @@ where
     let probe = CohenEstimator::new(4, cfg.seed ^ 0xABCD);
     let mut kernels_used = Vec::with_capacity(phases * side);
     let mut comm_choices: Vec<CommChoice> = Vec::with_capacity(2 * phases * side);
+    let mut timers_measured = StageTimers::new();
     let mut merge_stats = MergeStats::default();
     let mut merge_spans: Vec<MergeSpan> = Vec::new();
     let mut cpu_idle = 0.0f64;
@@ -380,6 +415,7 @@ where
         for k in 0..side {
             // --- SUMMA exchanges (mode per panel, §III-B) -------------
             let t0 = comm.now();
+            let w0 = comm.measured_now();
             let (a_blk, a_bytes, a_mode) = exchange_block(
                 &grid.row_comm,
                 cfg.comm,
@@ -393,6 +429,7 @@ where
                 (grid.row == k).then_some(&b_phase),
             );
             timers.add("summa_bcast", comm.now() - t0);
+            timers_measured.add("summa_bcast", comm.measured_now() - w0);
             for (operand, bytes, mode) in [('A', a_bytes, a_mode), ('B', b_bytes, b_mode)] {
                 comm_choices.push(CommChoice {
                     phase: ph,
@@ -446,6 +483,7 @@ where
                     kernel,
                     flops,
                     cf_est: flops as f64 / nnz_probe.max(1) as f64,
+                    time: comm.time_model(),
                 };
                 let launch = exec.submit(s, comm.model(), comm.now(), &a_blk, &b_blk, spec);
                 if cfg.pipelined {
@@ -458,6 +496,7 @@ where
                     cpu_idle += (waited - launch.host_compute).max(0.0);
                 }
                 timers.add("local_spgemm", launch.kernel_time);
+                timers_measured.add("local_spgemm", launch.measured_s);
                 (launch.c, launch.output_ready_at)
             };
 
@@ -476,6 +515,7 @@ where
                 comm,
                 &mut pool,
                 timers,
+                &mut timers_measured,
                 &mut merge_stats,
                 &mut merge_spans,
                 &mut cpu_idle,
@@ -488,6 +528,7 @@ where
             comm,
             &mut pool,
             timers,
+            &mut timers_measured,
             &mut merge_stats,
             &mut merge_spans,
             &mut cpu_idle,
@@ -502,5 +543,6 @@ where
         cpu_idle,
         kernels_used,
         comm_choices,
+        timers_measured,
     }
 }

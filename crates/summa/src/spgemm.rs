@@ -33,7 +33,9 @@ use crate::executor::{
 use crate::merge::{MergeKernelPolicy, MergeSpan, MergeStats, MergeStrategy};
 use crate::pipeline::{self, PipelineOutcome};
 use hipmcl_comm::clock::StageTimers;
-use hipmcl_comm::{CommMode, GpuLib, MergeKernel, ProcGrid, SpgemmKernel};
+use hipmcl_comm::{
+    CommMode, CommStats, GpuLib, MergeKernel, ProcGrid, SpgemmKernel, TimeModel, TransportKind,
+};
 use hipmcl_gpu::multi::MultiGpu;
 use hipmcl_gpu::select::SelectionPolicy;
 use hipmcl_sparse::{Csc, Dcsc, PlusTimes, Semiring, Value};
@@ -331,6 +333,23 @@ pub struct SummaOutput<T: Value = f64> {
     /// model's price for both modes. Under [`CommPolicy::Broadcast`]
     /// every entry's mode is `Broadcast`.
     pub comm_choices: Vec<CommChoice>,
+    /// Which transport moved the panels (in-process channels or the
+    /// `process-shm` byte rings).
+    pub transport: TransportKind,
+    /// Which time model the run used. The modeled clock is authoritative
+    /// either way; `Measured` additionally fills the wall-clock rollups
+    /// below.
+    pub time: TimeModel,
+    /// Wall-clock counterpart of [`timers`](Self::timers): real host
+    /// seconds per stage, sampled only under [`TimeModel::Measured`]
+    /// (all durations are `0.0` under `Modeled`, which never reads the
+    /// host clock).
+    pub timers_measured: StageTimers,
+    /// This multiply's communication-counter delta on the world
+    /// communicator: messages, bytes, the modeled α–β receive wait, and
+    /// — under `Measured` — the wall seconds the rank actually spent
+    /// blocked in `recv`.
+    pub comm_stats: CommStats,
 }
 
 impl<T: Value> SummaOutput<T> {
@@ -346,6 +365,20 @@ impl<T: Value> SummaOutput<T> {
     /// whenever the per-panel choice is the model's argmin.
     pub fn modeled_comm_time_broadcast(&self) -> f64 {
         self.comm_choices.iter().map(|c| c.t_tree).sum()
+    }
+
+    /// Modeled α–β seconds this rank's clock idled inside `recv` during
+    /// the multiply — the receiver-side rollup of the same virtual time
+    /// [`modeled_comm_time`](Self::modeled_comm_time) prices sender-side.
+    pub fn modeled_comm_wait(&self) -> f64 {
+        self.comm_stats.modeled_comm_s
+    }
+
+    /// Wall seconds this rank actually spent blocked in `recv` during
+    /// the multiply. Only meaningful under [`TimeModel::Measured`];
+    /// exactly `0.0` under `Modeled`.
+    pub fn measured_comm_time(&self) -> f64 {
+        self.comm_stats.measured_comm_s
     }
 }
 
@@ -452,6 +485,8 @@ where
         .unwrap_or_else(|e| panic!("invalid SummaConfig: {e}"));
     let comm = &grid.world;
     let mut timers = StageTimers::new();
+    let stats_before = comm.stats();
+    let mut est_measured = 0.0f64;
 
     // Phase planning (memory estimation + optional overlap search).
     let (phases, estimate, planner_decision) = match cfg.phases {
@@ -461,8 +496,10 @@ where
             per_rank_budget,
         } => {
             let t0 = comm.now();
+            let w0 = comm.measured_now();
             let est = estimate_memory_in(s, grid, a, b, estimator, cfg.seed);
             timers.add("mem_estimation", comm.now() - t0);
+            est_measured = comm.measured_now() - w0;
             match cfg.planner {
                 PhasePlanner::MemoryOnly => (
                     plan_phases(&est, grid.size(), per_rank_budget),
@@ -580,7 +617,9 @@ where
         cpu_idle,
         kernels_used,
         comm_choices,
+        mut timers_measured,
     } = outcome;
+    timers_measured.add("mem_estimation", est_measured);
     let local = if slabs.len() == 1 {
         slabs.pop().unwrap()
     } else {
@@ -605,6 +644,10 @@ where
         kernels_used,
         hybrid_fractions,
         comm_choices,
+        transport: comm.transport(),
+        time: comm.time_model(),
+        timers_measured,
+        comm_stats: comm.stats().delta_since(&stats_before),
     }
 }
 

@@ -3,7 +3,7 @@
 //! by the crossbeam implementation — with a `Sync` `Sender` — since Rust
 //! 1.72). See `vendor/README.md`.
 
-pub use std::sync::mpsc::{RecvError, SendError, TryRecvError};
+pub use std::sync::mpsc::{RecvError, RecvTimeoutError, SendError, TryRecvError};
 
 /// Sending half of an unbounded channel.
 pub struct Sender<T>(std::sync::mpsc::Sender<T>);
@@ -33,6 +33,12 @@ impl<T> Receiver<T> {
     /// Non-blocking receive.
     pub fn try_recv(&self) -> Result<T, TryRecvError> {
         self.0.try_recv()
+    }
+
+    /// Blocks until a message arrives, all senders are gone, or
+    /// `timeout` elapses.
+    pub fn recv_timeout(&self, timeout: std::time::Duration) -> Result<T, RecvTimeoutError> {
+        self.0.recv_timeout(timeout)
     }
 }
 
