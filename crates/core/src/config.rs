@@ -2,6 +2,7 @@
 
 use hipmcl_gpu::select::SelectionPolicy;
 use hipmcl_sparse::colops::PruneParams;
+use hipmcl_summa::active::ActiveSetPolicy;
 use hipmcl_summa::estimate::{EstimatorKind, PhasePlanner};
 use hipmcl_summa::executor::{ExecutorKind, StealPolicy};
 use hipmcl_summa::merge::{MergeKernelPolicy, MergeStrategy};
@@ -30,6 +31,10 @@ pub struct MclConfig {
     pub max_iters: usize,
     /// Distributed expansion settings (ignored by the serial driver).
     pub summa: SummaConfig,
+    /// Convergence-aware active-set shrinking of the SUMMA operand
+    /// (ignored by the serial driver). Every preset ships with
+    /// [`ActiveSetPolicy::Off`]; opt in with [`ActiveSetPolicy::shrink`].
+    pub active_set: ActiveSetPolicy,
 }
 
 impl Default for MclConfig {
@@ -55,6 +60,7 @@ impl MclConfig {
             chaos_epsilon: 1e-3,
             max_iters: 100,
             summa: SummaConfig::original_hipmcl(per_rank_budget),
+            active_set: ActiveSetPolicy::Off,
         }
     }
 
@@ -128,12 +134,14 @@ impl MclConfig {
     }
 
     /// Checks the configuration for values that would misbehave at run
-    /// time — a fixed hybrid split fraction outside `[0, 1]` or a
-    /// degenerate overlap-planner headroom — which is reported here (and
+    /// time — a fixed hybrid split fraction outside `[0, 1]`, a
+    /// degenerate overlap-planner headroom, or an out-of-range active-set
+    /// shrinking parameter — which is reported here (and
     /// by the drivers, which call this on entry) rather than silently
     /// clamped.
     pub fn validate(&self) -> Result<(), ConfigError> {
-        self.summa.validate()
+        self.summa.validate()?;
+        self.active_set.validate().map_err(ConfigError::from)
     }
 }
 
@@ -230,6 +238,32 @@ mod tests {
             let mut c = MclConfig::testing(8);
             c.summa.steal = steal;
             assert!(c.validate().is_ok(), "{steal:?}");
+        }
+    }
+
+    #[test]
+    fn active_set_defaults_off_everywhere_and_validates() {
+        for c in [
+            MclConfig::original_hipmcl(1 << 30),
+            MclConfig::optimized(1 << 30),
+            MclConfig::optimized_no_overlap(1 << 30),
+            MclConfig::cpu_pipelined(1 << 30),
+            MclConfig::testing(8),
+        ] {
+            assert_eq!(c.active_set, ActiveSetPolicy::Off);
+            assert!(c.validate().is_ok());
+        }
+        let mut c = MclConfig::testing(8);
+        c.active_set = ActiveSetPolicy::shrink();
+        assert!(c.validate().is_ok());
+        c.active_set = ActiveSetPolicy::Shrink {
+            epsilon: f64::NAN,
+            min_shrink_frac: 0.1,
+            reshard_every: 1,
+        };
+        match c.validate().unwrap_err() {
+            ConfigError::ActiveSet(e) => assert_eq!(e.field, "epsilon"),
+            other => panic!("expected an active-set error, got {other:?}"),
         }
     }
 

@@ -22,6 +22,7 @@ use hipmcl_comm::collectives::{allreduce, allreduce_sum_vec};
 use hipmcl_comm::{Comm, ProcGrid, WireDecode, WireEncode, WireError, WireReader};
 use hipmcl_gpu::multi::MultiGpu;
 use hipmcl_sparse::Csc;
+use hipmcl_summa::active::{ActiveSet, ActiveSetPolicy};
 use hipmcl_summa::estimate::MemoryEstimate;
 use hipmcl_summa::spgemm::summa_spgemm_with;
 use hipmcl_summa::topk::prune_local_slab;
@@ -30,8 +31,10 @@ use hipmcl_summa::DistMatrix;
 /// Canonical stage order for reports (matches the paper's Fig. 1 legend).
 /// `expansion` is the wall time of the whole SUMMA pipeline section
 /// (broadcasts + kernels + merging + synchronization waits, excluding the
-/// fused pruning) — the quantity Table II calls "overall".
-pub const STAGES: [&str; 7] = [
+/// fused pruning) — the quantity Table II calls "overall". `reshard` is
+/// the active-set step (settle mask + freeze + operand exchange); always
+/// zero when [`ActiveSetPolicy::Off`].
+pub const STAGES: [&str; 8] = [
     "local_spgemm",
     "mem_estimation",
     "summa_bcast",
@@ -39,6 +42,7 @@ pub const STAGES: [&str; 7] = [
     "pruning",
     "other",
     "expansion",
+    "reshard",
 ];
 
 /// Result of a distributed MCL run, identical on every rank.
@@ -80,6 +84,14 @@ pub struct DistMclReport {
     pub estimates: Vec<Option<MemoryEstimate>>,
     /// Per-iteration algorithmic trace (global quantities).
     pub trace: Vec<IterTrace>,
+    /// Columns still in the operand when the loop ended (the full
+    /// dimension unless active-set shrinking removed some).
+    pub active_cols: usize,
+    /// Columns frozen out of the operand over the whole run.
+    pub frozen_cols: usize,
+    /// Total modeled seconds spent in the active-set step (settle mask +
+    /// freeze + reshard exchange), mean over ranks.
+    pub reshard_time: f64,
 }
 
 // The report is what a `process-shm` rank ships back to the parent, so
@@ -105,6 +117,9 @@ impl WireEncode for DistMclReport {
         self.merge_peaks.encode(out);
         self.estimates.encode(out);
         self.trace.encode(out);
+        self.active_cols.encode(out);
+        self.frozen_cols.encode(out);
+        self.reshard_time.encode(out);
     }
 }
 
@@ -123,6 +138,9 @@ impl WireDecode for DistMclReport {
             merge_peaks: Vec::<u64>::decode(r)?,
             estimates: Vec::<Option<MemoryEstimate>>::decode(r)?,
             trace: Vec::<IterTrace>::decode(r)?,
+            active_cols: usize::decode(r)?,
+            frozen_cols: usize::decode(r)?,
+            reshard_time: f64::decode(r)?,
         })
     }
 }
@@ -162,6 +180,12 @@ pub fn cluster_distributed_from(
     let mut gpu_idle = 0.0;
     let mut converged = false;
     let mut iterations = 0;
+    let mut active = ActiveSet::full(a.ncols_global);
+    let mut since_reshard = 0usize;
+    // Per-iteration local [expansion, merge, reshard] seconds, flattened;
+    // averaged over ranks once after the loop (a single collective keeps
+    // the modeled clock comparable between Off and Shrink runs).
+    let mut iter_stage_local: Vec<f64> = Vec::new();
 
     for _ in 0..cfg.max_iters {
         iterations += 1;
@@ -191,8 +215,10 @@ pub fn cluster_distributed_from(
         for (name, t) in out.timers_measured.iter() {
             stage_measured.add(name, t);
         }
+        let it_expand = comm.now() - t_expand - prune_time;
+        let it_merge = out.timers.get("merge");
         stage.add("pruning", prune_time);
-        stage.add("expansion", comm.now() - t_expand - prune_time);
+        stage.add("expansion", it_expand);
         stage_measured.add("pruning", prune_measured);
         stage_measured.add(
             "expansion",
@@ -203,19 +229,55 @@ pub fn cluster_distributed_from(
         merge_peaks.push(out.merge_stats.peak_merge_elems as u64);
         estimates.push(out.estimate);
 
-        let nnz_pruned = out.c.nnz_global(grid);
+        let mut nnz_pruned = out.c.nnz_global(grid);
         let flops = out.estimate.map_or(0, |e| e.flops);
         let nnz_expanded = out
             .estimate
             .map_or(nnz_pruned, |e| e.nnz_estimate.max(0.0) as u64);
         a = out.c;
 
-        // Inflation + chaos (distributed).
+        // Inflation + chaos (distributed, per column).
         let t0 = comm.now();
         let w0 = comm.measured_now();
-        let chaos = dist_inflate_and_chaos(grid, &mut a.local, cfg.inflation);
+        let (col_chaos, chaos) = dist_inflate_and_chaos_cols(grid, &mut a.local, cfg.inflation);
         stage.add("other", comm.now() - t0);
         stage_measured.add("other", comm.measured_now() - w0);
+
+        // Active-set step: settle, freeze, reshard. Skipped entirely when
+        // the loop is about to stop (the full convergence check below
+        // subsumes per-column settlement).
+        let mut it_reshard = 0.0f64;
+        if let ActiveSetPolicy::Shrink {
+            epsilon,
+            min_shrink_frac,
+            reshard_every,
+        } = cfg.active_set
+        {
+            since_reshard += 1;
+            if chaos >= cfg.chaos_epsilon && since_reshard >= reshard_every {
+                let t0 = comm.now();
+                let w0 = comm.measured_now();
+                let settled = active.settled_columns(grid, &a, &col_chaos, epsilon);
+                let n_settle = settled.iter().filter(|&&s| s).count();
+                let n_cur = a.ncols_global;
+                // min_shrink_frac suppresses the reshard for small
+                // batches: the settled columns simply stay active and are
+                // retried at the next settle point. Shrinking to an empty
+                // operand is likewise refused.
+                if n_settle > 0
+                    && n_settle < n_cur
+                    && (n_settle as f64) >= min_shrink_frac * n_cur as f64
+                {
+                    a = active.shrink(grid, &a, &settled);
+                    nnz_pruned = a.nnz_global(grid);
+                    since_reshard = 0;
+                }
+                it_reshard = comm.now() - t0;
+                stage.add("reshard", it_reshard);
+                stage_measured.add("reshard", (comm.measured_now() - w0).max(0.0));
+            }
+        }
+        iter_stage_local.extend([it_expand, it_merge, it_reshard]);
 
         trace.push(IterTrace {
             flops,
@@ -227,6 +289,12 @@ pub fn cluster_distributed_from(
                 flops as f64 / nnz_expanded as f64
             },
             chaos,
+            active_cols: a.ncols_global as u64,
+            frozen_cols: active.frozen_cols() as u64,
+            // Rank means filled in after the loop.
+            reshard_time: 0.0,
+            expansion_time: 0.0,
+            merge_time: 0.0,
         });
         if chaos < cfg.chaos_epsilon {
             converged = true;
@@ -234,8 +302,20 @@ pub fn cluster_distributed_from(
         }
     }
 
-    // Cluster extraction.
-    let (labels, num_clusters) = hipmcl_summa::components::gathered_components(grid, &a);
+    // Rank means of the per-iteration stage seconds (one collective for
+    // the whole run; every rank ran the same number of iterations).
+    let p_f = grid.size() as f64;
+    let iter_stage_mean = allreduce_sum_vec(&grid.world, iter_stage_local);
+    for (i, tr) in trace.iter_mut().enumerate() {
+        tr.expansion_time = iter_stage_mean[3 * i] / p_f;
+        tr.merge_time = iter_stage_mean[3 * i + 1] / p_f;
+        tr.reshard_time = iter_stage_mean[3 * i + 2] / p_f;
+    }
+
+    // Cluster extraction: scatter the active results back through the
+    // index map and union with the frozen store (the identity path while
+    // nothing is frozen — bit-identical to plain gathered components).
+    let (labels, num_clusters) = active.final_components(grid, &a);
 
     // Aggregate instrumentation across ranks (mean per stage).
     let my_stage_vec: Vec<f64> = STAGES.iter().map(|s| stage.get(s)).collect();
@@ -278,13 +358,25 @@ pub fn cluster_distributed_from(
         gpu_idle: idle[1] / p,
         merge_peaks,
         estimates,
+        reshard_time: trace.iter().map(|t| t.reshard_time).sum(),
+        active_cols: active.active_cols(),
+        frozen_cols: active.frozen_cols(),
         trace,
     }
 }
 
 /// Inflation (Hadamard power) with distributed column renormalization,
-/// followed by the distributed chaos statistic. Returns the global chaos.
-pub fn dist_inflate_and_chaos(grid: &ProcGrid, m: &mut Csc<f64>, power: f64) -> f64 {
+/// followed by the distributed chaos statistic. Returns this rank's
+/// per-column chaos vector (one entry per local panel column, identical
+/// across the ranks of a process column because it is computed from the
+/// column-reduced max and sum of squares) and the global chaos — the max
+/// over all columns. The per-column vector is what active-set shrinking
+/// feeds to [`ActiveSet::settled_columns`].
+pub fn dist_inflate_and_chaos_cols(
+    grid: &ProcGrid,
+    m: &mut Csc<f64>,
+    power: f64,
+) -> (Vec<f64>, f64) {
     let col_comm = &grid.col_comm;
     let model = col_comm.model().clone();
 
@@ -321,12 +413,24 @@ pub fn dist_inflate_and_chaos(grid: &ProcGrid, m: &mut Csc<f64>, power: f64) -> 
         x
     });
     let gssq = allreduce_sum_vec(col_comm, ssq);
-    let local_chaos = gmax
+    let col_chaos: Vec<f64> = gmax
         .iter()
         .zip(&gssq)
         .map(|(&mx, &s)| if mx > 0.0 { mx - s } else { 0.0 })
-        .fold(0.0f64, f64::max);
-    allreduce(&grid.world, local_chaos, f64::max)
+        .collect();
+    // The world allreduce folds from 0.0, the chaos identity: a column of
+    // a stochastic matrix has `max ≥ Σv²` (since `Σv = 1`), so per-column
+    // chaos is nonnegative, and a rank whose panel owns zero columns (a
+    // degenerate grid with `side > ncols`) contributes exactly 0.0 — no
+    // uninitialized or −∞ local can poison the max.
+    let local_chaos = col_chaos.iter().copied().fold(0.0f64, f64::max);
+    let chaos = allreduce(&grid.world, local_chaos, f64::max);
+    (col_chaos, chaos)
+}
+
+/// [`dist_inflate_and_chaos_cols`] when only the global chaos is wanted.
+pub fn dist_inflate_and_chaos(grid: &ProcGrid, m: &mut Csc<f64>, power: f64) -> f64 {
+    dist_inflate_and_chaos_cols(grid, m, power).1
 }
 
 /// Distributed column normalization (used to prepare an already
@@ -544,6 +648,148 @@ mod tests {
             sums.iter().all(|&s| s == 0.0 || (s - 1.0).abs() < 1e-9)
         });
         assert!(results.iter().all(|&ok| ok));
+    }
+
+    #[test]
+    fn chaos_not_poisoned_by_empty_local_panels() {
+        // n = 2 on a 3×3 grid: even_chunk(2, 3, ·) = {1, 1, 0}, so the
+        // third grid row/column owns zero rows/columns. The empty panels
+        // must contribute the fold identity (0.0) to the world max — the
+        // regression this pins is an uninitialized/−∞ local leaking in.
+        let mut t = Triples::new(2, 2);
+        t.push(0, 0, 0.9);
+        t.push(1, 0, 0.1);
+        t.push(0, 1, 0.2);
+        t.push(1, 1, 0.8);
+        let reference = Universe::run(1, MachineModel::summit(), {
+            let t = t.clone();
+            move |comm| {
+                let grid = ProcGrid::new(comm);
+                let mut local = DistMatrix::from_global(&grid, &t).local;
+                dist_inflate_and_chaos(&grid, &mut local, 2.0)
+            }
+        })[0];
+        assert!(reference.is_finite() && reference > 0.0);
+        let results = Universe::run(9, MachineModel::summit(), move |comm| {
+            let grid = ProcGrid::new(comm);
+            let mut local = DistMatrix::from_global(&grid, &t.clone()).local;
+            let (cols, chaos) = dist_inflate_and_chaos_cols(&grid, &mut local, 2.0);
+            // Empty panels report an empty chaos vector, never NaN/−∞.
+            assert_eq!(cols.len(), local.ncols());
+            assert!(cols.iter().all(|c| c.is_finite() && *c >= 0.0));
+            chaos
+        });
+        for &c in &results {
+            assert_eq!(c, reference, "degenerate grid must match 1-rank chaos");
+        }
+    }
+
+    #[test]
+    fn shrinking_preserves_serial_clusters() {
+        let g = planted(4, 6, 15, 11);
+        let cfg = MclConfig::testing(12);
+        let serial = crate::serial::cluster_serial(&g, &cfg);
+        for p in [1usize, 4, 9] {
+            let results = Universe::run(p, MachineModel::summit(), |comm| {
+                let grid = ProcGrid::new(comm);
+                let mut gpus = MultiGpu::summit_node(grid.world.model());
+                let g = planted(4, 6, 15, 11);
+                let mut cfg = MclConfig::testing(12);
+                cfg.active_set = hipmcl_summa::ActiveSetPolicy::shrink();
+                cluster_distributed(&grid, &mut gpus, &g, &cfg)
+            });
+            for r in &results {
+                assert_eq!(r.num_clusters, serial.num_clusters, "p={p}");
+                assert!(same_partition(&r.labels, &serial.labels), "p={p}");
+                assert!(r.converged);
+                // The trace exposes the shrink trajectory: active never
+                // grows, active + frozen always covers the graph.
+                let n = g.ncols() as u64;
+                let mut prev = n;
+                for it in &r.trace {
+                    assert!(it.active_cols <= prev);
+                    assert_eq!(it.active_cols + it.frozen_cols, n);
+                    prev = it.active_cols;
+                }
+                assert_eq!(r.active_cols + r.frozen_cols, g.ncols());
+            }
+        }
+    }
+
+    #[test]
+    fn shrink_with_zero_epsilon_is_bit_identical_to_off() {
+        let run = |policy: hipmcl_summa::ActiveSetPolicy| {
+            let results = Universe::run(4, MachineModel::summit(), move |comm| {
+                let grid = ProcGrid::new(comm);
+                let mut gpus = MultiGpu::summit_node(grid.world.model());
+                let g = planted(3, 7, 12, 13);
+                let mut cfg = MclConfig::testing(12);
+                cfg.active_set = policy;
+                cluster_distributed(&grid, &mut gpus, &g, &cfg)
+            });
+            results.into_iter().next().unwrap()
+        };
+        let off = run(hipmcl_summa::ActiveSetPolicy::Off);
+        let zero = run(hipmcl_summa::ActiveSetPolicy::Shrink {
+            epsilon: 0.0,
+            min_shrink_frac: 0.0,
+            reshard_every: 1,
+        });
+        assert_eq!(off.labels, zero.labels);
+        assert_eq!(off.iterations, zero.iterations);
+        assert_eq!(zero.frozen_cols, 0);
+    }
+
+    #[test]
+    fn iter_trace_wire_round_trip_and_old_bytes_rejected() {
+        let it = IterTrace {
+            flops: 123,
+            nnz_expanded: 99,
+            nnz_pruned: 70,
+            cf: 1.76,
+            chaos: 0.25,
+            active_cols: 40,
+            frozen_cols: 8,
+            reshard_time: 0.125,
+            expansion_time: 1.5,
+            merge_time: 0.5,
+        };
+        let bytes = it.encoded();
+        let back = IterTrace::decode_all(&bytes).unwrap();
+        assert_eq!(back.encoded(), bytes);
+        assert_eq!(back.active_cols, 40);
+        assert_eq!(back.frozen_cols, 8);
+        assert_eq!(back.reshard_time.to_bits(), 0.125f64.to_bits());
+        // Pre-active-set bytes (flops..chaos only) no longer decode: the
+        // reader runs out before the new fields and must error, not
+        // fabricate defaults.
+        let mut old = Vec::new();
+        it.flops.encode(&mut old);
+        it.nnz_expanded.encode(&mut old);
+        it.nnz_pruned.encode(&mut old);
+        it.cf.encode(&mut old);
+        it.chaos.encode(&mut old);
+        assert!(IterTrace::decode_all(&old).is_err());
+    }
+
+    #[test]
+    fn report_wire_round_trip_and_old_bytes_rejected() {
+        let results = Universe::run(4, MachineModel::summit(), |comm| {
+            let grid = ProcGrid::new(comm);
+            let mut gpus = MultiGpu::summit_node(grid.world.model());
+            let g = planted(2, 6, 5, 19);
+            cluster_distributed(&grid, &mut gpus, &g, &MclConfig::testing(12))
+        });
+        let r = &results[0];
+        let bytes = r.encoded();
+        let back = DistMclReport::decode_all(&bytes).unwrap();
+        assert_eq!(back.encoded(), bytes);
+        assert_eq!(back.active_cols, r.active_cols);
+        assert_eq!(back.frozen_cols, r.frozen_cols);
+        // A buffer without the trailing active-set fields (the pre-shrink
+        // report layout) is rejected as truncated.
+        let old = &bytes[..bytes.len() - 3 * 8];
+        assert!(DistMclReport::decode_all(old).is_err());
     }
 
     #[test]

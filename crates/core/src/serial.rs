@@ -22,8 +22,23 @@ pub struct IterTrace {
     pub nnz_pruned: u64,
     /// Compression factor of the expansion.
     pub cf: f64,
-    /// Chaos after inflation.
+    /// Chaos after inflation (over the active columns).
     pub chaos: f64,
+    /// Columns still in the operand after this iteration's active-set
+    /// step (always the full dimension when shrinking is off).
+    pub active_cols: u64,
+    /// Columns checkpointed into the frozen store so far.
+    pub frozen_cols: u64,
+    /// Modeled seconds of this iteration's active-set step (settle mask +
+    /// freeze + reshard exchange), mean over ranks; `0.0` when shrinking
+    /// is off or the step was skipped.
+    pub reshard_time: f64,
+    /// Modeled seconds of this iteration's expansion (SUMMA minus fused
+    /// pruning), mean over ranks; `0.0` in serial runs.
+    pub expansion_time: f64,
+    /// Modeled seconds of this iteration's merge stage, mean over ranks;
+    /// `0.0` in serial runs.
+    pub merge_time: f64,
 }
 
 impl WireEncode for IterTrace {
@@ -33,6 +48,11 @@ impl WireEncode for IterTrace {
         self.nnz_pruned.encode(out);
         self.cf.encode(out);
         self.chaos.encode(out);
+        self.active_cols.encode(out);
+        self.frozen_cols.encode(out);
+        self.reshard_time.encode(out);
+        self.expansion_time.encode(out);
+        self.merge_time.encode(out);
     }
 }
 
@@ -44,6 +64,11 @@ impl WireDecode for IterTrace {
             nnz_pruned: u64::decode(r)?,
             cf: f64::decode(r)?,
             chaos: f64::decode(r)?,
+            active_cols: u64::decode(r)?,
+            frozen_cols: u64::decode(r)?,
+            reshard_time: f64::decode(r)?,
+            expansion_time: f64::decode(r)?,
+            merge_time: f64::decode(r)?,
         })
     }
 }
@@ -99,6 +124,12 @@ pub fn cluster_serial(adjacency: &Csc<f64>, cfg: &MclConfig) -> MclResult {
             nnz_pruned: a.nnz() as u64,
             cf: analysis.cf(),
             chaos,
+            // The serial driver never shrinks and has no modeled clock.
+            active_cols: a.ncols() as u64,
+            frozen_cols: 0,
+            reshard_time: 0.0,
+            expansion_time: 0.0,
+            merge_time: 0.0,
         });
         if chaos < cfg.chaos_epsilon {
             converged = true;

@@ -276,6 +276,37 @@ impl<T: Value> Csc<T> {
         }
     }
 
+    /// Extracts the columns listed in `cols` (strictly increasing old
+    /// indices) as a new matrix with columns relabelled `0..cols.len()`.
+    /// `cols` *is* the new→old column index map; the old→new inverse is
+    /// [`crate::util::inverse_selection`]. Generalizes
+    /// [`Csc::column_slice`] to non-contiguous selections — the active-set
+    /// operand extraction of the distributed MCL driver. `O(cols + nnz of
+    /// the selection)`.
+    pub fn select_cols(&self, cols: &[usize]) -> Self {
+        debug_assert!(crate::util::is_strictly_increasing(cols));
+        if let Some(&last) = cols.last() {
+            assert!(last < self.ncols, "selected column {last} out of range");
+        }
+        let mut colptr = Vec::with_capacity(cols.len() + 1);
+        colptr.push(0usize);
+        let nnz: usize = cols.iter().map(|&j| self.col_nnz(j)).sum();
+        let mut rowidx = Vec::with_capacity(nnz);
+        let mut vals = Vec::with_capacity(nnz);
+        for &j in cols {
+            rowidx.extend_from_slice(self.col_rows(j));
+            vals.extend_from_slice(self.col_vals(j));
+            colptr.push(rowidx.len());
+        }
+        Self {
+            nrows: self.nrows,
+            ncols: cols.len(),
+            colptr,
+            rowidx,
+            vals,
+        }
+    }
+
     /// Removes stored entries equal to the semiring's annihilator.
     pub fn drop_zeros_in<S: Semiring<Elem = T>>(&mut self, _s: S) {
         let mut w = 0usize;
@@ -555,6 +586,35 @@ mod tests {
         assert_eq!(b.ncols(), 2);
         let glued = Csc::hcat(&[a, b]);
         assert_eq!(glued, m);
+    }
+
+    #[test]
+    fn select_cols_matches_column_slice_on_contiguous_ranges() {
+        let m = sample();
+        assert_eq!(m.select_cols(&[1, 2]), m.column_slice(1..3));
+        assert_eq!(m.select_cols(&[0, 1, 2, 3]), m);
+        let empty = m.select_cols(&[]);
+        empty.assert_valid();
+        assert_eq!(empty.ncols(), 0);
+        assert_eq!(empty.nnz(), 0);
+    }
+
+    #[test]
+    fn select_cols_relabels_through_the_index_map() {
+        let m = sample();
+        let keep = [0usize, 2, 3];
+        let s = m.select_cols(&keep);
+        s.assert_valid();
+        assert_eq!(s.ncols(), 3);
+        // New column j is old column keep[j], entry for entry.
+        for (new, &old) in keep.iter().enumerate() {
+            assert_eq!(s.col_rows(new), m.col_rows(old), "col {old}");
+            assert_eq!(s.col_vals(new), m.col_vals(old), "col {old}");
+        }
+        // The inverse map routes old ids back to their compact slot.
+        let inv = crate::util::inverse_selection(m.ncols(), &keep);
+        assert_eq!(inv[2], 1);
+        assert_eq!(inv[1], crate::util::DROPPED);
     }
 
     #[test]

@@ -145,6 +145,43 @@ impl<T: Value> Dcsc<T> {
         })
     }
 
+    /// Extracts the columns listed in `cols` (strictly increasing old
+    /// indices) with columns relabelled `0..cols.len()` — the DCSC
+    /// counterpart of [`Csc::select_cols`]. Non-empty selected columns are
+    /// found by merging `cols` against `jc`; `O(nzc + cols + nnz of the
+    /// selection)`, never touching the dropped columns' data.
+    pub fn select_cols(&self, cols: &[usize]) -> Self {
+        debug_assert!(crate::util::is_strictly_increasing(cols));
+        if let Some(&last) = cols.last() {
+            assert!(last < self.ncols, "selected column {last} out of range");
+        }
+        let mut jc = Vec::new();
+        let mut cp = vec![0usize];
+        let mut ir = Vec::new();
+        let mut num = Vec::new();
+        let mut k = 0usize; // cursor into self.jc (both lists increasing)
+        for (new, &old) in cols.iter().enumerate() {
+            while k < self.jc.len() && (self.jc[k] as usize) < old {
+                k += 1;
+            }
+            if k < self.jc.len() && self.jc[k] as usize == old {
+                let range = self.cp[k]..self.cp[k + 1];
+                jc.push(new as Idx);
+                ir.extend_from_slice(&self.ir[range.clone()]);
+                num.extend_from_slice(&self.num[range]);
+                cp.push(ir.len());
+            }
+        }
+        Self {
+            nrows: self.nrows,
+            ncols: cols.len(),
+            jc,
+            cp,
+            ir,
+            num,
+        }
+    }
+
     /// Approximate heap footprint in bytes. For a hypersparse block this is
     /// `O(nnz + nzc)` versus CSC's `O(nnz + ncols)`.
     pub fn bytes(&self) -> usize {
@@ -228,6 +265,25 @@ mod tests {
         assert_eq!(j, 7);
         assert_eq!(rows, &[3, 50]);
         assert_eq!(vals, &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn select_cols_agrees_with_csc_selection() {
+        let csc = hypersparse_sample();
+        let d = Dcsc::from_csc(&csc);
+        // Mix of non-empty (7, 99), empty (0, 42) and dropped columns.
+        let keep = [0usize, 7, 42, 99];
+        let picked = d.select_cols(&keep);
+        picked.assert_valid();
+        assert_eq!(picked.ncols(), keep.len());
+        assert_eq!(picked.to_csc(), csc.select_cols(&keep));
+        // Only the genuinely non-empty survivors are listed.
+        assert_eq!(picked.jc, vec![1, 3]);
+        // Empty selection degenerates to a zero-width matrix.
+        let none = d.select_cols(&[]);
+        none.assert_valid();
+        assert_eq!(none.nzc(), 0);
+        assert_eq!(none.ncols(), 0);
     }
 
     #[test]

@@ -1,0 +1,471 @@
+//! Convergence-aware active-set shrinking for the distributed MCL loop.
+//!
+//! MCL columns converge at wildly different rates: long before the global
+//! chaos statistic crosses the stopping threshold, most columns have
+//! already collapsed onto their attractor while the expansion still pays
+//! full SpGEMM cost for them every iteration. The active set tracks which
+//! columns are *settled* — per-column chaos below the policy's `epsilon`
+//! **and** negligible feedback mass flowing back into the column's row
+//! from the rest of the matrix — checkpoints their converged state into a
+//! frozen store, and rebuilds the SUMMA operand as the induced submatrix
+//! over the surviving columns ([`hipmcl_sparse::Csc::select_cols`]
+//! semantics, resharded over the same `√P × √P` grid). Late iterations
+//! then run on a matrix that keeps getting smaller.
+//!
+//! Lifecycle per shrink point (driven by `hipmcl-core`'s distributed
+//! driver):
+//!
+//! 1. **Settle** — [`ActiveSet::settled_columns`] combines the per-column
+//!    chaos vector (already reduced down the process columns) with
+//!    feedback row mass (reduced across the process rows) into a global
+//!    settled mask.
+//! 2. **Freeze** — settled columns' entries are mapped back to original
+//!    vertex ids (their top entry is the eventual cluster attractor) and
+//!    gathered into the frozen store on rank 0.
+//! 3. **Reshard** — every rank filters its block to the surviving
+//!    rows/columns, remaps them through the old↔new index map, and routes
+//!    each entry to the rank that owns it under the shrunken balanced 2D
+//!    distribution ([`hipmcl_sparse::convert::block_of`]).
+//! 4. **Scatter back** — at termination [`ActiveSet::final_components`]
+//!    maps the small converged matrix back through the index map, unions
+//!    it with the frozen store and labels connected components over the
+//!    original vertex set.
+//!
+//! The row-feedback condition in step 1 is what keeps labels identical to
+//! the unshrunk run: dropping column `j` also drops row `j` from the
+//! induced submatrix, so `j` may only leave while the mass the still
+//! active columns place on row `j` (diagonal excluded — attractors keep
+//! their own self-loop) is below `epsilon`. In the star graphs MCL
+//! converges to, satellites freeze first and attractors last, so no
+//! cluster edge is ever truncated beyond the `epsilon` tolerance.
+
+use crate::components;
+use crate::distmat::DistMatrix;
+use hipmcl_comm::collectives::{allreduce, allreduce_sum_vec, bcast, gather};
+use hipmcl_comm::ProcGrid;
+use hipmcl_sparse::components::connected_components;
+use hipmcl_sparse::convert::block_of;
+use hipmcl_sparse::util::{even_chunk, inverse_selection, DROPPED};
+use hipmcl_sparse::{Csc, Idx, Triples};
+
+/// When (and how aggressively) the distributed MCL driver shrinks the
+/// SUMMA operand. Lives on `MclConfig`; `Off` is the default everywhere.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub enum ActiveSetPolicy {
+    /// Never shrink: every iteration squares the full matrix (the
+    /// behaviour of original HipMCL and of every preset).
+    #[default]
+    Off,
+    /// Freeze settled columns out of the operand.
+    Shrink {
+        /// A column is settled when its chaos *and* its feedback row mass
+        /// are below this. `0.0` settles nothing (strict `<`), making the
+        /// run bit-identical to `Off`.
+        epsilon: f64,
+        /// A reshard only happens when at least this fraction of the
+        /// current active columns would leave; smaller batches stay
+        /// active (and are retried later) because re-owning the matrix
+        /// costs `P²` messages.
+        min_shrink_frac: f64,
+        /// Only test for settled columns every this many iterations since
+        /// the last reshard (`1` = every iteration).
+        reshard_every: usize,
+    },
+}
+
+impl ActiveSetPolicy {
+    /// The shrink configuration used by the ablation probes: settle at
+    /// the driver's default chaos tolerance, reshard every iteration when
+    /// at least 2% of the active columns would leave.
+    pub fn shrink() -> Self {
+        Self::Shrink {
+            epsilon: 1e-3,
+            min_shrink_frac: 0.02,
+            reshard_every: 1,
+        }
+    }
+
+    /// `true` unless the policy is [`ActiveSetPolicy::Off`].
+    pub fn is_on(&self) -> bool {
+        !matches!(self, Self::Off)
+    }
+
+    /// Rejects parameter values that would misbehave at run time: a
+    /// negative or non-finite `epsilon`, a `min_shrink_frac` outside
+    /// `[0, 1]`, or a zero `reshard_every`.
+    pub fn validate(&self) -> Result<(), InvalidActiveSet> {
+        if let Self::Shrink {
+            epsilon,
+            min_shrink_frac,
+            reshard_every,
+        } = *self
+        {
+            if !epsilon.is_finite() || epsilon < 0.0 {
+                return Err(InvalidActiveSet {
+                    field: "epsilon",
+                    value: epsilon,
+                });
+            }
+            if !(0.0..=1.0).contains(&min_shrink_frac) {
+                return Err(InvalidActiveSet {
+                    field: "min_shrink_frac",
+                    value: min_shrink_frac,
+                });
+            }
+            if reshard_every == 0 {
+                return Err(InvalidActiveSet {
+                    field: "reshard_every",
+                    value: 0.0,
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+/// An [`ActiveSetPolicy::Shrink`] parameter outside its legal range.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct InvalidActiveSet {
+    /// Which parameter.
+    pub field: &'static str,
+    /// The offending value (`0.0` stands in for a zero `reshard_every`).
+    pub value: f64,
+}
+
+impl std::fmt::Display for InvalidActiveSet {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "active-set {} = {} out of range (epsilon must be finite and >= 0, \
+             min_shrink_frac in [0, 1], reshard_every >= 1)",
+            self.field, self.value
+        )
+    }
+}
+
+/// Tag for the reshard's all-to-all block exchange.
+const RESHARD_TAG: u64 = 0xAC5E;
+
+/// The driver-side state of active-set shrinking: the old↔new column
+/// index map of the current (possibly shrunken) operand plus the frozen
+/// store of settled columns. One per MCL run, mutated at every reshard.
+#[derive(Clone, Debug)]
+pub struct ActiveSet {
+    /// Original (full) vertex count.
+    n_global: usize,
+    /// `to_global[new] = old`: maps the current operand's row/column ids
+    /// back to original vertex ids. Identity while nothing is frozen.
+    to_global: Vec<Idx>,
+    /// Frozen columns' entries in original ids — only populated on rank 0
+    /// (where components are labelled); other ranks keep it empty.
+    frozen: Triples<f64>,
+    /// Number of frozen columns, replicated on every rank.
+    frozen_cols: usize,
+}
+
+impl ActiveSet {
+    /// A full active set over `n` vertices: identity map, nothing frozen.
+    pub fn full(n: usize) -> Self {
+        Self {
+            n_global: n,
+            to_global: (0..n as Idx).collect(),
+            frozen: Triples::new(n, n),
+            frozen_cols: 0,
+        }
+    }
+
+    /// Original vertex count.
+    pub fn n_global(&self) -> usize {
+        self.n_global
+    }
+
+    /// Columns still in the operand.
+    pub fn active_cols(&self) -> usize {
+        self.to_global.len()
+    }
+
+    /// Columns checkpointed into the frozen store.
+    pub fn frozen_cols(&self) -> usize {
+        self.frozen_cols
+    }
+
+    /// `true` while no column has ever been frozen (the operand is the
+    /// original matrix and every code path below degenerates to the
+    /// unshrunk one).
+    pub fn is_full(&self) -> bool {
+        self.frozen_cols == 0
+    }
+
+    /// Global settled mask over the current operand's columns: column `j`
+    /// settles when its chaos is below `epsilon` *and* the mass the other
+    /// active columns place on row `j` (self-loop excluded) is at most
+    /// `epsilon` — see the module docs for why both conditions are needed
+    /// to preserve labels. `col_chaos` is this rank's local column panel
+    /// of per-column chaos (identical across a process column, as
+    /// produced by the driver's inflation step). Collective.
+    pub fn settled_columns(
+        &self,
+        grid: &ProcGrid,
+        a: &DistMatrix,
+        col_chaos: &[f64],
+        epsilon: f64,
+    ) -> Vec<bool> {
+        let n_cur = a.ncols_global;
+        debug_assert_eq!(n_cur, self.to_global.len());
+        let row_range = a.row_range(grid);
+        let col_range = a.col_range(grid);
+        debug_assert_eq!(col_chaos.len(), col_range.len());
+
+        // Feedback mass into each of this block's rows, diagonal excluded.
+        let mut local_feedback = vec![0.0f64; row_range.len()];
+        for (i, j, v) in a.local.iter() {
+            let gi = row_range.start + i as usize;
+            let gj = col_range.start + j as usize;
+            if gi != gj {
+                local_feedback[i as usize] += v;
+            }
+        }
+        let row_feedback = allreduce_sum_vec(&grid.row_comm, local_feedback);
+
+        // Globalize chaos (owned per process column) and feedback (owned
+        // per process row) in one elementwise-max allreduce: owners hold
+        // identical nonnegative values, everyone else contributes 0.
+        let mut both = vec![0.0f64; 2 * n_cur];
+        both[col_range.start..col_range.end].copy_from_slice(col_chaos);
+        both[n_cur + row_range.start..n_cur + row_range.end].copy_from_slice(&row_feedback);
+        let both = allreduce(&grid.world, both, |mut x, y| {
+            for (a, b) in x.iter_mut().zip(&y) {
+                *a = a.max(*b);
+            }
+            x
+        });
+        let (chaos, feedback) = both.split_at(n_cur);
+        chaos
+            .iter()
+            .zip(feedback)
+            .map(|(&c, &f)| c < epsilon && f <= epsilon)
+            .collect()
+    }
+
+    /// Freezes the settled columns and reshards the survivors: returns
+    /// the induced `n_active × n_active` submatrix, redistributed over
+    /// the same grid with balanced stripes. Entries whose row *or* column
+    /// leaves the active set are dropped (the row-feedback settle
+    /// condition bounds the dropped off-column mass by `epsilon` per
+    /// row). Collective; the caller brackets the modeled time.
+    pub fn shrink(&mut self, grid: &ProcGrid, a: &DistMatrix, settled: &[bool]) -> DistMatrix {
+        let comm = &grid.world;
+        let side = grid.side;
+        let n_cur = a.ncols_global;
+        debug_assert_eq!(settled.len(), n_cur);
+        let row_range = a.row_range(grid);
+        let col_range = a.col_range(grid);
+
+        // 1. Checkpoint the settled columns in original ids; rank 0 keeps
+        //    the union (labels are extracted there).
+        let mut newly_frozen = Triples::new(self.n_global, self.n_global);
+        for (i, j, v) in a.local.iter() {
+            let gj = col_range.start + j as usize;
+            if settled[gj] {
+                let gi = row_range.start + i as usize;
+                newly_frozen.push(self.to_global[gi], self.to_global[gj], v);
+            }
+        }
+        if let Some(parts) = gather(comm, 0, newly_frozen) {
+            for t in &parts {
+                for (i, j, v) in t.iter() {
+                    self.frozen.push(i, j, v);
+                }
+            }
+        }
+        self.frozen_cols += settled.iter().filter(|&&s| s).count();
+
+        // 2. Old↔new index maps over the current operand.
+        let keep: Vec<usize> = (0..n_cur).filter(|&j| !settled[j]).collect();
+        let n_new = keep.len();
+        assert!(n_new > 0, "cannot shrink away every column");
+        let old_to_new = inverse_selection(n_cur, &keep);
+        self.to_global = keep.iter().map(|&j| self.to_global[j]).collect();
+
+        // 3. Route every surviving entry to its owner under the shrunken
+        //    distribution (block-local indices, ready to ingest).
+        let p = comm.size();
+        let mut outgoing: Vec<Triples<f64>> = (0..p)
+            .map(|r| {
+                let rows = even_chunk(n_new, side, r / side).len();
+                let cols = even_chunk(n_new, side, r % side).len();
+                Triples::new(rows, cols)
+            })
+            .collect();
+        for (i, j, v) in a.local.iter() {
+            let ni = old_to_new[row_range.start + i as usize];
+            let nj = old_to_new[col_range.start + j as usize];
+            if ni == DROPPED || nj == DROPPED {
+                continue;
+            }
+            let dr = block_of(n_new, side, ni);
+            let dc = block_of(n_new, side, nj);
+            outgoing[dr * side + dc].push(
+                (ni - even_chunk(n_new, side, dr).start) as Idx,
+                (nj - even_chunk(n_new, side, dc).start) as Idx,
+                v,
+            );
+        }
+        // Charge the filter/remap scan over the local block.
+        comm.advance_clock(comm.model().elementwise_time(a.local.nnz() as u64));
+
+        // 4. Pairwise exchange: send everyone their piece, then drain in
+        //    rank order (transports buffer, so all-send-then-all-receive
+        //    cannot deadlock — the same shape scatter_from_root relies on).
+        let me = comm.rank();
+        let mut mine = std::mem::replace(&mut outgoing[me], Triples::new(0, 0));
+        for (r, out) in outgoing.into_iter().enumerate() {
+            if r != me {
+                comm.send(r, RESHARD_TAG, out);
+            }
+        }
+        for r in 0..p {
+            if r != me {
+                let t: Triples<f64> = comm.recv(r, RESHARD_TAG);
+                for (i, j, v) in t.iter() {
+                    mine.push(i, j, v);
+                }
+            }
+        }
+        // Distinct global entries map injectively, so no duplicates.
+        DistMatrix {
+            local: Csc::from_nodup_triples(&mine),
+            nrows_global: n_new,
+            ncols_global: n_new,
+        }
+    }
+
+    /// Cluster labels over the *original* vertex set: the converged small
+    /// matrix is scattered back through the index map, unioned with the
+    /// frozen store, and labelled by connected components on rank 0
+    /// (broadcast to all, mirroring
+    /// [`components::gathered_components`] — to which this degenerates,
+    /// bit for bit, while [`ActiveSet::is_full`]). Collective.
+    pub fn final_components(&self, grid: &ProcGrid, a: &DistMatrix) -> (Vec<u32>, usize) {
+        if self.is_full() {
+            return components::gathered_components(grid, a);
+        }
+        let gathered = a.gather_to_root(grid);
+        let payload = gathered.map(|small| {
+            let mut t = Triples::new(self.n_global, self.n_global);
+            for (i, j, v) in small.iter() {
+                t.push(self.to_global[i as usize], self.to_global[j as usize], v);
+            }
+            // Frozen columns are disjoint from active ones, so the union
+            // has no duplicate (row, col) pairs.
+            for (i, j, v) in self.frozen.iter() {
+                t.push(i, j, v);
+            }
+            let (labels, k) = connected_components(&Csc::from_nodup_triples(&t));
+            (labels, k as u64)
+        });
+        let (labels, k) = bcast(&grid.world, 0, payload);
+        (labels, k as usize)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hipmcl_comm::{MachineModel, Universe};
+
+    #[test]
+    fn policy_validation_bounds() {
+        assert!(ActiveSetPolicy::Off.validate().is_ok());
+        assert!(ActiveSetPolicy::shrink().validate().is_ok());
+        let bad = ActiveSetPolicy::Shrink {
+            epsilon: -1.0,
+            min_shrink_frac: 0.1,
+            reshard_every: 1,
+        };
+        assert_eq!(bad.validate().unwrap_err().field, "epsilon");
+        let bad = ActiveSetPolicy::Shrink {
+            epsilon: 0.0,
+            min_shrink_frac: 1.5,
+            reshard_every: 1,
+        };
+        assert_eq!(bad.validate().unwrap_err().field, "min_shrink_frac");
+        let bad = ActiveSetPolicy::Shrink {
+            epsilon: 0.0,
+            min_shrink_frac: 0.5,
+            reshard_every: 0,
+        };
+        assert_eq!(bad.validate().unwrap_err().field, "reshard_every");
+    }
+
+    /// Two 2-star clusters: attractors 0 and 3 hold their satellites.
+    /// Columns 1, 2, 4, 5 are satellites with all mass on their attractor.
+    fn two_stars() -> Triples<f64> {
+        let mut t = Triples::new(6, 6);
+        for &(attractor, sat) in &[(0u32, 1u32), (0, 2), (3, 4), (3, 5)] {
+            t.push(attractor, sat, 1.0); // satellite column -> attractor row
+        }
+        for v in 0..6u32 {
+            if v == 0 || v == 3 {
+                t.push(v, v, 1.0); // attractors keep their self-loop
+            }
+        }
+        t
+    }
+
+    #[test]
+    fn shrink_freezes_satellites_and_labels_survive() {
+        for p in [1usize, 4] {
+            let results = Universe::run(p, MachineModel::summit(), |comm| {
+                let grid = ProcGrid::new(comm);
+                let a = DistMatrix::from_global(&grid, &two_stars());
+                let mut active = ActiveSet::full(6);
+                // Satellite columns have chaos 0 (single entry of mass 1)
+                // and no feedback into their rows; attractors receive
+                // satellite mass, so only satellites may settle.
+                let col_chaos = vec![0.0; a.local.ncols()];
+                let settled = active.settled_columns(&grid, &a, &col_chaos, 1e-3);
+                assert_eq!(settled, vec![false, true, true, false, true, true]);
+                let small = active.shrink(&grid, &a, &settled);
+                assert_eq!(small.ncols_global, 2);
+                assert_eq!(active.active_cols(), 2);
+                assert_eq!(active.frozen_cols(), 4);
+                assert!(!active.is_full());
+                active.final_components(&grid, &small)
+            });
+            for (labels, k) in &results {
+                assert_eq!(*k, 2, "p={p}");
+                assert_eq!(labels, &vec![0, 0, 0, 1, 1, 1], "p={p}");
+            }
+        }
+    }
+
+    #[test]
+    fn full_active_set_is_identity() {
+        let results = Universe::run(4, MachineModel::summit(), |comm| {
+            let grid = ProcGrid::new(comm);
+            let a = DistMatrix::from_global(&grid, &two_stars());
+            let active = ActiveSet::full(6);
+            assert!(active.is_full());
+            assert_eq!(active.active_cols(), 6);
+            let via_active = active.final_components(&grid, &a);
+            let direct = components::gathered_components(&grid, &a);
+            via_active == direct
+        });
+        assert!(results.into_iter().all(|same| same));
+    }
+
+    #[test]
+    fn epsilon_zero_settles_nothing() {
+        let results = Universe::run(4, MachineModel::summit(), |comm| {
+            let grid = ProcGrid::new(comm);
+            let a = DistMatrix::from_global(&grid, &two_stars());
+            let active = ActiveSet::full(6);
+            let col_chaos = vec![0.0; a.local.ncols()];
+            active.settled_columns(&grid, &a, &col_chaos, 0.0)
+        });
+        for settled in results {
+            assert!(settled.iter().all(|&s| !s), "strict < keeps chaos-0 active");
+        }
+    }
+}

@@ -263,6 +263,9 @@ pub enum ConfigError {
         /// The offending headroom.
         max_extra_phases: usize,
     },
+    /// An active-set shrinking parameter out of range (reported through
+    /// `MclConfig::validate`, which owns the policy).
+    ActiveSet(crate::active::InvalidActiveSet),
 }
 
 impl std::fmt::Display for ConfigError {
@@ -273,6 +276,7 @@ impl std::fmt::Display for ConfigError {
                 f,
                 "overlap-aware planner headroom must lie in 1..=64 phases, got {max_extra_phases}"
             ),
+            ConfigError::ActiveSet(e) => e.fmt(f),
         }
     }
 }
@@ -282,6 +286,12 @@ impl std::error::Error for ConfigError {}
 impl From<InvalidSplit> for ConfigError {
     fn from(e: InvalidSplit) -> Self {
         ConfigError::Split(e)
+    }
+}
+
+impl From<crate::active::InvalidActiveSet> for ConfigError {
+    fn from(e: crate::active::InvalidActiveSet) -> Self {
+        ConfigError::ActiveSet(e)
     }
 }
 

@@ -1,0 +1,126 @@
+//! Integration tests for convergence-aware active-set shrinking: the
+//! `Shrink { epsilon: 0.0, .. }` degenerate policy must be a perfect
+//! no-op (nothing ever settles under a strict `<` comparison), and a
+//! real shrink run must reproduce the serial reference clusters.
+//!
+//! These tests dispatch through [`Universe::run_dist`], so the transport
+//! comes from the environment: `HIPMCL_TRANSPORT=process-shm` (with the
+//! `process-shm` feature built) runs every rank as an OS process over
+//! shared-memory rings, and the bit-identity assertions below then
+//! double as cross-transport checks. `HIPMCL_MAX_RANKS=k` skips rank
+//! counts above `k` (CI's shm matrix arm caps at 4).
+
+use hipmcl::core::dist::{cluster_distributed, DistMclReport};
+use hipmcl::prelude::*;
+use hipmcl::summa::ActiveSetPolicy;
+use proptest::prelude::*;
+
+fn max_ranks() -> usize {
+    std::env::var("HIPMCL_MAX_RANKS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(usize::MAX)
+        .max(1)
+}
+
+/// Random square nonnegative matrix with guaranteed self-loops; the
+/// driver symmetrizes and normalizes it into a stochastic operand.
+fn random_graph(n: usize, edges: &[(usize, usize, f64)]) -> Csc<f64> {
+    let mut t = Triples::new(n, n);
+    for j in 0..n {
+        t.push(j as u32, j as u32, 1.0);
+    }
+    for &(i, j, v) in edges {
+        t.push((i % n) as u32, (j % n) as u32, v);
+    }
+    Csc::from_triples(&t)
+}
+
+fn run_dist(p: usize, graph: Csc<f64>, policy: ActiveSetPolicy) -> DistMclReport {
+    let results = Universe::run_dist(p, MachineModel::summit(), move |comm| {
+        let grid = ProcGrid::new(comm);
+        let mut gpus = MultiGpu::summit_node(grid.world.model());
+        let mut cfg = MclConfig::testing(12);
+        cfg.active_set = policy;
+        cluster_distributed(&grid, &mut gpus, &graph, &cfg)
+    });
+    results.into_iter().next().unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// `epsilon: 0.0` never settles a column (strict `<`), so the run
+    /// must be bit-identical to `Off` — same labels, same iteration
+    /// count, nothing frozen — at every rank count.
+    #[test]
+    fn epsilon_zero_is_bit_identical_to_off(
+        n in 8usize..24,
+        edges in proptest::collection::vec(
+            (0usize..24, 0usize..24, 0.05f64..1.0), 8..40),
+    ) {
+        let graph = random_graph(n, &edges);
+        let zero = ActiveSetPolicy::Shrink {
+            epsilon: 0.0,
+            min_shrink_frac: 0.0,
+            reshard_every: 1,
+        };
+        for p in [1usize, 4, 9].into_iter().filter(|&p| p <= max_ranks()) {
+            let off = run_dist(p, graph.clone(), ActiveSetPolicy::Off);
+            let shrunk = run_dist(p, graph.clone(), zero);
+            prop_assert_eq!(&off.labels, &shrunk.labels, "labels at p={}", p);
+            prop_assert_eq!(off.iterations, shrunk.iterations, "iterations at p={}", p);
+            prop_assert_eq!(off.num_clusters, shrunk.num_clusters);
+            prop_assert_eq!(shrunk.frozen_cols, 0, "nothing may settle at eps=0");
+            prop_assert_eq!(shrunk.active_cols, n);
+        }
+    }
+}
+
+#[test]
+fn shrinking_run_matches_serial_reference_at_four_ranks() {
+    // A deterministic planted instance large enough that columns settle
+    // at different iterations: shrinking engages, yet the partition
+    // matches the serial oracle and the full-operand distributed run.
+    let net = hipmcl::workloads::protein::generate_protein_net(&ProteinNetConfig {
+        n: 120,
+        avg_degree: 12.0,
+        min_cluster: 8,
+        max_cluster: 24,
+        noise_frac: 0.05,
+        seed: 97,
+        ..Default::default()
+    });
+    let graph = Csc::from_triples(&net.graph);
+
+    let mut cfg = MclConfig::testing(12);
+    cfg.active_set = ActiveSetPolicy::shrink();
+    let serial = {
+        let mut c = cfg;
+        c.active_set = ActiveSetPolicy::Off;
+        cluster_serial(&graph, &c)
+    };
+
+    let p = 4.min(max_ranks());
+    let on = run_dist(p, graph.clone(), ActiveSetPolicy::shrink());
+    let off = run_dist(p, graph, ActiveSetPolicy::Off);
+
+    assert_eq!(on.labels, off.labels, "shrinking changed the clusters");
+    assert_eq!(on.labels, serial.labels, "distributed diverged from serial");
+    assert_eq!(on.num_clusters, serial.num_clusters);
+    assert!(on.converged);
+    // The instance actually exercised the machinery.
+    assert!(on.frozen_cols > 0, "no column ever settled");
+    assert_eq!(on.frozen_cols + on.active_cols, 120);
+    // Active columns shrink monotonically and the per-iteration split
+    // always accounts for every column.
+    let mut prev = u64::MAX;
+    for it in &on.trace {
+        assert!(it.active_cols <= prev);
+        assert_eq!(it.active_cols + it.frozen_cols, 120);
+        prev = it.active_cols;
+    }
+    // The report surfaces the reshard cost it paid.
+    assert!(on.reshard_time > 0.0);
+    assert_eq!(off.reshard_time, 0.0);
+}
