@@ -26,6 +26,15 @@ pub(crate) struct Mailbox {
     pending: RefCell<Vec<Frame>>,
 }
 
+impl Mailbox {
+    pub(crate) fn new(endpoint: Box<dyn Endpoint>) -> Self {
+        Self {
+            endpoint,
+            pending: RefCell::new(Vec::new()),
+        }
+    }
+}
+
 /// Universe-wide configuration shared by all communicators of a rank.
 pub(crate) struct Shared {
     pub(crate) model: MachineModel,
@@ -64,6 +73,19 @@ impl Comm {
         shared: Arc<Shared>,
         endpoint: Box<dyn Endpoint>,
     ) -> Self {
+        Self::from_mailbox(rank, size, shared, Rc::new(Mailbox::new(endpoint)))
+    }
+
+    /// A world communicator over an existing (possibly shared) mailbox.
+    /// The socket backend uses this to run the rank closure and then the
+    /// result exchange over the *same* connections without losing frames
+    /// the first communicator buffered for the second.
+    pub(crate) fn from_mailbox(
+        rank: usize,
+        size: usize,
+        shared: Arc<Shared>,
+        mailbox: Rc<Mailbox>,
+    ) -> Self {
         let time = shared.time;
         Self {
             ctx: 0,
@@ -72,10 +94,7 @@ impl Comm {
             split_seq: 0,
             coll_seq: std::cell::Cell::new(0),
             shared,
-            mailbox: Rc::new(Mailbox {
-                endpoint,
-                pending: RefCell::new(Vec::new()),
-            }),
+            mailbox,
             clock: Rc::new(RefCell::new(RankClock::new(time))),
             stats: Rc::new(RefCell::new(CommStats::default())),
         }
@@ -250,6 +269,11 @@ impl Comm {
                 return pending.swap_remove(pos);
             }
         }
+        // Fail fast if the transport already knows the source is dead —
+        // no point waiting out the deadline on a corpse.
+        if let Some(reason) = self.mailbox.endpoint.closed_peer_info(world_src) {
+            self.peer_closed_panic(world_src, src, tag, &reason);
+        }
         let deadline = self.shared.recv_deadline;
         let started = deadline.map(|_| std::time::Instant::now());
         loop {
@@ -266,6 +290,18 @@ impl Comm {
                     self.recv_deadline_panic(world_src, src, tag, deadline.unwrap())
                 }
                 Err(RecvError::Disconnected) => panic!("universe torn down while receiving"),
+                Err(RecvError::PeerClosed(dead)) if dead == world_src => {
+                    let reason = self
+                        .mailbox
+                        .endpoint
+                        .closed_peer_info(dead)
+                        .unwrap_or_else(|| "connection closed".into());
+                    self.peer_closed_panic(world_src, src, tag, &reason);
+                }
+                // Some *other* peer died. Our source may still deliver;
+                // keep waiting (the deadline still bounds us), and let a
+                // receive actually aimed at the dead peer do the failing.
+                Err(RecvError::PeerClosed(_)) => continue,
             };
             if frame.header.src_world == world_src
                 && frame.header.ctx == self.ctx
@@ -275,6 +311,23 @@ impl Comm {
             }
             self.mailbox.pending.borrow_mut().push(frame);
         }
+    }
+
+    #[allow(clippy::panic)]
+    fn peer_closed_panic(&self, world_src: usize, src: usize, tag: u64, reason: &str) -> ! {
+        panic!(
+            "peer rank died: rank {} (world {}) was receiving tag {:#x} from src {} \
+             (world {}) on ctx {:#x}, but that peer's connection is gone ({reason}) \
+             [transport {}, time {}]",
+            self.rank,
+            self.world_ranks[self.rank],
+            tag,
+            src,
+            world_src,
+            self.ctx,
+            self.transport(),
+            self.shared.time,
+        );
     }
 
     #[allow(clippy::panic)]

@@ -19,6 +19,15 @@
 //!   ranks are OS processes; frames are byte-encoded ([`WirePayload`]'s
 //!   explicit little-endian wire format) and move through shared-memory
 //!   SPSC rings. Real serialization, real cross-address-space movement.
+//! * [`TransportKind::Tcp`] / [`TransportKind::Uds`] ([`socket`] module,
+//!   always built — pure std): ranks are OS processes moving the same
+//!   frames over stream sockets after a rank-0 rendezvous. TCP is the
+//!   only transport that spans *machines* (hand-launch ranks with
+//!   `HIPMCL_TCP_RANK` / `HIPMCL_TCP_RANKS` / `HIPMCL_TCP_ROOT`); the
+//!   Unix-domain variant is the same backend without the TCP/IP stack.
+//!   Remote transports get a receive deadline by default under every
+//!   time model, and a dead peer surfaces as a rank/tag/peer diagnostic
+//!   instead of a hang.
 //!
 //! **Time model** ([`TimeModel`], [`clock`]) — how time is charged.
 //!
@@ -53,10 +62,12 @@ pub mod clock;
 pub mod collectives;
 pub mod comm;
 pub mod grid;
+pub(crate) mod launch;
 pub mod machine;
 pub mod packet;
 #[cfg(feature = "process-shm")]
 pub mod shm;
+pub mod socket;
 pub mod transport;
 pub mod universe;
 
@@ -67,7 +78,7 @@ pub use hipmcl_sparse::wire::{WireDecode, WireEncode, WireError, WireReader};
 pub use machine::{CommMode, GpuLib, MachineModel, MergeKernel, SpgemmKernel};
 pub use packet::{WirePayload, WireSize};
 pub use transport::{Endpoint, Frame, FrameHeader, FramePayload, RecvError, TransportKind};
-pub use universe::{Universe, UniverseConfig};
+pub use universe::{SocketConfig, Universe, UniverseConfig};
 
 #[cfg(test)]
 mod proptests;

@@ -39,23 +39,22 @@
 //! exchanges larger than the ring capacity cannot deadlock.
 
 use crate::comm::Comm;
+use crate::launch::{
+    self, ChildIdentity, LaunchFamily, SessionGuard, SHM_ENV_DIR, SHM_ENV_RANK, SHM_ENV_RANKS,
+    SHM_ENV_UNIVERSE,
+};
 use crate::packet::WirePayload;
 use crate::transport::{
     Endpoint, Frame, FrameHeader, FramePayload, RecvError, TransportKind, FRAME_HEADER_BYTES,
 };
 use crate::universe::{run_threads, UniverseConfig};
 use hipmcl_sparse::wire::{WireDecode, WireEncode};
-use std::cell::{Cell, RefCell};
+use std::cell::RefCell;
 use std::collections::VecDeque;
 use std::fs::{File, OpenOptions};
 use std::os::unix::fs::FileExt;
 use std::path::{Path, PathBuf};
 use std::time::{Duration, Instant};
-
-const ENV_DIR: &str = "HIPMCL_SHM_DIR";
-const ENV_RANK: &str = "HIPMCL_SHM_RANK";
-const ENV_RANKS: &str = "HIPMCL_SHM_RANKS";
-const ENV_UNIVERSE: &str = "HIPMCL_SHM_UNIVERSE";
 
 /// Offset of the duplicated head counter (writer-owned).
 const HEAD_OFF: u64 = 0;
@@ -66,44 +65,8 @@ const DATA_OFF: u64 = 64;
 /// Sleep between polls while a ring is empty/full.
 const POLL: Duration = Duration::from_micros(50);
 
-thread_local! {
-    /// Ordinal of the next `process-shm` universe requested on this
-    /// thread. Parent and child bump it at the same call sites, which
-    /// is what lets a child recognize "its" universe.
-    static SHM_ORDINAL: Cell<u64> = const { Cell::new(0) };
-}
-
-fn next_ordinal() -> u64 {
-    SHM_ORDINAL.with(|c| {
-        let v = c.get();
-        c.set(v + 1);
-        v
-    })
-}
-
-/// Process-unique suffix for session directories (two tests running
-/// `process-shm` universes concurrently in one binary must not collide).
-fn unique_session_id() -> u64 {
-    use std::sync::atomic::{AtomicU64, Ordering};
-    static NEXT: AtomicU64 = AtomicU64::new(0);
-    NEXT.fetch_add(1, Ordering::Relaxed)
-}
-
-fn session_root() -> PathBuf {
-    let shm = Path::new("/dev/shm");
-    if shm.is_dir() {
-        shm.to_path_buf()
-    } else {
-        std::env::temp_dir()
-    }
-}
-
 fn ring_path(dir: &Path, src: usize, dst: usize) -> PathBuf {
     dir.join(format!("ring_{src}_{dst}.bin"))
-}
-
-fn result_path(dir: &Path, rank: usize) -> PathBuf {
-    dir.join(format!("result_{rank}.bin"))
 }
 
 /// One mapped ring file (either end).
@@ -356,56 +319,25 @@ impl Endpoint for ShmEndpoint {
     }
 }
 
-/// Removes the session directory when the parent is done (or panics).
-struct SessionGuard(PathBuf);
-
-impl Drop for SessionGuard {
-    fn drop(&mut self) {
-        let _ = std::fs::remove_dir_all(&self.0);
-    }
-}
-
-/// Arguments that make a re-executed child reach this exact call site.
-fn child_args() -> Vec<String> {
-    match std::thread::current().name() {
-        // Under `cargo test`, libtest names each test thread after the
-        // test's full path — rerun exactly that test, serially.
-        Some(name) if name != "main" => vec![
-            name.to_string(),
-            "--exact".into(),
-            "--test-threads=1".into(),
-            "--nocapture".into(),
-        ],
-        // A normal binary: replay its own command line.
-        _ => std::env::args().skip(1).collect(),
-    }
-}
-
 /// Dispatcher for a `process-shm` universe: parent orchestration or
-/// child rank execution, decided by the environment.
+/// child rank execution, decided by the environment. The launch ordinal
+/// is shared with the socket backend ([`launch::next_ordinal`]), so a
+/// child of *either* family replays universes that are not its target
+/// in-process — bit-identical by construction — and program state
+/// evolves exactly as in the parent.
 pub(crate) fn run_processes<R, F>(cfg: &UniverseConfig, f: &F) -> Vec<R>
 where
     R: WirePayload,
     F: Fn(Comm) -> R + Sync,
 {
     assert!(cfg.ranks > 0, "need at least one rank");
-    let ordinal = next_ordinal();
-    match std::env::var(ENV_RANK) {
-        Ok(rank_s) => {
-            let target: u64 = std::env::var(ENV_UNIVERSE)
-                .expect("HIPMCL_SHM_UNIVERSE must accompany HIPMCL_SHM_RANK")
-                .parse()
-                .expect("HIPMCL_SHM_UNIVERSE: not a number");
-            if ordinal != target {
-                // An earlier universe on the way to ours: replay it
-                // in-process — bit-identical by construction — so
-                // program state evolves exactly as in the parent.
-                return run_threads(cfg, f);
-            }
-            let rank: usize = rank_s.parse().expect("HIPMCL_SHM_RANK: not a number");
-            child_rank(cfg, f, rank, ordinal);
+    let ordinal = launch::next_ordinal();
+    match launch::child_identity() {
+        Some(id) if id.family == LaunchFamily::Shm && id.serves(ordinal) => {
+            child_rank(cfg, f, &id, ordinal)
         }
-        Err(_) => parent(cfg, f, ordinal),
+        Some(_) => run_threads(cfg, f),
+        None => parent(cfg, f, ordinal),
     }
 }
 
@@ -416,12 +348,7 @@ where
     F: Fn(Comm) -> R + Sync,
 {
     let p = cfg.ranks;
-    let dir = session_root().join(format!(
-        "hipmcl-shm-{}-{}",
-        std::process::id(),
-        unique_session_id()
-    ));
-    std::fs::create_dir_all(&dir).expect("create shm session dir");
+    let dir = launch::create_session_dir("hipmcl-shm");
     let _guard = SessionGuard(dir.clone());
 
     // Ring files, zero-initialized counters, data area left sparse.
@@ -443,15 +370,15 @@ where
     }
 
     let exe = std::env::current_exe().expect("current_exe for rank spawn");
-    let args = child_args();
+    let args = launch::child_args();
     let children: Vec<_> = (0..p)
         .map(|rank| {
             std::process::Command::new(&exe)
                 .args(&args)
-                .env(ENV_DIR, &dir)
-                .env(ENV_RANK, rank.to_string())
-                .env(ENV_RANKS, p.to_string())
-                .env(ENV_UNIVERSE, ordinal.to_string())
+                .env(SHM_ENV_DIR, &dir)
+                .env(SHM_ENV_RANK, rank.to_string())
+                .env(SHM_ENV_RANKS, p.to_string())
+                .env(SHM_ENV_UNIVERSE, ordinal.to_string())
                 .stdout(std::process::Stdio::null())
                 .spawn()
                 .unwrap_or_else(|e| panic!("spawn rank {rank}: {e}"))
@@ -472,28 +399,18 @@ where
         failures.join("; ")
     );
 
-    (0..p)
-        .map(|rank| {
-            let path = result_path(&dir, rank);
-            let bytes =
-                std::fs::read(&path).unwrap_or_else(|e| panic!("read result of rank {rank}: {e}"));
-            R::decode_all(&bytes).unwrap_or_else(|e| panic!("decode result of rank {rank}: {e}"))
-        })
-        .collect()
+    launch::collect_results(&dir, p)
 }
 
-/// The child side: become rank `rank`, run the closure, persist the
+/// The child side: become the rank in `id`, run the closure, persist the
 /// result, exit without returning.
-fn child_rank<R, F>(cfg: &UniverseConfig, f: &F, rank: usize, ordinal: u64) -> !
+fn child_rank<R, F>(cfg: &UniverseConfig, f: &F, id: &ChildIdentity, ordinal: u64) -> !
 where
     R: WirePayload,
     F: Fn(Comm) -> R + Sync,
 {
-    let dir = PathBuf::from(std::env::var(ENV_DIR).expect("HIPMCL_SHM_DIR"));
-    let p: usize = std::env::var(ENV_RANKS)
-        .expect("HIPMCL_SHM_RANKS")
-        .parse()
-        .expect("HIPMCL_SHM_RANKS: not a number");
+    let dir = id.dir.clone().expect("shm child always has a session dir");
+    let (rank, p) = (id.rank, id.ranks);
     // Replay-divergence tripwire: the child's config at the target call
     // site must match what the parent set up.
     let meta = std::fs::read(dir.join("meta.bin")).expect("read session meta");
@@ -511,9 +428,7 @@ where
     let comm = Comm::new_world(rank, p, cfg.shared(), Box::new(endpoint));
     let result = f(comm);
 
-    let tmp = dir.join(format!("result_{rank}.tmp"));
-    std::fs::write(&tmp, result.encoded()).expect("write result");
-    std::fs::rename(&tmp, result_path(&dir, rank)).expect("publish result");
+    launch::write_result(&dir, rank, &result.encoded());
     std::process::exit(0);
 }
 
@@ -533,12 +448,7 @@ mod tests {
 
     #[test]
     fn ring_transfers_bytes_across_threads() {
-        let dir = session_root().join(format!(
-            "hipmcl-ringtest-{}-{}",
-            std::process::id(),
-            unique_session_id()
-        ));
-        std::fs::create_dir_all(&dir).unwrap();
+        let dir = launch::create_session_dir("hipmcl-ringtest");
         let _guard = SessionGuard(dir.clone());
         let path = ring_path(&dir, 0, 1);
         let cap = 4096u64; // small, to force wrapping and backpressure

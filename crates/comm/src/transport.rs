@@ -9,7 +9,7 @@
 //! transport gets the full MPI-like surface for free and all transports
 //! produce bit-identical results.
 //!
-//! Two transports ship:
+//! Four transports ship:
 //!
 //! * [`TransportKind::InProcess`] — ranks are OS threads, frames move
 //!   through typed crossbeam channels as `Box<dyn Any>`. No bytes are
@@ -20,6 +20,12 @@
 //!   ([`hipmcl_sparse::wire`]) and moved through single-producer
 //!   single-consumer shared-memory rings. Real bytes, real copies, real
 //!   wall time.
+//! * [`TransportKind::Tcp`] — ranks are OS processes, possibly on
+//!   *different machines*, moving the same frame format over TCP
+//!   streams after a rank-0 rendezvous ([`crate::socket`]).
+//! * [`TransportKind::Uds`] — the same socket backend over Unix-domain
+//!   stream sockets: single-host only, but skips the TCP/IP stack and
+//!   needs no free port.
 
 use std::any::Any;
 use std::time::Duration;
@@ -33,6 +39,13 @@ pub enum TransportKind {
     /// OS processes + serialized frames over shared-memory rings.
     /// Requires the `process-shm` cargo feature at runtime.
     ProcessShm,
+    /// OS processes + serialized frames over TCP streams; the only
+    /// transport that spans machines. Always built (pure std).
+    Tcp,
+    /// OS processes + serialized frames over Unix-domain stream
+    /// sockets — the socket backend without the TCP/IP stack, for
+    /// single-host runs that want real sockets but no port.
+    Uds,
 }
 
 impl TransportKind {
@@ -41,6 +54,8 @@ impl TransportKind {
         match s.trim().to_ascii_lowercase().as_str() {
             "" | "in-process" | "inprocess" | "threads" => Some(Self::InProcess),
             "process-shm" | "shm" | "processes" => Some(Self::ProcessShm),
+            "tcp" | "socket" | "sockets" => Some(Self::Tcp),
+            "uds" | "unix" | "unix-domain" => Some(Self::Uds),
             _ => None,
         }
     }
@@ -50,6 +65,20 @@ impl TransportKind {
         match self {
             Self::InProcess => "in-process",
             Self::ProcessShm => "process-shm",
+            Self::Tcp => "tcp",
+            Self::Uds => "uds",
+        }
+    }
+
+    /// `true` for transports whose ranks are separate OS processes, so a
+    /// peer can die *independently* (crash, OOM-kill, unplugged cable)
+    /// while this rank keeps running. Remote transports get a receive
+    /// deadline by default under **every** time model — a dead peer must
+    /// surface as a diagnostic, never as an infinite hang.
+    pub fn is_remote(self) -> bool {
+        match self {
+            Self::InProcess => false,
+            Self::ProcessShm | Self::Tcp | Self::Uds => true,
         }
     }
 }
@@ -139,6 +168,11 @@ pub enum RecvError {
     Timeout,
     /// All peers hung up (a rank panicked or exited).
     Disconnected,
+    /// A specific peer's connection closed (process died, stream broke,
+    /// corrupt framing). Carries the peer's world rank; the transport
+    /// keeps a reason string retrievable via
+    /// [`Endpoint::closed_peer_info`].
+    PeerClosed(usize),
 }
 
 /// A rank's connection to its universe: matched frame send/recv.
@@ -163,6 +197,15 @@ pub trait Endpoint {
     /// Blocks for the next incoming frame (any source, any tag — the
     /// caller does the matching). `timeout` of `None` waits forever.
     fn recv_frame(&self, timeout: Option<Duration>) -> Result<Frame, RecvError>;
+
+    /// If the connection to `world` is known dead, the reason ("connection
+    /// closed", "read error: …"). Transports with per-peer connections
+    /// (sockets) record closures here so a receive aimed at a dead peer
+    /// fails fast with diagnostics instead of waiting out the deadline.
+    fn closed_peer_info(&self, world: usize) -> Option<String> {
+        let _ = world;
+        None
+    }
 }
 
 /// The default transport: typed crossbeam channels between rank threads.
@@ -221,12 +264,32 @@ mod tests {
 
     #[test]
     fn kind_parse_roundtrips() {
-        for k in [TransportKind::InProcess, TransportKind::ProcessShm] {
+        for k in [
+            TransportKind::InProcess,
+            TransportKind::ProcessShm,
+            TransportKind::Tcp,
+            TransportKind::Uds,
+        ] {
             assert_eq!(TransportKind::parse(k.name()), Some(k));
         }
         assert_eq!(TransportKind::parse("shm"), Some(TransportKind::ProcessShm));
+        assert_eq!(TransportKind::parse("sockets"), Some(TransportKind::Tcp));
+        assert_eq!(TransportKind::parse("SOCKET"), Some(TransportKind::Tcp));
+        assert_eq!(TransportKind::parse("unix"), Some(TransportKind::Uds));
+        assert_eq!(
+            TransportKind::parse("unix-domain"),
+            Some(TransportKind::Uds)
+        );
         assert_eq!(TransportKind::parse("bogus"), None);
         assert_eq!(TransportKind::default(), TransportKind::InProcess);
+    }
+
+    #[test]
+    fn remote_classification() {
+        assert!(!TransportKind::InProcess.is_remote());
+        assert!(TransportKind::ProcessShm.is_remote());
+        assert!(TransportKind::Tcp.is_remote());
+        assert!(TransportKind::Uds.is_remote());
     }
 
     #[test]

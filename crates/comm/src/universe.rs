@@ -18,9 +18,64 @@ use crate::transport::{InProcessEndpoint, TransportKind};
 use std::sync::Arc;
 use std::time::Duration;
 
-/// Default receive deadline under [`TimeModel::Measured`]: long enough
-/// for any honest workload step, short enough to fail a hung test run.
-pub const DEFAULT_MEASURED_RECV_DEADLINE: Duration = Duration::from_secs(30);
+/// Default receive deadline when the policy wants one: long enough for
+/// any honest workload step, short enough to fail a hung run. Applied
+/// under [`TimeModel::Measured`] and — regardless of time model — on
+/// every remote transport ([`TransportKind::is_remote`]), where a dead
+/// peer process would otherwise hang the survivors forever.
+pub const DEFAULT_RECV_DEADLINE: Duration = Duration::from_secs(30);
+
+/// Socket-transport settings ([`TransportKind::Tcp`] /
+/// [`TransportKind::Uds`]). Every field has a sensible default for the
+/// single-host case; multi-host TCP runs set `root` (and usually `bind`)
+/// per rank, either here or via the `HIPMCL_TCP_*` environment.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SocketConfig {
+    /// Rendezvous address rank 0 listens on, `HOST:PORT` (port `0` =
+    /// ephemeral). Required for hand-launched multi-host TCP; picked
+    /// automatically when a local parent orchestrates the launch.
+    pub root: Option<String>,
+    /// Local listener bind address for non-root ranks, `HOST:PORT`.
+    /// Defaults to `0.0.0.0:0`; set it when the host is multi-homed and
+    /// peers must dial a specific interface.
+    pub bind: Option<String>,
+    /// Session directory: Unix-domain socket names and (local launches)
+    /// result files. Defaults to a fresh directory under `/dev/shm`.
+    pub dir: Option<std::path::PathBuf>,
+    /// Total budget for the rendezvous: dialing with retry/backoff and
+    /// waiting for all peers to accept.
+    pub dial_timeout: Duration,
+}
+
+impl Default for SocketConfig {
+    fn default() -> Self {
+        Self {
+            root: None,
+            bind: None,
+            dir: None,
+            dial_timeout: Duration::from_secs(20),
+        }
+    }
+}
+
+/// Validates a `HOST:PORT` string from the environment, returning an
+/// actionable message naming the variable on failure.
+fn parse_host_port(var: &str, s: &str) -> Result<String, String> {
+    let (host, port) = s.rsplit_once(':').ok_or_else(|| {
+        format!("{var}: expected HOST:PORT, got {s:?} (e.g. 10.0.0.1:7177, or node17:0 for an ephemeral port)")
+    })?;
+    if host.is_empty() {
+        return Err(format!(
+            "{var}: empty host in {s:?} (use 0.0.0.0:PORT to listen on all interfaces)"
+        ));
+    }
+    if port.parse::<u16>().is_err() {
+        return Err(format!(
+            "{var}: port {port:?} in {s:?} is not a u16 (0-65535; 0 asks the OS for an ephemeral port)"
+        ));
+    }
+    Ok(s.to_string())
+}
 
 /// Full configuration of a universe: rank count, machine model,
 /// transport, time model, receive-deadline policy.
@@ -36,11 +91,13 @@ pub struct UniverseConfig {
     pub time: TimeModel,
     /// Receive-deadline override: `Some(None)` forces deadlines off,
     /// `Some(Some(d))` forces `d`, `None` uses the policy default
-    /// (off under Modeled, [`DEFAULT_MEASURED_RECV_DEADLINE`] under
-    /// Measured).
+    /// ([`DEFAULT_RECV_DEADLINE`] on remote transports and under
+    /// Measured time, otherwise off).
     pub recv_deadline: Option<Option<Duration>>,
     /// Per-directed-pair ring capacity for the `process-shm` transport.
     pub shm_ring_bytes: usize,
+    /// Socket-transport settings (addresses, session dir, dial budget).
+    pub socket: SocketConfig,
 }
 
 impl UniverseConfig {
@@ -54,35 +111,81 @@ impl UniverseConfig {
             time: TimeModel::default(),
             recv_deadline: None,
             shm_ring_bytes: 16 << 20,
+            socket: SocketConfig::default(),
         }
     }
 
     /// Reads transport/time/deadline overrides from the environment:
-    /// `HIPMCL_TRANSPORT` (`in-process` | `process-shm`), `HIPMCL_TIME`
-    /// (`modeled` | `measured`), `HIPMCL_RECV_DEADLINE_MS` (`0` = off),
-    /// `HIPMCL_SHM_RING_BYTES`. Unset variables keep the defaults.
+    /// `HIPMCL_TRANSPORT` (`in-process` | `process-shm` | `tcp` | `uds`),
+    /// `HIPMCL_TIME` (`modeled` | `measured`), `HIPMCL_RECV_DEADLINE_MS`
+    /// (`0` = off), `HIPMCL_SHM_RING_BYTES`, and the socket settings
+    /// `HIPMCL_TCP_ROOT` / `HIPMCL_TCP_BIND` (`HOST:PORT`),
+    /// `HIPMCL_TCP_DIR`, `HIPMCL_TCP_DIAL_TIMEOUT_MS`. Unset variables
+    /// keep the defaults; malformed values panic with the variable name
+    /// and the accepted forms.
     pub fn from_env(ranks: usize, model: MachineModel) -> Self {
-        let mut cfg = Self::new(ranks, model);
-        if let Ok(s) = std::env::var("HIPMCL_TRANSPORT") {
-            cfg.transport = TransportKind::parse(&s)
-                .unwrap_or_else(|| panic!("HIPMCL_TRANSPORT: unknown transport {s:?}"));
+        Self::new(ranks, model)
+            .apply_env(|key| std::env::var(key).ok())
+            .unwrap_or_else(|msg| panic!("{msg}"))
+    }
+
+    /// [`UniverseConfig::from_env`] with the environment abstracted as a
+    /// lookup function, so validation is testable without mutating the
+    /// real (process-global, racy) environment. Returns the message
+    /// `from_env` would panic with.
+    pub fn apply_env(mut self, get: impl Fn(&str) -> Option<String>) -> Result<Self, String> {
+        if let Some(s) = get("HIPMCL_TRANSPORT") {
+            self.transport = TransportKind::parse(&s).ok_or_else(|| {
+                format!(
+                    "HIPMCL_TRANSPORT: unknown transport {s:?} \
+                     (expected in-process | process-shm | tcp | uds)"
+                )
+            })?;
         }
-        if let Ok(s) = std::env::var("HIPMCL_TIME") {
-            cfg.time = TimeModel::parse(&s)
-                .unwrap_or_else(|| panic!("HIPMCL_TIME: unknown time model {s:?}"));
+        if let Some(s) = get("HIPMCL_TIME") {
+            self.time = TimeModel::parse(&s).ok_or_else(|| {
+                format!("HIPMCL_TIME: unknown time model {s:?} (expected modeled | measured)")
+            })?;
         }
-        if let Ok(s) = std::env::var("HIPMCL_RECV_DEADLINE_MS") {
-            let ms: u64 = s
-                .parse()
-                .unwrap_or_else(|_| panic!("HIPMCL_RECV_DEADLINE_MS: not a number: {s:?}"));
-            cfg.recv_deadline = Some((ms > 0).then(|| Duration::from_millis(ms)));
+        if let Some(s) = get("HIPMCL_RECV_DEADLINE_MS") {
+            let ms: u64 = s.parse().map_err(|_| {
+                format!("HIPMCL_RECV_DEADLINE_MS: not a number: {s:?} (milliseconds; 0 = off)")
+            })?;
+            self.recv_deadline = Some((ms > 0).then(|| Duration::from_millis(ms)));
         }
-        if let Ok(s) = std::env::var("HIPMCL_SHM_RING_BYTES") {
-            cfg.shm_ring_bytes = s
-                .parse()
-                .unwrap_or_else(|_| panic!("HIPMCL_SHM_RING_BYTES: not a number: {s:?}"));
+        if let Some(s) = get("HIPMCL_SHM_RING_BYTES") {
+            self.shm_ring_bytes = s.parse().map_err(|_| {
+                format!("HIPMCL_SHM_RING_BYTES: not a number: {s:?} (ring capacity in bytes)")
+            })?;
         }
-        cfg
+        if let Some(s) = get("HIPMCL_TCP_ROOT") {
+            self.socket.root = Some(parse_host_port("HIPMCL_TCP_ROOT", &s)?);
+        }
+        if let Some(s) = get("HIPMCL_TCP_BIND") {
+            self.socket.bind = Some(parse_host_port("HIPMCL_TCP_BIND", &s)?);
+        }
+        if let Some(s) = get("HIPMCL_TCP_DIR") {
+            if s.is_empty() {
+                return Err(
+                    "HIPMCL_TCP_DIR: empty path (unset the variable to use a fresh /dev/shm dir)"
+                        .into(),
+                );
+            }
+            self.socket.dir = Some(std::path::PathBuf::from(s));
+        }
+        if let Some(s) = get("HIPMCL_TCP_DIAL_TIMEOUT_MS") {
+            let ms: u64 = s.parse().map_err(|_| {
+                format!("HIPMCL_TCP_DIAL_TIMEOUT_MS: not a number: {s:?} (milliseconds, > 0)")
+            })?;
+            if ms == 0 {
+                return Err(format!(
+                    "HIPMCL_TCP_DIAL_TIMEOUT_MS: must be > 0, got {s:?} \
+                     (a zero dial budget can never rendezvous)"
+                ));
+            }
+            self.socket.dial_timeout = Duration::from_millis(ms);
+        }
+        Ok(self)
     }
 
     /// Replaces the transport.
@@ -103,16 +206,23 @@ impl UniverseConfig {
         self
     }
 
-    /// The deadline actually in force after applying the policy default:
-    /// off under Modeled (deterministic runs may legitimately idle at a
-    /// blocking recv while a peer grinds), on under Measured (a silent
-    /// tag would otherwise hang a wall-clock run forever).
+    /// The deadline actually in force after applying the policy default.
+    /// An explicit override always wins. Otherwise remote transports
+    /// ([`TransportKind::is_remote`]) get [`DEFAULT_RECV_DEADLINE`]
+    /// under *every* time model — their peers are separate processes
+    /// that can die independently, and a receive aimed at a corpse must
+    /// fail with diagnostics, not hang (this used to key off the time
+    /// model alone, which hung `HIPMCL_TIME=modeled` runs on real
+    /// processes). In-process universes keep the time-model rule: off
+    /// under Modeled (a deterministic run may legitimately idle at a
+    /// blocking recv while a peer grinds), on under Measured.
     pub fn resolved_recv_deadline(&self) -> Option<Duration> {
         match self.recv_deadline {
             Some(explicit) => explicit,
+            None if self.transport.is_remote() => Some(DEFAULT_RECV_DEADLINE),
             None => match self.time {
                 TimeModel::Modeled => None,
-                TimeModel::Measured => Some(DEFAULT_MEASURED_RECV_DEADLINE),
+                TimeModel::Measured => Some(DEFAULT_RECV_DEADLINE),
             },
         }
     }
@@ -168,6 +278,7 @@ impl Universe {
                 "transport process-shm requested but the `process-shm` cargo feature \
                  is not enabled; rebuild with --features process-shm"
             ),
+            TransportKind::Tcp | TransportKind::Uds => crate::socket::run_sockets(&cfg, &f),
         }
     }
 
@@ -291,7 +402,7 @@ mod tests {
             UniverseConfig::new(2, m())
                 .with_time(TimeModel::Measured)
                 .resolved_recv_deadline(),
-            Some(DEFAULT_MEASURED_RECV_DEADLINE)
+            Some(DEFAULT_RECV_DEADLINE)
         );
         assert_eq!(
             UniverseConfig::new(2, m())
@@ -307,6 +418,91 @@ mod tests {
                 .resolved_recv_deadline(),
             Some(Duration::from_millis(5))
         );
+    }
+
+    #[test]
+    fn remote_transports_default_to_a_deadline_even_under_modeled_time() {
+        // The regression this pins: a dead peer process under
+        // HIPMCL_TIME=modeled used to hang the survivors forever because
+        // the deadline keyed off the time model alone.
+        let m = MachineModel::summit;
+        for t in [
+            TransportKind::ProcessShm,
+            TransportKind::Tcp,
+            TransportKind::Uds,
+        ] {
+            let cfg = UniverseConfig::new(2, m()).with_transport(t);
+            assert_eq!(cfg.time, TimeModel::Modeled);
+            assert_eq!(
+                cfg.resolved_recv_deadline(),
+                Some(DEFAULT_RECV_DEADLINE),
+                "remote transport {t} must have a default deadline"
+            );
+            assert_eq!(
+                cfg.with_recv_deadline(None).resolved_recv_deadline(),
+                None,
+                "explicit off still wins on {t}"
+            );
+        }
+    }
+
+    fn env_of<'a>(pairs: &'a [(&'a str, &'a str)]) -> impl Fn(&str) -> Option<String> + 'a {
+        move |key| {
+            pairs
+                .iter()
+                .find(|(k, _)| *k == key)
+                .map(|(_, v)| v.to_string())
+        }
+    }
+
+    #[test]
+    fn apply_env_accepts_well_formed_socket_settings() {
+        let cfg = UniverseConfig::new(4, MachineModel::summit())
+            .apply_env(env_of(&[
+                ("HIPMCL_TRANSPORT", "tcp"),
+                ("HIPMCL_TCP_ROOT", "10.0.0.1:7177"),
+                ("HIPMCL_TCP_BIND", "0.0.0.0:0"),
+                ("HIPMCL_TCP_DIR", "/tmp/mcl-session"),
+                ("HIPMCL_TCP_DIAL_TIMEOUT_MS", "1500"),
+            ]))
+            .unwrap();
+        assert_eq!(cfg.transport, TransportKind::Tcp);
+        assert_eq!(cfg.socket.root.as_deref(), Some("10.0.0.1:7177"));
+        assert_eq!(cfg.socket.bind.as_deref(), Some("0.0.0.0:0"));
+        assert_eq!(
+            cfg.socket.dir.as_deref(),
+            Some(std::path::Path::new("/tmp/mcl-session"))
+        );
+        assert_eq!(cfg.socket.dial_timeout, Duration::from_millis(1500));
+    }
+
+    #[test]
+    fn apply_env_rejects_malformed_values_with_actionable_messages() {
+        let m = MachineModel::summit;
+        let cases: &[(&str, &str, &str)] = &[
+            (
+                "HIPMCL_TRANSPORT",
+                "carrier-pigeon",
+                "in-process | process-shm | tcp | uds",
+            ),
+            ("HIPMCL_TCP_ROOT", "no-port-here", "HOST:PORT"),
+            ("HIPMCL_TCP_ROOT", ":7177", "empty host"),
+            ("HIPMCL_TCP_ROOT", "host:70000", "not a u16"),
+            ("HIPMCL_TCP_BIND", "host:port", "not a u16"),
+            ("HIPMCL_TCP_DIR", "", "empty path"),
+            ("HIPMCL_TCP_DIAL_TIMEOUT_MS", "soon", "not a number"),
+            ("HIPMCL_TCP_DIAL_TIMEOUT_MS", "0", "must be > 0"),
+            ("HIPMCL_RECV_DEADLINE_MS", "1e3", "not a number"),
+        ];
+        for (var, value, expect) in cases {
+            let err = UniverseConfig::new(2, m())
+                .apply_env(env_of(&[(var, value)]))
+                .unwrap_err();
+            assert!(
+                err.contains(var) && err.contains(expect),
+                "{var}={value:?}: message {err:?} should name the variable and say {expect:?}"
+            );
+        }
     }
 
     #[test]

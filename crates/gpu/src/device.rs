@@ -273,6 +273,17 @@ mod tests {
     }
 
     #[test]
+    fn h2d_oom_is_an_error_not_a_panic() {
+        let mut d = dev();
+        let err = d.h2d(0.0, 2 << 20).unwrap_err(); // bigger than the device
+        assert!(matches!(err, DeviceError::OutOfMemory { .. }));
+        // The failed transfer must not occupy the copy engine or leak
+        // memory — callers degrade to a CPU kernel and carry on.
+        assert_eq!(d.mem_used(), 0);
+        assert_eq!(d.quiescent_at(), 0.0);
+    }
+
+    #[test]
     fn transfers_overlap_kernels() {
         let mut d = dev();
         let ev = d.launch_generic(0.0, 10.0); // long kernel

@@ -77,6 +77,20 @@ impl<T: Value> Csc<T> {
         rowidx: Vec<Idx>,
         vals: Vec<T>,
     ) -> Self {
+        Self::try_from_parts(nrows, ncols, colptr, rowidx, vals)
+            .unwrap_or_else(|e| panic!("invalid CSC: {e}"))
+    }
+
+    /// Fallible [`Csc::from_parts`]: the constructor for *untrusted*
+    /// input (wire decoding), returning the violated invariant instead
+    /// of panicking.
+    pub fn try_from_parts(
+        nrows: usize,
+        ncols: usize,
+        colptr: Vec<usize>,
+        rowidx: Vec<Idx>,
+        vals: Vec<T>,
+    ) -> Result<Self, &'static str> {
         let m = Self {
             nrows,
             ncols,
@@ -84,8 +98,8 @@ impl<T: Value> Csc<T> {
             rowidx,
             vals,
         };
-        m.assert_valid();
-        m
+        m.validate()?;
+        Ok(m)
     }
 
     /// Converts from COO, collapsing duplicate entries with the given
@@ -336,24 +350,50 @@ impl<T: Value> Csc<T> {
     /// Checks the structural invariants; panics with a description on
     /// violation. Cheap enough to run in tests and after every kernel.
     pub fn assert_valid(&self) {
-        assert_eq!(self.colptr.len(), self.ncols + 1, "colptr length");
-        assert_eq!(self.colptr[0], 0, "colptr[0]");
-        assert_eq!(*self.colptr.last().unwrap(), self.nnz(), "colptr end");
-        assert_eq!(self.rowidx.len(), self.vals.len(), "index/value parity");
+        if let Err(e) = self.validate() {
+            panic!("invalid CSC: {e}");
+        }
+    }
+
+    /// Checks the structural invariants without panicking — total over
+    /// arbitrary field contents, including dims and pointer arrays that
+    /// never came from a constructor (a corrupt or hostile frame). Every
+    /// access is length-guarded, so this cannot itself index out of
+    /// bounds or overflow.
+    pub fn validate(&self) -> Result<(), &'static str> {
+        if self
+            .ncols
+            .checked_add(1)
+            .is_none_or(|n| self.colptr.len() != n)
+        {
+            return Err("colptr length != ncols + 1");
+        }
+        if self.colptr[0] != 0 {
+            return Err("colptr[0] != 0");
+        }
+        if self.rowidx.len() != self.vals.len() {
+            return Err("rowidx/vals length mismatch");
+        }
+        if *self.colptr.last().expect("length checked") != self.rowidx.len() {
+            return Err("colptr end != nnz");
+        }
+        if self.colptr.windows(2).any(|w| w[0] > w[1]) {
+            return Err("colptr not monotone");
+        }
+        // colptr[0] == 0, monotone, end == nnz ⇒ every column range is
+        // in bounds of rowidx/vals from here on.
         for j in 0..self.ncols {
-            assert!(
-                self.colptr[j] <= self.colptr[j + 1],
-                "colptr monotone at {j}"
-            );
-            let rows = self.col_rows(j);
-            assert!(
-                is_strictly_increasing(rows),
-                "rows sorted+unique in col {j}"
-            );
+            let rows = &self.rowidx[self.colptr[j]..self.colptr[j + 1]];
+            if !is_strictly_increasing(rows) {
+                return Err("rows not sorted+unique within a column");
+            }
             if let Some(&last) = rows.last() {
-                assert!((last as usize) < self.nrows, "row bound in col {j}");
+                if last as usize >= self.nrows {
+                    return Err("row index out of bounds");
+                }
             }
         }
+        Ok(())
     }
 
     /// Elementwise (Hadamard) product in the given semiring, restricted to

@@ -59,6 +59,21 @@ impl<T: Value> Dcsc<T> {
         ir: Vec<Idx>,
         num: Vec<T>,
     ) -> Self {
+        Self::try_from_parts(nrows, ncols, jc, cp, ir, num)
+            .unwrap_or_else(|e| panic!("invalid DCSC: {e}"))
+    }
+
+    /// Fallible [`Dcsc::from_parts`]: the constructor for *untrusted*
+    /// input (wire decoding), returning the violated invariant instead
+    /// of panicking.
+    pub fn try_from_parts(
+        nrows: usize,
+        ncols: usize,
+        jc: Vec<Idx>,
+        cp: Vec<usize>,
+        ir: Vec<Idx>,
+        num: Vec<T>,
+    ) -> Result<Self, &'static str> {
         let m = Self {
             nrows,
             ncols,
@@ -67,8 +82,8 @@ impl<T: Value> Dcsc<T> {
             ir,
             num,
         };
-        m.assert_valid();
-        m
+        m.validate()?;
+        Ok(m)
     }
 
     /// Compresses a CSC matrix by dropping its empty columns' pointers.
@@ -193,29 +208,58 @@ impl<T: Value> Dcsc<T> {
 
     /// Checks structural invariants; panics on violation.
     pub fn assert_valid(&self) {
-        assert_eq!(self.cp.len(), self.jc.len() + 1, "cp length");
-        assert_eq!(self.cp[0], 0, "cp[0]");
-        assert_eq!(*self.cp.last().unwrap(), self.nnz(), "cp end");
-        assert_eq!(self.ir.len(), self.num.len(), "index/value parity");
-        assert!(
-            crate::util::is_strictly_increasing(&self.jc),
-            "jc strictly increasing"
-        );
+        if let Err(e) = self.validate() {
+            panic!("invalid DCSC: {e}");
+        }
+    }
+
+    /// Checks the structural invariants without panicking — total over
+    /// arbitrary field contents (a corrupt or hostile frame): every
+    /// access is length-guarded first, so validation itself cannot index
+    /// out of bounds. A matrix that passes here is also safe to feed to
+    /// [`Dcsc::to_csc`], whose pointer arithmetic relies on exactly
+    /// these invariants.
+    pub fn validate(&self) -> Result<(), &'static str> {
+        if self
+            .jc
+            .len()
+            .checked_add(1)
+            .is_none_or(|n| self.cp.len() != n)
+        {
+            return Err("cp length != jc length + 1");
+        }
+        if self.cp[0] != 0 {
+            return Err("cp[0] != 0");
+        }
+        if self.ir.len() != self.num.len() {
+            return Err("ir/num length mismatch");
+        }
+        if *self.cp.last().expect("length checked") != self.num.len() {
+            return Err("cp end != nnz");
+        }
+        if !crate::util::is_strictly_increasing(&self.jc) {
+            return Err("jc not strictly increasing");
+        }
         if let Some(&last) = self.jc.last() {
-            assert!((last as usize) < self.ncols, "jc bound");
+            if last as usize >= self.ncols {
+                return Err("jc column index out of bounds");
+            }
         }
+        if self.cp.windows(2).any(|w| w[0] >= w[1]) {
+            return Err("cp not strictly increasing (a listed column is empty)");
+        }
+        // cp[0] == 0, strictly increasing, end == nnz ⇒ every listed
+        // column's range is in bounds of ir/num from here on.
         for k in 0..self.jc.len() {
-            assert!(
-                self.cp[k] < self.cp[k + 1],
-                "listed column {k} must be non-empty"
-            );
             let rows = &self.ir[self.cp[k]..self.cp[k + 1]];
-            assert!(
-                crate::util::is_strictly_increasing(rows),
-                "rows sorted in col {k}"
-            );
-            assert!((*rows.last().unwrap() as usize) < self.nrows, "row bound");
+            if !crate::util::is_strictly_increasing(rows) {
+                return Err("rows not sorted+unique within a column");
+            }
+            if *rows.last().expect("listed columns are non-empty") as usize >= self.nrows {
+                return Err("row index out of bounds");
+            }
         }
+        Ok(())
     }
 }
 

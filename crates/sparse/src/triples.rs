@@ -50,8 +50,11 @@ impl<T: Value> Triples<T> {
         }
     }
 
-    /// Builds from parallel arrays. Panics if lengths differ or any index is
-    /// out of bounds (debug builds check every entry).
+    /// Builds from parallel arrays. Panics if lengths differ or any index
+    /// is out of bounds — in every build profile: these arrays may have
+    /// crossed a process boundary, and a release build silently accepting
+    /// an out-of-bounds index defers the failure to whatever kernel
+    /// indexes with it later.
     pub fn from_arrays(
         nrows: usize,
         ncols: usize,
@@ -59,17 +62,43 @@ impl<T: Value> Triples<T> {
         cols: Vec<Idx>,
         vals: Vec<T>,
     ) -> Self {
-        assert_eq!(rows.len(), cols.len());
-        assert_eq!(rows.len(), vals.len());
-        debug_assert!(rows.iter().all(|&r| (r as usize) < nrows));
-        debug_assert!(cols.iter().all(|&c| (c as usize) < ncols));
-        Self {
+        Self::try_from_arrays(nrows, ncols, rows, cols, vals)
+            .unwrap_or_else(|e| panic!("invalid triples: {e}"))
+    }
+
+    /// Fallible [`Triples::from_arrays`]: the constructor for *untrusted*
+    /// input (wire decoding), returning the violated invariant instead of
+    /// panicking.
+    pub fn try_from_arrays(
+        nrows: usize,
+        ncols: usize,
+        rows: Vec<Idx>,
+        cols: Vec<Idx>,
+        vals: Vec<T>,
+    ) -> Result<Self, &'static str> {
+        let m = Self {
             nrows,
             ncols,
             rows,
             cols,
             vals,
+        };
+        m.validate()?;
+        Ok(m)
+    }
+
+    /// Checks the structural invariants without panicking.
+    pub fn validate(&self) -> Result<(), &'static str> {
+        if self.rows.len() != self.cols.len() || self.rows.len() != self.vals.len() {
+            return Err("rows/cols/vals length mismatch");
         }
+        if !self.rows.iter().all(|&r| (r as usize) < self.nrows) {
+            return Err("row index out of bounds");
+        }
+        if !self.cols.iter().all(|&c| (c as usize) < self.ncols) {
+            return Err("column index out of bounds");
+        }
+        Ok(())
     }
 
     /// Number of rows.

@@ -28,9 +28,13 @@
 //! Decoding is checked (truncation, tag corruption and length overruns
 //! return [`WireError`], not UB), and round-trips are bit-identical:
 //! floats travel as raw bits, so exact-zero cancellation artifacts like
-//! `-0.0` survive. The matrix decoders rebuild through the validating
-//! constructors, so a corrupt frame that *parses* still cannot produce a
-//! structurally invalid matrix.
+//! `-0.0` survive. The matrix decoders rebuild through the *fallible*
+//! validating constructors (`try_from_parts` / `try_from_arrays`), so a
+//! corrupt frame that parses still cannot produce a structurally invalid
+//! matrix — and cannot panic the receiving rank either, which matters
+//! once frames arrive over sockets from another machine. The corruption
+//! proptests in this crate flip, truncate and extend encoded buffers and
+//! require every outcome to be `Ok` or `Err`, never a panic.
 //!
 //! Scalar types of every shipped semiring (`f64`, `f32`, `u32`, `u64`,
 //! `i64`, `bool`) implement both traits; [`crate::Value`] requires them,
@@ -365,9 +369,12 @@ impl<T: Value> WireDecode for Csc<T> {
         let colptr: Vec<usize> = Vec::decode(r)?;
         let rowidx: Vec<Idx> = Vec::decode(r)?;
         let vals: Vec<T> = Vec::decode(r)?;
-        // `from_parts` re-validates the CSC invariants, so even a frame
-        // that decodes cleanly cannot smuggle in a malformed matrix.
-        Ok(Csc::from_parts(nrows, ncols, colptr, rowidx, vals))
+        // Re-validate the CSC invariants through the *fallible*
+        // constructor: a frame that parses but smuggles a malformed
+        // matrix is a decode error, not a panic — socket bytes are
+        // untrusted in a way in-process frames never were.
+        Csc::try_from_parts(nrows, ncols, colptr, rowidx, vals)
+            .map_err(|what| WireError { what, pos: r.pos() })
     }
 }
 
@@ -389,7 +396,8 @@ impl<T: Value> WireDecode for Dcsc<T> {
         let cp: Vec<usize> = Vec::decode(r)?;
         let ir: Vec<Idx> = Vec::decode(r)?;
         let num: Vec<T> = Vec::decode(r)?;
-        Ok(Dcsc::from_parts(nrows, ncols, jc, cp, ir, num))
+        Dcsc::try_from_parts(nrows, ncols, jc, cp, ir, num)
+            .map_err(|what| WireError { what, pos: r.pos() })
     }
 }
 
@@ -409,7 +417,8 @@ impl<T: Value> WireDecode for Triples<T> {
         let rows: Vec<Idx> = Vec::decode(r)?;
         let cols: Vec<Idx> = Vec::decode(r)?;
         let vals: Vec<T> = Vec::decode(r)?;
-        Ok(Triples::from_arrays(nrows, ncols, rows, cols, vals))
+        Triples::try_from_arrays(nrows, ncols, rows, cols, vals)
+            .map_err(|what| WireError { what, pos: r.pos() })
     }
 }
 
@@ -495,5 +504,51 @@ mod tests {
     fn bad_tags_rejected() {
         assert!(bool::decode_all(&[2]).is_err());
         assert!(Option::<u8>::decode_all(&[9, 0]).is_err());
+    }
+
+    #[test]
+    fn structurally_invalid_matrices_are_decode_errors() {
+        // Frames that *parse* but violate the format invariants must be
+        // decode errors, never panics — the receiving rank stays up.
+
+        // Triples with a row index past nrows (the old release-mode
+        // hole: `from_arrays` only debug-checked bounds).
+        let mut buf = Vec::new();
+        2usize.encode(&mut buf); // nrows
+        2usize.encode(&mut buf); // ncols
+        vec![9 as Idx].encode(&mut buf); // row out of bounds
+        vec![0 as Idx].encode(&mut buf);
+        vec![1.0f64].encode(&mut buf);
+        assert!(Triples::<f64>::decode_all(&buf).is_err());
+
+        // CSC with a non-monotone colptr.
+        let mut buf = Vec::new();
+        2usize.encode(&mut buf);
+        2usize.encode(&mut buf);
+        vec![0usize, 2, 1].encode(&mut buf);
+        vec![0 as Idx, 1].encode(&mut buf);
+        vec![1.0f64, 2.0].encode(&mut buf);
+        assert!(Csc::<f64>::decode_all(&buf).is_err());
+
+        // DCSC listing a column past ncols — the index that would have
+        // sent `to_csc` out of bounds.
+        let mut buf = Vec::new();
+        2usize.encode(&mut buf);
+        2usize.encode(&mut buf);
+        vec![7 as Idx].encode(&mut buf);
+        vec![0usize, 1].encode(&mut buf);
+        vec![0 as Idx].encode(&mut buf);
+        vec![1.0f64].encode(&mut buf);
+        assert!(Dcsc::<f64>::decode_all(&buf).is_err());
+
+        // Absurd dimensions with empty arrays: dims are attacker data
+        // too (`ncols + 1` must not overflow inside validation).
+        let mut buf = Vec::new();
+        usize::MAX.encode(&mut buf);
+        usize::MAX.encode(&mut buf);
+        Vec::<usize>::new().encode(&mut buf);
+        Vec::<Idx>::new().encode(&mut buf);
+        Vec::<f64>::new().encode(&mut buf);
+        assert!(Csc::<f64>::decode_all(&buf).is_err());
     }
 }

@@ -559,12 +559,8 @@ impl<S: Semiring> Executor<S> for GpuExecutor<'_> {
     ) -> KernelLaunch<S::Elem> {
         let w0 = wall_start(&spec);
         match spec.kernel {
-            SpgemmKernel::Gpu(lib) => {
-                let r = self
-                    .gpus
-                    .multiply_in(s, host_now, a, b, lib)
-                    .expect("device OOM: increase phases or use CPU policy");
-                KernelLaunch {
+            SpgemmKernel::Gpu(lib) => match self.gpus.multiply_in(s, host_now, a, b, lib) {
+                Ok(r) => KernelLaunch {
                     c: r.c,
                     kernel: spec.kernel,
                     inputs_ready_at: r.inputs_transferred_at,
@@ -574,8 +570,33 @@ impl<S: Semiring> Executor<S> for GpuExecutor<'_> {
                     flops: r.flops,
                     cf: r.cf,
                     measured_s: wall_elapsed(w0),
+                },
+                // The devices cannot take this phase (out of memory): a
+                // busy or undersized engine degrades the launch to the
+                // host hash kernel instead of killing the rank. The
+                // modeled clock charges the CPU duration, so the slowdown
+                // shows up in reports rather than vanishing.
+                Err(e) => {
+                    eprintln!(
+                        "gpu launch degraded to CpuHash: {e} (increase phases or use a CPU \
+                         policy to avoid the fallback)"
+                    );
+                    let (c, cf) =
+                        cpu_algo(SpgemmKernel::CpuHash).multiply_measured_in(s, a, b, spec.flops);
+                    let dur = model.spgemm_time(SpgemmKernel::CpuHash, spec.flops, cf);
+                    KernelLaunch {
+                        c,
+                        kernel: SpgemmKernel::CpuHash,
+                        inputs_ready_at: host_now + dur,
+                        output_ready_at: host_now + dur,
+                        host_compute: dur,
+                        kernel_time: dur,
+                        flops: spec.flops,
+                        cf,
+                        measured_s: wall_elapsed(w0),
+                    }
                 }
-            }
+            },
             cpu_kernel => {
                 // Inline on the host, as original HipMCL runs CPU kernels:
                 // the host is busy (not idle) for the whole duration and
@@ -1081,10 +1102,20 @@ impl<S: Semiring> Executor<S> for Hybrid<'_> {
 
         let w0 = wall_start(&spec);
         let b_gpu = b.column_slice(0..gcols);
-        let r = self
-            .gpus
-            .multiply_in(s, host_now, a, &b_gpu, lib)
-            .expect("device OOM: increase phases or use CPU policy");
+        let r = match self.gpus.multiply_in(s, host_now, a, &b_gpu, lib) {
+            Ok(r) => r,
+            // Device out of memory: hand the whole multiply to the CPU
+            // pool instead of panicking, and record that the GPU took
+            // none of it so the adaptive fraction stays honest.
+            Err(e) => {
+                eprintln!(
+                    "hybrid gpu side degraded to the cpu pool: {e} (increase phases or use \
+                     a CPU policy to avoid the fallback)"
+                );
+                *self.fractions.last_mut().expect("fraction pushed above") = 0.0;
+                return self.pool.submit(s, model, host_now, a, b, spec);
+            }
+        };
 
         let mut output_ready_at = r.output_ready_at;
         let mut total_flops = r.flops;
@@ -1231,6 +1262,51 @@ mod tests {
         );
         assert!(l.host_compute > 0.0);
         assert!((l.host_compute - (l.output_ready_at - 1.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gpu_oom_degrades_to_host_kernel_instead_of_panicking() {
+        let a = random_csc(30, 30, 260, 45);
+        // Devices far too small for the operands: every launch OOMs.
+        let mut gpus = MultiGpu::new(model(), 2, 64);
+        let mut exec = GpuExecutor::new(&mut gpus, &model());
+        let l = exec.submit(
+            pt(),
+            &model(),
+            1.0,
+            &a,
+            &a,
+            spec_for(&a, SpgemmKernel::Gpu(GpuLib::Nsparse)),
+        );
+        assert!(l.c.max_abs_diff(&want(&a)) < 1e-9, "result still correct");
+        assert_eq!(
+            l.kernel,
+            SpgemmKernel::CpuHash,
+            "launch degraded to the host kernel"
+        );
+        assert!(l.host_compute > 0.0, "host pays for the fallback");
+        assert_eq!(l.flops, hipmcl_spgemm::flops(&a, &a));
+    }
+
+    #[test]
+    fn hybrid_oom_hands_the_whole_multiply_to_the_pool() {
+        let a = random_csc(30, 30, 260, 46);
+        let mut gpus = MultiGpu::new(model(), 2, 64);
+        let mut h = Hybrid::new(&mut gpus, SplitPolicy::Fixed(0.5));
+        let l = h.submit(
+            pt(),
+            &model(),
+            1.0,
+            &a,
+            &a,
+            spec_for(&a, SpgemmKernel::Gpu(GpuLib::Nsparse)),
+        );
+        assert!(l.c.max_abs_diff(&want(&a)) < 1e-9, "result still correct");
+        assert_eq!(
+            h.fractions(),
+            &[0.0],
+            "the realized GPU share records the fallback, not the intent"
+        );
     }
 
     #[test]
